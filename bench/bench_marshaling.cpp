@@ -1,0 +1,134 @@
+// E3 — Figure 3: data transfer between the managed host and a native
+// device using a float array. Measures each stage of the marshaling path
+//
+//   serialize (Lime value → byte array)
+//   cross the native boundary (the JNI-like copy)
+//   convert to a C-style value (dense unmarshal)
+//   full round trip (all three + the mirror return path)
+//
+// across array sizes, reporting bytes/second. The shape to reproduce: the
+// boundary copy runs at memcpy speed, serialization of dense arrays is
+// bulk-copy fast, and per-element costs only appear for bit arrays (which
+// pack/unpack 8 per byte).
+#include <benchmark/benchmark.h>
+
+#include "bytecode/value.h"
+#include "serde/native.h"
+#include "serde/wire.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace lm;
+
+bc::Value make_float_array(size_t n) {
+  SplitMix64 rng(7);
+  std::vector<float> v(n);
+  for (auto& x : v) x = rng.next_float();
+  return bc::Value::array(bc::make_f32_array(std::move(v), true));
+}
+
+void BM_Serialize(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  bc::Value v = make_float_array(n);
+  auto ser = serde::serializer_for(lime::Type::value_array(lime::Type::float_()));
+  for (auto _ : state) {
+    ByteWriter w;
+    ser->serialize(v, w);
+    benchmark::DoNotOptimize(w.bytes().data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n) * 4);
+}
+BENCHMARK(BM_Serialize)->RangeMultiplier(8)->Range(1 << 10, 1 << 22);
+
+void BM_CrossBoundary(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  std::vector<uint8_t> payload(n * 4, 0xA5);
+  serde::NativeBoundary boundary;
+  for (auto _ : state) {
+    auto native = boundary.cross_to_native(payload);
+    benchmark::DoNotOptimize(native.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n) * 4);
+}
+BENCHMARK(BM_CrossBoundary)->RangeMultiplier(8)->Range(1 << 10, 1 << 22);
+
+void BM_UnmarshalToC(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  bc::Value v = make_float_array(n);
+  auto t = lime::Type::value_array(lime::Type::float_());
+  auto ser = serde::serializer_for(t);
+  ByteWriter w;
+  ser->serialize(v, w);
+  auto bytes = w.bytes();
+  for (auto _ : state) {
+    serde::CValue c = serde::unmarshal_native(bytes, t);
+    benchmark::DoNotOptimize(c.storage.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n) * 4);
+}
+BENCHMARK(BM_UnmarshalToC)->RangeMultiplier(8)->Range(1 << 10, 1 << 22);
+
+/// The complete Fig. 3 round trip: float[] in, int[] out.
+void BM_FullRoundTrip(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  bc::Value v = make_float_array(n);
+  auto float_arr = lime::Type::value_array(lime::Type::float_());
+  auto int_arr = lime::Type::value_array(lime::Type::int_());
+  auto fser = serde::serializer_for(float_arr);
+  auto iser = serde::serializer_for(int_arr);
+  serde::NativeBoundary boundary;
+  for (auto _ : state) {
+    // Host → device.
+    ByteWriter w;
+    fser->serialize(v, w);
+    auto native = boundary.cross_to_native(w.bytes());
+    serde::CValue c = serde::unmarshal_native(native, float_arr);
+    // The "kernel": floats → ints (so the return type differs, as in Fig. 3).
+    serde::CValue out = serde::CValue::make(bc::ElemCode::kI32, true, c.count);
+    auto in_f = c.f32s();
+    auto out_i = out.i32s();
+    for (size_t i = 0; i < c.count; ++i) {
+      out_i[i] = static_cast<int32_t>(in_f[i] * 1000.0f);
+    }
+    // Device → host mirror path.
+    auto wire = serde::marshal_native(out);
+    auto host = boundary.cross_to_host(wire);
+    ByteReader r(host);
+    benchmark::DoNotOptimize(iser->deserialize(r));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n) * 8);  // both directions
+  state.counters["crossings"] =
+      static_cast<double>(boundary.crossings()) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_FullRoundTrip)->RangeMultiplier(8)->Range(1 << 10, 1 << 22);
+
+/// Bit arrays pay a pack/unpack cost (8 bits per wire byte) — the one
+/// non-bulk case in the wire format.
+void BM_BitArrayRoundTrip(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  SplitMix64 rng(3);
+  std::vector<uint8_t> bits(n);
+  for (auto& b : bits) b = rng.next_bool();
+  bc::Value v = bc::Value::array(bc::make_bit_array(std::move(bits), true));
+  auto t = lime::Type::value_array(lime::Type::bit());
+  auto ser = serde::serializer_for(t);
+  for (auto _ : state) {
+    ByteWriter w;
+    ser->serialize(v, w);
+    serde::CValue c = serde::unmarshal_native(w.bytes(), t);
+    benchmark::DoNotOptimize(serde::marshal_native(c));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_BitArrayRoundTrip)->RangeMultiplier(8)->Range(1 << 10, 1 << 19);
+
+}  // namespace
+
+BENCHMARK_MAIN();

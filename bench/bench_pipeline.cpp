@@ -1,0 +1,147 @@
+// E6 — pipeline parallelism (§2.2) and scheduler ablations:
+//
+//   * throughput vs pipeline depth (1–3 filters) under thread-per-task
+//     scheduling vs inline execution,
+//   * FIFO capacity sweep (backpressure cost),
+//   * fused-segment substitution vs per-filter substitution (the "prefers
+//     a larger substitution" design choice of §4.2, ablated).
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "runtime/liquid_runtime.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using namespace lm;
+
+std::string pipeline_source(int depth) {
+  std::string filters;
+  std::string chain;
+  const char* bodies[] = {"return 3 * x;", "return x + 13;",
+                          "return (x >> 1) ^ x;"};
+  for (int i = 0; i < depth; ++i) {
+    filters += "  local static int f" + std::to_string(i) + "(int x) { " +
+               bodies[i % 3] + " }\n";
+    chain += "      => ([ task f" + std::to_string(i) + " ])\n";
+  }
+  return "class Pipe {\n" + filters +
+         "  static int[[]] run(int[[]] input) {\n"
+         "    int[] result = new int[input.length];\n"
+         "    var g = input.source(1)\n" +
+         chain +
+         "      => result.<int>sink();\n"
+         "    g.finish();\n"
+         "    return new int[[]](result);\n"
+         "  }\n"
+         "}\n";
+}
+
+std::vector<bc::Value> make_input(size_t n) {
+  std::vector<int32_t> v(n);
+  for (size_t i = 0; i < n; ++i) v[i] = static_cast<int32_t>(i * 7 - 1000);
+  return {bc::Value::array(bc::make_i32_array(std::move(v), true))};
+}
+
+void BM_DepthAndScheduling(benchmark::State& state) {
+  int depth = static_cast<int>(state.range(0));
+  bool threads = state.range(1) != 0;
+  size_t n = 1u << 15;
+  auto cp = runtime::compile(pipeline_source(depth));
+  auto args = make_input(n);
+  runtime::RuntimeConfig rc;
+  rc.placement = runtime::Placement::kCpuOnly;  // isolate scheduling effects
+  rc.use_threads = threads;
+  for (auto _ : state) {
+    runtime::LiquidRuntime rt(*cp, rc);
+    benchmark::DoNotOptimize(rt.call("Pipe.run", args));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+  state.SetLabel((threads ? "threads" : "inline") + std::string("/depth=") +
+                 std::to_string(depth));
+}
+BENCHMARK(BM_DepthAndScheduling)
+    ->Args({1, 0})->Args({1, 1})
+    ->Args({2, 0})->Args({2, 1})
+    ->Args({3, 0})->Args({3, 1})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FifoCapacity(benchmark::State& state) {
+  size_t cap = static_cast<size_t>(state.range(0));
+  size_t n = 1u << 15;
+  auto cp = runtime::compile(pipeline_source(2));
+  auto args = make_input(n);
+  runtime::RuntimeConfig rc;
+  rc.placement = runtime::Placement::kCpuOnly;
+  rc.fifo_capacity = cap;
+  for (auto _ : state) {
+    runtime::LiquidRuntime rt(*cp, rc);
+    benchmark::DoNotOptimize(rt.call("Pipe.run", args));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_FifoCapacity)->Arg(2)->Arg(16)->Arg(256)->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FusionAblation(benchmark::State& state) {
+  bool fusion = state.range(0) != 0;
+  size_t n = 1u << 15;
+  workloads::register_native_kernels();
+  auto cp = runtime::compile(pipeline_source(3));
+  auto args = make_input(n);
+  runtime::RuntimeConfig rc;
+  rc.placement = runtime::Placement::kGpuOnly;
+  rc.allow_fusion = fusion;
+  for (auto _ : state) {
+    runtime::LiquidRuntime rt(*cp, rc);
+    benchmark::DoNotOptimize(rt.call("Pipe.run", args));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+  state.SetLabel(fusion ? "fused-segment" : "per-filter");
+}
+BENCHMARK(BM_FusionAblation)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
+
+void print_summary() {
+  std::printf("\n=== E6: pipeline scheduling summary (n = 32768) ===\n");
+  lm::bench::Table table({"depth", "inline (ms)", "threads (ms)",
+                          "gpu fused (ms)", "gpu per-filter (ms)"});
+  size_t n = 1u << 15;
+  for (int depth : {1, 2, 3}) {
+    auto cp = runtime::compile(pipeline_source(depth));
+    auto args = make_input(n);
+    auto run = [&](runtime::Placement p, bool threads, bool fusion) {
+      runtime::RuntimeConfig rc;
+      rc.placement = p;
+      rc.use_threads = threads;
+      rc.allow_fusion = fusion;
+      return lm::bench::time_best([&] {
+        runtime::LiquidRuntime rt(*cp, rc);
+        rt.call("Pipe.run", args);
+      });
+    };
+    table.row(
+        {std::to_string(depth),
+         lm::bench::fmt(run(runtime::Placement::kCpuOnly, false, true) * 1e3),
+         lm::bench::fmt(run(runtime::Placement::kCpuOnly, true, true) * 1e3),
+         lm::bench::fmt(run(runtime::Placement::kGpuOnly, true, true) * 1e3),
+         lm::bench::fmt(run(runtime::Placement::kGpuOnly, true, false) *
+                        1e3)});
+  }
+  table.print();
+  std::printf("fusion halves (or better) device batches by keeping the "
+              "whole relocated region in one artifact (§4.2: prefer the "
+              "larger substitution).\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_summary();
+  return 0;
+}

@@ -1,0 +1,150 @@
+// E1 — Figures 1 & 2: the compilation toolchain on the Bitflip program and
+// larger workload sources. Measures each stage of the Fig. 2 flow:
+// frontend (lex/parse/sema), CPU/bytecode backend, task-graph discovery,
+// and the full pipeline with the GPU + FPGA device compilers.
+//
+// Shape target: the frontend dominates small programs; the device backends
+// add modest, per-relocated-task cost; the CPU backend always compiles
+// everything regardless of device compiler exclusions.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "bytecode/compiler.h"
+#include "ir/task_graph.h"
+#include "lime/frontend.h"
+#include "runtime/liquid_runtime.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using namespace lm;
+
+const char* kFigure1 = R"(
+public value enum bit {
+  zero, one;
+  public bit ~ this { return this == zero ? one : zero; }
+}
+public class Bitflip {
+  local static bit flip(bit b) { return ~b; }
+  local static bit[[]] mapFlip(bit[[]] input) {
+    var flipped = Bitflip @ flip(input);
+    return flipped;
+  }
+  static bit[[]] taskFlip(bit[[]] input) {
+    bit[] result = new bit[input.length];
+    var flipit = input.source(1)
+      => ([ task flip ])
+      => result.<bit>sink();
+    flipit.finish();
+    return new bit[[]](result);
+  }
+}
+)";
+
+std::string source_for(int which) {
+  switch (which) {
+    case 0: return kFigure1;
+    case 1: return workloads::gpu_suite()[3].lime_source;  // black-scholes
+    default: return workloads::pipeline_suite()[0].lime_source;  // intpipe
+  }
+}
+
+const char* label_for(int which) {
+  switch (which) {
+    case 0: return "figure1";
+    case 1: return "blackscholes";
+    default: return "intpipe";
+  }
+}
+
+void BM_Frontend(benchmark::State& state) {
+  std::string src = source_for(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto fr = lime::compile_source(src);
+    benchmark::DoNotOptimize(fr.program.get());
+  }
+  state.SetLabel(label_for(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_Frontend)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_BytecodeBackend(benchmark::State& state) {
+  std::string src = source_for(static_cast<int>(state.range(0)));
+  auto fr = lime::compile_source(src);
+  for (auto _ : state) {
+    DiagnosticEngine diags;
+    auto mod = bc::compile_program(*fr.program, diags);
+    benchmark::DoNotOptimize(mod.get());
+  }
+  state.SetLabel(label_for(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_BytecodeBackend)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_TaskGraphDiscovery(benchmark::State& state) {
+  std::string src = source_for(static_cast<int>(state.range(0)));
+  auto fr = lime::compile_source(src);
+  for (auto _ : state) {
+    DiagnosticEngine diags;
+    auto graphs = ir::extract_task_graphs(*fr.program, diags);
+    benchmark::DoNotOptimize(graphs.graphs.size());
+  }
+  state.SetLabel(label_for(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_TaskGraphDiscovery)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_FullToolchain(benchmark::State& state) {
+  std::string src = source_for(static_cast<int>(state.range(0)));
+  size_t artifacts = 0;
+  for (auto _ : state) {
+    auto cp = runtime::compile(src);
+    artifacts = cp->store.size();
+    benchmark::DoNotOptimize(cp.get());
+  }
+  state.counters["artifacts"] = static_cast<double>(artifacts);
+  state.SetLabel(label_for(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_FullToolchain)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_ToolchainCpuOnly(benchmark::State& state) {
+  std::string src = source_for(static_cast<int>(state.range(0)));
+  runtime::CompileOptions opts;
+  opts.enable_gpu = false;
+  opts.enable_fpga = false;
+  for (auto _ : state) {
+    auto cp = runtime::compile(src, opts);
+    benchmark::DoNotOptimize(cp.get());
+  }
+  state.SetLabel(label_for(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_ToolchainCpuOnly)->Arg(0)->Arg(1)->Arg(2);
+
+void print_artifact_inventory() {
+  std::printf("\n=== E1: Fig. 2 toolchain output for the Fig. 1 program ===\n");
+  auto cp = runtime::compile(kFigure1);
+  if (!cp->ok()) return;
+  for (const auto& line : cp->backend_log) std::printf("  %s\n", line.c_str());
+  lm::bench::Table table({"task id", "device", "signature", "artifact"});
+  for (const auto* m : cp->store.manifests()) {
+    std::string sig;
+    for (size_t i = 0; i < m->param_types.size(); ++i) {
+      if (i) sig += ", ";
+      sig += m->param_types[i]->to_string();
+    }
+    sig = "(" + sig + ") -> " + m->return_type->to_string();
+    std::string kind =
+        m->device == runtime::DeviceKind::kGpu    ? "OpenCL-C text"
+        : m->device == runtime::DeviceKind::kFpga ? "Verilog text"
+                                                  : "bytecode";
+    table.row({m->task_id, runtime::to_string(m->device), sig, kind});
+  }
+  table.print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_artifact_inventory();
+  return 0;
+}

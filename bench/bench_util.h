@@ -1,0 +1,88 @@
+// Shared helpers for the experiment benchmarks (E1–E7).
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace lm::bench {
+
+/// Wall-clock timing of one call.
+inline double time_once(const std::function<void()>& fn) {
+  auto t0 = std::chrono::steady_clock::now();
+  fn();
+  auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// Runs fn at least `min_reps` times and at least `min_seconds` total;
+/// returns the best (minimum) time — robust against scheduler noise.
+inline double time_best(const std::function<void()>& fn, int min_reps = 3,
+                        double min_seconds = 0.05) {
+  double best = 1e300;
+  double total = 0;
+  int reps = 0;
+  while (reps < min_reps || total < min_seconds) {
+    double t = time_once(fn);
+    if (t < best) best = t;
+    total += t;
+    ++reps;
+    if (reps > 1000) break;
+  }
+  return best;
+}
+
+/// Fixed-width table printer for the paper-style summary rows.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void print() const {
+    std::vector<size_t> width(headers_.size());
+    for (size_t i = 0; i < headers_.size(); ++i) width[i] = headers_[i].size();
+    for (const auto& r : rows_) {
+      for (size_t i = 0; i < r.size() && i < width.size(); ++i) {
+        if (r[i].size() > width[i]) width[i] = r[i].size();
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& r) {
+      std::printf("| ");
+      for (size_t i = 0; i < headers_.size(); ++i) {
+        std::printf("%-*s | ", static_cast<int>(width[i]),
+                    i < r.size() ? r[i].c_str() : "");
+      }
+      std::printf("\n");
+    };
+    print_row(headers_);
+    std::printf("|");
+    for (size_t i = 0; i < headers_.size(); ++i) {
+      for (size_t j = 0; j < width[i] + 2; ++j) std::printf("-");
+      std::printf("|");
+    }
+    std::printf("\n");
+    for (const auto& r : rows_) print_row(r);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(double v, const char* suffix = "") {
+  char buf[64];
+  if (v >= 100) {
+    std::snprintf(buf, sizeof buf, "%.0f%s", v, suffix);
+  } else if (v >= 1) {
+    std::snprintf(buf, sizeof buf, "%.2f%s", v, suffix);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.4f%s", v, suffix);
+  }
+  return buf;
+}
+
+}  // namespace lm::bench

@@ -1,0 +1,141 @@
+#include "bytecode/instr.h"
+
+#include <sstream>
+
+namespace lm::bc {
+
+const char* to_string(Op op) {
+  switch (op) {
+    case Op::kConst: return "const";
+    case Op::kLoad: return "load";
+    case Op::kStore: return "store";
+    case Op::kDup: return "dup";
+    case Op::kDup2: return "dup2";
+    case Op::kPop: return "pop";
+    case Op::kArith: return "arith";
+    case Op::kCmp: return "cmp";
+    case Op::kNot: return "not";
+    case Op::kBitFlip: return "bitflip";
+    case Op::kCast: return "cast";
+    case Op::kJump: return "jump";
+    case Op::kJumpIfFalse: return "jump_if_false";
+    case Op::kJumpIfTrue: return "jump_if_true";
+    case Op::kCall: return "call";
+    case Op::kIntrinsic: return "intrinsic";
+    case Op::kReturn: return "return";
+    case Op::kReturnVoid: return "return_void";
+    case Op::kNewArray: return "new_array";
+    case Op::kArrayLoad: return "aload";
+    case Op::kArrayStore: return "astore";
+    case Op::kArrayLen: return "alen";
+    case Op::kFreeze: return "freeze";
+    case Op::kMap: return "map";
+    case Op::kReduce: return "reduce";
+    case Op::kMakeSource: return "make_source";
+    case Op::kMakeSink: return "make_sink";
+    case Op::kMakeTask: return "make_task";
+    case Op::kConnectTasks: return "connect";
+    case Op::kStartGraph: return "start";
+    case Op::kFinishGraph: return "finish";
+  }
+  return "?";
+}
+
+const char* to_string(NumType t) {
+  switch (t) {
+    case NumType::kI32: return "i32";
+    case NumType::kI64: return "i64";
+    case NumType::kF32: return "f32";
+    case NumType::kF64: return "f64";
+    case NumType::kBool: return "bool";
+    case NumType::kBit: return "bit";
+  }
+  return "?";
+}
+
+const char* to_string(ArithOp op) {
+  switch (op) {
+    case ArithOp::kAdd: return "add";
+    case ArithOp::kSub: return "sub";
+    case ArithOp::kMul: return "mul";
+    case ArithOp::kDiv: return "div";
+    case ArithOp::kRem: return "rem";
+    case ArithOp::kAnd: return "and";
+    case ArithOp::kOr: return "or";
+    case ArithOp::kXor: return "xor";
+    case ArithOp::kShl: return "shl";
+    case ArithOp::kShr: return "shr";
+    case ArithOp::kNeg: return "neg";
+  }
+  return "?";
+}
+
+const char* to_string(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq: return "eq";
+    case CmpOp::kNe: return "ne";
+    case CmpOp::kLt: return "lt";
+    case CmpOp::kLe: return "le";
+    case CmpOp::kGt: return "gt";
+    case CmpOp::kGe: return "ge";
+  }
+  return "?";
+}
+
+const char* to_string(Intrinsic i) {
+  switch (i) {
+    case Intrinsic::kSqrt: return "sqrt";
+    case Intrinsic::kExp: return "exp";
+    case Intrinsic::kLog: return "log";
+    case Intrinsic::kSin: return "sin";
+    case Intrinsic::kCos: return "cos";
+    case Intrinsic::kPow: return "pow";
+    case Intrinsic::kAbs: return "abs";
+    case Intrinsic::kMin: return "min";
+    case Intrinsic::kMax: return "max";
+    case Intrinsic::kFloor: return "floor";
+  }
+  return "?";
+}
+
+std::string disassemble(const Instr& in) {
+  std::ostringstream os;
+  os << to_string(in.op);
+  switch (in.op) {
+    case Op::kArith:
+      os << "." << to_string(static_cast<ArithOp>(in.a)) << "."
+         << to_string(static_cast<NumType>(in.b));
+      break;
+    case Op::kCmp:
+      os << "." << to_string(static_cast<CmpOp>(in.a)) << "."
+         << to_string(static_cast<NumType>(in.b));
+      break;
+    case Op::kCast:
+      os << " " << to_string(static_cast<NumType>(in.a)) << "->"
+         << to_string(static_cast<NumType>(in.b));
+      break;
+    case Op::kIntrinsic:
+      os << "." << to_string(static_cast<Intrinsic>(in.a)) << "."
+         << to_string(static_cast<NumType>(in.b));
+      break;
+    case Op::kConst: case Op::kLoad: case Op::kStore: case Op::kJump:
+    case Op::kJumpIfFalse: case Op::kJumpIfTrue: case Op::kCall:
+    case Op::kNewArray:
+      os << " " << in.a;
+      break;
+    case Op::kMap:
+      os << " m" << in.a << " argc=" << in.b << " mask=" << in.c;
+      break;
+    case Op::kReduce:
+      os << " m" << in.a;
+      break;
+    case Op::kMakeTask:
+      os << " m" << in.a << (in.b ? " relocated" : "") << " id=" << in.c;
+      break;
+    default:
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace lm::bc

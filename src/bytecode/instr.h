@@ -1,0 +1,82 @@
+// The bytecode instruction set.
+//
+// A conventional stack machine, in the role the JVM plays in the paper
+// (Fig. 2): the frontend always compiles the *entire* program to bytecode,
+// guaranteeing every task has at least one artifact (§1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace lm::bc {
+
+/// Scalar type selector carried by arithmetic/compare/cast instructions.
+enum class NumType : uint8_t { kI32, kI64, kF32, kF64, kBool, kBit };
+
+enum class ArithOp : uint8_t { kAdd, kSub, kMul, kDiv, kRem, kAnd, kOr, kXor,
+                               kShl, kShr, kNeg };
+
+enum class CmpOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// Math intrinsic selector (the Lime `Math` builtin).
+enum class Intrinsic : uint8_t { kSqrt, kExp, kLog, kSin, kCos, kPow, kAbs,
+                                 kMin, kMax, kFloor };
+
+enum class Op : uint8_t {
+  kConst,          // a: const-pool index → push
+  kLoad,           // a: slot → push
+  kStore,          // a: slot ← pop
+  kDup,            // duplicate top of stack
+  kDup2,           // duplicate top two (for compound array assignment)
+  kPop,            // discard top
+
+  kArith,          // a: ArithOp, b: NumType — pops 2 (or 1 for kNeg)
+  kCmp,            // a: CmpOp,  b: NumType — pops 2, pushes bool
+  kNot,            // logical not on bool
+  kBitFlip,        // ~ on a single bit (Fig. 1 line 3)
+  kCast,           // a: from NumType, b: to NumType
+
+  kJump,           // a: target pc
+  kJumpIfFalse,    // a: target pc ← pops bool
+  kJumpIfTrue,     // a: target pc ← pops bool
+
+  kCall,           // a: method index — pops args (incl. receiver if any)
+  kIntrinsic,      // a: Intrinsic, b: NumType (kF32/kF64/kI32/kI64)
+  kReturn,         // pops return value
+  kReturnVoid,
+
+  kNewArray,       // a: ElemCode — pops length, pushes mutable array
+  kArrayLoad,      // pops index, array — pushes element
+  kArrayStore,     // pops value, index, array
+  kArrayLen,       // pops array, pushes int
+  kFreeze,         // pops array, pushes immutable deep copy (new T[[]](a))
+
+  kMap,            // a: method index, b: argc, c: bitmask of array args
+  kReduce,         // a: method index — pops value array
+
+  // Task-graph construction ops — delegated to the TaskGraphHost (§4.1).
+  kMakeSource,     // a: task-id idx — pops rate, array; pushes task handle
+  kMakeSink,       // a: task-id idx — pops array; pushes task handle
+  kMakeTask,       // a: method index, b: relocated flag, c: task-id idx
+  kConnectTasks,   // pops rhs, lhs; pushes connected graph handle
+  kStartGraph,     // pops graph handle
+  kFinishGraph,    // pops graph handle
+};
+
+struct Instr {
+  Op op;
+  int32_t a = 0;
+  int32_t b = 0;
+  int32_t c = 0;
+};
+
+const char* to_string(Op op);
+const char* to_string(NumType t);
+const char* to_string(ArithOp op);
+const char* to_string(CmpOp op);
+const char* to_string(Intrinsic i);
+
+/// Human-readable one-line disassembly of a single instruction.
+std::string disassemble(const Instr& instr);
+
+}  // namespace lm::bc

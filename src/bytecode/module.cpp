@@ -1,0 +1,35 @@
+#include "bytecode/module.h"
+
+#include <sstream>
+
+namespace lm::bc {
+
+int BytecodeModule::add_const(const Value& v) {
+  for (size_t i = 0; i < const_pool.size(); ++i) {
+    if (const_pool[i].equals(v)) return static_cast<int>(i);
+  }
+  const_pool.push_back(v);
+  return static_cast<int>(const_pool.size() - 1);
+}
+
+int BytecodeModule::add_task_id(const std::string& id) {
+  for (size_t i = 0; i < task_ids.size(); ++i) {
+    if (task_ids[i] == id) return static_cast<int>(i);
+  }
+  task_ids.push_back(id);
+  return static_cast<int>(task_ids.size() - 1);
+}
+
+std::string BytecodeModule::disassemble() const {
+  std::ostringstream os;
+  for (const auto& m : methods) {
+    os << m.qualified_name << " (params=" << m.num_params
+       << " slots=" << m.num_slots << (m.is_pure ? " pure" : "") << ")\n";
+    for (size_t pc = 0; pc < m.code.size(); ++pc) {
+      os << "  " << pc << ": " << lm::bc::disassemble(m.code[pc]) << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace lm::bc

@@ -1,0 +1,54 @@
+// Compiled bytecode module: the CPU artifact for an entire Lime program.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bytecode/instr.h"
+#include "bytecode/value.h"
+#include "lime/type.h"
+
+namespace lm::bc {
+
+struct CompiledMethod {
+  std::string qualified_name;  // "Bitflip.flip" — also the task identifier
+  bool is_static = true;
+  bool is_pure = false;
+  int num_params = 0;  // including the receiver slot for instance methods
+  int num_slots = 0;
+  std::vector<Instr> code;
+
+  /// Nonempty when the method could not be lowered (it traps if invoked).
+  std::string unsupported_reason;
+
+  // Lime-level signature, kept for marshaling and manifests.
+  std::vector<lime::TypeRef> param_types;  // excluding receiver
+  lime::TypeRef return_type;
+};
+
+struct BytecodeModule {
+  std::vector<CompiledMethod> methods;
+  std::vector<Value> const_pool;
+  std::vector<std::string> task_ids;  // string pool for task identifiers
+  std::unordered_map<std::string, int> method_index;
+
+  const CompiledMethod* find(const std::string& qualified_name) const {
+    auto it = method_index.find(qualified_name);
+    return it == method_index.end() ? nullptr : &methods[it->second];
+  }
+  int index_of(const std::string& qualified_name) const {
+    auto it = method_index.find(qualified_name);
+    return it == method_index.end() ? -1 : it->second;
+  }
+
+  /// Adds a constant, reusing an existing equal entry.
+  int add_const(const Value& v);
+  /// Adds a task identifier string, reusing an existing entry.
+  int add_task_id(const std::string& id);
+
+  /// Full module disassembly (debugging and golden tests).
+  std::string disassemble() const;
+};
+
+}  // namespace lm::bc

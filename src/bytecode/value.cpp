@@ -1,0 +1,202 @@
+#include "bytecode/value.h"
+
+#include <sstream>
+
+namespace lm::bc {
+
+const char* to_string(ElemCode c) {
+  switch (c) {
+    case ElemCode::kI32: return "i32";
+    case ElemCode::kI64: return "i64";
+    case ElemCode::kF32: return "f32";
+    case ElemCode::kF64: return "f64";
+    case ElemCode::kBool: return "bool";
+    case ElemCode::kBit: return "bit";
+    case ElemCode::kBoxed: return "boxed";
+  }
+  return "?";
+}
+
+ElemCode elem_code_for(const lime::TypeRef& t) {
+  LM_CHECK(t != nullptr);
+  switch (t->kind) {
+    case lime::TypeKind::kInt: return ElemCode::kI32;
+    case lime::TypeKind::kLong: return ElemCode::kI64;
+    case lime::TypeKind::kFloat: return ElemCode::kF32;
+    case lime::TypeKind::kDouble: return ElemCode::kF64;
+    case lime::TypeKind::kBoolean: return ElemCode::kBool;
+    case lime::TypeKind::kBit: return ElemCode::kBit;
+    case lime::TypeKind::kClass: return ElemCode::kI32;  // enum ordinals
+    default: return ElemCode::kBoxed;
+  }
+}
+
+size_t ArrayValue::size() const {
+  return std::visit([](const auto& v) { return v.size(); }, data);
+}
+
+bool Value::equals(const Value& o) const {
+  if (kind_ != o.kind_) return false;
+  switch (kind_) {
+    case ValueKind::kVoid: return true;
+    case ValueKind::kInt: return i32_ == o.i32_;
+    case ValueKind::kLong: return i64_ == o.i64_;
+    case ValueKind::kFloat: return f32_ == o.f32_;
+    case ValueKind::kDouble: return f64_ == o.f64_;
+    case ValueKind::kBool:
+    case ValueKind::kBit: return b_ == o.b_;
+    case ValueKind::kOpaque: return opaque_ == o.opaque_;
+    case ValueKind::kArray: {
+      const ArrayValue& a = *arr_;
+      const ArrayValue& b = *o.arr_;
+      if (a.elem != b.elem || a.size() != b.size()) return false;
+      switch (a.elem) {
+        case ElemCode::kBoxed: {
+          const auto& av = std::get<std::vector<Value>>(a.data);
+          const auto& bv = std::get<std::vector<Value>>(b.data);
+          for (size_t i = 0; i < av.size(); ++i) {
+            if (!av[i].equals(bv[i])) return false;
+          }
+          return true;
+        }
+        case ElemCode::kI32:
+          return std::get<std::vector<int32_t>>(a.data) ==
+                 std::get<std::vector<int32_t>>(b.data);
+        case ElemCode::kI64:
+          return std::get<std::vector<int64_t>>(a.data) ==
+                 std::get<std::vector<int64_t>>(b.data);
+        case ElemCode::kF32:
+          return std::get<std::vector<float>>(a.data) ==
+                 std::get<std::vector<float>>(b.data);
+        case ElemCode::kF64:
+          return std::get<std::vector<double>>(a.data) ==
+                 std::get<std::vector<double>>(b.data);
+        case ElemCode::kBool:
+        case ElemCode::kBit:
+          return std::get<std::vector<uint8_t>>(a.data) ==
+                 std::get<std::vector<uint8_t>>(b.data);
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+std::string Value::to_string() const {
+  std::ostringstream os;
+  switch (kind_) {
+    case ValueKind::kVoid: os << "void"; break;
+    case ValueKind::kInt: os << i32_; break;
+    case ValueKind::kLong: os << i64_ << "L"; break;
+    case ValueKind::kFloat: os << f32_ << "f"; break;
+    case ValueKind::kDouble: os << f64_; break;
+    case ValueKind::kBool: os << (b_ ? "true" : "false"); break;
+    case ValueKind::kBit: os << (b_ ? "1b" : "0b"); break;
+    case ValueKind::kOpaque: os << "<opaque>"; break;
+    case ValueKind::kArray: {
+      os << "[" << lm::bc::to_string(arr_->elem) << (arr_->is_value ? " value" : "")
+         << " x" << arr_->size() << "]";
+      size_t n = arr_->size();
+      size_t show = n < 8 ? n : 8;
+      os << "{";
+      for (size_t i = 0; i < show; ++i) {
+        if (i) os << ", ";
+        os << array_get(*arr_, i).to_string();
+      }
+      if (show < n) os << ", ...";
+      os << "}";
+      break;
+    }
+  }
+  return os.str();
+}
+
+ArrayRef make_array(ElemCode elem, size_t n, bool is_value) {
+  auto a = std::make_shared<ArrayValue>();
+  a->elem = elem;
+  a->is_value = is_value;
+  switch (elem) {
+    case ElemCode::kI32: a->data = std::vector<int32_t>(n, 0); break;
+    case ElemCode::kI64: a->data = std::vector<int64_t>(n, 0); break;
+    case ElemCode::kF32: a->data = std::vector<float>(n, 0.0f); break;
+    case ElemCode::kF64: a->data = std::vector<double>(n, 0.0); break;
+    case ElemCode::kBool:
+    case ElemCode::kBit: a->data = std::vector<uint8_t>(n, 0); break;
+    case ElemCode::kBoxed: a->data = std::vector<Value>(n); break;
+  }
+  return a;
+}
+
+namespace {
+template <typename T>
+ArrayRef make_typed(ElemCode code, std::vector<T> v, bool is_value) {
+  auto a = std::make_shared<ArrayValue>();
+  a->elem = code;
+  a->is_value = is_value;
+  a->data = std::move(v);
+  return a;
+}
+}  // namespace
+
+ArrayRef make_i32_array(std::vector<int32_t> v, bool is_value) {
+  return make_typed(ElemCode::kI32, std::move(v), is_value);
+}
+ArrayRef make_i64_array(std::vector<int64_t> v, bool is_value) {
+  return make_typed(ElemCode::kI64, std::move(v), is_value);
+}
+ArrayRef make_f32_array(std::vector<float> v, bool is_value) {
+  return make_typed(ElemCode::kF32, std::move(v), is_value);
+}
+ArrayRef make_f64_array(std::vector<double> v, bool is_value) {
+  return make_typed(ElemCode::kF64, std::move(v), is_value);
+}
+ArrayRef make_bit_array(std::vector<uint8_t> v, bool is_value) {
+  return make_typed(ElemCode::kBit, std::move(v), is_value);
+}
+ArrayRef make_bool_array(std::vector<uint8_t> v, bool is_value) {
+  return make_typed(ElemCode::kBool, std::move(v), is_value);
+}
+
+Value array_get(const ArrayValue& a, size_t i) {
+  LM_CHECK_MSG(i < a.size(), "array index " << i << " out of bounds "
+                                            << a.size());
+  switch (a.elem) {
+    case ElemCode::kI32: return Value::i32(std::get<std::vector<int32_t>>(a.data)[i]);
+    case ElemCode::kI64: return Value::i64(std::get<std::vector<int64_t>>(a.data)[i]);
+    case ElemCode::kF32: return Value::f32(std::get<std::vector<float>>(a.data)[i]);
+    case ElemCode::kF64: return Value::f64(std::get<std::vector<double>>(a.data)[i]);
+    case ElemCode::kBool: return Value::boolean(std::get<std::vector<uint8_t>>(a.data)[i] != 0);
+    case ElemCode::kBit: return Value::bit(std::get<std::vector<uint8_t>>(a.data)[i] != 0);
+    case ElemCode::kBoxed: return std::get<std::vector<Value>>(a.data)[i];
+  }
+  LM_UNREACHABLE("bad elem code");
+}
+
+void array_set(ArrayValue& a, size_t i, const Value& v) {
+  LM_CHECK_MSG(!a.is_value, "attempt to mutate a value array");
+  LM_CHECK_MSG(i < a.size(), "array index " << i << " out of bounds "
+                                            << a.size());
+  switch (a.elem) {
+    case ElemCode::kI32: std::get<std::vector<int32_t>>(a.data)[i] = v.as_i32(); return;
+    case ElemCode::kI64: std::get<std::vector<int64_t>>(a.data)[i] = v.as_i64(); return;
+    case ElemCode::kF32: std::get<std::vector<float>>(a.data)[i] = v.as_f32(); return;
+    case ElemCode::kF64: std::get<std::vector<double>>(a.data)[i] = v.as_f64(); return;
+    case ElemCode::kBool: std::get<std::vector<uint8_t>>(a.data)[i] = v.as_bool() ? 1 : 0; return;
+    case ElemCode::kBit: std::get<std::vector<uint8_t>>(a.data)[i] = v.as_bit() ? 1 : 0; return;
+    case ElemCode::kBoxed: std::get<std::vector<Value>>(a.data)[i] = v; return;
+  }
+}
+
+ArrayRef freeze_array(const ArrayValue& a) {
+  auto copy = std::make_shared<ArrayValue>(a);
+  copy->is_value = true;
+  return copy;
+}
+
+ArrayRef thaw_array(const ArrayValue& a) {
+  auto copy = std::make_shared<ArrayValue>(a);
+  copy->is_value = false;
+  return copy;
+}
+
+}  // namespace lm::bc

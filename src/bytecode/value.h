@@ -1,0 +1,138 @@
+// Runtime value representation shared by the VM, the marshaling layer, the
+// device simulators and the Liquid Metal runtime.
+//
+// Scalars are unboxed. Arrays use *dense typed storage* (one contiguous
+// buffer per primitive element type) — this is what makes the Fig. 3
+// marshaling path meaningful: a Lime array serializes to the same packed
+// byte layout a C-side artifact consumes.
+//
+// Value arrays (`T[[]]`, §2.1) are flagged immutable; the VM never writes
+// through them, so structural sharing is safe.
+//
+// User value-enum values are represented by their ordinal as kInt; `bit` is
+// its own kind so the FPGA backend can recognize 1-bit data.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "lime/type.h"
+#include "util/error.h"
+
+namespace lm::bc {
+
+enum class ValueKind : uint8_t {
+  kVoid, kInt, kLong, kFloat, kDouble, kBool, kBit, kArray, kOpaque,
+};
+
+/// Element type code for dense array storage.
+enum class ElemCode : uint8_t { kI32, kI64, kF32, kF64, kBool, kBit, kBoxed };
+
+const char* to_string(ElemCode c);
+
+/// Maps a Lime element type to its storage code (nested arrays are boxed).
+ElemCode elem_code_for(const lime::TypeRef& t);
+
+class Value;
+
+struct ArrayValue {
+  ElemCode elem = ElemCode::kI32;
+  bool is_value = false;  // T[[]] — immutable by construction
+  std::variant<std::vector<int32_t>, std::vector<int64_t>, std::vector<float>,
+               std::vector<double>, std::vector<uint8_t>,  // bool and bit
+               std::vector<Value>>
+      data;
+
+  size_t size() const;
+};
+
+using ArrayRef = std::shared_ptr<ArrayValue>;
+
+/// A small tagged value. Copy is O(1) (arrays are shared by reference,
+/// matching Java reference semantics for mutable arrays; value arrays are
+/// immutable so sharing is also safe).
+class Value {
+ public:
+  Value() : kind_(ValueKind::kVoid), i64_(0) {}
+
+  static Value void_() { return Value(); }
+  static Value i32(int32_t v) { Value x; x.kind_ = ValueKind::kInt; x.i32_ = v; return x; }
+  static Value i64(int64_t v) { Value x; x.kind_ = ValueKind::kLong; x.i64_ = v; return x; }
+  static Value f32(float v) { Value x; x.kind_ = ValueKind::kFloat; x.f32_ = v; return x; }
+  static Value f64(double v) { Value x; x.kind_ = ValueKind::kDouble; x.f64_ = v; return x; }
+  static Value boolean(bool v) { Value x; x.kind_ = ValueKind::kBool; x.b_ = v; return x; }
+  static Value bit(bool v) { Value x; x.kind_ = ValueKind::kBit; x.b_ = v; return x; }
+  static Value array(ArrayRef a) {
+    Value x; x.kind_ = ValueKind::kArray; x.arr_ = std::move(a); return x;
+  }
+  static Value opaque(std::shared_ptr<void> p) {
+    Value x; x.kind_ = ValueKind::kOpaque; x.opaque_ = std::move(p); return x;
+  }
+
+  ValueKind kind() const { return kind_; }
+  bool is_void() const { return kind_ == ValueKind::kVoid; }
+
+  int32_t as_i32() const { check(ValueKind::kInt); return i32_; }
+  int64_t as_i64() const { check(ValueKind::kLong); return i64_; }
+  float as_f32() const { check(ValueKind::kFloat); return f32_; }
+  double as_f64() const { check(ValueKind::kDouble); return f64_; }
+  bool as_bool() const { check(ValueKind::kBool); return b_; }
+  bool as_bit() const { check(ValueKind::kBit); return b_; }
+  const ArrayRef& as_array() const { check(ValueKind::kArray); return arr_; }
+  const std::shared_ptr<void>& as_opaque() const {
+    check(ValueKind::kOpaque);
+    return opaque_;
+  }
+
+  /// Exact structural equality (used by differential tests). Arrays compare
+  /// elementwise; floats compare bit-exactly.
+  bool equals(const Value& o) const;
+
+  std::string to_string() const;
+
+ private:
+  void check(ValueKind k) const {
+    LM_CHECK_MSG(kind_ == k, "value kind mismatch: have "
+                                 << static_cast<int>(kind_) << ", want "
+                                 << static_cast<int>(k));
+  }
+
+  ValueKind kind_;
+  union {
+    int32_t i32_;
+    int64_t i64_;
+    float f32_;
+    double f64_;
+    bool b_;
+  };
+  ArrayRef arr_;
+  std::shared_ptr<void> opaque_;
+};
+
+/// Allocates a zero-initialized dense array.
+ArrayRef make_array(ElemCode elem, size_t n, bool is_value = false);
+
+/// Convenience constructors from raw buffers (used by workloads and tests).
+ArrayRef make_i32_array(std::vector<int32_t> v, bool is_value = false);
+ArrayRef make_i64_array(std::vector<int64_t> v, bool is_value = false);
+ArrayRef make_f32_array(std::vector<float> v, bool is_value = false);
+ArrayRef make_f64_array(std::vector<double> v, bool is_value = false);
+ArrayRef make_bit_array(std::vector<uint8_t> v, bool is_value = false);
+ArrayRef make_bool_array(std::vector<uint8_t> v, bool is_value = false);
+
+/// Reads element i as a Value of the element's scalar kind.
+Value array_get(const ArrayValue& a, size_t i);
+
+/// Writes element i (the array must be mutable).
+void array_set(ArrayValue& a, size_t i, const Value& v);
+
+/// Deep copy with the is_value flag set — the `new T[[]](arr)` freeze.
+ArrayRef freeze_array(const ArrayValue& a);
+
+/// Deep copy as mutable.
+ArrayRef thaw_array(const ArrayValue& a);
+
+}  // namespace lm::bc

@@ -1,0 +1,24 @@
+// Verilog text generation from the RTL netlist — the FPGA artifact of
+// Fig. 2 ("the latter generates Verilog for the FPGA").
+#pragma once
+
+#include <string>
+
+#include "rtl/netlist.h"
+
+namespace lm::fpga {
+
+/// Emits synthesizable Verilog-2001 for a module: port list, reg/wire
+/// declarations, continuous assigns, and one clocked always block.
+std::string emit_verilog(const rtl::Module& module);
+
+/// Emits a self-checking Verilog testbench that drives the module's
+/// inReady/inData handshake with the given stimulus words and $displays
+/// the outData stream — the "generated testbench" HLS flows ship alongside
+/// the artifact (paper §6). `in_data` holds one vector of words per input
+/// port, all the same length.
+std::string emit_testbench(const rtl::Module& module,
+                           const std::vector<std::string>& in_ports,
+                           const std::vector<std::vector<uint64_t>>& in_data);
+
+}  // namespace lm::fpga

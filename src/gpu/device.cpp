@@ -1,0 +1,446 @@
+#include "gpu/device.h"
+
+#include <cmath>
+#include <thread>
+
+#include "util/error.h"
+
+namespace lm::gpu {
+
+using bc::ElemCode;
+using serde::CValue;
+
+void NativeKernelRegistry::add(const std::string& task_id, NativeKernelFn fn) {
+  kernels_[task_id] = std::move(fn);
+}
+
+const NativeKernelFn* NativeKernelRegistry::find(
+    const std::string& task_id) const {
+  auto it = kernels_.find(task_id);
+  return it == kernels_.end() ? nullptr : &it->second;
+}
+
+NativeKernelRegistry& NativeKernelRegistry::global() {
+  static auto* kRegistry = new NativeKernelRegistry();
+  return *kRegistry;
+}
+
+ElemCode elem_code_for(NumType t) {
+  switch (t) {
+    case NumType::kI32: return ElemCode::kI32;
+    case NumType::kI64: return ElemCode::kI64;
+    case NumType::kF32: return ElemCode::kF32;
+    case NumType::kF64: return ElemCode::kF64;
+    case NumType::kBool: return ElemCode::kBool;
+    case NumType::kBit: return ElemCode::kBit;
+  }
+  LM_UNREACHABLE("bad NumType");
+}
+
+namespace {
+
+/// Reads element `i` of a CValue as a register of the given type.
+inline KReg load_elem(const CValue& cv, size_t i, NumType t) {
+  KReg r{};
+  switch (t) {
+    case NumType::kI32: r.i32 = cv.i32s()[i]; break;
+    case NumType::kI64: r.i64 = cv.i64s()[i]; break;
+    case NumType::kF32: r.f32 = cv.f32s()[i]; break;
+    case NumType::kF64: r.f64 = cv.f64s()[i]; break;
+    case NumType::kBool:
+    case NumType::kBit: r.b = cv.bytes()[i]; break;
+  }
+  return r;
+}
+
+inline void store_elem(CValue& cv, size_t i, NumType t, KReg v) {
+  switch (t) {
+    case NumType::kI32: cv.i32s()[i] = v.i32; break;
+    case NumType::kI64: cv.i64s()[i] = v.i64; break;
+    case NumType::kF32: cv.f32s()[i] = v.f32; break;
+    case NumType::kF64: cv.f64s()[i] = v.f64; break;
+    case NumType::kBool:
+    case NumType::kBit: cv.bytes()[i] = v.b; break;
+  }
+}
+
+inline KReg do_arith(ArithOp op, NumType t, KReg a, KReg b) {
+  KReg r{};
+  switch (t) {
+    case NumType::kI32:
+      switch (op) {
+        // Wrapping semantics via unsigned (matches the VM).
+        case ArithOp::kAdd:
+          r.i32 = static_cast<int32_t>(static_cast<uint32_t>(a.i32) +
+                                       static_cast<uint32_t>(b.i32));
+          break;
+        case ArithOp::kSub:
+          r.i32 = static_cast<int32_t>(static_cast<uint32_t>(a.i32) -
+                                       static_cast<uint32_t>(b.i32));
+          break;
+        case ArithOp::kMul:
+          r.i32 = static_cast<int32_t>(static_cast<uint32_t>(a.i32) *
+                                       static_cast<uint32_t>(b.i32));
+          break;
+        case ArithOp::kDiv:
+          if (b.i32 == 0) throw RuntimeError("kernel division by zero");
+          r.i32 = a.i32 / b.i32;
+          break;
+        case ArithOp::kRem:
+          if (b.i32 == 0) throw RuntimeError("kernel remainder by zero");
+          r.i32 = a.i32 % b.i32;
+          break;
+        case ArithOp::kAnd: r.i32 = a.i32 & b.i32; break;
+        case ArithOp::kOr: r.i32 = a.i32 | b.i32; break;
+        case ArithOp::kXor: r.i32 = a.i32 ^ b.i32; break;
+        case ArithOp::kShl:
+          r.i32 = static_cast<int32_t>(static_cast<uint32_t>(a.i32)
+                                       << (b.i32 & 31));
+          break;
+        case ArithOp::kShr: r.i32 = a.i32 >> (b.i32 & 31); break;
+        case ArithOp::kNeg:
+          r.i32 = static_cast<int32_t>(0u - static_cast<uint32_t>(a.i32));
+          break;
+      }
+      break;
+    case NumType::kI64:
+      switch (op) {
+        case ArithOp::kAdd:
+          r.i64 = static_cast<int64_t>(static_cast<uint64_t>(a.i64) +
+                                       static_cast<uint64_t>(b.i64));
+          break;
+        case ArithOp::kSub:
+          r.i64 = static_cast<int64_t>(static_cast<uint64_t>(a.i64) -
+                                       static_cast<uint64_t>(b.i64));
+          break;
+        case ArithOp::kMul:
+          r.i64 = static_cast<int64_t>(static_cast<uint64_t>(a.i64) *
+                                       static_cast<uint64_t>(b.i64));
+          break;
+        case ArithOp::kDiv:
+          if (b.i64 == 0) throw RuntimeError("kernel division by zero");
+          r.i64 = a.i64 / b.i64;
+          break;
+        case ArithOp::kRem:
+          if (b.i64 == 0) throw RuntimeError("kernel remainder by zero");
+          r.i64 = a.i64 % b.i64;
+          break;
+        case ArithOp::kAnd: r.i64 = a.i64 & b.i64; break;
+        case ArithOp::kOr: r.i64 = a.i64 | b.i64; break;
+        case ArithOp::kXor: r.i64 = a.i64 ^ b.i64; break;
+        case ArithOp::kShl:
+          r.i64 = static_cast<int64_t>(static_cast<uint64_t>(a.i64)
+                                       << (b.i64 & 63));
+          break;
+        case ArithOp::kShr: r.i64 = a.i64 >> (b.i64 & 63); break;
+        case ArithOp::kNeg:
+          r.i64 = static_cast<int64_t>(0ull - static_cast<uint64_t>(a.i64));
+          break;
+      }
+      break;
+    case NumType::kF32:
+      switch (op) {
+        case ArithOp::kAdd: r.f32 = a.f32 + b.f32; break;
+        case ArithOp::kSub: r.f32 = a.f32 - b.f32; break;
+        case ArithOp::kMul: r.f32 = a.f32 * b.f32; break;
+        case ArithOp::kDiv: r.f32 = a.f32 / b.f32; break;
+        case ArithOp::kNeg: r.f32 = -a.f32; break;
+        default: throw RuntimeError("bad float kernel op");
+      }
+      break;
+    case NumType::kF64:
+      switch (op) {
+        case ArithOp::kAdd: r.f64 = a.f64 + b.f64; break;
+        case ArithOp::kSub: r.f64 = a.f64 - b.f64; break;
+        case ArithOp::kMul: r.f64 = a.f64 * b.f64; break;
+        case ArithOp::kDiv: r.f64 = a.f64 / b.f64; break;
+        case ArithOp::kNeg: r.f64 = -a.f64; break;
+        default: throw RuntimeError("bad double kernel op");
+      }
+      break;
+    case NumType::kBool:
+    case NumType::kBit:
+      switch (op) {
+        case ArithOp::kAnd: r.b = a.b & b.b; break;
+        case ArithOp::kOr: r.b = a.b | b.b; break;
+        case ArithOp::kXor: r.b = a.b ^ b.b; break;
+        default: throw RuntimeError("bad bit kernel op");
+      }
+      break;
+  }
+  return r;
+}
+
+inline bool do_cmp(CmpOp op, NumType t, KReg a, KReg b) {
+  auto apply = [op](auto x, auto y) {
+    switch (op) {
+      case CmpOp::kEq: return x == y;
+      case CmpOp::kNe: return x != y;
+      case CmpOp::kLt: return x < y;
+      case CmpOp::kLe: return x <= y;
+      case CmpOp::kGt: return x > y;
+      case CmpOp::kGe: return x >= y;
+    }
+    return false;
+  };
+  switch (t) {
+    case NumType::kI32: return apply(a.i32, b.i32);
+    case NumType::kI64: return apply(a.i64, b.i64);
+    case NumType::kF32: return apply(a.f32, b.f32);
+    case NumType::kF64: return apply(a.f64, b.f64);
+    case NumType::kBool:
+    case NumType::kBit: return apply(a.b, b.b);
+  }
+  return false;
+}
+
+inline KReg do_cast(NumType from, NumType to, KReg v) {
+  double d = 0;
+  int64_t i = 0;
+  bool is_int = false;
+  switch (from) {
+    case NumType::kI32: i = v.i32; is_int = true; break;
+    case NumType::kI64: i = v.i64; is_int = true; break;
+    case NumType::kF32: d = v.f32; break;
+    case NumType::kF64: d = v.f64; break;
+    case NumType::kBool:
+    case NumType::kBit: i = v.b; is_int = true; break;
+  }
+  KReg r{};
+  switch (to) {
+    case NumType::kI32:
+      r.i32 = is_int ? static_cast<int32_t>(i) : static_cast<int32_t>(d);
+      break;
+    case NumType::kI64:
+      r.i64 = is_int ? i : static_cast<int64_t>(d);
+      break;
+    case NumType::kF32:
+      r.f32 = is_int ? static_cast<float>(i) : static_cast<float>(d);
+      break;
+    case NumType::kF64:
+      r.f64 = is_int ? static_cast<double>(i) : d;
+      break;
+    case NumType::kBool:
+      r.b = is_int ? (i != 0) : (d != 0);
+      break;
+    case NumType::kBit:
+      r.b = static_cast<uint8_t>((is_int ? i : static_cast<int64_t>(d)) & 1);
+      break;
+  }
+  return r;
+}
+
+inline KReg do_intrinsic(Intrinsic fn, NumType t, KReg a, KReg b) {
+  KReg r{};
+  if (t == NumType::kF32) {
+    switch (fn) {
+      case Intrinsic::kSqrt: r.f32 = std::sqrt(a.f32); break;
+      case Intrinsic::kExp: r.f32 = std::exp(a.f32); break;
+      case Intrinsic::kLog: r.f32 = std::log(a.f32); break;
+      case Intrinsic::kSin: r.f32 = std::sin(a.f32); break;
+      case Intrinsic::kCos: r.f32 = std::cos(a.f32); break;
+      case Intrinsic::kPow: r.f32 = std::pow(a.f32, b.f32); break;
+      case Intrinsic::kAbs: r.f32 = std::fabs(a.f32); break;
+      case Intrinsic::kMin: r.f32 = std::fmin(a.f32, b.f32); break;
+      case Intrinsic::kMax: r.f32 = std::fmax(a.f32, b.f32); break;
+      case Intrinsic::kFloor: r.f32 = std::floor(a.f32); break;
+    }
+    return r;
+  }
+  if (t == NumType::kF64) {
+    switch (fn) {
+      case Intrinsic::kSqrt: r.f64 = std::sqrt(a.f64); break;
+      case Intrinsic::kExp: r.f64 = std::exp(a.f64); break;
+      case Intrinsic::kLog: r.f64 = std::log(a.f64); break;
+      case Intrinsic::kSin: r.f64 = std::sin(a.f64); break;
+      case Intrinsic::kCos: r.f64 = std::cos(a.f64); break;
+      case Intrinsic::kPow: r.f64 = std::pow(a.f64, b.f64); break;
+      case Intrinsic::kAbs: r.f64 = std::fabs(a.f64); break;
+      case Intrinsic::kMin: r.f64 = std::fmin(a.f64, b.f64); break;
+      case Intrinsic::kMax: r.f64 = std::fmax(a.f64, b.f64); break;
+      case Intrinsic::kFloor: r.f64 = std::floor(a.f64); break;
+    }
+    return r;
+  }
+  if (t == NumType::kI32) {
+    switch (fn) {
+      case Intrinsic::kAbs: r.i32 = a.i32 < 0 ? -a.i32 : a.i32; break;
+      case Intrinsic::kMin: r.i32 = a.i32 < b.i32 ? a.i32 : b.i32; break;
+      case Intrinsic::kMax: r.i32 = a.i32 > b.i32 ? a.i32 : b.i32; break;
+      default: throw RuntimeError("intrinsic not defined for int");
+    }
+    return r;
+  }
+  if (t == NumType::kI64) {
+    switch (fn) {
+      case Intrinsic::kAbs: r.i64 = a.i64 < 0 ? -a.i64 : a.i64; break;
+      case Intrinsic::kMin: r.i64 = a.i64 < b.i64 ? a.i64 : b.i64; break;
+      case Intrinsic::kMax: r.i64 = a.i64 > b.i64 ? a.i64 : b.i64; break;
+      default: throw RuntimeError("intrinsic not defined for long");
+    }
+    return r;
+  }
+  throw RuntimeError("bad intrinsic type");
+}
+
+}  // namespace
+
+void run_kernel_range(const KernelProgram& program,
+                      const std::vector<KArg>& args, CValue& out,
+                      size_t begin, size_t end) {
+  LM_CHECK_MSG(args.size() == program.params.size(),
+               "kernel launch argument count mismatch");
+  std::vector<KReg> regs(static_cast<size_t>(program.num_regs));
+  const size_t guard = 64u * 1024u * 1024u;  // watchdog: instrs per item
+
+  for (size_t gid = begin; gid < end; ++gid) {
+    size_t pc = 0;
+    size_t executed = 0;
+    for (;;) {
+      if (pc >= program.code.size()) {
+        throw RuntimeError("kernel " + program.task_id +
+                           " fell off the end without returning");
+      }
+      if (++executed > guard) {
+        throw RuntimeError("kernel " + program.task_id +
+                           " exceeded the instruction watchdog");
+      }
+      const KInstr& k = program.code[pc];
+      switch (k.op) {
+        case KOp::kLoadParam: {
+          const KArg& a = args[k.a];
+          if (a.mode == KArg::Mode::kScalar) {
+            regs[k.dst] = a.scalar;
+          } else {
+            LM_CHECK(a.mode == KArg::Mode::kElementwise && a.array);
+            size_t i = gid * static_cast<size_t>(a.stride) +
+                       static_cast<size_t>(a.offset);
+            regs[k.dst] = load_elem(*a.array, i, program.params[k.a].type);
+          }
+          break;
+        }
+        case KOp::kLoadConst: {
+          regs[k.dst] = program.consts[k.a].value;
+          break;
+        }
+        case KOp::kLoadElem: {
+          const KArg& a = args[k.a];
+          LM_CHECK(a.array != nullptr);
+          auto i = static_cast<size_t>(regs[k.b].i32);
+          if (i >= a.array->count) {
+            throw RuntimeError("kernel array index out of bounds");
+          }
+          regs[k.dst] = load_elem(*a.array, i, k.t);
+          break;
+        }
+        case KOp::kArrayLen: {
+          const KArg& a = args[k.a];
+          LM_CHECK(a.array != nullptr);
+          regs[k.dst].i32 = static_cast<int32_t>(a.array->count);
+          break;
+        }
+        case KOp::kMov:
+          regs[k.dst] = regs[k.a];
+          break;
+        case KOp::kArith:
+          regs[k.dst] = do_arith(static_cast<ArithOp>(k.aux), k.t, regs[k.a],
+                                 regs[k.b]);
+          break;
+        case KOp::kNeg:
+          regs[k.dst] =
+              do_arith(ArithOp::kNeg, k.t, regs[k.a], KReg{});
+          break;
+        case KOp::kCmp:
+          regs[k.dst].b = do_cmp(static_cast<CmpOp>(k.aux), k.t, regs[k.a],
+                                 regs[k.b])
+                              ? 1
+                              : 0;
+          break;
+        case KOp::kNot:
+          regs[k.dst].b = regs[k.a].b ? 0 : 1;
+          break;
+        case KOp::kBitFlip:
+          regs[k.dst].b = regs[k.a].b ? 0 : 1;
+          break;
+        case KOp::kCast:
+          regs[k.dst] = do_cast(k.t, k.t2, regs[k.a]);
+          break;
+        case KOp::kJump:
+          pc = static_cast<size_t>(k.imm);
+          continue;
+        case KOp::kJumpIfFalse:
+          if (!regs[k.a].b) {
+            pc = static_cast<size_t>(k.imm);
+            continue;
+          }
+          break;
+        case KOp::kIntrinsic:
+          regs[k.dst] = do_intrinsic(static_cast<Intrinsic>(k.aux), k.t,
+                                     regs[k.a], regs[k.b]);
+          break;
+        case KOp::kRet:
+          store_elem(out, gid, program.ret_type, regs[k.a]);
+          goto next_item;
+      }
+      ++pc;
+    }
+  next_item:;
+  }
+}
+
+GpuDevice::GpuDevice(GpuDeviceConfig config) : config_(config) {
+  compute_units_ = config.compute_units > 0
+                       ? config.compute_units
+                       : static_cast<int>(std::thread::hardware_concurrency());
+  if (compute_units_ < 1) compute_units_ = 1;
+}
+
+CValue GpuDevice::launch(const KernelProgram& program,
+                         const std::vector<KArg>& args, size_t n) {
+  ++stats_.launches;
+  stats_.work_items += n;
+
+  CValue out = CValue::make(elem_code_for(program.ret_type), true, n);
+
+  const NativeKernelFn* native =
+      config_.allow_native ? registry_.find(program.task_id) : nullptr;
+  if (native) ++stats_.native_launches;
+
+  auto run_range = [&](size_t b, size_t e) {
+    if (native) {
+      (*native)(args, out, b, e);
+    } else {
+      run_kernel_range(program, args, out, b, e);
+    }
+  };
+
+  if (n < config_.min_items_for_parallel || compute_units_ == 1) {
+    run_range(0, n);
+    return out;
+  }
+
+  size_t workers = static_cast<size_t>(compute_units_);
+  if (workers > n) workers = n;
+  size_t chunk = (n + workers - 1) / workers;
+  std::vector<std::thread> threads;
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  for (size_t w = 0; w < workers; ++w) {
+    size_t b = w * chunk;
+    size_t e = b + chunk < n ? b + chunk : n;
+    if (b >= e) break;
+    threads.emplace_back([&, b, e] {
+      try {
+        run_range(b, e);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+  return out;
+}
+
+}  // namespace lm::gpu

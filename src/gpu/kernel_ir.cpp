@@ -1,0 +1,94 @@
+#include "gpu/kernel_ir.h"
+
+#include <sstream>
+
+namespace lm::gpu {
+
+namespace {
+const char* op_name(KOp op) {
+  switch (op) {
+    case KOp::kLoadParam: return "ldp";
+    case KOp::kLoadConst: return "ldc";
+    case KOp::kLoadElem: return "ldelem";
+    case KOp::kArrayLen: return "len";
+    case KOp::kMov: return "mov";
+    case KOp::kArith: return "arith";
+    case KOp::kNeg: return "neg";
+    case KOp::kCmp: return "cmp";
+    case KOp::kNot: return "not";
+    case KOp::kBitFlip: return "bitflip";
+    case KOp::kCast: return "cast";
+    case KOp::kJump: return "jmp";
+    case KOp::kJumpIfFalse: return "jz";
+    case KOp::kIntrinsic: return "intr";
+    case KOp::kRet: return "ret";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string KernelProgram::disassemble() const {
+  std::ostringstream os;
+  os << "kernel " << task_id << " regs=" << num_regs
+     << " ret=" << bc::to_string(ret_type) << "\n";
+  for (size_t i = 0; i < params.size(); ++i) {
+    os << "  param " << i << ": "
+       << (params[i].mode == ParamMode::kElementwise ? "elementwise"
+           : params[i].mode == ParamMode::kScalar    ? "scalar"
+                                                     : "array")
+       << " " << bc::to_string(params[i].type);
+    if (params[i].mode == ParamMode::kElementwise) {
+      os << " stride=" << params[i].stride << " offset=" << params[i].offset;
+    }
+    os << "\n";
+  }
+  for (size_t pc = 0; pc < code.size(); ++pc) {
+    const KInstr& k = code[pc];
+    os << "  " << pc << ": " << op_name(k.op) << " r" << k.dst;
+    switch (k.op) {
+      case KOp::kLoadParam: case KOp::kArrayLen:
+        os << ", p" << k.a;
+        break;
+      case KOp::kLoadConst:
+        os << ", c" << k.a;
+        break;
+      case KOp::kLoadElem:
+        os << ", p" << k.a << "[r" << k.b << "]";
+        break;
+      case KOp::kArith:
+        os << ", r" << k.a << ", r" << k.b << " ("
+           << bc::to_string(static_cast<ArithOp>(k.aux)) << "."
+           << bc::to_string(k.t) << ")";
+        break;
+      case KOp::kCmp:
+        os << ", r" << k.a << ", r" << k.b << " ("
+           << bc::to_string(static_cast<CmpOp>(k.aux)) << "."
+           << bc::to_string(k.t) << ")";
+        break;
+      case KOp::kMov: case KOp::kNeg: case KOp::kNot: case KOp::kBitFlip:
+        os << ", r" << k.a;
+        break;
+      case KOp::kCast:
+        os << ", r" << k.a << " " << bc::to_string(k.t) << "->"
+           << bc::to_string(k.t2);
+        break;
+      case KOp::kJump:
+        os << " -> " << k.imm;
+        break;
+      case KOp::kJumpIfFalse:
+        os << " if !r" << k.a << " -> " << k.imm;
+        break;
+      case KOp::kIntrinsic:
+        os << ", r" << k.a << ", r" << k.b << " ("
+           << bc::to_string(static_cast<Intrinsic>(k.aux)) << ")";
+        break;
+      case KOp::kRet:
+        os << " = r" << k.a;
+        break;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace lm::gpu

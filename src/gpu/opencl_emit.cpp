@@ -1,0 +1,509 @@
+#include "gpu/opencl_emit.h"
+
+#include <sstream>
+#include <unordered_set>
+#include <vector>
+
+#include "bytecode/compiler.h"
+#include "util/error.h"
+
+namespace lm::gpu {
+
+using lime::as;
+using lime::BinOp;
+using lime::ExprKind;
+using lime::StmtKind;
+using lime::TypeKind;
+using lime::TypeRef;
+using lime::UnOp;
+
+namespace {
+
+std::string c_name(const lime::MethodDecl& m) {
+  std::string s = m.qualified_name();
+  for (char& c : s) {
+    if (c == '.' || c == '~') c = '_';
+  }
+  return s;
+}
+
+std::string c_type(const TypeRef& t) {
+  switch (t->kind) {
+    case TypeKind::kInt: return "int";
+    case TypeKind::kLong: return "long";
+    case TypeKind::kFloat: return "float";
+    case TypeKind::kDouble: return "double";
+    case TypeKind::kBoolean: return "int";
+    case TypeKind::kBit: return "uchar";
+    case TypeKind::kClass: return "int";  // enum ordinal
+    default:
+      throw InternalError("no OpenCL type for " + t->to_string());
+  }
+}
+
+/// Collects every pure method (transitively) called from `m`, callees first.
+void collect_callees(const lime::MethodDecl& m,
+                     std::vector<const lime::MethodDecl*>& order,
+                     std::unordered_set<const lime::MethodDecl*>& seen);
+
+class Emitter {
+ public:
+  explicit Emitter(std::ostringstream& os) : os_(os) {}
+
+  void function(const lime::MethodDecl& m) {
+    os_ << c_type(m.return_type) << " " << c_name(m) << "(";
+    bool first = true;
+    if (!m.is_static) {
+      os_ << "int lime_this";
+      first = false;
+    }
+    for (const auto& p : m.params) {
+      if (!first) os_ << ", ";
+      first = false;
+      if (p.type->is_array_like()) {
+        os_ << "__global const " << c_type(p.type->elem) << "* " << p.name
+            << ", int " << p.name << "_len";
+      } else {
+        os_ << c_type(p.type) << " " << p.name;
+      }
+    }
+    os_ << ") {\n";
+    indent_ = 1;
+    if (m.body) block_body(*m.body);
+    os_ << "}\n\n";
+  }
+
+  void stmt(const lime::Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::kBlock:
+        line("{");
+        ++indent_;
+        block_body(as<lime::BlockStmt>(s));
+        --indent_;
+        line("}");
+        return;
+      case StmtKind::kExpr: {
+        const auto& es = as<lime::ExprStmt>(s);
+        if (es.expr) line(expr(*es.expr) + ";");
+        return;
+      }
+      case StmtKind::kVarDecl: {
+        const auto& vd = as<lime::VarDeclStmt>(s);
+        std::string decl = c_type(vd.declared_type) + " " + vd.name;
+        if (vd.init) decl += " = " + expr(*vd.init);
+        line(decl + ";");
+        return;
+      }
+      case StmtKind::kIf: {
+        const auto& is = as<lime::IfStmt>(s);
+        line("if (" + expr(*is.cond) + ")");
+        nested(*is.then_stmt);
+        if (is.else_stmt) {
+          line("else");
+          nested(*is.else_stmt);
+        }
+        return;
+      }
+      case StmtKind::kWhile: {
+        const auto& ws = as<lime::WhileStmt>(s);
+        line("while (" + expr(*ws.cond) + ")");
+        nested(*ws.body);
+        return;
+      }
+      case StmtKind::kFor: {
+        const auto& fs = as<lime::ForStmt>(s);
+        std::string init, cond, update;
+        if (fs.init) {
+          if (fs.init->kind == StmtKind::kVarDecl) {
+            const auto& vd = as<lime::VarDeclStmt>(*fs.init);
+            init = c_type(vd.declared_type) + " " + vd.name +
+                   (vd.init ? " = " + expr(*vd.init) : "");
+          } else {
+            init = expr(*as<lime::ExprStmt>(*fs.init).expr);
+          }
+        }
+        if (fs.cond) cond = expr(*fs.cond);
+        if (fs.update) update = expr(*fs.update);
+        line("for (" + init + "; " + cond + "; " + update + ")");
+        nested(*fs.body);
+        return;
+      }
+      case StmtKind::kReturn: {
+        const auto& rs = as<lime::ReturnStmt>(s);
+        line(rs.value ? "return " + expr(*rs.value) + ";" : "return;");
+        return;
+      }
+      case StmtKind::kBreak:
+        line("break;");
+        return;
+      case StmtKind::kContinue:
+        line("continue;");
+        return;
+    }
+  }
+
+  std::string expr(const lime::Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kIntLit: {
+        const auto& l = as<lime::IntLitExpr>(e);
+        return std::to_string(l.value) + (l.is_long ? "L" : "");
+      }
+      case ExprKind::kFloatLit: {
+        const auto& l = as<lime::FloatLitExpr>(e);
+        std::ostringstream v;
+        v << l.value;
+        std::string s = v.str();
+        if (s.find('.') == std::string::npos &&
+            s.find('e') == std::string::npos) {
+          s += ".0";
+        }
+        return s + (l.is_double ? "" : "f");
+      }
+      case ExprKind::kBoolLit:
+        return as<lime::BoolLitExpr>(e).value ? "1" : "0";
+      case ExprKind::kName: {
+        const auto& n = as<lime::NameExpr>(e);
+        if (n.ref == lime::NameRefKind::kEnumConst) {
+          return std::to_string(n.enum_ordinal);
+        }
+        if (n.ref == lime::NameRefKind::kField) {
+          // Static-final constants fold into literals in the artifact text.
+          if (auto v = bc::eval_const_expr(n)) return const_literal(*v);
+        }
+        return n.name;
+      }
+      case ExprKind::kThis:
+        return "lime_this";
+      case ExprKind::kUnary: {
+        const auto& u = as<lime::UnaryExpr>(e);
+        if (u.op == UnOp::kUserOp) {
+          return c_name(*u.user_method) + "(" + expr(*u.operand) + ")";
+        }
+        if (u.op == UnOp::kBitNot &&
+            u.operand->type->kind == TypeKind::kBit) {
+          // The bit flip on a 1-bit value is logical negation in C.
+          return "(uchar)(!" + expr(*u.operand) + ")";
+        }
+        return std::string(lime::to_string(u.op)) + "(" + expr(*u.operand) +
+               ")";
+      }
+      case ExprKind::kBinary: {
+        const auto& b = as<lime::BinaryExpr>(e);
+        return "(" + expr(*b.lhs) + " " + lime::to_string(b.op) + " " +
+               expr(*b.rhs) + ")";
+      }
+      case ExprKind::kAssign: {
+        const auto& a = as<lime::AssignExpr>(e);
+        std::string op = a.compound
+                             ? std::string(lime::to_string(a.op)) + "="
+                             : "=";
+        return expr(*a.target) + " " + op + " " + expr(*a.value);
+      }
+      case ExprKind::kTernary: {
+        const auto& t = as<lime::TernaryExpr>(e);
+        return "(" + expr(*t.cond) + " ? " + expr(*t.then_expr) + " : " +
+               expr(*t.else_expr) + ")";
+      }
+      case ExprKind::kCall: {
+        const auto& c = as<lime::CallExpr>(e);
+        using B = lime::CallExpr::Builtin;
+        if (c.builtin != B::kNone) {
+          static const char* names[] = {"?", "?", "?", "?", "?",
+                                        "sqrt", "exp", "log", "sin", "cos",
+                                        "pow", "fabs", "min", "max", "floor"};
+          std::string fn = names[static_cast<int>(c.builtin)];
+          std::string args;
+          for (size_t i = 0; i < c.args.size(); ++i) {
+            if (i) args += ", ";
+            args += expr(*c.args[i]);
+          }
+          return fn + "(" + args + ")";
+        }
+        LM_CHECK(c.resolved != nullptr);
+        std::string call = c_name(*c.resolved) + "(";
+        bool first = true;
+        if (!c.resolved->is_static && c.receiver) {
+          call += expr(*c.receiver);
+          first = false;
+        }
+        for (size_t i = 0; i < c.args.size(); ++i) {
+          if (!first) call += ", ";
+          first = false;
+          call += expr(*c.args[i]);
+          if (c.args[i]->type && c.args[i]->type->is_array_like()) {
+            call += ", " + expr(*c.args[i]) + "_len";
+          }
+        }
+        return call + ")";
+      }
+      case ExprKind::kIndex: {
+        const auto& ix = as<lime::IndexExpr>(e);
+        return expr(*ix.array) + "[" + expr(*ix.index) + "]";
+      }
+      case ExprKind::kField: {
+        const auto& f = as<lime::FieldExpr>(e);
+        if (f.is_array_length) return expr(*f.object) + "_len";
+        if (f.enum_ordinal >= 0) return std::to_string(f.enum_ordinal);
+        if (auto v = bc::eval_const_expr(f)) return const_literal(*v);
+        throw InternalError("field access in OpenCL emission");
+      }
+      case ExprKind::kCast: {
+        const auto& c = as<lime::CastExpr>(e);
+        return "((" + c_type(c.target) + ")" + expr(*c.operand) + ")";
+      }
+      default:
+        throw InternalError("expression kind not emittable as OpenCL");
+    }
+  }
+
+  static std::string const_literal(const bc::Value& v) {
+    switch (v.kind()) {
+      case bc::ValueKind::kInt: return std::to_string(v.as_i32());
+      case bc::ValueKind::kLong: return std::to_string(v.as_i64()) + "L";
+      case bc::ValueKind::kFloat: {
+        std::ostringstream os;
+        os << v.as_f32();
+        std::string s = os.str();
+        if (s.find('.') == std::string::npos &&
+            s.find('e') == std::string::npos) {
+          s += ".0";
+        }
+        return s + "f";
+      }
+      case bc::ValueKind::kDouble: {
+        std::ostringstream os;
+        os << v.as_f64();
+        return os.str();
+      }
+      case bc::ValueKind::kBool: return v.as_bool() ? "1" : "0";
+      case bc::ValueKind::kBit: return v.as_bit() ? "1" : "0";
+      default:
+        throw InternalError("non-scalar constant in OpenCL emission");
+    }
+  }
+
+ private:
+  void block_body(const lime::BlockStmt& b) {
+    for (const auto& s : b.stmts) {
+      if (s) stmt(*s);
+    }
+  }
+  void nested(const lime::Stmt& s) {
+    if (s.kind == StmtKind::kBlock) {
+      stmt(s);
+    } else {
+      ++indent_;
+      stmt(s);
+      --indent_;
+    }
+  }
+  void line(const std::string& text) {
+    for (int i = 0; i < indent_; ++i) os_ << "  ";
+    os_ << text << "\n";
+  }
+
+  std::ostringstream& os_;
+  int indent_ = 0;
+};
+
+void collect_callees_expr(const lime::Expr& e,
+                          std::vector<const lime::MethodDecl*>& order,
+                          std::unordered_set<const lime::MethodDecl*>& seen) {
+  switch (e.kind) {
+    case ExprKind::kCall: {
+      const auto& c = as<lime::CallExpr>(e);
+      if (c.receiver) collect_callees_expr(*c.receiver, order, seen);
+      for (const auto& a : c.args) collect_callees_expr(*a, order, seen);
+      if (c.resolved) collect_callees(*c.resolved, order, seen);
+      return;
+    }
+    case ExprKind::kUnary: {
+      const auto& u = as<lime::UnaryExpr>(e);
+      collect_callees_expr(*u.operand, order, seen);
+      if (u.user_method) collect_callees(*u.user_method, order, seen);
+      return;
+    }
+    case ExprKind::kBinary: {
+      const auto& b = as<lime::BinaryExpr>(e);
+      collect_callees_expr(*b.lhs, order, seen);
+      collect_callees_expr(*b.rhs, order, seen);
+      return;
+    }
+    case ExprKind::kAssign: {
+      const auto& a = as<lime::AssignExpr>(e);
+      collect_callees_expr(*a.target, order, seen);
+      collect_callees_expr(*a.value, order, seen);
+      return;
+    }
+    case ExprKind::kTernary: {
+      const auto& t = as<lime::TernaryExpr>(e);
+      collect_callees_expr(*t.cond, order, seen);
+      collect_callees_expr(*t.then_expr, order, seen);
+      collect_callees_expr(*t.else_expr, order, seen);
+      return;
+    }
+    case ExprKind::kIndex: {
+      const auto& ix = as<lime::IndexExpr>(e);
+      collect_callees_expr(*ix.array, order, seen);
+      collect_callees_expr(*ix.index, order, seen);
+      return;
+    }
+    case ExprKind::kField: {
+      const auto& f = as<lime::FieldExpr>(e);
+      collect_callees_expr(*f.object, order, seen);
+      return;
+    }
+    case ExprKind::kCast:
+      collect_callees_expr(*as<lime::CastExpr>(e).operand, order, seen);
+      return;
+    default:
+      return;
+  }
+}
+
+void collect_callees_stmt(const lime::Stmt& s,
+                          std::vector<const lime::MethodDecl*>& order,
+                          std::unordered_set<const lime::MethodDecl*>& seen) {
+  switch (s.kind) {
+    case StmtKind::kBlock:
+      for (const auto& c : as<lime::BlockStmt>(s).stmts) {
+        if (c) collect_callees_stmt(*c, order, seen);
+      }
+      return;
+    case StmtKind::kExpr:
+      if (as<lime::ExprStmt>(s).expr) {
+        collect_callees_expr(*as<lime::ExprStmt>(s).expr, order, seen);
+      }
+      return;
+    case StmtKind::kVarDecl:
+      if (as<lime::VarDeclStmt>(s).init) {
+        collect_callees_expr(*as<lime::VarDeclStmt>(s).init, order, seen);
+      }
+      return;
+    case StmtKind::kIf: {
+      const auto& is = as<lime::IfStmt>(s);
+      collect_callees_expr(*is.cond, order, seen);
+      collect_callees_stmt(*is.then_stmt, order, seen);
+      if (is.else_stmt) collect_callees_stmt(*is.else_stmt, order, seen);
+      return;
+    }
+    case StmtKind::kWhile: {
+      const auto& ws = as<lime::WhileStmt>(s);
+      collect_callees_expr(*ws.cond, order, seen);
+      collect_callees_stmt(*ws.body, order, seen);
+      return;
+    }
+    case StmtKind::kFor: {
+      const auto& fs = as<lime::ForStmt>(s);
+      if (fs.init) collect_callees_stmt(*fs.init, order, seen);
+      if (fs.cond) collect_callees_expr(*fs.cond, order, seen);
+      if (fs.update) collect_callees_expr(*fs.update, order, seen);
+      collect_callees_stmt(*fs.body, order, seen);
+      return;
+    }
+    case StmtKind::kReturn:
+      if (as<lime::ReturnStmt>(s).value) {
+        collect_callees_expr(*as<lime::ReturnStmt>(s).value, order, seen);
+      }
+      return;
+    default:
+      return;
+  }
+}
+
+void collect_callees(const lime::MethodDecl& m,
+                     std::vector<const lime::MethodDecl*>& order,
+                     std::unordered_set<const lime::MethodDecl*>& seen) {
+  if (!seen.insert(&m).second) return;
+  if (m.body) collect_callees_stmt(*m.body, order, seen);
+  order.push_back(&m);
+}
+
+void emit_prologue(std::ostringstream& os, const std::string& what) {
+  os << "// OpenCL artifact generated by the Liquid Metal GPU backend\n"
+     << "// task: " << what << "\n\n";
+}
+
+void emit_helpers(std::ostringstream& os, const lime::MethodDecl& m) {
+  std::vector<const lime::MethodDecl*> order;
+  std::unordered_set<const lime::MethodDecl*> seen;
+  collect_callees(m, order, seen);
+  Emitter em(os);
+  for (const auto* fn : order) em.function(*fn);
+}
+
+}  // namespace
+
+std::string emit_opencl(const lime::MethodDecl& method) {
+  std::ostringstream os;
+  emit_prologue(os, method.qualified_name());
+  emit_helpers(os, method);
+
+  // The elementwise kernel wrapper.
+  os << "__kernel void lime_kernel(";
+  for (size_t i = 0; i < method.params.size(); ++i) {
+    const auto& p = method.params[i];
+    if (p.type->is_array_like()) {
+      os << "__global const " << c_type(p.type->elem) << "* " << p.name
+         << ", int " << p.name << "_len, ";
+    } else {
+      // Scalars may be broadcast or streamed; the streamed form is used
+      // when the host binds an input buffer for this parameter.
+      os << "__global const " << c_type(p.type) << "* " << p.name << "_in, ";
+    }
+  }
+  os << "__global " << c_type(method.return_type) << "* lime_out) {\n";
+  os << "  int gid = get_global_id(0);\n";
+  os << "  lime_out[gid] = " << c_name(method) << "(";
+  for (size_t i = 0; i < method.params.size(); ++i) {
+    const auto& p = method.params[i];
+    if (i) os << ", ";
+    if (p.type->is_array_like()) {
+      os << p.name << ", " << p.name << "_len";
+    } else {
+      os << p.name << "_in[gid]";
+    }
+  }
+  os << ");\n}\n";
+  return os.str();
+}
+
+std::string emit_opencl_segment(
+    const std::vector<const lime::MethodDecl*>& chain) {
+  LM_CHECK(!chain.empty());
+  std::ostringstream os;
+  std::string what;
+  for (size_t i = 0; i < chain.size(); ++i) {
+    if (i) what += " => ";
+    what += chain[i]->qualified_name();
+  }
+  emit_prologue(os, what);
+  {
+    std::vector<const lime::MethodDecl*> order;
+    std::unordered_set<const lime::MethodDecl*> seen;
+    for (const auto* m : chain) collect_callees(*m, order, seen);
+    Emitter em(os);
+    for (const auto* fn : order) em.function(*fn);
+  }
+
+  const lime::MethodDecl& first = *chain[0];
+  size_t k = first.params.size();
+  os << "__kernel void lime_segment(__global const "
+     << c_type(first.params[0].type) << "* lime_in, __global "
+     << c_type(chain.back()->return_type) << "* lime_out) {\n";
+  os << "  int gid = get_global_id(0);\n";
+  os << "  " << c_type(first.return_type) << " v0 = " << c_name(first) << "(";
+  for (size_t i = 0; i < k; ++i) {
+    if (i) os << ", ";
+    os << "lime_in[gid * " << k << " + " << i << "]";
+  }
+  os << ");\n";
+  for (size_t i = 1; i < chain.size(); ++i) {
+    os << "  " << c_type(chain[i]->return_type) << " v" << i << " = "
+       << c_name(*chain[i]) << "(v" << i - 1 << ");\n";
+  }
+  os << "  lime_out[gid] = v" << chain.size() - 1 << ";\n}\n";
+  return os.str();
+}
+
+}  // namespace lm::gpu

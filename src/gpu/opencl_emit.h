@@ -1,0 +1,26 @@
+// OpenCL-C source generation — the textual GPU artifact of Fig. 2.
+//
+// The simulated device executes kernel IR, but the artifact a real driver
+// would consume is this OpenCL-C translation of the same Lime method(s).
+// Keeping both from one frontend mirrors the paper's design, where the GPU
+// backend "generates OpenCL for the GPU" and the device-specific toolflow
+// finishes artifact generation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lime/ast.h"
+
+namespace lm::gpu {
+
+/// Emits a self-contained OpenCL-C translation unit for one pure method:
+/// helper functions for every (transitively) called pure method, plus a
+/// __kernel entry point applying the method elementwise.
+std::string emit_opencl(const lime::MethodDecl& method);
+
+/// Emits the fused kernel for a relocated pipeline segment.
+std::string emit_opencl_segment(
+    const std::vector<const lime::MethodDecl*>& chain);
+
+}  // namespace lm::gpu

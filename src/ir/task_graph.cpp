@@ -1,0 +1,332 @@
+#include "ir/task_graph.h"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "util/error.h"
+
+namespace lm::ir {
+
+using lime::as;
+using lime::CallExpr;
+using lime::ExprKind;
+using lime::StmtKind;
+
+bool TaskGraphInfo::has_relocated() const {
+  for (const auto& n : nodes) {
+    if (n.relocated) return true;
+  }
+  return false;
+}
+
+std::vector<std::pair<int, int>> TaskGraphInfo::relocated_segments() const {
+  std::vector<std::pair<int, int>> segs;
+  int start = -1;
+  for (int i = 0; i < static_cast<int>(nodes.size()); ++i) {
+    bool r = nodes[static_cast<size_t>(i)].kind == TaskNodeInfo::Kind::kFilter &&
+             nodes[static_cast<size_t>(i)].relocated;
+    if (r && start < 0) start = i;
+    if (!r && start >= 0) {
+      segs.emplace_back(start, i - 1);
+      start = -1;
+    }
+  }
+  if (start >= 0) segs.emplace_back(start, static_cast<int>(nodes.size()) - 1);
+  return segs;
+}
+
+std::string TaskGraphInfo::to_string() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (i) os << " => ";
+    const TaskNodeInfo& n = nodes[i];
+    switch (n.kind) {
+      case TaskNodeInfo::Kind::kSource:
+        os << "source<" << n.out_type->to_string() << ">(" << n.rate << ")";
+        break;
+      case TaskNodeInfo::Kind::kSink:
+        os << "sink<" << n.in_type->to_string() << ">";
+        break;
+      case TaskNodeInfo::Kind::kFilter:
+        if (n.relocated) os << "[";
+        os << "task " << n.task_id;
+        if (n.relocated) os << "]";
+        break;
+    }
+  }
+  return os.str();
+}
+
+std::vector<const lime::MethodDecl*>
+ProgramTaskGraphs::relocated_filter_methods() const {
+  std::vector<const lime::MethodDecl*> out;
+  std::unordered_set<const lime::MethodDecl*> seen;
+  for (const auto& g : graphs) {
+    for (const auto& n : g.nodes) {
+      if (n.kind == TaskNodeInfo::Kind::kFilter && n.relocated && n.method &&
+          seen.insert(n.method).second) {
+        out.push_back(n.method);
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+class Extractor {
+ public:
+  Extractor(DiagnosticEngine& diags, ProgramTaskGraphs& out)
+      : diags_(diags), out_(out) {}
+
+  void scan_method(const lime::MethodDecl& m) {
+    cur_method_ = &m;
+    if (m.body) scan_stmt(*m.body);
+  }
+
+ private:
+  void scan_stmt(const lime::Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::kBlock:
+        for (const auto& c : as<lime::BlockStmt>(s).stmts) {
+          if (c) scan_stmt(*c);
+        }
+        return;
+      case StmtKind::kExpr: {
+        const auto& es = as<lime::ExprStmt>(s);
+        if (es.expr) scan_expr(*es.expr);
+        return;
+      }
+      case StmtKind::kVarDecl: {
+        const auto& vd = as<lime::VarDeclStmt>(s);
+        if (vd.init) scan_expr(*vd.init);
+        return;
+      }
+      case StmtKind::kIf: {
+        const auto& is = as<lime::IfStmt>(s);
+        scan_expr(*is.cond);
+        scan_stmt(*is.then_stmt);
+        if (is.else_stmt) scan_stmt(*is.else_stmt);
+        return;
+      }
+      case StmtKind::kWhile: {
+        const auto& ws = as<lime::WhileStmt>(s);
+        scan_expr(*ws.cond);
+        scan_stmt(*ws.body);
+        return;
+      }
+      case StmtKind::kFor: {
+        const auto& fs = as<lime::ForStmt>(s);
+        if (fs.init) scan_stmt(*fs.init);
+        if (fs.cond) scan_expr(*fs.cond);
+        if (fs.update) scan_expr(*fs.update);
+        scan_stmt(*fs.body);
+        return;
+      }
+      case StmtKind::kReturn: {
+        const auto& rs = as<lime::ReturnStmt>(s);
+        if (rs.value) scan_expr(*rs.value);
+        return;
+      }
+      default:
+        return;
+    }
+  }
+
+  /// Finds top-level connect chains; recurses into subexpressions otherwise.
+  void scan_expr(const lime::Expr& e) {
+    if (e.kind == ExprKind::kConnect) {
+      extract_graph(e);
+      return;
+    }
+    // Recurse into common containers so nested graphs are still found.
+    switch (e.kind) {
+      case ExprKind::kAssign: {
+        const auto& a = as<lime::AssignExpr>(e);
+        scan_expr(*a.value);
+        return;
+      }
+      case ExprKind::kCall: {
+        const auto& c = as<lime::CallExpr>(e);
+        if (c.receiver) scan_expr(*c.receiver);
+        for (const auto& arg : c.args) scan_expr(*arg);
+        return;
+      }
+      case ExprKind::kRelocate: {
+        // Relocation brackets not under a connect chain: a single-filter
+        // graph candidate is only meaningful inside a pipeline; a stray one
+        // is suspicious but legal (the graph may be completed elsewhere) —
+        // nothing to extract statically.
+        return;
+      }
+      default:
+        return;
+    }
+  }
+
+  void extract_graph(const lime::Expr& root) {
+    TaskGraphInfo info;
+    info.enclosing = cur_method_;
+    info.loc = root.loc;
+    bool ok = true;
+    flatten(root, /*relocated=*/false, info, ok);
+    if (!ok) {
+      // §3: failure to determine the shape is an error only when relocation
+      // brackets asked for co-execution.
+      if (contains_relocate(root)) {
+        diags_.error(root.loc,
+                     "task graph shape could not be determined statically, "
+                     "but relocation brackets request co-execution");
+      }
+      return;
+    }
+    validate(info);
+    out_.graphs.push_back(std::move(info));
+  }
+
+  /// Appends nodes of `e` to info in pipeline order. Sets ok=false on an
+  /// unrecognized construction idiom.
+  void flatten(const lime::Expr& e, bool relocated, TaskGraphInfo& info,
+               bool& ok) {
+    switch (e.kind) {
+      case ExprKind::kConnect: {
+        const auto& c = as<lime::ConnectExpr>(e);
+        flatten(*c.lhs, relocated, info, ok);
+        flatten(*c.rhs, relocated, info, ok);
+        return;
+      }
+      case ExprKind::kRelocate:
+        flatten(*as<lime::RelocateExpr>(e).inner, true, info, ok);
+        return;
+      case ExprKind::kTask: {
+        const auto& t = as<lime::TaskExpr>(e);
+        if (!t.resolved) {
+          ok = false;
+          return;
+        }
+        TaskNodeInfo n;
+        n.kind = TaskNodeInfo::Kind::kFilter;
+        n.method = t.resolved;
+        n.task_id = t.resolved->qualified_name();
+        n.arity = static_cast<int>(t.resolved->params.size());
+        n.in_type = t.resolved->params.empty() ? nullptr
+                                               : t.resolved->params[0].type;
+        n.out_type = t.resolved->return_type;
+        n.relocated = relocated;
+        info.nodes.push_back(std::move(n));
+        return;
+      }
+      case ExprKind::kCall: {
+        const auto& c = as<lime::CallExpr>(e);
+        if (c.builtin == CallExpr::Builtin::kSource) {
+          TaskNodeInfo n;
+          n.kind = TaskNodeInfo::Kind::kSource;
+          n.out_type = c.receiver->type ? c.receiver->type->elem : nullptr;
+          n.relocated = relocated;
+          // A literal rate is recorded; non-literal rates default to 1.
+          if (!c.args.empty() && c.args[0]->kind == ExprKind::kIntLit) {
+            n.rate = static_cast<int>(as<lime::IntLitExpr>(*c.args[0]).value);
+          }
+          info.nodes.push_back(std::move(n));
+          return;
+        }
+        if (c.builtin == CallExpr::Builtin::kSink) {
+          TaskNodeInfo n;
+          n.kind = TaskNodeInfo::Kind::kSink;
+          n.in_type = c.receiver->type ? c.receiver->type->elem : nullptr;
+          n.relocated = relocated;
+          info.nodes.push_back(std::move(n));
+          return;
+        }
+        ok = false;
+        return;
+      }
+      default:
+        ok = false;
+        return;
+    }
+  }
+
+  static bool contains_relocate(const lime::Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kRelocate:
+        return true;
+      case ExprKind::kConnect: {
+        const auto& c = as<lime::ConnectExpr>(e);
+        return contains_relocate(*c.lhs) || contains_relocate(*c.rhs);
+      }
+      default:
+        return false;
+    }
+  }
+
+  void validate(TaskGraphInfo& info) {
+    const auto& nodes = info.nodes;
+    if (nodes.size() < 2) {
+      diags_.error(info.loc, "task graph needs at least a source and a sink");
+      return;
+    }
+    if (nodes.front().kind != TaskNodeInfo::Kind::kSource) {
+      diags_.error(info.loc, "task graph must begin with a source");
+      return;
+    }
+    if (nodes.back().kind != TaskNodeInfo::Kind::kSink) {
+      diags_.error(info.loc, "task graph must end with a sink");
+      return;
+    }
+    for (size_t i = 1; i + 1 < nodes.size(); ++i) {
+      if (nodes[i].kind != TaskNodeInfo::Kind::kFilter) {
+        diags_.error(info.loc,
+                     "interior task-graph nodes must be filter tasks");
+        return;
+      }
+    }
+    // Type flow: every filter's parameters all take the upstream element
+    // type; its return type feeds downstream; the sink matches the last.
+    lime::TypeRef flow = nodes.front().out_type;
+    for (size_t i = 1; i + 1 < nodes.size(); ++i) {
+      const TaskNodeInfo& f = nodes[i];
+      LM_CHECK(f.method != nullptr);
+      for (const auto& p : f.method->params) {
+        if (!lime::equal(p.type, flow)) {
+          diags_.error(info.loc,
+                       "filter '" + f.task_id + "' consumes " +
+                           p.type->to_string() + " but upstream produces " +
+                           (flow ? flow->to_string() : "<none>"));
+          return;
+        }
+      }
+      flow = f.out_type;
+    }
+    if (!lime::equal(nodes.back().in_type, flow)) {
+      diags_.error(info.loc,
+                   "sink expects " +
+                       (nodes.back().in_type
+                            ? nodes.back().in_type->to_string()
+                            : "<none>") +
+                       " but upstream produces " +
+                       (flow ? flow->to_string() : "<none>"));
+    }
+  }
+
+  DiagnosticEngine& diags_;
+  ProgramTaskGraphs& out_;
+  const lime::MethodDecl* cur_method_ = nullptr;
+};
+
+}  // namespace
+
+ProgramTaskGraphs extract_task_graphs(const lime::Program& program,
+                                      DiagnosticEngine& diags) {
+  ProgramTaskGraphs out;
+  Extractor ex(diags, out);
+  for (const auto& cls : program.classes) {
+    if (cls->name == "bit") continue;
+    for (const auto& m : cls->methods) {
+      ex.scan_method(*m);
+    }
+  }
+  return out;
+}
+
+}  // namespace lm::ir

@@ -1,0 +1,73 @@
+// Static task-graph discovery (§3).
+//
+// The backend compilers "rely on the presence of relocation brackets around
+// task graphs to learn of the tasks [they] must compile", and "the compiler
+// discovers the shape and other properties of these task graphs statically".
+// This pass walks checked method bodies, recognizes the connect-chain
+// construction idiom (source => filters... => sink), and produces a linear
+// TaskGraphInfo per graph. Exactly as the paper specifies, if relocation
+// brackets are present but the shape cannot be determined, a compile-time
+// error is reported.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lime/ast.h"
+#include "util/diagnostics.h"
+
+namespace lm::ir {
+
+struct TaskNodeInfo {
+  enum class Kind { kSource, kSink, kFilter };
+  Kind kind = Kind::kFilter;
+
+  /// Element type entering the node (undefined for sources).
+  lime::TypeRef in_type;
+  /// Element type leaving the node (undefined for sinks).
+  lime::TypeRef out_type;
+
+  /// Filter only: the method the task applies, its identifier, and how many
+  /// consecutive elements one firing consumes (= the method's arity, §2.2).
+  const lime::MethodDecl* method = nullptr;
+  std::string task_id;
+  int arity = 1;
+
+  /// True when the node sits inside relocation brackets (§2.3).
+  bool relocated = false;
+
+  /// Source only: declared rate (elements per firing).
+  int rate = 1;
+};
+
+struct TaskGraphInfo {
+  const lime::MethodDecl* enclosing = nullptr;
+  SourceLoc loc;
+  std::vector<TaskNodeInfo> nodes;  // source, filters..., sink
+
+  bool has_relocated() const;
+
+  /// Maximal runs of consecutive relocated filters, as [first, last]
+  /// inclusive node-index ranges. These are the units the device backends
+  /// compile and the runtime substitutes (it "prefers a larger substitution
+  /// to a smaller one", §4.2).
+  std::vector<std::pair<int, int>> relocated_segments() const;
+
+  std::string to_string() const;
+};
+
+struct ProgramTaskGraphs {
+  std::vector<TaskGraphInfo> graphs;
+
+  /// All distinct relocated filter methods across all graphs (the set of
+  /// tasks the device compilers must consider).
+  std::vector<const lime::MethodDecl*> relocated_filter_methods() const;
+};
+
+/// Scans every method body of a checked program. Shape or type errors are
+/// reported through `diags`.
+ProgramTaskGraphs extract_task_graphs(const lime::Program& program,
+                                      DiagnosticEngine& diags);
+
+}  // namespace lm::ir

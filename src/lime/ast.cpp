@@ -1,0 +1,88 @@
+#include "lime/ast.h"
+
+namespace lm::lime {
+
+const char* to_string(UnOp op) {
+  switch (op) {
+    case UnOp::kNeg: return "-";
+    case UnOp::kNot: return "!";
+    case UnOp::kBitNot: return "~";
+    case UnOp::kUserOp: return "<user-op>";
+  }
+  return "?";
+}
+
+const char* to_string(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd: return "+";
+    case BinOp::kSub: return "-";
+    case BinOp::kMul: return "*";
+    case BinOp::kDiv: return "/";
+    case BinOp::kRem: return "%";
+    case BinOp::kAnd: return "&";
+    case BinOp::kOr: return "|";
+    case BinOp::kXor: return "^";
+    case BinOp::kShl: return "<<";
+    case BinOp::kShr: return ">>";
+    case BinOp::kLAnd: return "&&";
+    case BinOp::kLOr: return "||";
+    case BinOp::kEq: return "==";
+    case BinOp::kNe: return "!=";
+    case BinOp::kLt: return "<";
+    case BinOp::kLe: return "<=";
+    case BinOp::kGt: return ">";
+    case BinOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+bool is_comparison(BinOp op) {
+  switch (op) {
+    case BinOp::kEq: case BinOp::kNe: case BinOp::kLt:
+    case BinOp::kLe: case BinOp::kGt: case BinOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string MethodDecl::qualified_name() const {
+  return (owner ? owner->name : std::string("<anon>")) + "." + name;
+}
+
+const MethodDecl* ClassDecl::find_method(const std::string& n) const {
+  for (const auto& m : methods) {
+    if (m->name == n && !m->is_unary_op) return m.get();
+  }
+  return nullptr;
+}
+
+const FieldDecl* ClassDecl::find_field(const std::string& n) const {
+  for (const auto& f : fields) {
+    if (f->name == n) return f.get();
+  }
+  return nullptr;
+}
+
+const EnumConst* ClassDecl::find_enum_const(const std::string& n) const {
+  for (const auto& c : enum_consts) {
+    if (c.name == n) return &c;
+  }
+  return nullptr;
+}
+
+const MethodDecl* ClassDecl::find_unary_op(UnOp op) const {
+  for (const auto& m : methods) {
+    if (m->is_unary_op && m->op == op) return m.get();
+  }
+  return nullptr;
+}
+
+const ClassDecl* Program::find_class(const std::string& n) const {
+  for (const auto& c : classes) {
+    if (c->name == n) return c.get();
+  }
+  return nullptr;
+}
+
+}  // namespace lm::lime

@@ -1,0 +1,403 @@
+// Abstract syntax tree for the Lime subset.
+//
+// The tree is produced by the parser and annotated in place by semantic
+// analysis (resolved symbols, types, purity). All downstream consumers —
+// bytecode compiler, GPU kernel extractor, FPGA synthesizer, task-graph
+// extractor — read this annotated AST.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lime/type.h"
+#include "util/bitvec.h"
+#include "util/source_location.h"
+
+namespace lm::lime {
+
+struct ClassDecl;
+struct MethodDecl;
+struct FieldDecl;
+
+// ---------------------------------------------------------------------------
+// Operators
+// ---------------------------------------------------------------------------
+
+enum class UnOp { kNeg, kNot, kBitNot, kUserOp };
+
+enum class BinOp {
+  kAdd, kSub, kMul, kDiv, kRem,
+  kAnd, kOr, kXor, kShl, kShr,
+  kLAnd, kLOr,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+};
+
+const char* to_string(UnOp op);
+const char* to_string(BinOp op);
+bool is_comparison(BinOp op);
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class ExprKind {
+  kIntLit, kFloatLit, kBoolLit, kBitLit,
+  kName, kThis,
+  kUnary, kBinary, kAssign, kTernary,
+  kCall, kIndex, kField,
+  kNewArray, kCast,
+  kMap, kReduce,
+  kTask, kRelocate, kConnect,
+};
+
+struct Expr {
+  explicit Expr(ExprKind k) : kind(k) {}
+  virtual ~Expr() = default;
+  Expr(const Expr&) = delete;
+  Expr& operator=(const Expr&) = delete;
+
+  ExprKind kind;
+  SourceLoc loc;
+  TypeRef type;  // filled in by sema
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct IntLitExpr : Expr {
+  IntLitExpr() : Expr(ExprKind::kIntLit) {}
+  int64_t value = 0;
+  bool is_long = false;
+};
+
+struct FloatLitExpr : Expr {
+  FloatLitExpr() : Expr(ExprKind::kFloatLit) {}
+  double value = 0;
+  bool is_double = false;
+};
+
+struct BoolLitExpr : Expr {
+  BoolLitExpr() : Expr(ExprKind::kBoolLit) {}
+  bool value = false;
+};
+
+/// A Lime bit literal such as 100b — a value array of bit (§2.2).
+struct BitLitExpr : Expr {
+  BitLitExpr() : Expr(ExprKind::kBitLit) {}
+  BitVec bits;
+};
+
+/// How a name resolved during sema.
+enum class NameRefKind {
+  kUnresolved,
+  kLocal,       // local variable or parameter → slot
+  kField,       // implicit this.field or static field of own class
+  kEnumConst,   // e.g. `zero` inside `bit`, or via field access `bit.zero`
+  kClassRef,    // a class name used as map/reduce/call receiver
+};
+
+struct NameExpr : Expr {
+  NameExpr() : Expr(ExprKind::kName) {}
+  std::string name;
+  NameRefKind ref = NameRefKind::kUnresolved;
+  int slot = -1;                       // for kLocal
+  const FieldDecl* field = nullptr;    // for kField
+  const ClassDecl* class_ref = nullptr;  // for kClassRef / kEnumConst
+  int enum_ordinal = -1;               // for kEnumConst
+};
+
+struct ThisExpr : Expr {
+  ThisExpr() : Expr(ExprKind::kThis) {}
+};
+
+struct UnaryExpr : Expr {
+  UnaryExpr() : Expr(ExprKind::kUnary) {}
+  UnOp op = UnOp::kNeg;
+  ExprPtr operand;
+  /// For `~` on a value class with a user-defined operator method (Fig. 1
+  /// line 3), sema resolves to that method and sets op = kUserOp.
+  const MethodDecl* user_method = nullptr;
+};
+
+struct BinaryExpr : Expr {
+  BinaryExpr() : Expr(ExprKind::kBinary) {}
+  BinOp op = BinOp::kAdd;
+  ExprPtr lhs, rhs;
+};
+
+struct AssignExpr : Expr {
+  AssignExpr() : Expr(ExprKind::kAssign) {}
+  ExprPtr target;  // NameExpr, IndexExpr or FieldExpr
+  ExprPtr value;
+  /// For compound assignment (`+=` etc.) this holds the arithmetic op.
+  bool compound = false;
+  BinOp op = BinOp::kAdd;
+};
+
+struct TernaryExpr : Expr {
+  TernaryExpr() : Expr(ExprKind::kTernary) {}
+  ExprPtr cond, then_expr, else_expr;
+};
+
+/// Method invocation. Covers plain calls `f(x)`, qualified calls `C.f(x)`,
+/// instance calls `o.f(x)`, and the builtin Lime array methods `source`,
+/// `sink`, `length()` as well as task-graph `start`/`finish`.
+struct CallExpr : Expr {
+  CallExpr() : Expr(ExprKind::kCall) {}
+  ExprPtr receiver;           // null for unqualified calls
+  std::string receiver_class; // nonempty for `C.f(x)` static calls
+  std::string method;
+  TypeRef type_arg;           // for `result.<bit>sink()`
+  std::vector<ExprPtr> args;
+
+  enum class Builtin {
+    kNone, kSource, kSink, kStart, kFinish,
+    // Math intrinsics (pure; polymorphic over float/double):
+    kSqrt, kExp, kLog, kSin, kCos, kPow, kAbs, kMin, kMax, kFloor,
+  };
+  Builtin builtin = Builtin::kNone;  // set by sema
+  const MethodDecl* resolved = nullptr;
+};
+
+struct IndexExpr : Expr {
+  IndexExpr() : Expr(ExprKind::kIndex) {}
+  ExprPtr array, index;
+};
+
+struct FieldExpr : Expr {
+  FieldExpr() : Expr(ExprKind::kField) {}
+  ExprPtr object;
+  std::string name;
+  bool is_array_length = false;          // arr.length
+  const FieldDecl* field = nullptr;
+  // Qualified enum constant, e.g. bit.zero:
+  const ClassDecl* enum_class = nullptr;
+  int enum_ordinal = -1;
+};
+
+struct NewArrayExpr : Expr {
+  NewArrayExpr() : Expr(ExprKind::kNewArray) {}
+  TypeRef elem_type;
+  ExprPtr length;        // for `new T[n]`
+  ExprPtr from_array;    // for `new T[[]](arr)` — freeze a mutable array
+  bool is_value_array = false;
+};
+
+struct CastExpr : Expr {
+  CastExpr() : Expr(ExprKind::kCast) {}
+  TypeRef target;
+  ExprPtr operand;
+};
+
+/// The Lime map operator `C @ m(args)` (§2.2): applies m elementwise over
+/// the array arguments, producing a new value array.
+struct MapExpr : Expr {
+  MapExpr() : Expr(ExprKind::kMap) {}
+  std::string class_name;
+  std::string method;
+  std::vector<ExprPtr> args;
+  const MethodDecl* resolved = nullptr;
+};
+
+/// The Lime reduce operator `C ! m(arr)`: folds the array with the binary
+/// method m (which must be pure, associative use is the programmer's duty).
+struct ReduceExpr : Expr {
+  ReduceExpr() : Expr(ExprKind::kReduce) {}
+  std::string class_name;
+  std::string method;
+  std::vector<ExprPtr> args;  // first arg is the array; any rest are seeds
+  const MethodDecl* resolved = nullptr;
+};
+
+/// `task m` / `task C.m` — creates a dataflow actor that repeatedly applies
+/// the named method (§2.2).
+struct TaskExpr : Expr {
+  TaskExpr() : Expr(ExprKind::kTask) {}
+  std::string class_name;  // empty → enclosing class
+  std::string method;
+  const MethodDecl* resolved = nullptr;
+};
+
+/// Relocation brackets `[ expr ]` (§2.3): marks the enclosed task
+/// (sub)graph as a candidate for co-execution on an accelerator.
+struct RelocateExpr : Expr {
+  RelocateExpr() : Expr(ExprKind::kRelocate) {}
+  ExprPtr inner;
+};
+
+/// The connect operator `a => b` (§2.2): left-associative task composition.
+struct ConnectExpr : Expr {
+  ConnectExpr() : Expr(ExprKind::kConnect) {}
+  ExprPtr lhs, rhs;
+};
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+enum class StmtKind {
+  kExpr, kVarDecl, kIf, kWhile, kFor, kReturn, kBlock, kBreak, kContinue,
+};
+
+struct Stmt {
+  explicit Stmt(StmtKind k) : kind(k) {}
+  virtual ~Stmt() = default;
+  Stmt(const Stmt&) = delete;
+  Stmt& operator=(const Stmt&) = delete;
+
+  StmtKind kind;
+  SourceLoc loc;
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct ExprStmt : Stmt {
+  ExprStmt() : Stmt(StmtKind::kExpr) {}
+  ExprPtr expr;
+};
+
+struct VarDeclStmt : Stmt {
+  VarDeclStmt() : Stmt(StmtKind::kVarDecl) {}
+  TypeRef declared_type;  // null for `var` — inferred by sema
+  std::string name;
+  ExprPtr init;           // may be null only when declared_type is set
+  int slot = -1;          // assigned by sema
+};
+
+struct BlockStmt : Stmt {
+  BlockStmt() : Stmt(StmtKind::kBlock) {}
+  std::vector<StmtPtr> stmts;
+};
+
+struct IfStmt : Stmt {
+  IfStmt() : Stmt(StmtKind::kIf) {}
+  ExprPtr cond;
+  StmtPtr then_stmt;
+  StmtPtr else_stmt;  // may be null
+};
+
+struct WhileStmt : Stmt {
+  WhileStmt() : Stmt(StmtKind::kWhile) {}
+  ExprPtr cond;
+  StmtPtr body;
+};
+
+struct ForStmt : Stmt {
+  ForStmt() : Stmt(StmtKind::kFor) {}
+  StmtPtr init;    // VarDeclStmt or ExprStmt; may be null
+  ExprPtr cond;    // may be null (infinite)
+  ExprPtr update;  // may be null
+  StmtPtr body;
+};
+
+struct ReturnStmt : Stmt {
+  ReturnStmt() : Stmt(StmtKind::kReturn) {}
+  ExprPtr value;  // null for `return;`
+};
+
+struct BreakStmt : Stmt {
+  BreakStmt() : Stmt(StmtKind::kBreak) {}
+};
+
+struct ContinueStmt : Stmt {
+  ContinueStmt() : Stmt(StmtKind::kContinue) {}
+};
+
+// ---------------------------------------------------------------------------
+// Declarations
+// ---------------------------------------------------------------------------
+
+struct Param {
+  TypeRef type;
+  std::string name;
+  int slot = -1;
+  SourceLoc loc;
+};
+
+struct MethodDecl {
+  std::string name;
+  const ClassDecl* owner = nullptr;
+  TypeRef return_type;
+  std::vector<Param> params;
+  std::unique_ptr<BlockStmt> body;  // null for the implicit enum methods
+  SourceLoc loc;
+
+  bool is_public = false;
+  bool is_static = false;
+  bool is_local = false;   // declared `local`, or defaulted for value types
+  bool is_ctor = false;
+  /// User-defined unary operator method, e.g. `public bit ~ this { ... }`.
+  bool is_unary_op = false;
+  UnOp op = UnOp::kBitNot;
+
+  // Filled in by sema:
+  bool is_pure = false;     // local + static (or value-instance) + value args
+  int num_slots = 0;        // locals count incl. params (and `this` at slot 0)
+
+  /// Fully-qualified name used as the task identifier in manifests,
+  /// e.g. "Bitflip.flip".
+  std::string qualified_name() const;
+};
+
+struct FieldDecl {
+  TypeRef type;
+  std::string name;
+  const ClassDecl* owner = nullptr;
+  bool is_static = false;
+  bool is_final = false;
+  ExprPtr init;  // may be null
+  SourceLoc loc;
+  int index = -1;  // field index within the class (for object layout)
+};
+
+struct EnumConst {
+  std::string name;
+  int ordinal = 0;
+  SourceLoc loc;
+};
+
+struct ClassDecl {
+  std::string name;
+  bool is_public = false;
+  bool is_value = false;
+  bool is_enum = false;
+  std::vector<EnumConst> enum_consts;
+  std::vector<std::unique_ptr<FieldDecl>> fields;
+  std::vector<std::unique_ptr<MethodDecl>> methods;
+  SourceLoc loc;
+
+  const MethodDecl* find_method(const std::string& n) const;
+  const FieldDecl* find_field(const std::string& n) const;
+  const EnumConst* find_enum_const(const std::string& n) const;
+  /// The user-defined unary operator method for `op`, if any.
+  const MethodDecl* find_unary_op(UnOp op) const;
+};
+
+struct Program {
+  std::vector<std::unique_ptr<ClassDecl>> classes;
+
+  const ClassDecl* find_class(const std::string& n) const;
+};
+
+// ---------------------------------------------------------------------------
+// Casting helper
+// ---------------------------------------------------------------------------
+
+template <typename T>
+T& as(Expr& e) {
+  return static_cast<T&>(e);
+}
+template <typename T>
+const T& as(const Expr& e) {
+  return static_cast<const T&>(e);
+}
+template <typename T>
+T& as(Stmt& s) {
+  return static_cast<T&>(s);
+}
+template <typename T>
+const T& as(const Stmt& s) {
+  return static_cast<const T&>(s);
+}
+
+}  // namespace lm::lime

@@ -1,0 +1,21 @@
+#include "lime/frontend.h"
+
+#include "lime/lexer.h"
+#include "lime/parser.h"
+#include "lime/sema.h"
+
+namespace lm::lime {
+
+FrontendResult compile_source(const std::string& source) {
+  FrontendResult result;
+  Lexer lexer(source, result.diags);
+  auto tokens = lexer.lex();
+  Parser parser(std::move(tokens), result.diags);
+  result.program = parser.parse_program();
+  if (result.diags.has_errors()) return result;  // don't run sema on junk
+  Sema sema(*result.program, result.diags);
+  sema.run();
+  return result;
+}
+
+}  // namespace lm::lime

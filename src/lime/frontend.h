@@ -1,0 +1,22 @@
+// Frontend driver: Lime source text → checked AST.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "lime/ast.h"
+#include "util/diagnostics.h"
+
+namespace lm::lime {
+
+struct FrontendResult {
+  std::unique_ptr<Program> program;  // non-null even on error (may be partial)
+  DiagnosticEngine diags;
+
+  bool ok() const { return program != nullptr && !diags.has_errors(); }
+};
+
+/// Lexes, parses, and semantically checks a Lime compilation unit.
+FrontendResult compile_source(const std::string& source);
+
+}  // namespace lm::lime

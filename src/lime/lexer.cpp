@@ -1,0 +1,336 @@
+#include "lime/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+namespace lm::lime {
+
+namespace {
+
+const std::unordered_map<std::string, Tok>& keyword_map() {
+  static const auto* kMap = new std::unordered_map<std::string, Tok>{
+      {"class", Tok::kClass},     {"enum", Tok::kEnum},
+      {"value", Tok::kValue},     {"local", Tok::kLocal},
+      {"global", Tok::kGlobal},   {"static", Tok::kStatic},
+      {"public", Tok::kPublic},   {"private", Tok::kPrivate},
+      {"return", Tok::kReturn},   {"if", Tok::kIf},
+      {"else", Tok::kElse},       {"for", Tok::kFor},
+      {"while", Tok::kWhile},     {"break", Tok::kBreak},
+      {"continue", Tok::kContinue}, {"var", Tok::kVar},
+      {"new", Tok::kNew},         {"task", Tok::kTask},
+      {"this", Tok::kThis},       {"true", Tok::kTrue},
+      {"false", Tok::kFalse},     {"final", Tok::kFinal},
+      {"int", Tok::kInt},         {"long", Tok::kLong},
+      {"float", Tok::kFloat},     {"double", Tok::kDouble},
+      {"boolean", Tok::kBoolean}, {"bit", Tok::kBit},
+      {"void", Tok::kVoid},
+  };
+  return *kMap;
+}
+
+}  // namespace
+
+const char* to_string(Tok t) {
+  switch (t) {
+    case Tok::kEof: return "<eof>";
+    case Tok::kIdent: return "identifier";
+    case Tok::kIntLit: return "int literal";
+    case Tok::kLongLit: return "long literal";
+    case Tok::kFloatLit: return "float literal";
+    case Tok::kDoubleLit: return "double literal";
+    case Tok::kBitLit: return "bit literal";
+    case Tok::kClass: return "'class'";
+    case Tok::kEnum: return "'enum'";
+    case Tok::kValue: return "'value'";
+    case Tok::kLocal: return "'local'";
+    case Tok::kGlobal: return "'global'";
+    case Tok::kStatic: return "'static'";
+    case Tok::kPublic: return "'public'";
+    case Tok::kPrivate: return "'private'";
+    case Tok::kReturn: return "'return'";
+    case Tok::kIf: return "'if'";
+    case Tok::kElse: return "'else'";
+    case Tok::kFor: return "'for'";
+    case Tok::kWhile: return "'while'";
+    case Tok::kBreak: return "'break'";
+    case Tok::kContinue: return "'continue'";
+    case Tok::kVar: return "'var'";
+    case Tok::kNew: return "'new'";
+    case Tok::kTask: return "'task'";
+    case Tok::kThis: return "'this'";
+    case Tok::kTrue: return "'true'";
+    case Tok::kFalse: return "'false'";
+    case Tok::kFinal: return "'final'";
+    case Tok::kInt: return "'int'";
+    case Tok::kLong: return "'long'";
+    case Tok::kFloat: return "'float'";
+    case Tok::kDouble: return "'double'";
+    case Tok::kBoolean: return "'boolean'";
+    case Tok::kBit: return "'bit'";
+    case Tok::kVoid: return "'void'";
+    case Tok::kLParen: return "'('";
+    case Tok::kRParen: return "')'";
+    case Tok::kLBrace: return "'{'";
+    case Tok::kRBrace: return "'}'";
+    case Tok::kLBracket: return "'['";
+    case Tok::kRBracket: return "']'";
+    case Tok::kComma: return "','";
+    case Tok::kSemi: return "';'";
+    case Tok::kDot: return "'.'";
+    case Tok::kColon: return "':'";
+    case Tok::kQuestion: return "'?'";
+    case Tok::kAssign: return "'='";
+    case Tok::kPlus: return "'+'";
+    case Tok::kMinus: return "'-'";
+    case Tok::kStar: return "'*'";
+    case Tok::kSlash: return "'/'";
+    case Tok::kPercent: return "'%'";
+    case Tok::kAmp: return "'&'";
+    case Tok::kPipe: return "'|'";
+    case Tok::kCaret: return "'^'";
+    case Tok::kTilde: return "'~'";
+    case Tok::kBang: return "'!'";
+    case Tok::kAmpAmp: return "'&&'";
+    case Tok::kPipePipe: return "'||'";
+    case Tok::kEq: return "'=='";
+    case Tok::kNe: return "'!='";
+    case Tok::kLt: return "'<'";
+    case Tok::kGt: return "'>'";
+    case Tok::kLe: return "'<='";
+    case Tok::kGe: return "'>='";
+    case Tok::kShl: return "'<<'";
+    case Tok::kShr: return "'>>'";
+    case Tok::kAt: return "'@'";
+    case Tok::kConnect: return "'=>'";
+    case Tok::kPlusAssign: return "'+='";
+    case Tok::kMinusAssign: return "'-='";
+    case Tok::kStarAssign: return "'*='";
+    case Tok::kSlashAssign: return "'/='";
+    case Tok::kPlusPlus: return "'++'";
+    case Tok::kMinusMinus: return "'--'";
+  }
+  return "<bad token>";
+}
+
+Lexer::Lexer(std::string source, DiagnosticEngine& diags)
+    : src_(std::move(source)), diags_(diags) {}
+
+char Lexer::peek(size_t ahead) const {
+  return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+}
+
+char Lexer::advance() {
+  char c = src_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    col_ = 1;
+  } else {
+    ++col_;
+  }
+  return c;
+}
+
+bool Lexer::match(char c) {
+  if (at_end() || peek() != c) return false;
+  advance();
+  return true;
+}
+
+SourceLoc Lexer::here() const {
+  return {line_, col_, static_cast<uint32_t>(pos_)};
+}
+
+void Lexer::skip_ws_and_comments() {
+  while (!at_end()) {
+    char c = peek();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance();
+    } else if (c == '/' && peek(1) == '/') {
+      while (!at_end() && peek() != '\n') advance();
+    } else if (c == '/' && peek(1) == '*') {
+      SourceLoc start = here();
+      advance();
+      advance();
+      while (!at_end() && !(peek() == '*' && peek(1) == '/')) advance();
+      if (at_end()) {
+        diags_.error(start, "unterminated block comment");
+      } else {
+        advance();
+        advance();
+      }
+    } else {
+      break;
+    }
+  }
+}
+
+Token Lexer::make(Tok kind, SourceLoc loc, std::string text) {
+  Token t;
+  t.kind = kind;
+  t.loc = loc;
+  t.text = std::move(text);
+  return t;
+}
+
+Token Lexer::ident_or_keyword() {
+  SourceLoc loc = here();
+  std::string s;
+  while (!at_end() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                       peek() == '_')) {
+    s.push_back(advance());
+  }
+  auto it = keyword_map().find(s);
+  if (it != keyword_map().end()) return make(it->second, loc, s);
+  return make(Tok::kIdent, loc, s);
+}
+
+Token Lexer::number() {
+  SourceLoc loc = here();
+  std::string s;
+  bool is_float = false;
+  bool all_binary = true;
+
+  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    s.push_back(advance());
+    s.push_back(advance());
+    while (!at_end() && std::isxdigit(static_cast<unsigned char>(peek()))) {
+      s.push_back(advance());
+    }
+    Token t = make(Tok::kIntLit, loc, s);
+    t.int_value = static_cast<int64_t>(std::strtoull(s.c_str() + 2, nullptr, 16));
+    if (match('L') || match('l')) t.kind = Tok::kLongLit;
+    return t;
+  }
+
+  while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) {
+    if (peek() != '0' && peek() != '1') all_binary = false;
+    s.push_back(advance());
+  }
+  if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+    is_float = true;
+    s.push_back(advance());
+    while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) {
+      s.push_back(advance());
+    }
+  }
+  if (peek() == 'e' || peek() == 'E') {
+    size_t save = 1;
+    if (peek(1) == '+' || peek(1) == '-') save = 2;
+    if (std::isdigit(static_cast<unsigned char>(peek(save)))) {
+      is_float = true;
+      for (size_t i = 0; i < save; ++i) s.push_back(advance());
+      while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        s.push_back(advance());
+      }
+    }
+  }
+
+  if (is_float) {
+    Token t = make(match('f') || match('F') ? Tok::kFloatLit : Tok::kDoubleLit,
+                   loc, s);
+    t.float_value = std::strtod(s.c_str(), nullptr);
+    return t;
+  }
+
+  // A run of 0/1 digits immediately followed by 'b' is a Lime bit literal,
+  // e.g. 100b (§2.2). The digits are kept verbatim; the MSB is leftmost.
+  if (all_binary && peek() == 'b') {
+    advance();
+    return make(Tok::kBitLit, loc, s);
+  }
+
+  if (match('f') || match('F')) {
+    Token t = make(Tok::kFloatLit, loc, s);
+    t.float_value = std::strtod(s.c_str(), nullptr);
+    return t;
+  }
+
+  Token t = make(match('L') || match('l') ? Tok::kLongLit : Tok::kIntLit, loc, s);
+  t.int_value = static_cast<int64_t>(std::strtoull(s.c_str(), nullptr, 10));
+  return t;
+}
+
+Token Lexer::next_token() {
+  skip_ws_and_comments();
+  SourceLoc loc = here();
+  if (at_end()) return make(Tok::kEof, loc);
+
+  char c = peek();
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+    return ident_or_keyword();
+  }
+  if (std::isdigit(static_cast<unsigned char>(c))) {
+    return number();
+  }
+
+  advance();
+  switch (c) {
+    case '(': return make(Tok::kLParen, loc);
+    case ')': return make(Tok::kRParen, loc);
+    case '{': return make(Tok::kLBrace, loc);
+    case '}': return make(Tok::kRBrace, loc);
+    case '[': return make(Tok::kLBracket, loc);
+    case ']': return make(Tok::kRBracket, loc);
+    case ',': return make(Tok::kComma, loc);
+    case ';': return make(Tok::kSemi, loc);
+    case '.': return make(Tok::kDot, loc);
+    case ':': return make(Tok::kColon, loc);
+    case '?': return make(Tok::kQuestion, loc);
+    case '@': return make(Tok::kAt, loc);
+    case '~': return make(Tok::kTilde, loc);
+    case '^': return make(Tok::kCaret, loc);
+    case '%': return make(Tok::kPercent, loc);
+    case '+':
+      if (match('=')) return make(Tok::kPlusAssign, loc);
+      if (match('+')) return make(Tok::kPlusPlus, loc);
+      return make(Tok::kPlus, loc);
+    case '-':
+      if (match('=')) return make(Tok::kMinusAssign, loc);
+      if (match('-')) return make(Tok::kMinusMinus, loc);
+      return make(Tok::kMinus, loc);
+    case '*':
+      if (match('=')) return make(Tok::kStarAssign, loc);
+      return make(Tok::kStar, loc);
+    case '/':
+      if (match('=')) return make(Tok::kSlashAssign, loc);
+      return make(Tok::kSlash, loc);
+    case '&':
+      if (match('&')) return make(Tok::kAmpAmp, loc);
+      return make(Tok::kAmp, loc);
+    case '|':
+      if (match('|')) return make(Tok::kPipePipe, loc);
+      return make(Tok::kPipe, loc);
+    case '!':
+      if (match('=')) return make(Tok::kNe, loc);
+      return make(Tok::kBang, loc);
+    case '=':
+      if (match('=')) return make(Tok::kEq, loc);
+      if (match('>')) return make(Tok::kConnect, loc);
+      return make(Tok::kAssign, loc);
+    case '<':
+      if (match('=')) return make(Tok::kLe, loc);
+      if (match('<')) return make(Tok::kShl, loc);
+      return make(Tok::kLt, loc);
+    case '>':
+      if (match('=')) return make(Tok::kGe, loc);
+      if (match('>')) return make(Tok::kShr, loc);
+      return make(Tok::kGt, loc);
+    default:
+      diags_.error(loc, std::string("unexpected character '") + c + "'");
+      return next_token();
+  }
+}
+
+std::vector<Token> Lexer::lex() {
+  std::vector<Token> out;
+  for (;;) {
+    Token t = next_token();
+    bool eof = t.is(Tok::kEof);
+    out.push_back(std::move(t));
+    if (eof) break;
+  }
+  return out;
+}
+
+}  // namespace lm::lime

@@ -1,0 +1,39 @@
+// Hand-written lexer for the Lime subset.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lime/token.h"
+#include "util/diagnostics.h"
+
+namespace lm::lime {
+
+class Lexer {
+ public:
+  Lexer(std::string source, DiagnosticEngine& diags);
+
+  /// Tokenizes the whole buffer. The result always ends with a kEof token.
+  std::vector<Token> lex();
+
+ private:
+  bool at_end() const { return pos_ >= src_.size(); }
+  char peek(size_t ahead = 0) const;
+  char advance();
+  bool match(char c);
+  SourceLoc here() const;
+
+  void skip_ws_and_comments();
+  Token next_token();
+  Token ident_or_keyword();
+  Token number();
+  Token make(Tok kind, SourceLoc loc, std::string text = {});
+
+  std::string src_;
+  DiagnosticEngine& diags_;
+  size_t pos_ = 0;
+  uint32_t line_ = 1;
+  uint32_t col_ = 1;
+};
+
+}  // namespace lm::lime

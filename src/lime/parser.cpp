@@ -1,0 +1,805 @@
+#include "lime/parser.h"
+
+#include "util/error.h"
+
+namespace lm::lime {
+
+namespace {
+
+/// Binary operator precedence for the climbing parser. Higher binds tighter.
+/// Connect (=>), assignment and ternary are handled separately above this.
+int binop_prec(Tok t) {
+  switch (t) {
+    case Tok::kPipePipe: return 1;
+    case Tok::kAmpAmp: return 2;
+    case Tok::kPipe: return 3;
+    case Tok::kCaret: return 4;
+    case Tok::kAmp: return 5;
+    case Tok::kEq: case Tok::kNe: return 6;
+    case Tok::kLt: case Tok::kLe: case Tok::kGt: case Tok::kGe: return 7;
+    case Tok::kShl: case Tok::kShr: return 8;
+    case Tok::kPlus: case Tok::kMinus: return 9;
+    case Tok::kStar: case Tok::kSlash: case Tok::kPercent: return 10;
+    default: return -1;
+  }
+}
+
+BinOp binop_for(Tok t) {
+  switch (t) {
+    case Tok::kPipePipe: return BinOp::kLOr;
+    case Tok::kAmpAmp: return BinOp::kLAnd;
+    case Tok::kPipe: return BinOp::kOr;
+    case Tok::kCaret: return BinOp::kXor;
+    case Tok::kAmp: return BinOp::kAnd;
+    case Tok::kEq: return BinOp::kEq;
+    case Tok::kNe: return BinOp::kNe;
+    case Tok::kLt: return BinOp::kLt;
+    case Tok::kLe: return BinOp::kLe;
+    case Tok::kGt: return BinOp::kGt;
+    case Tok::kGe: return BinOp::kGe;
+    case Tok::kShl: return BinOp::kShl;
+    case Tok::kShr: return BinOp::kShr;
+    case Tok::kPlus: return BinOp::kAdd;
+    case Tok::kMinus: return BinOp::kSub;
+    case Tok::kStar: return BinOp::kMul;
+    case Tok::kSlash: return BinOp::kDiv;
+    case Tok::kPercent: return BinOp::kRem;
+    default: LM_UNREACHABLE("not a binary operator token");
+  }
+}
+
+bool is_primitive_type_tok(Tok t) {
+  switch (t) {
+    case Tok::kInt: case Tok::kLong: case Tok::kFloat: case Tok::kDouble:
+    case Tok::kBoolean: case Tok::kBit: case Tok::kVoid:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Parser::Parser(std::vector<Token> tokens, DiagnosticEngine& diags)
+    : toks_(std::move(tokens)), diags_(diags) {
+  LM_CHECK(!toks_.empty() && toks_.back().is(Tok::kEof));
+}
+
+const Token& Parser::peek(size_t ahead) const {
+  size_t i = pos_ + ahead;
+  if (i >= toks_.size()) i = toks_.size() - 1;  // the EOF token
+  return toks_[i];
+}
+
+Token Parser::advance() {
+  Token t = current();
+  if (pos_ + 1 < toks_.size()) ++pos_;
+  return t;
+}
+
+bool Parser::match(Tok t) {
+  if (!check(t)) return false;
+  advance();
+  return true;
+}
+
+Token Parser::expect(Tok t, const char* what) {
+  if (check(t)) return advance();
+  diags_.error(current().loc, std::string("expected ") + to_string(t) +
+                                  " " + what + ", found " +
+                                  to_string(current().kind));
+  return current();  // do not consume; caller-side recovery decides
+}
+
+void Parser::error_here(const std::string& msg) {
+  diags_.error(current().loc, msg);
+}
+
+void Parser::sync_to_stmt_boundary() {
+  while (!check(Tok::kEof) && !check(Tok::kSemi) && !check(Tok::kRBrace)) {
+    advance();
+  }
+  match(Tok::kSemi);
+}
+
+// ---------------------------------------------------------------------------
+// Declarations
+// ---------------------------------------------------------------------------
+
+Parser::Mods Parser::parse_mods() {
+  Mods m;
+  for (;;) {
+    if (match(Tok::kPublic)) m.is_public = true;
+    else if (match(Tok::kPrivate)) m.is_private = true;
+    else if (match(Tok::kValue)) m.is_value = true;
+    else if (match(Tok::kLocal)) m.is_local = true;
+    else if (match(Tok::kGlobal)) m.is_global = true;
+    else if (match(Tok::kStatic)) m.is_static = true;
+    else if (match(Tok::kFinal)) m.is_final = true;
+    else break;
+  }
+  return m;
+}
+
+std::unique_ptr<Program> Parser::parse_program() {
+  auto prog = std::make_unique<Program>();
+  while (!check(Tok::kEof)) {
+    auto cls = parse_class();
+    if (cls) {
+      prog->classes.push_back(std::move(cls));
+    } else {
+      // Recovery: skip one token and try again.
+      advance();
+    }
+  }
+  return prog;
+}
+
+std::unique_ptr<ClassDecl> Parser::parse_class() {
+  SourceLoc loc = current().loc;
+  Mods mods = parse_mods();
+  auto cls = std::make_unique<ClassDecl>();
+  cls->loc = loc;
+  cls->is_public = mods.is_public;
+  cls->is_value = mods.is_value;
+
+  if (match(Tok::kEnum)) {
+    cls->is_enum = true;
+    // `value enum bit` (Fig. 1): the builtin `bit` may be (re)declared by
+    // user code; accept the keyword as the enum name.
+    if (check(Tok::kBit)) {
+      advance();
+      cls->name = "bit";
+    } else {
+      Token name = expect(Tok::kIdent, "after 'enum'");
+      cls->name = name.text;
+    }
+    expect(Tok::kLBrace, "to open enum body");
+    parse_enum_body(*cls);
+    expect(Tok::kRBrace, "to close enum body");
+    return cls;
+  }
+
+  if (!match(Tok::kClass)) {
+    error_here("expected 'class' or 'enum'");
+    return nullptr;
+  }
+  Token name = expect(Tok::kIdent, "after 'class'");
+  cls->name = name.text;
+  expect(Tok::kLBrace, "to open class body");
+  while (!check(Tok::kRBrace) && !check(Tok::kEof)) {
+    parse_member(*cls);
+  }
+  expect(Tok::kRBrace, "to close class body");
+  return cls;
+}
+
+void Parser::parse_enum_body(ClassDecl& cls) {
+  // Enumerators: ident (',' ident)* then optional ';' members*.
+  int ordinal = 0;
+  for (;;) {
+    if (check(Tok::kRBrace)) return;  // enum with no members section
+    Token c = expect(Tok::kIdent, "enum constant");
+    if (!c.is(Tok::kIdent)) { sync_to_stmt_boundary(); return; }
+    cls.enum_consts.push_back({c.text, ordinal++, c.loc});
+    if (match(Tok::kComma)) continue;
+    break;
+  }
+  if (match(Tok::kSemi)) {
+    while (!check(Tok::kRBrace) && !check(Tok::kEof)) {
+      parse_member(cls);
+    }
+  }
+}
+
+void Parser::parse_member(ClassDecl& cls) {
+  SourceLoc loc = current().loc;
+  Mods mods = parse_mods();
+
+  // Constructor: ClassName '(' ... — identifier matching the class name
+  // immediately followed by '('.
+  if (check(Tok::kIdent) && current().text == cls.name &&
+      peek(1).is(Tok::kLParen)) {
+    auto m = std::make_unique<MethodDecl>();
+    m->loc = loc;
+    m->name = cls.name;
+    m->is_ctor = true;
+    m->is_public = mods.is_public;
+    m->is_local = mods.is_local;
+    m->return_type = Type::void_();
+    advance();  // class name
+    expect(Tok::kLParen, "to open constructor parameters");
+    m->params = parse_params();
+    expect(Tok::kRParen, "to close constructor parameters");
+    m->body = parse_block();
+    cls.methods.push_back(std::move(m));
+    return;
+  }
+
+  TypeRef type = parse_type();
+  if (!type) {
+    sync_to_stmt_boundary();
+    return;
+  }
+
+  // Operator method: `public bit ~ this { ... }` (Fig. 1 line 3).
+  if (check(Tok::kTilde) || check(Tok::kBang) ||
+      (check(Tok::kMinus) && peek(1).is(Tok::kThis))) {
+    auto m = std::make_unique<MethodDecl>();
+    m->loc = loc;
+    m->return_type = type;
+    m->is_public = mods.is_public;
+    m->is_local = mods.is_local;
+    m->is_static = mods.is_static;
+    m->is_unary_op = true;
+    Tok opTok = advance().kind;
+    m->op = opTok == Tok::kTilde ? UnOp::kBitNot
+            : opTok == Tok::kBang ? UnOp::kNot
+                                  : UnOp::kNeg;
+    m->name = std::string("operator") + to_string(m->op);
+    expect(Tok::kThis, "operator methods are written '<type> ~ this'");
+    m->body = parse_block();
+    cls.methods.push_back(std::move(m));
+    return;
+  }
+
+  Token name = expect(Tok::kIdent, "member name");
+  if (!name.is(Tok::kIdent)) {
+    sync_to_stmt_boundary();
+    return;
+  }
+
+  if (match(Tok::kLParen)) {
+    auto m = std::make_unique<MethodDecl>();
+    m->loc = loc;
+    m->name = name.text;
+    m->return_type = type;
+    m->is_public = mods.is_public;
+    m->is_static = mods.is_static;
+    m->is_local = mods.is_local;
+    m->params = parse_params();
+    expect(Tok::kRParen, "to close parameter list");
+    m->body = parse_block();
+    cls.methods.push_back(std::move(m));
+    return;
+  }
+
+  auto f = std::make_unique<FieldDecl>();
+  f->loc = loc;
+  f->type = type;
+  f->name = name.text;
+  f->is_static = mods.is_static;
+  f->is_final = mods.is_final;
+  if (match(Tok::kAssign)) f->init = parse_expr();
+  expect(Tok::kSemi, "after field declaration");
+  cls.fields.push_back(std::move(f));
+}
+
+std::vector<Param> Parser::parse_params() {
+  std::vector<Param> params;
+  if (check(Tok::kRParen)) return params;
+  for (;;) {
+    Param p;
+    p.loc = current().loc;
+    p.type = parse_type();
+    Token n = expect(Tok::kIdent, "parameter name");
+    p.name = n.text;
+    params.push_back(std::move(p));
+    if (!match(Tok::kComma)) break;
+  }
+  return params;
+}
+
+// ---------------------------------------------------------------------------
+// Types
+// ---------------------------------------------------------------------------
+
+bool Parser::looks_like_type_start() const {
+  return is_primitive_type_tok(current().kind) || check(Tok::kIdent);
+}
+
+TypeRef Parser::parse_base_type() {
+  switch (current().kind) {
+    case Tok::kInt: advance(); return Type::int_();
+    case Tok::kLong: advance(); return Type::long_();
+    case Tok::kFloat: advance(); return Type::float_();
+    case Tok::kDouble: advance(); return Type::double_();
+    case Tok::kBoolean: advance(); return Type::boolean();
+    case Tok::kBit: advance(); return Type::bit();
+    case Tok::kVoid: advance(); return Type::void_();
+    case Tok::kIdent: {
+      Token t = advance();
+      return Type::class_(t.text);
+    }
+    default:
+      error_here("expected a type");
+      return nullptr;
+  }
+}
+
+TypeRef Parser::parse_type() {
+  TypeRef t = parse_base_type();
+  if (!t) return nullptr;
+  // Array suffixes: [] (mutable) and [[]] (value array, §2.2).
+  for (;;) {
+    if (check(Tok::kLBracket) && peek(1).is(Tok::kLBracket) &&
+        peek(2).is(Tok::kRBracket) && peek(3).is(Tok::kRBracket)) {
+      advance(); advance(); advance(); advance();
+      t = Type::value_array(t);
+    } else if (check(Tok::kLBracket) && peek(1).is(Tok::kRBracket)) {
+      advance(); advance();
+      t = Type::array(t);
+    } else {
+      break;
+    }
+  }
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+bool Parser::looks_like_var_decl() const {
+  if (check(Tok::kVar)) return true;
+  size_t i = 0;
+  // Optional base type: primitive or identifier.
+  if (is_primitive_type_tok(peek(i).kind)) {
+    ++i;
+  } else if (peek(i).is(Tok::kIdent)) {
+    ++i;
+  } else {
+    return false;
+  }
+  // Array suffixes.
+  for (;;) {
+    if (peek(i).is(Tok::kLBracket) && peek(i + 1).is(Tok::kLBracket) &&
+        peek(i + 2).is(Tok::kRBracket) && peek(i + 3).is(Tok::kRBracket)) {
+      i += 4;
+    } else if (peek(i).is(Tok::kLBracket) && peek(i + 1).is(Tok::kRBracket)) {
+      i += 2;
+    } else {
+      break;
+    }
+  }
+  // A declaration has an identifier next, then '=' or ';'.
+  if (!peek(i).is(Tok::kIdent)) return false;
+  return peek(i + 1).is(Tok::kAssign) || peek(i + 1).is(Tok::kSemi);
+}
+
+StmtPtr Parser::parse_stmt() {
+  switch (current().kind) {
+    case Tok::kLBrace: return parse_block();
+    case Tok::kIf: return parse_if();
+    case Tok::kWhile: return parse_while();
+    case Tok::kFor: return parse_for();
+    case Tok::kReturn: return parse_return();
+    case Tok::kBreak: {
+      auto s = std::make_unique<BreakStmt>();
+      s->loc = advance().loc;
+      expect(Tok::kSemi, "after 'break'");
+      return s;
+    }
+    case Tok::kContinue: {
+      auto s = std::make_unique<ContinueStmt>();
+      s->loc = advance().loc;
+      expect(Tok::kSemi, "after 'continue'");
+      return s;
+    }
+    default:
+      break;
+  }
+  if (looks_like_var_decl()) return parse_var_decl();
+
+  auto s = std::make_unique<ExprStmt>();
+  s->loc = current().loc;
+  s->expr = parse_expr();
+  expect(Tok::kSemi, "after expression statement");
+  if (!s->expr) sync_to_stmt_boundary();
+  return s;
+}
+
+std::unique_ptr<BlockStmt> Parser::parse_block() {
+  auto b = std::make_unique<BlockStmt>();
+  b->loc = current().loc;
+  expect(Tok::kLBrace, "to open block");
+  while (!check(Tok::kRBrace) && !check(Tok::kEof)) {
+    size_t before = pos_;
+    b->stmts.push_back(parse_stmt());
+    if (pos_ == before) {
+      // No progress (cascading error); skip a token to avoid livelock.
+      advance();
+    }
+  }
+  expect(Tok::kRBrace, "to close block");
+  return b;
+}
+
+StmtPtr Parser::parse_var_decl() {
+  auto s = std::make_unique<VarDeclStmt>();
+  s->loc = current().loc;
+  if (match(Tok::kVar)) {
+    s->declared_type = nullptr;  // inferred
+  } else {
+    s->declared_type = parse_type();
+  }
+  Token n = expect(Tok::kIdent, "variable name");
+  s->name = n.text;
+  if (match(Tok::kAssign)) {
+    s->init = parse_expr();
+  } else if (!s->declared_type) {
+    error_here("'var' declaration requires an initializer");
+  }
+  expect(Tok::kSemi, "after variable declaration");
+  return s;
+}
+
+StmtPtr Parser::parse_if() {
+  auto s = std::make_unique<IfStmt>();
+  s->loc = advance().loc;  // 'if'
+  expect(Tok::kLParen, "after 'if'");
+  s->cond = parse_expr();
+  expect(Tok::kRParen, "after if condition");
+  s->then_stmt = parse_stmt();
+  if (match(Tok::kElse)) s->else_stmt = parse_stmt();
+  return s;
+}
+
+StmtPtr Parser::parse_while() {
+  auto s = std::make_unique<WhileStmt>();
+  s->loc = advance().loc;  // 'while'
+  expect(Tok::kLParen, "after 'while'");
+  s->cond = parse_expr();
+  expect(Tok::kRParen, "after while condition");
+  s->body = parse_stmt();
+  return s;
+}
+
+StmtPtr Parser::parse_for() {
+  auto s = std::make_unique<ForStmt>();
+  s->loc = advance().loc;  // 'for'
+  expect(Tok::kLParen, "after 'for'");
+  if (!match(Tok::kSemi)) {
+    if (looks_like_var_decl()) {
+      s->init = parse_var_decl();  // consumes the ';'
+    } else {
+      auto e = std::make_unique<ExprStmt>();
+      e->loc = current().loc;
+      e->expr = parse_expr();
+      s->init = std::move(e);
+      expect(Tok::kSemi, "after for-init");
+    }
+  }
+  if (!check(Tok::kSemi)) s->cond = parse_expr();
+  expect(Tok::kSemi, "after for-condition");
+  if (!check(Tok::kRParen)) s->update = parse_expr();
+  expect(Tok::kRParen, "to close for header");
+  s->body = parse_stmt();
+  return s;
+}
+
+StmtPtr Parser::parse_return() {
+  auto s = std::make_unique<ReturnStmt>();
+  s->loc = advance().loc;  // 'return'
+  if (!check(Tok::kSemi)) s->value = parse_expr();
+  expect(Tok::kSemi, "after return");
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+ExprPtr Parser::parse_expression() { return parse_expr(); }
+
+ExprPtr Parser::parse_expr() {
+  ExprPtr e = parse_assign();
+  // Connect chains are left-associative: a => b => c.
+  while (check(Tok::kConnect)) {
+    auto c = std::make_unique<ConnectExpr>();
+    c->loc = advance().loc;
+    c->lhs = std::move(e);
+    c->rhs = parse_assign();
+    e = std::move(c);
+  }
+  return e;
+}
+
+ExprPtr Parser::parse_assign() {
+  ExprPtr lhs = parse_ternary();
+  Tok t = current().kind;
+  if (t == Tok::kAssign || t == Tok::kPlusAssign || t == Tok::kMinusAssign ||
+      t == Tok::kStarAssign || t == Tok::kSlashAssign) {
+    auto a = std::make_unique<AssignExpr>();
+    a->loc = advance().loc;
+    a->target = std::move(lhs);
+    a->value = parse_assign();  // right-associative
+    if (t != Tok::kAssign) {
+      a->compound = true;
+      a->op = t == Tok::kPlusAssign   ? BinOp::kAdd
+              : t == Tok::kMinusAssign ? BinOp::kSub
+              : t == Tok::kStarAssign  ? BinOp::kMul
+                                       : BinOp::kDiv;
+    }
+    return a;
+  }
+  return lhs;
+}
+
+ExprPtr Parser::parse_ternary() {
+  ExprPtr cond = parse_binary(1);
+  if (!match(Tok::kQuestion)) return cond;
+  auto t = std::make_unique<TernaryExpr>();
+  t->loc = cond ? cond->loc : current().loc;
+  t->cond = std::move(cond);
+  t->then_expr = parse_expr();
+  expect(Tok::kColon, "in ternary expression");
+  t->else_expr = parse_ternary();
+  return t;
+}
+
+ExprPtr Parser::parse_binary(int min_prec) {
+  ExprPtr lhs = parse_unary();
+  for (;;) {
+    // The Lime map/reduce operators: `Class @ method(args)` and
+    // `Class ! method(args)` (§2.2). Both are recognized only when the
+    // operator is followed by `ident (`, so logical-not and != stay intact.
+    if (check(Tok::kAt) && peek(1).is(Tok::kIdent) && peek(2).is(Tok::kLParen)) {
+      auto m = std::make_unique<MapExpr>();
+      m->loc = advance().loc;  // '@'
+      if (lhs && lhs->kind == ExprKind::kName) {
+        m->class_name = as<NameExpr>(*lhs).name;
+      } else {
+        diags_.error(m->loc, "left operand of '@' must be a class name");
+      }
+      m->method = advance().text;
+      expect(Tok::kLParen, "after map method name");
+      m->args = parse_args();
+      expect(Tok::kRParen, "to close map arguments");
+      lhs = std::move(m);
+      continue;
+    }
+    if (check(Tok::kBang) && peek(1).is(Tok::kIdent) &&
+        peek(2).is(Tok::kLParen)) {
+      auto r = std::make_unique<ReduceExpr>();
+      r->loc = advance().loc;  // '!'
+      if (lhs && lhs->kind == ExprKind::kName) {
+        r->class_name = as<NameExpr>(*lhs).name;
+      } else {
+        diags_.error(r->loc, "left operand of '!' must be a class name");
+      }
+      r->method = advance().text;
+      expect(Tok::kLParen, "after reduce method name");
+      r->args = parse_args();
+      expect(Tok::kRParen, "to close reduce arguments");
+      lhs = std::move(r);
+      continue;
+    }
+
+    int prec = binop_prec(current().kind);
+    if (prec < min_prec) return lhs;
+    Tok op_tok = advance().kind;
+    ExprPtr rhs = parse_binary(prec + 1);
+    auto b = std::make_unique<BinaryExpr>();
+    b->loc = lhs ? lhs->loc : current().loc;
+    b->op = binop_for(op_tok);
+    b->lhs = std::move(lhs);
+    b->rhs = std::move(rhs);
+    lhs = std::move(b);
+  }
+}
+
+ExprPtr Parser::parse_unary() {
+  if (check(Tok::kMinus) || check(Tok::kBang) || check(Tok::kTilde)) {
+    auto u = std::make_unique<UnaryExpr>();
+    Tok t = current().kind;
+    u->loc = advance().loc;
+    u->op = t == Tok::kMinus ? UnOp::kNeg
+            : t == Tok::kBang ? UnOp::kNot
+                              : UnOp::kBitNot;
+    u->operand = parse_unary();
+    return u;
+  }
+  return parse_postfix();
+}
+
+ExprPtr Parser::parse_postfix() {
+  ExprPtr e = parse_primary();
+  for (;;) {
+    if (match(Tok::kDot)) {
+      // Optional explicit type argument: `.<bit>sink()` (Fig. 1 line 19).
+      TypeRef type_arg;
+      if (check(Tok::kLt)) {
+        advance();
+        type_arg = parse_type();
+        expect(Tok::kGt, "to close type argument");
+      }
+      Token name = expect(Tok::kIdent, "member name after '.'");
+      if (check(Tok::kLParen)) {
+        advance();
+        auto c = std::make_unique<CallExpr>();
+        c->loc = name.loc;
+        c->receiver = std::move(e);
+        c->method = name.text;
+        c->type_arg = type_arg;
+        c->args = parse_args();
+        expect(Tok::kRParen, "to close call arguments");
+        e = std::move(c);
+      } else {
+        auto f = std::make_unique<FieldExpr>();
+        f->loc = name.loc;
+        f->object = std::move(e);
+        f->name = name.text;
+        e = std::move(f);
+      }
+    } else if (check(Tok::kLBracket)) {
+      advance();
+      auto ix = std::make_unique<IndexExpr>();
+      ix->loc = current().loc;
+      ix->array = std::move(e);
+      ix->index = parse_expr();
+      expect(Tok::kRBracket, "to close array index");
+      e = std::move(ix);
+    } else {
+      return e;
+    }
+  }
+}
+
+std::vector<ExprPtr> Parser::parse_args() {
+  std::vector<ExprPtr> args;
+  if (check(Tok::kRParen)) return args;
+  for (;;) {
+    args.push_back(parse_expr());
+    if (!match(Tok::kComma)) break;
+  }
+  return args;
+}
+
+ExprPtr Parser::parse_new() {
+  SourceLoc loc = advance().loc;  // 'new'
+  TypeRef base = parse_base_type();
+  if (!base) return nullptr;
+
+  auto n = std::make_unique<NewArrayExpr>();
+  n->loc = loc;
+
+  // `new T[[]](arr)` — freeze a mutable array into a value array
+  // (Fig. 1 line 21: `new bit[[]](result)`).
+  if (check(Tok::kLBracket) && peek(1).is(Tok::kLBracket) &&
+      peek(2).is(Tok::kRBracket) && peek(3).is(Tok::kRBracket)) {
+    advance(); advance(); advance(); advance();
+    n->elem_type = base;
+    n->is_value_array = true;
+    expect(Tok::kLParen, "after value-array type in 'new'");
+    n->from_array = parse_expr();
+    expect(Tok::kRParen, "to close 'new' argument");
+    return n;
+  }
+
+  // `new T[len]`.
+  expect(Tok::kLBracket, "after type in 'new'");
+  n->elem_type = base;
+  n->length = parse_expr();
+  expect(Tok::kRBracket, "to close array length");
+  return n;
+}
+
+ExprPtr Parser::parse_task() {
+  auto t = std::make_unique<TaskExpr>();
+  t->loc = advance().loc;  // 'task'
+  Token first = expect(Tok::kIdent, "method name after 'task'");
+  if (match(Tok::kDot)) {
+    Token second = expect(Tok::kIdent, "method name after '.'");
+    t->class_name = first.text;
+    t->method = second.text;
+  } else {
+    t->method = first.text;
+  }
+  return t;
+}
+
+ExprPtr Parser::parse_primary() {
+  switch (current().kind) {
+    case Tok::kIntLit: case Tok::kLongLit: {
+      auto e = std::make_unique<IntLitExpr>();
+      Token t = advance();
+      e->loc = t.loc;
+      e->value = t.int_value;
+      e->is_long = t.kind == Tok::kLongLit;
+      return e;
+    }
+    case Tok::kFloatLit: case Tok::kDoubleLit: {
+      auto e = std::make_unique<FloatLitExpr>();
+      Token t = advance();
+      e->loc = t.loc;
+      e->value = t.float_value;
+      e->is_double = t.kind == Tok::kDoubleLit;
+      return e;
+    }
+    case Tok::kBitLit: {
+      auto e = std::make_unique<BitLitExpr>();
+      Token t = advance();
+      e->loc = t.loc;
+      e->bits = BitVec::from_literal(t.text);
+      return e;
+    }
+    case Tok::kTrue: case Tok::kFalse: {
+      auto e = std::make_unique<BoolLitExpr>();
+      Token t = advance();
+      e->loc = t.loc;
+      e->value = t.is(Tok::kTrue);
+      return e;
+    }
+    case Tok::kThis: {
+      auto e = std::make_unique<ThisExpr>();
+      e->loc = advance().loc;
+      return e;
+    }
+    case Tok::kNew:
+      return parse_new();
+    case Tok::kTask:
+      return parse_task();
+    case Tok::kLBracket: {
+      // Relocation brackets around a task expression (§2.3).
+      auto r = std::make_unique<RelocateExpr>();
+      r->loc = advance().loc;
+      r->inner = parse_expr();
+      expect(Tok::kRBracket, "to close relocation brackets");
+      return r;
+    }
+    case Tok::kLParen: {
+      // Either a cast `(int) x` or a parenthesized expression.
+      if (is_primitive_type_tok(peek(1).kind) && peek(2).is(Tok::kRParen)) {
+        SourceLoc loc = advance().loc;  // '('
+        auto c = std::make_unique<CastExpr>();
+        c->loc = loc;
+        c->target = parse_base_type();
+        expect(Tok::kRParen, "to close cast");
+        c->operand = parse_unary();
+        return c;
+      }
+      advance();
+      ExprPtr e = parse_expr();
+      expect(Tok::kRParen, "to close parenthesized expression");
+      return e;
+    }
+    case Tok::kIdent: {
+      // Qualified static call `C.f(...)` is handled by postfix; here an
+      // identifier may also be an unqualified call `f(...)`.
+      Token t = advance();
+      if (check(Tok::kLParen)) {
+        advance();
+        auto c = std::make_unique<CallExpr>();
+        c->loc = t.loc;
+        c->method = t.text;
+        c->args = parse_args();
+        expect(Tok::kRParen, "to close call arguments");
+        return c;
+      }
+      auto e = std::make_unique<NameExpr>();
+      e->loc = t.loc;
+      e->name = t.text;
+      return e;
+    }
+    // A primitive type in expression position: e.g. `bit.zero`.
+    case Tok::kBit: case Tok::kInt: case Tok::kLong: case Tok::kFloat:
+    case Tok::kDouble: case Tok::kBoolean: {
+      Token t = advance();
+      auto e = std::make_unique<NameExpr>();
+      e->loc = t.loc;
+      e->name = to_string(t.kind);
+      // Strip the quotes from the token name ('bit' → bit).
+      if (e->name.size() >= 2 && e->name.front() == '\'') {
+        e->name = e->name.substr(1, e->name.size() - 2);
+      }
+      return e;
+    }
+    default:
+      error_here(std::string("expected an expression, found ") +
+                 to_string(current().kind));
+      return nullptr;
+  }
+}
+
+}  // namespace lm::lime

@@ -1,0 +1,86 @@
+// Recursive-descent parser for the Lime subset.
+//
+// Produces an unannotated AST; all name/type resolution happens in sema.
+// On a syntax error the parser reports a diagnostic and attempts local
+// recovery (skip to the next ';' or '}'), so one bad method does not hide
+// errors elsewhere in the file.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "lime/ast.h"
+#include "lime/token.h"
+#include "util/diagnostics.h"
+
+namespace lm::lime {
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, DiagnosticEngine& diags);
+
+  /// Parses a whole compilation unit (one or more class declarations).
+  std::unique_ptr<Program> parse_program();
+
+  /// Parses a single expression (used by tests).
+  ExprPtr parse_expression();
+
+ private:
+  // -- token stream helpers --
+  const Token& peek(size_t ahead = 0) const;
+  const Token& current() const { return peek(0); }
+  Token advance();
+  bool check(Tok t) const { return current().is(t); }
+  bool match(Tok t);
+  Token expect(Tok t, const char* what);
+  void error_here(const std::string& msg);
+  void sync_to_stmt_boundary();
+
+  // -- declarations --
+  struct Mods {
+    bool is_public = false, is_private = false, is_value = false;
+    bool is_local = false, is_global = false, is_static = false;
+    bool is_final = false;
+  };
+  Mods parse_mods();
+  std::unique_ptr<ClassDecl> parse_class();
+  void parse_enum_body(ClassDecl& cls);
+  void parse_member(ClassDecl& cls);
+  std::vector<Param> parse_params();
+
+  // -- types --
+  bool looks_like_type_start() const;
+  TypeRef parse_type();
+  TypeRef parse_base_type();
+
+  /// True when the tokens at the cursor begin a local variable declaration
+  /// rather than an expression statement.
+  bool looks_like_var_decl() const;
+
+  // -- statements --
+  StmtPtr parse_stmt();
+  std::unique_ptr<BlockStmt> parse_block();
+  StmtPtr parse_var_decl();
+  StmtPtr parse_if();
+  StmtPtr parse_while();
+  StmtPtr parse_for();
+  StmtPtr parse_return();
+
+  // -- expressions (precedence climbing) --
+  ExprPtr parse_expr();        // connect level (lowest)
+  ExprPtr parse_assign();
+  ExprPtr parse_ternary();
+  ExprPtr parse_binary(int min_prec);
+  ExprPtr parse_unary();
+  ExprPtr parse_postfix();
+  ExprPtr parse_primary();
+  std::vector<ExprPtr> parse_args();
+  ExprPtr parse_new();
+  ExprPtr parse_task();
+
+  std::vector<Token> toks_;
+  DiagnosticEngine& diags_;
+  size_t pos_ = 0;
+};
+
+}  // namespace lm::lime

@@ -1,0 +1,1125 @@
+#include "lime/sema.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/error.h"
+
+namespace lm::lime {
+
+namespace {
+
+bool is_builtin_bit_class(const ClassDecl& cls) { return cls.name == "bit"; }
+
+/// Math intrinsic lookup: name → (builtin, arity).
+struct MathIntrinsic {
+  CallExpr::Builtin builtin;
+  int arity;
+};
+const std::unordered_map<std::string, MathIntrinsic>& math_intrinsics() {
+  static const auto* kMap = new std::unordered_map<std::string, MathIntrinsic>{
+      {"sqrt", {CallExpr::Builtin::kSqrt, 1}},
+      {"exp", {CallExpr::Builtin::kExp, 1}},
+      {"log", {CallExpr::Builtin::kLog, 1}},
+      {"sin", {CallExpr::Builtin::kSin, 1}},
+      {"cos", {CallExpr::Builtin::kCos, 1}},
+      {"pow", {CallExpr::Builtin::kPow, 2}},
+      {"abs", {CallExpr::Builtin::kAbs, 1}},
+      {"min", {CallExpr::Builtin::kMin, 2}},
+      {"max", {CallExpr::Builtin::kMax, 2}},
+      {"floor", {CallExpr::Builtin::kFloor, 1}},
+  };
+  return *kMap;
+}
+
+}  // namespace
+
+bool is_task_capable(const MethodDecl& m) {
+  if (!m.is_local && !(m.owner && m.owner->is_value)) return false;
+  if (!m.return_type || !m.return_type->is_value()) return false;
+  for (const auto& p : m.params) {
+    if (!p.type || !p.type->is_value()) return false;
+  }
+  return true;
+}
+
+Sema::Sema(Program& program, DiagnosticEngine& diags)
+    : program_(program), diags_(diags) {}
+
+void Sema::error(SourceLoc loc, const std::string& msg) {
+  diags_.error(loc, msg);
+}
+
+bool Sema::run() {
+  register_classes();
+  resolve_signatures();
+  compute_purity();
+  for (auto& cls : program_.classes) {
+    if (is_builtin_bit_class(*cls)) continue;  // builtin, not re-analyzed
+    analyze_class(*cls);
+  }
+  return !diags_.has_errors();
+}
+
+// ---------------------------------------------------------------------------
+// Phase 1: class registration and signature resolution
+// ---------------------------------------------------------------------------
+
+void Sema::register_classes() {
+  std::unordered_set<std::string> seen;
+  for (auto& cls : program_.classes) {
+    if (!seen.insert(cls->name).second) {
+      error(cls->loc, "duplicate class '" + cls->name + "'");
+    }
+    if (cls->name == "Math") {
+      error(cls->loc, "'Math' is a builtin class and cannot be redeclared");
+    }
+    if (is_builtin_bit_class(*cls)) {
+      // The user restated the builtin `bit` enum (Fig. 1). Validate shape.
+      if (!cls->is_enum || !cls->is_value || cls->enum_consts.size() != 2 ||
+          cls->enum_consts[0].name != "zero" ||
+          cls->enum_consts[1].name != "one") {
+        error(cls->loc,
+              "declaration of 'bit' must match the builtin value enum "
+              "{ zero, one }");
+      }
+    }
+    if (cls->is_enum && !cls->is_value) {
+      // Java enums are mutable; only value enums are supported in the
+      // subset because only they can cross task boundaries.
+      error(cls->loc, "enum '" + cls->name + "' must be declared 'value'");
+    }
+    // Methods of value classes are local by default (§2.1).
+    if (cls->is_value) {
+      for (auto& m : cls->methods) m->is_local = true;
+    }
+    for (auto& m : cls->methods) m->owner = cls.get();
+    int index = 0;
+    for (auto& f : cls->fields) {
+      f->owner = cls.get();
+      f->index = index++;
+    }
+  }
+}
+
+TypeRef Sema::resolve_type(TypeRef t, SourceLoc loc) {
+  if (!t) return Type::void_();
+  switch (t->kind) {
+    case TypeKind::kArray:
+      return Type::array(resolve_type(t->elem, loc));
+    case TypeKind::kValueArray: {
+      TypeRef elem = resolve_type(t->elem, loc);
+      if (!elem->is_value()) {
+        error(loc, "value array element type '" + elem->to_string() +
+                       "' is not a value type");
+      }
+      return Type::value_array(elem);
+    }
+    case TypeKind::kClass: {
+      if (t->decl) return t;
+      const ClassDecl* decl = program_.find_class(t->class_name);
+      if (!decl) {
+        error(loc, "unknown type '" + t->class_name + "'");
+        return Type::void_();
+      }
+      if (is_builtin_bit_class(*decl)) return Type::bit();
+      return Type::class_(t->class_name, decl);
+    }
+    default:
+      return t;
+  }
+}
+
+void Sema::resolve_signatures() {
+  for (auto& cls : program_.classes) {
+    for (auto& f : cls->fields) {
+      f->type = resolve_type(f->type, f->loc);
+      if (cls->is_value) {
+        if (!f->type->is_value()) {
+          error(f->loc, "field '" + f->name + "' of value class '" +
+                            cls->name + "' must have a value type");
+        }
+      }
+    }
+    for (auto& m : cls->methods) {
+      m->return_type = resolve_type(m->return_type, m->loc);
+      for (auto& p : m->params) p.type = resolve_type(p.type, p.loc);
+    }
+  }
+}
+
+void Sema::compute_purity() {
+  // §2.1: "a local method whose arguments are values is pure if it is
+  // either a static method or an instance method of a value type."
+  for (auto& cls : program_.classes) {
+    for (auto& m : cls->methods) {
+      if (m->is_ctor) continue;
+      bool args_values = true;
+      for (const auto& p : m->params) {
+        if (!p.type->is_value()) args_values = false;
+      }
+      bool position_ok = m->is_static || cls->is_value;
+      m->is_pure = m->is_local && args_values && position_ok &&
+                   m->return_type->is_value();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Phase 2: per-class and per-method analysis
+// ---------------------------------------------------------------------------
+
+void Sema::analyze_class(ClassDecl& cls) {
+  cur_class_ = &cls;
+  std::unordered_set<std::string> member_names;
+  for (auto& f : cls.fields) {
+    if (!member_names.insert(f->name).second) {
+      error(f->loc, "duplicate member '" + f->name + "'");
+    }
+    if (f->is_static && !f->is_final) {
+      // Mutable statics are global state; they would defeat isolation of
+      // local methods, and the subset has no synchronization story for
+      // them, so they are rejected outright.
+      error(f->loc, "static field '" + f->name + "' must be final");
+    }
+    if (f->init) {
+      cur_method_ = nullptr;
+      TypeRef t = check_expr(*f->init);
+      coerce(f->init, f->type, "field initializer");
+      (void)t;
+    } else if (f->is_static && f->is_final) {
+      error(f->loc, "static final field '" + f->name +
+                        "' requires an initializer");
+    }
+  }
+  for (auto& m : cls.methods) {
+    if (!m->is_unary_op && !member_names.insert(m->name).second &&
+        !m->is_ctor) {
+      error(m->loc, "duplicate member '" + m->name + "'");
+    }
+    analyze_method(cls, *m);
+  }
+  cur_class_ = nullptr;
+}
+
+void Sema::analyze_method(ClassDecl& cls, MethodDecl& m) {
+  cur_method_ = &m;
+  locals_.clear();
+  scope_marks_.clear();
+  next_slot_ = 0;
+  max_slots_ = 0;
+  loop_depth_ = 0;
+
+  push_scope();
+  if (!m.is_static) {
+    // Slot 0 is `this` for instance methods (including operator methods).
+    declare_local("this", Type::class_(cls.name, &cls), m.loc);
+  }
+  for (auto& p : m.params) {
+    p.slot = declare_local(p.name, p.type, p.loc);
+  }
+
+  if (m.body) check_block(*m.body);
+  pop_scope();
+
+  m.num_slots = max_slots_;
+  cur_method_ = nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Scopes
+// ---------------------------------------------------------------------------
+
+void Sema::push_scope() { scope_marks_.push_back(locals_.size()); }
+
+void Sema::pop_scope() {
+  LM_CHECK(!scope_marks_.empty());
+  size_t mark = scope_marks_.back();
+  scope_marks_.pop_back();
+  next_slot_ -= static_cast<int>(locals_.size() - mark);
+  locals_.resize(mark);
+}
+
+int Sema::declare_local(const std::string& name, TypeRef type,
+                        SourceLoc loc) {
+  for (size_t i = scope_marks_.empty() ? 0 : scope_marks_.back();
+       i < locals_.size(); ++i) {
+    if (locals_[i].name == name) {
+      error(loc, "redeclaration of '" + name + "'");
+      return locals_[i].slot;
+    }
+  }
+  int slot = next_slot_++;
+  if (next_slot_ > max_slots_) max_slots_ = next_slot_;
+  locals_.push_back({name, std::move(type), slot});
+  return slot;
+}
+
+const Sema::LocalVar* Sema::lookup_local(const std::string& name) const {
+  for (auto it = locals_.rbegin(); it != locals_.rend(); ++it) {
+    if (it->name == name) return &*it;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+void Sema::check_block(BlockStmt& b) {
+  push_scope();
+  for (auto& s : b.stmts) {
+    if (s) check_stmt(*s);
+  }
+  pop_scope();
+}
+
+void Sema::check_stmt(Stmt& s) {
+  switch (s.kind) {
+    case StmtKind::kBlock:
+      check_block(as<BlockStmt>(s));
+      return;
+    case StmtKind::kExpr: {
+      auto& es = as<ExprStmt>(s);
+      if (es.expr) check_expr(*es.expr);
+      return;
+    }
+    case StmtKind::kVarDecl: {
+      auto& vd = as<VarDeclStmt>(s);
+      TypeRef declared =
+          vd.declared_type ? resolve_type(vd.declared_type, vd.loc) : nullptr;
+      if (vd.init) {
+        TypeRef init_t = check_expr(*vd.init);
+        if (declared) {
+          coerce(vd.init, declared, "variable initializer");
+        } else {
+          if (init_t->kind == TypeKind::kVoid) {
+            error(vd.loc, "cannot infer type for '" + vd.name +
+                              "' from a void expression");
+            init_t = Type::int_();
+          }
+          declared = init_t;
+        }
+      }
+      if (!declared) declared = Type::int_();
+      vd.declared_type = declared;
+      vd.slot = declare_local(vd.name, declared, vd.loc);
+      return;
+    }
+    case StmtKind::kIf: {
+      auto& is = as<IfStmt>(s);
+      check_expr(*is.cond);
+      coerce(is.cond, Type::boolean(), "if condition");
+      check_stmt(*is.then_stmt);
+      if (is.else_stmt) check_stmt(*is.else_stmt);
+      return;
+    }
+    case StmtKind::kWhile: {
+      auto& ws = as<WhileStmt>(s);
+      check_expr(*ws.cond);
+      coerce(ws.cond, Type::boolean(), "while condition");
+      ++loop_depth_;
+      check_stmt(*ws.body);
+      --loop_depth_;
+      return;
+    }
+    case StmtKind::kFor: {
+      auto& fs = as<ForStmt>(s);
+      push_scope();
+      if (fs.init) check_stmt(*fs.init);
+      if (fs.cond) {
+        check_expr(*fs.cond);
+        coerce(fs.cond, Type::boolean(), "for condition");
+      }
+      if (fs.update) check_expr(*fs.update);
+      ++loop_depth_;
+      check_stmt(*fs.body);
+      --loop_depth_;
+      pop_scope();
+      return;
+    }
+    case StmtKind::kReturn: {
+      auto& rs = as<ReturnStmt>(s);
+      LM_CHECK(cur_method_ != nullptr);
+      TypeRef want = cur_method_->return_type;
+      if (rs.value) {
+        check_expr(*rs.value);
+        if (want->kind == TypeKind::kVoid) {
+          error(rs.loc, "void method cannot return a value");
+        } else {
+          coerce(rs.value, want, "return value");
+        }
+      } else if (want->kind != TypeKind::kVoid) {
+        error(rs.loc, "non-void method must return a value");
+      }
+      return;
+    }
+    case StmtKind::kBreak:
+    case StmtKind::kContinue:
+      if (loop_depth_ == 0) {
+        error(s.loc, s.kind == StmtKind::kBreak
+                         ? "'break' outside of a loop"
+                         : "'continue' outside of a loop");
+      }
+      return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+TypeRef Sema::check_expr(Expr& e) {
+  TypeRef t;
+  switch (e.kind) {
+    case ExprKind::kIntLit:
+      t = as<IntLitExpr>(e).is_long ? Type::long_() : Type::int_();
+      break;
+    case ExprKind::kFloatLit:
+      t = as<FloatLitExpr>(e).is_double ? Type::double_() : Type::float_();
+      break;
+    case ExprKind::kBoolLit:
+      t = Type::boolean();
+      break;
+    case ExprKind::kBitLit:
+      t = Type::value_array(Type::bit());
+      break;
+    case ExprKind::kName:
+      t = check_name(as<NameExpr>(e));
+      break;
+    case ExprKind::kThis: {
+      if (!cur_method_ || cur_method_->is_static || !cur_class_) {
+        error(e.loc, "'this' used in a static context");
+        t = Type::void_();
+      } else {
+        t = Type::class_(cur_class_->name, cur_class_);
+      }
+      break;
+    }
+    case ExprKind::kUnary:
+      t = check_unary(as<UnaryExpr>(e));
+      break;
+    case ExprKind::kBinary:
+      t = check_binary(as<BinaryExpr>(e));
+      break;
+    case ExprKind::kAssign:
+      t = check_assign(as<AssignExpr>(e));
+      break;
+    case ExprKind::kTernary:
+      t = check_ternary(as<TernaryExpr>(e));
+      break;
+    case ExprKind::kCall:
+      t = check_call(as<CallExpr>(e));
+      break;
+    case ExprKind::kIndex:
+      t = check_index(as<IndexExpr>(e));
+      break;
+    case ExprKind::kField:
+      t = check_field(as<FieldExpr>(e));
+      break;
+    case ExprKind::kNewArray:
+      t = check_new_array(as<NewArrayExpr>(e));
+      break;
+    case ExprKind::kCast:
+      t = check_cast(as<CastExpr>(e));
+      break;
+    case ExprKind::kMap:
+      t = check_map(as<MapExpr>(e));
+      break;
+    case ExprKind::kReduce:
+      t = check_reduce(as<ReduceExpr>(e));
+      break;
+    case ExprKind::kTask:
+      t = check_task(as<TaskExpr>(e));
+      break;
+    case ExprKind::kRelocate:
+      t = check_relocate(as<RelocateExpr>(e));
+      break;
+    case ExprKind::kConnect:
+      t = check_connect(as<ConnectExpr>(e));
+      break;
+  }
+  if (!t) t = Type::void_();
+  e.type = t;
+  return t;
+}
+
+TypeRef Sema::check_name(NameExpr& e) {
+  if (const LocalVar* lv = lookup_local(e.name)) {
+    e.ref = NameRefKind::kLocal;
+    e.slot = lv->slot;
+    return lv->type;
+  }
+  // Enum constant of the enclosing enum (e.g. `zero` inside `bit`).
+  if (cur_class_ && cur_class_->is_enum) {
+    if (const EnumConst* c = cur_class_->find_enum_const(e.name)) {
+      e.ref = NameRefKind::kEnumConst;
+      e.class_ref = cur_class_;
+      e.enum_ordinal = c->ordinal;
+      return Type::class_(cur_class_->name, cur_class_);
+    }
+  }
+  // Field of the enclosing class.
+  if (cur_class_) {
+    if (const FieldDecl* f = cur_class_->find_field(e.name)) {
+      if (cur_method_ && cur_method_->is_static && !f->is_static) {
+        error(e.loc, "instance field '" + e.name +
+                         "' referenced from a static method");
+      }
+      if (cur_method_ && cur_method_->is_local && f->is_static &&
+          !f->is_final) {
+        error(e.loc, "local method may not read mutable static field '" +
+                         e.name + "'");
+      }
+      e.ref = NameRefKind::kField;
+      e.field = f;
+      return f->type;
+    }
+  }
+  // Class reference ("bit", "Math" or a user class) — usable as the
+  // receiver of a static call, map/reduce, or a qualified enum constant.
+  if (e.name == "bit" || e.name == "Math" || program_.find_class(e.name)) {
+    e.ref = NameRefKind::kClassRef;
+    e.class_ref = program_.find_class(e.name);
+    return Type::void_();  // class refs have no value type of their own
+  }
+  error(e.loc, "unknown name '" + e.name + "'");
+  return Type::void_();
+}
+
+TypeRef Sema::check_unary(UnaryExpr& e) {
+  TypeRef t = check_expr(*e.operand);
+  switch (e.op) {
+    case UnOp::kNeg:
+      if (!t->is_numeric()) {
+        error(e.loc, "operand of '-' must be numeric, got " + t->to_string());
+        return Type::void_();
+      }
+      return t;
+    case UnOp::kNot:
+      coerce(e.operand, Type::boolean(), "operand of '!'");
+      return Type::boolean();
+    case UnOp::kBitNot: {
+      if (t->kind == TypeKind::kBit) return t;  // builtin bit flip (Fig. 1)
+      if (t->kind == TypeKind::kInt || t->kind == TypeKind::kLong) return t;
+      // User-defined operator method on a value class, e.g. `~this`.
+      if (t->kind == TypeKind::kClass && t->decl) {
+        if (const MethodDecl* m = t->decl->find_unary_op(UnOp::kBitNot)) {
+          e.op = UnOp::kUserOp;
+          e.user_method = m;
+          return m->return_type;
+        }
+      }
+      error(e.loc, "operand of '~' must be bit, int, long, or a value class "
+                   "with an operator method; got " + t->to_string());
+      return Type::void_();
+    }
+    case UnOp::kUserOp:
+      LM_UNREACHABLE("parser never produces kUserOp");
+  }
+  return Type::void_();
+}
+
+TypeRef Sema::check_binary(BinaryExpr& e) {
+  TypeRef lt = check_expr(*e.lhs);
+  TypeRef rt = check_expr(*e.rhs);
+
+  switch (e.op) {
+    case BinOp::kLAnd:
+    case BinOp::kLOr:
+      coerce(e.lhs, Type::boolean(), "logical operand");
+      coerce(e.rhs, Type::boolean(), "logical operand");
+      return Type::boolean();
+
+    case BinOp::kEq:
+    case BinOp::kNe:
+      // Equality over same class (enum ordinal compare), booleans, bits, or
+      // promoted numerics.
+      if (lt->kind == TypeKind::kClass && equal(lt, rt)) return Type::boolean();
+      if (lt->kind == TypeKind::kBoolean && rt->kind == TypeKind::kBoolean)
+        return Type::boolean();
+      if (lt->kind == TypeKind::kBit && rt->kind == TypeKind::kBit)
+        return Type::boolean();
+      [[fallthrough]];
+
+    case BinOp::kLt:
+    case BinOp::kLe:
+    case BinOp::kGt:
+    case BinOp::kGe: {
+      TypeRef p = promote(lt, rt);
+      if (!p) {
+        error(e.loc, "cannot compare " + lt->to_string() + " and " +
+                         rt->to_string());
+        return Type::boolean();
+      }
+      coerce(e.lhs, p, "comparison operand");
+      coerce(e.rhs, p, "comparison operand");
+      return Type::boolean();
+    }
+
+    case BinOp::kAnd:
+    case BinOp::kOr:
+    case BinOp::kXor: {
+      if (lt->kind == TypeKind::kBit && rt->kind == TypeKind::kBit)
+        return Type::bit();
+      if (lt->kind == TypeKind::kBoolean && rt->kind == TypeKind::kBoolean)
+        return Type::boolean();
+      if (lt->is_integral() && rt->is_integral()) {
+        TypeRef p = promote(lt, rt);
+        if (!p) p = Type::int_();
+        coerce(e.lhs, p, "bitwise operand");
+        coerce(e.rhs, p, "bitwise operand");
+        return p;
+      }
+      error(e.loc, "bitwise operator requires integral operands, got " +
+                       lt->to_string() + " and " + rt->to_string());
+      return Type::void_();
+    }
+
+    case BinOp::kShl:
+    case BinOp::kShr: {
+      if (!lt->is_integral() || !rt->is_integral()) {
+        error(e.loc, "shift requires integral operands");
+        return Type::void_();
+      }
+      if (lt->kind == TypeKind::kBit) coerce(e.lhs, Type::int_(), "shift");
+      // The shift amount adopts the operand's type so every backend sees
+      // uniform operand widths (the amount is masked at execution anyway).
+      coerce(e.rhs, e.lhs->type, "shift amount");
+      return e.lhs->type;
+    }
+
+    default: {  // arithmetic: + - * / %
+      TypeRef p = promote(lt, rt);
+      if (!p) {
+        error(e.loc, "cannot apply '" + std::string(to_string(e.op)) +
+                         "' to " + lt->to_string() + " and " + rt->to_string());
+        return Type::void_();
+      }
+      if (e.op == BinOp::kRem && p->is_floating()) {
+        error(e.loc, "'%' requires integral operands");
+      }
+      coerce(e.lhs, p, "arithmetic operand");
+      coerce(e.rhs, p, "arithmetic operand");
+      return p;
+    }
+  }
+}
+
+void Sema::check_assign_target(Expr& target) {
+  switch (target.kind) {
+    case ExprKind::kName: {
+      auto& n = as<NameExpr>(target);
+      if (n.ref == NameRefKind::kLocal) return;
+      if (n.ref == NameRefKind::kField) {
+        const FieldDecl* f = n.field;
+        if (f->is_final) {
+          error(target.loc, "cannot assign to final field '" + f->name + "'");
+        }
+        if (f->owner && f->owner->is_value &&
+            !(cur_method_ && cur_method_->is_ctor)) {
+          error(target.loc, "cannot mutate field of value class '" +
+                                f->owner->name + "'");
+        }
+        if (cur_method_ && cur_method_->is_local && f->is_static) {
+          error(target.loc,
+                "local method may not write static field '" + f->name + "'");
+        }
+        return;
+      }
+      error(target.loc, "cannot assign to '" + n.name + "'");
+      return;
+    }
+    case ExprKind::kIndex: {
+      auto& ix = as<IndexExpr>(target);
+      TypeRef at = ix.array->type;
+      if (at && at->kind == TypeKind::kValueArray) {
+        error(target.loc,
+              "value arrays are immutable; cannot assign to an element");
+      } else if (at && at->kind != TypeKind::kArray) {
+        error(target.loc, "indexed assignment requires an array");
+      }
+      return;
+    }
+    case ExprKind::kField: {
+      auto& f = as<FieldExpr>(target);
+      if (f.is_array_length) {
+        error(target.loc, "cannot assign to array length");
+        return;
+      }
+      if (f.field) {
+        if (f.field->is_final) {
+          error(target.loc,
+                "cannot assign to final field '" + f.field->name + "'");
+        }
+        if (f.field->owner && f.field->owner->is_value &&
+            !(cur_method_ && cur_method_->is_ctor)) {
+          error(target.loc, "cannot mutate field of value class '" +
+                                f.field->owner->name + "'");
+        }
+      } else {
+        error(target.loc, "cannot assign to '" + f.name + "'");
+      }
+      return;
+    }
+    default:
+      error(target.loc, "invalid assignment target");
+  }
+}
+
+TypeRef Sema::check_assign(AssignExpr& e) {
+  TypeRef tt = check_expr(*e.target);
+  check_expr(*e.value);
+  check_assign_target(*e.target);
+  if (e.compound) {
+    // `a += b` behaves as `a = a + b`; the value must promote back to the
+    // target's type without narrowing.
+    TypeRef p = promote(tt, e.value->type);
+    if (!p || !widens_to(p, tt)) {
+      if (!(tt && e.value->type && equal(tt, e.value->type))) {
+        error(e.loc, "compound assignment would narrow from " +
+                         (p ? p->to_string() : std::string("<error>")) +
+                         " to " + (tt ? tt->to_string() : "<error>"));
+      }
+    }
+    coerce(e.value, tt, "compound assignment");
+  } else {
+    coerce(e.value, tt, "assignment");
+  }
+  return tt;
+}
+
+TypeRef Sema::check_ternary(TernaryExpr& e) {
+  check_expr(*e.cond);
+  coerce(e.cond, Type::boolean(), "ternary condition");
+  TypeRef a = check_expr(*e.then_expr);
+  TypeRef b = check_expr(*e.else_expr);
+  if (equal(a, b)) return a;
+  TypeRef p = promote(a, b);
+  if (p) {
+    coerce(e.then_expr, p, "ternary branch");
+    coerce(e.else_expr, p, "ternary branch");
+    return p;
+  }
+  error(e.loc, "incompatible ternary branches: " + a->to_string() + " and " +
+                   b->to_string());
+  return a;
+}
+
+TypeRef Sema::check_call(CallExpr& e) {
+  // 1. Builtin receivers: Math.<fn>(...).
+  if (e.receiver && e.receiver->kind == ExprKind::kName &&
+      as<NameExpr>(*e.receiver).name == "Math" && !lookup_local("Math")) {
+    auto it = math_intrinsics().find(e.method);
+    if (it == math_intrinsics().end()) {
+      error(e.loc, "unknown Math intrinsic '" + e.method + "'");
+      return Type::void_();
+    }
+    if (static_cast<int>(e.args.size()) != it->second.arity) {
+      error(e.loc, "Math." + e.method + " expects " +
+                       std::to_string(it->second.arity) + " argument(s)");
+      return Type::void_();
+    }
+    e.builtin = it->second.builtin;
+    as<NameExpr>(*e.receiver).ref = NameRefKind::kClassRef;
+    TypeRef common = Type::float_();
+    bool any_double = false, all_int = true;
+    for (auto& a : e.args) {
+      TypeRef t = check_expr(*a);
+      if (!t->is_numeric()) {
+        error(a->loc, "Math argument must be numeric, got " + t->to_string());
+        return Type::void_();
+      }
+      if (t->kind == TypeKind::kDouble) any_double = true;
+      if (t->kind != TypeKind::kInt && t->kind != TypeKind::kLong)
+        all_int = false;
+      if (t->kind == TypeKind::kLong) any_double = true;  // long → double
+    }
+    bool integral_ok = (e.builtin == CallExpr::Builtin::kAbs ||
+                        e.builtin == CallExpr::Builtin::kMin ||
+                        e.builtin == CallExpr::Builtin::kMax);
+    if (integral_ok && all_int) {
+      common = Type::int_();
+      for (auto& a : e.args) {
+        if (a->type->kind == TypeKind::kLong) common = Type::long_();
+      }
+    } else {
+      common = any_double ? Type::double_() : Type::float_();
+    }
+    for (auto& a : e.args) coerce(a, common, "Math argument");
+    return common;
+  }
+
+  // 2. Resolve receiver (if any) to classify the call.
+  TypeRef recv_t;
+  const ClassDecl* static_class = nullptr;
+  if (e.receiver) {
+    if (e.receiver->kind == ExprKind::kName &&
+        !lookup_local(as<NameExpr>(*e.receiver).name)) {
+      auto& n = as<NameExpr>(*e.receiver);
+      const ClassDecl* cd = program_.find_class(n.name);
+      if (cd && !is_builtin_bit_class(*cd)) {
+        // Static call `C.f(...)`.
+        static_class = cd;
+        n.ref = NameRefKind::kClassRef;
+        n.class_ref = cd;
+        n.type = Type::void_();
+        e.receiver_class = cd->name;
+      }
+    }
+    if (!static_class) recv_t = check_expr(*e.receiver);
+  }
+
+  // 3. Builtin array/task-graph methods.
+  if (recv_t && recv_t->is_array_like()) {
+    if (e.method == "source") {
+      // `arr.source(rate)` — a source task streaming the array's elements
+      // (Fig. 1 line 17). Only value elements may flow (§2.2).
+      if (!recv_t->elem->is_value()) {
+        error(e.loc, "source element type '" + recv_t->elem->to_string() +
+                         "' is not a value type; only values may flow "
+                         "between tasks");
+      }
+      if (e.args.size() != 1) {
+        error(e.loc, "source(rate) expects one argument");
+      } else {
+        check_expr(*e.args[0]);
+        coerce(e.args[0], Type::int_(), "source rate");
+      }
+      e.builtin = CallExpr::Builtin::kSource;
+      return Type::task_graph();
+    }
+    if (e.method == "sink") {
+      // `arr.<T>sink()` — a sink task accumulating into `arr`
+      // (Fig. 1 line 19). The array must be mutable.
+      if (recv_t->kind != TypeKind::kArray) {
+        error(e.loc, "sink target must be a mutable array");
+      }
+      if (e.type_arg) {
+        TypeRef want = resolve_type(e.type_arg, e.loc);
+        if (!equal(want, recv_t->elem)) {
+          error(e.loc, "sink type argument " + want->to_string() +
+                           " does not match element type " +
+                           recv_t->elem->to_string());
+        }
+      }
+      if (!e.args.empty()) error(e.loc, "sink() takes no arguments");
+      e.builtin = CallExpr::Builtin::kSink;
+      return Type::task_graph();
+    }
+  }
+  if (recv_t && recv_t->kind == TypeKind::kTaskGraph) {
+    if (e.method == "start") {
+      e.builtin = CallExpr::Builtin::kStart;
+      if (!e.args.empty()) error(e.loc, "start() takes no arguments");
+      return Type::void_();
+    }
+    if (e.method == "finish") {
+      e.builtin = CallExpr::Builtin::kFinish;
+      if (!e.args.empty()) error(e.loc, "finish() takes no arguments");
+      return Type::void_();
+    }
+    error(e.loc, "unknown task-graph method '" + e.method + "'");
+    return Type::void_();
+  }
+
+  // 4. User method call: static (C.f / unqualified static), or instance.
+  const ClassDecl* search = static_class;
+  bool instance_call = false;
+  if (!search) {
+    if (recv_t) {
+      if (recv_t->kind != TypeKind::kClass || !recv_t->decl) {
+        error(e.loc, "cannot call method '" + e.method + "' on " +
+                         recv_t->to_string());
+        return Type::void_();
+      }
+      search = recv_t->decl;
+      instance_call = true;
+    } else {
+      search = cur_class_;  // unqualified call
+    }
+  }
+  if (!search) {
+    error(e.loc, "cannot resolve call to '" + e.method + "'");
+    return Type::void_();
+  }
+  const MethodDecl* m = search->find_method(e.method);
+  if (!m) {
+    error(e.loc, "class '" + search->name + "' has no method '" + e.method +
+                     "'");
+    return Type::void_();
+  }
+  if ((static_class || (!e.receiver && cur_method_ && cur_method_->is_static)) &&
+      !m->is_static && !instance_call) {
+    error(e.loc, "cannot call instance method '" + e.method +
+                     "' without a receiver");
+  }
+  if (instance_call && m->is_static) {
+    error(e.loc, "static method '" + e.method + "' called on an instance");
+  }
+  // Isolation: local methods only call local methods (§2.1).
+  if (cur_method_ && cur_method_->is_local && !m->is_local) {
+    error(e.loc, "local method '" + cur_method_->name +
+                     "' may only call local methods; '" + m->qualified_name() +
+                     "' is global");
+  }
+  if (e.args.size() != m->params.size()) {
+    error(e.loc, m->qualified_name() + " expects " +
+                     std::to_string(m->params.size()) + " argument(s), got " +
+                     std::to_string(e.args.size()));
+    return m->return_type;
+  }
+  for (size_t i = 0; i < e.args.size(); ++i) {
+    check_expr(*e.args[i]);
+    coerce(e.args[i], m->params[i].type, "call argument");
+  }
+  e.resolved = m;
+  return m->return_type;
+}
+
+TypeRef Sema::check_index(IndexExpr& e) {
+  TypeRef at = check_expr(*e.array);
+  check_expr(*e.index);
+  coerce(e.index, Type::int_(), "array index");
+  if (!at->is_array_like()) {
+    error(e.loc, "cannot index " + at->to_string());
+    return Type::void_();
+  }
+  return at->elem;
+}
+
+TypeRef Sema::check_field(FieldExpr& e) {
+  // Qualified enum constant or static field: `C.name` where C is a class.
+  if (e.object->kind == ExprKind::kName &&
+      !lookup_local(as<NameExpr>(*e.object).name)) {
+    auto& n = as<NameExpr>(*e.object);
+    if (n.name == "bit") {
+      // Builtin bit enum constants (Fig. 1): bit.zero, bit.one.
+      n.ref = NameRefKind::kClassRef;
+      n.type = Type::void_();
+      if (e.name == "zero" || e.name == "one") {
+        e.enum_class = nullptr;
+        e.enum_ordinal = e.name == "one" ? 1 : 0;
+        return Type::bit();
+      }
+      error(e.loc, "bit has no member '" + e.name + "'");
+      return Type::void_();
+    }
+    if (const ClassDecl* cd = program_.find_class(n.name)) {
+      n.ref = NameRefKind::kClassRef;
+      n.class_ref = cd;
+      n.type = Type::void_();
+      if (cd->is_enum) {
+        if (const EnumConst* c = cd->find_enum_const(e.name)) {
+          e.enum_class = cd;
+          e.enum_ordinal = c->ordinal;
+          return Type::class_(cd->name, cd);
+        }
+      }
+      if (const FieldDecl* f = cd->find_field(e.name)) {
+        if (!f->is_static) {
+          error(e.loc, "field '" + e.name + "' is not static");
+        }
+        e.field = f;
+        return f->type;
+      }
+      error(e.loc, "class '" + cd->name + "' has no member '" + e.name + "'");
+      return Type::void_();
+    }
+  }
+
+  TypeRef ot = check_expr(*e.object);
+  if (ot->is_array_like() && e.name == "length") {
+    e.is_array_length = true;
+    return Type::int_();
+  }
+  if (ot->kind == TypeKind::kClass && ot->decl) {
+    if (const FieldDecl* f = ot->decl->find_field(e.name)) {
+      if (f->is_static) {
+        error(e.loc, "static field '" + e.name +
+                         "' accessed through an instance");
+      }
+      e.field = f;
+      return f->type;
+    }
+  }
+  error(e.loc, "no field '" + e.name + "' on " + ot->to_string());
+  return Type::void_();
+}
+
+TypeRef Sema::check_new_array(NewArrayExpr& e) {
+  e.elem_type = resolve_type(e.elem_type, e.loc);
+  if (e.from_array) {
+    // `new T[[]](arr)` — freeze a mutable array into a value array.
+    TypeRef src = check_expr(*e.from_array);
+    if (!src->is_array_like() || !equal(src->elem, e.elem_type)) {
+      error(e.loc, "cannot freeze " + src->to_string() + " into " +
+                       e.elem_type->to_string() + "[[]]");
+    }
+    if (!e.elem_type->is_value()) {
+      error(e.loc, "value array element must be a value type");
+    }
+    return Type::value_array(e.elem_type);
+  }
+  check_expr(*e.length);
+  coerce(e.length, Type::int_(), "array length");
+  return Type::array(e.elem_type);
+}
+
+TypeRef Sema::check_cast(CastExpr& e) {
+  e.target = resolve_type(e.target, e.loc);
+  TypeRef src = check_expr(*e.operand);
+  if (equal(src, e.target)) return e.target;
+  if (src->is_numeric() && e.target->is_numeric()) return e.target;
+  if (src->kind == TypeKind::kBit && e.target->is_numeric()) return e.target;
+  if (src->is_integral() && e.target->kind == TypeKind::kBit) return e.target;
+  error(e.loc, "invalid cast from " + src->to_string() + " to " +
+                   e.target->to_string());
+  return e.target;
+}
+
+TypeRef Sema::check_map(MapExpr& e) {
+  const ClassDecl* cd = program_.find_class(e.class_name);
+  if (!cd) {
+    error(e.loc, "unknown class '" + e.class_name + "' in map expression");
+    return Type::void_();
+  }
+  const MethodDecl* m = cd->find_method(e.method);
+  if (!m) {
+    error(e.loc, "class '" + cd->name + "' has no method '" + e.method + "'");
+    return Type::void_();
+  }
+  if (!m->is_pure) {
+    // §2.2: data-parallelism may only be inferred for pure methods.
+    error(e.loc, "map operator requires a pure method; '" +
+                     m->qualified_name() +
+                     "' is not (must be local+static with value arguments)");
+  }
+  if (e.args.size() != m->params.size()) {
+    error(e.loc, "map over " + m->qualified_name() + " expects " +
+                     std::to_string(m->params.size()) + " argument(s)");
+    return Type::void_();
+  }
+  bool any_array = false;
+  for (size_t i = 0; i < e.args.size(); ++i) {
+    TypeRef at = check_expr(*e.args[i]);
+    TypeRef want = m->params[i].type;
+    if (at->is_array_like() && equal(at->elem, want)) {
+      if (at->kind != TypeKind::kValueArray) {
+        error(e.args[i]->loc,
+              "map argument arrays must be value arrays (T[[]])");
+      }
+      any_array = true;  // mapped elementwise
+    } else {
+      coerce(e.args[i], want, "map argument (broadcast scalar)");
+    }
+  }
+  if (!any_array) {
+    error(e.loc, "map expression needs at least one array argument");
+  }
+  e.resolved = m;
+  return Type::value_array(m->return_type);
+}
+
+TypeRef Sema::check_reduce(ReduceExpr& e) {
+  const ClassDecl* cd = program_.find_class(e.class_name);
+  if (!cd) {
+    error(e.loc, "unknown class '" + e.class_name + "' in reduce expression");
+    return Type::void_();
+  }
+  const MethodDecl* m = cd->find_method(e.method);
+  if (!m) {
+    error(e.loc, "class '" + cd->name + "' has no method '" + e.method + "'");
+    return Type::void_();
+  }
+  if (!m->is_pure) {
+    error(e.loc, "reduce operator requires a pure method; '" +
+                     m->qualified_name() + "' is not");
+  }
+  if (m->params.size() != 2 || !equal(m->params[0].type, m->params[1].type) ||
+      !equal(m->return_type, m->params[0].type)) {
+    error(e.loc, "reduce method must have signature T " + e.method +
+                     "(T, T)");
+    return Type::void_();
+  }
+  if (e.args.size() != 1) {
+    error(e.loc, "reduce takes exactly one array argument");
+    return m->return_type;
+  }
+  TypeRef at = check_expr(*e.args[0]);
+  if (!at->is_array_like() || !equal(at->elem, m->return_type)) {
+    error(e.loc, "reduce argument must be an array of " +
+                     m->return_type->to_string());
+  } else if (at->kind != TypeKind::kValueArray) {
+    error(e.args[0]->loc, "reduce argument must be a value array (T[[]])");
+  }
+  e.resolved = m;
+  return m->return_type;
+}
+
+TypeRef Sema::check_task(TaskExpr& e) {
+  const ClassDecl* cd = e.class_name.empty()
+                            ? cur_class_
+                            : program_.find_class(e.class_name);
+  if (!cd) {
+    error(e.loc, "unknown class '" + e.class_name + "' in task expression");
+    return Type::task_graph();
+  }
+  const MethodDecl* m = cd->find_method(e.method);
+  if (!m) {
+    error(e.loc, "class '" + cd->name + "' has no method '" + e.method + "'");
+    return Type::task_graph();
+  }
+  if (!m->is_static) {
+    error(e.loc, "the task operator currently applies to static methods");
+  }
+  if (!is_task_capable(*m)) {
+    // §2.2: filters must be strongly isolated — local with value arguments.
+    error(e.loc, "task operator requires a local method with value "
+                 "arguments and a value result; '" +
+                     m->qualified_name() + "' does not qualify");
+  }
+  if (m->params.empty()) {
+    error(e.loc, "a filter task needs at least one input parameter");
+  }
+  e.resolved = m;
+  return Type::task_graph();
+}
+
+TypeRef Sema::check_relocate(RelocateExpr& e) {
+  TypeRef t = check_expr(*e.inner);
+  if (t->kind != TypeKind::kTaskGraph) {
+    error(e.loc, "relocation brackets must enclose a task expression");
+  }
+  return Type::task_graph();
+}
+
+TypeRef Sema::check_connect(ConnectExpr& e) {
+  TypeRef lt = check_expr(*e.lhs);
+  TypeRef rt = check_expr(*e.rhs);
+  if (lt->kind != TypeKind::kTaskGraph) {
+    error(e.lhs->loc, "left operand of '=>' must be a task");
+  }
+  if (rt->kind != TypeKind::kTaskGraph) {
+    error(e.rhs->loc, "right operand of '=>' must be a task");
+  }
+  return Type::task_graph();
+}
+
+void Sema::coerce(ExprPtr& e, const TypeRef& target, const char* context) {
+  if (!e || !e->type || !target) return;
+  if (equal(e->type, target)) return;
+  if (widens_to(e->type, target)) {
+    auto cast = std::make_unique<CastExpr>();
+    cast->loc = e->loc;
+    cast->target = target;
+    cast->type = target;
+    cast->operand = std::move(e);
+    e = std::move(cast);
+    return;
+  }
+  error(e->loc, std::string("type mismatch in ") + context + ": expected " +
+                    target->to_string() + ", got " + e->type->to_string());
+}
+
+}  // namespace lm::lime

@@ -1,0 +1,103 @@
+// Semantic analysis for the Lime subset.
+//
+// Annotates the AST in place: resolves names and types, assigns local
+// variable slots, resolves map/reduce/task method references, classifies
+// builtin calls (source/sink/start/finish, Math intrinsics), inserts
+// explicit widening casts, and enforces the paper's isolation rules (§2.1):
+//
+//   * value types are recursively immutable,
+//   * local methods only call local methods and touch state reachable from
+//     their arguments, their own instance, or compile-time constants,
+//   * a method is *pure* when it is local, its arguments and result are
+//     values, and it is static or an instance method of a value type,
+//   * the task operator applies only to local methods with value arguments,
+//   * only values may flow between tasks.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lime/ast.h"
+#include "util/diagnostics.h"
+
+namespace lm::lime {
+
+class Sema {
+ public:
+  Sema(Program& program, DiagnosticEngine& diags);
+
+  /// Runs all analyses. Returns true when no errors were reported.
+  bool run();
+
+ private:
+  // Phases.
+  void register_classes();
+  void resolve_signatures();
+  void compute_purity();
+  void analyze_class(ClassDecl& cls);
+  void analyze_method(ClassDecl& cls, MethodDecl& m);
+
+  // Type resolution.
+  TypeRef resolve_type(TypeRef t, SourceLoc loc);
+
+  // Statements.
+  void check_stmt(Stmt& s);
+  void check_block(BlockStmt& b);
+
+  // Expressions. Returns the (annotated) type; Type::void_() for errors to
+  // keep downstream checks from cascading.
+  TypeRef check_expr(Expr& e);
+  TypeRef check_name(NameExpr& e);
+  TypeRef check_unary(UnaryExpr& e);
+  TypeRef check_binary(BinaryExpr& e);
+  TypeRef check_assign(AssignExpr& e);
+  TypeRef check_ternary(TernaryExpr& e);
+  TypeRef check_call(CallExpr& e);
+  TypeRef check_index(IndexExpr& e);
+  TypeRef check_field(FieldExpr& e);
+  TypeRef check_new_array(NewArrayExpr& e);
+  TypeRef check_cast(CastExpr& e);
+  TypeRef check_map(MapExpr& e);
+  TypeRef check_reduce(ReduceExpr& e);
+  TypeRef check_task(TaskExpr& e);
+  TypeRef check_relocate(RelocateExpr& e);
+  TypeRef check_connect(ConnectExpr& e);
+
+  /// Wraps `e` in a CastExpr when its type widens to `target`; reports an
+  /// error when the types are incompatible. After sema, operand types are
+  /// exact everywhere, which keeps all backends conversion-free.
+  void coerce(ExprPtr& e, const TypeRef& target, const char* context);
+
+  /// Ensures the assignment target is mutable and well-formed.
+  void check_assign_target(Expr& target);
+
+  // Scope management.
+  struct LocalVar {
+    std::string name;
+    TypeRef type;
+    int slot;
+  };
+  void push_scope();
+  void pop_scope();
+  int declare_local(const std::string& name, TypeRef type, SourceLoc loc);
+  const LocalVar* lookup_local(const std::string& name) const;
+
+  void error(SourceLoc loc, const std::string& msg);
+
+  Program& program_;
+  DiagnosticEngine& diags_;
+
+  ClassDecl* cur_class_ = nullptr;
+  MethodDecl* cur_method_ = nullptr;
+  std::vector<LocalVar> locals_;
+  std::vector<size_t> scope_marks_;
+  int next_slot_ = 0;
+  int max_slots_ = 0;
+  int loop_depth_ = 0;
+};
+
+/// True when `m` may be the body of a dataflow filter task: local, value
+/// parameters, value (non-void) return (§2.2).
+bool is_task_capable(const MethodDecl& m);
+
+}  // namespace lm::lime

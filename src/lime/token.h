@@ -1,0 +1,53 @@
+// Token definitions for the Lime subset language (§2 of the paper).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/source_location.h"
+
+namespace lm::lime {
+
+enum class Tok {
+  kEof,
+  kIdent,
+  kIntLit,    // 42, 0x2a
+  kLongLit,   // 42L
+  kFloatLit,  // 3.5f  (Lime float)
+  kDoubleLit, // 3.5
+  kBitLit,    // 100b — a Lime bit-array literal (§2.2)
+
+  // Keywords.
+  kClass, kEnum, kValue, kLocal, kGlobal, kStatic, kPublic, kPrivate,
+  kReturn, kIf, kElse, kFor, kWhile, kBreak, kContinue, kVar, kNew,
+  kTask, kThis, kTrue, kFalse, kFinal,
+  kInt, kLong, kFloat, kDouble, kBoolean, kBit, kVoid,
+
+  // Punctuation and operators.
+  kLParen, kRParen, kLBrace, kRBrace, kLBracket, kRBracket,
+  kComma, kSemi, kDot, kColon, kQuestion,
+  kAssign,        // =
+  kPlus, kMinus, kStar, kSlash, kPercent,
+  kAmp, kPipe, kCaret, kTilde, kBang,
+  kAmpAmp, kPipePipe,
+  kEq, kNe, kLt, kGt, kLe, kGe,
+  kShl, kShr,
+  kAt,            // @  — the Lime map operator
+  kConnect,       // => — the Lime task connect operator
+  kPlusAssign, kMinusAssign, kStarAssign, kSlashAssign,
+  kPlusPlus, kMinusMinus,
+};
+
+const char* to_string(Tok t);
+
+struct Token {
+  Tok kind = Tok::kEof;
+  std::string text;      // identifier spelling or literal spelling
+  int64_t int_value = 0; // for kIntLit / kLongLit
+  double float_value = 0;// for kFloatLit / kDoubleLit
+  SourceLoc loc;
+
+  bool is(Tok t) const { return kind == t; }
+};
+
+}  // namespace lm::lime

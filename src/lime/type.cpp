@@ -1,0 +1,149 @@
+#include "lime/type.h"
+
+#include "lime/ast.h"
+#include "util/error.h"
+
+namespace lm::lime {
+
+namespace {
+TypeRef make_prim(TypeKind k) {
+  auto t = std::make_shared<Type>();
+  t->kind = k;
+  return t;
+}
+}  // namespace
+
+TypeRef Type::void_() {
+  static const TypeRef t = make_prim(TypeKind::kVoid);
+  return t;
+}
+TypeRef Type::int_() {
+  static const TypeRef t = make_prim(TypeKind::kInt);
+  return t;
+}
+TypeRef Type::long_() {
+  static const TypeRef t = make_prim(TypeKind::kLong);
+  return t;
+}
+TypeRef Type::float_() {
+  static const TypeRef t = make_prim(TypeKind::kFloat);
+  return t;
+}
+TypeRef Type::double_() {
+  static const TypeRef t = make_prim(TypeKind::kDouble);
+  return t;
+}
+TypeRef Type::boolean() {
+  static const TypeRef t = make_prim(TypeKind::kBoolean);
+  return t;
+}
+TypeRef Type::bit() {
+  static const TypeRef t = make_prim(TypeKind::kBit);
+  return t;
+}
+TypeRef Type::task_graph() {
+  static const TypeRef t = make_prim(TypeKind::kTaskGraph);
+  return t;
+}
+
+TypeRef Type::array(TypeRef elem) {
+  auto t = std::make_shared<Type>();
+  t->kind = TypeKind::kArray;
+  t->elem = std::move(elem);
+  return t;
+}
+
+TypeRef Type::value_array(TypeRef elem) {
+  auto t = std::make_shared<Type>();
+  t->kind = TypeKind::kValueArray;
+  t->elem = std::move(elem);
+  return t;
+}
+
+TypeRef Type::class_(std::string name, const ClassDecl* decl) {
+  auto t = std::make_shared<Type>();
+  t->kind = TypeKind::kClass;
+  t->class_name = std::move(name);
+  t->decl = decl;
+  return t;
+}
+
+bool Type::is_value() const {
+  switch (kind) {
+    case TypeKind::kVoid:
+    case TypeKind::kTaskGraph:
+      return false;
+    case TypeKind::kArray:
+      return false;  // mutable arrays are never values
+    case TypeKind::kValueArray:
+      return elem && elem->is_value();
+    case TypeKind::kClass:
+      return decl != nullptr && decl->is_value;
+    default:
+      return true;  // primitives
+  }
+}
+
+std::string Type::to_string() const {
+  switch (kind) {
+    case TypeKind::kVoid: return "void";
+    case TypeKind::kInt: return "int";
+    case TypeKind::kLong: return "long";
+    case TypeKind::kFloat: return "float";
+    case TypeKind::kDouble: return "double";
+    case TypeKind::kBoolean: return "boolean";
+    case TypeKind::kBit: return "bit";
+    case TypeKind::kTaskGraph: return "taskgraph";
+    case TypeKind::kArray: return elem->to_string() + "[]";
+    case TypeKind::kValueArray: return elem->to_string() + "[[]]";
+    case TypeKind::kClass: return class_name;
+  }
+  return "<bad type>";
+}
+
+bool equal(const TypeRef& a, const TypeRef& b) {
+  if (a == b) return true;
+  if (!a || !b) return false;
+  if (a->kind != b->kind) return false;
+  switch (a->kind) {
+    case TypeKind::kArray:
+    case TypeKind::kValueArray:
+      return equal(a->elem, b->elem);
+    case TypeKind::kClass:
+      return a->class_name == b->class_name;
+    default:
+      return true;
+  }
+}
+
+bool widens_to(const TypeRef& from, const TypeRef& to) {
+  if (equal(from, to)) return true;
+  if (!from || !to) return false;
+  switch (from->kind) {
+    case TypeKind::kBit:
+      return to->kind == TypeKind::kInt || to->kind == TypeKind::kLong;
+    case TypeKind::kInt:
+      return to->kind == TypeKind::kLong || to->kind == TypeKind::kFloat ||
+             to->kind == TypeKind::kDouble;
+    case TypeKind::kLong:
+      return to->kind == TypeKind::kDouble;
+    case TypeKind::kFloat:
+      return to->kind == TypeKind::kDouble;
+    default:
+      return false;
+  }
+}
+
+TypeRef promote(const TypeRef& a, const TypeRef& b) {
+  if (!a || !b) return nullptr;
+  if (!a->is_numeric() || !b->is_numeric()) return nullptr;
+  if (a->kind == TypeKind::kDouble || b->kind == TypeKind::kDouble)
+    return Type::double_();
+  if (a->kind == TypeKind::kFloat || b->kind == TypeKind::kFloat)
+    return Type::float_();
+  if (a->kind == TypeKind::kLong || b->kind == TypeKind::kLong)
+    return Type::long_();
+  return Type::int_();
+}
+
+}  // namespace lm::lime

@@ -1,0 +1,92 @@
+// The Lime type system (§2.1).
+//
+// The essential property the paper leans on is *value-ness*: a value type is
+// recursively immutable, only values may flow across task connections, and
+// purity of methods is judged from value-ness of arguments. Types here are
+// immutable shared nodes compared structurally.
+#pragma once
+
+#include <memory>
+#include <string>
+
+namespace lm::lime {
+
+struct ClassDecl;  // forward (ast.h)
+
+enum class TypeKind {
+  kVoid,
+  kInt,      // 32-bit signed
+  kLong,     // 64-bit signed
+  kFloat,    // 32-bit IEEE
+  kDouble,   // 64-bit IEEE
+  kBoolean,
+  kBit,      // the Lime 1-bit type; first-class for FPGA synthesis (§6)
+  kArray,    // T[]  — mutable array (not a value)
+  kValueArray,  // T[[]] — immutable value array
+  kClass,    // user class or value enum
+  kTaskGraph,  // result of task construction / connect (host-only)
+};
+
+struct Type;
+using TypeRef = std::shared_ptr<const Type>;
+
+struct Type {
+  TypeKind kind = TypeKind::kVoid;
+  TypeRef elem;             // for kArray / kValueArray
+  std::string class_name;   // for kClass
+  const ClassDecl* decl = nullptr;  // resolved by sema, for kClass
+
+  // -- Factories (interned for primitives). --
+  static TypeRef void_();
+  static TypeRef int_();
+  static TypeRef long_();
+  static TypeRef float_();
+  static TypeRef double_();
+  static TypeRef boolean();
+  static TypeRef bit();
+  static TypeRef task_graph();
+  static TypeRef array(TypeRef elem);
+  static TypeRef value_array(TypeRef elem);
+  static TypeRef class_(std::string name, const ClassDecl* decl = nullptr);
+
+  bool is_primitive() const {
+    switch (kind) {
+      case TypeKind::kInt: case TypeKind::kLong: case TypeKind::kFloat:
+      case TypeKind::kDouble: case TypeKind::kBoolean: case TypeKind::kBit:
+        return true;
+      default:
+        return false;
+    }
+  }
+  bool is_numeric() const {
+    return kind == TypeKind::kInt || kind == TypeKind::kLong ||
+           kind == TypeKind::kFloat || kind == TypeKind::kDouble;
+  }
+  bool is_integral() const {
+    return kind == TypeKind::kInt || kind == TypeKind::kLong ||
+           kind == TypeKind::kBit;
+  }
+  bool is_floating() const {
+    return kind == TypeKind::kFloat || kind == TypeKind::kDouble;
+  }
+  bool is_array_like() const {
+    return kind == TypeKind::kArray || kind == TypeKind::kValueArray;
+  }
+
+  /// Recursively immutable? Primitives are values (§2.1); T[[]] is a value
+  /// iff its element type is; classes/enums are values iff declared `value`.
+  bool is_value() const;
+
+  std::string to_string() const;
+};
+
+bool equal(const TypeRef& a, const TypeRef& b);
+
+/// Widening numeric conversion allowed implicitly (int→long, int→float,
+/// int→double, long→double, float→double, bit→int, bit→long).
+bool widens_to(const TypeRef& from, const TypeRef& to);
+
+/// The common type two numeric operands promote to, or nullptr if none.
+TypeRef promote(const TypeRef& a, const TypeRef& b);
+
+}  // namespace lm::lime

@@ -1,0 +1,125 @@
+// RTL netlist IR — the structural form of an FPGA artifact.
+//
+// The FPGA backend synthesizes each relocated filter into one Module:
+// signals (wires and registers up to 64 bits), single-assignment
+// combinational expressions, and clocked register updates. The same IR is
+// both simulated cycle-accurately (rtl/sim.h) and printed as Verilog
+// (fpga/verilog_emit.h), mirroring the paper's flow where the Verilog
+// artifact runs in an RTL simulator during development (§5, Fig. 4).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+
+namespace lm::rtl {
+
+using SigId = int;
+
+enum class HKind : uint8_t { kConst, kSig, kUnary, kBinary, kMux };
+
+enum class HUnOp : uint8_t {
+  kNot, kNeg,
+  // Width-changing (target width on the node itself):
+  kTrunc, kZext, kSext,
+};
+
+enum class HBinOp : uint8_t {
+  kAdd, kSub, kMul,
+  kAnd, kOr, kXor,
+  kShl, kShrL, kShrA,   // logical / arithmetic right shift
+  kEq, kNe,
+  kLtS, kLeS, kGtS, kGeS,  // signed comparisons (Lime ints are signed)
+};
+
+struct HExpr;
+using HExprPtr = std::shared_ptr<const HExpr>;
+
+/// A combinational expression tree. Construction folds constants, so fully
+/// unrolled loops with constant indices collapse at build time.
+struct HExpr {
+  HKind kind = HKind::kConst;
+  int width = 1;
+
+  uint64_t value = 0;   // kConst
+  SigId sig = -1;       // kSig
+  HUnOp un_op = HUnOp::kNot;
+  HBinOp bin_op = HBinOp::kAdd;
+  HExprPtr a, b, c;     // operands (c = mux else-branch)
+
+  bool is_const() const { return kind == HKind::kConst; }
+};
+
+HExprPtr h_const(int width, uint64_t value);
+HExprPtr h_sig(SigId sig, int width);
+HExprPtr h_unary(HUnOp op, HExprPtr a);
+/// Changes width: truncates, zero-extends, or sign-extends as needed.
+HExprPtr h_resize(HExprPtr a, int width, bool is_signed);
+HExprPtr h_binary(HBinOp op, HExprPtr a, HExprPtr b);
+/// cond must be 1 bit wide; branches must agree on width.
+HExprPtr h_mux(HExprPtr cond, HExprPtr then_e, HExprPtr else_e);
+
+/// Evaluates a constant-free-input expression (all kSig leaves resolved via
+/// the callback). Masked to the expression width.
+uint64_t h_eval(const HExpr& e, const std::vector<uint64_t>& signal_values);
+
+/// Masks a value to `width` bits.
+uint64_t mask_to_width(uint64_t v, int width);
+
+/// Sign-extends the low `width` bits of v to int64.
+int64_t sign_extend(uint64_t v, int width);
+
+enum class SigKind : uint8_t { kInput, kOutput, kWire, kReg };
+
+struct Signal {
+  std::string name;
+  int width = 1;
+  SigKind kind = SigKind::kWire;
+  uint64_t init = 0;  // reset value for registers
+};
+
+struct CombAssign {
+  SigId target;   // kWire or kOutput
+  HExprPtr expr;
+};
+
+struct SeqAssign {
+  SigId target;   // kReg
+  HExprPtr next;  // value latched at each rising clock edge
+};
+
+/// One synthesized hardware module. clk and rst are implicit (the simulator
+/// provides the clock; rst is an ordinary input by convention).
+struct Module {
+  std::string name;
+  std::vector<Signal> signals;
+  std::vector<CombAssign> comb;
+  std::vector<SeqAssign> seq;
+
+  SigId add_signal(const std::string& name, int width, SigKind kind,
+                   uint64_t init = 0);
+  SigId find(const std::string& name) const;  // -1 when absent
+  const Signal& sig(SigId id) const {
+    LM_CHECK(id >= 0 && id < static_cast<int>(signals.size()));
+    return signals[static_cast<size_t>(id)];
+  }
+
+  void assign(SigId target, HExprPtr expr);      // combinational
+  void assign_next(SigId reg, HExprPtr next);    // sequential
+
+  /// Structural checks: single assignment per wire/output, every reg has a
+  /// next, widths match, no combinational cycles. Throws InternalError.
+  void validate() const;
+
+  /// Topological order of comb assigns (inputs/regs as sources). Computed
+  /// by validate(); cached for the simulator.
+  const std::vector<int>& comb_order() const { return comb_order_; }
+
+ private:
+  mutable std::vector<int> comb_order_;
+};
+
+}  // namespace lm::rtl

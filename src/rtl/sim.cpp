@@ -1,0 +1,147 @@
+#include "rtl/sim.h"
+
+namespace lm::rtl {
+
+RtlSim::RtlSim(const Module& module) : module_(module) {
+  module_.validate();
+  values_.assign(module_.signals.size(), 0);
+  for (size_t i = 0; i < module_.signals.size(); ++i) {
+    if (module_.signals[i].kind == SigKind::kReg) {
+      values_[i] = mask_to_width(module_.signals[i].init,
+                                 module_.signals[i].width);
+    }
+  }
+  settle();
+}
+
+void RtlSim::poke(const std::string& name, uint64_t value) {
+  SigId id = module_.find(name);
+  LM_CHECK_MSG(id >= 0, "no signal '" << name << "'");
+  poke(id, value);
+}
+
+void RtlSim::poke(SigId id, uint64_t value) {
+  const Signal& s = module_.sig(id);
+  LM_CHECK_MSG(s.kind == SigKind::kInput,
+               "poke target '" << s.name << "' is not an input");
+  values_[static_cast<size_t>(id)] = mask_to_width(value, s.width);
+  dirty_ = true;
+}
+
+uint64_t RtlSim::peek(const std::string& name) const {
+  SigId id = module_.find(name);
+  LM_CHECK_MSG(id >= 0, "no signal '" << name << "'");
+  return peek(id);
+}
+
+uint64_t RtlSim::peek(SigId id) const {
+  const_cast<RtlSim*>(this)->settle();
+  return values_[static_cast<size_t>(id)];
+}
+
+void RtlSim::settle() {
+  if (!dirty_) return;
+  for (int ci : module_.comb_order()) {
+    const CombAssign& a = module_.comb[static_cast<size_t>(ci)];
+    values_[static_cast<size_t>(a.target)] = h_eval(*a.expr, values_);
+  }
+  dirty_ = false;
+}
+
+void RtlSim::clock_edge() {
+  settle();
+  // Non-blocking semantics: compute all nexts against pre-edge values.
+  std::vector<std::pair<SigId, uint64_t>> latched;
+  latched.reserve(module_.seq.size());
+  for (const auto& s : module_.seq) {
+    latched.emplace_back(s.target, h_eval(*s.next, values_));
+  }
+  for (const auto& [id, v] : latched) {
+    values_[static_cast<size_t>(id)] =
+        mask_to_width(v, module_.sig(id).width);
+  }
+  dirty_ = true;
+}
+
+void RtlSim::step(int n) {
+  for (int i = 0; i < n; ++i) {
+    settle();
+    if (vcd_) vcd_->sample(cycle_, values_);
+    clock_edge();
+    settle();
+    ++cycle_;
+  }
+}
+
+void RtlSim::reset(int cycles) {
+  SigId rst = module_.find("rst");
+  if (rst >= 0) {
+    poke(rst, 1);
+    step(cycles);
+    poke(rst, 0);
+  }
+  settle();
+}
+
+void RtlSim::attach_vcd(std::shared_ptr<VcdWriter> vcd) {
+  vcd_ = std::move(vcd);
+}
+
+// ---------------------------------------------------------------------------
+// VCD
+// ---------------------------------------------------------------------------
+
+VcdWriter::VcdWriter(const Module& module) : module_(module) {}
+
+std::string VcdWriter::id_for(size_t index) const {
+  // VCD identifier codes: printable ASCII 33..126, base-94 little-endian.
+  std::string id;
+  size_t v = index;
+  do {
+    id.push_back(static_cast<char>(33 + v % 94));
+    v /= 94;
+  } while (v != 0);
+  return id;
+}
+
+void VcdWriter::sample(uint64_t cycle, const std::vector<uint64_t>& values) {
+  uint64_t t = cycle * 10;
+  body_ << "#" << t << "\n";
+  body_ << "1!\n";  // clk high
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (!first_ && values[i] == last_[i]) continue;
+    const Signal& s = module_.signals[i];
+    if (s.width == 1) {
+      body_ << (values[i] ? "1" : "0") << id_for(i + 1) << "\n";
+    } else {
+      body_ << "b";
+      for (int bit = s.width - 1; bit >= 0; --bit) {
+        body_ << ((values[i] >> bit) & 1);
+      }
+      body_ << " " << id_for(i + 1) << "\n";
+    }
+  }
+  body_ << "#" << t + 5 << "\n0!\n";  // clk low
+  last_ = values;
+  first_ = false;
+}
+
+std::string VcdWriter::str() const {
+  std::ostringstream os;
+  os << "$date today $end\n";
+  os << "$version Liquid Metal RTL simulator $end\n";
+  os << "$timescale 1ns $end\n";
+  os << "$scope module " << module_.name << " $end\n";
+  os << "$var wire 1 ! clk $end\n";
+  for (size_t i = 0; i < module_.signals.size(); ++i) {
+    const Signal& s = module_.signals[i];
+    const char* kind = s.kind == SigKind::kReg ? "reg" : "wire";
+    os << "$var " << kind << " " << s.width << " " << id_for(i + 1) << " "
+       << s.name << " $end\n";
+  }
+  os << "$upscope $end\n$enddefinitions $end\n";
+  os << body_.str();
+  return os.str();
+}
+
+}  // namespace lm::rtl

@@ -1,0 +1,92 @@
+// Cycle-accurate two-phase RTL simulation with VCD waveform output.
+//
+// This stands in for the NCSim/ModelSim co-simulation of §5: the runtime
+// drives a synthesized module through its handshake ports cycle by cycle,
+// and the waveform of Fig. 4 falls out of the VCD trace.
+//
+// Semantics per clock cycle:
+//   1. settle(): evaluate all combinational assigns in topological order
+//      using current input/register values,
+//   2. rising edge: every register latches its `next` expression, all
+//      evaluated against pre-edge values (non-blocking assignment),
+//   3. settle() again so outputs reflect the new register state.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "rtl/netlist.h"
+
+namespace lm::rtl {
+
+class VcdWriter;
+
+class RtlSim {
+ public:
+  /// The module must outlive the simulator. validate() is run here.
+  explicit RtlSim(const Module& module);
+
+  /// Drives an input signal (takes effect at the next settle).
+  void poke(const std::string& name, uint64_t value);
+  void poke(SigId id, uint64_t value);
+
+  /// Reads any signal's settled value.
+  uint64_t peek(const std::string& name) const;
+  uint64_t peek(SigId id) const;
+
+  /// Re-evaluates combinational logic (poke() calls this implicitly before
+  /// peek via dirty tracking; exposed for explicit testbenches).
+  void settle();
+
+  /// Advances n full clock cycles (settle → edge → settle each).
+  void step(int n = 1);
+
+  /// Holds rst=1 (if the module has an `rst` input) for `cycles` cycles and
+  /// initializes registers to their reset values.
+  void reset(int cycles = 2);
+
+  uint64_t cycle() const { return cycle_; }
+
+  /// Attaches a VCD waveform writer; every subsequent step dumps changes.
+  /// The returned buffer can be written to a file by the caller.
+  void attach_vcd(std::shared_ptr<VcdWriter> vcd);
+
+  const Module& module() const { return module_; }
+
+ private:
+  void clock_edge();
+
+  const Module& module_;
+  std::vector<uint64_t> values_;
+  uint64_t cycle_ = 0;
+  bool dirty_ = true;
+  std::shared_ptr<VcdWriter> vcd_;
+};
+
+/// Minimal IEEE-1364 VCD dumper: header with signal declarations, then
+/// value changes per timestamp. Timescale 1ns, clock period 10ns (matching
+/// the 92ns cursor style of Fig. 4).
+class VcdWriter {
+ public:
+  explicit VcdWriter(const Module& module);
+
+  /// Called by RtlSim: records signal values at the given cycle with the
+  /// clock phase (high at cycle*10, low at cycle*10+5).
+  void sample(uint64_t cycle, const std::vector<uint64_t>& values);
+
+  /// The complete VCD document.
+  std::string str() const;
+
+ private:
+  std::string id_for(size_t index) const;
+
+  const Module& module_;
+  std::ostringstream body_;
+  std::vector<uint64_t> last_;
+  bool first_ = true;
+};
+
+}  // namespace lm::rtl

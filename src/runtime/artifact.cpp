@@ -1,0 +1,297 @@
+#include "runtime/artifact.h"
+
+#include <cstring>
+#include <sstream>
+
+#include "bytecode/compiler.h"
+#include "util/error.h"
+
+namespace lm::runtime {
+
+using bc::ArrayRef;
+using bc::ElemCode;
+using bc::Value;
+using serde::CValue;
+
+const char* to_string(DeviceKind k) {
+  switch (k) {
+    case DeviceKind::kCpu: return "cpu/bytecode";
+    case DeviceKind::kGpu: return "gpu/opencl";
+    case DeviceKind::kFpga: return "fpga/verilog";
+  }
+  return "?";
+}
+
+std::string ArtifactManifest::to_string() const {
+  std::ostringstream os;
+  os << "artifact " << task_id << " [" << lm::runtime::to_string(device)
+     << "] (";
+  for (size_t i = 0; i < param_types.size(); ++i) {
+    if (i) os << ", ";
+    os << param_types[i]->to_string();
+  }
+  os << ") -> " << (return_type ? return_type->to_string() : "void")
+     << " arity=" << arity;
+  return os.str();
+}
+
+namespace {
+
+/// Host → device leg of Fig. 3: boxed stream elements → Lime value array →
+/// wire bytes → boundary → dense C value.
+CValue elements_to_device(std::span<const Value> elems,
+                          const lime::TypeRef& elem_type,
+                          serde::NativeBoundary& boundary,
+                          TransferStats& stats) {
+  ArrayRef arr = bc::make_array(bc::elem_code_for(elem_type), elems.size());
+  for (size_t i = 0; i < elems.size(); ++i) bc::array_set(*arr, i, elems[i]);
+  auto ser = serde::serializer_for(lime::Type::value_array(elem_type));
+  ByteWriter w;
+  arr->is_value = true;
+  ser->serialize(Value::array(arr), w);
+  auto native = boundary.cross_to_native(w.bytes());
+  stats.bytes_to_device += native.size();
+  return serde::unmarshal_native(native, lime::Type::value_array(elem_type));
+}
+
+/// Device → host mirror path.
+std::vector<Value> elements_from_device(const CValue& out,
+                                        const lime::TypeRef& elem_type,
+                                        serde::NativeBoundary& boundary,
+                                        TransferStats& stats) {
+  auto wire = serde::marshal_native(out);
+  auto host = boundary.cross_to_host(wire);
+  stats.bytes_from_device += host.size();
+  auto ser = serde::serializer_for(lime::Type::value_array(elem_type));
+  ByteReader r(host);
+  Value v = ser->deserialize(r);
+  const ArrayRef& arr = v.as_array();
+  std::vector<Value> result;
+  result.reserve(arr->size());
+  for (size_t i = 0; i < arr->size(); ++i) {
+    result.push_back(bc::array_get(*arr, i));
+  }
+  return result;
+}
+
+gpu::KReg scalar_reg_from(const CValue& c) {
+  gpu::KReg r{};
+  switch (c.elem) {
+    case ElemCode::kI32: r.i32 = c.i32s()[0]; break;
+    case ElemCode::kI64: r.i64 = c.i64s()[0]; break;
+    case ElemCode::kF32: r.f32 = c.f32s()[0]; break;
+    case ElemCode::kF64: r.f64 = c.f64s()[0]; break;
+    case ElemCode::kBool:
+    case ElemCode::kBit: r.b = c.bytes()[0]; break;
+    case ElemCode::kBoxed: throw InternalError("boxed scalar");
+  }
+  return r;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// BytecodeArtifact
+// ---------------------------------------------------------------------------
+
+BytecodeArtifact::BytecodeArtifact(ArtifactManifest manifest,
+                                   const bc::BytecodeModule& module,
+                                   int method_index)
+    : Artifact(std::move(manifest)),
+      interp_(module),
+      method_index_(method_index) {}
+
+std::vector<Value> BytecodeArtifact::process(std::span<const Value> inputs) {
+  size_t k = static_cast<size_t>(manifest_.arity);
+  LM_CHECK(inputs.size() % k == 0);
+  ++transfer_.batches;
+  transfer_.elements_in += inputs.size();
+  std::vector<Value> out;
+  out.reserve(inputs.size() / k);
+  std::vector<Value> args(k);
+  for (size_t i = 0; i + k <= inputs.size(); i += k) {
+    for (size_t j = 0; j < k; ++j) args[j] = inputs[i + j];
+    out.push_back(interp_.call(method_index_, args));
+  }
+  transfer_.elements_out += out.size();
+  return out;
+}
+
+Value BytecodeArtifact::apply(std::vector<Value> args) {
+  return interp_.call(method_index_, std::move(args));
+}
+
+// ---------------------------------------------------------------------------
+// GpuKernelArtifact
+// ---------------------------------------------------------------------------
+
+GpuKernelArtifact::GpuKernelArtifact(ArtifactManifest manifest,
+                                     std::unique_ptr<gpu::KernelProgram> program,
+                                     std::shared_ptr<gpu::GpuDevice> device)
+    : Artifact(std::move(manifest)),
+      program_(std::move(program)),
+      device_(std::move(device)) {
+  LM_CHECK(program_ != nullptr && device_ != nullptr);
+}
+
+std::vector<Value> GpuKernelArtifact::process(
+    std::span<const Value> inputs) {
+  size_t k = static_cast<size_t>(manifest_.arity);
+  LM_CHECK(inputs.size() % k == 0);
+  size_t n = inputs.size() / k;
+  ++transfer_.batches;
+  transfer_.elements_in += inputs.size();
+
+  serde::NativeBoundary boundary;
+  // Stream elements all share one type (only values of the upstream element
+  // type flow through a connection, §2.2).
+  const lime::TypeRef& elem_type = manifest_.param_types[0];
+  CValue dev_in =
+      elements_to_device(inputs, elem_type, boundary, transfer_);
+
+  std::vector<gpu::KArg> args;
+  for (size_t p = 0; p < program_->params.size(); ++p) {
+    args.push_back(gpu::KArg::elementwise(dev_in, static_cast<int>(k),
+                                          static_cast<int>(p)));
+  }
+  CValue dev_out = device_->launch(*program_, args, n);
+  auto out = elements_from_device(dev_out, manifest_.return_type, boundary,
+                                  transfer_);
+  transfer_.elements_out += out.size();
+  return out;
+}
+
+Value GpuKernelArtifact::run_map(std::span<const Value> args,
+                                 uint32_t array_mask) {
+  ++transfer_.batches;
+  serde::NativeBoundary boundary;
+  // Marshal each operand: arrays elementwise, scalars broadcast.
+  size_t n = 0;
+  std::vector<CValue> device_values;
+  device_values.reserve(args.size());
+  for (size_t i = 0; i < args.size(); ++i) {
+    const lime::TypeRef& pt = manifest_.param_types[i];
+    if (array_mask & (1u << i)) {
+      auto t = lime::Type::value_array(pt);
+      auto ser = serde::serializer_for(t);
+      ByteWriter w;
+      ser->serialize(args[i], w);
+      auto native = boundary.cross_to_native(w.bytes());
+      transfer_.bytes_to_device += native.size();
+      device_values.push_back(serde::unmarshal_native(native, t));
+      n = device_values.back().count;
+    } else {
+      auto ser = serde::serializer_for(pt);
+      ByteWriter w;
+      ser->serialize(args[i], w);
+      auto native = boundary.cross_to_native(w.bytes());
+      transfer_.bytes_to_device += native.size();
+      device_values.push_back(serde::unmarshal_native(native, pt));
+    }
+  }
+  LM_CHECK_MSG(n > 0, "map launch needs at least one array operand");
+  transfer_.elements_in += n;
+
+  std::vector<gpu::KArg> kargs;
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (array_mask & (1u << i)) {
+      if (device_values[i].count != n) {
+        throw RuntimeError("map arrays disagree on length");
+      }
+      kargs.push_back(gpu::KArg::elementwise(device_values[i]));
+    } else if (manifest_.param_types[i]->is_array_like()) {
+      // Whole-array broadcast: the kernel indexes it itself (matmul etc.).
+      kargs.push_back(gpu::KArg::whole_array(device_values[i]));
+    } else {
+      gpu::KArg a;
+      a.scalar = scalar_reg_from(device_values[i]);
+      kargs.push_back(a);
+    }
+  }
+  CValue dev_out = device_->launch(*program_, kargs, n);
+
+  auto wire = serde::marshal_native(dev_out);
+  auto host = boundary.cross_to_host(wire);
+  transfer_.bytes_from_device += host.size();
+  auto t = lime::Type::value_array(manifest_.return_type);
+  ByteReader r(host);
+  Value result = serde::serializer_for(t)->deserialize(r);
+  transfer_.elements_out += n;
+  return result;
+}
+
+Value GpuKernelArtifact::run_reduce(const Value& array) {
+  LM_CHECK_MSG(manifest_.param_types.size() == 2,
+               "reduce kernel must be binary");
+  ++transfer_.batches;
+  serde::NativeBoundary boundary;
+  auto arr_t = lime::Type::value_array(manifest_.return_type);
+  auto ser = serde::serializer_for(arr_t);
+  ByteWriter w;
+  ser->serialize(array, w);
+  auto native = boundary.cross_to_native(w.bytes());
+  transfer_.bytes_to_device += native.size();
+  CValue cur = serde::unmarshal_native(native, arr_t);
+  if (cur.count == 0) throw RuntimeError("reduce of an empty array");
+  transfer_.elements_in += cur.count;
+
+  size_t elem_size = cur.storage.size() / cur.count;
+  while (cur.count > 1) {
+    size_t pairs = cur.count / 2;
+    bool odd = (cur.count % 2) != 0;
+    std::vector<gpu::KArg> kargs = {gpu::KArg::elementwise(cur, 2, 0),
+                                    gpu::KArg::elementwise(cur, 2, 1)};
+    CValue next = device_->launch(*program_, kargs, pairs);
+    if (odd) {
+      // Carry the unpaired trailing element into the next round.
+      CValue grown = CValue::make(next.elem, true, pairs + 1);
+      std::memcpy(grown.storage.data(), next.storage.data(),
+                  next.storage.size());
+      std::memcpy(grown.storage.data() + pairs * elem_size,
+                  cur.storage.data() + (cur.count - 1) * elem_size,
+                  elem_size);
+      cur = std::move(grown);
+    } else {
+      cur = std::move(next);
+    }
+  }
+
+  auto wire = serde::marshal_native(cur);
+  auto host = boundary.cross_to_host(wire);
+  transfer_.bytes_from_device += host.size();
+  ByteReader r(host);
+  Value v = ser->deserialize(r);
+  transfer_.elements_out += 1;
+  return bc::array_get(*v.as_array(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// FpgaModuleArtifact
+// ---------------------------------------------------------------------------
+
+FpgaModuleArtifact::FpgaModuleArtifact(ArtifactManifest manifest,
+                                       fpga::FpgaCompileResult rtl)
+    : Artifact(std::move(manifest)), filter_(std::move(rtl)) {}
+
+std::vector<Value> FpgaModuleArtifact::process(
+    std::span<const Value> inputs) {
+  size_t k = static_cast<size_t>(manifest_.arity);
+  LM_CHECK(inputs.size() % k == 0);
+  ++transfer_.batches;
+  transfer_.elements_in += inputs.size();
+
+  serde::NativeBoundary boundary;
+  const lime::TypeRef& elem_type = manifest_.param_types[0];
+  CValue dev_in = elements_to_device(inputs, elem_type, boundary, transfer_);
+
+  fpga::FpgaRunStats stats;
+  CValue dev_out = filter_.process(dev_in, &stats);
+  cycles_ += stats.cycles;
+
+  auto out = elements_from_device(dev_out, manifest_.return_type, boundary,
+                                  transfer_);
+  transfer_.elements_out += out.size();
+  return out;
+}
+
+}  // namespace lm::runtime

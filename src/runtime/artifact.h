@@ -1,0 +1,136 @@
+// Artifacts and manifests (§3).
+//
+// "The result of a compilation with Liquid Metal is a collection of
+// artifacts for different architectures, each labeled with the particular
+// computational node that it implements." Every artifact here implements
+// the same contract — consume a batch of stream elements, produce a batch
+// of results — so the runtime can swap one for another ("packaged in such a
+// way that it can be replaced at runtime with another artifact that is its
+// semantic equivalent").
+//
+// Device artifacts (GPU/FPGA) speak bytes, not heap values: their process()
+// runs the full Fig. 3 path — serialize to the wire format, cross the
+// native boundary, convert to dense C values, compute, and mirror back.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bytecode/interp.h"
+#include "fpga/device.h"
+#include "gpu/device.h"
+#include "serde/native.h"
+#include "serde/wire.h"
+
+namespace lm::runtime {
+
+enum class DeviceKind { kCpu, kGpu, kFpga };
+const char* to_string(DeviceKind k);
+
+/// The manifest a backend produces alongside each artifact (§3).
+struct ArtifactManifest {
+  std::string task_id;  // e.g. "Bitflip.flip" or "seg:P.a:P.b"
+  DeviceKind device = DeviceKind::kCpu;
+  std::vector<lime::TypeRef> param_types;
+  lime::TypeRef return_type;
+  /// Stream elements consumed per firing (the filter's arity; for fused
+  /// segments, the arity of the first stage).
+  int arity = 1;
+  /// The generated artifact text: OpenCL-C for GPU, Verilog for FPGA,
+  /// disassembly for bytecode. Kept for inspection and goldens.
+  std::string artifact_text;
+
+  std::string to_string() const;
+};
+
+/// Transfer/marshaling statistics a device artifact accumulates.
+struct TransferStats {
+  uint64_t batches = 0;
+  uint64_t elements_in = 0;
+  uint64_t elements_out = 0;
+  uint64_t bytes_to_device = 0;
+  uint64_t bytes_from_device = 0;
+};
+
+class Artifact {
+ public:
+  virtual ~Artifact() = default;
+
+  const ArtifactManifest& manifest() const { return manifest_; }
+
+  /// Processes a batch: `inputs` holds n*arity stream elements; returns n
+  /// outputs, in order.
+  virtual std::vector<bc::Value> process(
+      std::span<const bc::Value> inputs) = 0;
+
+  const TransferStats& transfer_stats() const { return transfer_; }
+
+ protected:
+  explicit Artifact(ArtifactManifest manifest)
+      : manifest_(std::move(manifest)) {}
+
+  ArtifactManifest manifest_;
+  TransferStats transfer_;
+};
+
+/// CPU artifact: direct interpretation, no marshaling (the JVM-side path).
+/// Owns a private Interpreter so filter threads never race on one.
+class BytecodeArtifact final : public Artifact {
+ public:
+  BytecodeArtifact(ArtifactManifest manifest, const bc::BytecodeModule& module,
+                   int method_index);
+
+  std::vector<bc::Value> process(std::span<const bc::Value> inputs) override;
+
+  /// Single-element convenience used by tests.
+  bc::Value apply(std::vector<bc::Value> args);
+
+ private:
+  bc::Interpreter interp_;
+  int method_index_;
+};
+
+/// GPU artifact: kernel program + simulated device, fed through the wire
+/// format and native boundary.
+class GpuKernelArtifact final : public Artifact {
+ public:
+  GpuKernelArtifact(ArtifactManifest manifest,
+                    std::unique_ptr<gpu::KernelProgram> program,
+                    std::shared_ptr<gpu::GpuDevice> device);
+
+  std::vector<bc::Value> process(std::span<const bc::Value> inputs) override;
+
+  const gpu::KernelProgram& program() const { return *program_; }
+  gpu::GpuDevice& device() { return *device_; }
+
+  /// Executes a whole map operation (arrays + broadcast scalars) on the
+  /// device — the data-parallel fast path behind the AccelHooks (§2.2).
+  bc::Value run_map(std::span<const bc::Value> args, uint32_t array_mask);
+
+  /// Tree-reduces an array with this (binary) kernel: log₂(n) rounds of
+  /// pairwise launches. The kernel must implement T f(T, T).
+  bc::Value run_reduce(const bc::Value& array);
+
+ private:
+  std::unique_ptr<gpu::KernelProgram> program_;
+  std::shared_ptr<gpu::GpuDevice> device_;
+};
+
+/// FPGA artifact: synthesized module streamed through the RTL simulator.
+class FpgaModuleArtifact final : public Artifact {
+ public:
+  FpgaModuleArtifact(ArtifactManifest manifest, fpga::FpgaCompileResult rtl);
+
+  std::vector<bc::Value> process(std::span<const bc::Value> inputs) override;
+
+  fpga::FpgaFilter& filter() { return filter_; }
+  uint64_t total_cycles() const { return cycles_; }
+
+ private:
+  fpga::FpgaFilter filter_;
+  uint64_t cycles_ = 0;
+};
+
+}  // namespace lm::runtime

@@ -1,0 +1,84 @@
+// Bounded blocking FIFO connecting tasks (§4.1: "A connect operation '=>'
+// creates a FIFO queue between tasks" and threads "block on the incoming
+// connections until enough data is available").
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "bytecode/value.h"
+
+namespace lm::runtime {
+
+/// Single-producer single-consumer in usage (the scheduler wires one writer
+/// and one reader per queue), but safe for any number of threads.
+class ValueFifo {
+ public:
+  explicit ValueFifo(size_t capacity) : capacity_(capacity ? capacity : 1) {}
+
+  /// Blocks while full. Returns false if the queue was closed by the
+  /// consumer (downstream failure) — the producer should stop.
+  bool push(bc::Value v) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [&] { return q_.size() < capacity_ || closed_; });
+    if (closed_) return false;
+    q_.push_back(std::move(v));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Marks end-of-stream; consumers drain then see nullopt.
+  void finish() {
+    std::lock_guard<std::mutex> lock(mu_);
+    finished_ = true;
+    not_empty_.notify_all();
+  }
+
+  /// Blocks for the next value; nullopt at end-of-stream.
+  std::optional<bc::Value> pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return !q_.empty() || finished_ || closed_; });
+    if (q_.empty()) return std::nullopt;
+    bc::Value v = std::move(q_.front());
+    q_.pop_front();
+    not_full_.notify_one();
+    return v;
+  }
+
+  /// Pops up to `max` values (at least 1 unless the stream ended). Blocks
+  /// for the first value only — device nodes use this to batch.
+  std::vector<bc::Value> pop_batch(size_t max) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return !q_.empty() || finished_ || closed_; });
+    std::vector<bc::Value> out;
+    while (!q_.empty() && out.size() < max) {
+      out.push_back(std::move(q_.front()));
+      q_.pop_front();
+    }
+    not_full_.notify_all();
+    return out;
+  }
+
+  /// Closes the queue from the consumer side (error propagation): pending
+  /// and future pushes fail fast.
+  void close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  std::mutex mu_;
+  std::condition_variable not_full_, not_empty_;
+  std::deque<bc::Value> q_;
+  bool finished_ = false;
+  bool closed_ = false;
+};
+
+}  // namespace lm::runtime

@@ -1,0 +1,338 @@
+#include "runtime/liquid_compiler.h"
+
+#include <unordered_set>
+
+#include "bytecode/compiler.h"
+#include "fpga/synth.h"
+#include "gpu/kernel_compiler.h"
+#include "lime/frontend.h"
+#include "util/error.h"
+
+namespace lm::runtime {
+
+namespace {
+
+using lime::as;
+using lime::ExprKind;
+using lime::StmtKind;
+
+/// Collects every method used by a map or reduce operator anywhere in the
+/// program — the GPU backend accelerates these wholesale (§2.2).
+class MapMethodCollector {
+ public:
+  std::vector<const lime::MethodDecl*> collect(const lime::Program& p) {
+    for (const auto& cls : p.classes) {
+      for (const auto& m : cls->methods) {
+        if (m->body) walk_stmt(*m->body);
+      }
+    }
+    return out_;
+  }
+
+ private:
+  void add(const lime::MethodDecl* m) {
+    if (m && seen_.insert(m).second) out_.push_back(m);
+  }
+
+  void walk_stmt(const lime::Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::kBlock:
+        for (const auto& c : as<lime::BlockStmt>(s).stmts) {
+          if (c) walk_stmt(*c);
+        }
+        return;
+      case StmtKind::kExpr:
+        if (as<lime::ExprStmt>(s).expr) walk_expr(*as<lime::ExprStmt>(s).expr);
+        return;
+      case StmtKind::kVarDecl:
+        if (as<lime::VarDeclStmt>(s).init) {
+          walk_expr(*as<lime::VarDeclStmt>(s).init);
+        }
+        return;
+      case StmtKind::kIf: {
+        const auto& i = as<lime::IfStmt>(s);
+        walk_expr(*i.cond);
+        walk_stmt(*i.then_stmt);
+        if (i.else_stmt) walk_stmt(*i.else_stmt);
+        return;
+      }
+      case StmtKind::kWhile: {
+        const auto& w = as<lime::WhileStmt>(s);
+        walk_expr(*w.cond);
+        walk_stmt(*w.body);
+        return;
+      }
+      case StmtKind::kFor: {
+        const auto& f = as<lime::ForStmt>(s);
+        if (f.init) walk_stmt(*f.init);
+        if (f.cond) walk_expr(*f.cond);
+        if (f.update) walk_expr(*f.update);
+        walk_stmt(*f.body);
+        return;
+      }
+      case StmtKind::kReturn:
+        if (as<lime::ReturnStmt>(s).value) {
+          walk_expr(*as<lime::ReturnStmt>(s).value);
+        }
+        return;
+      default:
+        return;
+    }
+  }
+
+  void walk_expr(const lime::Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kMap: {
+        const auto& m = as<lime::MapExpr>(e);
+        add(m.resolved);
+        for (const auto& a : m.args) walk_expr(*a);
+        return;
+      }
+      case ExprKind::kReduce: {
+        const auto& r = as<lime::ReduceExpr>(e);
+        add(r.resolved);
+        for (const auto& a : r.args) walk_expr(*a);
+        return;
+      }
+      case ExprKind::kUnary:
+        walk_expr(*as<lime::UnaryExpr>(e).operand);
+        return;
+      case ExprKind::kBinary:
+        walk_expr(*as<lime::BinaryExpr>(e).lhs);
+        walk_expr(*as<lime::BinaryExpr>(e).rhs);
+        return;
+      case ExprKind::kAssign:
+        walk_expr(*as<lime::AssignExpr>(e).target);
+        walk_expr(*as<lime::AssignExpr>(e).value);
+        return;
+      case ExprKind::kTernary: {
+        const auto& t = as<lime::TernaryExpr>(e);
+        walk_expr(*t.cond);
+        walk_expr(*t.then_expr);
+        walk_expr(*t.else_expr);
+        return;
+      }
+      case ExprKind::kCall: {
+        const auto& c = as<lime::CallExpr>(e);
+        if (c.receiver) walk_expr(*c.receiver);
+        for (const auto& a : c.args) walk_expr(*a);
+        return;
+      }
+      case ExprKind::kIndex:
+        walk_expr(*as<lime::IndexExpr>(e).array);
+        walk_expr(*as<lime::IndexExpr>(e).index);
+        return;
+      case ExprKind::kField:
+        walk_expr(*as<lime::FieldExpr>(e).object);
+        return;
+      case ExprKind::kCast:
+        walk_expr(*as<lime::CastExpr>(e).operand);
+        return;
+      case ExprKind::kNewArray: {
+        const auto& n = as<lime::NewArrayExpr>(e);
+        if (n.length) walk_expr(*n.length);
+        if (n.from_array) walk_expr(*n.from_array);
+        return;
+      }
+      case ExprKind::kRelocate:
+        walk_expr(*as<lime::RelocateExpr>(e).inner);
+        return;
+      case ExprKind::kConnect:
+        walk_expr(*as<lime::ConnectExpr>(e).lhs);
+        walk_expr(*as<lime::ConnectExpr>(e).rhs);
+        return;
+      default:
+        return;
+    }
+  }
+
+  std::vector<const lime::MethodDecl*> out_;
+  std::unordered_set<const lime::MethodDecl*> seen_;
+};
+
+ArtifactManifest manifest_for(const lime::MethodDecl& m, DeviceKind device,
+                              std::string text) {
+  ArtifactManifest mf;
+  mf.task_id = m.qualified_name();
+  mf.device = device;
+  for (const auto& p : m.params) mf.param_types.push_back(p.type);
+  mf.return_type = m.return_type;
+  mf.arity = static_cast<int>(m.params.size());
+  mf.artifact_text = std::move(text);
+  return mf;
+}
+
+}  // namespace
+
+std::unique_ptr<CompiledProgram> compile(const std::string& source,
+                                         const CompileOptions& options) {
+  auto cp = std::make_unique<CompiledProgram>();
+
+  // 1. Frontend (lex, parse, sema).
+  lime::FrontendResult fr = lime::compile_source(source);
+  cp->diags = fr.diags;
+  cp->ast = std::move(fr.program);
+  if (cp->diags.has_errors()) return cp;
+
+  // 2. CPU backend: the whole program, unconditionally (§1, §3).
+  cp->bytecode = bc::compile_program(*cp->ast, cp->diags);
+
+  // 3. Static task-graph discovery (§3).
+  cp->graphs = ir::extract_task_graphs(*cp->ast, cp->diags);
+  if (cp->diags.has_errors()) return cp;
+
+  cp->gpu_device = std::make_shared<gpu::GpuDevice>(options.gpu_config);
+
+  // Bytecode artifacts for every filter method appearing in any graph (the
+  // guaranteed universal implementation) and every map/reduce method.
+  std::unordered_set<std::string> bytecode_done;
+  auto add_bytecode_artifact = [&](const lime::MethodDecl* m) {
+    if (!m) return;
+    std::string id = m->qualified_name();
+    if (!bytecode_done.insert(id).second) return;
+    int idx = cp->bytecode->index_of(id);
+    LM_CHECK_MSG(idx >= 0, "no bytecode for " << id);
+    std::string text = "bytecode:\n";  // disassembly as the artifact text
+    cp->store.add(std::make_unique<BytecodeArtifact>(
+        manifest_for(*m, DeviceKind::kCpu, std::move(text)), *cp->bytecode,
+        idx));
+    cp->backend_log.push_back("cpu: compiled " + id);
+  };
+
+  for (const auto& g : cp->graphs.graphs) {
+    for (const auto& n : g.nodes) {
+      if (n.kind == ir::TaskNodeInfo::Kind::kFilter) {
+        add_bytecode_artifact(n.method);
+      }
+    }
+  }
+  MapMethodCollector collector;
+  auto map_methods = collector.collect(*cp->ast);
+  for (const auto* m : map_methods) add_bytecode_artifact(m);
+
+  // 4. GPU backend (§3: autonomous, may decline per task).
+  if (options.enable_gpu) {
+    std::unordered_set<std::string> gpu_done;
+    auto wire_native = [&](const std::string& id) {
+      if (!options.use_native_kernels) return;
+      if (const auto* fn = gpu::NativeKernelRegistry::global().find(id)) {
+        cp->gpu_device->registry().add(id, *fn);
+      }
+    };
+    auto add_gpu_kernel = [&](const lime::MethodDecl* m) {
+      if (!m) return;
+      std::string id = m->qualified_name();
+      if (!gpu_done.insert(id).second) return;
+      auto r = gpu::compile_kernel(*m);
+      if (!r.ok()) {
+        cp->backend_log.push_back("gpu: excluded " + id + " — " +
+                                  r.exclusion_reason);
+        return;
+      }
+      ArtifactManifest mf = manifest_for(*m, DeviceKind::kGpu,
+                                         r.program->opencl_source);
+      wire_native(id);
+      cp->store.add(std::make_unique<GpuKernelArtifact>(
+          std::move(mf), std::move(r.program), cp->gpu_device));
+      cp->backend_log.push_back("gpu: compiled " + id);
+    };
+
+    // Per-filter kernels and fused segment kernels for relocated regions.
+    for (const auto& g : cp->graphs.graphs) {
+      for (const auto& [first, last] : g.relocated_segments()) {
+        std::vector<const lime::MethodDecl*> chain;
+        std::vector<std::string> ids;
+        for (int i = first; i <= last; ++i) {
+          chain.push_back(g.nodes[static_cast<size_t>(i)].method);
+          ids.push_back(g.nodes[static_cast<size_t>(i)].task_id);
+          add_gpu_kernel(g.nodes[static_cast<size_t>(i)].method);
+        }
+        if (chain.size() > 1) {
+          std::string seg_id = ArtifactStore::segment_id(ids);
+          if (gpu_done.insert(seg_id).second) {
+            auto r = gpu::compile_segment_kernel(chain);
+            if (r.ok()) {
+              ArtifactManifest mf;
+              mf.task_id = seg_id;
+              mf.device = DeviceKind::kGpu;
+              for (const auto& p : chain.front()->params) {
+                mf.param_types.push_back(p.type);
+              }
+              mf.return_type = chain.back()->return_type;
+              mf.arity = static_cast<int>(chain.front()->params.size());
+              mf.artifact_text = r.program->opencl_source;
+              wire_native(seg_id);
+              cp->store.add(std::make_unique<GpuKernelArtifact>(
+                  std::move(mf), std::move(r.program), cp->gpu_device));
+              cp->backend_log.push_back("gpu: compiled fused segment " +
+                                        seg_id);
+            } else {
+              cp->backend_log.push_back("gpu: excluded segment " + seg_id +
+                                        " — " + r.exclusion_reason);
+            }
+          }
+        }
+      }
+    }
+    // Map/reduce kernels.
+    for (const auto* m : map_methods) add_gpu_kernel(m);
+  }
+
+  // 5. FPGA backend: one module per relocated filter, plus a fused module
+  //    per relocated segment (so "prefer larger" applies on this device
+  //    too).
+  if (options.enable_fpga) {
+    std::unordered_set<std::string> fpga_done;
+    fpga::FpgaSynthOptions synth_opts;
+    synth_opts.pipelined = options.fpga_pipelined;
+    for (const auto* m : cp->graphs.relocated_filter_methods()) {
+      std::string id = m->qualified_name();
+      if (!fpga_done.insert(id).second) continue;
+      auto r = fpga::synthesize_filter(*m, synth_opts);
+      if (!r.ok()) {
+        cp->backend_log.push_back("fpga: excluded " + id + " — " +
+                                  r.exclusion_reason);
+        continue;
+      }
+      ArtifactManifest mf = manifest_for(*m, DeviceKind::kFpga, r.verilog);
+      cp->store.add(
+          std::make_unique<FpgaModuleArtifact>(std::move(mf), std::move(r)));
+      cp->backend_log.push_back("fpga: compiled " + id);
+    }
+    for (const auto& g : cp->graphs.graphs) {
+      for (const auto& [first, last] : g.relocated_segments()) {
+        if (last - first + 1 < 2) continue;
+        std::vector<const lime::MethodDecl*> chain;
+        std::vector<std::string> ids;
+        for (int i = first; i <= last; ++i) {
+          chain.push_back(g.nodes[static_cast<size_t>(i)].method);
+          ids.push_back(g.nodes[static_cast<size_t>(i)].task_id);
+        }
+        std::string seg_id = ArtifactStore::segment_id(ids);
+        if (!fpga_done.insert(seg_id).second) continue;
+        auto r = fpga::synthesize_segment(chain, synth_opts);
+        if (!r.ok()) {
+          cp->backend_log.push_back("fpga: excluded segment " + seg_id +
+                                    " — " + r.exclusion_reason);
+          continue;
+        }
+        ArtifactManifest mf;
+        mf.task_id = seg_id;
+        mf.device = DeviceKind::kFpga;
+        for (const auto& p : chain.front()->params) {
+          mf.param_types.push_back(p.type);
+        }
+        mf.return_type = chain.back()->return_type;
+        mf.arity = static_cast<int>(chain.front()->params.size());
+        mf.artifact_text = r.verilog;
+        cp->store.add(
+            std::make_unique<FpgaModuleArtifact>(std::move(mf), std::move(r)));
+        cp->backend_log.push_back("fpga: compiled fused segment " + seg_id);
+      }
+    }
+  }
+
+  return cp;
+}
+
+}  // namespace lm::runtime

@@ -1,0 +1,57 @@
+// The Liquid Metal compiler driver — the full Fig. 2 toolchain.
+//
+// "Liquid Metal accepts a set of source files and produces artifacts for
+// execution. ... The compiler frontend performs shallow optimizations and
+// generates [bytecode] for executing the entire program. ... The backend
+// consists of architecture-specific device compilers; currently, a GPU
+// compiler and an FPGA compiler. ... Most backend compilers are under no
+// obligation to compile everything. However, the CPU compiler always
+// compiles the entire program."
+//
+// compile() runs: frontend → bytecode (whole program) → static task-graph
+// discovery → GPU backend (fused segment kernels, per-filter kernels, and
+// map/reduce kernels) → FPGA backend (per-filter modules) → artifact store
+// population with manifests.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bytecode/module.h"
+#include "gpu/device.h"
+#include "ir/task_graph.h"
+#include "lime/ast.h"
+#include "runtime/store.h"
+#include "util/diagnostics.h"
+
+namespace lm::runtime {
+
+struct CompileOptions {
+  bool enable_gpu = true;
+  bool enable_fpga = true;
+  bool fpga_pipelined = false;
+  gpu::GpuDeviceConfig gpu_config;
+  /// Wire pre-compiled native kernels (the "vendor toolflow output") from
+  /// the global registry into the GPU device for matching task ids.
+  bool use_native_kernels = true;
+};
+
+struct CompiledProgram {
+  std::unique_ptr<lime::Program> ast;
+  std::unique_ptr<bc::BytecodeModule> bytecode;
+  ir::ProgramTaskGraphs graphs;
+  ArtifactStore store;
+  std::shared_ptr<gpu::GpuDevice> gpu_device;
+  DiagnosticEngine diags;
+  /// One line per backend decision: artifacts produced and exclusions with
+  /// their reasons (§3's compile-time reporting).
+  std::vector<std::string> backend_log;
+
+  bool ok() const { return ast != nullptr && !diags.has_errors(); }
+};
+
+std::unique_ptr<CompiledProgram> compile(const std::string& source,
+                                         const CompileOptions& options = {});
+
+}  // namespace lm::runtime

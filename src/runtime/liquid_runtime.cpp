@@ -1,0 +1,661 @@
+#include "runtime/liquid_runtime.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "runtime/fifo.h"
+#include "util/error.h"
+
+namespace lm::runtime {
+
+using bc::Value;
+
+// ---------------------------------------------------------------------------
+// Runtime graph representation (§4.1)
+// ---------------------------------------------------------------------------
+
+struct LiquidRuntime::RtNode {
+  enum class Kind { kSource, kSink, kFilter, kDevice };
+  Kind kind = Kind::kFilter;
+
+  // Source / sink.
+  Value array;
+  int rate = 1;
+
+  // Filter (bytecode-scheduled task).
+  int method_index = -1;
+  std::string task_id;
+  bool relocated = false;
+  int arity = 1;
+
+  // Device node (after substitution).
+  Artifact* artifact = nullptr;
+  std::string label;
+};
+
+struct LiquidRuntime::RtGraph {
+  std::vector<RtNode> nodes;
+  bool substituted = false;
+  bool started = false;
+  bool executed = false;
+
+  std::vector<std::shared_ptr<ValueFifo>> fifos;
+  std::vector<std::thread> threads;
+  std::mutex err_mu;
+  std::exception_ptr error;
+
+  /// A graph may be start()ed and never finish()ed (the paper's start() is
+  /// fire-and-forget); joining here keeps thread teardown safe when the
+  /// last handle drops.
+  ~RtGraph() {
+    for (auto& t : threads) {
+      if (t.joinable()) t.join();
+    }
+  }
+
+  void note_error(std::exception_ptr e) {
+    std::lock_guard<std::mutex> lock(err_mu);
+    if (!error) error = e;
+    // Unblock everyone.
+    for (auto& f : fifos) {
+      f->close();
+    }
+  }
+};
+
+std::shared_ptr<LiquidRuntime::RtGraph> LiquidRuntime::graph_of(
+    const Value& v) {
+  auto p = std::static_pointer_cast<RtGraph>(v.as_opaque());
+  LM_CHECK_MSG(p != nullptr, "value is not a task graph");
+  return p;
+}
+
+namespace {
+Value wrap(std::shared_ptr<LiquidRuntime::RtGraph> g);
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Construction and interpreter wiring
+// ---------------------------------------------------------------------------
+
+LiquidRuntime::LiquidRuntime(CompiledProgram& program, RuntimeConfig config)
+    : program_(program), config_(config), interp_(*program.bytecode) {
+  LM_CHECK_MSG(program.bytecode != nullptr,
+               "runtime needs a compiled program");
+  interp_.set_task_host(this);
+  interp_.set_accel_hooks(this);
+}
+
+LiquidRuntime::~LiquidRuntime() = default;
+
+Value LiquidRuntime::call(const std::string& qualified_name,
+                          std::vector<Value> args) {
+  return interp_.call(qualified_name, std::move(args));
+}
+
+// ---------------------------------------------------------------------------
+// TaskGraphHost: graph construction (§4.1)
+// ---------------------------------------------------------------------------
+
+namespace {
+Value wrap(std::shared_ptr<LiquidRuntime::RtGraph> g) {
+  return Value::opaque(std::static_pointer_cast<void>(std::move(g)));
+}
+}  // namespace
+
+Value LiquidRuntime::make_source(Value array, int rate) {
+  auto g = std::make_shared<RtGraph>();
+  RtNode n;
+  n.kind = RtNode::Kind::kSource;
+  n.array = std::move(array);
+  n.rate = rate;
+  g->nodes.push_back(std::move(n));
+  return wrap(std::move(g));
+}
+
+Value LiquidRuntime::make_sink(Value array) {
+  auto g = std::make_shared<RtGraph>();
+  RtNode n;
+  n.kind = RtNode::Kind::kSink;
+  n.array = std::move(array);
+  g->nodes.push_back(std::move(n));
+  return wrap(std::move(g));
+}
+
+Value LiquidRuntime::make_task(const std::string& task_id, int method_index,
+                               bool relocated) {
+  auto g = std::make_shared<RtGraph>();
+  RtNode n;
+  n.kind = RtNode::Kind::kFilter;
+  n.method_index = method_index;
+  n.task_id = task_id;
+  n.relocated = relocated;
+  n.arity = program_.bytecode->methods[static_cast<size_t>(method_index)]
+                .num_params;
+  g->nodes.push_back(std::move(n));
+  return wrap(std::move(g));
+}
+
+Value LiquidRuntime::connect(Value lhs, Value rhs) {
+  auto a = graph_of(lhs);
+  auto b = graph_of(rhs);
+  auto g = std::make_shared<RtGraph>();
+  g->nodes = a->nodes;
+  g->nodes.insert(g->nodes.end(), b->nodes.begin(), b->nodes.end());
+  return wrap(std::move(g));
+}
+
+// ---------------------------------------------------------------------------
+// Task substitution (§4.2)
+// ---------------------------------------------------------------------------
+
+void LiquidRuntime::substitute(RtGraph& g) {
+  if (g.substituted) return;
+  g.substituted = true;
+  if (config_.placement == Placement::kAdaptive) {
+    substitute_adaptive(g);
+    return;
+  }
+  if (config_.placement == Placement::kCpuOnly) {
+    for (const auto& n : g.nodes) {
+      if (n.kind == RtNode::Kind::kFilter && n.relocated) {
+        stats_.substitutions.push_back(
+            {n.task_id, DeviceKind::kCpu, /*fused=*/false});
+      }
+    }
+    return;
+  }
+
+  std::vector<DeviceKind> preference;
+  switch (config_.placement) {
+    case Placement::kAuto:
+      preference = {DeviceKind::kGpu, DeviceKind::kFpga};
+      break;
+    case Placement::kGpuOnly:
+      preference = {DeviceKind::kGpu};
+      break;
+    case Placement::kFpgaOnly:
+      preference = {DeviceKind::kFpga};
+      break;
+    case Placement::kCpuOnly:
+    case Placement::kAdaptive:
+      return;  // handled above
+  }
+
+  std::vector<RtNode> out;
+  size_t i = 0;
+  while (i < g.nodes.size()) {
+    const RtNode& n = g.nodes[i];
+    if (n.kind != RtNode::Kind::kFilter || !n.relocated) {
+      out.push_back(n);
+      ++i;
+      continue;
+    }
+    // Maximal run of consecutive relocated filters [i, j).
+    size_t j = i;
+    std::vector<std::string> ids;
+    while (j < g.nodes.size() && g.nodes[j].kind == RtNode::Kind::kFilter &&
+           g.nodes[j].relocated) {
+      ids.push_back(g.nodes[j].task_id);
+      ++j;
+    }
+    // Prefer the largest substitution (§4.2): the whole fused segment.
+    Artifact* seg = nullptr;
+    if (ids.size() > 1 && config_.allow_fusion) {
+      for (DeviceKind d : preference) {
+        seg = program_.store.find(ArtifactStore::segment_id(ids), d);
+        if (seg) break;
+      }
+    }
+    if (seg) {
+      RtNode dev;
+      dev.kind = RtNode::Kind::kDevice;
+      dev.artifact = seg;
+      dev.arity = seg->manifest().arity;
+      dev.label = seg->manifest().task_id;
+      out.push_back(std::move(dev));
+      std::string joined;
+      for (size_t k = 0; k < ids.size(); ++k) {
+        if (k) joined += "+";
+        joined += ids[k];
+      }
+      stats_.substitutions.push_back(
+          {joined, seg->manifest().device, /*fused=*/true});
+      i = j;
+      continue;
+    }
+    // Per-filter substitution, preferring accelerators over bytecode.
+    for (size_t k = i; k < j; ++k) {
+      const RtNode& f = g.nodes[k];
+      Artifact* chosen = nullptr;
+      for (DeviceKind d : preference) {
+        chosen = program_.store.find(f.task_id, d);
+        if (chosen) break;
+      }
+      if (chosen) {
+        RtNode dev;
+        dev.kind = RtNode::Kind::kDevice;
+        dev.artifact = chosen;
+        dev.arity = chosen->manifest().arity;
+        dev.label = chosen->manifest().task_id;
+        out.push_back(std::move(dev));
+        stats_.substitutions.push_back(
+            {f.task_id, chosen->manifest().device, /*fused=*/false});
+      } else {
+        out.push_back(f);
+        stats_.substitutions.push_back(
+            {f.task_id, DeviceKind::kCpu, /*fused=*/false});
+      }
+    }
+    i = j;
+  }
+  g.nodes = std::move(out);
+}
+
+void LiquidRuntime::substitute_adaptive(RtGraph& g) {
+  // Calibration prefix: the first few elements of the *actual* stream, so
+  // profiling sees representative data (runtime introspection, §7).
+  const bc::ArrayRef& src = g.nodes.front().array.as_array();
+  size_t k_cal = std::min(config_.calibration_elements, src->size());
+  std::vector<Value> stream;
+  stream.reserve(k_cal);
+  for (size_t i = 0; i < k_cal; ++i) stream.push_back(bc::array_get(*src, i));
+
+  auto profile = [&](Artifact* a,
+                     const std::vector<Value>& in) -> std::pair<double,
+                                                               std::vector<Value>> {
+    size_t arity = static_cast<size_t>(a->manifest().arity);
+    size_t usable = (in.size() / arity) * arity;
+    std::span<const Value> batch(in.data(), usable);
+    ++stats_.candidates_profiled;
+    if (usable == 0) return {0.0, {}};
+    // Warm once, then time the better of two runs.
+    std::vector<Value> out = a->process(batch);
+    double best = 1e300;
+    for (int rep = 0; rep < 2; ++rep) {
+      auto t0 = std::chrono::steady_clock::now();
+      out = a->process(batch);
+      auto t1 = std::chrono::steady_clock::now();
+      best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+    }
+    return {best, std::move(out)};
+  };
+
+  // Candidate ordering breaks ties toward accelerators (paper default).
+  auto candidates_for = [&](const std::string& id) {
+    std::vector<Artifact*> out;
+    for (DeviceKind d :
+         {DeviceKind::kGpu, DeviceKind::kFpga, DeviceKind::kCpu}) {
+      if (Artifact* a = program_.store.find(id, d)) out.push_back(a);
+    }
+    return out;
+  };
+
+  std::vector<RtNode> rewritten;
+  rewritten.push_back(g.nodes.front());
+
+  size_t i = 1;
+  while (i + 1 < g.nodes.size()) {
+    const RtNode& n = g.nodes[i];
+    if (n.kind != RtNode::Kind::kFilter || !n.relocated) {
+      // Advance the calibration stream through the untouched filter.
+      if (n.kind == RtNode::Kind::kFilter && !stream.empty()) {
+        size_t arity = static_cast<size_t>(n.arity);
+        std::vector<Value> next;
+        std::vector<Value> args(arity);
+        for (size_t e = 0; e + arity <= stream.size(); e += arity) {
+          for (size_t j = 0; j < arity; ++j) args[j] = stream[e + j];
+          next.push_back(interp_.call(n.method_index, args));
+        }
+        stream = std::move(next);
+      }
+      rewritten.push_back(n);
+      ++i;
+      continue;
+    }
+
+    // Maximal relocated run [i, j).
+    size_t j = i;
+    std::vector<std::string> ids;
+    while (j < g.nodes.size() && g.nodes[j].kind == RtNode::Kind::kFilter &&
+           g.nodes[j].relocated) {
+      ids.push_back(g.nodes[j].task_id);
+      ++j;
+    }
+
+    // Plan A: the fused segment on its best device.
+    Artifact* fused_best = nullptr;
+    double fused_time = 1e300;
+    std::vector<Value> fused_out;
+    if (ids.size() > 1 && config_.allow_fusion) {
+      for (Artifact* cand : candidates_for(ArtifactStore::segment_id(ids))) {
+        auto [t, out] = profile(cand, stream);
+        if (t < fused_time) {
+          fused_time = t;
+          fused_best = cand;
+          fused_out = std::move(out);
+        }
+      }
+    }
+
+    // Plan B: each filter independently on its best device.
+    double chain_time = 0;
+    std::vector<Artifact*> chain_choice;
+    std::vector<Value> chain_stream = stream;
+    for (size_t k = i; k < j; ++k) {
+      Artifact* best = nullptr;
+      double best_t = 1e300;
+      std::vector<Value> best_out;
+      for (Artifact* cand : candidates_for(g.nodes[k].task_id)) {
+        auto [t, out] = profile(cand, chain_stream);
+        if (t < best_t) {
+          best_t = t;
+          best = cand;
+          best_out = std::move(out);
+        }
+      }
+      LM_CHECK_MSG(best != nullptr,
+                   "no artifact at all for " << g.nodes[k].task_id);
+      chain_time += best_t;
+      chain_choice.push_back(best);
+      chain_stream = std::move(best_out);
+    }
+
+    if (fused_best && fused_time <= chain_time) {
+      RtNode dev;
+      dev.kind = RtNode::Kind::kDevice;
+      dev.artifact = fused_best;
+      dev.arity = fused_best->manifest().arity;
+      dev.label = fused_best->manifest().task_id;
+      rewritten.push_back(std::move(dev));
+      std::string joined;
+      for (size_t k = 0; k < ids.size(); ++k) {
+        if (k) joined += "+";
+        joined += ids[k];
+      }
+      stats_.substitutions.push_back(
+          {joined, fused_best->manifest().device, /*fused=*/true});
+      stream = std::move(fused_out);
+    } else {
+      for (size_t k = 0; k < chain_choice.size(); ++k) {
+        Artifact* a = chain_choice[k];
+        if (a->manifest().device == DeviceKind::kCpu) {
+          rewritten.push_back(g.nodes[i + k]);  // keep as interpreter filter
+        } else {
+          RtNode dev;
+          dev.kind = RtNode::Kind::kDevice;
+          dev.artifact = a;
+          dev.arity = a->manifest().arity;
+          dev.label = a->manifest().task_id;
+          rewritten.push_back(std::move(dev));
+        }
+        stats_.substitutions.push_back(
+            {g.nodes[i + k].task_id, a->manifest().device, /*fused=*/false});
+      }
+      stream = std::move(chain_stream);
+    }
+    i = j;
+  }
+  rewritten.push_back(g.nodes.back());
+  g.nodes = std::move(rewritten);
+}
+
+// ---------------------------------------------------------------------------
+// Execution (§4.1: thread per task, FIFO connections)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void validate_shape(const std::vector<LiquidRuntime::RtNode>& nodes) {
+  using Kind = LiquidRuntime::RtNode::Kind;
+  if (nodes.size() < 2 || nodes.front().kind != Kind::kSource ||
+      nodes.back().kind != Kind::kSink) {
+    throw RuntimeError(
+        "task graph must be source => filters... => sink to execute");
+  }
+  for (size_t i = 1; i + 1 < nodes.size(); ++i) {
+    if (nodes[i].kind != Kind::kFilter && nodes[i].kind != Kind::kDevice) {
+      throw RuntimeError("interior task-graph nodes must be filters");
+    }
+  }
+}
+
+}  // namespace
+
+void LiquidRuntime::start(Value graph) {
+  auto g = graph_of(graph);
+  if (g->started || g->executed) return;
+  substitute(*g);
+  validate_shape(g->nodes);
+  if (!config_.use_threads) {
+    // Inline mode has no asynchrony; run to completion now.
+    execute(*g);
+    return;
+  }
+  run_threaded(*g);  // spawns threads; finish() joins
+  g->started = true;
+}
+
+void LiquidRuntime::finish(Value graph) {
+  auto g = graph_of(graph);
+  if (g->executed) return;
+  if (!g->started) {
+    substitute(*g);
+    validate_shape(g->nodes);
+    execute(*g);
+    return;
+  }
+  // Started earlier: join.
+  for (auto& t : g->threads) t.join();
+  g->threads.clear();
+  g->executed = true;
+  ++stats_.graphs_executed;
+  stats_.elements_streamed += g->nodes.front().array.as_array()->size();
+  if (g->error) std::rethrow_exception(g->error);
+}
+
+void LiquidRuntime::execute(RtGraph& g) {
+  if (config_.use_threads) {
+    run_threaded(g);
+    for (auto& t : g.threads) t.join();
+    g.threads.clear();
+    stats_.elements_streamed += g.nodes.front().array.as_array()->size();
+  } else {
+    run_inline(g);
+  }
+  g.executed = true;
+  ++stats_.graphs_executed;
+  if (g.error) std::rethrow_exception(g.error);
+}
+
+void LiquidRuntime::run_inline(RtGraph& g) {
+  const bc::ArrayRef& src = g.nodes.front().array.as_array();
+  std::vector<Value> stream;
+  stream.reserve(src->size());
+  for (size_t i = 0; i < src->size(); ++i) {
+    stream.push_back(bc::array_get(*src, i));
+  }
+  stats_.elements_streamed += stream.size();
+
+  for (size_t ni = 1; ni + 1 < g.nodes.size(); ++ni) {
+    RtNode& n = g.nodes[ni];
+    if (n.kind == RtNode::Kind::kDevice) {
+      size_t k = static_cast<size_t>(n.arity);
+      size_t usable = (stream.size() / k) * k;
+      stream = n.artifact->process(
+          std::span<const Value>(stream.data(), usable));
+    } else {
+      size_t k = static_cast<size_t>(n.arity);
+      std::vector<Value> next;
+      next.reserve(stream.size() / k + 1);
+      std::vector<Value> args(k);
+      for (size_t i = 0; i + k <= stream.size(); i += k) {
+        for (size_t j = 0; j < k; ++j) args[j] = stream[i + j];
+        next.push_back(interp_.call(n.method_index, args));
+      }
+      stream = std::move(next);
+    }
+  }
+
+  const bc::ArrayRef& dst = g.nodes.back().array.as_array();
+  if (stream.size() > dst->size()) {
+    throw RuntimeError("sink array too small: produced " +
+                       std::to_string(stream.size()) + " elements into " +
+                       std::to_string(dst->size()));
+  }
+  for (size_t i = 0; i < stream.size(); ++i) {
+    bc::array_set(*dst, i, stream[i]);
+  }
+}
+
+void LiquidRuntime::run_threaded(RtGraph& g) {
+  size_t n_nodes = g.nodes.size();
+  g.fifos.clear();
+  for (size_t i = 0; i + 1 < n_nodes; ++i) {
+    g.fifos.push_back(std::make_shared<ValueFifo>(config_.fifo_capacity));
+  }
+  auto* graph = &g;
+
+  for (size_t ni = 0; ni < n_nodes; ++ni) {
+    RtNode* node = &g.nodes[ni];
+    std::shared_ptr<ValueFifo> in = ni > 0 ? g.fifos[ni - 1] : nullptr;
+    std::shared_ptr<ValueFifo> out = ni + 1 < n_nodes ? g.fifos[ni] : nullptr;
+
+    switch (node->kind) {
+      case RtNode::Kind::kSource:
+        g.threads.emplace_back([this, node, out, graph] {
+          try {
+            const bc::ArrayRef& src = node->array.as_array();
+            for (size_t i = 0; i < src->size(); ++i) {
+              if (!out->push(bc::array_get(*src, i))) break;  // closed
+            }
+            out->finish();
+          } catch (...) {
+            graph->note_error(std::current_exception());
+            out->finish();
+          }
+        });
+        break;
+
+      case RtNode::Kind::kSink:
+        g.threads.emplace_back([node, in, graph] {
+          try {
+            const bc::ArrayRef& dst = node->array.as_array();
+            size_t i = 0;
+            while (auto v = in->pop()) {
+              if (i >= dst->size()) {
+                throw RuntimeError("sink array too small");
+              }
+              bc::array_set(*dst, i++, *v);
+            }
+          } catch (...) {
+            graph->note_error(std::current_exception());
+          }
+        });
+        break;
+
+      case RtNode::Kind::kFilter:
+        g.threads.emplace_back([this, node, in, out, graph] {
+          try {
+            // A private interpreter per task thread: the module is shared
+            // read-only, so this is race-free.
+            bc::Interpreter local(*program_.bytecode);
+            size_t k = static_cast<size_t>(node->arity);
+            std::vector<Value> args(k);
+            for (;;) {
+              size_t got = 0;
+              for (; got < k; ++got) {
+                auto v = in->pop();
+                if (!v) break;
+                args[got] = std::move(*v);
+              }
+              if (got < k) break;  // stream ended (partial firing dropped)
+              if (!out->push(local.call(node->method_index, args))) break;
+            }
+            out->finish();
+          } catch (...) {
+            graph->note_error(std::current_exception());
+            out->finish();
+          }
+        });
+        break;
+
+      case RtNode::Kind::kDevice:
+        g.threads.emplace_back([this, node, in, out, graph] {
+          try {
+            size_t k = static_cast<size_t>(node->arity);
+            std::vector<Value> pending;
+            for (;;) {
+              auto batch =
+                  in->pop_batch(config_.device_batch * k - pending.size());
+              if (batch.empty()) break;  // end of stream
+              pending.insert(pending.end(),
+                             std::make_move_iterator(batch.begin()),
+                             std::make_move_iterator(batch.end()));
+              size_t usable = (pending.size() / k) * k;
+              if (usable == 0) continue;
+              auto results = node->artifact->process(
+                  std::span<const Value>(pending.data(), usable));
+              pending.erase(pending.begin(),
+                            pending.begin() + static_cast<long>(usable));
+              bool closed = false;
+              for (auto& r : results) {
+                if (!out->push(std::move(r))) {
+                  closed = true;
+                  break;
+                }
+              }
+              if (closed) break;
+            }
+            out->finish();
+          } catch (...) {
+            graph->note_error(std::current_exception());
+            out->finish();
+          }
+        });
+        break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AccelHooks: data-parallel operator offload (§2.2)
+// ---------------------------------------------------------------------------
+
+bool LiquidRuntime::try_map(const std::string& task_id,
+                            std::span<const Value> args, uint32_t array_mask,
+                            Value* out) {
+  if (!config_.accelerate_maps || config_.placement == Placement::kCpuOnly ||
+      config_.placement == Placement::kFpgaOnly) {
+    ++stats_.maps_interpreted;
+    return false;
+  }
+  Artifact* a = program_.store.find(task_id, DeviceKind::kGpu);
+  if (!a) {
+    ++stats_.maps_interpreted;
+    return false;
+  }
+  *out = static_cast<GpuKernelArtifact*>(a)->run_map(args, array_mask);
+  ++stats_.maps_accelerated;
+  return true;
+}
+
+bool LiquidRuntime::try_reduce(const std::string& task_id, const Value& array,
+                               Value* out) {
+  if (!config_.accelerate_maps || config_.placement == Placement::kCpuOnly ||
+      config_.placement == Placement::kFpgaOnly) {
+    ++stats_.reduces_interpreted;
+    return false;
+  }
+  Artifact* a = program_.store.find(task_id, DeviceKind::kGpu);
+  if (!a || array.as_array()->size() == 0) {
+    ++stats_.reduces_interpreted;
+    return false;
+  }
+  *out = static_cast<GpuKernelArtifact*>(a)->run_reduce(array);
+  ++stats_.reduces_accelerated;
+  return true;
+}
+
+}  // namespace lm::runtime

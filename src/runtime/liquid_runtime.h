@@ -1,0 +1,130 @@
+// The Liquid Metal runtime (§4).
+//
+// Implements the two host interfaces the bytecode interpreter exposes:
+//
+//  * TaskGraphHost — receives task creation/connect/start/finish ops while
+//    the Lime program runs, builds the runtime graph of task objects (§4.1),
+//    performs task substitution against the artifact store (§4.2), then
+//    schedules a thread per task with FIFO connections, marshaling data to
+//    device artifacts as needed (§4.3).
+//
+//  * AccelHooks — offered every map/reduce; when the store holds a GPU
+//    kernel for the method and the placement policy allows it, the whole
+//    data-parallel operation runs on the device.
+//
+// The substitution algorithm follows §4.2: "it prefers a larger
+// substitution to a smaller one. It also favors GPU and FPGA artifacts to
+// bytecode although that choice can be manually directed as well."
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/liquid_compiler.h"
+#include "runtime/store.h"
+
+namespace lm::runtime {
+
+/// Manual direction of placement (§4.2).
+enum class Placement {
+  kAuto,      // prefer larger, prefer accelerators (the paper's default)
+  kCpuOnly,   // bytecode everywhere (the always-available baseline)
+  kGpuOnly,   // substitute only GPU artifacts
+  kFpgaOnly,  // substitute only FPGA artifacts
+  /// §7 future work, implemented here: "runtime introspection and
+  /// adaptation of the task-graph partitioning so that tasks run where
+  /// they are best suited." Each candidate artifact is profiled on a
+  /// prefix of the actual stream and the fastest plan wins.
+  kAdaptive,
+};
+
+struct RuntimeConfig {
+  Placement placement = Placement::kAuto;
+  /// Capacity of each inter-task FIFO.
+  size_t fifo_capacity = 1024;
+  /// Elements a device node drains per batch (device launches amortize the
+  /// marshaling cost over this many elements).
+  size_t device_batch = 4096;
+  /// false → single-threaded inline execution (debugging / determinism).
+  bool use_threads = true;
+  /// false → maps/reduces always interpret (isolates pipeline effects).
+  bool accelerate_maps = true;
+  /// false → never substitute fused segment artifacts, only per-filter ones
+  /// (the E6 fusion ablation).
+  bool allow_fusion = true;
+  /// kAdaptive: how many stream elements to profile each candidate on.
+  size_t calibration_elements = 64;
+};
+
+/// One substitution decision, for logs, tests and the E2 experiment.
+struct SubstitutionRecord {
+  std::string task_ids;  // "P.a+P.b" for a fused segment
+  DeviceKind device = DeviceKind::kCpu;
+  bool fused = false;
+};
+
+struct RuntimeStats {
+  std::vector<SubstitutionRecord> substitutions;
+  uint64_t graphs_executed = 0;
+  uint64_t elements_streamed = 0;
+  uint64_t maps_accelerated = 0;
+  uint64_t maps_interpreted = 0;
+  uint64_t reduces_accelerated = 0;
+  uint64_t reduces_interpreted = 0;
+  /// kAdaptive: candidate artifacts profiled during calibration.
+  uint64_t candidates_profiled = 0;
+};
+
+class LiquidRuntime : public bc::TaskGraphHost, public bc::AccelHooks {
+ public:
+  struct RtGraph;
+  struct RtNode;
+
+  /// The compiled program must outlive the runtime.
+  LiquidRuntime(CompiledProgram& program, RuntimeConfig config = {});
+  ~LiquidRuntime() override;
+
+  /// Runs a program entry point under this runtime (task-graph ops and
+  /// map/reduce ops route back here).
+  bc::Value call(const std::string& qualified_name,
+                 std::vector<bc::Value> args);
+
+  bc::Interpreter& interpreter() { return interp_; }
+  const RuntimeStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = RuntimeStats{}; }
+  const RuntimeConfig& config() const { return config_; }
+  void set_placement(Placement p) { config_.placement = p; }
+
+  // -- TaskGraphHost (called by the interpreter) --
+  bc::Value make_source(bc::Value array, int rate) override;
+  bc::Value make_sink(bc::Value array) override;
+  bc::Value make_task(const std::string& task_id, int method_index,
+                      bool relocated) override;
+  bc::Value connect(bc::Value lhs, bc::Value rhs) override;
+  void start(bc::Value graph) override;
+  void finish(bc::Value graph) override;
+
+  // -- AccelHooks (called by the interpreter) --
+  bool try_map(const std::string& task_id, std::span<const bc::Value> args,
+               uint32_t array_mask, bc::Value* out) override;
+  bool try_reduce(const std::string& task_id, const bc::Value& array,
+                  bc::Value* out) override;
+
+ private:
+  std::shared_ptr<RtGraph> graph_of(const bc::Value& v);
+  /// §4.2 substitution: rewrites the node list in place.
+  void substitute(RtGraph& g);
+  /// The kAdaptive policy: profiles candidates on a stream prefix.
+  void substitute_adaptive(RtGraph& g);
+  void execute(RtGraph& g);
+  void run_threaded(RtGraph& g);
+  void run_inline(RtGraph& g);
+
+  CompiledProgram& program_;
+  RuntimeConfig config_;
+  bc::Interpreter interp_;
+  RuntimeStats stats_;
+};
+
+}  // namespace lm::runtime

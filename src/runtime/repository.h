@@ -1,0 +1,40 @@
+// On-disk artifact repository (§1).
+//
+// "The device artifact may either be embedded into the host machine code,
+// or it may exist in a repository and identified via a unique identifier
+// that is part of the invocation process."
+//
+// This module persists a compiled program's artifact bundle: one file per
+// artifact (OpenCL-C, Verilog, bytecode disassembly) plus a MANIFEST file
+// mapping task identifiers to artifacts and signatures. `lmc --emit-dir`
+// drives it; tests read bundles back and check the inventory.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "runtime/liquid_compiler.h"
+
+namespace lm::runtime {
+
+struct BundleEntry {
+  std::string task_id;
+  DeviceKind device = DeviceKind::kCpu;
+  std::string filename;   // relative to the bundle directory
+  std::string signature;  // "(int, int) -> int arity=2"
+};
+
+/// Writes every artifact of `program` into `dir` (created if needed) and a
+/// MANIFEST file describing them. Returns the entries written.
+/// Throws RuntimeError on I/O failure.
+std::vector<BundleEntry> write_artifact_bundle(const CompiledProgram& program,
+                                               const std::string& dir);
+
+/// Parses a MANIFEST file previously written by write_artifact_bundle.
+std::vector<BundleEntry> read_bundle_manifest(const std::string& dir);
+
+/// The filename an artifact is stored under: task id with path-hostile
+/// characters mapped, plus a device-specific extension (.cl/.v/.bc.txt).
+std::string bundle_filename(const std::string& task_id, DeviceKind device);
+
+}  // namespace lm::runtime

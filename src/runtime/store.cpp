@@ -1,0 +1,46 @@
+#include "runtime/store.h"
+
+#include "util/error.h"
+
+namespace lm::runtime {
+
+void ArtifactStore::add(std::unique_ptr<Artifact> artifact) {
+  LM_CHECK(artifact != nullptr);
+  Artifact* raw = artifact.get();
+  LM_CHECK_MSG(find(raw->manifest().task_id, raw->manifest().device) == nullptr,
+               "duplicate artifact for " << raw->manifest().task_id);
+  by_id_[raw->manifest().task_id].push_back(raw);
+  all_.push_back(std::move(artifact));
+}
+
+std::vector<Artifact*> ArtifactStore::lookup(const std::string& task_id) const {
+  auto it = by_id_.find(task_id);
+  if (it == by_id_.end()) return {};
+  return it->second;
+}
+
+Artifact* ArtifactStore::find(const std::string& task_id,
+                              DeviceKind device) const {
+  auto it = by_id_.find(task_id);
+  if (it == by_id_.end()) return nullptr;
+  for (Artifact* a : it->second) {
+    if (a->manifest().device == device) return a;
+  }
+  return nullptr;
+}
+
+std::vector<const ArtifactManifest*> ArtifactStore::manifests() const {
+  std::vector<const ArtifactManifest*> out;
+  out.reserve(all_.size());
+  for (const auto& a : all_) out.push_back(&a->manifest());
+  return out;
+}
+
+std::string ArtifactStore::segment_id(
+    const std::vector<std::string>& task_ids) {
+  std::string id = "seg";
+  for (const auto& t : task_ids) id += ":" + t;
+  return id;
+}
+
+}  // namespace lm::runtime

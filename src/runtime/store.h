@@ -1,0 +1,38 @@
+// The artifact store (§1, §4.2): all generated artifacts keyed by task
+// identifier. "The unique identifiers of tasks ... can be looked up
+// efficiently in the artifact store populated by the backends."
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/artifact.h"
+
+namespace lm::runtime {
+
+class ArtifactStore {
+ public:
+  void add(std::unique_ptr<Artifact> artifact);
+
+  /// All artifacts registered for a task id (may span devices).
+  std::vector<Artifact*> lookup(const std::string& task_id) const;
+
+  /// The artifact for (task_id, device), or nullptr.
+  Artifact* find(const std::string& task_id, DeviceKind device) const;
+
+  /// Every manifest, for listings and tests.
+  std::vector<const ArtifactManifest*> manifests() const;
+
+  size_t size() const { return all_.size(); }
+
+  /// The conventional key for a fused pipeline segment.
+  static std::string segment_id(const std::vector<std::string>& task_ids);
+
+ private:
+  std::vector<std::unique_ptr<Artifact>> all_;
+  std::unordered_map<std::string, std::vector<Artifact*>> by_id_;
+};
+
+}  // namespace lm::runtime

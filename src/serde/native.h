@@ -1,0 +1,78 @@
+// The native side of Fig. 3: the JNI-like boundary and C-style values.
+//
+// Paper: "The communication steps between the host JVM and the native
+// device entail (1) serializing a Lime value to a byte array, (2) crossing
+// the JNI boundary, and (3) converting this byte array into a C-style
+// value. The return path is a mirror image."
+//
+// NativeBoundary simulates step (2): only raw byte buffers may cross, and
+// every crossing copies (as a real JNI GetByteArrayRegion would). CValue is
+// the C-style value of step (3): a densely packed buffer a device artifact
+// can consume directly.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bytecode/value.h"
+#include "lime/type.h"
+
+namespace lm::serde {
+
+/// The host/native frontier. Deliberately the only way bytes move between
+/// the managed world and device artifacts; its counters feed the E3
+/// marshaling experiment.
+class NativeBoundary {
+ public:
+  /// Host → native copy (JNI "GetByteArrayRegion" direction).
+  std::vector<uint8_t> cross_to_native(std::span<const uint8_t> bytes);
+
+  /// Native → host copy ("NewByteArray + SetByteArrayRegion" direction).
+  std::vector<uint8_t> cross_to_host(std::span<const uint8_t> bytes);
+
+  uint64_t crossings() const { return crossings_; }
+  uint64_t bytes_to_native() const { return bytes_to_native_; }
+  uint64_t bytes_to_host() const { return bytes_to_host_; }
+  void reset_stats();
+
+ private:
+  uint64_t crossings_ = 0;
+  uint64_t bytes_to_native_ = 0;
+  uint64_t bytes_to_host_ = 0;
+};
+
+/// A C-style value: either one scalar or a dense array. "Marshaling on the
+/// C side is similar but more specialized because the data is generally
+/// densely packed" (§4.3). Bit arrays arrive packed on the wire but are
+/// widened to one byte per bit here so device kernels can index them.
+struct CValue {
+  bc::ElemCode elem = bc::ElemCode::kI32;
+  bool is_array = false;
+  size_t count = 0;               // elements (1 for scalars)
+  std::vector<uint8_t> storage;   // packed native layout
+
+  // Typed views (LM_CHECKed against elem).
+  std::span<const int32_t> i32s() const;
+  std::span<const int64_t> i64s() const;
+  std::span<const float> f32s() const;
+  std::span<const double> f64s() const;
+  std::span<const uint8_t> bytes() const;  // bool / bit (1 byte per element)
+  std::span<int32_t> i32s();
+  std::span<int64_t> i64s();
+  std::span<float> f32s();
+  std::span<double> f64s();
+  std::span<uint8_t> bytes();
+
+  static CValue make(bc::ElemCode elem, bool is_array, size_t count);
+};
+
+/// Step (3) of Fig. 3: wire bytes → C-style value, driven by the task's
+/// declared I/O type.
+CValue unmarshal_native(std::span<const uint8_t> wire,
+                        const lime::TypeRef& type);
+
+/// Mirror path: C-style value → wire bytes (bit arrays re-pack).
+std::vector<uint8_t> marshal_native(const CValue& v);
+
+}  // namespace lm::serde

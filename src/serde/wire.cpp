@@ -1,0 +1,255 @@
+#include "serde/wire.h"
+
+#include <unordered_map>
+
+#include "util/error.h"
+
+namespace lm::serde {
+
+using bc::ArrayRef;
+using bc::ElemCode;
+using bc::Value;
+using lime::TypeKind;
+using lime::TypeRef;
+
+namespace {
+
+class IntSerializer final : public Serializer {
+ public:
+  void serialize(const Value& v, ByteWriter& out) const override {
+    out.i32(v.as_i32());
+  }
+  Value deserialize(ByteReader& in) const override {
+    return Value::i32(in.i32());
+  }
+  std::string type_name() const override { return "int"; }
+  size_t wire_size(const Value&) const override { return 4; }
+};
+
+class LongSerializer final : public Serializer {
+ public:
+  void serialize(const Value& v, ByteWriter& out) const override {
+    out.i64(v.as_i64());
+  }
+  Value deserialize(ByteReader& in) const override {
+    return Value::i64(in.i64());
+  }
+  std::string type_name() const override { return "long"; }
+  size_t wire_size(const Value&) const override { return 8; }
+};
+
+class FloatSerializer final : public Serializer {
+ public:
+  void serialize(const Value& v, ByteWriter& out) const override {
+    out.f32(v.as_f32());
+  }
+  Value deserialize(ByteReader& in) const override {
+    return Value::f32(in.f32());
+  }
+  std::string type_name() const override { return "float"; }
+  size_t wire_size(const Value&) const override { return 4; }
+};
+
+class DoubleSerializer final : public Serializer {
+ public:
+  void serialize(const Value& v, ByteWriter& out) const override {
+    out.f64(v.as_f64());
+  }
+  Value deserialize(ByteReader& in) const override {
+    return Value::f64(in.f64());
+  }
+  std::string type_name() const override { return "double"; }
+  size_t wire_size(const Value&) const override { return 8; }
+};
+
+class BooleanSerializer final : public Serializer {
+ public:
+  void serialize(const Value& v, ByteWriter& out) const override {
+    out.u8(v.as_bool() ? 1 : 0);
+  }
+  Value deserialize(ByteReader& in) const override {
+    return Value::boolean(in.u8() != 0);
+  }
+  std::string type_name() const override { return "boolean"; }
+  size_t wire_size(const Value&) const override { return 1; }
+};
+
+class BitSerializer final : public Serializer {
+ public:
+  void serialize(const Value& v, ByteWriter& out) const override {
+    out.u8(v.as_bit() ? 1 : 0);
+  }
+  Value deserialize(ByteReader& in) const override {
+    return Value::bit(in.u8() != 0);
+  }
+  std::string type_name() const override { return "bit"; }
+  size_t wire_size(const Value&) const override { return 1; }
+};
+
+/// Value enums travel as their int ordinal.
+class EnumSerializer final : public Serializer {
+ public:
+  explicit EnumSerializer(std::string name) : name_(std::move(name)) {}
+  void serialize(const Value& v, ByteWriter& out) const override {
+    out.i32(v.as_i32());
+  }
+  Value deserialize(ByteReader& in) const override {
+    return Value::i32(in.i32());
+  }
+  std::string type_name() const override { return name_; }
+  size_t wire_size(const Value&) const override { return 4; }
+
+ private:
+  std::string name_;
+};
+
+/// Dense array serializer: u32 count + packed element data. Bit arrays pack
+/// 8 bits per byte.
+class ArraySerializer final : public Serializer {
+ public:
+  ArraySerializer(ElemCode elem, std::string name, bool value_array)
+      : elem_(elem), name_(std::move(name)), value_array_(value_array) {}
+
+  void serialize(const Value& v, ByteWriter& out) const override {
+    const ArrayRef& a = v.as_array();
+    LM_CHECK_MSG(a->elem == elem_, "array serializer type mismatch: have "
+                                       << bc::to_string(a->elem) << ", want "
+                                       << bc::to_string(elem_));
+    auto n = static_cast<uint32_t>(a->size());
+    out.u32(n);
+    switch (elem_) {
+      case ElemCode::kI32: {
+        const auto& d = std::get<std::vector<int32_t>>(a->data);
+        out.raw(d.data(), d.size() * sizeof(int32_t));
+        return;
+      }
+      case ElemCode::kI64: {
+        const auto& d = std::get<std::vector<int64_t>>(a->data);
+        out.raw(d.data(), d.size() * sizeof(int64_t));
+        return;
+      }
+      case ElemCode::kF32: {
+        const auto& d = std::get<std::vector<float>>(a->data);
+        out.raw(d.data(), d.size() * sizeof(float));
+        return;
+      }
+      case ElemCode::kF64: {
+        const auto& d = std::get<std::vector<double>>(a->data);
+        out.raw(d.data(), d.size() * sizeof(double));
+        return;
+      }
+      case ElemCode::kBool: {
+        const auto& d = std::get<std::vector<uint8_t>>(a->data);
+        out.raw(d.data(), d.size());
+        return;
+      }
+      case ElemCode::kBit: {
+        // Pack 8 bits per byte, LSB first — the FPGA wire layout.
+        const auto& d = std::get<std::vector<uint8_t>>(a->data);
+        for (size_t base = 0; base < d.size(); base += 8) {
+          uint8_t byte = 0;
+          for (size_t k = 0; k < 8 && base + k < d.size(); ++k) {
+            if (d[base + k]) byte |= static_cast<uint8_t>(1u << k);
+          }
+          out.u8(byte);
+        }
+        return;
+      }
+      case ElemCode::kBoxed:
+        throw InternalError("boxed arrays cannot cross a task boundary");
+    }
+  }
+
+  Value deserialize(ByteReader& in) const override {
+    uint32_t n = in.u32();
+    ArrayRef a = bc::make_array(elem_, n, value_array_);
+    switch (elem_) {
+      case ElemCode::kI32:
+        in.raw(std::get<std::vector<int32_t>>(a->data).data(),
+               n * sizeof(int32_t));
+        break;
+      case ElemCode::kI64:
+        in.raw(std::get<std::vector<int64_t>>(a->data).data(),
+               n * sizeof(int64_t));
+        break;
+      case ElemCode::kF32:
+        in.raw(std::get<std::vector<float>>(a->data).data(), n * sizeof(float));
+        break;
+      case ElemCode::kF64:
+        in.raw(std::get<std::vector<double>>(a->data).data(),
+               n * sizeof(double));
+        break;
+      case ElemCode::kBool:
+        in.raw(std::get<std::vector<uint8_t>>(a->data).data(), n);
+        break;
+      case ElemCode::kBit: {
+        auto& d = std::get<std::vector<uint8_t>>(a->data);
+        for (size_t base = 0; base < n; base += 8) {
+          uint8_t byte = in.u8();
+          for (size_t k = 0; k < 8 && base + k < n; ++k) {
+            d[base + k] = (byte >> k) & 1;
+          }
+        }
+        break;
+      }
+      case ElemCode::kBoxed:
+        throw InternalError("boxed arrays cannot cross a task boundary");
+    }
+    return Value::array(std::move(a));
+  }
+
+  std::string type_name() const override { return name_; }
+
+  size_t wire_size(const Value& v) const override {
+    size_t n = v.as_array()->size();
+    switch (elem_) {
+      case ElemCode::kI32: case ElemCode::kF32: return 4 + n * 4;
+      case ElemCode::kI64: case ElemCode::kF64: return 4 + n * 8;
+      case ElemCode::kBool: return 4 + n;
+      case ElemCode::kBit: return 4 + (n + 7) / 8;
+      case ElemCode::kBoxed: return 0;
+    }
+    return 0;
+  }
+
+ private:
+  ElemCode elem_;
+  std::string name_;
+  bool value_array_;
+};
+
+}  // namespace
+
+std::shared_ptr<const Serializer> serializer_for(const TypeRef& type) {
+  LM_CHECK(type != nullptr);
+  switch (type->kind) {
+    case TypeKind::kInt:
+      return std::make_shared<IntSerializer>();
+    case TypeKind::kLong:
+      return std::make_shared<LongSerializer>();
+    case TypeKind::kFloat:
+      return std::make_shared<FloatSerializer>();
+    case TypeKind::kDouble:
+      return std::make_shared<DoubleSerializer>();
+    case TypeKind::kBoolean:
+      return std::make_shared<BooleanSerializer>();
+    case TypeKind::kBit:
+      return std::make_shared<BitSerializer>();
+    case TypeKind::kClass:
+      return std::make_shared<EnumSerializer>(type->class_name);
+    case TypeKind::kArray:
+    case TypeKind::kValueArray: {
+      ElemCode ec = bc::elem_code_for(type->elem);
+      if (ec == ElemCode::kBoxed) {
+        throw InternalError("no wire format for nested array type " +
+                            type->to_string());
+      }
+      return std::make_shared<ArraySerializer>(
+          ec, type->to_string(), type->kind == TypeKind::kValueArray);
+    }
+    default:
+      throw InternalError("no wire format for type " + type->to_string());
+  }
+}
+
+}  // namespace lm::serde

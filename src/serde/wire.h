@@ -1,0 +1,46 @@
+// The universal byte-stream wire format (§4.3, Fig. 3).
+//
+// "The runtime implementation adopts a universal 'wire' format that relies
+// only on sending a byte stream." Communication between the managed host
+// (our VM) and a native device artifact takes three steps each way:
+//
+//   host Value --serialize--> byte stream --cross boundary--> C-side value
+//   C-side value --pack--> byte stream --cross boundary--> host Value
+//
+// The format is schema-driven, not self-describing: "during the task
+// substitution process, the runtime will find a custom serializer based on
+// the task I/O data type". Scalars are little-endian; arrays are a u32
+// element count followed by densely packed elements; bit arrays pack 8 bits
+// per byte (bit 0 in the LSB), which is both the FPGA-friendly layout and
+// the densest wire encoding.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "bytecode/value.h"
+#include "lime/type.h"
+#include "util/byte_buffer.h"
+
+namespace lm::serde {
+
+/// A per-type (de)serialization strategy (§4.3 "custom serializer").
+class Serializer {
+ public:
+  virtual ~Serializer() = default;
+
+  virtual void serialize(const bc::Value& v, ByteWriter& out) const = 0;
+  virtual bc::Value deserialize(ByteReader& in) const = 0;
+
+  /// The Lime type this serializer handles (diagnostics / manifests).
+  virtual std::string type_name() const = 0;
+
+  /// Exact wire size in bytes for a given value (for transfer accounting).
+  virtual size_t wire_size(const bc::Value& v) const = 0;
+};
+
+/// Looks up the serializer for a Lime task I/O type. Throws InternalError
+/// for types that can never cross a task boundary (non-values).
+std::shared_ptr<const Serializer> serializer_for(const lime::TypeRef& type);
+
+}  // namespace lm::serde

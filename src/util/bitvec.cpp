@@ -1,0 +1,118 @@
+#include "util/bitvec.h"
+
+#include <bit>
+
+#include "util/error.h"
+
+namespace lm {
+
+BitVec::BitVec(size_t width, uint64_t value) : BitVec(width) {
+  if (!words_.empty()) {
+    words_[0] = value;
+    mask_top();
+  }
+}
+
+BitVec BitVec::from_literal(const std::string& digits) {
+  BitVec v(digits.size());
+  for (size_t i = 0; i < digits.size(); ++i) {
+    char c = digits[digits.size() - 1 - i];
+    LM_CHECK_MSG(c == '0' || c == '1', "bad bit literal digit '" << c << "'");
+    v.set(i, c == '1');
+  }
+  return v;
+}
+
+bool BitVec::get(size_t i) const {
+  LM_CHECK_MSG(i < width_, "bit index " << i << " out of range " << width_);
+  return (words_[i / 64] >> (i % 64)) & 1;
+}
+
+void BitVec::set(size_t i, bool v) {
+  LM_CHECK_MSG(i < width_, "bit index " << i << " out of range " << width_);
+  uint64_t mask = uint64_t{1} << (i % 64);
+  if (v) {
+    words_[i / 64] |= mask;
+  } else {
+    words_[i / 64] &= ~mask;
+  }
+}
+
+uint64_t BitVec::to_uint64() const { return words_.empty() ? 0 : words_[0]; }
+
+BitVec BitVec::operator~() const {
+  BitVec r(width_);
+  for (size_t w = 0; w < words_.size(); ++w) r.words_[w] = ~words_[w];
+  r.mask_top();
+  return r;
+}
+
+BitVec BitVec::operator&(const BitVec& o) const {
+  LM_CHECK(width_ == o.width_);
+  BitVec r(width_);
+  for (size_t w = 0; w < words_.size(); ++w) r.words_[w] = words_[w] & o.words_[w];
+  return r;
+}
+
+BitVec BitVec::operator|(const BitVec& o) const {
+  LM_CHECK(width_ == o.width_);
+  BitVec r(width_);
+  for (size_t w = 0; w < words_.size(); ++w) r.words_[w] = words_[w] | o.words_[w];
+  return r;
+}
+
+BitVec BitVec::operator^(const BitVec& o) const {
+  LM_CHECK(width_ == o.width_);
+  BitVec r(width_);
+  for (size_t w = 0; w < words_.size(); ++w) r.words_[w] = words_[w] ^ o.words_[w];
+  return r;
+}
+
+size_t BitVec::popcount() const {
+  size_t n = 0;
+  for (uint64_t w : words_) n += static_cast<size_t>(std::popcount(w));
+  return n;
+}
+
+std::string BitVec::to_literal() const {
+  std::string s(width_, '0');
+  for (size_t i = 0; i < width_; ++i) {
+    if (get(i)) s[width_ - 1 - i] = '1';
+  }
+  return s;
+}
+
+BitVec BitVec::concat(const BitVec& hi) const {
+  BitVec r(width_ + hi.width_);
+  for (size_t i = 0; i < width_; ++i) r.set(i, get(i));
+  for (size_t i = 0; i < hi.width_; ++i) r.set(width_ + i, hi.get(i));
+  return r;
+}
+
+BitVec BitVec::slice(size_t lo, size_t n) const {
+  LM_CHECK_MSG(lo + n <= width_, "slice [" << lo << ", " << lo + n
+                                           << ") out of range " << width_);
+  BitVec r(n);
+  for (size_t i = 0; i < n; ++i) r.set(i, get(lo + i));
+  return r;
+}
+
+void BitVec::resize(size_t width) {
+  BitVec r(width);
+  size_t keep = width < width_ ? width : width_;
+  for (size_t i = 0; i < keep; ++i) r.set(i, get(i));
+  *this = std::move(r);
+}
+
+bool BitVec::operator==(const BitVec& o) const {
+  return width_ == o.width_ && words_ == o.words_;
+}
+
+void BitVec::mask_top() {
+  size_t rem = width_ % 64;
+  if (rem != 0 && !words_.empty()) {
+    words_.back() &= (uint64_t{1} << rem) - 1;
+  }
+}
+
+}  // namespace lm

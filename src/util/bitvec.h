@@ -1,0 +1,76 @@
+// Arbitrary-width bit vector.
+//
+// Used in three places:
+//   * Lime `bit` arrays and bit literals (e.g. `100b`, §2.2) in the VM,
+//   * RTL signal values in the cycle simulator (src/rtl),
+//   * dense bit-packing in the marshaling layer (src/serde).
+//
+// Bit 0 is the least significant bit, matching the paper's convention for
+// bit literals: the literal 100b is a 3-bit array with bit[0]=0, bit[2]=1.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lm {
+
+class BitVec {
+ public:
+  BitVec() = default;
+
+  /// A vector of `width` zero bits.
+  explicit BitVec(size_t width) : width_(width), words_((width + 63) / 64) {}
+
+  /// A vector of `width` bits initialized from the low bits of `value`.
+  BitVec(size_t width, uint64_t value);
+
+  /// Parses a Lime bit literal body, e.g. "100" for the literal 100b.
+  /// The leftmost character is the most significant bit.
+  static BitVec from_literal(const std::string& digits);
+
+  size_t width() const { return width_; }
+  bool empty() const { return width_ == 0; }
+
+  bool get(size_t i) const;
+  void set(size_t i, bool v);
+
+  /// Low 64 bits as an integer (bits past the width are zero).
+  uint64_t to_uint64() const;
+
+  /// Bitwise complement of every bit (the Lime `~` on bit, Fig. 1 line 3).
+  BitVec operator~() const;
+  BitVec operator&(const BitVec& o) const;
+  BitVec operator|(const BitVec& o) const;
+  BitVec operator^(const BitVec& o) const;
+
+  /// Number of set bits.
+  size_t popcount() const;
+
+  /// Renders MSB-first, e.g. "100" for a 3-bit vector with only bit 2 set —
+  /// the same order the Lime literal was written in.
+  std::string to_literal() const;
+
+  /// Concatenates: `this` occupies the low bits, `hi` the high bits.
+  BitVec concat(const BitVec& hi) const;
+
+  /// The `n` bits starting at `lo` as a new vector.
+  BitVec slice(size_t lo, size_t n) const;
+
+  /// Resizes to `width` bits, zero-extending or truncating at the MSB end.
+  void resize(size_t width);
+
+  bool operator==(const BitVec& o) const;
+  bool operator!=(const BitVec& o) const { return !(*this == o); }
+
+  /// Raw 64-bit words, LSW first; trailing bits beyond width() are zero.
+  const std::vector<uint64_t>& words() const { return words_; }
+
+ private:
+  void mask_top();
+
+  size_t width_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace lm

@@ -1,0 +1,4 @@
+#include "util/byte_buffer.h"
+
+// Header-only; this translation unit exists so the library has a home for
+// the symbols if out-of-line definitions are added later.

@@ -1,0 +1,98 @@
+// Byte-stream primitives for the universal wire format (§4.3, Fig. 3).
+//
+// The runtime adopts a wire format that "relies only on sending a byte
+// stream". ByteWriter/ByteReader are the two ends of that stream. All
+// multi-byte quantities are little-endian, matching the dense C-side layout.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+
+namespace lm {
+
+class ByteWriter {
+ public:
+  void u8(uint8_t v) { buf_.push_back(v); }
+  void u16(uint16_t v) { raw(&v, sizeof v); }
+  void u32(uint32_t v) { raw(&v, sizeof v); }
+  void u64(uint64_t v) { raw(&v, sizeof v); }
+  void i32(int32_t v) { raw(&v, sizeof v); }
+  void i64(int64_t v) { raw(&v, sizeof v); }
+  void f32(float v) { raw(&v, sizeof v); }
+  void f64(double v) { raw(&v, sizeof v); }
+
+  void raw(const void* p, size_t n) {
+    const auto* b = static_cast<const uint8_t*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+
+  void str(const std::string& s) {
+    u32(static_cast<uint32_t>(s.size()));
+    raw(s.data(), s.size());
+  }
+
+  size_t size() const { return buf_.size(); }
+  const std::vector<uint8_t>& bytes() const { return buf_; }
+  std::vector<uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const uint8_t> data) : data_(data) {}
+
+  uint8_t u8() { return take<uint8_t>(); }
+  uint16_t u16() { return take<uint16_t>(); }
+  uint32_t u32() { return take<uint32_t>(); }
+  uint64_t u64() { return take<uint64_t>(); }
+  int32_t i32() { return take<int32_t>(); }
+  int64_t i64() { return take<int64_t>(); }
+  float f32() { return take<float>(); }
+  double f64() { return take<double>(); }
+
+  std::string str() {
+    uint32_t n = u32();
+    check(n);
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  void raw(void* out, size_t n) {
+    check(n);
+    std::memcpy(out, data_.data() + pos_, n);
+    pos_ += n;
+  }
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return remaining() == 0; }
+  size_t position() const { return pos_; }
+
+ private:
+  template <typename T>
+  T take() {
+    T v;
+    raw(&v, sizeof v);
+    return v;
+  }
+
+  void check(size_t n) {
+    if (pos_ + n > data_.size()) {
+      throw RuntimeError("wire format underflow: need " + std::to_string(n) +
+                         " bytes at offset " + std::to_string(pos_) +
+                         ", have " + std::to_string(data_.size() - pos_));
+    }
+  }
+
+  std::span<const uint8_t> data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace lm

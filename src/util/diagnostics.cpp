@@ -1,0 +1,46 @@
+#include "util/diagnostics.h"
+
+#include <sstream>
+
+namespace lm {
+
+const char* to_string(Severity s) {
+  switch (s) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+void DiagnosticEngine::error(SourceLoc loc, std::string message) {
+  diags_.push_back({Severity::kError, loc, std::move(message)});
+  ++error_count_;
+}
+
+void DiagnosticEngine::warning(SourceLoc loc, std::string message) {
+  diags_.push_back({Severity::kWarning, loc, std::move(message)});
+}
+
+void DiagnosticEngine::note(SourceLoc loc, std::string message) {
+  diags_.push_back({Severity::kNote, loc, std::move(message)});
+}
+
+std::string DiagnosticEngine::to_string() const {
+  std::ostringstream os;
+  for (const auto& d : diags_) {
+    os << lm::to_string(d.severity) << " " << lm::to_string(d.loc) << ": "
+       << d.message << "\n";
+  }
+  return os.str();
+}
+
+void DiagnosticEngine::clear() {
+  diags_.clear();
+  error_count_ = 0;
+}
+
+}  // namespace lm

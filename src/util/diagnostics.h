@@ -1,0 +1,48 @@
+// Diagnostic collection for the Lime frontend.
+//
+// The frontend never throws on bad user input; it records diagnostics here.
+// This mirrors the paper's behaviour of reporting, e.g., "relocation brackets
+// present but task graph shape not statically determinable" as a compile-time
+// error message (§3).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/source_location.h"
+
+namespace lm {
+
+enum class Severity { kNote, kWarning, kError };
+
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  SourceLoc loc;
+  std::string message;
+};
+
+const char* to_string(Severity s);
+
+/// Accumulates diagnostics during a frontend run. Cheap to copy around by
+/// reference; owned by the CompilerDriver.
+class DiagnosticEngine {
+ public:
+  void error(SourceLoc loc, std::string message);
+  void warning(SourceLoc loc, std::string message);
+  void note(SourceLoc loc, std::string message);
+
+  bool has_errors() const { return error_count_ > 0; }
+  int error_count() const { return error_count_; }
+  const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+
+  /// All diagnostics, one per line, "error 3:14: message" style.
+  std::string to_string() const;
+
+  void clear();
+
+ private:
+  std::vector<Diagnostic> diags_;
+  int error_count_ = 0;
+};
+
+}  // namespace lm

@@ -1,0 +1,63 @@
+// Error handling primitives for the Liquid Metal reproduction.
+//
+// Two error regimes coexist in this codebase:
+//   * User-facing compile errors (bad Lime source) are reported through
+//     lm::DiagnosticEngine and never throw; the frontend collects them and
+//     callers inspect `has_errors()`.
+//   * Internal invariant violations (compiler bugs, misuse of an API) throw
+//     lm::InternalError via the LM_CHECK/LM_UNREACHABLE macros below.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace lm {
+
+/// Thrown when an internal invariant is violated. Catching this is only
+/// appropriate in tests that deliberately provoke misuse.
+class InternalError : public std::logic_error {
+ public:
+  explicit InternalError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown by runtime components (VM, scheduler, marshaler) when executing a
+/// program fails in a way the program itself caused, e.g. an out-of-bounds
+/// array index in interpreted Lime code.
+class RuntimeError : public std::runtime_error {
+ public:
+  explicit RuntimeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* file, int line,
+                                      const char* expr,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << "LM_CHECK failed at " << file << ":" << line << ": " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw InternalError(os.str());
+}
+}  // namespace detail
+
+}  // namespace lm
+
+/// Internal invariant check. Always on (these are cheap and this is a
+/// research codebase where silent corruption is worse than a throw).
+#define LM_CHECK(expr)                                                \
+  do {                                                                \
+    if (!(expr)) ::lm::detail::check_failed(__FILE__, __LINE__, #expr, ""); \
+  } while (0)
+
+#define LM_CHECK_MSG(expr, msg)                                     \
+  do {                                                              \
+    if (!(expr)) {                                                  \
+      std::ostringstream lm_check_os;                               \
+      lm_check_os << msg;                                           \
+      ::lm::detail::check_failed(__FILE__, __LINE__, #expr,         \
+                                 lm_check_os.str());                \
+    }                                                               \
+  } while (0)
+
+#define LM_UNREACHABLE(msg)                                        \
+  ::lm::detail::check_failed(__FILE__, __LINE__, "unreachable", msg)

@@ -1,0 +1,47 @@
+// Deterministic PRNG for workload generation.
+//
+// Benchmarks and property tests must be reproducible across runs and
+// machines, so everything that needs randomness takes a seed and uses this
+// SplitMix64 generator instead of std::random_device.
+#pragma once
+
+#include <cstdint>
+
+namespace lm {
+
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound). bound must be nonzero.
+  uint64_t next_below(uint64_t bound) { return next() % bound; }
+
+  /// Uniform in [lo, hi].
+  int64_t next_range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(next_below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform float in [0, 1).
+  float next_float() {
+    return static_cast<float>(next() >> 40) * (1.0f / 16777216.0f);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  bool next_bool() { return (next() & 1) != 0; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace lm

@@ -1,0 +1,34 @@
+// Source positions for Lime diagnostics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace lm {
+
+/// A position in a Lime source buffer. Lines and columns are 1-based;
+/// offset is the 0-based byte offset. An invalid location has line == 0.
+struct SourceLoc {
+  uint32_t line = 0;
+  uint32_t column = 0;
+  uint32_t offset = 0;
+
+  bool valid() const { return line != 0; }
+  bool operator==(const SourceLoc&) const = default;
+};
+
+/// Half-open range [begin, end) in a source buffer.
+struct SourceRange {
+  SourceLoc begin;
+  SourceLoc end;
+
+  bool valid() const { return begin.valid(); }
+  bool operator==(const SourceRange&) const = default;
+};
+
+inline std::string to_string(const SourceLoc& loc) {
+  if (!loc.valid()) return "<unknown>";
+  return std::to_string(loc.line) + ":" + std::to_string(loc.column);
+}
+
+}  // namespace lm

@@ -1,0 +1,54 @@
+#include "util/strings.h"
+
+#include <sstream>
+
+namespace lm {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == sep) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+std::string join(const std::vector<std::string>& parts, const std::string& sep) {
+  std::ostringstream os;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i) os << sep;
+    os << parts[i];
+  }
+  return os.str();
+}
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::string indent(const std::string& body, int spaces) {
+  std::string pad(static_cast<size_t>(spaces), ' ');
+  std::string out;
+  size_t start = 0;
+  while (start < body.size()) {
+    size_t nl = body.find('\n', start);
+    if (nl == std::string::npos) nl = body.size();
+    if (nl > start) out += pad + body.substr(start, nl - start);
+    if (nl < body.size()) out += '\n';
+    start = nl + 1;
+  }
+  return out;
+}
+
+}  // namespace lm

@@ -1,0 +1,18 @@
+// Small string helpers shared by code generators and diagnostics.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace lm {
+
+std::vector<std::string> split(const std::string& s, char sep);
+std::string join(const std::vector<std::string>& parts, const std::string& sep);
+bool starts_with(const std::string& s, const std::string& prefix);
+bool ends_with(const std::string& s, const std::string& suffix);
+
+/// Indents every line of `body` by `spaces` spaces (used by the OpenCL and
+/// Verilog emitters to keep generated code readable).
+std::string indent(const std::string& body, int spaces);
+
+}  // namespace lm

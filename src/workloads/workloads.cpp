@@ -1,0 +1,703 @@
+#include "workloads/workloads.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace lm::workloads {
+
+using bc::ArrayRef;
+using bc::Value;
+using gpu::KArg;
+using serde::CValue;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Input generators
+// ---------------------------------------------------------------------------
+
+ArrayRef random_f32(size_t n, uint64_t seed, float lo, float hi) {
+  SplitMix64 rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = lo + (hi - lo) * rng.next_float();
+  return bc::make_f32_array(std::move(v), true);
+}
+
+ArrayRef random_i32(size_t n, uint64_t seed, int32_t lo, int32_t hi) {
+  SplitMix64 rng(seed);
+  std::vector<int32_t> v(n);
+  for (auto& x : v) x = static_cast<int32_t>(rng.next_range(lo, hi));
+  return bc::make_i32_array(std::move(v), true);
+}
+
+ArrayRef iota(size_t n) {
+  std::vector<int32_t> v(n);
+  for (size_t i = 0; i < n; ++i) v[i] = static_cast<int32_t>(i);
+  return bc::make_i32_array(std::move(v), true);
+}
+
+// Reference helper: the cumulative normal used by Black-Scholes, float32
+// exactly as the Lime kernel computes it.
+float cnd_ref(float x) {
+  float l = std::fabs(x);
+  float k = 1.0f / (1.0f + 0.2316419f * l);
+  float poly = 0.31938153f * k - 0.356563782f * k * k +
+               1.781477937f * k * k * k - 1.821255978f * k * k * k * k +
+               1.330274429f * k * k * k * k * k;
+  float w = 1.0f - 0.39894228f * std::exp(-0.5f * l * l) * poly;
+  return x < 0.0f ? 1.0f - w : w;
+}
+
+// ---------------------------------------------------------------------------
+// Lime sources
+// ---------------------------------------------------------------------------
+
+const char* kSaxpySource = R"(
+class Saxpy {
+  local static float axpy(float a, float x, float y) { return a * x + y; }
+  static float[[]] run(float a, float[[]] x, float[[]] y) {
+    return Saxpy @ axpy(a, x, y);
+  }
+}
+)";
+
+const char* kVaddSource = R"(
+class Vadd {
+  local static int add2(int x, int y) { return x + y; }
+  static int[[]] run(int[[]] x, int[[]] y) {
+    return Vadd @ add2(x, y);
+  }
+}
+)";
+
+const char* kMandelSource = R"(
+class Mandel {
+  local static int escape(int idx, int width, float x0, float y0,
+                          float dx, float dy, int maxIter) {
+    int px = idx % width;
+    int py = idx / width;
+    float cr = x0 + dx * px;
+    float ci = y0 + dy * py;
+    float zr = 0.0f;
+    float zi = 0.0f;
+    int it = 0;
+    while (it < maxIter && zr * zr + zi * zi < 4.0f) {
+      float nzr = zr * zr - zi * zi + cr;
+      zi = 2.0f * zr * zi + ci;
+      zr = nzr;
+      it += 1;
+    }
+    return it;
+  }
+  static int[[]] run(int[[]] idx, int width, float x0, float y0,
+                     float dx, float dy, int maxIter) {
+    return Mandel @ escape(idx, width, x0, y0, dx, dy, maxIter);
+  }
+}
+)";
+
+const char* kBlackScholesSource = R"(
+class BlackScholes {
+  local static float cnd(float x) {
+    float l = Math.abs(x);
+    float k = 1.0f / (1.0f + 0.2316419f * l);
+    float poly = 0.31938153f * k - 0.356563782f * k * k
+      + 1.781477937f * k * k * k - 1.821255978f * k * k * k * k
+      + 1.330274429f * k * k * k * k * k;
+    float w = 1.0f - 0.39894228f * Math.exp(-0.5f * l * l) * poly;
+    return x < 0.0f ? 1.0f - w : w;
+  }
+  local static float callPrice(float s, float k, float t, float r, float v) {
+    float sq = v * Math.sqrt(t);
+    float d1 = (Math.log(s / k) + (r + 0.5f * v * v) * t) / sq;
+    float d2 = d1 - sq;
+    return s * cnd(d1) - k * Math.exp(-r * t) * cnd(d2);
+  }
+  static float[[]] run(float[[]] s, float[[]] k, float[[]] t, float r, float v) {
+    return BlackScholes @ callPrice(s, k, t, r, v);
+  }
+}
+)";
+
+const char* kNBodySource = R"(
+class NBody {
+  local static float accelX(float[[]] px, float[[]] py, float[[]] pz,
+                            int i, int n) {
+    float xi = px[i];
+    float yi = py[i];
+    float zi = pz[i];
+    float ax = 0.0f;
+    for (int j = 0; j < n; j += 1) {
+      float dx = px[j] - xi;
+      float dy = py[j] - yi;
+      float dz = pz[j] - zi;
+      float d2 = dx * dx + dy * dy + dz * dz + 0.0001f;
+      float inv = 1.0f / (d2 * Math.sqrt(d2));
+      ax += dx * inv;
+    }
+    return ax;
+  }
+  static float[[]] run(float[[]] px, float[[]] py, float[[]] pz,
+                       int[[]] idx, int n) {
+    return NBody @ accelX(px, py, pz, idx, n);
+  }
+}
+)";
+
+const char* kMatMulSource = R"(
+class MatMul {
+  local static float cell(float[[]] a, float[[]] b, int n, int idx) {
+    int row = idx / n;
+    int col = idx % n;
+    float acc = 0.0f;
+    for (int k = 0; k < n; k += 1) {
+      acc += a[row * n + k] * b[k * n + col];
+    }
+    return acc;
+  }
+  static float[[]] run(float[[]] a, float[[]] b, int[[]] idx, int n) {
+    return MatMul @ cell(a, b, n, idx);
+  }
+}
+)";
+
+const char* kConvSource = R"(
+class Conv {
+  local static float at(float[[]] signal, float[[]] taps, int idx) {
+    float acc = 0.0f;
+    for (int k = 0; k < taps.length; k += 1) {
+      acc += signal[idx + k] * taps[k];
+    }
+    return acc;
+  }
+  static float[[]] run(float[[]] signal, float[[]] taps, int[[]] idx) {
+    return Conv @ at(signal, taps, idx);
+  }
+}
+)";
+
+const char* kSumReduceSource = R"(
+class SumReduce {
+  local static int add2(int a, int b) { return a + b; }
+  static int run(int[[]] xs) { return SumReduce ! add2(xs); }
+}
+)";
+
+const char* kIntPipeSource = R"(
+class IntPipe {
+  local static int scale(int x) { return 3 * x; }
+  local static int clamp(int x) {
+    return Math.min(Math.max(x, -100000), 100000);
+  }
+  local static int offset(int x) { return x + 13; }
+  static int[[]] run(int[[]] input) {
+    int[] result = new int[input.length];
+    var g = input.source(1)
+      => ([ task scale ])
+      => ([ task clamp ])
+      => ([ task offset ])
+      => result.<int>sink();
+    g.finish();
+    return new int[[]](result);
+  }
+}
+)";
+
+const char* kCrc8Source = R"(
+class Crc8 {
+  // CRC-8 (poly 0x07) of one byte, bit-serial with a fully unrolled loop —
+  // exactly the shape the FPGA backend synthesizes into a datapath.
+  local static int crc8(int b) {
+    int crc = b & 255;
+    for (int i = 0; i < 8; i += 1) {
+      crc = (crc & 128) != 0 ? ((crc << 1) ^ 7) & 255 : (crc << 1) & 255;
+    }
+    return crc;
+  }
+  static int[[]] run(int[[]] bytes) {
+    int[] result = new int[bytes.length];
+    var g = bytes.source(1) => ([ task crc8 ]) => result.<int>sink();
+    g.finish();
+    return new int[[]](result);
+  }
+}
+)";
+
+const char* kBitPipeSource = R"(
+public value enum bit {
+  zero, one;
+  public bit ~ this {
+    return this == zero ? one : zero;
+  }
+}
+class BitPipe {
+  local static bit flip(bit b) { return ~b; }
+  static bit[[]] run(bit[[]] input) {
+    bit[] result = new bit[input.length];
+    var g = input.source(1) => ([ task flip ]) => result.<bit>sink();
+    g.finish();
+    return new bit[[]](result);
+  }
+}
+)";
+
+// ---------------------------------------------------------------------------
+// Reference implementations
+// ---------------------------------------------------------------------------
+
+Value ref_saxpy(const std::vector<Value>& args) {
+  float a = args[0].as_f32();
+  const auto& x = std::get<std::vector<float>>(args[1].as_array()->data);
+  const auto& y = std::get<std::vector<float>>(args[2].as_array()->data);
+  std::vector<float> out(x.size());
+  for (size_t i = 0; i < x.size(); ++i) out[i] = a * x[i] + y[i];
+  return Value::array(bc::make_f32_array(std::move(out), true));
+}
+
+Value ref_vadd(const std::vector<Value>& args) {
+  const auto& x = std::get<std::vector<int32_t>>(args[0].as_array()->data);
+  const auto& y = std::get<std::vector<int32_t>>(args[1].as_array()->data);
+  std::vector<int32_t> out(x.size());
+  for (size_t i = 0; i < x.size(); ++i) out[i] = x[i] + y[i];
+  return Value::array(bc::make_i32_array(std::move(out), true));
+}
+
+int32_t mandel_escape_ref(int32_t idx, int32_t width, float x0, float y0,
+                          float dx, float dy, int32_t max_iter) {
+  int32_t px = idx % width;
+  int32_t py = idx / width;
+  float cr = x0 + dx * static_cast<float>(px);
+  float ci = y0 + dy * static_cast<float>(py);
+  float zr = 0.0f, zi = 0.0f;
+  int32_t it = 0;
+  while (it < max_iter && zr * zr + zi * zi < 4.0f) {
+    float nzr = zr * zr - zi * zi + cr;
+    zi = 2.0f * zr * zi + ci;
+    zr = nzr;
+    ++it;
+  }
+  return it;
+}
+
+Value ref_mandel(const std::vector<Value>& args) {
+  const auto& idx = std::get<std::vector<int32_t>>(args[0].as_array()->data);
+  int32_t width = args[1].as_i32();
+  float x0 = args[2].as_f32(), y0 = args[3].as_f32();
+  float dx = args[4].as_f32(), dy = args[5].as_f32();
+  int32_t max_iter = args[6].as_i32();
+  std::vector<int32_t> out(idx.size());
+  for (size_t i = 0; i < idx.size(); ++i) {
+    out[i] = mandel_escape_ref(idx[i], width, x0, y0, dx, dy, max_iter);
+  }
+  return Value::array(bc::make_i32_array(std::move(out), true));
+}
+
+float bs_call_ref(float s, float k, float t, float r, float v) {
+  float sq = v * std::sqrt(t);
+  float d1 = (std::log(s / k) + (r + 0.5f * v * v) * t) / sq;
+  float d2 = d1 - sq;
+  return s * cnd_ref(d1) - k * std::exp(-r * t) * cnd_ref(d2);
+}
+
+Value ref_blackscholes(const std::vector<Value>& args) {
+  const auto& s = std::get<std::vector<float>>(args[0].as_array()->data);
+  const auto& k = std::get<std::vector<float>>(args[1].as_array()->data);
+  const auto& t = std::get<std::vector<float>>(args[2].as_array()->data);
+  float r = args[3].as_f32(), v = args[4].as_f32();
+  std::vector<float> out(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    out[i] = bs_call_ref(s[i], k[i], t[i], r, v);
+  }
+  return Value::array(bc::make_f32_array(std::move(out), true));
+}
+
+Value ref_nbody(const std::vector<Value>& args) {
+  const auto& px = std::get<std::vector<float>>(args[0].as_array()->data);
+  const auto& py = std::get<std::vector<float>>(args[1].as_array()->data);
+  const auto& pz = std::get<std::vector<float>>(args[2].as_array()->data);
+  const auto& idx = std::get<std::vector<int32_t>>(args[3].as_array()->data);
+  int32_t n = args[4].as_i32();
+  std::vector<float> out(idx.size());
+  for (size_t w = 0; w < idx.size(); ++w) {
+    int32_t i = idx[w];
+    float xi = px[static_cast<size_t>(i)];
+    float yi = py[static_cast<size_t>(i)];
+    float zi = pz[static_cast<size_t>(i)];
+    float ax = 0.0f;
+    for (int32_t j = 0; j < n; ++j) {
+      float dx = px[static_cast<size_t>(j)] - xi;
+      float dy = py[static_cast<size_t>(j)] - yi;
+      float dz = pz[static_cast<size_t>(j)] - zi;
+      float d2 = dx * dx + dy * dy + dz * dz + 0.0001f;
+      float inv = 1.0f / (d2 * std::sqrt(d2));
+      ax += dx * inv;
+    }
+    out[w] = ax;
+  }
+  return Value::array(bc::make_f32_array(std::move(out), true));
+}
+
+Value ref_matmul(const std::vector<Value>& args) {
+  const auto& a = std::get<std::vector<float>>(args[0].as_array()->data);
+  const auto& b = std::get<std::vector<float>>(args[1].as_array()->data);
+  const auto& idx = std::get<std::vector<int32_t>>(args[2].as_array()->data);
+  int32_t n = args[3].as_i32();
+  std::vector<float> out(idx.size());
+  for (size_t w = 0; w < idx.size(); ++w) {
+    int32_t row = idx[w] / n;
+    int32_t col = idx[w] % n;
+    float acc = 0.0f;
+    for (int32_t k = 0; k < n; ++k) {
+      acc += a[static_cast<size_t>(row * n + k)] *
+             b[static_cast<size_t>(k * n + col)];
+    }
+    out[w] = acc;
+  }
+  return Value::array(bc::make_f32_array(std::move(out), true));
+}
+
+Value ref_conv(const std::vector<Value>& args) {
+  const auto& sig = std::get<std::vector<float>>(args[0].as_array()->data);
+  const auto& taps = std::get<std::vector<float>>(args[1].as_array()->data);
+  const auto& idx = std::get<std::vector<int32_t>>(args[2].as_array()->data);
+  std::vector<float> out(idx.size());
+  for (size_t w = 0; w < idx.size(); ++w) {
+    float acc = 0.0f;
+    for (size_t k = 0; k < taps.size(); ++k) {
+      acc += sig[static_cast<size_t>(idx[w]) + k] * taps[k];
+    }
+    out[w] = acc;
+  }
+  return Value::array(bc::make_f32_array(std::move(out), true));
+}
+
+Value ref_sumreduce(const std::vector<Value>& args) {
+  const auto& xs = std::get<std::vector<int32_t>>(args[0].as_array()->data);
+  int32_t acc = 0;
+  for (int32_t v : xs) acc += v;
+  return Value::i32(acc);
+}
+
+Value ref_intpipe(const std::vector<Value>& args) {
+  const auto& in = std::get<std::vector<int32_t>>(args[0].as_array()->data);
+  std::vector<int32_t> out(in.size());
+  for (size_t i = 0; i < in.size(); ++i) {
+    int32_t v = 3 * in[i];
+    v = std::min(std::max(v, -100000), 100000);
+    out[i] = v + 13;
+  }
+  return Value::array(bc::make_i32_array(std::move(out), true));
+}
+
+Value ref_crc8(const std::vector<Value>& args) {
+  const auto& in = std::get<std::vector<int32_t>>(args[0].as_array()->data);
+  std::vector<int32_t> out(in.size());
+  for (size_t i = 0; i < in.size(); ++i) {
+    int32_t crc = in[i] & 255;
+    for (int k = 0; k < 8; ++k) {
+      crc = (crc & 128) != 0 ? ((crc << 1) ^ 7) & 255 : (crc << 1) & 255;
+    }
+    out[i] = crc;
+  }
+  return Value::array(bc::make_i32_array(std::move(out), true));
+}
+
+Value ref_bitpipe(const std::vector<Value>& args) {
+  const auto& in = std::get<std::vector<uint8_t>>(args[0].as_array()->data);
+  std::vector<uint8_t> out(in.size());
+  for (size_t i = 0; i < in.size(); ++i) out[i] = in[i] ? 0 : 1;
+  return Value::array(bc::make_bit_array(std::move(out), true));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Suites
+// ---------------------------------------------------------------------------
+
+const std::vector<Workload>& gpu_suite() {
+  static const auto* kSuite = new std::vector<Workload>{
+      {"saxpy", kSaxpySource, "Saxpy.run", "Saxpy.axpy",
+       [](size_t n, uint64_t seed) {
+         return std::vector<Value>{
+             Value::f32(2.5f), Value::array(random_f32(n, seed, -10, 10)),
+             Value::array(random_f32(n, seed + 1, -10, 10))};
+       },
+       ref_saxpy, 2.0},
+      {"vadd", kVaddSource, "Vadd.run", "Vadd.add2",
+       [](size_t n, uint64_t seed) {
+         return std::vector<Value>{
+             Value::array(random_i32(n, seed, -100000, 100000)),
+             Value::array(random_i32(n, seed + 1, -100000, 100000))};
+       },
+       ref_vadd, 1.0},
+      {"mandelbrot", kMandelSource, "Mandel.run", "Mandel.escape",
+       [](size_t n, uint64_t) {
+         size_t width = 256;
+         return std::vector<Value>{Value::array(iota(n)),
+                                   Value::i32(static_cast<int32_t>(width)),
+                                   Value::f32(-2.0f), Value::f32(-1.25f),
+                                   Value::f32(2.5f / 256), Value::f32(2.5f / 256),
+                                   Value::i32(64)};
+       },
+       ref_mandel, 7.0 * 32},
+      {"blackscholes", kBlackScholesSource, "BlackScholes.run",
+       "BlackScholes.callPrice",
+       [](size_t n, uint64_t seed) {
+         return std::vector<Value>{
+             Value::array(random_f32(n, seed, 10, 100)),      // spot
+             Value::array(random_f32(n, seed + 1, 10, 100)),  // strike
+             Value::array(random_f32(n, seed + 2, 0.2f, 2.0f)),  // expiry
+             Value::f32(0.05f), Value::f32(0.2f)};
+       },
+       ref_blackscholes, 60.0},
+      {"nbody", kNBodySource, "NBody.run", "NBody.accelX",
+       [](size_t n, uint64_t seed) {
+         return std::vector<Value>{
+             Value::array(random_f32(n, seed, -1, 1)),
+             Value::array(random_f32(n, seed + 1, -1, 1)),
+             Value::array(random_f32(n, seed + 2, -1, 1)),
+             Value::array(iota(n)), Value::i32(static_cast<int32_t>(n))};
+       },
+       ref_nbody, 12.0 * 64},
+      {"matmul", kMatMulSource, "MatMul.run", "MatMul.cell",
+       [](size_t n, uint64_t seed) {
+         // n must be a perfect square cell count; round down.
+         size_t dim = 1;
+         while ((dim + 1) * (dim + 1) <= n) ++dim;
+         size_t cells = dim * dim;
+         return std::vector<Value>{
+             Value::array(random_f32(cells, seed, -1, 1)),
+             Value::array(random_f32(cells, seed + 1, -1, 1)),
+             Value::array(iota(cells)), Value::i32(static_cast<int32_t>(dim))};
+       },
+       ref_matmul, 2.0 * 64},
+      {"conv1d", kConvSource, "Conv.run", "Conv.at",
+       [](size_t n, uint64_t seed) {
+         size_t taps = 16;
+         return std::vector<Value>{
+             Value::array(random_f32(n + taps, seed, -1, 1)),
+             Value::array(random_f32(taps, seed + 1, -1, 1)),
+             Value::array(iota(n))};
+       },
+       ref_conv, 2.0 * 16},
+      {"sumreduce", kSumReduceSource, "SumReduce.run", "SumReduce.add2",
+       [](size_t n, uint64_t seed) {
+         return std::vector<Value>{
+             Value::array(random_i32(n, seed, -1000, 1000))};
+       },
+       ref_sumreduce, 1.0},
+  };
+  return *kSuite;
+}
+
+const std::vector<Workload>& pipeline_suite() {
+  static const auto* kSuite = new std::vector<Workload>{
+      {"intpipe", kIntPipeSource, "IntPipe.run", "IntPipe.scale",
+       [](size_t n, uint64_t seed) {
+         return std::vector<Value>{
+             Value::array(random_i32(n, seed, -100000, 100000))};
+       },
+       ref_intpipe, 3.0},
+      {"crc8pipe", kCrc8Source, "Crc8.run", "Crc8.crc8",
+       [](size_t n, uint64_t seed) {
+         return std::vector<Value>{
+             Value::array(random_i32(n, seed, 0, 255))};
+       },
+       ref_crc8, 8.0 * 4},
+      {"bitpipe", kBitPipeSource, "BitPipe.run", "BitPipe.flip",
+       [](size_t n, uint64_t seed) {
+         SplitMix64 rng(seed);
+         std::vector<uint8_t> bits(n);
+         for (auto& b : bits) b = rng.next_bool() ? 1 : 0;
+         return std::vector<Value>{
+             Value::array(bc::make_bit_array(std::move(bits), true))};
+       },
+       ref_bitpipe, 1.0},
+  };
+  return *kSuite;
+}
+
+// ---------------------------------------------------------------------------
+// Native kernels (the "vendor toolflow output" for the simulated GPU)
+// ---------------------------------------------------------------------------
+
+void register_native_kernels() {
+  static bool done = false;
+  if (done) return;
+  done = true;
+  auto& reg = gpu::NativeKernelRegistry::global();
+
+  reg.add("Saxpy.axpy", [](const std::vector<KArg>& a, CValue& out,
+                           size_t b, size_t e) {
+    float s = a[0].scalar.f32;
+    auto x = a[1].array->f32s();
+    auto y = a[2].array->f32s();
+    auto o = out.f32s();
+    for (size_t i = b; i < e; ++i) o[i] = s * x[i] + y[i];
+  });
+
+  reg.add("Vadd.add2", [](const std::vector<KArg>& a, CValue& out, size_t b,
+                          size_t e) {
+    auto x = a[0].array->i32s();
+    auto y = a[1].array->i32s();
+    auto o = out.i32s();
+    for (size_t i = b; i < e; ++i) o[i] = x[i] + y[i];
+  });
+
+  reg.add("Mandel.escape", [](const std::vector<KArg>& a, CValue& out,
+                              size_t b, size_t e) {
+    auto idx = a[0].array->i32s();
+    int32_t width = a[1].scalar.i32;
+    float x0 = a[2].scalar.f32, y0 = a[3].scalar.f32;
+    float dx = a[4].scalar.f32, dy = a[5].scalar.f32;
+    int32_t max_iter = a[6].scalar.i32;
+    auto o = out.i32s();
+    for (size_t i = b; i < e; ++i) {
+      o[i] = mandel_escape_ref(idx[i], width, x0, y0, dx, dy, max_iter);
+    }
+  });
+
+  reg.add("BlackScholes.callPrice", [](const std::vector<KArg>& a,
+                                       CValue& out, size_t b, size_t e) {
+    auto s = a[0].array->f32s();
+    auto k = a[1].array->f32s();
+    auto t = a[2].array->f32s();
+    float r = a[3].scalar.f32, v = a[4].scalar.f32;
+    auto o = out.f32s();
+    for (size_t i = b; i < e; ++i) o[i] = bs_call_ref(s[i], k[i], t[i], r, v);
+  });
+
+  reg.add("NBody.accelX", [](const std::vector<KArg>& a, CValue& out,
+                             size_t b, size_t e) {
+    auto px = a[0].array->f32s();
+    auto py = a[1].array->f32s();
+    auto pz = a[2].array->f32s();
+    auto idx = a[3].array->i32s();
+    int32_t n = a[4].scalar.i32;
+    auto o = out.f32s();
+    for (size_t w = b; w < e; ++w) {
+      auto i = static_cast<size_t>(idx[w]);
+      float xi = px[i], yi = py[i], zi = pz[i];
+      float ax = 0.0f;
+      for (int32_t j = 0; j < n; ++j) {
+        auto ju = static_cast<size_t>(j);
+        float dx = px[ju] - xi, dy = py[ju] - yi, dz = pz[ju] - zi;
+        float d2 = dx * dx + dy * dy + dz * dz + 0.0001f;
+        float inv = 1.0f / (d2 * std::sqrt(d2));
+        ax += dx * inv;
+      }
+      o[w] = ax;
+    }
+  });
+
+  reg.add("MatMul.cell", [](const std::vector<KArg>& a, CValue& out,
+                            size_t b, size_t e) {
+    auto m1 = a[0].array->f32s();
+    auto m2 = a[1].array->f32s();
+    int32_t n = a[2].scalar.i32;
+    auto idx = a[3].array->i32s();
+    auto o = out.f32s();
+    for (size_t w = b; w < e; ++w) {
+      int32_t row = idx[w] / n, col = idx[w] % n;
+      float acc = 0.0f;
+      for (int32_t k = 0; k < n; ++k) {
+        acc += m1[static_cast<size_t>(row * n + k)] *
+               m2[static_cast<size_t>(k * n + col)];
+      }
+      o[w] = acc;
+    }
+  });
+
+  reg.add("Conv.at", [](const std::vector<KArg>& a, CValue& out, size_t b,
+                        size_t e) {
+    auto sig = a[0].array->f32s();
+    auto taps = a[1].array->f32s();
+    auto idx = a[2].array->i32s();
+    auto o = out.f32s();
+    for (size_t w = b; w < e; ++w) {
+      float acc = 0.0f;
+      for (size_t k = 0; k < taps.size(); ++k) {
+        acc += sig[static_cast<size_t>(idx[w]) + k] * taps[k];
+      }
+      o[w] = acc;
+    }
+  });
+
+  reg.add("SumReduce.add2", [](const std::vector<KArg>& a, CValue& out,
+                               size_t b, size_t e) {
+    // Binary reduce kernel launched pairwise (stride-2 views).
+    auto o = out.i32s();
+    for (size_t i = b; i < e; ++i) {
+      int32_t l = a[0].array->i32s()[i * static_cast<size_t>(a[0].stride) +
+                                     static_cast<size_t>(a[0].offset)];
+      int32_t r = a[1].array->i32s()[i * static_cast<size_t>(a[1].stride) +
+                                     static_cast<size_t>(a[1].offset)];
+      o[i] = l + r;
+    }
+  });
+
+  // Fused pipeline segment for IntPipe (scale → clamp → offset).
+  reg.add("seg:IntPipe.scale:IntPipe.clamp:IntPipe.offset",
+          [](const std::vector<KArg>& a, CValue& out, size_t b, size_t e) {
+            auto in = a[0].array->i32s();
+            auto o = out.i32s();
+            for (size_t i = b; i < e; ++i) {
+              int32_t v = 3 * in[i * static_cast<size_t>(a[0].stride)];
+              v = std::min(std::max(v, -100000), 100000);
+              o[i] = v + 13;
+            }
+          });
+}
+
+// ---------------------------------------------------------------------------
+// Result comparison
+// ---------------------------------------------------------------------------
+
+namespace {
+bool close(double a, double b, double rel_tol) {
+  if (a == b) return true;
+  double diff = std::fabs(a - b);
+  double mag = std::max(std::fabs(a), std::fabs(b));
+  return diff <= rel_tol * std::max(mag, 1e-6);
+}
+}  // namespace
+
+bool results_match(const Value& a, const Value& b, double rel_tol) {
+  if (a.kind() != b.kind()) return false;
+  switch (a.kind()) {
+    case bc::ValueKind::kFloat:
+      return close(a.as_f32(), b.as_f32(), rel_tol);
+    case bc::ValueKind::kDouble:
+      return close(a.as_f64(), b.as_f64(), rel_tol);
+    case bc::ValueKind::kArray: {
+      const auto& x = *a.as_array();
+      const auto& y = *b.as_array();
+      if (x.elem != y.elem || x.size() != y.size()) return false;
+      if (x.elem == bc::ElemCode::kF32) {
+        const auto& xv = std::get<std::vector<float>>(x.data);
+        const auto& yv = std::get<std::vector<float>>(y.data);
+        for (size_t i = 0; i < xv.size(); ++i) {
+          if (!close(xv[i], yv[i], rel_tol)) return false;
+        }
+        return true;
+      }
+      if (x.elem == bc::ElemCode::kF64) {
+        const auto& xv = std::get<std::vector<double>>(x.data);
+        const auto& yv = std::get<std::vector<double>>(y.data);
+        for (size_t i = 0; i < xv.size(); ++i) {
+          if (!close(xv[i], yv[i], rel_tol)) return false;
+        }
+        return true;
+      }
+      return a.equals(b);
+    }
+    default:
+      return a.equals(b);
+  }
+}
+
+}  // namespace lm::workloads

@@ -1,0 +1,57 @@
+// The Lime benchmark suite (S10).
+//
+// These are the data-parallel and streaming workloads of the kind the
+// paper's companion evaluation [3] measured (the DAC paper quotes its
+// 12×–431× end-to-end GPU speedups from that suite): saxpy, vector add,
+// mandelbrot, black-scholes, n-body, matrix multiply, 1-D convolution, and
+// a sum reduction — plus integer streaming pipelines for the FPGA and
+// scheduler experiments.
+//
+// Each workload carries its Lime source, its entry point, an input
+// generator, a plain-C++ reference implementation (for correctness
+// checking), and optionally a pre-compiled native kernel that plays the
+// role of the vendor OpenCL toolflow's output.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bytecode/value.h"
+#include "gpu/device.h"
+
+namespace lm::workloads {
+
+struct Workload {
+  std::string name;
+  std::string lime_source;
+  /// Entry point ("Saxpy.run") invoked with make_args(n, seed).
+  std::string entry;
+  /// Task id of the data-parallel kernel (for store lookups and the native
+  /// registry), e.g. "Saxpy.axpy".
+  std::string kernel_id;
+  /// Builds the argument list for problem size n.
+  std::function<std::vector<bc::Value>(size_t n, uint64_t seed)> make_args;
+  /// Reference implementation: same args → expected result.
+  std::function<bc::Value(const std::vector<bc::Value>& args)> reference;
+  /// Approximate useful arithmetic ops per element (for reporting).
+  double flops_per_elem = 1.0;
+};
+
+/// The data-parallel (map/reduce) suite used by experiment E5.
+const std::vector<Workload>& gpu_suite();
+
+/// Streaming pipeline workloads (task graphs) for E2/E6.
+const std::vector<Workload>& pipeline_suite();
+
+/// Installs the pre-compiled native kernels for the whole suite into the
+/// process-wide registry (idempotent). Called by benches and examples; unit
+/// tests exercise both the native and the kernel-IR paths.
+void register_native_kernels();
+
+/// Compares two results within a relative tolerance for floats (device and
+/// VM use identical single-precision operations, but reductions may
+/// re-associate). Exact for integers/bits.
+bool results_match(const bc::Value& a, const bc::Value& b, double rel_tol);
+
+}  // namespace lm::workloads

@@ -1,0 +1,158 @@
+// Tests for the adaptive placement policy (§7 future work, implemented):
+// runtime introspection picks per-segment placements by profiling on a
+// prefix of the actual stream.
+#include <gtest/gtest.h>
+
+#include "runtime/liquid_runtime.h"
+#include "tests/lime_test_util.h"
+#include "util/rng.h"
+#include "workloads/workloads.h"
+
+namespace lm::runtime {
+namespace {
+
+using bc::Value;
+
+std::unique_ptr<CompiledProgram> compile_ok(const std::string& src) {
+  auto cp = compile(src);
+  EXPECT_TRUE(cp->ok()) << cp->diags.to_string();
+  return cp;
+}
+
+const char* kPipe = R"(
+  class P {
+    local static int scale(int x) { return 3 * x; }
+    local static int offset(int x) { return x + 7; }
+    static int[[]] run(int[[]] input) {
+      int[] result = new int[input.length];
+      var g = input.source(1)
+        => ([ task scale ]) => ([ task offset ])
+        => result.<int>sink();
+      g.finish();
+      return new int[[]](result);
+    }
+  }
+)";
+
+TEST(Adaptive, ProducesCorrectOutput) {
+  auto cp = compile_ok(kPipe);
+  RuntimeConfig rc;
+  rc.placement = Placement::kAdaptive;
+  LiquidRuntime rt(*cp, rc);
+  SplitMix64 rng(21);
+  std::vector<int32_t> input(2000);
+  for (auto& v : input) v = static_cast<int32_t>(rng.next_range(-500, 500));
+  Value out = rt.call("P.run", {Value::array(bc::make_i32_array(input, true))});
+  const auto& a = *out.as_array();
+  ASSERT_EQ(a.size(), input.size());
+  for (size_t i = 0; i < input.size(); i += 37) {
+    EXPECT_EQ(bc::array_get(a, i).as_i32(), 3 * input[i] + 7);
+  }
+}
+
+TEST(Adaptive, ProfilesCandidatesAndRecordsDecisions) {
+  auto cp = compile_ok(kPipe);
+  RuntimeConfig rc;
+  rc.placement = Placement::kAdaptive;
+  rc.calibration_elements = 32;
+  LiquidRuntime rt(*cp, rc);
+  std::vector<int32_t> input(512, 5);
+  rt.call("P.run", {Value::array(bc::make_i32_array(input, true))});
+  // Candidates: fused GPU segment + per-filter (gpu+fpga+cpu for each of 2
+  // filters) → at least 4 profiled.
+  EXPECT_GE(rt.stats().candidates_profiled, 4u);
+  EXPECT_FALSE(rt.stats().substitutions.empty());
+}
+
+TEST(Adaptive, EmptyStreamStillExecutes) {
+  auto cp = compile_ok(kPipe);
+  RuntimeConfig rc;
+  rc.placement = Placement::kAdaptive;
+  LiquidRuntime rt(*cp, rc);
+  Value out = rt.call("P.run", {Value::array(bc::make_i32_array({}, true))});
+  EXPECT_EQ(out.as_array()->size(), 0u);
+}
+
+TEST(Adaptive, MatchesAutoPlacementOutput) {
+  SplitMix64 rng(5);
+  std::vector<int32_t> input(1024);
+  for (auto& v : input) v = static_cast<int32_t>(rng.next_range(-999, 999));
+  Value in = Value::array(bc::make_i32_array(input, true));
+
+  auto run = [&](Placement p) {
+    auto cp = compile_ok(kPipe);
+    RuntimeConfig rc;
+    rc.placement = p;
+    LiquidRuntime rt(*cp, rc);
+    return rt.call("P.run", {in});
+  };
+  EXPECT_TRUE(run(Placement::kAdaptive).equals(run(Placement::kAuto)));
+}
+
+TEST(Adaptive, WorksWhenOnlyBytecodeExists) {
+  // Disable device backends: every candidate is the bytecode artifact.
+  CompileOptions opts;
+  opts.enable_gpu = false;
+  opts.enable_fpga = false;
+  auto cp = compile(kPipe, opts);
+  ASSERT_TRUE(cp->ok());
+  RuntimeConfig rc;
+  rc.placement = Placement::kAdaptive;
+  LiquidRuntime rt(*cp, rc);
+  std::vector<int32_t> input(100, 2);
+  Value out = rt.call("P.run", {Value::array(bc::make_i32_array(input, true))});
+  EXPECT_EQ(bc::array_get(*out.as_array(), 0).as_i32(), 13);
+  for (const auto& s : rt.stats().substitutions) {
+    EXPECT_EQ(s.device, DeviceKind::kCpu);
+  }
+}
+
+TEST(Adaptive, FigureOneBitflipAdaptive) {
+  auto cp = compile_ok(lime::testing::figure1_source());
+  RuntimeConfig rc;
+  rc.placement = Placement::kAdaptive;
+  LiquidRuntime rt(*cp, rc);
+  std::vector<uint8_t> bits(64);
+  for (size_t i = 0; i < bits.size(); ++i) bits[i] = i % 3 == 0;
+  Value out =
+      rt.call("Bitflip.taskFlip", {Value::array(bc::make_bit_array(bits, true))});
+  for (size_t i = 0; i < bits.size(); ++i) {
+    EXPECT_EQ(bc::array_get(*out.as_array(), i).as_bit(), bits[i] == 0);
+  }
+  EXPECT_GE(rt.stats().candidates_profiled, 3u);  // gpu, fpga, cpu
+}
+
+TEST(Adaptive, MixedRelocatedAndFixedFilters) {
+  // Middle filter lacks brackets: adaptive must leave it on the CPU and
+  // still thread the calibration stream through it correctly.
+  auto cp = compile_ok(R"(
+    class M {
+      local static int a(int x) { return x + 1; }
+      local static int b(int x) { return x * 2; }
+      local static int c(int x) { return x - 3; }
+      static int[[]] run(int[[]] input) {
+        int[] result = new int[input.length];
+        var g = input.source(1)
+          => ([ task a ]) => task b => ([ task c ])
+          => result.<int>sink();
+        g.finish();
+        return new int[[]](result);
+      }
+    }
+  )");
+  RuntimeConfig rc;
+  rc.placement = Placement::kAdaptive;
+  LiquidRuntime rt(*cp, rc);
+  std::vector<int32_t> input(300);
+  for (size_t i = 0; i < input.size(); ++i) input[i] = static_cast<int32_t>(i);
+  Value out = rt.call("M.run", {Value::array(bc::make_i32_array(input, true))});
+  for (size_t i = 0; i < input.size(); i += 17) {
+    EXPECT_EQ(bc::array_get(*out.as_array(), i).as_i32(),
+              (static_cast<int32_t>(i) + 1) * 2 - 3);
+  }
+  // Decisions recorded only for the two relocated filters.
+  EXPECT_EQ(rt.stats().substitutions.size(), 2u);
+}
+
+}  // namespace
+}  // namespace lm::runtime

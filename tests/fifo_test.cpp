@@ -1,0 +1,145 @@
+// Concurrency tests for the inter-task FIFO (§4.1) — correctness under
+// contention, backpressure, end-of-stream, and consumer-side close.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "runtime/fifo.h"
+
+namespace lm::runtime {
+namespace {
+
+using bc::Value;
+
+TEST(Fifo, OrderedDelivery) {
+  ValueFifo q(8);
+  std::thread producer([&] {
+    for (int i = 0; i < 1000; ++i) q.push(Value::i32(i));
+    q.finish();
+  });
+  int expected = 0;
+  while (auto v = q.pop()) {
+    EXPECT_EQ(v->as_i32(), expected++);
+  }
+  EXPECT_EQ(expected, 1000);
+  producer.join();
+}
+
+TEST(Fifo, BackpressureBlocksProducer) {
+  ValueFifo q(2);
+  std::atomic<int> produced{0};
+  std::thread producer([&] {
+    for (int i = 0; i < 10; ++i) {
+      q.push(Value::i32(i));
+      produced.fetch_add(1);
+    }
+    q.finish();
+  });
+  // Give the producer a moment: it can push at most capacity items.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_LE(produced.load(), 3);  // 2 queued + possibly 1 in flight
+  // Drain; the producer finishes.
+  int count = 0;
+  while (auto v = q.pop()) ++count;
+  EXPECT_EQ(count, 10);
+  producer.join();
+}
+
+TEST(Fifo, FinishWithEmptyQueueYieldsNullopt) {
+  ValueFifo q(4);
+  q.finish();
+  EXPECT_FALSE(q.pop().has_value());
+  EXPECT_FALSE(q.pop().has_value());  // idempotent
+}
+
+TEST(Fifo, CloseUnblocksProducer) {
+  ValueFifo q(1);
+  q.push(Value::i32(0));
+  std::atomic<bool> rejected{false};
+  std::thread producer([&] {
+    // This push blocks (queue full) until close(), then returns false.
+    rejected = !q.push(Value::i32(1));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.close();
+  producer.join();
+  EXPECT_TRUE(rejected.load());
+}
+
+TEST(Fifo, CloseUnblocksConsumer) {
+  ValueFifo q(4);
+  std::thread consumer([&] {
+    auto v = q.pop();  // blocks until close
+    EXPECT_FALSE(v.has_value());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.close();
+  consumer.join();
+}
+
+TEST(Fifo, PopBatchDrainsUpToMax) {
+  ValueFifo q(64);
+  for (int i = 0; i < 10; ++i) q.push(Value::i32(i));
+  auto batch = q.pop_batch(4);
+  ASSERT_EQ(batch.size(), 4u);
+  EXPECT_EQ(batch[0].as_i32(), 0);
+  EXPECT_EQ(batch[3].as_i32(), 3);
+  auto rest = q.pop_batch(100);
+  EXPECT_EQ(rest.size(), 6u);
+}
+
+TEST(Fifo, PopBatchAfterFinishReturnsEmpty) {
+  ValueFifo q(4);
+  q.push(Value::i32(1));
+  q.finish();
+  EXPECT_EQ(q.pop_batch(10).size(), 1u);
+  EXPECT_TRUE(q.pop_batch(10).empty());
+}
+
+TEST(Fifo, StressManyElementsSmallCapacity) {
+  ValueFifo q(3);
+  constexpr int kN = 50000;
+  int64_t sum_in = 0, sum_out = 0;
+  std::thread producer([&] {
+    for (int i = 0; i < kN; ++i) {
+      q.push(Value::i32(i));
+      sum_in += i;
+    }
+    q.finish();
+  });
+  std::thread consumer([&] {
+    while (auto v = q.pop()) sum_out += v->as_i32();
+  });
+  producer.join();
+  consumer.join();
+  EXPECT_EQ(sum_in, sum_out);
+}
+
+TEST(Fifo, BatchConsumerStress) {
+  ValueFifo q(16);
+  constexpr int kN = 20000;
+  std::thread producer([&] {
+    for (int i = 0; i < kN; ++i) q.push(Value::i32(1));
+    q.finish();
+  });
+  int64_t count = 0;
+  for (;;) {
+    auto batch = q.pop_batch(7);
+    if (batch.empty()) break;
+    count += static_cast<int64_t>(batch.size());
+  }
+  EXPECT_EQ(count, kN);
+  producer.join();
+}
+
+TEST(Fifo, ZeroCapacityClampsToOne) {
+  ValueFifo q(0);
+  EXPECT_EQ(q.capacity(), 1u);
+  q.push(Value::i32(42));
+  q.finish();
+  EXPECT_EQ(q.pop()->as_i32(), 42);
+}
+
+}  // namespace
+}  // namespace lm::runtime

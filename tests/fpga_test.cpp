@@ -1,0 +1,437 @@
+// Unit and differential tests for the FPGA backend (S6), including the
+// Fig. 4 waveform timing reproduction.
+#include <gtest/gtest.h>
+
+#include "bytecode/compiler.h"
+#include "bytecode/interp.h"
+#include "fpga/device.h"
+#include "fpga/synth.h"
+#include "fpga/verilog_emit.h"
+#include "tests/lime_test_util.h"
+#include "util/rng.h"
+
+namespace lm::fpga {
+namespace {
+
+using bc::Value;
+using lime::testing::compile_ok;
+using serde::CValue;
+
+struct Built {
+  std::unique_ptr<lime::Program> program;
+  std::unique_ptr<bc::BytecodeModule> module;
+};
+
+Built build(const std::string& src) {
+  auto fr = compile_ok(src);
+  DiagnosticEngine d;
+  auto mod = bc::compile_program(*fr.program, d);
+  EXPECT_FALSE(d.has_errors());
+  return {std::move(fr.program), std::move(mod)};
+}
+
+const lime::MethodDecl* method(const Built& b, const std::string& cls,
+                               const std::string& m) {
+  const auto* c = b.program->find_class(cls);
+  EXPECT_NE(c, nullptr);
+  return c->find_method(m);
+}
+
+// ---------------------------------------------------------------------------
+// Synthesis and suitability
+// ---------------------------------------------------------------------------
+
+TEST(Synth, BitflipSynthesizes) {
+  auto b = build(lime::testing::figure1_source());
+  auto r = synthesize_filter(*method(b, "Bitflip", "flip"));
+  ASSERT_TRUE(r.ok()) << r.exclusion_reason;
+  EXPECT_EQ(r.module->name, "Bitflip_flip");
+  EXPECT_EQ(r.ports.out_width, 1);
+  EXPECT_EQ(r.ports.arity, 1);
+  EXPECT_EQ(r.ports.latency, 3);
+  EXPECT_EQ(r.ports.initiation_interval, 3);  // Fig. 4: not fully pipelined
+}
+
+TEST(Synth, VerilogArtifactShape) {
+  auto b = build(lime::testing::figure1_source());
+  auto r = synthesize_filter(*method(b, "Bitflip", "flip"));
+  ASSERT_TRUE(r.ok());
+  const std::string& v = r.verilog;
+  EXPECT_NE(v.find("module Bitflip_flip("), std::string::npos);
+  EXPECT_NE(v.find("input wire clk"), std::string::npos);
+  EXPECT_NE(v.find("input wire inReady"), std::string::npos);
+  EXPECT_NE(v.find("output wire outReady"), std::string::npos);
+  EXPECT_NE(v.find("always @(posedge clk)"), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+}
+
+TEST(Synth, FloatExcluded) {
+  auto b = build(R"(
+    class C { local static float f(float x) { return x * 2.0f; } }
+  )");
+  auto r = synthesize_filter(*method(b, "C", "f"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.exclusion_reason.find("floating point"), std::string::npos);
+}
+
+TEST(Synth, DivisionExcluded) {
+  auto b = build(R"(
+    class C { local static int f(int a, int b) { return a / b; } }
+  )");
+  auto r = synthesize_filter(*method(b, "C", "f"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.exclusion_reason.find("division"), std::string::npos);
+}
+
+TEST(Synth, UnboundedLoopExcluded) {
+  auto b = build(R"(
+    class C {
+      local static int f(int x) {
+        int acc = 0;
+        for (int i = 0; i < x; i += 1) acc += i;
+        return acc;
+      }
+    }
+  )");
+  auto r = synthesize_filter(*method(b, "C", "f"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.exclusion_reason.find("compile-time constant"),
+            std::string::npos);
+}
+
+TEST(Synth, ConstantBoundLoopUnrolls) {
+  auto b = build(R"(
+    class C {
+      local static int f(int x) {
+        int acc = 0;
+        for (int i = 0; i < 8; i += 1) acc += x >> i;
+        return acc;
+      }
+    }
+  )");
+  auto r = synthesize_filter(*method(b, "C", "f"));
+  ASSERT_TRUE(r.ok()) << r.exclusion_reason;
+}
+
+TEST(Synth, UnrollBudgetEnforced) {
+  auto b = build(R"(
+    class C {
+      local static int f(int x) {
+        int acc = 0;
+        for (int i = 0; i < 100000; i += 1) acc += x;
+        return acc;
+      }
+    }
+  )");
+  auto r = synthesize_filter(*method(b, "C", "f"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.exclusion_reason.find("unroll budget"), std::string::npos);
+}
+
+TEST(Synth, ImpureExcluded) {
+  auto b = build(R"(
+    class C { static int f(int x) { return x; } }
+  )");
+  auto r = synthesize_filter(*method(b, "C", "f"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.exclusion_reason.find("not pure"), std::string::npos);
+}
+
+TEST(Synth, StaticFinalConstantsFoldIntoDatapath) {
+  auto b = build(R"(
+    class C {
+      static final int MASK = 255;
+      local static int f(int x) { return x & MASK; }
+    }
+  )");
+  auto r = synthesize_filter(*method(b, "C", "f"));
+  ASSERT_TRUE(r.ok()) << r.exclusion_reason;
+  FpgaFilter filter(std::move(r));
+  CValue in = CValue::make(bc::ElemCode::kI32, true, 2);
+  in.i32s()[0] = 0x1234;
+  in.i32s()[1] = -1;
+  CValue out = filter.process(in);
+  EXPECT_EQ(out.i32s()[0], 0x34);
+  EXPECT_EQ(out.i32s()[1], 255);
+}
+
+TEST(Synth, EarlyReturnsIfConverted) {
+  auto b = build(R"(
+    class C {
+      local static int clamp(int x) {
+        if (x > 100) return 100;
+        if (x < -100) return -100;
+        return x;
+      }
+    }
+  )");
+  auto r = synthesize_filter(*method(b, "C", "clamp"));
+  ASSERT_TRUE(r.ok()) << r.exclusion_reason;
+  FpgaFilter filter(std::move(r));
+  CValue in = CValue::make(bc::ElemCode::kI32, true, 4);
+  in.i32s()[0] = 5;
+  in.i32s()[1] = 500;
+  in.i32s()[2] = -500;
+  in.i32s()[3] = -100;
+  CValue out = filter.process(in);
+  EXPECT_EQ(out.i32s()[0], 5);
+  EXPECT_EQ(out.i32s()[1], 100);
+  EXPECT_EQ(out.i32s()[2], -100);
+  EXPECT_EQ(out.i32s()[3], -100);
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 4: taskFlip waveform timing
+// ---------------------------------------------------------------------------
+
+TEST(Fig4, NineBitStreamFlipsWithThreeCycleLatency) {
+  auto b = build(lime::testing::figure1_source());
+  auto r = synthesize_filter(*method(b, "Bitflip", "flip"));
+  ASSERT_TRUE(r.ok()) << r.exclusion_reason;
+  FpgaFilter filter(std::move(r));
+  filter.enable_waveform();
+
+  // "The example is driven with 9 input bits" (§5).
+  std::vector<uint8_t> bits = {1, 0, 1, 1, 0, 0, 1, 0, 1};
+  CValue in = CValue::make(bc::ElemCode::kBit, true, bits.size());
+  for (size_t i = 0; i < bits.size(); ++i) in.bytes()[i] = bits[i];
+
+  FpgaRunStats stats;
+  CValue out = filter.process(in, &stats);
+  ASSERT_EQ(out.count, bits.size());
+  for (size_t i = 0; i < bits.size(); ++i) {
+    EXPECT_EQ(out.bytes()[i], bits[i] ? 0 : 1) << "bit " << i;
+  }
+  // "one cycle to read, one cycle to compute, and one cycle to publish".
+  EXPECT_EQ(stats.first_output_latency, 3u);
+  EXPECT_EQ(stats.inputs_accepted, 9u);
+  EXPECT_EQ(stats.outputs_produced, 9u);
+  // Non-pipelined module: one result every 3 cycles.
+  EXPECT_GE(stats.cycles, 9u * 3u);
+
+  // The waveform must show the Fig. 4 signals.
+  std::string vcd = filter.waveform();
+  EXPECT_NE(vcd.find("inReady"), std::string::npos);
+  EXPECT_NE(vcd.find("inData0"), std::string::npos);
+  EXPECT_NE(vcd.find("outReady"), std::string::npos);
+}
+
+TEST(Fig4, PipelinedModeReachesIIOne) {
+  auto b = build(lime::testing::figure1_source());
+  FpgaSynthOptions opt;
+  opt.pipelined = true;
+  auto r = synthesize_filter(*method(b, "Bitflip", "flip"), opt);
+  ASSERT_TRUE(r.ok()) << r.exclusion_reason;
+  EXPECT_EQ(r.ports.initiation_interval, 1);
+  FpgaFilter filter(std::move(r));
+
+  size_t n = 64;
+  CValue in = CValue::make(bc::ElemCode::kBit, true, n);
+  for (size_t i = 0; i < n; ++i) in.bytes()[i] = i % 2;
+  FpgaRunStats stats;
+  CValue out = filter.process(in, &stats);
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(out.bytes()[i], i % 2 ? 0 : 1);
+  EXPECT_EQ(stats.first_output_latency, 3u);
+  // Steady state II=1: total ≈ n + latency, far below the FSM's 3n.
+  EXPECT_LT(stats.cycles, n + 8);
+}
+
+TEST(Fpga, MultiParamFilter) {
+  auto b = build(R"(
+    class P { local static int addPair(int a, int b) { return a + b; } }
+  )");
+  auto r = synthesize_filter(*method(b, "P", "addPair"));
+  ASSERT_TRUE(r.ok()) << r.exclusion_reason;
+  EXPECT_EQ(r.ports.arity, 2);
+  FpgaFilter filter(std::move(r));
+  CValue in = CValue::make(bc::ElemCode::kI32, true, 6);
+  for (int i = 0; i < 6; ++i) in.i32s()[i] = i + 1;
+  CValue out = filter.process(in);
+  ASSERT_EQ(out.count, 3u);
+  EXPECT_EQ(out.i32s()[0], 3);
+  EXPECT_EQ(out.i32s()[1], 7);
+  EXPECT_EQ(out.i32s()[2], 11);
+}
+
+TEST(Fpga, UserEnumOperatorSynthesizes) {
+  auto b = build(R"(
+    public value enum trit {
+      lo, mid, hi;
+      public trit ~ this {
+        return this == lo ? hi : this == hi ? lo : mid;
+      }
+    }
+    class U { local static trit inv(trit t) { return ~t; } }
+  )");
+  auto r = synthesize_filter(*method(b, "U", "inv"));
+  ASSERT_TRUE(r.ok()) << r.exclusion_reason;
+  FpgaFilter filter(std::move(r));
+  CValue in = CValue::make(bc::ElemCode::kI32, true, 3);
+  in.i32s()[0] = 0;
+  in.i32s()[1] = 1;
+  in.i32s()[2] = 2;
+  CValue out = filter.process(in);
+  EXPECT_EQ(out.i32s()[0], 2);
+  EXPECT_EQ(out.i32s()[1], 1);
+  EXPECT_EQ(out.i32s()[2], 0);
+}
+
+TEST(Synth, TestbenchGenerated) {
+  auto b = build(lime::testing::figure1_source());
+  auto r = synthesize_filter(*method(b, "Bitflip", "flip"));
+  ASSERT_TRUE(r.ok());
+  std::string tb = emit_testbench(*r.module, r.ports.in_data,
+                                  {{1, 0, 1, 1, 0, 0, 1, 0, 1}});
+  EXPECT_NE(tb.find("module tb_Bitflip_flip;"), std::string::npos);
+  EXPECT_NE(tb.find("Bitflip_flip dut(.clk(clk)"), std::string::npos);
+  EXPECT_NE(tb.find("always #5 clk = ~clk;"), std::string::npos);
+  EXPECT_NE(tb.find("stim0[8] = 1;"), std::string::npos);
+  EXPECT_NE(tb.find("$finish;"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Segment fusion on the FPGA
+// ---------------------------------------------------------------------------
+
+TEST(FpgaSegment, FusedDatapathComputesComposition) {
+  auto b = build(R"(
+    class P {
+      local static int scale(int x) { return 3 * x; }
+      local static int clamp(int x) { return Math.min(Math.max(x, -100), 100); }
+      local static int offset(int x) { return x + 13; }
+    }
+  )");
+  std::vector<const lime::MethodDecl*> chain = {method(b, "P", "scale"),
+                                                method(b, "P", "clamp"),
+                                                method(b, "P", "offset")};
+  auto r = synthesize_segment(chain);
+  ASSERT_TRUE(r.ok()) << r.exclusion_reason;
+  EXPECT_EQ(r.module->name, "seg_P_scale_P_clamp_P_offset");
+  FpgaFilter filter(std::move(r));
+  CValue in = CValue::make(bc::ElemCode::kI32, true, 5);
+  int32_t vals[] = {0, 10, 50, -90, 7};
+  for (int i = 0; i < 5; ++i) in.i32s()[i] = vals[i];
+  CValue out = filter.process(in);
+  for (int i = 0; i < 5; ++i) {
+    int32_t v = 3 * vals[i];
+    v = std::min(std::max(v, -100), 100);
+    EXPECT_EQ(out.i32s()[i], v + 13) << "element " << i;
+  }
+}
+
+TEST(FpgaSegment, SingleFilterChainDelegates) {
+  auto b = build(lime::testing::figure1_source());
+  auto r = synthesize_segment({method(b, "Bitflip", "flip")});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.module->name, "Bitflip_flip");
+}
+
+TEST(FpgaSegment, UnsuitableStagePoisonsSegment) {
+  auto b = build(R"(
+    class P {
+      local static int ok(int x) { return x + 1; }
+      local static int bad(int x) { return x / 3; }
+    }
+  )");
+  auto r = synthesize_segment({method(b, "P", "ok"), method(b, "P", "bad")});
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.exclusion_reason.find("division"), std::string::npos);
+}
+
+TEST(FpgaSegment, BinaryHeadStageAllowed) {
+  auto b = build(R"(
+    class P {
+      local static int addPair(int a, int b) { return a + b; }
+      local static int neg(int x) { return 0 - x; }
+    }
+  )");
+  auto r = synthesize_segment({method(b, "P", "addPair"),
+                               method(b, "P", "neg")});
+  ASSERT_TRUE(r.ok()) << r.exclusion_reason;
+  EXPECT_EQ(r.ports.arity, 2);
+  FpgaFilter filter(std::move(r));
+  CValue in = CValue::make(bc::ElemCode::kI32, true, 4);
+  in.i32s()[0] = 3;
+  in.i32s()[1] = 4;
+  in.i32s()[2] = -10;
+  in.i32s()[3] = 2;
+  CValue out = filter.process(in);
+  ASSERT_EQ(out.count, 2u);
+  EXPECT_EQ(out.i32s()[0], -7);
+  EXPECT_EQ(out.i32s()[1], 8);
+}
+
+// ---------------------------------------------------------------------------
+// Differential: RTL artifact vs bytecode VM (semantic equivalence, §3)
+// ---------------------------------------------------------------------------
+
+struct RtlDiffCase {
+  const char* name;
+  const char* source;
+  const char* cls;
+  const char* method;
+};
+
+class FpgaVsVmDifferential : public ::testing::TestWithParam<RtlDiffCase> {};
+
+TEST_P(FpgaVsVmDifferential, AgreeOnRandomInputs) {
+  const RtlDiffCase& tc = GetParam();
+  auto b = build(tc.source);
+  const auto* m = method(b, tc.cls, tc.method);
+  ASSERT_NE(m, nullptr);
+  auto r = synthesize_filter(*m);
+  ASSERT_TRUE(r.ok()) << r.exclusion_reason;
+  FpgaFilter filter(std::move(r));
+  bc::Interpreter vm(*b.module);
+
+  SplitMix64 rng(4242);
+  const size_t n = 64;
+  CValue in = CValue::make(bc::ElemCode::kI32, true, n);
+  for (size_t i = 0; i < n; ++i) {
+    in.i32s()[i] = static_cast<int32_t>(rng.next_range(-100000, 100000));
+  }
+  CValue out = filter.process(in);
+
+  std::string qn = std::string(tc.cls) + "." + tc.method;
+  for (size_t i = 0; i < n; ++i) {
+    Value want = vm.call(qn, {Value::i32(in.i32s()[i])});
+    EXPECT_EQ(out.i32s()[i], want.as_i32()) << tc.name << " at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Filters, FpgaVsVmDifferential,
+    ::testing::Values(
+        RtlDiffCase{"affine",
+                    "class C { local static int f(int x) "
+                    "{ return 3*x - 11; } }",
+                    "C", "f"},
+        RtlDiffCase{"bitops",
+                    "class C { local static int f(int x) "
+                    "{ return ((x << 3) ^ (x >> 2)) & (x | 255); } }",
+                    "C", "f"},
+        RtlDiffCase{"branchy",
+                    "class C { local static int f(int x) "
+                    "{ return (x & 1) == 0 ? x >> 1 : 3 * x + 1; } }",
+                    "C", "f"},
+        RtlDiffCase{"unrolled",
+                    "class C { local static int f(int x) { int acc = 0; "
+                    "for (int i = 0; i < 6; i += 1) acc += (x >> i) & 1; "
+                    "return acc; } }",
+                    "C", "f"},
+        RtlDiffCase{"minmax",
+                    "class C { local static int f(int x) "
+                    "{ return Math.min(Math.max(x, -50), 50) + "
+                    "(Math.abs(x) & 7); } }",
+                    "C", "f"},
+        RtlDiffCase{"nested_call",
+                    "class C { local static int sq(int x) { return x * x; } "
+                    "local static int f(int x) { int y = x & 255; "
+                    "return sq(y) + sq(y + 1); } }",
+                    "C", "f"}),
+    [](const ::testing::TestParamInfo<RtlDiffCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace lm::fpga

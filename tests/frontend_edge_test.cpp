@@ -1,0 +1,288 @@
+// Edge-case coverage for the frontend and VM beyond the core suites:
+// diagnostics precision, coercion corners, and less-traveled statement and
+// expression shapes.
+#include <gtest/gtest.h>
+
+#include "bytecode/compiler.h"
+#include "bytecode/interp.h"
+#include "tests/lime_test_util.h"
+
+namespace lm::lime {
+namespace {
+
+using testing::compile_err;
+using testing::compile_ok;
+
+// ---------------------------------------------------------------------------
+// Sema diagnostics
+// ---------------------------------------------------------------------------
+
+TEST(SemaEdge, VarWithoutInitializer) {
+  compile_err("class C { static void f() { var x; } }",
+              "requires an initializer");
+}
+
+TEST(SemaEdge, CallArityMismatch) {
+  compile_err(R"(
+    class C {
+      static int g(int a, int b) { return a + b; }
+      static int f() { return g(1); }
+    }
+  )", "expects 2 argument(s), got 1");
+}
+
+TEST(SemaEdge, UnknownMethodOnClass) {
+  compile_err(R"(
+    class C { static int f() { return C.nothing(); } }
+  )", "has no method 'nothing'");
+}
+
+TEST(SemaEdge, InstanceMethodWithoutReceiver) {
+  compile_err(R"(
+    value class P {
+      local int self() { return 0; }
+      local static int f() { return self(); }
+    }
+  )", "without a receiver");
+}
+
+TEST(SemaEdge, VoidExpressionInference) {
+  compile_err(R"(
+    class C {
+      static void g() { return; }
+      static void f() { var x = g(); }
+    }
+  )", "cannot infer type");
+}
+
+TEST(SemaEdge, NestedValueArraysAreValues) {
+  // int[[]] is itself a value, so int[[]][[]] is legal at the type level
+  // (the wire format rejects it only if it tries to cross a boundary).
+  compile_ok(R"(
+    class C {
+      local static int first(int[[]][[]] rows) { return rows[0][0]; }
+    }
+  )");
+}
+
+TEST(SemaEdge, MutableArrayOfValueArraysIsNotValue) {
+  compile_err(R"(
+    class C {
+      static void f(int[][] rows) {
+        var g = rows.source(1);
+      }
+    }
+  )", "not a value type");
+}
+
+TEST(SemaEdge, CompoundAssignNarrowingRejected) {
+  compile_err(R"(
+    class C { static void f(int x, double d) { x += d; } }
+  )", "narrow");
+}
+
+TEST(SemaEdge, CompoundAssignWideningAllowed) {
+  compile_ok("class C { static void f(double d, int x) { d += x; } }");
+}
+
+TEST(SemaEdge, ShiftAmountCoercedToInt) {
+  compile_ok("class C { static long f(long v, int s) { return v << s; } }");
+}
+
+TEST(SemaEdge, ModuloOnFloatsRejected) {
+  compile_err("class C { static float f(float a, float b) { return a % b; } }",
+              "'%' requires integral operands");
+}
+
+TEST(SemaEdge, TaskOnMissingMethod) {
+  compile_err(R"(
+    class C {
+      static void f(int[[]] in, int[] out) {
+        var g = in.source(1) => ([ task nosuch ]) => out.<int>sink();
+      }
+    }
+  )", "has no method 'nosuch'");
+}
+
+TEST(SemaEdge, SourceRateMustBeInt) {
+  compile_err(R"(
+    class C {
+      static void f(int[[]] in) { var g = in.source(1.5); }
+    }
+  )", "type mismatch");
+}
+
+TEST(SemaEdge, MapWrongElementType) {
+  compile_err(R"(
+    class C {
+      local static int twice(int x) { return 2 * x; }
+      static int[[]] f(float[[]] xs) { return C @ twice(xs); }
+    }
+  )", "type mismatch");
+}
+
+TEST(SemaEdge, EqualityAcrossEnumTypesRejected) {
+  compile_err(R"(
+    public value enum a { x, y; }
+    public value enum b { p, q; }
+    class C {
+      local static boolean f(a u, b v) { return u == v; }
+    }
+  )", "cannot compare");
+}
+
+// ---------------------------------------------------------------------------
+// Parser corners
+// ---------------------------------------------------------------------------
+
+TEST(ParserEdge, EmptyClassAndEmptyEnumBody) {
+  compile_ok("class Empty { } public value enum one { only; }");
+}
+
+TEST(ParserEdge, DeeplyNestedExpressions) {
+  std::string expr = "x";
+  for (int i = 0; i < 40; ++i) expr = "(" + expr + " + 1)";
+  compile_ok("class C { static int f(int x) { return " + expr + "; } }");
+}
+
+TEST(ParserEdge, ForWithEmptyHeaderSections) {
+  compile_ok(R"(
+    class C {
+      static int f(int n) {
+        int i = 0;
+        for (;;) { i += 1; if (i >= n) break; }
+        return i;
+      }
+    }
+  )");
+}
+
+TEST(ParserEdge, DanglingElseBindsToNearestIf) {
+  auto r = compile_ok(R"(
+    class C {
+      static int f(int x) {
+        if (x > 0)
+          if (x > 10) return 2;
+          else return 1;
+        return 0;
+      }
+    }
+  )");
+  DiagnosticEngine diags;
+  auto mod = bc::compile_program(*r.program, diags);
+  bc::Interpreter vm(*mod);
+  EXPECT_EQ(vm.call("C.f", {bc::Value::i32(20)}).as_i32(), 2);
+  EXPECT_EQ(vm.call("C.f", {bc::Value::i32(5)}).as_i32(), 1);
+  EXPECT_EQ(vm.call("C.f", {bc::Value::i32(-1)}).as_i32(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// VM corners
+// ---------------------------------------------------------------------------
+
+struct Runner {
+  explicit Runner(const std::string& src) {
+    auto fr = compile_ok(src);
+    program = std::move(fr.program);
+    DiagnosticEngine diags;
+    module = bc::compile_program(*program, diags);
+    vm = std::make_unique<bc::Interpreter>(*module);
+  }
+  std::unique_ptr<Program> program;
+  std::unique_ptr<bc::BytecodeModule> module;
+  std::unique_ptr<bc::Interpreter> vm;
+};
+
+TEST(VmEdge, LongArithmeticFullWidth) {
+  Runner r(R"(
+    class C {
+      static long f(long a, long b) { return a * b + (a >> 3) - (b << 2); }
+    }
+  )");
+  int64_t a = 123456789012LL, b = -987654321LL;
+  int64_t want = static_cast<int64_t>(
+      static_cast<uint64_t>(a) * static_cast<uint64_t>(b) +
+      static_cast<uint64_t>(a >> 3) -
+      (static_cast<uint64_t>(b) << 2));
+  EXPECT_EQ(r.vm->call("C.f", {bc::Value::i64(a), bc::Value::i64(b)}).as_i64(),
+            want);
+}
+
+TEST(VmEdge, IntOverflowWrapsLikeJava) {
+  Runner r("class C { static int f(int x) { return x + 1; } }");
+  EXPECT_EQ(r.vm->call("C.f", {bc::Value::i32(INT32_MAX)}).as_i32(),
+            INT32_MIN);
+}
+
+TEST(VmEdge, UnsupportedMethodTrapsOnInvoke) {
+  // An instance field on a non-enum class cannot be lowered; the method
+  // compiles to a trap and raises only when actually called.
+  Runner r(R"(
+    class C {
+      int field;
+      int touch() { return field; }
+      static int safe() { return 7; }
+    }
+  )");
+  EXPECT_EQ(r.vm->call("C.safe", {}).as_i32(), 7);
+  EXPECT_THROW(r.vm->call("C.touch", {bc::Value::i32(0)}), RuntimeError);
+}
+
+TEST(VmEdge, WrongArgumentCountRaises) {
+  Runner r("class C { static int f(int x) { return x; } }");
+  EXPECT_THROW(r.vm->call("C.f", {}), RuntimeError);
+  EXPECT_THROW(r.vm->call("C.nosuch", {}), RuntimeError);
+}
+
+TEST(VmEdge, NegativeArrayLengthRaises) {
+  Runner r(R"(
+    class C { static int f(int n) { int[] a = new int[n]; return a.length; } }
+  )");
+  EXPECT_EQ(r.vm->call("C.f", {bc::Value::i32(3)}).as_i32(), 3);
+  EXPECT_THROW(r.vm->call("C.f", {bc::Value::i32(-1)}), RuntimeError);
+}
+
+TEST(VmEdge, TernaryChainsEvaluateLazily) {
+  Runner r(R"(
+    class C {
+      static int f(int x) {
+        return x == 0 ? 100 : 1000 / x;
+      }
+    }
+  )");
+  EXPECT_EQ(r.vm->call("C.f", {bc::Value::i32(0)}).as_i32(), 100);
+  EXPECT_EQ(r.vm->call("C.f", {bc::Value::i32(4)}).as_i32(), 250);
+}
+
+TEST(VmEdge, ValueToStringRendersArrays) {
+  bc::Value v = bc::Value::array(bc::make_i32_array({1, 2, 3}, true));
+  std::string s = v.to_string();
+  EXPECT_NE(s.find("i32"), std::string::npos);
+  EXPECT_NE(s.find("x3"), std::string::npos);
+  EXPECT_NE(s.find("1, 2, 3"), std::string::npos);
+  EXPECT_EQ(bc::Value::bit(true).to_string(), "1b");
+  EXPECT_EQ(bc::Value::i64(5).to_string(), "5L");
+}
+
+TEST(VmEdge, BoxedNestedArrayRoundTripsThroughVm) {
+  Runner r(R"(
+    class C {
+      local static int pick(int[[]][[]] rows, int i, int j) {
+        return rows[i][j];
+      }
+    }
+  )");
+  auto inner1 = bc::Value::array(bc::make_i32_array({1, 2}, true));
+  auto inner2 = bc::Value::array(bc::make_i32_array({3, 4}, true));
+  auto outer = bc::make_array(bc::ElemCode::kBoxed, 2, false);
+  bc::array_set(*outer, 0, inner1);
+  bc::array_set(*outer, 1, inner2);
+  outer->is_value = true;
+  EXPECT_EQ(r.vm->call("C.pick", {bc::Value::array(outer), bc::Value::i32(1),
+                                  bc::Value::i32(0)})
+                .as_i32(),
+            3);
+}
+
+}  // namespace
+}  // namespace lm::lime

@@ -1,0 +1,385 @@
+// Unit and differential tests for the GPU backend (S5).
+#include <gtest/gtest.h>
+
+#include "bytecode/compiler.h"
+#include "bytecode/interp.h"
+#include "gpu/device.h"
+#include "gpu/kernel_compiler.h"
+#include "serde/native.h"
+#include "tests/lime_test_util.h"
+#include "util/rng.h"
+
+namespace lm::gpu {
+namespace {
+
+using bc::Value;
+using lime::testing::compile_ok;
+using serde::CValue;
+
+struct Built {
+  std::unique_ptr<lime::Program> program;
+  std::unique_ptr<bc::BytecodeModule> module;
+};
+
+Built build(const std::string& src) {
+  auto fr = compile_ok(src);
+  DiagnosticEngine d;
+  auto mod = bc::compile_program(*fr.program, d);
+  EXPECT_FALSE(d.has_errors());
+  return {std::move(fr.program), std::move(mod)};
+}
+
+const lime::MethodDecl* method(const Built& b, const std::string& cls,
+                               const std::string& m) {
+  const auto* c = b.program->find_class(cls);
+  EXPECT_NE(c, nullptr);
+  return c->find_method(m);
+}
+
+TEST(KernelCompiler, CompilesPureScalarMethod) {
+  auto b = build(R"(
+    class C { local static int twice(int x) { return 2 * x; } }
+  )");
+  auto r = compile_kernel(*method(b, "C", "twice"));
+  ASSERT_TRUE(r.ok()) << r.exclusion_reason;
+  EXPECT_EQ(r.program->task_id, "C.twice");
+  EXPECT_EQ(r.program->ret_type, NumType::kI32);
+  ASSERT_EQ(r.program->params.size(), 1u);
+}
+
+TEST(KernelCompiler, ExcludesImpureMethod) {
+  auto b = build(R"(
+    class C { static int g(int[] a) { a[0] = 1; return 0; } }
+  )");
+  auto r = compile_kernel(*method(b, "C", "g"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.exclusion_reason.find("not pure"), std::string::npos);
+}
+
+TEST(KernelCompiler, ExcludesRecursion) {
+  auto b = build(R"(
+    class C {
+      local static int fib(int n) { return n < 2 ? n : fib(n-1) + fib(n-2); }
+    }
+  )");
+  auto r = compile_kernel(*method(b, "C", "fib"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.exclusion_reason.find("recursive"), std::string::npos);
+}
+
+TEST(KernelCompiler, ExcludesAllocation) {
+  auto b = build(R"(
+    class C {
+      local static int f(int n) {
+        int[] tmp = new int[n];
+        return tmp.length;
+      }
+    }
+  )");
+  auto r = compile_kernel(*method(b, "C", "f"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.exclusion_reason.find("array"), std::string::npos);
+}
+
+TEST(KernelCompiler, InlinesPureCalls) {
+  auto b = build(R"(
+    class C {
+      local static int sq(int x) { return x * x; }
+      local static int sumsq(int a, int b) { return sq(a) + sq(b); }
+    }
+  )");
+  auto r = compile_kernel(*method(b, "C", "sumsq"));
+  ASSERT_TRUE(r.ok()) << r.exclusion_reason;
+  // Execute: 3² + 4² = 25.
+  CValue out = CValue::make(bc::ElemCode::kI32, true, 1);
+  std::vector<KArg> args = {KArg::scalar_i32(3), KArg::scalar_i32(4)};
+  run_kernel_range(*r.program, args, out, 0, 1);
+  EXPECT_EQ(out.i32s()[0], 25);
+}
+
+TEST(KernelCompiler, StaticFinalConstantsFold) {
+  auto b = build(R"(
+    class C {
+      static final int SCALE = 6 * 7;
+      local static int f(int x) { return x * SCALE; }
+    }
+  )");
+  auto r = compile_kernel(*method(b, "C", "f"));
+  ASSERT_TRUE(r.ok()) << r.exclusion_reason;
+  CValue in = CValue::make(bc::ElemCode::kI32, true, 2);
+  in.i32s()[0] = 1;
+  in.i32s()[1] = -3;
+  GpuDevice dev;
+  CValue out = dev.launch(*r.program, {KArg::elementwise(in)}, 2);
+  EXPECT_EQ(out.i32s()[0], 42);
+  EXPECT_EQ(out.i32s()[1], -126);
+  // The artifact text folds the constant to a literal (no undefined name).
+  EXPECT_EQ(r.program->opencl_source.find("SCALE"), std::string::npos);
+  EXPECT_NE(r.program->opencl_source.find("42"), std::string::npos);
+}
+
+TEST(KernelCompiler, OpenClSourceEmitted) {
+  auto b = build(R"(
+    class C { local static float f(float x) { return Math.sqrt(x) + 1.0f; } }
+  )");
+  auto r = compile_kernel(*method(b, "C", "f"));
+  ASSERT_TRUE(r.ok()) << r.exclusion_reason;
+  const std::string& cl = r.program->opencl_source;
+  EXPECT_NE(cl.find("__kernel void lime_kernel"), std::string::npos);
+  EXPECT_NE(cl.find("get_global_id(0)"), std::string::npos);
+  EXPECT_NE(cl.find("float C_f(float x)"), std::string::npos);
+  EXPECT_NE(cl.find("sqrt"), std::string::npos);
+}
+
+TEST(KernelExec, ElementwiseLaunch) {
+  auto b = build(R"(
+    class C { local static int addc(int x) { return x + 100; } }
+  )");
+  auto r = compile_kernel(*method(b, "C", "addc"));
+  ASSERT_TRUE(r.ok());
+
+  CValue in = CValue::make(bc::ElemCode::kI32, true, 10);
+  for (int i = 0; i < 10; ++i) in.i32s()[i] = i;
+  GpuDevice dev;
+  CValue out = dev.launch(*r.program, {KArg::elementwise(in)}, 10);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(out.i32s()[i], i + 100);
+  EXPECT_EQ(dev.stats().launches, 1u);
+  EXPECT_EQ(dev.stats().work_items, 10u);
+}
+
+TEST(KernelExec, BroadcastScalarMixedWithArray) {
+  auto b = build(R"(
+    class V { local static float axpy(float a, float x, float y) { return a*x + y; } }
+  )");
+  auto r = compile_kernel(*method(b, "V", "axpy"));
+  ASSERT_TRUE(r.ok());
+  size_t n = 1000;
+  CValue x = CValue::make(bc::ElemCode::kF32, true, n);
+  CValue y = CValue::make(bc::ElemCode::kF32, true, n);
+  for (size_t i = 0; i < n; ++i) {
+    x.f32s()[i] = static_cast<float>(i);
+    y.f32s()[i] = 1.0f;
+  }
+  GpuDevice dev;
+  CValue out = dev.launch(
+      *r.program,
+      {KArg::scalar_f32(2.0f), KArg::elementwise(x), KArg::elementwise(y)}, n);
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_FLOAT_EQ(out.f32s()[i], 2.0f * static_cast<float>(i) + 1.0f);
+  }
+}
+
+TEST(KernelExec, WholeArrayParamWithLoop) {
+  // Dot-product-style kernel: map over an index array, reading two whole
+  // arrays — the idiom for matrix multiply on the GPU backend.
+  auto b = build(R"(
+    class M {
+      local static float dotRow(float[[]] a, float[[]] b, int n, int i) {
+        float acc = 0.0f;
+        for (int k = 0; k < n; k += 1) acc += a[i * n + k] * b[k];
+        return acc;
+      }
+    }
+  )");
+  auto r = compile_kernel(*method(b, "M", "dotRow"));
+  ASSERT_TRUE(r.ok()) << r.exclusion_reason;
+
+  int n = 4;
+  CValue a = CValue::make(bc::ElemCode::kF32, true, 16);
+  CValue v = CValue::make(bc::ElemCode::kF32, true, 4);
+  for (int i = 0; i < 16; ++i) a.f32s()[i] = static_cast<float>(i);
+  for (int i = 0; i < 4; ++i) v.f32s()[i] = 1.0f;
+  CValue idx = CValue::make(bc::ElemCode::kI32, true, 4);
+  for (int i = 0; i < 4; ++i) idx.i32s()[i] = i;
+
+  GpuDevice dev;
+  CValue out = dev.launch(*r.program,
+                          {KArg::whole_array(a), KArg::whole_array(v),
+                           KArg::scalar_i32(n), KArg::elementwise(idx)},
+                          4);
+  // Row i of a (0..15 rowwise) dotted with ones = sum of row.
+  EXPECT_FLOAT_EQ(out.f32s()[0], 0 + 1 + 2 + 3);
+  EXPECT_FLOAT_EQ(out.f32s()[3], 12 + 13 + 14 + 15);
+}
+
+TEST(KernelExec, ControlFlowInKernel) {
+  auto b = build(R"(
+    class C {
+      local static int collatz(int n) {
+        int steps = 0;
+        while (n != 1) {
+          if (n % 2 == 0) { n = n / 2; } else { n = 3 * n + 1; }
+          steps += 1;
+        }
+        return steps;
+      }
+    }
+  )");
+  auto r = compile_kernel(*method(b, "C", "collatz"));
+  ASSERT_TRUE(r.ok()) << r.exclusion_reason;
+  CValue in = CValue::make(bc::ElemCode::kI32, true, 3);
+  in.i32s()[0] = 1;
+  in.i32s()[1] = 6;
+  in.i32s()[2] = 27;
+  GpuDevice dev;
+  CValue out = dev.launch(*r.program, {KArg::elementwise(in)}, 3);
+  EXPECT_EQ(out.i32s()[0], 0);
+  EXPECT_EQ(out.i32s()[1], 8);
+  EXPECT_EQ(out.i32s()[2], 111);
+}
+
+TEST(KernelExec, SegmentKernelFusesPipeline) {
+  auto b = build(R"(
+    class P {
+      local static int scale(int x) { return 3 * x; }
+      local static int offset(int x) { return x + 7; }
+    }
+  )");
+  std::vector<const lime::MethodDecl*> chain = {method(b, "P", "scale"),
+                                                method(b, "P", "offset")};
+  auto r = compile_segment_kernel(chain);
+  ASSERT_TRUE(r.ok()) << r.exclusion_reason;
+  EXPECT_EQ(r.program->in_stride, 1);
+  EXPECT_NE(r.program->opencl_source.find("lime_segment"), std::string::npos);
+
+  CValue in = CValue::make(bc::ElemCode::kI32, true, 5);
+  for (int i = 0; i < 5; ++i) in.i32s()[i] = i;
+  GpuDevice dev;
+  CValue out = dev.launch(*r.program, {KArg::elementwise(in)}, 5);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(out.i32s()[i], 3 * i + 7);
+}
+
+TEST(KernelExec, SegmentWithBinaryHead) {
+  auto b = build(R"(
+    class P {
+      local static int addPair(int a, int b) { return a + b; }
+      local static int neg(int x) { return -x; }
+    }
+  )");
+  std::vector<const lime::MethodDecl*> chain = {method(b, "P", "addPair"),
+                                                method(b, "P", "neg")};
+  auto r = compile_segment_kernel(chain);
+  ASSERT_TRUE(r.ok()) << r.exclusion_reason;
+  EXPECT_EQ(r.program->in_stride, 2);
+
+  CValue in = CValue::make(bc::ElemCode::kI32, true, 6);
+  for (int i = 0; i < 6; ++i) in.i32s()[i] = i + 1;  // 1..6
+  GpuDevice dev;
+  std::vector<KArg> args = {KArg::elementwise(in, 2, 0),
+                            KArg::elementwise(in, 2, 1)};
+  CValue out = dev.launch(*r.program, args, 3);
+  EXPECT_EQ(out.i32s()[0], -3);
+  EXPECT_EQ(out.i32s()[1], -7);
+  EXPECT_EQ(out.i32s()[2], -11);
+}
+
+TEST(KernelExec, NativeRegistryOverrides) {
+  auto b = build(R"(
+    class C { local static int twice(int x) { return 2 * x; } }
+  )");
+  auto r = compile_kernel(*method(b, "C", "twice"));
+  ASSERT_TRUE(r.ok());
+  GpuDevice dev;
+  dev.registry().add("C.twice", [](const std::vector<KArg>& args,
+                                   CValue& out, size_t begin, size_t end) {
+    auto in = args[0].array->i32s();
+    for (size_t i = begin; i < end; ++i) out.i32s()[i] = 2 * in[i];
+  });
+  CValue in = CValue::make(bc::ElemCode::kI32, true, 4);
+  for (int i = 0; i < 4; ++i) in.i32s()[i] = i;
+  CValue out = dev.launch(*r.program, {KArg::elementwise(in)}, 4);
+  EXPECT_EQ(dev.stats().native_launches, 1u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(out.i32s()[i], 2 * i);
+}
+
+TEST(KernelExec, WatchdogCatchesDivergentKernel) {
+  auto b = build(R"(
+    class C {
+      local static int spin(int x) {
+        while (x > -1) { x = x < 100 ? x + 1 : 1; }
+        return x;
+      }
+    }
+  )");
+  auto r = compile_kernel(*method(b, "C", "spin"));
+  ASSERT_TRUE(r.ok());
+  CValue in = CValue::make(bc::ElemCode::kI32, true, 1);
+  CValue out = CValue::make(bc::ElemCode::kI32, true, 1);
+  EXPECT_THROW(run_kernel_range(*r.program, {KArg::elementwise(in)}, out, 0, 1),
+               RuntimeError);
+}
+
+// ---------------------------------------------------------------------------
+// Differential: kernel IR vs bytecode VM on random inputs (property test).
+// All artifacts for one task id must be semantically equivalent (§3).
+// ---------------------------------------------------------------------------
+
+struct DiffCase {
+  const char* name;
+  const char* source;
+  const char* cls;
+  const char* method;
+};
+
+class GpuVsVmDifferential : public ::testing::TestWithParam<DiffCase> {};
+
+TEST_P(GpuVsVmDifferential, AgreeOnRandomInputs) {
+  const DiffCase& tc = GetParam();
+  auto b = build(tc.source);
+  const auto* m = method(b, tc.cls, tc.method);
+  ASSERT_NE(m, nullptr);
+  auto kr = compile_kernel(*m);
+  ASSERT_TRUE(kr.ok()) << kr.exclusion_reason;
+
+  bc::Interpreter vm(*b.module);
+  GpuDevice dev;
+  SplitMix64 rng(2012);
+
+  const size_t n = 256;
+  CValue in = CValue::make(bc::ElemCode::kI32, true, n);
+  for (size_t i = 0; i < n; ++i) {
+    in.i32s()[i] = static_cast<int32_t>(rng.next_range(-1000, 1000));
+  }
+  CValue out = dev.launch(*kr.program, {KArg::elementwise(in)}, n);
+
+  std::string qn = std::string(tc.cls) + "." + tc.method;
+  for (size_t i = 0; i < n; ++i) {
+    Value want = vm.call(qn, {Value::i32(in.i32s()[i])});
+    EXPECT_EQ(out.i32s()[i], want.as_i32()) << tc.name << " at item " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kernels, GpuVsVmDifferential,
+    ::testing::Values(
+        DiffCase{"affine",
+                 "class C { local static int f(int x) { return 3*x - 11; } }",
+                 "C", "f"},
+        DiffCase{"branchy",
+                 "class C { local static int f(int x) { "
+                 "return x % 2 == 0 ? x / 2 : 3 * x + 1; } }",
+                 "C", "f"},
+        DiffCase{"loopy",
+                 "class C { local static int f(int x) { "
+                 "int acc = 0; for (int i = 0; i < (x < 0 ? -x : x) % 17; "
+                 "i += 1) acc += i * x; return acc; } }",
+                 "C", "f"},
+        DiffCase{"bitops",
+                 "class C { local static int f(int x) { "
+                 "return ((x << 3) ^ (x >> 2)) & (x | 255); } }",
+                 "C", "f"},
+        DiffCase{"nested_calls",
+                 "class C { local static int g(int x) { return x * x; } "
+                 "local static int h(int x) { return g(x) + 1; } "
+                 "local static int f(int x) { return h(g(x % 50)); } }",
+                 "C", "f"},
+        DiffCase{"shortcircuit",
+                 "class C { local static int f(int x) { "
+                 "return (x != 0 && 100 / x > 3) || x < -5 ? 1 : 0; } }",
+                 "C", "f"}),
+    [](const ::testing::TestParamInfo<DiffCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace lm::gpu

@@ -1,0 +1,172 @@
+// Whole-system integration test: one Lime program exercising every major
+// language and runtime feature together — value enums with operators,
+// constants, map/reduce with broadcast and whole-array args, a multi-stage
+// relocated pipeline, multi-arity filters, and helper calls — executed
+// under every placement policy with identical results.
+#include <gtest/gtest.h>
+
+#include "runtime/liquid_runtime.h"
+#include "util/rng.h"
+
+namespace lm {
+namespace {
+
+using bc::Value;
+using runtime::Placement;
+
+const char* kProgram = R"(
+// A toy signal-analysis program: quantize samples, smooth pairs, score the
+// stream, and classify the result.
+public value enum verdict {
+  low, medium, high;
+  public verdict ~ this {
+    return this == low ? high : this == high ? low : medium;
+  }
+}
+
+class Quantizer {
+  static final int LEVELS = 8;
+  static final int STEP = 256 / LEVELS;  // folded at compile time
+
+  local static int quantize(int sample) {
+    int clamped = Math.min(Math.max(sample, 0), 255);
+    return clamped / STEP * STEP;
+  }
+  local static int smoothPair(int a, int b) {
+    return (a + b) / 2;
+  }
+}
+
+class Analysis {
+  local static int weight(int q, int scale) { return q * scale; }
+  local static int add2(int a, int b) { return a + b; }
+
+  local static int[[]] weigh(int[[]] qs, int scale) {
+    return Analysis @ weight(qs, scale);
+  }
+  local static int score(int[[]] ws) {
+    return Analysis ! add2(ws);
+  }
+
+  local static verdict classify(int total, int threshold) {
+    if (total > threshold * 2) return verdict.high;
+    if (total > threshold) return verdict.medium;
+    return verdict.low;
+  }
+
+  static verdict analyze(int[[]] samples, int scale, int threshold) {
+    // Stage 1: streaming pipeline — quantize then smooth adjacent pairs.
+    int[] smoothed = new int[samples.length / 2];
+    var g = samples.source(1)
+      => ([ task Quantizer.quantize ])
+      => ([ task Quantizer.smoothPair ])
+      => smoothed.<int>sink();
+    g.finish();
+
+    // Stage 2: data-parallel weighting and reduction.
+    int[[]] frozen = new int[[]](smoothed);
+    int[[]] weighted = weigh(frozen, scale);
+    int total = score(weighted);
+
+    // Stage 3: classification on the host, with the enum operator applied
+    // twice (an involution) to prove operator dispatch.
+    verdict v = classify(total, threshold);
+    return ~~v;
+  }
+}
+)";
+
+int32_t reference(const std::vector<int32_t>& samples, int32_t scale,
+                  int32_t threshold) {
+  const int step = 256 / 8;
+  std::vector<int32_t> q;
+  for (int32_t s : samples) {
+    int32_t c = std::min(std::max(s, 0), 255);
+    q.push_back(c / step * step);
+  }
+  std::vector<int32_t> smoothed;
+  for (size_t i = 0; i + 2 <= q.size(); i += 2) {
+    smoothed.push_back((q[i] + q[i + 1]) / 2);
+  }
+  int64_t total = 0;
+  for (int32_t v : smoothed) total += static_cast<int64_t>(v) * scale;
+  if (total > 2LL * threshold) return 2;  // high
+  if (total > threshold) return 1;        // medium
+  return 0;                               // low
+}
+
+class FullProgram : public ::testing::TestWithParam<Placement> {};
+
+TEST_P(FullProgram, MatchesReferenceAcrossPlacements) {
+  auto cp = runtime::compile(kProgram);
+  ASSERT_TRUE(cp->ok()) << cp->diags.to_string();
+
+  SplitMix64 rng(2012);
+  for (int trial = 0; trial < 3; ++trial) {
+    size_t n = 128 + static_cast<size_t>(rng.next_below(128)) * 2;
+    std::vector<int32_t> samples(n);
+    for (auto& s : samples) s = static_cast<int32_t>(rng.next_range(-50, 300));
+    int32_t scale = static_cast<int32_t>(rng.next_range(1, 5));
+    int32_t threshold = static_cast<int32_t>(rng.next_range(1000, 100000));
+
+    runtime::RuntimeConfig rc;
+    rc.placement = GetParam();
+    runtime::LiquidRuntime rt(*cp, rc);
+    Value verdict = rt.call(
+        "Analysis.analyze",
+        {Value::array(bc::make_i32_array(samples, true)), Value::i32(scale),
+         Value::i32(threshold)});
+    EXPECT_EQ(verdict.as_i32(), reference(samples, scale, threshold))
+        << "trial " << trial << " n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Placements, FullProgram,
+    ::testing::Values(Placement::kCpuOnly, Placement::kGpuOnly,
+                      Placement::kFpgaOnly, Placement::kAuto,
+                      Placement::kAdaptive),
+    [](const ::testing::TestParamInfo<Placement>& info) {
+      switch (info.param) {
+        case Placement::kCpuOnly: return "cpu";
+        case Placement::kGpuOnly: return "gpu";
+        case Placement::kFpgaOnly: return "fpga";
+        case Placement::kAuto: return "auto";
+        case Placement::kAdaptive: return "adaptive";
+      }
+      return "unknown";
+    });
+
+TEST(FullProgram, ArtifactInventoryIsComplete) {
+  auto cp = runtime::compile(kProgram);
+  ASSERT_TRUE(cp->ok());
+  // Pipeline filters: bytecode always; quantize has division (FPGA
+  // declines); smoothPair has division too. GPU takes both.
+  EXPECT_NE(cp->store.find("Quantizer.quantize", runtime::DeviceKind::kCpu),
+            nullptr);
+  EXPECT_NE(cp->store.find("Quantizer.quantize", runtime::DeviceKind::kGpu),
+            nullptr);
+  EXPECT_EQ(cp->store.find("Quantizer.quantize", runtime::DeviceKind::kFpga),
+            nullptr);
+  // Map/reduce methods get GPU kernels too.
+  EXPECT_NE(cp->store.find("Analysis.weight", runtime::DeviceKind::kGpu),
+            nullptr);
+  EXPECT_NE(cp->store.find("Analysis.add2", runtime::DeviceKind::kGpu),
+            nullptr);
+}
+
+TEST(FullProgram, MapAndReduceOffloadObserved) {
+  auto cp = runtime::compile(kProgram);
+  ASSERT_TRUE(cp->ok());
+  runtime::LiquidRuntime rt(*cp);
+  std::vector<int32_t> samples(256, 100);
+  rt.call("Analysis.analyze",
+          {Value::array(bc::make_i32_array(samples, true)), Value::i32(2),
+           Value::i32(1000)});
+  EXPECT_EQ(rt.stats().maps_accelerated, 1u);
+  EXPECT_EQ(rt.stats().reduces_accelerated, 1u);
+  EXPECT_EQ(rt.stats().graphs_executed, 1u);
+}
+
+}  // namespace
+}  // namespace lm

@@ -1,0 +1,151 @@
+// Unit tests for the Lime lexer.
+#include <gtest/gtest.h>
+
+#include "lime/lexer.h"
+
+namespace lm::lime {
+namespace {
+
+std::vector<Token> lex_ok(const std::string& src) {
+  DiagnosticEngine diags;
+  Lexer lexer(src, diags);
+  auto toks = lexer.lex();
+  EXPECT_FALSE(diags.has_errors()) << diags.to_string();
+  return toks;
+}
+
+std::vector<Tok> kinds(const std::vector<Token>& toks) {
+  std::vector<Tok> out;
+  for (const auto& t : toks) out.push_back(t.kind);
+  return out;
+}
+
+TEST(Lexer, EmptyInputYieldsEof) {
+  auto toks = lex_ok("");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0].kind, Tok::kEof);
+}
+
+TEST(Lexer, KeywordsAndIdentifiers) {
+  auto toks = lex_ok("public value enum bit zero flip local static task var");
+  auto k = kinds(toks);
+  std::vector<Tok> want = {Tok::kPublic, Tok::kValue,  Tok::kEnum, Tok::kBit,
+                           Tok::kIdent,  Tok::kIdent,  Tok::kLocal,
+                           Tok::kStatic, Tok::kTask,   Tok::kVar,  Tok::kEof};
+  EXPECT_EQ(k, want);
+  EXPECT_EQ(toks[4].text, "zero");
+  EXPECT_EQ(toks[5].text, "flip");
+}
+
+TEST(Lexer, ConnectOperatorVsComparisons) {
+  // '=>' must not be confused with '=' '>' or '>=' (Fig. 1 lines 17-19).
+  auto toks = lex_ok("a => b >= c = d > e");
+  auto k = kinds(toks);
+  std::vector<Tok> want = {Tok::kIdent, Tok::kConnect, Tok::kIdent, Tok::kGe,
+                           Tok::kIdent, Tok::kAssign,  Tok::kIdent, Tok::kGt,
+                           Tok::kIdent, Tok::kEof};
+  EXPECT_EQ(k, want);
+}
+
+TEST(Lexer, BitLiterals) {
+  auto toks = lex_ok("100b 0b 1b 101010b");
+  ASSERT_EQ(toks.size(), 5u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(toks[i].kind, Tok::kBitLit);
+  EXPECT_EQ(toks[0].text, "100");
+  EXPECT_EQ(toks[3].text, "101010");
+}
+
+TEST(Lexer, BitLiteralRequiresBinaryDigits) {
+  // 102b is "102" then identifier "b"? No — 102 then 'b' starts an ident.
+  auto toks = lex_ok("102b");
+  ASSERT_GE(toks.size(), 2u);
+  EXPECT_EQ(toks[0].kind, Tok::kIntLit);
+  EXPECT_EQ(toks[0].int_value, 102);
+  EXPECT_EQ(toks[1].kind, Tok::kIdent);
+  EXPECT_EQ(toks[1].text, "b");
+}
+
+TEST(Lexer, IntLongFloatDoubleLiterals) {
+  auto toks = lex_ok("42 42L 3.5 3.5f 2f 1e3 0x1F");
+  EXPECT_EQ(toks[0].kind, Tok::kIntLit);
+  EXPECT_EQ(toks[0].int_value, 42);
+  EXPECT_EQ(toks[1].kind, Tok::kLongLit);
+  EXPECT_EQ(toks[2].kind, Tok::kDoubleLit);
+  EXPECT_DOUBLE_EQ(toks[2].float_value, 3.5);
+  EXPECT_EQ(toks[3].kind, Tok::kFloatLit);
+  EXPECT_FLOAT_EQ(static_cast<float>(toks[3].float_value), 3.5f);
+  EXPECT_EQ(toks[4].kind, Tok::kFloatLit);
+  EXPECT_EQ(toks[5].kind, Tok::kDoubleLit);
+  EXPECT_DOUBLE_EQ(toks[5].float_value, 1000.0);
+  EXPECT_EQ(toks[6].kind, Tok::kIntLit);
+  EXPECT_EQ(toks[6].int_value, 31);
+}
+
+TEST(Lexer, CommentsAreSkipped) {
+  auto toks = lex_ok("a // line comment => task\n/* block\n comment */ b");
+  auto k = kinds(toks);
+  std::vector<Tok> want = {Tok::kIdent, Tok::kIdent, Tok::kEof};
+  EXPECT_EQ(k, want);
+}
+
+TEST(Lexer, UnterminatedBlockCommentIsError) {
+  DiagnosticEngine diags;
+  Lexer lexer("a /* never closed", diags);
+  lexer.lex();
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(Lexer, CompoundOperators) {
+  auto toks = lex_ok("+= -= *= /= ++ -- && || == != <= >= << >>");
+  auto k = kinds(toks);
+  std::vector<Tok> want = {Tok::kPlusAssign, Tok::kMinusAssign,
+                           Tok::kStarAssign, Tok::kSlashAssign,
+                           Tok::kPlusPlus,   Tok::kMinusMinus,
+                           Tok::kAmpAmp,     Tok::kPipePipe,
+                           Tok::kEq,         Tok::kNe,
+                           Tok::kLe,         Tok::kGe,
+                           Tok::kShl,        Tok::kShr,
+                           Tok::kEof};
+  EXPECT_EQ(k, want);
+}
+
+TEST(Lexer, MapAndRelocationTokens) {
+  auto toks = lex_ok("Bitflip @ flip ([ task flip ])");
+  auto k = kinds(toks);
+  std::vector<Tok> want = {Tok::kIdent,    Tok::kAt,       Tok::kIdent,
+                           Tok::kLParen,   Tok::kLBracket, Tok::kTask,
+                           Tok::kIdent,    Tok::kRBracket, Tok::kRParen,
+                           Tok::kEof};
+  EXPECT_EQ(k, want);
+}
+
+TEST(Lexer, SourceLocationsAreTracked) {
+  auto toks = lex_ok("a\n  b");
+  EXPECT_EQ(toks[0].loc.line, 1u);
+  EXPECT_EQ(toks[0].loc.column, 1u);
+  EXPECT_EQ(toks[1].loc.line, 2u);
+  EXPECT_EQ(toks[1].loc.column, 3u);
+}
+
+TEST(Lexer, UnexpectedCharacterReportsAndContinues) {
+  DiagnosticEngine diags;
+  Lexer lexer("a $ b", diags);
+  auto toks = lexer.lex();
+  EXPECT_TRUE(diags.has_errors());
+  // 'a' and 'b' still tokenized.
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].text, "a");
+  EXPECT_EQ(toks[1].text, "b");
+}
+
+TEST(Lexer, ValueArrayBrackets) {
+  auto toks = lex_ok("bit[[]] int[]");
+  auto k = kinds(toks);
+  std::vector<Tok> want = {Tok::kBit,      Tok::kLBracket, Tok::kLBracket,
+                           Tok::kRBracket, Tok::kRBracket, Tok::kInt,
+                           Tok::kLBracket, Tok::kRBracket, Tok::kEof};
+  EXPECT_EQ(k, want);
+}
+
+}  // namespace
+}  // namespace lm::lime

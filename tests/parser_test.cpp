@@ -1,0 +1,287 @@
+// Unit tests for the Lime parser (AST shape, no sema).
+#include <gtest/gtest.h>
+
+#include "lime/lexer.h"
+#include "lime/parser.h"
+#include "tests/lime_test_util.h"
+
+namespace lm::lime {
+namespace {
+
+std::unique_ptr<Program> parse_ok(const std::string& src) {
+  DiagnosticEngine diags;
+  Lexer lexer(src, diags);
+  Parser parser(lexer.lex(), diags);
+  auto prog = parser.parse_program();
+  EXPECT_FALSE(diags.has_errors()) << diags.to_string();
+  return prog;
+}
+
+ExprPtr parse_expr_ok(const std::string& src) {
+  DiagnosticEngine diags;
+  Lexer lexer(src, diags);
+  Parser parser(lexer.lex(), diags);
+  auto e = parser.parse_expression();
+  EXPECT_FALSE(diags.has_errors()) << diags.to_string();
+  EXPECT_NE(e, nullptr);
+  return e;
+}
+
+TEST(Parser, Figure1ParsesCompletely) {
+  auto prog = parse_ok(lm::lime::testing::figure1_source());
+  ASSERT_EQ(prog->classes.size(), 2u);
+
+  const ClassDecl& bit_enum = *prog->classes[0];
+  EXPECT_EQ(bit_enum.name, "bit");
+  EXPECT_TRUE(bit_enum.is_value);
+  EXPECT_TRUE(bit_enum.is_enum);
+  ASSERT_EQ(bit_enum.enum_consts.size(), 2u);
+  EXPECT_EQ(bit_enum.enum_consts[0].name, "zero");
+  EXPECT_EQ(bit_enum.enum_consts[1].name, "one");
+  ASSERT_EQ(bit_enum.methods.size(), 1u);
+  EXPECT_TRUE(bit_enum.methods[0]->is_unary_op);
+
+  const ClassDecl& bitflip = *prog->classes[1];
+  EXPECT_EQ(bitflip.name, "Bitflip");
+  ASSERT_EQ(bitflip.methods.size(), 3u);
+  EXPECT_EQ(bitflip.methods[0]->name, "flip");
+  EXPECT_TRUE(bitflip.methods[0]->is_local);
+  EXPECT_TRUE(bitflip.methods[0]->is_static);
+  EXPECT_EQ(bitflip.methods[1]->name, "mapFlip");
+  EXPECT_EQ(bitflip.methods[2]->name, "taskFlip");
+  EXPECT_FALSE(bitflip.methods[2]->is_local);
+}
+
+TEST(Parser, ValueArrayTypeSuffix) {
+  auto prog = parse_ok("class C { static bit[[]] f(bit[[]] x) { return x; } }");
+  const MethodDecl& m = *prog->classes[0]->methods[0];
+  ASSERT_EQ(m.params.size(), 1u);
+  EXPECT_EQ(m.params[0].type->kind, TypeKind::kValueArray);
+  EXPECT_EQ(m.params[0].type->elem->kind, TypeKind::kBit);
+  EXPECT_EQ(m.return_type->kind, TypeKind::kValueArray);
+}
+
+TEST(Parser, NestedArrayTypes) {
+  auto prog = parse_ok("class C { static float[][] g(int[[]][] m) { return null_; } int[][] null_; }");
+  const MethodDecl& m = *prog->classes[0]->methods[0];
+  EXPECT_EQ(m.return_type->to_string(), "float[][]");
+  EXPECT_EQ(m.params[0].type->to_string(), "int[[]][]");
+}
+
+TEST(Parser, ConnectChainIsLeftAssociative) {
+  auto e = parse_expr_ok("a => b => c");
+  ASSERT_EQ(e->kind, ExprKind::kConnect);
+  const auto& top = as<ConnectExpr>(*e);
+  ASSERT_EQ(top.lhs->kind, ExprKind::kConnect);
+  EXPECT_EQ(top.rhs->kind, ExprKind::kName);
+  const auto& inner = as<ConnectExpr>(*top.lhs);
+  EXPECT_EQ(inner.lhs->kind, ExprKind::kName);
+  EXPECT_EQ(as<NameExpr>(*inner.lhs).name, "a");
+  EXPECT_EQ(as<NameExpr>(*top.rhs).name, "c");
+}
+
+TEST(Parser, RelocationBracketsAroundTask) {
+  auto e = parse_expr_ok("([ task flip ])");
+  ASSERT_EQ(e->kind, ExprKind::kRelocate);
+  const auto& r = as<RelocateExpr>(*e);
+  ASSERT_EQ(r.inner->kind, ExprKind::kTask);
+  EXPECT_EQ(as<TaskExpr>(*r.inner).method, "flip");
+}
+
+TEST(Parser, QualifiedTaskReference) {
+  auto e = parse_expr_ok("task Bitflip.flip");
+  const auto& t = as<TaskExpr>(*e);
+  EXPECT_EQ(t.class_name, "Bitflip");
+  EXPECT_EQ(t.method, "flip");
+}
+
+TEST(Parser, MapOperator) {
+  auto e = parse_expr_ok("Bitflip @ flip(input)");
+  ASSERT_EQ(e->kind, ExprKind::kMap);
+  const auto& m = as<MapExpr>(*e);
+  EXPECT_EQ(m.class_name, "Bitflip");
+  EXPECT_EQ(m.method, "flip");
+  ASSERT_EQ(m.args.size(), 1u);
+}
+
+TEST(Parser, ReduceOperatorVsLogicalNot) {
+  auto e = parse_expr_ok("Sum ! add(xs)");
+  ASSERT_EQ(e->kind, ExprKind::kReduce);
+  EXPECT_EQ(as<ReduceExpr>(*e).method, "add");
+
+  auto n = parse_expr_ok("!done");
+  ASSERT_EQ(n->kind, ExprKind::kUnary);
+  EXPECT_EQ(as<UnaryExpr>(*n).op, UnOp::kNot);
+}
+
+TEST(Parser, GenericSinkCall) {
+  auto e = parse_expr_ok("result.<bit>sink()");
+  ASSERT_EQ(e->kind, ExprKind::kCall);
+  const auto& c = as<CallExpr>(*e);
+  EXPECT_EQ(c.method, "sink");
+  ASSERT_NE(c.type_arg, nullptr);
+  EXPECT_EQ(c.type_arg->kind, TypeKind::kBit);
+}
+
+TEST(Parser, PipelineFromFigure1) {
+  auto e = parse_expr_ok(
+      "input.source(1) => ([ task flip ]) => result.<bit>sink()");
+  ASSERT_EQ(e->kind, ExprKind::kConnect);
+  const auto& top = as<ConnectExpr>(*e);
+  EXPECT_EQ(top.rhs->kind, ExprKind::kCall);  // sink
+  const auto& left = as<ConnectExpr>(*top.lhs);
+  EXPECT_EQ(left.lhs->kind, ExprKind::kCall);      // source
+  EXPECT_EQ(left.rhs->kind, ExprKind::kRelocate);  // [task flip]
+}
+
+TEST(Parser, NewArrayForms) {
+  auto sized = parse_expr_ok("new bit[input.length]");
+  ASSERT_EQ(sized->kind, ExprKind::kNewArray);
+  EXPECT_FALSE(as<NewArrayExpr>(*sized).is_value_array);
+  EXPECT_NE(as<NewArrayExpr>(*sized).length, nullptr);
+
+  auto frozen = parse_expr_ok("new bit[[]](result)");
+  ASSERT_EQ(frozen->kind, ExprKind::kNewArray);
+  EXPECT_TRUE(as<NewArrayExpr>(*frozen).is_value_array);
+  EXPECT_NE(as<NewArrayExpr>(*frozen).from_array, nullptr);
+}
+
+TEST(Parser, OperatorPrecedence) {
+  // a + b * c parses as a + (b * c)
+  auto e = parse_expr_ok("a + b * c");
+  const auto& add = as<BinaryExpr>(*e);
+  EXPECT_EQ(add.op, BinOp::kAdd);
+  EXPECT_EQ(as<BinaryExpr>(*add.rhs).op, BinOp::kMul);
+
+  // shifts bind tighter than comparisons
+  auto cmp = parse_expr_ok("a << 2 < b");
+  EXPECT_EQ(as<BinaryExpr>(*cmp).op, BinOp::kLt);
+
+  // bitwise-and binds tighter than xor, which binds tighter than or
+  auto bits = parse_expr_ok("a | b ^ c & d");
+  EXPECT_EQ(as<BinaryExpr>(*bits).op, BinOp::kOr);
+  EXPECT_EQ(as<BinaryExpr>(*as<BinaryExpr>(*bits).rhs).op, BinOp::kXor);
+}
+
+TEST(Parser, TernaryIsRightAssociative) {
+  auto e = parse_expr_ok("a ? b : c ? d : e");
+  const auto& t = as<TernaryExpr>(*e);
+  EXPECT_EQ(t.else_expr->kind, ExprKind::kTernary);
+}
+
+TEST(Parser, AssignmentIsRightAssociative) {
+  auto e = parse_expr_ok("a = b = c");
+  const auto& a = as<AssignExpr>(*e);
+  EXPECT_EQ(a.value->kind, ExprKind::kAssign);
+}
+
+TEST(Parser, CompoundAssignment) {
+  auto e = parse_expr_ok("acc += values[i]");
+  const auto& a = as<AssignExpr>(*e);
+  EXPECT_TRUE(a.compound);
+  EXPECT_EQ(a.op, BinOp::kAdd);
+  EXPECT_EQ(a.target->kind, ExprKind::kName);
+  EXPECT_EQ(a.value->kind, ExprKind::kIndex);
+}
+
+TEST(Parser, CastExpression) {
+  auto e = parse_expr_ok("(float) x + y");
+  // Cast binds tighter than +: ((float) x) + y.
+  const auto& add = as<BinaryExpr>(*e);
+  EXPECT_EQ(add.lhs->kind, ExprKind::kCast);
+  EXPECT_EQ(as<CastExpr>(*add.lhs).target->kind, TypeKind::kFloat);
+}
+
+TEST(Parser, ControlFlowStatements) {
+  auto prog = parse_ok(R"(
+    class C {
+      static int doWork(int[[]] values) {
+        int acc = 0;
+        for (int i = 0; i < values.length; i += 1) {
+          acc += values[i];
+        }
+        while (acc > 100) { acc = acc / 2; }
+        if (acc == 0) { return -1; } else { return acc; }
+      }
+    }
+  )");
+  const auto& body = *prog->classes[0]->methods[0]->body;
+  ASSERT_EQ(body.stmts.size(), 4u);
+  EXPECT_EQ(body.stmts[0]->kind, StmtKind::kVarDecl);
+  EXPECT_EQ(body.stmts[1]->kind, StmtKind::kFor);
+  EXPECT_EQ(body.stmts[2]->kind, StmtKind::kWhile);
+  EXPECT_EQ(body.stmts[3]->kind, StmtKind::kIf);
+}
+
+TEST(Parser, VarDeclVsExpressionStatement) {
+  auto prog = parse_ok(R"(
+    class C {
+      static void f(int[] a, int i) {
+        int x = 1;      // decl
+        a[i] = x;       // expr stmt (index assignment)
+        int[] b = a;    // array decl
+        var y = x + 1;  // inferred decl
+        y = y;          // expr stmt
+      }
+    }
+  )");
+  const auto& body = *prog->classes[0]->methods[0]->body;
+  ASSERT_EQ(body.stmts.size(), 5u);
+  EXPECT_EQ(body.stmts[0]->kind, StmtKind::kVarDecl);
+  EXPECT_EQ(body.stmts[1]->kind, StmtKind::kExpr);
+  EXPECT_EQ(body.stmts[2]->kind, StmtKind::kVarDecl);
+  EXPECT_EQ(body.stmts[3]->kind, StmtKind::kVarDecl);
+  EXPECT_EQ(body.stmts[4]->kind, StmtKind::kExpr);
+}
+
+TEST(Parser, FieldDeclarations) {
+  auto prog = parse_ok(R"(
+    class C {
+      static final int N = 64;
+      float threshold;
+    }
+  )");
+  const auto& cls = *prog->classes[0];
+  ASSERT_EQ(cls.fields.size(), 2u);
+  EXPECT_TRUE(cls.fields[0]->is_static);
+  EXPECT_TRUE(cls.fields[0]->is_final);
+  EXPECT_NE(cls.fields[0]->init, nullptr);
+  EXPECT_FALSE(cls.fields[1]->is_static);
+}
+
+TEST(Parser, SyntaxErrorIsReportedNotThrown) {
+  DiagnosticEngine diags;
+  Lexer lexer("class C { static int f( { } }", diags);
+  Parser parser(lexer.lex(), diags);
+  auto prog = parser.parse_program();
+  EXPECT_TRUE(diags.has_errors());
+  EXPECT_NE(prog, nullptr);
+}
+
+TEST(Parser, RecoversAfterBadStatement) {
+  DiagnosticEngine diags;
+  Lexer lexer(R"(
+    class C {
+      static int f(int x) {
+        int y = ;
+        return x;
+      }
+      static int g(int x) { return x; }
+    }
+  )", diags);
+  Parser parser(lexer.lex(), diags);
+  auto prog = parser.parse_program();
+  EXPECT_TRUE(diags.has_errors());
+  // The second method is still parsed.
+  ASSERT_EQ(prog->classes.size(), 1u);
+  EXPECT_NE(prog->classes[0]->find_method("g"), nullptr);
+}
+
+TEST(Parser, BitLiteralExpression) {
+  auto e = parse_expr_ok("100b");
+  ASSERT_EQ(e->kind, ExprKind::kBitLit);
+  EXPECT_EQ(as<BitLitExpr>(*e).bits.to_literal(), "100");
+}
+
+}  // namespace
+}  // namespace lm::lime

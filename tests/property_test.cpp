@@ -1,0 +1,383 @@
+// Property-based tests: randomized differential checks of the system's
+// core invariants.
+//
+//   * Random integer expression programs evaluate identically on the
+//     bytecode VM, the GPU kernel IR, and a C++ oracle with Java wrapping
+//     semantics (the "all artifacts are semantically equivalent" invariant
+//     of §3, tested over a large random program space).
+//   * The wire format round-trips arbitrary arrays of every element type.
+//   * Random RTL expression DAGs fold and simulate consistently.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+#include "bytecode/compiler.h"
+#include "bytecode/interp.h"
+#include "gpu/device.h"
+#include "gpu/kernel_compiler.h"
+#include "lime/frontend.h"
+#include "rtl/netlist.h"
+#include "rtl/sim.h"
+#include "serde/wire.h"
+#include "util/rng.h"
+
+namespace lm {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Random integer expression programs
+// ---------------------------------------------------------------------------
+
+/// A generated expression: Lime source text plus a C++ oracle with the same
+/// (wrapping, Java-style) semantics over inputs x and y.
+struct GenExpr {
+  std::string source;
+  std::function<int32_t(int32_t, int32_t)> eval;
+};
+
+int32_t wrap_add(int32_t a, int32_t b) {
+  return static_cast<int32_t>(static_cast<uint32_t>(a) +
+                              static_cast<uint32_t>(b));
+}
+int32_t wrap_sub(int32_t a, int32_t b) {
+  return static_cast<int32_t>(static_cast<uint32_t>(a) -
+                              static_cast<uint32_t>(b));
+}
+int32_t wrap_mul(int32_t a, int32_t b) {
+  return static_cast<int32_t>(static_cast<uint32_t>(a) *
+                              static_cast<uint32_t>(b));
+}
+int32_t wrap_shl(int32_t a, int32_t s) {
+  return static_cast<int32_t>(static_cast<uint32_t>(a) << (s & 31));
+}
+
+GenExpr gen_expr(SplitMix64& rng, int depth) {
+  if (depth <= 0 || rng.next_below(5) == 0) {
+    switch (rng.next_below(3)) {
+      case 0:
+        return {"x", [](int32_t x, int32_t) { return x; }};
+      case 1:
+        return {"y", [](int32_t, int32_t y) { return y; }};
+      default: {
+        auto c = static_cast<int32_t>(rng.next_range(-100, 100));
+        std::string s = c < 0 ? "(0 - " + std::to_string(-c) + ")"
+                              : std::to_string(c);
+        return {s, [c](int32_t, int32_t) { return c; }};
+      }
+    }
+  }
+  GenExpr a = gen_expr(rng, depth - 1);
+  GenExpr b = gen_expr(rng, depth - 1);
+  switch (rng.next_below(10)) {
+    case 0:
+      return {"(" + a.source + " + " + b.source + ")",
+              [=](int32_t x, int32_t y) {
+                return wrap_add(a.eval(x, y), b.eval(x, y));
+              }};
+    case 1:
+      return {"(" + a.source + " - " + b.source + ")",
+              [=](int32_t x, int32_t y) {
+                return wrap_sub(a.eval(x, y), b.eval(x, y));
+              }};
+    case 2:
+      return {"(" + a.source + " * " + b.source + ")",
+              [=](int32_t x, int32_t y) {
+                return wrap_mul(a.eval(x, y), b.eval(x, y));
+              }};
+    case 3:
+      return {"(" + a.source + " & " + b.source + ")",
+              [=](int32_t x, int32_t y) {
+                return a.eval(x, y) & b.eval(x, y);
+              }};
+    case 4:
+      return {"(" + a.source + " | " + b.source + ")",
+              [=](int32_t x, int32_t y) {
+                return a.eval(x, y) | b.eval(x, y);
+              }};
+    case 5:
+      return {"(" + a.source + " ^ " + b.source + ")",
+              [=](int32_t x, int32_t y) {
+                return a.eval(x, y) ^ b.eval(x, y);
+              }};
+    case 6:
+      return {"(" + a.source + " << (" + b.source + " & 15))",
+              [=](int32_t x, int32_t y) {
+                return wrap_shl(a.eval(x, y), b.eval(x, y) & 15);
+              }};
+    case 7:
+      return {"(" + a.source + " >> (" + b.source + " & 15))",
+              [=](int32_t x, int32_t y) {
+                return a.eval(x, y) >> (b.eval(x, y) & 15);
+              }};
+    case 8:
+      // Guarded division: divisor forced nonzero.
+      return {"(" + a.source + " / ((" + b.source + " & 7) + 1))",
+              [=](int32_t x, int32_t y) {
+                return a.eval(x, y) / ((b.eval(x, y) & 7) + 1);
+              }};
+    default: {
+      GenExpr c = gen_expr(rng, depth - 1);
+      return {"(" + a.source + " < " + b.source + " ? " + c.source + " : " +
+                  b.source + ")",
+              [=](int32_t x, int32_t y) {
+                return a.eval(x, y) < b.eval(x, y) ? c.eval(x, y)
+                                                   : b.eval(x, y);
+              }};
+    }
+  }
+}
+
+class RandomExprDifferential : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomExprDifferential, VmKernelAndOracleAgree) {
+  SplitMix64 rng(GetParam());
+  GenExpr e = gen_expr(rng, 4);
+  std::string src = "class G { local static int f(int x, int y) { return " +
+                    e.source + "; } }";
+  auto fr = lime::compile_source(src);
+  ASSERT_TRUE(fr.ok()) << fr.diags.to_string() << "\nsource: " << src;
+
+  DiagnosticEngine diags;
+  auto module = bc::compile_program(*fr.program, diags);
+  ASSERT_FALSE(diags.has_errors());
+  bc::Interpreter vm(*module);
+
+  const lime::MethodDecl* f = fr.program->find_class("G")->find_method("f");
+  auto kernel = gpu::compile_kernel(*f);
+  ASSERT_TRUE(kernel.ok()) << kernel.exclusion_reason;
+
+  // Random input pairs, exercised through all three implementations.
+  for (int trial = 0; trial < 24; ++trial) {
+    auto x = static_cast<int32_t>(rng.next());
+    auto y = static_cast<int32_t>(rng.next());
+    int32_t want = e.eval(x, y);
+
+    int32_t vm_got =
+        vm.call("G.f", {bc::Value::i32(x), bc::Value::i32(y)}).as_i32();
+    EXPECT_EQ(vm_got, want) << "vm mismatch for " << src << " at x=" << x
+                            << " y=" << y;
+
+    serde::CValue out = serde::CValue::make(bc::ElemCode::kI32, true, 1);
+    std::vector<gpu::KArg> args = {gpu::KArg::scalar_i32(x),
+                                   gpu::KArg::scalar_i32(y)};
+    gpu::run_kernel_range(*kernel.program, args, out, 0, 1);
+    EXPECT_EQ(out.i32s()[0], want) << "kernel mismatch for " << src;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomExprDifferential,
+                         ::testing::Range<uint64_t>(1, 33));
+
+// ---------------------------------------------------------------------------
+// Wire-format round trips over random arrays of every element type
+// ---------------------------------------------------------------------------
+
+class WireRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(WireRoundTrip, RandomArraysSurvive) {
+  SplitMix64 rng(static_cast<uint64_t>(GetParam()) * 977 + 5);
+  for (size_t n : {0u, 1u, 7u, 64u, 1000u}) {
+    bc::ArrayRef arr;
+    lime::TypeRef elem;
+    switch (GetParam()) {
+      case 0: {
+        std::vector<int32_t> v(n);
+        for (auto& x : v) x = static_cast<int32_t>(rng.next());
+        arr = bc::make_i32_array(std::move(v), true);
+        elem = lime::Type::int_();
+        break;
+      }
+      case 1: {
+        std::vector<int64_t> v(n);
+        for (auto& x : v) x = static_cast<int64_t>(rng.next());
+        arr = bc::make_i64_array(std::move(v), true);
+        elem = lime::Type::long_();
+        break;
+      }
+      case 2: {
+        std::vector<float> v(n);
+        for (auto& x : v) x = rng.next_float() * 1e6f - 5e5f;
+        arr = bc::make_f32_array(std::move(v), true);
+        elem = lime::Type::float_();
+        break;
+      }
+      case 3: {
+        std::vector<double> v(n);
+        for (auto& x : v) x = rng.next_double() * 1e12 - 5e11;
+        arr = bc::make_f64_array(std::move(v), true);
+        elem = lime::Type::double_();
+        break;
+      }
+      case 4: {
+        std::vector<uint8_t> v(n);
+        for (auto& x : v) x = rng.next_bool();
+        arr = bc::make_bool_array(std::move(v), true);
+        elem = lime::Type::boolean();
+        break;
+      }
+      default: {
+        std::vector<uint8_t> v(n);
+        for (auto& x : v) x = rng.next_bool();
+        arr = bc::make_bit_array(std::move(v), true);
+        elem = lime::Type::bit();
+        break;
+      }
+    }
+    bc::Value v = bc::Value::array(arr);
+    auto t = lime::Type::value_array(elem);
+    auto ser = serde::serializer_for(t);
+    ByteWriter w;
+    ser->serialize(v, w);
+    EXPECT_EQ(w.size(), ser->wire_size(v));
+    ByteReader r(w.bytes());
+    bc::Value back = ser->deserialize(r);
+    EXPECT_TRUE(r.done());
+    EXPECT_TRUE(back.equals(v)) << "elem kind " << GetParam() << " n=" << n;
+  }
+}
+
+std::string wire_case_name(const ::testing::TestParamInfo<int>& info) {
+  static const char* const kNames[] = {"i32", "i64", "f32",
+                                       "f64", "boolean", "bit"};
+  return kNames[info.param];
+}
+
+INSTANTIATE_TEST_SUITE_P(AllElemTypes, WireRoundTrip, ::testing::Range(0, 6),
+                         wire_case_name);
+
+// ---------------------------------------------------------------------------
+// Random RTL expression DAGs: constant folding == simulation
+// ---------------------------------------------------------------------------
+
+rtl::HExprPtr gen_hexpr(SplitMix64& rng, int depth,
+                        const std::vector<rtl::SigId>& inputs, int width) {
+  if (depth <= 0 || rng.next_below(4) == 0) {
+    if (!inputs.empty() && rng.next_bool()) {
+      return rtl::h_sig(inputs[rng.next_below(inputs.size())], width);
+    }
+    return rtl::h_const(width, rng.next());
+  }
+  using rtl::HBinOp;
+  auto a = gen_hexpr(rng, depth - 1, inputs, width);
+  auto b = gen_hexpr(rng, depth - 1, inputs, width);
+  static const HBinOp kOps[] = {HBinOp::kAdd, HBinOp::kSub, HBinOp::kMul,
+                                HBinOp::kAnd, HBinOp::kOr, HBinOp::kXor};
+  switch (rng.next_below(8)) {
+    case 6:
+      return rtl::h_unary(rtl::HUnOp::kNot, a);
+    case 7: {
+      auto cond = rtl::h_binary(HBinOp::kLtS, a, b);
+      auto c = gen_hexpr(rng, depth - 1, inputs, width);
+      return rtl::h_mux(cond, b, c);
+    }
+    default:
+      return rtl::h_binary(kOps[rng.next_below(6)], a, b);
+  }
+}
+
+class RtlExprProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RtlExprProperty, SimulationMatchesDirectEvaluation) {
+  SplitMix64 rng(GetParam() * 31 + 7);
+  for (int width : {1, 8, 17, 32, 64}) {
+    rtl::Module m;
+    m.name = "prop";
+    std::vector<rtl::SigId> inputs;
+    for (int i = 0; i < 3; ++i) {
+      inputs.push_back(m.add_signal("in" + std::to_string(i), width,
+                                    rtl::SigKind::kInput));
+    }
+    auto expr = gen_hexpr(rng, 4, inputs, width);
+    rtl::SigId out = m.add_signal("out", expr->width, rtl::SigKind::kOutput);
+    m.assign(out, expr);
+    rtl::RtlSim sim(m);
+
+    for (int trial = 0; trial < 8; ++trial) {
+      std::vector<uint64_t> vals(m.signals.size(), 0);
+      for (size_t i = 0; i < inputs.size(); ++i) {
+        uint64_t v = rtl::mask_to_width(rng.next(), width);
+        sim.poke(inputs[i], v);
+        vals[static_cast<size_t>(inputs[i])] = v;
+      }
+      uint64_t direct = rtl::h_eval(*expr, vals);
+      EXPECT_EQ(sim.peek(out), direct)
+          << "width " << width << " seed " << GetParam();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RtlExprProperty,
+                         ::testing::Range<uint64_t>(1, 17));
+
+// ---------------------------------------------------------------------------
+// Cast matrix: every widening conversion the language allows, VM vs oracle
+// ---------------------------------------------------------------------------
+
+TEST(CastMatrix, WideningCastsAreExact) {
+  struct Case {
+    const char* src;
+    std::function<bc::Value(bc::Value)> oracle;
+    bc::Value input;
+  };
+  auto build_and_run = [](const std::string& src, const bc::Value& arg) {
+    auto fr = lime::compile_source(src);
+    EXPECT_TRUE(fr.ok()) << fr.diags.to_string();
+    DiagnosticEngine d;
+    auto mod = bc::compile_program(*fr.program, d);
+    bc::Interpreter vm(*mod);
+    return vm.call("C.f", {arg});
+  };
+
+  // int → long / float / double.
+  EXPECT_EQ(build_and_run("class C { static long f(int x) { return x; } }",
+                          bc::Value::i32(-123456))
+                .as_i64(),
+            -123456);
+  EXPECT_FLOAT_EQ(
+      build_and_run("class C { static float f(int x) { return x; } }",
+                    bc::Value::i32(16777217))
+          .as_f32(),
+      16777216.0f);  // rounds: float can't hold 2^24+1
+  EXPECT_DOUBLE_EQ(
+      build_and_run("class C { static double f(int x) { return x; } }",
+                    bc::Value::i32(INT32_MIN))
+          .as_f64(),
+      static_cast<double>(INT32_MIN));
+  // long → double.
+  EXPECT_DOUBLE_EQ(
+      build_and_run("class C { static double f(long x) { return x; } }",
+                    bc::Value::i64(1LL << 53))
+          .as_f64(),
+      static_cast<double>(1LL << 53));
+  // float → double.
+  EXPECT_DOUBLE_EQ(
+      build_and_run("class C { static double f(float x) { return x; } }",
+                    bc::Value::f32(0.1f))
+          .as_f64(),
+      static_cast<double>(0.1f));
+  // bit → int / long.
+  EXPECT_EQ(build_and_run("class C { static int f(bit b) { return b; } }",
+                          bc::Value::bit(true))
+                .as_i32(),
+            1);
+  // Explicit narrowing casts.
+  EXPECT_EQ(build_and_run(
+                "class C { static int f(long x) { return (int) x; } }",
+                bc::Value::i64((1LL << 40) + 99))
+                .as_i32(),
+            static_cast<int32_t>((1LL << 40) + 99));
+  EXPECT_EQ(build_and_run(
+                "class C { static int f(double x) { return (int) x; } }",
+                bc::Value::f64(-2.75))
+                .as_i32(),
+            -2);
+  EXPECT_EQ(build_and_run(
+                "class C { static bit f(int x) { return (bit) x; } }",
+                bc::Value::i32(7))
+                .as_bit(),
+            true);
+}
+
+}  // namespace
+}  // namespace lm

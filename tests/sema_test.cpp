@@ -1,0 +1,398 @@
+// Unit tests for Lime semantic analysis — the §2.1 isolation rules.
+#include <gtest/gtest.h>
+
+#include "lime/sema.h"
+#include "tests/lime_test_util.h"
+
+namespace lm::lime {
+namespace {
+
+using testing::compile_err;
+using testing::compile_ok;
+
+TEST(Sema, Figure1TypeChecks) {
+  auto r = compile_ok(testing::figure1_source());
+  const ClassDecl* bf = r.program->find_class("Bitflip");
+  ASSERT_NE(bf, nullptr);
+  const MethodDecl* flip = bf->find_method("flip");
+  ASSERT_NE(flip, nullptr);
+  // flip is local static with value (bit) args → pure (§2.1).
+  EXPECT_TRUE(flip->is_pure);
+  EXPECT_TRUE(is_task_capable(*flip));
+  // taskFlip is global (performs task-graph I/O) and not pure.
+  const MethodDecl* task_flip = bf->find_method("taskFlip");
+  ASSERT_NE(task_flip, nullptr);
+  EXPECT_FALSE(task_flip->is_pure);
+}
+
+TEST(Sema, PurityRequiresValueArguments) {
+  auto r = compile_ok(R"(
+    class C {
+      local static int sum(int[[]] xs) {
+        int acc = 0;
+        for (int i = 0; i < xs.length; i += 1) acc += xs[i];
+        return acc;
+      }
+      local static int first(int[] xs) { return xs[0]; }
+    }
+  )");
+  const ClassDecl* c = r.program->find_class("C");
+  // int[[]] is a value array → pure; int[] is mutable → not pure.
+  EXPECT_TRUE(c->find_method("sum")->is_pure);
+  EXPECT_FALSE(c->find_method("first")->is_pure);
+}
+
+TEST(Sema, LocalMethodCannotCallGlobal) {
+  compile_err(R"(
+    class C {
+      static int global_helper(int x) { return x; }
+      local static int f(int x) { return global_helper(x); }
+    }
+  )", "may only call local methods");
+}
+
+TEST(Sema, LocalMethodMayCallLocal) {
+  compile_ok(R"(
+    class C {
+      local static int helper(int x) { return x * 2; }
+      local static int f(int x) { return helper(x); }
+    }
+  )");
+}
+
+TEST(Sema, GlobalMethodMayCallAnything) {
+  compile_ok(R"(
+    class C {
+      static int g(int x) { return x; }
+      local static int l(int x) { return x; }
+      static int f(int x) { return g(x) + l(x); }
+    }
+  )");
+}
+
+TEST(Sema, ValueArrayElementsAreImmutable) {
+  compile_err(R"(
+    class C {
+      static void f(int[[]] xs) { xs[0] = 1; }
+    }
+  )", "value arrays are immutable");
+}
+
+TEST(Sema, MutableArrayElementsAreAssignable) {
+  compile_ok(R"(
+    class C {
+      static void f(int[] xs) { xs[0] = 1; }
+    }
+  )");
+}
+
+TEST(Sema, ValueClassFieldsMustBeValueTypes) {
+  compile_err(R"(
+    value class P {
+      int[] data;
+    }
+  )", "must have a value type");
+}
+
+TEST(Sema, ValueClassFieldsAreImmutableOutsideCtor) {
+  compile_err(R"(
+    value class P {
+      int x;
+      local void bump() { x = x + 1; }
+    }
+  )", "cannot mutate field of value class");
+}
+
+TEST(Sema, StaticFieldsMustBeFinal) {
+  compile_err("class C { static int counter = 0; }", "must be final");
+}
+
+TEST(Sema, LocalMethodCannotReadMutableStatic) {
+  // Even in a class where such a field slipped through, local methods may
+  // only touch compile-time constants; final statics are fine.
+  compile_ok(R"(
+    class C {
+      static final int N = 64;
+      local static int f(int x) { return x + N; }
+    }
+  )");
+}
+
+TEST(Sema, TaskOperatorRequiresLocalMethod) {
+  compile_err(R"(
+    class C {
+      static int work(int x) { return x; }
+      static void build(int[[]] in, int[] out) {
+        var g = in.source(1) => ([ task work ]) => out.<int>sink();
+        g.finish();
+      }
+    }
+  )", "task operator requires a local method");
+}
+
+TEST(Sema, TaskOperatorAcceptsPureFilter) {
+  compile_ok(R"(
+    class C {
+      local static int work(int x) { return x * 3; }
+      static void build(int[[]] in, int[] out) {
+        var g = in.source(1) => ([ task work ]) => out.<int>sink();
+        g.finish();
+      }
+    }
+  )");
+}
+
+TEST(Sema, OnlyValuesFlowBetweenTasks) {
+  // A source over a mutable-element array type is rejected: data crossing
+  // task boundaries must be immutable (§2.2).
+  compile_err(R"(
+    class C {
+      static void f(int[][] rows, int[] out) {
+        var g = rows.source(1);
+      }
+    }
+  )", "not a value type");
+}
+
+TEST(Sema, SinkRequiresMutableArray) {
+  compile_err(R"(
+    class C {
+      static void f(int[[]] in) {
+        var g = in.source(1) => in.<int>sink();
+      }
+    }
+  )", "sink target must be a mutable array");
+}
+
+TEST(Sema, SinkTypeArgumentMustMatch) {
+  compile_err(R"(
+    class C {
+      static void f(int[[]] in, int[] out) {
+        var g = in.source(1) => out.<float>sink();
+      }
+    }
+  )", "does not match element type");
+}
+
+TEST(Sema, ConnectRequiresTasks) {
+  compile_err(R"(
+    class C {
+      static void f(int x, int y) { var g = x => y; }
+    }
+  )", "must be a task");
+}
+
+TEST(Sema, MapRequiresPureMethod) {
+  compile_err(R"(
+    class C {
+      static int twice(int x) { return 2 * x; }
+      static int[[]] f(int[[]] xs) { return C @ twice(xs); }
+    }
+  )", "requires a pure method");
+}
+
+TEST(Sema, MapInfersElementwiseApplication) {
+  auto r = compile_ok(R"(
+    class C {
+      local static int twice(int x) { return 2 * x; }
+      local static int[[]] f(int[[]] xs) { return C @ twice(xs); }
+    }
+  )");
+  const MethodDecl* f = r.program->find_class("C")->find_method("f");
+  EXPECT_EQ(f->return_type->to_string(), "int[[]]");
+}
+
+TEST(Sema, MapBroadcastsScalars) {
+  // saxpy-style: scalar `a` broadcast across arrays x, y.
+  compile_ok(R"(
+    class V {
+      local static float axpy(float a, float x, float y) { return a * x + y; }
+      local static float[[]] saxpy(float a, float[[]] x, float[[]] y) {
+        return V @ axpy(a, x, y);
+      }
+    }
+  )");
+}
+
+TEST(Sema, MapNeedsAtLeastOneArray) {
+  compile_err(R"(
+    class C {
+      local static int twice(int x) { return 2 * x; }
+      static int[[]] f() { return C @ twice(3); }
+    }
+  )", "at least one array argument");
+}
+
+TEST(Sema, ReduceSignatureChecked) {
+  compile_ok(R"(
+    class R {
+      local static int add(int a, int b) { return a + b; }
+      local static int sum(int[[]] xs) { return R ! add(xs); }
+    }
+  )");
+  compile_err(R"(
+    class R {
+      local static int add3(int a, int b, int c) { return a + b + c; }
+      static int f(int[[]] xs) { return R ! add3(xs); }
+    }
+  )", "signature");
+}
+
+TEST(Sema, WideningInsertsCasts) {
+  auto r = compile_ok(R"(
+    class C {
+      local static double f(int x) { return x; }
+      local static float g(int a, float b) { return a + b; }
+    }
+  )");
+  // Return value of f is an int widened to double.
+  const MethodDecl* f = r.program->find_class("C")->find_method("f");
+  const auto& ret = as<ReturnStmt>(*f->body->stmts[0]);
+  EXPECT_EQ(ret.value->kind, ExprKind::kCast);
+}
+
+TEST(Sema, NarrowingIsRejected) {
+  compile_err(R"(
+    class C { static int f(double d) { return d; } }
+  )", "type mismatch");
+}
+
+TEST(Sema, UnknownNameReported) {
+  compile_err("class C { static int f() { return mystery; } }",
+              "unknown name 'mystery'");
+}
+
+TEST(Sema, UnknownTypeReported) {
+  compile_err("class C { static Widget f(Widget w) { return w; } }",
+              "unknown type 'Widget'");
+}
+
+TEST(Sema, DuplicateLocalRejected) {
+  compile_err(R"(
+    class C { static void f() { int x = 1; int x = 2; } }
+  )", "redeclaration");
+}
+
+TEST(Sema, ShadowingInNestedScopeAllowed) {
+  compile_ok(R"(
+    class C {
+      static int f(int x) {
+        int y = 0;
+        for (int i = 0; i < x; i += 1) { int y2 = i; y += y2; }
+        if (x > 0) { int z = 1; y += z; }
+        return y;
+      }
+    }
+  )");
+}
+
+TEST(Sema, BreakOutsideLoopRejected) {
+  compile_err("class C { static void f() { break; } }", "outside of a loop");
+}
+
+TEST(Sema, UserValueEnumWithOperator) {
+  auto r = compile_ok(R"(
+    public value enum trit {
+      lo, mid, hi;
+      public trit ~ this {
+        return this == lo ? hi : this == hi ? lo : mid;
+      }
+    }
+    class Uses {
+      local static trit invert(trit t) { return ~t; }
+    }
+  )");
+  const ClassDecl* uses = r.program->find_class("Uses");
+  EXPECT_TRUE(uses->find_method("invert")->is_pure);
+}
+
+TEST(Sema, EnumMustBeValue) {
+  compile_err("enum color { red, green }", "must be declared 'value'");
+}
+
+TEST(Sema, BuiltinBitShapeEnforced) {
+  compile_err("public value enum bit { a, b; }", "must match the builtin");
+}
+
+TEST(Sema, QualifiedBitConstants) {
+  compile_ok(R"(
+    class C {
+      local static bit pick(boolean b) { return b ? bit.one : bit.zero; }
+    }
+  )");
+}
+
+TEST(Sema, MathIntrinsicsTypeCheck) {
+  auto r = compile_ok(R"(
+    class C {
+      local static float f(float x) { return Math.sqrt(x) + Math.exp(x); }
+      local static double g(double x) { return Math.log(x); }
+      local static int h(int a, int b) { return Math.min(a, b); }
+      local static float p(float x, float y) { return Math.pow(x, y); }
+    }
+  )");
+  const ClassDecl* c = r.program->find_class("C");
+  EXPECT_TRUE(c->find_method("f")->is_pure);
+}
+
+TEST(Sema, MathUnknownIntrinsic) {
+  compile_err("class C { static float f(float x) { return Math.cbrt(x); } }",
+              "unknown Math intrinsic");
+}
+
+TEST(Sema, BitLiteralIsValueBitArray) {
+  auto r = compile_ok(R"(
+    class C {
+      local static bit[[]] f() { return 100b; }
+    }
+  )");
+  const MethodDecl* f = r.program->find_class("C")->find_method("f");
+  EXPECT_EQ(f->return_type->to_string(), "bit[[]]");
+}
+
+TEST(Sema, InstanceFieldFromStaticRejected) {
+  compile_err(R"(
+    class C { int x; static int f() { return x; } }
+  )", "static method");
+}
+
+TEST(Sema, FinalFieldAssignmentRejected) {
+  compile_err(R"(
+    class C {
+      static final int N = 3;
+      static void f() { N = 4; }
+    }
+  )", "final");
+}
+
+TEST(Sema, TernaryBranchesMustAgree) {
+  compile_err(R"(
+    class C { static void f(boolean b, int[] a, float x) { var v = b ? a : x; } }
+  )", "incompatible ternary branches");
+}
+
+TEST(Sema, SlotAssignmentCountsLocals) {
+  auto r = compile_ok(R"(
+    class C {
+      static int f(int a, int b) {
+        int c = a + b;
+        for (int i = 0; i < c; i += 1) { int t = i; c += t; }
+        return c;
+      }
+    }
+  )");
+  const MethodDecl* f = r.program->find_class("C")->find_method("f");
+  // a, b, c, i, t → at least 5 slots (scopes may reuse).
+  EXPECT_GE(f->num_slots, 5);
+  EXPECT_EQ(f->params[0].slot, 0);
+  EXPECT_EQ(f->params[1].slot, 1);
+}
+
+TEST(Sema, RelocateRequiresTaskExpression) {
+  compile_err(R"(
+    class C { static void f(int x) { var v = [ x + 1 ]; } }
+  )", "relocation brackets must enclose a task expression");
+}
+
+}  // namespace
+}  // namespace lm::lime

@@ -1,0 +1,200 @@
+// Unit tests for the marshaling layer (S8) — the Fig. 3 data path.
+#include <gtest/gtest.h>
+
+#include "serde/native.h"
+#include "serde/wire.h"
+
+namespace lm::serde {
+namespace {
+
+using bc::ArrayRef;
+using bc::ElemCode;
+using bc::Value;
+using lime::Type;
+
+Value round_trip(const Value& v, const lime::TypeRef& t) {
+  auto ser = serializer_for(t);
+  ByteWriter w;
+  ser->serialize(v, w);
+  EXPECT_EQ(w.size(), ser->wire_size(v));
+  ByteReader r(w.bytes());
+  Value back = ser->deserialize(r);
+  EXPECT_TRUE(r.done()) << "trailing bytes after deserialize";
+  return back;
+}
+
+TEST(Wire, ScalarRoundTrips) {
+  EXPECT_TRUE(round_trip(Value::i32(-7), Type::int_()).equals(Value::i32(-7)));
+  EXPECT_TRUE(round_trip(Value::i64(1LL << 40), Type::long_())
+                  .equals(Value::i64(1LL << 40)));
+  EXPECT_TRUE(
+      round_trip(Value::f32(3.25f), Type::float_()).equals(Value::f32(3.25f)));
+  EXPECT_TRUE(round_trip(Value::f64(-0.125), Type::double_())
+                  .equals(Value::f64(-0.125)));
+  EXPECT_TRUE(round_trip(Value::boolean(true), Type::boolean())
+                  .equals(Value::boolean(true)));
+  EXPECT_TRUE(
+      round_trip(Value::bit(true), Type::bit()).equals(Value::bit(true)));
+}
+
+TEST(Wire, ArrayRoundTrips) {
+  auto t = Type::value_array(Type::float_());
+  Value v = Value::array(bc::make_f32_array({1.5f, -2.5f, 0.0f}, true));
+  Value back = round_trip(v, t);
+  EXPECT_TRUE(back.equals(v));
+  EXPECT_TRUE(back.as_array()->is_value);
+}
+
+TEST(Wire, MutableArrayDeserializesMutable) {
+  auto t = Type::array(Type::int_());
+  Value v = Value::array(bc::make_i32_array({7, 8}));
+  Value back = round_trip(v, t);
+  EXPECT_FALSE(back.as_array()->is_value);
+  EXPECT_TRUE(back.equals(v));
+}
+
+TEST(Wire, BitArrayPacksEightPerByte) {
+  auto t = Type::value_array(Type::bit());
+  std::vector<uint8_t> bits(13, 0);
+  bits[0] = bits[5] = bits[12] = 1;
+  Value v = Value::array(bc::make_bit_array(bits, true));
+  auto ser = serializer_for(t);
+  // 4-byte count + ceil(13/8) = 2 payload bytes.
+  EXPECT_EQ(ser->wire_size(v), 4u + 2u);
+  ByteWriter w;
+  ser->serialize(v, w);
+  EXPECT_EQ(w.size(), 6u);
+  ByteReader r(w.bytes());
+  Value back = ser->deserialize(r);
+  EXPECT_TRUE(back.equals(v));
+}
+
+TEST(Wire, EmptyArray) {
+  auto t = Type::value_array(Type::int_());
+  Value v = Value::array(bc::make_i32_array({}, true));
+  EXPECT_TRUE(round_trip(v, t).equals(v));
+}
+
+TEST(Wire, EnumTravelsAsOrdinal) {
+  auto t = Type::class_("trit", nullptr);
+  auto ser = serializer_for(t);
+  ByteWriter w;
+  ser->serialize(Value::i32(2), w);
+  EXPECT_EQ(w.size(), 4u);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(ser->deserialize(r).as_i32(), 2);
+}
+
+TEST(Wire, NestedArrayRejected) {
+  auto t = Type::value_array(Type::value_array(Type::int_()));
+  EXPECT_THROW(serializer_for(t), InternalError);
+}
+
+TEST(Wire, TruncatedStreamRaises) {
+  auto t = Type::value_array(Type::int_());
+  Value v = Value::array(bc::make_i32_array({1, 2, 3}, true));
+  auto ser = serializer_for(t);
+  ByteWriter w;
+  ser->serialize(v, w);
+  auto bytes = w.bytes();
+  bytes.resize(bytes.size() - 2);  // chop off part of the payload
+  ByteReader r(bytes);
+  EXPECT_THROW(ser->deserialize(r), RuntimeError);
+}
+
+// ---------------------------------------------------------------------------
+// NativeBoundary
+// ---------------------------------------------------------------------------
+
+TEST(Boundary, CountsCrossingsAndBytes) {
+  NativeBoundary b;
+  std::vector<uint8_t> payload(100, 0xCD);
+  auto native = b.cross_to_native(payload);
+  EXPECT_EQ(native, payload);
+  auto host = b.cross_to_host(native);
+  EXPECT_EQ(host, payload);
+  EXPECT_EQ(b.crossings(), 2u);
+  EXPECT_EQ(b.bytes_to_native(), 100u);
+  EXPECT_EQ(b.bytes_to_host(), 100u);
+  b.reset_stats();
+  EXPECT_EQ(b.crossings(), 0u);
+}
+
+TEST(Boundary, CrossingCopies) {
+  NativeBoundary b;
+  std::vector<uint8_t> payload = {1, 2, 3};
+  auto native = b.cross_to_native(payload);
+  payload[0] = 99;  // mutating the host copy must not affect the native one
+  EXPECT_EQ(native[0], 1);
+}
+
+// ---------------------------------------------------------------------------
+// C-side marshaling (step 3 of Fig. 3)
+// ---------------------------------------------------------------------------
+
+TEST(CValue, FloatArrayFullPath) {
+  // Fig. 3's example: a float array input. serialize → cross → unmarshal.
+  auto t = Type::value_array(Type::float_());
+  Value host = Value::array(bc::make_f32_array({0.5f, 1.5f, 2.5f}, true));
+
+  auto ser = serializer_for(t);
+  ByteWriter w;
+  ser->serialize(host, w);
+
+  NativeBoundary boundary;
+  auto native_bytes = boundary.cross_to_native(w.bytes());
+
+  CValue c = unmarshal_native(native_bytes, t);
+  EXPECT_TRUE(c.is_array);
+  ASSERT_EQ(c.count, 3u);
+  EXPECT_FLOAT_EQ(c.f32s()[0], 0.5f);
+  EXPECT_FLOAT_EQ(c.f32s()[2], 2.5f);
+
+  // Mirror path: native → wire → host (Fig. 3's int array output).
+  auto back_wire = marshal_native(c);
+  auto host_bytes = boundary.cross_to_host(back_wire);
+  ByteReader r(host_bytes);
+  Value back = ser->deserialize(r);
+  EXPECT_TRUE(back.equals(host));
+}
+
+TEST(CValue, BitArrayUnpacksToBytes) {
+  auto t = Type::value_array(Type::bit());
+  std::vector<uint8_t> bits = {1, 0, 1, 1, 0, 0, 1, 0, 1};  // 9 bits (Fig. 4)
+  Value host = Value::array(bc::make_bit_array(bits, true));
+  auto ser = serializer_for(t);
+  ByteWriter w;
+  ser->serialize(host, w);
+
+  CValue c = unmarshal_native(w.bytes(), t);
+  ASSERT_EQ(c.count, 9u);
+  for (size_t i = 0; i < bits.size(); ++i) {
+    EXPECT_EQ(c.bytes()[i], bits[i]) << "bit " << i;
+  }
+  // Repack and compare the wire images byte-for-byte.
+  EXPECT_EQ(marshal_native(c), w.bytes());
+}
+
+TEST(CValue, ScalarUnmarshal) {
+  auto ser = serializer_for(lime::Type::double_());
+  ByteWriter w;
+  ser->serialize(bc::Value::f64(6.25), w);
+  CValue c = unmarshal_native(w.bytes(), lime::Type::double_());
+  EXPECT_FALSE(c.is_array);
+  EXPECT_EQ(c.count, 1u);
+  EXPECT_DOUBLE_EQ(c.f64s()[0], 6.25);
+}
+
+TEST(CValue, TypedViewMismatchThrows) {
+  CValue c = CValue::make(ElemCode::kF32, true, 4);
+  EXPECT_THROW(c.i32s(), InternalError);
+}
+
+TEST(CValue, MakeZeroInitializes) {
+  CValue c = CValue::make(ElemCode::kI64, true, 8);
+  for (int64_t v : c.i64s()) EXPECT_EQ(v, 0);
+  EXPECT_EQ(c.storage.size(), 64u);
+}
+
+}  // namespace
+}  // namespace lm::serde

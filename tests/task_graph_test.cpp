@@ -1,0 +1,238 @@
+// Unit tests for static task-graph extraction (S3, paper §3).
+#include <gtest/gtest.h>
+
+#include "ir/task_graph.h"
+#include "tests/lime_test_util.h"
+
+namespace lm::ir {
+namespace {
+
+using lime::testing::compile_ok;
+
+struct Extracted {
+  std::unique_ptr<lime::Program> program;
+  ProgramTaskGraphs graphs;
+  DiagnosticEngine diags;
+};
+
+Extracted extract(const std::string& src, bool expect_ok = true) {
+  auto fr = compile_ok(src);
+  Extracted out;
+  out.program = std::move(fr.program);
+  out.graphs = extract_task_graphs(*out.program, out.diags);
+  if (expect_ok) {
+    EXPECT_FALSE(out.diags.has_errors()) << out.diags.to_string();
+  }
+  return out;
+}
+
+TEST(TaskGraph, Figure1ShapeDiscovered) {
+  auto x = extract(lime::testing::figure1_source());
+  ASSERT_EQ(x.graphs.graphs.size(), 1u);
+  const TaskGraphInfo& g = x.graphs.graphs[0];
+  ASSERT_EQ(g.nodes.size(), 3u);
+  EXPECT_EQ(g.nodes[0].kind, TaskNodeInfo::Kind::kSource);
+  EXPECT_EQ(g.nodes[0].rate, 1);
+  EXPECT_EQ(g.nodes[0].out_type->kind, lime::TypeKind::kBit);
+  EXPECT_EQ(g.nodes[1].kind, TaskNodeInfo::Kind::kFilter);
+  EXPECT_EQ(g.nodes[1].task_id, "Bitflip.flip");
+  EXPECT_TRUE(g.nodes[1].relocated);
+  EXPECT_EQ(g.nodes[2].kind, TaskNodeInfo::Kind::kSink);
+  EXPECT_EQ(g.enclosing->name, "taskFlip");
+}
+
+TEST(TaskGraph, ToStringRendersPipeline) {
+  auto x = extract(lime::testing::figure1_source());
+  EXPECT_EQ(x.graphs.graphs[0].to_string(),
+            "source<bit>(1) => [task Bitflip.flip] => sink<bit>");
+}
+
+TEST(TaskGraph, RelocatedSegmentsMaximal) {
+  auto x = extract(R"(
+    class P {
+      local static int a(int x) { return x + 1; }
+      local static int b(int x) { return x + 2; }
+      local static int c(int x) { return x + 3; }
+      local static int d(int x) { return x + 4; }
+      static void run(int[[]] in, int[] out) {
+        var g = in.source(1)
+          => ([ task a ]) => ([ task b ])
+          => task c
+          => ([ task d ])
+          => out.<int>sink();
+        g.finish();
+      }
+    }
+  )");
+  ASSERT_EQ(x.graphs.graphs.size(), 1u);
+  const TaskGraphInfo& g = x.graphs.graphs[0];
+  ASSERT_EQ(g.nodes.size(), 6u);
+  EXPECT_FALSE(g.nodes[3].relocated);  // task c is not bracketed
+  auto segs = g.relocated_segments();
+  ASSERT_EQ(segs.size(), 2u);
+  EXPECT_EQ(segs[0], std::make_pair(1, 2));  // a, b together — larger unit
+  EXPECT_EQ(segs[1], std::make_pair(4, 4));  // d alone
+}
+
+TEST(TaskGraph, BracketsAroundWholeSubchain) {
+  auto x = extract(R"(
+    class P {
+      local static int a(int x) { return x + 1; }
+      local static int b(int x) { return x * 2; }
+      static void run(int[[]] in, int[] out) {
+        var g = in.source(1) => ([ task a => task b ]) => out.<int>sink();
+        g.finish();
+      }
+    }
+  )");
+  const TaskGraphInfo& g = x.graphs.graphs[0];
+  ASSERT_EQ(g.nodes.size(), 4u);
+  EXPECT_TRUE(g.nodes[1].relocated);
+  EXPECT_TRUE(g.nodes[2].relocated);
+  auto segs = g.relocated_segments();
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0], std::make_pair(1, 2));
+}
+
+TEST(TaskGraph, TypeFlowMismatchReported) {
+  auto fr = compile_ok(R"(
+    class P {
+      local static float widen(int x) { return x; }
+      local static int narrow(int x) { return x; }
+      static void run(int[[]] in, int[] out) {
+        var g = in.source(1) => task widen => task narrow => out.<int>sink();
+        g.finish();
+      }
+    }
+  )");
+  DiagnosticEngine diags;
+  extract_task_graphs(*fr.program, diags);
+  EXPECT_TRUE(diags.has_errors());
+  EXPECT_NE(diags.to_string().find("consumes int but upstream produces float"),
+            std::string::npos);
+}
+
+TEST(TaskGraph, SinkTypeMismatchReported) {
+  auto fr = compile_ok(R"(
+    class P {
+      local static float conv(int x) { return x; }
+      static void run(int[[]] in, float[] out1, int[] out2) {
+        var g = in.source(1) => task conv => out2.<int>sink();
+        g.finish();
+      }
+    }
+  )");
+  DiagnosticEngine diags;
+  extract_task_graphs(*fr.program, diags);
+  EXPECT_TRUE(diags.has_errors());
+  EXPECT_NE(diags.to_string().find("sink expects int"), std::string::npos);
+}
+
+TEST(TaskGraph, DynamicShapeWithBracketsIsError) {
+  // The graph is built through a helper variable the extractor cannot see
+  // through — with relocation brackets present this must be a compile-time
+  // error (§3).
+  auto fr = compile_ok(R"(
+    class P {
+      local static int f(int x) { return x; }
+      static int helper(int x) { return x; }
+      static void run(int[[]] in, int[] out) {
+        var g = in.source(helper(1)) => ([ task f ]) => out.<int>sink();
+        g.finish();
+      }
+    }
+  )");
+  // source(helper(1)) still extracts (rate defaults to 1); build a truly
+  // opaque chain instead: connect through a computed expression.
+  DiagnosticEngine diags;
+  extract_task_graphs(*fr.program, diags);
+  EXPECT_FALSE(diags.has_errors());
+
+  auto fr2 = compile_ok(R"(
+    class Q {
+      local static int f(int x) { return x; }
+      static void run(int[[]] in, int[] out) {
+        var stage = in.source(1);
+        var g = stage => ([ task f ]) => out.<int>sink();
+        g.finish();
+      }
+    }
+  )");
+  DiagnosticEngine diags2;
+  extract_task_graphs(*fr2.program, diags2);
+  EXPECT_TRUE(diags2.has_errors());
+  EXPECT_NE(diags2.to_string().find("could not be determined statically"),
+            std::string::npos);
+}
+
+TEST(TaskGraph, DynamicShapeWithoutBracketsIsAllowed) {
+  // Without relocation brackets the runtime builds the graph dynamically;
+  // no static error (§3).
+  auto fr = compile_ok(R"(
+    class P {
+      local static int f(int x) { return x; }
+      static void run(int[[]] in, int[] out) {
+        var stage = in.source(1);
+        var g = stage => task f => out.<int>sink();
+        g.finish();
+      }
+    }
+  )");
+  DiagnosticEngine diags;
+  extract_task_graphs(*fr.program, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.to_string();
+}
+
+TEST(TaskGraph, MultipleGraphsInOneProgram) {
+  auto x = extract(R"(
+    class P {
+      local static int f(int x) { return x; }
+      local static float g(float x) { return x; }
+      static void run1(int[[]] in, int[] out) {
+        var a = in.source(1) => ([ task f ]) => out.<int>sink();
+        a.finish();
+      }
+      static void run2(float[[]] in, float[] out) {
+        var b = in.source(4) => ([ task g ]) => out.<float>sink();
+        b.finish();
+      }
+    }
+  )");
+  ASSERT_EQ(x.graphs.graphs.size(), 2u);
+  EXPECT_EQ(x.graphs.graphs[1].nodes[0].rate, 4);
+  auto methods = x.graphs.relocated_filter_methods();
+  ASSERT_EQ(methods.size(), 2u);
+}
+
+TEST(TaskGraph, DuplicateFilterListedOnce) {
+  auto x = extract(R"(
+    class P {
+      local static int f(int x) { return x; }
+      static void run(int[[]] in, int[] mid, int[] out) {
+        var a = in.source(1) => ([ task f ]) => mid.<int>sink();
+        a.finish();
+        int[[]] m = new int[[]](mid);
+        var b = m.source(1) => ([ task f ]) => out.<int>sink();
+        b.finish();
+      }
+    }
+  )");
+  ASSERT_EQ(x.graphs.graphs.size(), 2u);
+  EXPECT_EQ(x.graphs.relocated_filter_methods().size(), 1u);
+}
+
+TEST(TaskGraph, MultiParamFilterArityRecorded) {
+  auto x = extract(R"(
+    class P {
+      local static int addPair(int a, int b) { return a + b; }
+      static void run(int[[]] in, int[] out) {
+        var g = in.source(1) => ([ task addPair ]) => out.<int>sink();
+        g.finish();
+      }
+    }
+  )");
+  EXPECT_EQ(x.graphs.graphs[0].nodes[1].arity, 2);
+}
+
+}  // namespace
+}  // namespace lm::ir

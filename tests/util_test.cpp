@@ -1,0 +1,254 @@
+// Unit tests for the utility substrate (S1).
+#include <gtest/gtest.h>
+
+#include "util/bitvec.h"
+#include "util/byte_buffer.h"
+#include "util/diagnostics.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace lm {
+namespace {
+
+// ---------------------------------------------------------------------------
+// BitVec
+// ---------------------------------------------------------------------------
+
+TEST(BitVec, DefaultIsEmpty) {
+  BitVec v;
+  EXPECT_EQ(v.width(), 0u);
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(BitVec, FromLiteralMatchesPaperConvention) {
+  // "the bit literal 100b is a 3-bit array where bit[0]=0 and bit[2]=1"
+  BitVec v = BitVec::from_literal("100");
+  ASSERT_EQ(v.width(), 3u);
+  EXPECT_FALSE(v.get(0));
+  EXPECT_FALSE(v.get(1));
+  EXPECT_TRUE(v.get(2));
+}
+
+TEST(BitVec, ComplementOfPaperExample) {
+  // "The result of mapFlip(100b) is a bit array equal to the bit literal 001b."
+  BitVec v = BitVec::from_literal("100");
+  BitVec f = ~v;
+  EXPECT_EQ(f.to_literal(), "011");
+  // flipping each bit individually gives the same answer
+  for (size_t i = 0; i < v.width(); ++i) EXPECT_EQ(f.get(i), !v.get(i));
+}
+
+TEST(BitVec, LiteralRoundTrip) {
+  for (const char* lit : {"0", "1", "100", "001", "101010", "111111111"}) {
+    EXPECT_EQ(BitVec::from_literal(lit).to_literal(), lit);
+  }
+}
+
+TEST(BitVec, SetGetAcrossWordBoundary) {
+  BitVec v(130);
+  v.set(0, true);
+  v.set(63, true);
+  v.set(64, true);
+  v.set(129, true);
+  EXPECT_TRUE(v.get(0));
+  EXPECT_TRUE(v.get(63));
+  EXPECT_TRUE(v.get(64));
+  EXPECT_TRUE(v.get(129));
+  EXPECT_FALSE(v.get(65));
+  EXPECT_EQ(v.popcount(), 4u);
+}
+
+TEST(BitVec, ComplementMasksTopBits) {
+  BitVec v(5);
+  BitVec f = ~v;
+  EXPECT_EQ(f.popcount(), 5u);
+  EXPECT_EQ(f.to_uint64(), 0b11111u);
+  // Double complement is identity.
+  EXPECT_EQ(~f, v);
+}
+
+TEST(BitVec, LogicalOps) {
+  BitVec a = BitVec::from_literal("1100");
+  BitVec b = BitVec::from_literal("1010");
+  EXPECT_EQ((a & b).to_literal(), "1000");
+  EXPECT_EQ((a | b).to_literal(), "1110");
+  EXPECT_EQ((a ^ b).to_literal(), "0110");
+}
+
+TEST(BitVec, MismatchedWidthThrows) {
+  BitVec a(3), b(4);
+  EXPECT_THROW(a & b, InternalError);
+}
+
+TEST(BitVec, OutOfRangeThrows) {
+  BitVec a(3);
+  EXPECT_THROW(a.get(3), InternalError);
+  EXPECT_THROW(a.set(100, true), InternalError);
+}
+
+TEST(BitVec, ConcatAndSlice) {
+  BitVec lo = BitVec::from_literal("01");   // bit0=1, bit1=0
+  BitVec hi = BitVec::from_literal("11");
+  BitVec c = lo.concat(hi);
+  EXPECT_EQ(c.width(), 4u);
+  EXPECT_EQ(c.to_literal(), "1101");
+  EXPECT_EQ(c.slice(0, 2), lo);
+  EXPECT_EQ(c.slice(2, 2), hi);
+}
+
+TEST(BitVec, ResizeZeroExtendsAndTruncates) {
+  BitVec v = BitVec::from_literal("101");
+  v.resize(5);
+  EXPECT_EQ(v.to_literal(), "00101");
+  v.resize(2);
+  EXPECT_EQ(v.to_literal(), "01");
+}
+
+TEST(BitVec, ValueConstructor) {
+  BitVec v(8, 0xA5);
+  EXPECT_EQ(v.to_uint64(), 0xA5u);
+  BitVec w(4, 0xA5);  // truncated to low 4 bits
+  EXPECT_EQ(w.to_uint64(), 0x5u);
+}
+
+// ---------------------------------------------------------------------------
+// ByteWriter / ByteReader
+// ---------------------------------------------------------------------------
+
+TEST(ByteBuffer, ScalarRoundTrip) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u32(0xDEADBEEF);
+  w.i32(-42);
+  w.i64(-1234567890123LL);
+  w.f32(3.5f);
+  w.f64(-2.25);
+  w.str("liquid metal");
+
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.i32(), -42);
+  EXPECT_EQ(r.i64(), -1234567890123LL);
+  EXPECT_EQ(r.f32(), 3.5f);
+  EXPECT_EQ(r.f64(), -2.25);
+  EXPECT_EQ(r.str(), "liquid metal");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(ByteBuffer, UnderflowThrows) {
+  ByteWriter w;
+  w.u16(7);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.u16(), 7);
+  EXPECT_THROW(r.u8(), RuntimeError);
+}
+
+TEST(ByteBuffer, LittleEndianLayout) {
+  ByteWriter w;
+  w.u32(0x01020304);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.bytes()[0], 0x04);
+  EXPECT_EQ(w.bytes()[3], 0x01);
+}
+
+// ---------------------------------------------------------------------------
+// DiagnosticEngine
+// ---------------------------------------------------------------------------
+
+TEST(Diagnostics, CountsOnlyErrors) {
+  DiagnosticEngine d;
+  d.note({1, 1, 0}, "fyi");
+  d.warning({2, 1, 0}, "hmm");
+  EXPECT_FALSE(d.has_errors());
+  d.error({3, 4, 0}, "bad");
+  EXPECT_TRUE(d.has_errors());
+  EXPECT_EQ(d.error_count(), 1);
+  EXPECT_NE(d.to_string().find("error 3:4: bad"), std::string::npos);
+}
+
+TEST(Diagnostics, ClearResets) {
+  DiagnosticEngine d;
+  d.error({1, 1, 0}, "x");
+  d.clear();
+  EXPECT_FALSE(d.has_errors());
+  EXPECT_TRUE(d.diagnostics().empty());
+}
+
+// ---------------------------------------------------------------------------
+// SplitMix64
+// ---------------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSeed) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  SplitMix64 a(1), b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, FloatInUnitInterval) {
+  SplitMix64 g(7);
+  for (int i = 0; i < 1000; ++i) {
+    float f = g.next_float();
+    EXPECT_GE(f, 0.0f);
+    EXPECT_LT(f, 1.0f);
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  SplitMix64 g(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = g.next_range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+// ---------------------------------------------------------------------------
+// strings
+// ---------------------------------------------------------------------------
+
+TEST(Strings, SplitJoin) {
+  auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(join(parts, ","), "a,b,,c");
+}
+
+TEST(Strings, Affixes) {
+  EXPECT_TRUE(starts_with("taskFlip", "task"));
+  EXPECT_FALSE(starts_with("flip", "task"));
+  EXPECT_TRUE(ends_with("kernel.cl", ".cl"));
+  EXPECT_FALSE(ends_with(".cl", "kernel.cl"));
+}
+
+TEST(Strings, IndentSkipsEmptyLines) {
+  EXPECT_EQ(indent("a\n\nb", 2), "  a\n\n  b");
+  EXPECT_EQ(indent("x", 4), "    x");
+}
+
+// ---------------------------------------------------------------------------
+// LM_CHECK
+// ---------------------------------------------------------------------------
+
+TEST(Check, ThrowsWithMessage) {
+  try {
+    LM_CHECK_MSG(1 == 2, "math is broken: " << 42);
+    FAIL() << "should have thrown";
+  } catch (const InternalError& e) {
+    EXPECT_NE(std::string(e.what()).find("math is broken: 42"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace lm

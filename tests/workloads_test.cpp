@@ -1,0 +1,152 @@
+// Differential tests over the benchmark suite (S10): for every workload,
+// the interpreted (CPU) result, the GPU kernel-IR result, the GPU native
+// result, and the plain-C++ reference must all agree.
+#include <gtest/gtest.h>
+
+#include "runtime/liquid_runtime.h"
+#include "workloads/workloads.h"
+
+namespace lm::workloads {
+namespace {
+
+using bc::Value;
+using runtime::CompileOptions;
+using runtime::LiquidRuntime;
+using runtime::Placement;
+using runtime::RuntimeConfig;
+
+Value run_workload(const Workload& w, Placement placement, bool native,
+                   size_t n, uint64_t seed) {
+  CompileOptions copts;
+  copts.use_native_kernels = native;
+  if (native) register_native_kernels();
+  auto cp = runtime::compile(w.lime_source, copts);
+  EXPECT_TRUE(cp->ok()) << w.name << ":\n" << cp->diags.to_string();
+  RuntimeConfig rc;
+  rc.placement = placement;
+  LiquidRuntime rt(*cp, rc);
+  return rt.call(w.entry, w.make_args(n, seed));
+}
+
+class GpuSuiteDifferential : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(GpuSuiteDifferential, CpuGpuNativeAndReferenceAgree) {
+  const Workload& w = gpu_suite()[GetParam()];
+  const size_t n = w.name == "nbody" || w.name == "matmul" ? 256 : 1024;
+  const uint64_t seed = 20120603;
+
+  Value expected = w.reference(w.make_args(n, seed));
+  Value cpu = run_workload(w, Placement::kCpuOnly, false, n, seed);
+  Value gpu_ir = run_workload(w, Placement::kAuto, false, n, seed);
+  Value gpu_native = run_workload(w, Placement::kAuto, true, n, seed);
+
+  // The VM, the kernel IR and the native kernels execute identical
+  // single-precision operations, so elementwise maps agree bit-exactly with
+  // the reference; reductions may re-associate on the device, so they get a
+  // small tolerance.
+  bool is_reduction = w.name == "sumreduce";
+  double tol = is_reduction ? 1e-5 : 0.0;
+  EXPECT_TRUE(results_match(cpu, expected, 0.0)) << w.name << " cpu";
+  EXPECT_TRUE(results_match(gpu_ir, cpu, tol)) << w.name << " gpu-ir";
+  EXPECT_TRUE(results_match(gpu_native, cpu, tol)) << w.name << " gpu-native";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, GpuSuiteDifferential,
+    ::testing::Range<size_t>(0, 8),
+    [](const ::testing::TestParamInfo<size_t>& info) {
+      return gpu_suite()[info.param].name;
+    });
+
+TEST(GpuSuite, KernelsActuallyOffload) {
+  for (const Workload& w : gpu_suite()) {
+    auto cp = runtime::compile(w.lime_source);
+    ASSERT_TRUE(cp->ok()) << w.name;
+    LiquidRuntime rt(*cp);
+    rt.call(w.entry, w.make_args(512, 1));
+    bool offloaded = rt.stats().maps_accelerated + rt.stats().reduces_accelerated > 0;
+    EXPECT_TRUE(offloaded) << w.name << " did not reach the GPU";
+  }
+}
+
+class PipelineSuiteDifferential : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(PipelineSuiteDifferential, AllPlacementsMatchReference) {
+  const Workload& w = pipeline_suite()[GetParam()];
+  const size_t n = 512;
+  const uint64_t seed = 7;
+  Value expected = w.reference(w.make_args(n, seed));
+  for (Placement p : {Placement::kCpuOnly, Placement::kGpuOnly,
+                      Placement::kFpgaOnly, Placement::kAuto}) {
+    Value got = run_workload(w, p, false, n, seed);
+    EXPECT_TRUE(results_match(got, expected, 0.0))
+        << w.name << " placement " << static_cast<int>(p);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPipelines, PipelineSuiteDifferential,
+    ::testing::Range<size_t>(0, 3),
+    [](const ::testing::TestParamInfo<size_t>& info) {
+      return pipeline_suite()[info.param].name;
+    });
+
+TEST(PipelineSuite, Crc8SynthesizesForFpga) {
+  const Workload* crc = nullptr;
+  for (const auto& w : pipeline_suite()) {
+    if (w.name == "crc8pipe") crc = &w;
+  }
+  ASSERT_NE(crc, nullptr);
+  auto cp = runtime::compile(crc->lime_source);
+  ASSERT_TRUE(cp->ok()) << cp->diags.to_string();
+  // The fully-unrolled bit-serial CRC is exactly the datapath shape the
+  // FPGA backend accepts.
+  EXPECT_NE(cp->store.find("Crc8.crc8", runtime::DeviceKind::kFpga), nullptr);
+}
+
+TEST(PipelineSuite, IntPipeUsesFusedGpuSegment) {
+  register_native_kernels();
+  const Workload& w = pipeline_suite()[0];
+  auto cp = runtime::compile(w.lime_source);
+  ASSERT_TRUE(cp->ok());
+  LiquidRuntime rt(*cp);
+  rt.call(w.entry, w.make_args(256, 3));
+  ASSERT_EQ(rt.stats().substitutions.size(), 1u);
+  EXPECT_TRUE(rt.stats().substitutions[0].fused);
+  EXPECT_EQ(rt.stats().substitutions[0].device, runtime::DeviceKind::kGpu);
+}
+
+TEST(PipelineSuite, BitPipeSynthesizesForFpga) {
+  const Workload* bp = nullptr;
+  for (const auto& w : pipeline_suite()) {
+    if (w.name == "bitpipe") bp = &w;
+  }
+  ASSERT_NE(bp, nullptr);
+  auto cp = runtime::compile(bp->lime_source);
+  ASSERT_TRUE(cp->ok());
+  EXPECT_NE(cp->store.find("BitPipe.flip", runtime::DeviceKind::kFpga),
+            nullptr);
+}
+
+TEST(Workloads, InputGeneratorsAreDeterministic) {
+  for (const Workload& w : gpu_suite()) {
+    auto a = w.make_args(128, 42);
+    auto b = w.make_args(128, 42);
+    ASSERT_EQ(a.size(), b.size()) << w.name;
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_TRUE(a[i].equals(b[i])) << w.name << " arg " << i;
+    }
+  }
+}
+
+TEST(Workloads, ResultsMatchToleranceSemantics) {
+  Value a = Value::array(bc::make_f32_array({1.0f, 2.0f}, true));
+  Value b = Value::array(bc::make_f32_array({1.0f, 2.0000002f}, true));
+  EXPECT_FALSE(results_match(a, b, 0.0));
+  EXPECT_TRUE(results_match(a, b, 1e-5));
+  Value c = Value::array(bc::make_f32_array({1.0f}, true));
+  EXPECT_FALSE(results_match(a, c, 1.0));  // length mismatch never matches
+}
+
+}  // namespace
+}  // namespace lm::workloads

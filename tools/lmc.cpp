@@ -1,0 +1,211 @@
+// lmc — the Liquid Metal command-line compiler and runner.
+//
+// Compiles a Lime source file through the full Fig. 2 toolchain and
+// optionally dumps artifacts or runs an entry point under a chosen
+// placement policy.
+//
+// Usage:
+//   lmc program.lime                        compile, list artifacts
+//   lmc program.lime --emit=opencl          dump the OpenCL artifacts
+//   lmc program.lime --emit=verilog         dump the Verilog artifacts
+//   lmc program.lime --emit=bytecode        dump the bytecode disassembly
+//   lmc program.lime --emit=graphs          dump discovered task graphs
+//   lmc program.lime --run C.m --ints 1,2,3 [--placement auto|cpu|gpu|fpga|adaptive]
+//   lmc program.lime --run C.m --floats 1.5,2.5
+//   lmc program.lime --run C.m --bits 100
+//
+// The --run input becomes a single value-array argument (int[[]]/float[[]]
+// /bit[[]]) — the calling convention of every workload entry point in this
+// repository.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "runtime/liquid_runtime.h"
+#include "runtime/repository.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace lm;
+
+int usage() {
+  std::cerr << "usage: lmc <file.lime> [--emit=opencl|verilog|bytecode|graphs]\n"
+               "           [--run Class.method (--ints a,b,.. | --floats a,b,..\n"
+               "            | --bits 0101..)] [--placement auto|cpu|gpu|fpga|adaptive]\n"
+               "           [--no-gpu] [--no-fpga] [--quiet]\n";
+  return 2;
+}
+
+runtime::Placement parse_placement(const std::string& s, bool* ok) {
+  *ok = true;
+  if (s == "auto") return runtime::Placement::kAuto;
+  if (s == "cpu") return runtime::Placement::kCpuOnly;
+  if (s == "gpu") return runtime::Placement::kGpuOnly;
+  if (s == "fpga") return runtime::Placement::kFpgaOnly;
+  if (s == "adaptive") return runtime::Placement::kAdaptive;
+  *ok = false;
+  return runtime::Placement::kAuto;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  std::string path;
+  std::string emit;
+  std::string emit_dir;
+  std::string run_entry;
+  std::string ints_arg, floats_arg, bits_arg;
+  runtime::Placement placement = runtime::Placement::kAuto;
+  runtime::CompileOptions copts;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    auto next = [&](const char* what) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "lmc: " << what << " needs a value\n";
+        exit(2);
+      }
+      return argv[++i];
+    };
+    if (a.rfind("--emit=", 0) == 0) {
+      emit = a.substr(7);
+    } else if (a == "--run") {
+      run_entry = next("--run");
+    } else if (a == "--ints") {
+      ints_arg = next("--ints");
+    } else if (a == "--floats") {
+      floats_arg = next("--floats");
+    } else if (a == "--bits") {
+      bits_arg = next("--bits");
+    } else if (a == "--placement") {
+      bool ok;
+      placement = parse_placement(next("--placement"), &ok);
+      if (!ok) return usage();
+    } else if (a == "--emit-dir") {
+      emit_dir = next("--emit-dir");
+    } else if (a == "--no-gpu") {
+      copts.enable_gpu = false;
+    } else if (a == "--no-fpga") {
+      copts.enable_fpga = false;
+    } else if (a == "--quiet") {
+      quiet = true;
+    } else if (!a.empty() && a[0] == '-') {
+      std::cerr << "lmc: unknown flag " << a << "\n";
+      return usage();
+    } else {
+      path = a;
+    }
+  }
+  if (path.empty()) return usage();
+
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "lmc: cannot open " << path << "\n";
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+
+  auto program = runtime::compile(buf.str(), copts);
+  if (!program->ok()) {
+    std::cerr << program->diags.to_string();
+    return 1;
+  }
+  // Warnings still surface.
+  if (!quiet && program->diags.error_count() == 0 &&
+      !program->diags.diagnostics().empty()) {
+    std::cerr << program->diags.to_string();
+  }
+
+  if (!quiet) {
+    for (const auto& line : program->backend_log) {
+      std::cout << line << "\n";
+    }
+  }
+
+  if (!emit_dir.empty()) {
+    auto entries = runtime::write_artifact_bundle(*program, emit_dir);
+    std::cout << "wrote " << entries.size() << " artifact(s) to " << emit_dir
+              << "\n";
+    return 0;
+  }
+  if (emit == "graphs") {
+    for (const auto& g : program->graphs.graphs) {
+      std::cout << g.enclosing->qualified_name() << ": " << g.to_string()
+                << "\n";
+    }
+    return 0;
+  }
+  if (emit == "bytecode") {
+    std::cout << program->bytecode->disassemble();
+    return 0;
+  }
+  if (emit == "opencl" || emit == "verilog") {
+    auto want = emit == "opencl" ? runtime::DeviceKind::kGpu
+                                 : runtime::DeviceKind::kFpga;
+    for (const auto* m : program->store.manifests()) {
+      if (m->device != want) continue;
+      std::cout << "// ==== " << m->task_id << " ====\n"
+                << m->artifact_text << "\n";
+    }
+    return 0;
+  }
+  if (!emit.empty()) {
+    std::cerr << "lmc: unknown --emit kind '" << emit << "'\n";
+    return usage();
+  }
+
+  if (run_entry.empty()) {
+    if (!quiet) {
+      for (const auto* m : program->store.manifests()) {
+        std::cout << m->to_string() << "\n";
+      }
+    }
+    return 0;
+  }
+
+  // Build the single array argument.
+  std::vector<bc::Value> args;
+  if (!ints_arg.empty()) {
+    std::vector<int32_t> vals;
+    for (const auto& s : split(ints_arg, ',')) {
+      vals.push_back(static_cast<int32_t>(std::stol(s)));
+    }
+    args.push_back(bc::Value::array(bc::make_i32_array(std::move(vals), true)));
+  } else if (!floats_arg.empty()) {
+    std::vector<float> vals;
+    for (const auto& s : split(floats_arg, ',')) {
+      vals.push_back(std::stof(s));
+    }
+    args.push_back(bc::Value::array(bc::make_f32_array(std::move(vals), true)));
+  } else if (!bits_arg.empty()) {
+    // MSB-first, like a Lime bit literal.
+    std::vector<uint8_t> vals(bits_arg.size());
+    for (size_t i = 0; i < bits_arg.size(); ++i) {
+      vals[i] = bits_arg[bits_arg.size() - 1 - i] == '1';
+    }
+    args.push_back(bc::Value::array(bc::make_bit_array(std::move(vals), true)));
+  }
+
+  runtime::RuntimeConfig rc;
+  rc.placement = placement;
+  runtime::LiquidRuntime rt(*program, rc);
+  try {
+    bc::Value out = rt.call(run_entry, std::move(args));
+    std::cout << out.to_string() << "\n";
+    if (!quiet) {
+      for (const auto& s : rt.stats().substitutions) {
+        std::cout << "# " << s.task_ids << " -> "
+                  << runtime::to_string(s.device)
+                  << (s.fused ? " (fused)" : "") << "\n";
+      }
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "lmc: runtime error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
