@@ -7,7 +7,10 @@
 //     a larger substitution" design choice of §4.2, ablated).
 #include <benchmark/benchmark.h>
 
+#include <fstream>
+
 #include "bench/bench_util.h"
+#include "obs/trace.h"
 #include "runtime/liquid_runtime.h"
 #include "workloads/workloads.h"
 
@@ -134,6 +137,23 @@ void print_summary() {
   std::printf("fusion halves (or better) device batches by keeping the "
               "whole relocated region in one artifact (§4.2: prefer the "
               "larger substitution).\n");
+
+  // One traced depth-3 threaded run, so the scheduling behavior measured
+  // above can be inspected span by span (chrome://tracing / Perfetto).
+  auto cp = runtime::compile(pipeline_source(3));
+  auto args = make_input(n);
+  runtime::RuntimeConfig rc;
+  rc.placement = runtime::Placement::kCpuOnly;
+  obs::TraceRecorder recorder;
+  recorder.install();
+  runtime::LiquidRuntime rt(*cp, rc);
+  rt.call("Pipe.run", args);
+  recorder.uninstall();
+  const char* trace_file = "bench_pipeline_trace.json";
+  std::ofstream(trace_file) << recorder.chrome_trace_json();
+  std::printf("trace: %zu event(s) -> %s\n", recorder.event_count(),
+              trace_file);
+  std::printf("metrics: %s\n", rt.metrics().summary().c_str());
 }
 
 }  // namespace

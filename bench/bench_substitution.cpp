@@ -10,7 +10,10 @@
 // decision time is microseconds — negligible against execution.
 #include <benchmark/benchmark.h>
 
+#include <fstream>
+
 #include "bench/bench_util.h"
+#include "obs/trace.h"
 #include "runtime/liquid_runtime.h"
 #include "workloads/workloads.h"
 
@@ -114,6 +117,22 @@ void print_summary() {
                lm::bench::fmt(cpu_time / t, "x")});
   }
   table.print();
+
+  // One traced adaptive run: the trace's "decision" events carry every
+  // candidate artifact and its profiled score — the full E2 story in one
+  // file (open in chrome://tracing / Perfetto).
+  runtime::RuntimeConfig rc;
+  rc.placement = runtime::Placement::kAdaptive;
+  obs::TraceRecorder recorder;
+  recorder.install();
+  runtime::LiquidRuntime rt(*cp, rc);
+  rt.call(intpipe().entry, args);
+  recorder.uninstall();
+  const char* trace_file = "bench_substitution_trace.json";
+  std::ofstream(trace_file) << recorder.chrome_trace_json();
+  std::printf("trace: %zu event(s) -> %s\n", recorder.event_count(),
+              trace_file);
+  std::printf("metrics: %s\n", rt.metrics().summary().c_str());
 }
 
 }  // namespace

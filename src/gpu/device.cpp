@@ -3,6 +3,7 @@
 #include <cmath>
 #include <thread>
 
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace lm::gpu {
@@ -397,14 +398,23 @@ GpuDevice::GpuDevice(GpuDeviceConfig config) : config_(config) {
 
 CValue GpuDevice::launch(const KernelProgram& program,
                          const std::vector<KArg>& args, size_t n) {
-  ++stats_.launches;
-  stats_.work_items += n;
+  stats_.launches.fetch_add(1, std::memory_order_relaxed);
+  stats_.work_items.fetch_add(n, std::memory_order_relaxed);
 
   CValue out = CValue::make(elem_code_for(program.ret_type), true, n);
 
   const NativeKernelFn* native =
       config_.allow_native ? registry_.find(program.task_id) : nullptr;
-  if (native) ++stats_.native_launches;
+  if (native) stats_.native_launches.fetch_add(1, std::memory_order_relaxed);
+
+  obs::TraceSpan span;
+  if (obs::TraceRecorder* rec = obs::TraceRecorder::current()) {
+    span.begin(rec, "gpu", "launch:" + program.task_id);
+    span.set_args(obs::JsonArgs()
+                      .add("items", static_cast<uint64_t>(n))
+                      .add("native", native != nullptr)
+                      .str());
+  }
 
   auto run_range = [&](size_t b, size_t e) {
     if (native) {

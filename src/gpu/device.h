@@ -11,6 +11,7 @@
 // tests enforce it.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -84,10 +85,13 @@ struct GpuDeviceConfig {
   bool allow_native = true;
 };
 
+/// Atomic: one GpuDevice is shared by every GPU artifact of a program, so
+/// concurrent device-node threads (use_threads=true) launch — and bump
+/// these — from different threads at once.
 struct GpuStats {
-  uint64_t launches = 0;
-  uint64_t native_launches = 0;
-  uint64_t work_items = 0;
+  std::atomic<uint64_t> launches{0};
+  std::atomic<uint64_t> native_launches{0};
+  std::atomic<uint64_t> work_items{0};
 };
 
 class GpuDevice {
@@ -102,7 +106,11 @@ class GpuDevice {
   const std::string& name() const { return name_; }
   int compute_units() const { return compute_units_; }
   const GpuStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = {}; }
+  void reset_stats() {
+    stats_.launches = 0;
+    stats_.native_launches = 0;
+    stats_.work_items = 0;
+  }
 
   NativeKernelRegistry& registry() { return registry_; }
 

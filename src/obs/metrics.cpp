@@ -1,0 +1,63 @@
+#include "obs/metrics.h"
+
+#include "util/error.h"
+
+namespace lm::obs {
+
+MetricsRegistry::Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LM_CHECK_MSG(gauges_.find(name) == gauges_.end(),
+               "metric name already registered as a gauge: " << name);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+MetricsRegistry::MaxGauge& MetricsRegistry::max_gauge(
+    const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LM_CHECK_MSG(counters_.find(name) == counters_.end(),
+               "metric name already registered as a counter: " << name);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<MaxGauge>();
+  return *slot;
+}
+
+std::map<std::string, uint64_t> MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, uint64_t> out;
+  for (const auto& [name, c] : counters_) out[name] = c->value();
+  for (const auto& [name, g] : gauges_) out[name] = g->value();
+  return out;
+}
+
+std::string MetricsRegistry::summary(bool include_zeros) const {
+  std::string out;
+  for (const auto& [name, v] : snapshot()) {
+    if (v == 0 && !include_zeros) continue;
+    if (!out.empty()) out += ' ';
+    out += name;
+    out += '=';
+    out += std::to_string(v);
+  }
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+}
+
+uint64_t MetricsRegistry::value(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (auto it = counters_.find(name); it != counters_.end()) {
+    return it->second->value();
+  }
+  if (auto it = gauges_.find(name); it != gauges_.end()) {
+    return it->second->value();
+  }
+  return 0;
+}
+
+}  // namespace lm::obs

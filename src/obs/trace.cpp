@@ -1,0 +1,310 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace lm::obs {
+
+std::atomic<TraceRecorder*> TraceRecorder::g_current{nullptr};
+
+namespace {
+
+std::atomic<uint64_t> g_next_recorder_id{1};
+
+/// Per-thread cache of (recorder id → buffer). A thread normally sees one
+/// recorder over its lifetime, so the list stays length 0 or 1; ids are
+/// never reused, so a stale entry can never alias a new recorder.
+struct TlsEntry {
+  uint64_t recorder_id;
+  void* buffer;
+};
+thread_local std::vector<TlsEntry> t_buffers;
+
+/// Formats a double without trailing noise ("12.5", "3", "0.001").
+void append_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "0";
+    return;
+  }
+  char buf[32];
+  if (v == static_cast<double>(static_cast<int64_t>(v)) &&
+      std::abs(v) < 9.0e15) {
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(static_cast<int64_t>(v)));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+  }
+  out += buf;
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+void JsonArgs::key(const char* k) {
+  if (!body_.empty()) body_ += ',';
+  body_ += '"';
+  body_ += k;
+  body_ += "\":";
+}
+
+JsonArgs& JsonArgs::add(const char* k, const std::string& v) {
+  key(k);
+  body_ += '"';
+  body_ += json_escape(v);
+  body_ += '"';
+  return *this;
+}
+
+JsonArgs& JsonArgs::add(const char* k, const char* v) {
+  return add(k, std::string(v));
+}
+
+JsonArgs& JsonArgs::add(const char* k, uint64_t v) {
+  key(k);
+  body_ += std::to_string(v);
+  return *this;
+}
+
+JsonArgs& JsonArgs::add(const char* k, int v) {
+  key(k);
+  body_ += std::to_string(v);
+  return *this;
+}
+
+JsonArgs& JsonArgs::add(const char* k, double v) {
+  key(k);
+  append_number(body_, v);
+  return *this;
+}
+
+JsonArgs& JsonArgs::add(const char* k, bool v) {
+  key(k);
+  body_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonArgs& JsonArgs::add_raw(const char* k, const std::string& json) {
+  key(k);
+  body_ += json;
+  return *this;
+}
+
+// ---------------------------------------------------------------------------
+// TraceRecorder
+// ---------------------------------------------------------------------------
+
+TraceRecorder::TraceRecorder()
+    : id_(g_next_recorder_id.fetch_add(1, std::memory_order_relaxed)),
+      t0_(std::chrono::steady_clock::now()) {}
+
+TraceRecorder::~TraceRecorder() {
+  TraceRecorder* self = this;
+  g_current.compare_exchange_strong(self, nullptr,
+                                    std::memory_order_acq_rel);
+}
+
+void TraceRecorder::install() {
+  TraceRecorder* expected = nullptr;
+  bool ok = g_current.compare_exchange_strong(expected, this,
+                                              std::memory_order_acq_rel);
+  LM_CHECK_MSG(ok || expected == this,
+               "another TraceRecorder is already installed");
+}
+
+void TraceRecorder::uninstall() {
+  TraceRecorder* self = this;
+  g_current.compare_exchange_strong(self, nullptr,
+                                    std::memory_order_acq_rel);
+}
+
+double TraceRecorder::now_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - t0_)
+      .count();
+}
+
+TraceRecorder::Buffer& TraceRecorder::local_buffer() {
+  for (const TlsEntry& e : t_buffers) {
+    if (e.recorder_id == id_) return *static_cast<Buffer*>(e.buffer);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto buf = std::make_unique<Buffer>();
+  buf->tid = static_cast<uint32_t>(buffers_.size() + 1);
+  Buffer* raw = buf.get();
+  buffers_.push_back(std::move(buf));
+  t_buffers.push_back({id_, raw});
+  return *raw;
+}
+
+void TraceRecorder::append(TraceEvent e) {
+  Buffer& b = local_buffer();
+  e.tid = b.tid;
+  std::lock_guard<std::mutex> lock(b.mu);  // uncontended except vs export
+  b.events.push_back(std::move(e));
+}
+
+void TraceRecorder::complete(const char* category, std::string name,
+                             double ts_us, double dur_us, std::string args) {
+  TraceEvent e;
+  e.phase = TraceEvent::Phase::kComplete;
+  e.category = category;
+  e.name = std::move(name);
+  e.args = std::move(args);
+  e.ts_us = ts_us;
+  e.dur_us = dur_us;
+  append(std::move(e));
+}
+
+void TraceRecorder::instant(const char* category, std::string name,
+                            std::string args) {
+  TraceEvent e;
+  e.phase = TraceEvent::Phase::kInstant;
+  e.category = category;
+  e.name = std::move(name);
+  e.args = std::move(args);
+  e.ts_us = now_us();
+  append(std::move(e));
+}
+
+void TraceRecorder::counter(const char* category, std::string name,
+                            double value) {
+  TraceEvent e;
+  e.phase = TraceEvent::Phase::kCounter;
+  e.category = category;
+  e.name = std::move(name);
+  e.ts_us = now_us();
+  e.value = value;
+  append(std::move(e));
+}
+
+size_t TraceRecorder::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& b : buffers_) {
+    std::lock_guard<std::mutex> bl(b->mu);
+    n += b->events.size();
+  }
+  return n;
+}
+
+size_t TraceRecorder::thread_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& b : buffers_) {
+    std::lock_guard<std::mutex> bl(b->mu);
+    if (!b->events.empty()) ++n;
+  }
+  return n;
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& b : buffers_) {
+      std::lock_guard<std::mutex> bl(b->mu);
+      out.insert(out.end(), b->events.begin(), b->events.end());
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+  return out;
+}
+
+std::string TraceRecorder::chrome_trace_json() const {
+  std::vector<TraceEvent> evs = events();
+  std::string out;
+  out.reserve(evs.size() * 96 + 64);
+  out += "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : evs) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    out += json_escape(e.name);
+    out += "\",\"cat\":\"";
+    out += json_escape(e.category);
+    out += "\",\"ph\":\"";
+    switch (e.phase) {
+      case TraceEvent::Phase::kComplete: out += 'X'; break;
+      case TraceEvent::Phase::kInstant: out += 'i'; break;
+      case TraceEvent::Phase::kCounter: out += 'C'; break;
+    }
+    out += "\",\"ts\":";
+    append_number(out, e.ts_us);
+    if (e.phase == TraceEvent::Phase::kComplete) {
+      out += ",\"dur\":";
+      append_number(out, e.dur_us);
+    }
+    out += ",\"pid\":1,\"tid\":";
+    out += std::to_string(e.tid);
+    if (e.phase == TraceEvent::Phase::kInstant) {
+      out += ",\"s\":\"t\"";  // thread-scoped instant
+    }
+    if (e.phase == TraceEvent::Phase::kCounter) {
+      out += ",\"args\":{\"value\":";
+      append_number(out, e.value);
+      out += '}';
+    } else if (!e.args.empty()) {
+      out += ",\"args\":{";
+      out += e.args;
+      out += '}';
+    }
+    out += '}';
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// TraceSpan
+// ---------------------------------------------------------------------------
+
+void TraceSpan::begin(TraceRecorder* rec, const char* category,
+                      std::string name) {
+  if (!rec) return;
+  rec_ = rec;
+  category_ = category;
+  name_ = std::move(name);
+  t0_us_ = rec->now_us();
+}
+
+void TraceSpan::end() {
+  if (!rec_) return;
+  double t1 = rec_->now_us();
+  rec_->complete(category_, std::move(name_), t0_us_, t1 - t0_us_,
+                 std::move(args_));
+  rec_ = nullptr;
+}
+
+}  // namespace lm::obs

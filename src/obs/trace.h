@@ -1,0 +1,170 @@
+// Runtime tracing (§7: "runtime introspection").
+//
+// A lock-cheap per-thread event recorder. Threads append events to private
+// buffers (one uncontended mutex per buffer keeps export TSan-clean); the
+// recorder merges them on export into Chrome `chrome://tracing` /
+// Perfetto-compatible JSON.
+//
+// Cost model: when no recorder is installed, instrumentation must be a
+// single relaxed atomic load and no allocation. Call sites therefore guard
+// on TraceRecorder::current() before building event names:
+//
+//   if (auto* rec = obs::TraceRecorder::current()) {
+//     obs::TraceSpan span(rec, "runtime", "task:" + id);
+//     ...
+//   }
+//
+// or use the inert-by-default TraceSpan with static-string names:
+//
+//   obs::TraceSpan span("gpu", "launch");   // no-op when nothing installed
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lm::obs {
+
+/// One recorded event. `category` must point at static storage (string
+/// literals at the instrumentation points).
+struct TraceEvent {
+  enum class Phase : uint8_t {
+    kComplete,  // span: ts + dur           (Chrome "ph":"X")
+    kInstant,   // point event              (Chrome "ph":"i")
+    kCounter,   // sampled counter value    (Chrome "ph":"C")
+  };
+  Phase phase = Phase::kInstant;
+  const char* category = "";
+  std::string name;
+  /// Pre-rendered JSON object *body* (no braces), e.g. "\"n\":3" — empty
+  /// for no args. Rendered under "args" on export.
+  std::string args;
+  double ts_us = 0;   // microseconds since recorder creation
+  double dur_us = 0;  // kComplete only
+  double value = 0;   // kCounter only
+  uint32_t tid = 0;   // recorder-assigned, dense from 1
+};
+
+/// Escapes a string for embedding inside a JSON string literal.
+std::string json_escape(const std::string& s);
+
+/// Tiny builder for TraceEvent::args bodies:
+///   JsonArgs().add("task", id).add("n", 42).str() → "\"task\":\"P.a\",\"n\":42"
+class JsonArgs {
+ public:
+  JsonArgs& add(const char* key, const std::string& value);
+  JsonArgs& add(const char* key, const char* value);
+  JsonArgs& add(const char* key, uint64_t value);
+  JsonArgs& add(const char* key, int value);
+  JsonArgs& add(const char* key, double value);
+  JsonArgs& add(const char* key, bool value);
+  /// Adds a pre-rendered JSON value (array/object) verbatim.
+  JsonArgs& add_raw(const char* key, const std::string& json);
+  std::string str() && { return std::move(body_); }
+  const std::string& str() const& { return body_; }
+
+ private:
+  void key(const char* k);
+  std::string body_;
+};
+
+class TraceRecorder {
+ public:
+  TraceRecorder();
+  ~TraceRecorder();  // uninstalls itself if still installed
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Makes this recorder the process-wide sink. Only one recorder may be
+  /// installed at a time (LM_CHECKed).
+  void install();
+  void uninstall();
+
+  /// The installed recorder, or nullptr when tracing is off. One relaxed
+  /// atomic load — the fast-path guard for every instrumentation point.
+  static TraceRecorder* current() {
+    return g_current.load(std::memory_order_acquire);
+  }
+
+  /// Microseconds since this recorder was created.
+  double now_us() const;
+
+  // -- event emission (thread-safe; appends to the calling thread's buffer)
+  void complete(const char* category, std::string name, double ts_us,
+                double dur_us, std::string args = {});
+  void instant(const char* category, std::string name, std::string args = {});
+  void counter(const char* category, std::string name, double value);
+
+  // -- inspection / export
+  size_t event_count() const;
+  /// Merged snapshot of all thread buffers, sorted by timestamp.
+  std::vector<TraceEvent> events() const;
+  /// The complete Chrome-trace document: {"traceEvents":[...],...}.
+  std::string chrome_trace_json() const;
+  /// Number of distinct threads that recorded at least one event.
+  size_t thread_count() const;
+
+ private:
+  struct Buffer {
+    uint32_t tid = 0;
+    mutable std::mutex mu;  // uncontended: one writer (the owning thread)
+    std::vector<TraceEvent> events;
+  };
+
+  Buffer& local_buffer();
+  void append(TraceEvent e);
+
+  static std::atomic<TraceRecorder*> g_current;
+
+  const uint64_t id_;  // process-unique, never reused (TLS cache key)
+  const std::chrono::steady_clock::time_point t0_;
+  mutable std::mutex mu_;  // guards buffers_ vector growth
+  std::vector<std::unique_ptr<Buffer>> buffers_;
+};
+
+/// RAII span. Inert when default-constructed or when no recorder is
+/// installed; records a kComplete event on destruction otherwise.
+class TraceSpan {
+ public:
+  /// Inert span; attach with begin().
+  TraceSpan() = default;
+  /// Static-name convenience: guards internally, allocates nothing when
+  /// tracing is off (both arguments must be string literals).
+  TraceSpan(const char* category, const char* name) {
+    if (TraceRecorder* rec = TraceRecorder::current()) {
+      begin(rec, category, name);
+    }
+  }
+  /// Call-site-guarded form for dynamic names.
+  TraceSpan(TraceRecorder* rec, const char* category, std::string name) {
+    begin(rec, category, std::move(name));
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  void begin(TraceRecorder* rec, const char* category, std::string name);
+  /// Attaches a JSON args body to the event emitted at end().
+  void set_args(std::string args_body) { args_ = std::move(args_body); }
+  /// Emits the span now (idempotent; also called by the destructor).
+  void end();
+  ~TraceSpan() { end(); }
+
+  bool active() const { return rec_ != nullptr; }
+
+ private:
+  TraceRecorder* rec_ = nullptr;
+  const char* category_ = "";
+  std::string name_;
+  std::string args_;
+  double t0_us_ = 0;
+};
+
+}  // namespace lm::obs

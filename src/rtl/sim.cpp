@@ -1,5 +1,7 @@
 #include "rtl/sim.h"
 
+#include <atomic>
+
 namespace lm::rtl {
 
 RtlSim::RtlSim(const Module& module) : module_(module) {
@@ -63,6 +65,14 @@ void RtlSim::clock_edge() {
   dirty_ = true;
 }
 
+namespace {
+std::atomic<uint64_t> g_total_cycles{0};
+}  // namespace
+
+uint64_t RtlSim::total_cycles() {
+  return g_total_cycles.load(std::memory_order_relaxed);
+}
+
 void RtlSim::step(int n) {
   for (int i = 0; i < n; ++i) {
     settle();
@@ -71,6 +81,8 @@ void RtlSim::step(int n) {
     settle();
     ++cycle_;
   }
+  g_total_cycles.fetch_add(static_cast<uint64_t>(n),
+                           std::memory_order_relaxed);
 }
 
 void RtlSim::reset(int cycles) {

@@ -50,6 +50,11 @@ class RtlSim {
 
   uint64_t cycle() const { return cycle_; }
 
+  /// Process-wide count of simulated clock cycles across every RtlSim
+  /// instance — the "FPGA time" denominator for runtime metrics (each
+  /// FpgaRunStats covers one run; this survives the simulators' lifetimes).
+  static uint64_t total_cycles();
+
   /// Attaches a VCD waveform writer; every subsequent step dumps changes.
   /// The returned buffer can be written to a file by the caller.
   void attach_vcd(std::shared_ptr<VcdWriter> vcd);

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "bytecode/compiler.h"
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace lm::runtime {
@@ -163,6 +164,10 @@ std::vector<Value> GpuKernelArtifact::process(
 
 Value GpuKernelArtifact::run_map(std::span<const Value> args,
                                  uint32_t array_mask) {
+  obs::TraceSpan span;
+  if (obs::TraceRecorder* rec = obs::TraceRecorder::current()) {
+    span.begin(rec, "gpu", "map:" + manifest_.task_id);
+  }
   ++transfer_.batches;
   serde::NativeBoundary boundary;
   // Marshal each operand: arrays elementwise, scalars broadcast.
@@ -223,6 +228,10 @@ Value GpuKernelArtifact::run_map(std::span<const Value> args,
 Value GpuKernelArtifact::run_reduce(const Value& array) {
   LM_CHECK_MSG(manifest_.param_types.size() == 2,
                "reduce kernel must be binary");
+  obs::TraceSpan span;
+  if (obs::TraceRecorder* rec = obs::TraceRecorder::current()) {
+    span.begin(rec, "gpu", "reduce:" + manifest_.task_id);
+  }
   ++transfer_.batches;
   serde::NativeBoundary boundary;
   auto arr_t = lime::Type::value_array(manifest_.return_type);
@@ -285,7 +294,20 @@ std::vector<Value> FpgaModuleArtifact::process(
   CValue dev_in = elements_to_device(inputs, elem_type, boundary, transfer_);
 
   fpga::FpgaRunStats stats;
-  CValue dev_out = filter_.process(dev_in, &stats);
+  CValue dev_out;
+  {
+    obs::TraceSpan span;
+    if (obs::TraceRecorder* rec = obs::TraceRecorder::current()) {
+      span.begin(rec, "fpga", "rtl:" + manifest_.task_id);
+    }
+    dev_out = filter_.process(dev_in, &stats);
+    if (span.active()) {
+      span.set_args(obs::JsonArgs()
+                        .add("elements", static_cast<uint64_t>(inputs.size()))
+                        .add("cycles", stats.cycles)
+                        .str());
+    }
+  }
   cycles_ += stats.cycles;
 
   auto out = elements_from_device(dev_out, manifest_.return_type, boundary,

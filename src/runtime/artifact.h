@@ -13,6 +13,7 @@
 // native boundary, convert to dense C values, compute, and mirror back.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <span>
 #include <string>
@@ -45,13 +46,16 @@ struct ArtifactManifest {
   std::string to_string() const;
 };
 
-/// Transfer/marshaling statistics a device artifact accumulates.
+/// Transfer/marshaling statistics a device artifact accumulates. Atomic:
+/// an artifact is looked up from the shared store, so two concurrently
+/// running graphs (or a graph and the AccelHooks map path) may drive the
+/// same instance from different threads.
 struct TransferStats {
-  uint64_t batches = 0;
-  uint64_t elements_in = 0;
-  uint64_t elements_out = 0;
-  uint64_t bytes_to_device = 0;
-  uint64_t bytes_from_device = 0;
+  std::atomic<uint64_t> batches{0};
+  std::atomic<uint64_t> elements_in{0};
+  std::atomic<uint64_t> elements_out{0};
+  std::atomic<uint64_t> bytes_to_device{0};
+  std::atomic<uint64_t> bytes_from_device{0};
 };
 
 class Artifact {
@@ -126,11 +130,13 @@ class FpgaModuleArtifact final : public Artifact {
   std::vector<bc::Value> process(std::span<const bc::Value> inputs) override;
 
   fpga::FpgaFilter& filter() { return filter_; }
-  uint64_t total_cycles() const { return cycles_; }
+  uint64_t total_cycles() const {
+    return cycles_.load(std::memory_order_relaxed);
+  }
 
  private:
   fpga::FpgaFilter filter_;
-  uint64_t cycles_ = 0;
+  std::atomic<uint64_t> cycles_{0};
 };
 
 }  // namespace lm::runtime

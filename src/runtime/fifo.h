@@ -25,6 +25,7 @@ class ValueFifo {
     not_full_.wait(lock, [&] { return q_.size() < capacity_ || closed_; });
     if (closed_) return false;
     q_.push_back(std::move(v));
+    if (q_.size() > high_water_) high_water_ = q_.size();
     not_empty_.notify_one();
     return true;
   }
@@ -72,11 +73,25 @@ class ValueFifo {
 
   size_t capacity() const { return capacity_; }
 
+  /// Maximum queue occupancy ever observed (the §7 introspection metric:
+  /// a FIFO that runs at capacity marks the producer side as the
+  /// bottleneck; one that never fills marks the consumer).
+  size_t high_water() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return high_water_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return q_.size();
+  }
+
  private:
   const size_t capacity_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable not_full_, not_empty_;
   std::deque<bc::Value> q_;
+  size_t high_water_ = 0;
   bool finished_ = false;
   bool closed_ = false;
 };

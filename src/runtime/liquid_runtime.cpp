@@ -10,6 +10,9 @@
 namespace lm::runtime {
 
 using bc::Value;
+using obs::JsonArgs;
+using obs::TraceRecorder;
+using obs::TraceSpan;
 
 // ---------------------------------------------------------------------------
 // Runtime graph representation (§4.1)
@@ -45,6 +48,10 @@ struct LiquidRuntime::RtGraph {
   std::mutex err_mu;
   std::exception_ptr error;
 
+  /// start() timestamp when a recorder was installed (for the graph.run
+  /// span emitted at finish()); negative when untraced.
+  double trace_start_us = -1;
+
   /// A graph may be start()ed and never finish()ed (the paper's start() is
   /// fire-and-forget); joining here keeps thread teardown safe when the
   /// last handle drops.
@@ -62,6 +69,37 @@ struct LiquidRuntime::RtGraph {
       f->close();
     }
   }
+};
+
+/// Cached instrument pointers: one registry lookup at construction, one
+/// relaxed atomic RMW per increment afterwards.
+struct LiquidRuntime::HotCounters {
+  obs::MetricsRegistry::Counter* graphs_executed;
+  obs::MetricsRegistry::Counter* elements_streamed;
+  obs::MetricsRegistry::Counter* maps_accelerated;
+  obs::MetricsRegistry::Counter* maps_interpreted;
+  obs::MetricsRegistry::Counter* reduces_accelerated;
+  obs::MetricsRegistry::Counter* reduces_interpreted;
+  obs::MetricsRegistry::Counter* candidates_profiled;
+  obs::MetricsRegistry::Counter* substitutions;
+  obs::MetricsRegistry::Counter* bytes_to_device;
+  obs::MetricsRegistry::Counter* bytes_from_device;
+  obs::MetricsRegistry::Counter* device_batches;
+  obs::MetricsRegistry::MaxGauge* fifo_high_water;
+
+  explicit HotCounters(obs::MetricsRegistry& m)
+      : graphs_executed(&m.counter("runtime.graphs_executed")),
+        elements_streamed(&m.counter("runtime.elements_streamed")),
+        maps_accelerated(&m.counter("runtime.maps_accelerated")),
+        maps_interpreted(&m.counter("runtime.maps_interpreted")),
+        reduces_accelerated(&m.counter("runtime.reduces_accelerated")),
+        reduces_interpreted(&m.counter("runtime.reduces_interpreted")),
+        candidates_profiled(&m.counter("runtime.candidates_profiled")),
+        substitutions(&m.counter("runtime.substitutions")),
+        bytes_to_device(&m.counter("marshal.bytes_to_device")),
+        bytes_from_device(&m.counter("marshal.bytes_from_device")),
+        device_batches(&m.counter("marshal.device_batches")),
+        fifo_high_water(&m.max_gauge("fifo.high_water")) {}
 };
 
 std::shared_ptr<LiquidRuntime::RtGraph> LiquidRuntime::graph_of(
@@ -83,6 +121,7 @@ LiquidRuntime::LiquidRuntime(CompiledProgram& program, RuntimeConfig config)
     : program_(program), config_(config), interp_(*program.bytecode) {
   LM_CHECK_MSG(program.bytecode != nullptr,
                "runtime needs a compiled program");
+  hot_ = std::make_unique<HotCounters>(metrics_);
   interp_.set_task_host(this);
   interp_.set_accel_hooks(this);
 }
@@ -92,6 +131,63 @@ LiquidRuntime::~LiquidRuntime() = default;
 Value LiquidRuntime::call(const std::string& qualified_name,
                           std::vector<Value> args) {
   return interp_.call(qualified_name, std::move(args));
+}
+
+const RuntimeStats& LiquidRuntime::stats() const {
+  RuntimeStats s;
+  {
+    std::lock_guard<std::mutex> lock(subs_mu_);
+    s.substitutions = substitutions_;
+  }
+  s.graphs_executed = hot_->graphs_executed->value();
+  s.elements_streamed = hot_->elements_streamed->value();
+  s.maps_accelerated = hot_->maps_accelerated->value();
+  s.maps_interpreted = hot_->maps_interpreted->value();
+  s.reduces_accelerated = hot_->reduces_accelerated->value();
+  s.reduces_interpreted = hot_->reduces_interpreted->value();
+  s.candidates_profiled = hot_->candidates_profiled->value();
+  s.bytes_to_device = hot_->bytes_to_device->value();
+  s.bytes_from_device = hot_->bytes_from_device->value();
+  s.fifo_high_water = hot_->fifo_high_water->value();
+  stats_snapshot_ = std::move(s);
+  return stats_snapshot_;
+}
+
+void LiquidRuntime::reset_stats() {
+  metrics_.reset();
+  std::lock_guard<std::mutex> lock(subs_mu_);
+  substitutions_.clear();
+}
+
+const char* LiquidRuntime::placement_name() const {
+  switch (config_.placement) {
+    case Placement::kAuto: return "auto";
+    case Placement::kCpuOnly: return "cpu";
+    case Placement::kGpuOnly: return "gpu";
+    case Placement::kFpgaOnly: return "fpga";
+    case Placement::kAdaptive: return "adaptive";
+  }
+  return "?";
+}
+
+void LiquidRuntime::record_substitution(SubstitutionRecord rec,
+                                        std::string extra_args) {
+  hot_->substitutions->add();
+  if (TraceRecorder* r = TraceRecorder::current()) {
+    std::string body = JsonArgs()
+                           .add("tasks", rec.task_ids)
+                           .add("device", to_string(rec.device))
+                           .add("fused", rec.fused)
+                           .add("policy", placement_name())
+                           .str();
+    if (!extra_args.empty()) {
+      body += ',';
+      body += extra_args;
+    }
+    r->instant("decision", "substitution", std::move(body));
+  }
+  std::lock_guard<std::mutex> lock(subs_mu_);
+  substitutions_.push_back(std::move(rec));
 }
 
 // ---------------------------------------------------------------------------
@@ -153,6 +249,7 @@ Value LiquidRuntime::connect(Value lhs, Value rhs) {
 void LiquidRuntime::substitute(RtGraph& g) {
   if (g.substituted) return;
   g.substituted = true;
+  TraceSpan span("runtime", "substitute");
   if (config_.placement == Placement::kAdaptive) {
     substitute_adaptive(g);
     return;
@@ -160,8 +257,8 @@ void LiquidRuntime::substitute(RtGraph& g) {
   if (config_.placement == Placement::kCpuOnly) {
     for (const auto& n : g.nodes) {
       if (n.kind == RtNode::Kind::kFilter && n.relocated) {
-        stats_.substitutions.push_back(
-            {n.task_id, DeviceKind::kCpu, /*fused=*/false});
+        record_substitution({n.task_id, DeviceKind::kCpu, /*fused=*/false},
+                            {});
       }
     }
     return;
@@ -220,8 +317,8 @@ void LiquidRuntime::substitute(RtGraph& g) {
         if (k) joined += "+";
         joined += ids[k];
       }
-      stats_.substitutions.push_back(
-          {joined, seg->manifest().device, /*fused=*/true});
+      record_substitution({joined, seg->manifest().device, /*fused=*/true},
+                          {});
       i = j;
       continue;
     }
@@ -240,12 +337,12 @@ void LiquidRuntime::substitute(RtGraph& g) {
         dev.arity = chosen->manifest().arity;
         dev.label = chosen->manifest().task_id;
         out.push_back(std::move(dev));
-        stats_.substitutions.push_back(
-            {f.task_id, chosen->manifest().device, /*fused=*/false});
+        record_substitution(
+            {f.task_id, chosen->manifest().device, /*fused=*/false}, {});
       } else {
         out.push_back(f);
-        stats_.substitutions.push_back(
-            {f.task_id, DeviceKind::kCpu, /*fused=*/false});
+        record_substitution({f.task_id, DeviceKind::kCpu, /*fused=*/false},
+                            {});
       }
     }
     i = j;
@@ -262,13 +359,17 @@ void LiquidRuntime::substitute_adaptive(RtGraph& g) {
   stream.reserve(k_cal);
   for (size_t i = 0; i < k_cal; ++i) stream.push_back(bc::array_get(*src, i));
 
+  // Candidate scores are rendered into the decision event so a trace shows
+  // not just the winner but every loser and by how much.
+  const bool tracing = TraceRecorder::current() != nullptr;
+
   auto profile = [&](Artifact* a,
                      const std::vector<Value>& in) -> std::pair<double,
                                                                std::vector<Value>> {
     size_t arity = static_cast<size_t>(a->manifest().arity);
     size_t usable = (in.size() / arity) * arity;
     std::span<const Value> batch(in.data(), usable);
-    ++stats_.candidates_profiled;
+    hot_->candidates_profiled->add();
     if (usable == 0) return {0.0, {}};
     // Warm once, then time the better of two runs.
     std::vector<Value> out = a->process(batch);
@@ -280,6 +381,26 @@ void LiquidRuntime::substitute_adaptive(RtGraph& g) {
       best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
     }
     return {best, std::move(out)};
+  };
+
+  /// One "{"tasks":...,"device":...,"time_us":...}" entry per candidate.
+  auto cand_entry = [](Artifact* a, double seconds) {
+    return "{" +
+           JsonArgs()
+               .add("tasks", a->manifest().task_id)
+               .add("device", to_string(a->manifest().device))
+               .add("time_us", seconds * 1e6)
+               .str() +
+           "}";
+  };
+  auto join_entries = [](const std::vector<std::string>& entries) {
+    std::string out = "[";
+    for (size_t k = 0; k < entries.size(); ++k) {
+      if (k) out += ',';
+      out += entries[k];
+    }
+    out += ']';
+    return out;
   };
 
   // Candidate ordering breaks ties toward accelerators (paper default).
@@ -328,9 +449,11 @@ void LiquidRuntime::substitute_adaptive(RtGraph& g) {
     Artifact* fused_best = nullptr;
     double fused_time = 1e300;
     std::vector<Value> fused_out;
+    std::vector<std::string> fused_cands;
     if (ids.size() > 1 && config_.allow_fusion) {
       for (Artifact* cand : candidates_for(ArtifactStore::segment_id(ids))) {
         auto [t, out] = profile(cand, stream);
+        if (tracing) fused_cands.push_back(cand_entry(cand, t));
         if (t < fused_time) {
           fused_time = t;
           fused_best = cand;
@@ -342,13 +465,16 @@ void LiquidRuntime::substitute_adaptive(RtGraph& g) {
     // Plan B: each filter independently on its best device.
     double chain_time = 0;
     std::vector<Artifact*> chain_choice;
+    std::vector<std::vector<std::string>> chain_cands;
     std::vector<Value> chain_stream = stream;
     for (size_t k = i; k < j; ++k) {
       Artifact* best = nullptr;
       double best_t = 1e300;
       std::vector<Value> best_out;
+      std::vector<std::string> cands;
       for (Artifact* cand : candidates_for(g.nodes[k].task_id)) {
         auto [t, out] = profile(cand, chain_stream);
+        if (tracing) cands.push_back(cand_entry(cand, t));
         if (t < best_t) {
           best_t = t;
           best = cand;
@@ -359,6 +485,7 @@ void LiquidRuntime::substitute_adaptive(RtGraph& g) {
                    "no artifact at all for " << g.nodes[k].task_id);
       chain_time += best_t;
       chain_choice.push_back(best);
+      chain_cands.push_back(std::move(cands));
       chain_stream = std::move(best_out);
     }
 
@@ -374,8 +501,23 @@ void LiquidRuntime::substitute_adaptive(RtGraph& g) {
         if (k) joined += "+";
         joined += ids[k];
       }
-      stats_.substitutions.push_back(
-          {joined, fused_best->manifest().device, /*fused=*/true});
+      std::string extra;
+      if (tracing) {
+        // The losing per-filter plan rides along so the trace explains
+        // *why* fusion won.
+        std::vector<std::string> all = fused_cands;
+        for (auto& cs : chain_cands) {
+          all.insert(all.end(), cs.begin(), cs.end());
+        }
+        extra = JsonArgs()
+                    .add("fused_time_us", fused_time * 1e6)
+                    .add("chain_time_us", chain_time * 1e6)
+                    .add_raw("candidates", join_entries(all))
+                    .str();
+      }
+      record_substitution(
+          {joined, fused_best->manifest().device, /*fused=*/true},
+          std::move(extra));
       stream = std::move(fused_out);
     } else {
       for (size_t k = 0; k < chain_choice.size(); ++k) {
@@ -390,8 +532,18 @@ void LiquidRuntime::substitute_adaptive(RtGraph& g) {
           dev.label = a->manifest().task_id;
           rewritten.push_back(std::move(dev));
         }
-        stats_.substitutions.push_back(
-            {g.nodes[i + k].task_id, a->manifest().device, /*fused=*/false});
+        std::string extra;
+        if (tracing) {
+          JsonArgs e;
+          if (!fused_cands.empty()) {
+            e.add("fused_time_us", fused_time * 1e6);
+          }
+          e.add_raw("candidates", join_entries(chain_cands[k]));
+          extra = std::move(e).str();
+        }
+        record_substitution(
+            {g.nodes[i + k].task_id, a->manifest().device, /*fused=*/false},
+            std::move(extra));
       }
       stream = std::move(chain_stream);
     }
@@ -433,6 +585,9 @@ void LiquidRuntime::start(Value graph) {
     execute(*g);
     return;
   }
+  if (TraceRecorder* rec = TraceRecorder::current()) {
+    g->trace_start_us = rec->now_us();
+  }
   run_threaded(*g);  // spawns threads; finish() joins
   g->started = true;
 }
@@ -447,45 +602,88 @@ void LiquidRuntime::finish(Value graph) {
     return;
   }
   // Started earlier: join.
-  for (auto& t : g->threads) t.join();
-  g->threads.clear();
-  g->executed = true;
-  ++stats_.graphs_executed;
-  stats_.elements_streamed += g->nodes.front().array.as_array()->size();
-  if (g->error) std::rethrow_exception(g->error);
+  finalize_graph(*g);
 }
 
 void LiquidRuntime::execute(RtGraph& g) {
   if (config_.use_threads) {
+    if (TraceRecorder* rec = TraceRecorder::current()) {
+      g.trace_start_us = rec->now_us();
+    }
     run_threaded(g);
-    for (auto& t : g.threads) t.join();
-    g.threads.clear();
-    stats_.elements_streamed += g.nodes.front().array.as_array()->size();
+    finalize_graph(g);
   } else {
+    TraceSpan span("runtime", "graph.run");
     run_inline(g);
+    g.executed = true;
+    hot_->graphs_executed->add();
+    if (g.error) std::rethrow_exception(g.error);
   }
+}
+
+/// Joins worker threads, harvests per-graph observability (FIFO high-water
+/// marks), and rethrows the first task error.
+void LiquidRuntime::finalize_graph(RtGraph& g) {
+  for (auto& t : g.threads) t.join();
+  g.threads.clear();
   g.executed = true;
-  ++stats_.graphs_executed;
+  hot_->graphs_executed->add();
+  hot_->elements_streamed->add(g.nodes.front().array.as_array()->size());
+
+  TraceRecorder* rec = TraceRecorder::current();
+  for (size_t i = 0; i < g.fifos.size(); ++i) {
+    uint64_t hw = g.fifos[i]->high_water();
+    hot_->fifo_high_water->observe(hw);
+    if (rec) {
+      rec->counter("fifo", "fifo." + std::to_string(i) + ".high_water",
+                   static_cast<double>(hw));
+    }
+  }
+  if (rec && g.trace_start_us >= 0) {
+    rec->complete("runtime", "graph.run", g.trace_start_us,
+                  rec->now_us() - g.trace_start_us,
+                  JsonArgs()
+                      .add("nodes", static_cast<uint64_t>(g.nodes.size()))
+                      .str());
+  }
   if (g.error) std::rethrow_exception(g.error);
 }
 
 void LiquidRuntime::run_inline(RtGraph& g) {
+  TraceRecorder* rec = TraceRecorder::current();
   const bc::ArrayRef& src = g.nodes.front().array.as_array();
   std::vector<Value> stream;
   stream.reserve(src->size());
   for (size_t i = 0; i < src->size(); ++i) {
     stream.push_back(bc::array_get(*src, i));
   }
-  stats_.elements_streamed += stream.size();
+  hot_->elements_streamed->add(stream.size());
 
   for (size_t ni = 1; ni + 1 < g.nodes.size(); ++ni) {
     RtNode& n = g.nodes[ni];
     if (n.kind == RtNode::Kind::kDevice) {
+      TraceSpan span;
+      if (rec) span.begin(rec, "task", "device:" + n.label);
+      const TransferStats& ts = n.artifact->transfer_stats();
+      uint64_t to0 = ts.bytes_to_device, from0 = ts.bytes_from_device;
       size_t k = static_cast<size_t>(n.arity);
       size_t usable = (stream.size() / k) * k;
       stream = n.artifact->process(
           std::span<const Value>(stream.data(), usable));
+      hot_->device_batches->add();
+      hot_->bytes_to_device->add(ts.bytes_to_device - to0);
+      hot_->bytes_from_device->add(ts.bytes_from_device - from0);
+      if (span.active()) {
+        span.set_args(JsonArgs()
+                          .add("elements", static_cast<uint64_t>(usable))
+                          .add("bytes_to_device", ts.bytes_to_device - to0)
+                          .add("bytes_from_device",
+                               ts.bytes_from_device - from0)
+                          .str());
+      }
     } else {
+      TraceSpan span;
+      if (rec) span.begin(rec, "task", "filter:" + n.task_id);
       size_t k = static_cast<size_t>(n.arity);
       std::vector<Value> next;
       next.reserve(stream.size() / k + 1);
@@ -493,6 +691,11 @@ void LiquidRuntime::run_inline(RtGraph& g) {
       for (size_t i = 0; i + k <= stream.size(); i += k) {
         for (size_t j = 0; j < k; ++j) args[j] = stream[i + j];
         next.push_back(interp_.call(n.method_index, args));
+      }
+      if (span.active()) {
+        span.set_args(JsonArgs()
+                          .add("fires", static_cast<uint64_t>(next.size()))
+                          .str());
       }
       stream = std::move(next);
     }
@@ -516,6 +719,9 @@ void LiquidRuntime::run_threaded(RtGraph& g) {
     g.fifos.push_back(std::make_shared<ValueFifo>(config_.fifo_capacity));
   }
   auto* graph = &g;
+  // Captured once: the recorder must stay installed for the graph's
+  // lifetime (install/uninstall around whole runs, not mid-stream).
+  TraceRecorder* rec = TraceRecorder::current();
 
   for (size_t ni = 0; ni < n_nodes; ++ni) {
     RtNode* node = &g.nodes[ni];
@@ -524,13 +730,20 @@ void LiquidRuntime::run_threaded(RtGraph& g) {
 
     switch (node->kind) {
       case RtNode::Kind::kSource:
-        g.threads.emplace_back([this, node, out, graph] {
+        g.threads.emplace_back([node, out, graph, rec] {
           try {
+            TraceSpan span;
+            if (rec) span.begin(rec, "task", "source");
             const bc::ArrayRef& src = node->array.as_array();
+            uint64_t pushed = 0;
             for (size_t i = 0; i < src->size(); ++i) {
               if (!out->push(bc::array_get(*src, i))) break;  // closed
+              ++pushed;
             }
             out->finish();
+            if (span.active()) {
+              span.set_args(JsonArgs().add("elements", pushed).str());
+            }
           } catch (...) {
             graph->note_error(std::current_exception());
             out->finish();
@@ -539,8 +752,10 @@ void LiquidRuntime::run_threaded(RtGraph& g) {
         break;
 
       case RtNode::Kind::kSink:
-        g.threads.emplace_back([node, in, graph] {
+        g.threads.emplace_back([node, in, graph, rec] {
           try {
+            TraceSpan span;
+            if (rec) span.begin(rec, "task", "sink");
             const bc::ArrayRef& dst = node->array.as_array();
             size_t i = 0;
             while (auto v = in->pop()) {
@@ -549,6 +764,10 @@ void LiquidRuntime::run_threaded(RtGraph& g) {
               }
               bc::array_set(*dst, i++, *v);
             }
+            if (span.active()) {
+              span.set_args(
+                  JsonArgs().add("elements", static_cast<uint64_t>(i)).str());
+            }
           } catch (...) {
             graph->note_error(std::current_exception());
           }
@@ -556,13 +775,16 @@ void LiquidRuntime::run_threaded(RtGraph& g) {
         break;
 
       case RtNode::Kind::kFilter:
-        g.threads.emplace_back([this, node, in, out, graph] {
+        g.threads.emplace_back([this, node, in, out, graph, rec] {
           try {
+            TraceSpan span;
+            if (rec) span.begin(rec, "task", "filter:" + node->task_id);
             // A private interpreter per task thread: the module is shared
             // read-only, so this is race-free.
             bc::Interpreter local(*program_.bytecode);
             size_t k = static_cast<size_t>(node->arity);
             std::vector<Value> args(k);
+            uint64_t fires = 0;
             for (;;) {
               size_t got = 0;
               for (; got < k; ++got) {
@@ -572,8 +794,12 @@ void LiquidRuntime::run_threaded(RtGraph& g) {
               }
               if (got < k) break;  // stream ended (partial firing dropped)
               if (!out->push(local.call(node->method_index, args))) break;
+              ++fires;
             }
             out->finish();
+            if (span.active()) {
+              span.set_args(JsonArgs().add("fires", fires).str());
+            }
           } catch (...) {
             graph->note_error(std::current_exception());
             out->finish();
@@ -582,8 +808,14 @@ void LiquidRuntime::run_threaded(RtGraph& g) {
         break;
 
       case RtNode::Kind::kDevice:
-        g.threads.emplace_back([this, node, in, out, graph] {
+        g.threads.emplace_back([this, node, in, out, graph, rec] {
           try {
+            TraceSpan span;
+            if (rec) span.begin(rec, "task", "device:" + node->label);
+            const TransferStats& tstats = node->artifact->transfer_stats();
+            uint64_t to0 = tstats.bytes_to_device;
+            uint64_t from0 = tstats.bytes_from_device;
+            uint64_t batches = 0, elements = 0;
             size_t k = static_cast<size_t>(node->arity);
             std::vector<Value> pending;
             for (;;) {
@@ -595,8 +827,22 @@ void LiquidRuntime::run_threaded(RtGraph& g) {
                              std::make_move_iterator(batch.end()));
               size_t usable = (pending.size() / k) * k;
               if (usable == 0) continue;
-              auto results = node->artifact->process(
-                  std::span<const Value>(pending.data(), usable));
+              std::vector<Value> results;
+              {
+                // The "drain" span: one device firing over a batch.
+                TraceSpan drain;
+                if (rec) {
+                  drain.begin(rec, "task", "drain:" + node->label);
+                  drain.set_args(
+                      JsonArgs()
+                          .add("elements", static_cast<uint64_t>(usable))
+                          .str());
+                }
+                results = node->artifact->process(
+                    std::span<const Value>(pending.data(), usable));
+              }
+              ++batches;
+              elements += usable;
               pending.erase(pending.begin(),
                             pending.begin() + static_cast<long>(usable));
               bool closed = false;
@@ -609,6 +855,19 @@ void LiquidRuntime::run_threaded(RtGraph& g) {
               if (closed) break;
             }
             out->finish();
+            hot_->device_batches->add(batches);
+            hot_->bytes_to_device->add(tstats.bytes_to_device - to0);
+            hot_->bytes_from_device->add(tstats.bytes_from_device - from0);
+            if (span.active()) {
+              span.set_args(
+                  JsonArgs()
+                      .add("batches", batches)
+                      .add("elements", elements)
+                      .add("bytes_to_device", tstats.bytes_to_device - to0)
+                      .add("bytes_from_device",
+                           tstats.bytes_from_device - from0)
+                      .str());
+            }
           } catch (...) {
             graph->note_error(std::current_exception());
             out->finish();
@@ -628,16 +887,16 @@ bool LiquidRuntime::try_map(const std::string& task_id,
                             Value* out) {
   if (!config_.accelerate_maps || config_.placement == Placement::kCpuOnly ||
       config_.placement == Placement::kFpgaOnly) {
-    ++stats_.maps_interpreted;
+    hot_->maps_interpreted->add();
     return false;
   }
   Artifact* a = program_.store.find(task_id, DeviceKind::kGpu);
   if (!a) {
-    ++stats_.maps_interpreted;
+    hot_->maps_interpreted->add();
     return false;
   }
   *out = static_cast<GpuKernelArtifact*>(a)->run_map(args, array_mask);
-  ++stats_.maps_accelerated;
+  hot_->maps_accelerated->add();
   return true;
 }
 
@@ -645,16 +904,16 @@ bool LiquidRuntime::try_reduce(const std::string& task_id, const Value& array,
                                Value* out) {
   if (!config_.accelerate_maps || config_.placement == Placement::kCpuOnly ||
       config_.placement == Placement::kFpgaOnly) {
-    ++stats_.reduces_interpreted;
+    hot_->reduces_interpreted->add();
     return false;
   }
   Artifact* a = program_.store.find(task_id, DeviceKind::kGpu);
   if (!a || array.as_array()->size() == 0) {
-    ++stats_.reduces_interpreted;
+    hot_->reduces_interpreted->add();
     return false;
   }
   *out = static_cast<GpuKernelArtifact*>(a)->run_reduce(array);
-  ++stats_.reduces_accelerated;
+  hot_->reduces_accelerated->add();
   return true;
 }
 

@@ -18,9 +18,12 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/liquid_compiler.h"
 #include "runtime/store.h"
 
@@ -64,6 +67,11 @@ struct SubstitutionRecord {
   bool fused = false;
 };
 
+/// Point-in-time view of the runtime's counters. This is a *snapshot*
+/// assembled from the thread-safe MetricsRegistry (the live counters are
+/// atomics, so task threads under use_threads=true may bump them while
+/// another thread snapshots — the old plain-uint64_t version of this struct
+/// was the live store, a latent data race).
 struct RuntimeStats {
   std::vector<SubstitutionRecord> substitutions;
   uint64_t graphs_executed = 0;
@@ -74,6 +82,11 @@ struct RuntimeStats {
   uint64_t reduces_interpreted = 0;
   /// kAdaptive: candidate artifacts profiled during calibration.
   uint64_t candidates_profiled = 0;
+  /// Marshaling traffic over all device artifacts this runtime fired.
+  uint64_t bytes_to_device = 0;
+  uint64_t bytes_from_device = 0;
+  /// Highest FIFO occupancy observed across all executed graphs.
+  uint64_t fifo_high_water = 0;
 };
 
 class LiquidRuntime : public bc::TaskGraphHost, public bc::AccelHooks {
@@ -91,8 +104,16 @@ class LiquidRuntime : public bc::TaskGraphHost, public bc::AccelHooks {
                  std::vector<bc::Value> args);
 
   bc::Interpreter& interpreter() { return interp_; }
-  const RuntimeStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = RuntimeStats{}; }
+  /// Refreshes and returns the stats snapshot. The returned reference stays
+  /// valid for the runtime's lifetime but its contents are only stable
+  /// until the next stats()/reset_stats() call — callers wanting a durable
+  /// copy should copy the struct.
+  const RuntimeStats& stats() const;
+  void reset_stats();
+  /// The live, thread-safe metric store backing stats(). Counter names are
+  /// listed in DESIGN.md §7 ("Observability").
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+  obs::MetricsRegistry& metrics() { return metrics_; }
   const RuntimeConfig& config() const { return config_; }
   void set_placement(Placement p) { config_.placement = p; }
 
@@ -112,6 +133,8 @@ class LiquidRuntime : public bc::TaskGraphHost, public bc::AccelHooks {
                   bc::Value* out) override;
 
  private:
+  struct HotCounters;
+
   std::shared_ptr<RtGraph> graph_of(const bc::Value& v);
   /// §4.2 substitution: rewrites the node list in place.
   void substitute(RtGraph& g);
@@ -120,11 +143,22 @@ class LiquidRuntime : public bc::TaskGraphHost, public bc::AccelHooks {
   void execute(RtGraph& g);
   void run_threaded(RtGraph& g);
   void run_inline(RtGraph& g);
+  /// Joins, drains FIFO/marshaling observability, rethrows graph errors.
+  void finalize_graph(RtGraph& g);
+  /// Appends to the decision log and emits a substitution-decision trace
+  /// event (`extra_args` carries the losing candidates and their scores).
+  void record_substitution(SubstitutionRecord rec, std::string extra_args);
+  const char* placement_name() const;
 
   CompiledProgram& program_;
   RuntimeConfig config_;
   bc::Interpreter interp_;
-  RuntimeStats stats_;
+
+  obs::MetricsRegistry metrics_;
+  std::unique_ptr<HotCounters> hot_;  // cached instrument pointers
+  mutable std::mutex subs_mu_;
+  std::vector<SubstitutionRecord> substitutions_;
+  mutable RuntimeStats stats_snapshot_;
 };
 
 }  // namespace lm::runtime

@@ -10,24 +10,44 @@ namespace lm::serde {
 using bc::ElemCode;
 using lime::TypeKind;
 
+namespace {
+std::atomic<uint64_t> g_total_crossings{0};
+std::atomic<uint64_t> g_total_bytes_to_native{0};
+std::atomic<uint64_t> g_total_bytes_to_host{0};
+}  // namespace
+
 std::vector<uint8_t> NativeBoundary::cross_to_native(
     std::span<const uint8_t> bytes) {
-  ++crossings_;
-  bytes_to_native_ += bytes.size();
+  crossings_.fetch_add(1, std::memory_order_relaxed);
+  bytes_to_native_.fetch_add(bytes.size(), std::memory_order_relaxed);
+  g_total_crossings.fetch_add(1, std::memory_order_relaxed);
+  g_total_bytes_to_native.fetch_add(bytes.size(), std::memory_order_relaxed);
   return {bytes.begin(), bytes.end()};
 }
 
 std::vector<uint8_t> NativeBoundary::cross_to_host(
     std::span<const uint8_t> bytes) {
-  ++crossings_;
-  bytes_to_host_ += bytes.size();
+  crossings_.fetch_add(1, std::memory_order_relaxed);
+  bytes_to_host_.fetch_add(bytes.size(), std::memory_order_relaxed);
+  g_total_crossings.fetch_add(1, std::memory_order_relaxed);
+  g_total_bytes_to_host.fetch_add(bytes.size(), std::memory_order_relaxed);
   return {bytes.begin(), bytes.end()};
 }
 
 void NativeBoundary::reset_stats() {
-  crossings_ = 0;
-  bytes_to_native_ = 0;
-  bytes_to_host_ = 0;
+  crossings_.store(0, std::memory_order_relaxed);
+  bytes_to_native_.store(0, std::memory_order_relaxed);
+  bytes_to_host_.store(0, std::memory_order_relaxed);
+}
+
+uint64_t NativeBoundary::total_bytes_to_native() {
+  return g_total_bytes_to_native.load(std::memory_order_relaxed);
+}
+uint64_t NativeBoundary::total_bytes_to_host() {
+  return g_total_bytes_to_host.load(std::memory_order_relaxed);
+}
+uint64_t NativeBoundary::total_crossings() {
+  return g_total_crossings.load(std::memory_order_relaxed);
 }
 
 namespace {

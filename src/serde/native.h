@@ -11,6 +11,7 @@
 // can consume directly.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -31,15 +32,29 @@ class NativeBoundary {
   /// Native → host copy ("NewByteArray + SetByteArrayRegion" direction).
   std::vector<uint8_t> cross_to_host(std::span<const uint8_t> bytes);
 
-  uint64_t crossings() const { return crossings_; }
-  uint64_t bytes_to_native() const { return bytes_to_native_; }
-  uint64_t bytes_to_host() const { return bytes_to_host_; }
+  uint64_t crossings() const {
+    return crossings_.load(std::memory_order_relaxed);
+  }
+  uint64_t bytes_to_native() const {
+    return bytes_to_native_.load(std::memory_order_relaxed);
+  }
+  uint64_t bytes_to_host() const {
+    return bytes_to_host_.load(std::memory_order_relaxed);
+  }
   void reset_stats();
 
+  /// Process-wide totals over every boundary instance (boundaries are
+  /// created per process() call, so per-instance counters alone cannot
+  /// answer "how many bytes crossed in this run").
+  static uint64_t total_bytes_to_native();
+  static uint64_t total_bytes_to_host();
+  static uint64_t total_crossings();
+
  private:
-  uint64_t crossings_ = 0;
-  uint64_t bytes_to_native_ = 0;
-  uint64_t bytes_to_host_ = 0;
+  // Atomic: a boundary may be driven while another thread reads stats.
+  std::atomic<uint64_t> crossings_{0};
+  std::atomic<uint64_t> bytes_to_native_{0};
+  std::atomic<uint64_t> bytes_to_host_{0};
 };
 
 /// A C-style value: either one scalar or a dense array. "Marshaling on the

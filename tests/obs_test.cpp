@@ -1,0 +1,571 @@
+// The observability layer: TraceRecorder/TraceSpan, MetricsRegistry, and
+// their integration with the Liquid Metal runtime.
+//
+// The Chrome-trace export is validated by *parsing it back* with a minimal
+// JSON reader — the format claim ("loads in chrome://tracing") is only as
+// good as the JSON being well-formed.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <cstring>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "runtime/liquid_runtime.h"
+#include "workloads/workloads.h"
+
+namespace lm::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// A minimal JSON parser (syntax validation + a queryable value tree).
+// ---------------------------------------------------------------------------
+
+struct Json {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool b = false;
+  double num = 0;
+  std::string str;
+  std::vector<Json> arr;
+  std::map<std::string, Json> obj;
+
+  const Json& at(const std::string& key) const {
+    auto it = obj.find(key);
+    if (it == obj.end()) {
+      static const Json kNullJson;
+      return kNullJson;
+    }
+    return it->second;
+  }
+  bool has(const std::string& key) const { return obj.count(key) > 0; }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  bool parse(Json* out) {
+    skip_ws();
+    if (!value(out)) return false;
+    skip_ws();
+    return pos_ == s_.size();  // no trailing garbage
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool literal(const char* word) {
+    size_t len = std::strlen(word);
+    if (s_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+  bool string(std::string* out) {
+    if (!consume('"')) return false;
+    out->clear();
+    while (pos_ < s_.size()) {
+      char c = s_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) return false;
+        char e = s_[pos_++];
+        switch (e) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) return false;
+            for (int i = 0; i < 4; ++i) {
+              if (!std::isxdigit(static_cast<unsigned char>(s_[pos_ + i]))) {
+                return false;
+              }
+            }
+            pos_ += 4;
+            out->push_back('?');  // codepoint value irrelevant to these tests
+            break;
+          }
+          default: return false;
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return false;  // raw control characters are invalid JSON
+      } else {
+        out->push_back(c);
+      }
+    }
+    return false;  // unterminated
+  }
+  bool value(Json* out) {
+    skip_ws();
+    if (pos_ >= s_.size()) return false;
+    char c = s_[pos_];
+    if (c == '{') {
+      ++pos_;
+      out->kind = Json::Kind::kObject;
+      skip_ws();
+      if (consume('}')) return true;
+      for (;;) {
+        std::string key;
+        skip_ws();
+        if (!string(&key)) return false;
+        if (!consume(':')) return false;
+        Json v;
+        if (!value(&v)) return false;
+        out->obj.emplace(std::move(key), std::move(v));
+        if (consume(',')) continue;
+        return consume('}');
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      out->kind = Json::Kind::kArray;
+      skip_ws();
+      if (consume(']')) return true;
+      for (;;) {
+        Json v;
+        if (!value(&v)) return false;
+        out->arr.push_back(std::move(v));
+        if (consume(',')) continue;
+        return consume(']');
+      }
+    }
+    if (c == '"') {
+      out->kind = Json::Kind::kString;
+      return string(&out->str);
+    }
+    if (c == 't') {
+      out->kind = Json::Kind::kBool;
+      out->b = true;
+      return literal("true");
+    }
+    if (c == 'f') {
+      out->kind = Json::Kind::kBool;
+      out->b = false;
+      return literal("false");
+    }
+    if (c == 'n') {
+      out->kind = Json::Kind::kNull;
+      return literal("null");
+    }
+    // Number.
+    size_t start = pos_;
+    if (c == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    out->kind = Json::Kind::kNumber;
+    out->num = std::stod(s_.substr(start, pos_ - start));
+    return true;
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+Json parse_or_die(const std::string& text) {
+  Json doc;
+  JsonParser p(text);
+  EXPECT_TRUE(p.parse(&doc)) << "invalid JSON:\n" << text;
+  return doc;
+}
+
+// ---------------------------------------------------------------------------
+// JsonArgs / json_escape
+// ---------------------------------------------------------------------------
+
+TEST(JsonArgsTest, RendersEveryValueKind) {
+  std::string body = JsonArgs()
+                         .add("s", std::string("a\"b\n"))
+                         .add("lit", "plain")
+                         .add("u", static_cast<uint64_t>(1) << 40)
+                         .add("i", -3)
+                         .add("d", 2.5)
+                         .add("t", true)
+                         .add_raw("raw", "[1,2]")
+                         .str();
+  Json doc = parse_or_die("{" + body + "}");
+  EXPECT_EQ(doc.at("s").str, "a\"b\n");
+  EXPECT_EQ(doc.at("lit").str, "plain");
+  EXPECT_EQ(doc.at("u").num, static_cast<double>(uint64_t{1} << 40));
+  EXPECT_EQ(doc.at("i").num, -3);
+  EXPECT_EQ(doc.at("d").num, 2.5);
+  EXPECT_TRUE(doc.at("t").b);
+  ASSERT_EQ(doc.at("raw").arr.size(), 2u);
+}
+
+TEST(JsonArgsTest, EscapesControlCharacters) {
+  std::string e = json_escape(std::string("\x01\t\"\\x") + '\0' + "y");
+  // Must parse as a JSON string; \u-escaped control characters come back
+  // as '?' from the test parser (their value is irrelevant here — that
+  // they escape to *valid* JSON is the point).
+  Json doc = parse_or_die("{\"k\":\"" + e + "\"}");
+  EXPECT_EQ(doc.at("k").str, "?\t\"\\x?y");
+}
+
+// ---------------------------------------------------------------------------
+// TraceRecorder / TraceSpan
+// ---------------------------------------------------------------------------
+
+TEST(TraceRecorderTest, NoRecorderRecordsNothing) {
+  ASSERT_EQ(TraceRecorder::current(), nullptr);
+  {
+    TraceSpan span("cat", "should-vanish");
+    TraceSpan inert;
+    (void)inert;
+  }
+  // Whatever happened above, a freshly installed recorder starts empty.
+  TraceRecorder rec;
+  rec.install();
+  EXPECT_EQ(rec.event_count(), 0u);
+  rec.uninstall();
+  EXPECT_EQ(TraceRecorder::current(), nullptr);
+}
+
+TEST(TraceRecorderTest, OnlyOneRecorderAtATime) {
+  TraceRecorder a;
+  a.install();
+  TraceRecorder b;
+  EXPECT_THROW(b.install(), std::exception);
+  a.uninstall();
+  b.install();
+  EXPECT_EQ(TraceRecorder::current(), &b);
+}
+
+TEST(TraceRecorderTest, SpansNestByTimestampContainment) {
+  TraceRecorder rec;
+  rec.install();
+  {
+    TraceSpan outer("t", "outer");
+    {
+      TraceSpan inner("t", "inner");
+    }
+  }
+  rec.uninstall();
+  auto events = rec.events();
+  ASSERT_EQ(events.size(), 2u);
+  // events() sorts by ts: outer began first.
+  const TraceEvent& outer = events[0];
+  const TraceEvent& inner = events[1];
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(inner.name, "inner");
+  EXPECT_LE(outer.ts_us, inner.ts_us);
+  EXPECT_GE(outer.ts_us + outer.dur_us, inner.ts_us + inner.dur_us)
+      << "inner span must end within the outer span";
+}
+
+TEST(TraceRecorderTest, SpanEndIsIdempotent) {
+  TraceRecorder rec;
+  rec.install();
+  TraceSpan span("t", "once");
+  span.end();
+  span.end();
+  rec.uninstall();
+  EXPECT_EQ(rec.event_count(), 1u);
+}
+
+TEST(TraceRecorderTest, EventsFromManyThreadsAllArrive) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  TraceRecorder rec;
+  rec.install();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        TraceSpan span("mt", "w");
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  rec.uninstall();
+  EXPECT_EQ(rec.event_count(), static_cast<size_t>(kThreads * kPerThread));
+  EXPECT_EQ(rec.thread_count(), static_cast<size_t>(kThreads));
+  // Every event carries its thread's dense id.
+  auto events = rec.events();
+  for (const auto& e : events) {
+    EXPECT_GE(e.tid, 1u);
+    EXPECT_LE(e.tid, static_cast<uint32_t>(kThreads));
+  }
+}
+
+TEST(TraceRecorderTest, SecondRecorderAfterFirstDiesGetsFreshBuffers) {
+  {
+    TraceRecorder first;
+    first.install();
+    TraceSpan span("t", "old");
+  }  // destructor uninstalls
+  TraceRecorder second;
+  second.install();
+  {
+    TraceSpan span("t", "new");
+  }
+  second.uninstall();
+  ASSERT_EQ(second.event_count(), 1u);
+  EXPECT_EQ(second.events()[0].name, "new");
+}
+
+TEST(TraceRecorderTest, ChromeTraceJsonParsesBackCorrectly) {
+  TraceRecorder rec;
+  rec.install();
+  {
+    TraceSpan span(TraceRecorder::current(), "cat\\a", "span \"quoted\"");
+    span.set_args(JsonArgs().add("n", 3).str());
+  }
+  rec.instant("i", "marker", JsonArgs().add("why", "test").str());
+  rec.counter("c", "queue", 5);
+  rec.uninstall();
+
+  Json doc = parse_or_die(rec.chrome_trace_json());
+  ASSERT_TRUE(doc.has("traceEvents"));
+  const auto& evs = doc.at("traceEvents").arr;
+  ASSERT_EQ(evs.size(), 3u);
+
+  const Json* complete = nullptr;
+  const Json* instant = nullptr;
+  const Json* counter = nullptr;
+  for (const auto& e : evs) {
+    if (e.at("ph").str == "X") complete = &e;
+    if (e.at("ph").str == "i") instant = &e;
+    if (e.at("ph").str == "C") counter = &e;
+  }
+  ASSERT_NE(complete, nullptr);
+  ASSERT_NE(instant, nullptr);
+  ASSERT_NE(counter, nullptr);
+
+  EXPECT_EQ(complete->at("name").str, "span \"quoted\"");
+  EXPECT_EQ(complete->at("cat").str, "cat\\a");
+  EXPECT_GE(complete->at("dur").num, 0.0);
+  EXPECT_EQ(complete->at("args").at("n").num, 3);
+
+  EXPECT_EQ(instant->at("name").str, "marker");
+  EXPECT_EQ(instant->at("s").str, "t");
+  EXPECT_EQ(instant->at("args").at("why").str, "test");
+
+  EXPECT_EQ(counter->at("name").str, "queue");
+  EXPECT_EQ(counter->at("args").at("value").num, 5);
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistryTest, CountersAggregateAcrossThreads) {
+  MetricsRegistry reg;
+  auto& c = reg.counter("hits");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.add();
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.value(), static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(reg.value("hits"), c.value());
+}
+
+TEST(MetricsRegistryTest, MaxGaugeKeepsMaximumUnderContention) {
+  MetricsRegistry reg;
+  auto& g = reg.max_gauge("peak");
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&g, t] {
+      for (int i = 0; i < 5000; ++i) {
+        g.observe(static_cast<uint64_t>(t * 10000 + i));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(g.value(), static_cast<uint64_t>((kThreads - 1) * 10000 + 4999));
+}
+
+TEST(MetricsRegistryTest, SnapshotSummaryAndReset) {
+  MetricsRegistry reg;
+  reg.counter("b").add(2);
+  reg.counter("a").add(1);
+  reg.counter("zero");
+  reg.max_gauge("hw").observe(7);
+  auto snap = reg.snapshot();
+  EXPECT_EQ(snap.at("a"), 1u);
+  EXPECT_EQ(snap.at("b"), 2u);
+  EXPECT_EQ(snap.at("hw"), 7u);
+  EXPECT_EQ(snap.at("zero"), 0u);
+  EXPECT_EQ(reg.summary(), "a=1 b=2 hw=7");
+  EXPECT_EQ(reg.summary(/*include_zeros=*/true), "a=1 b=2 hw=7 zero=0");
+
+  auto& a = reg.counter("a");  // cached pointer survives reset
+  reg.reset();
+  EXPECT_EQ(reg.value("a"), 0u);
+  EXPECT_EQ(reg.value("hw"), 0u);
+  a.add();
+  EXPECT_EQ(reg.value("a"), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Runtime integration
+// ---------------------------------------------------------------------------
+
+const workloads::Workload& intpipe() {
+  return workloads::pipeline_suite()[0];
+}
+
+TEST(RuntimeObservability, ThreadedRunPopulatesMetricsAndStats) {
+  auto cp = runtime::compile(intpipe().lime_source);
+  ASSERT_TRUE(cp->ok());
+  runtime::RuntimeConfig rc;
+  rc.placement = runtime::Placement::kGpuOnly;
+  rc.fifo_capacity = 64;
+  runtime::LiquidRuntime rt(*cp, rc);
+  rt.call(intpipe().entry, intpipe().make_args(512, 3));
+
+  const runtime::RuntimeStats& s = rt.stats();
+  EXPECT_EQ(s.graphs_executed, 1u);
+  EXPECT_EQ(s.elements_streamed, 512u);
+  EXPECT_GT(s.bytes_to_device, 0u);
+  EXPECT_GT(s.bytes_from_device, 0u);
+  // A bounded FIFO saw some occupancy but never more than its capacity.
+  EXPECT_GE(s.fifo_high_water, 1u);
+  EXPECT_LE(s.fifo_high_water, 64u);
+
+  EXPECT_EQ(rt.metrics().value("runtime.graphs_executed"), 1u);
+  EXPECT_EQ(rt.metrics().value("runtime.elements_streamed"), 512u);
+  EXPECT_EQ(rt.metrics().value("fifo.high_water"), s.fifo_high_water);
+
+  rt.reset_stats();
+  EXPECT_EQ(rt.stats().graphs_executed, 0u);
+  EXPECT_TRUE(rt.stats().substitutions.empty());
+}
+
+/// Regression for the RuntimeStats data race: metrics are read continuously
+/// from another thread while task threads mutate them. Under
+/// -DLM_SANITIZE=thread the old plain-uint64_t counters fail this test.
+TEST(RuntimeObservability, ConcurrentMetricReadsDuringThreadedRuns) {
+  auto cp = runtime::compile(intpipe().lime_source);
+  ASSERT_TRUE(cp->ok());
+  runtime::RuntimeConfig rc;
+  rc.placement = runtime::Placement::kGpuOnly;
+  runtime::LiquidRuntime rt(*cp, rc);
+
+  std::atomic<bool> done{false};
+  uint64_t observed = 0;
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      observed += rt.metrics().value("runtime.elements_streamed");
+      observed += rt.stats().graphs_executed;
+    }
+  });
+  auto args = intpipe().make_args(1024, 5);
+  for (int i = 0; i < 5; ++i) {
+    rt.call(intpipe().entry, args);
+  }
+  done.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(rt.stats().graphs_executed, 5u);
+  EXPECT_EQ(rt.stats().elements_streamed, 5u * 1024u);
+}
+
+TEST(RuntimeObservability, TracedRunEmitsDecisionAndTaskSpans) {
+  auto cp = runtime::compile(intpipe().lime_source);
+  ASSERT_TRUE(cp->ok());
+  runtime::RuntimeConfig rc;
+  rc.placement = runtime::Placement::kAuto;
+  runtime::LiquidRuntime rt(*cp, rc);
+
+  TraceRecorder rec;
+  rec.install();
+  rt.call(intpipe().entry, intpipe().make_args(256, 9));
+  rec.uninstall();
+
+  Json doc = parse_or_die(rec.chrome_trace_json());
+  const auto& evs = doc.at("traceEvents").arr;
+  size_t decisions = 0, task_spans = 0, graph_spans = 0, fifo_counters = 0;
+  for (const auto& e : evs) {
+    const std::string& cat = e.at("cat").str;
+    if (cat == "decision") {
+      ++decisions;
+      EXPECT_TRUE(e.at("args").has("device"));
+      EXPECT_TRUE(e.at("args").has("policy"));
+    }
+    if (cat == "task" && e.at("ph").str == "X") ++task_spans;
+    if (cat == "runtime" && e.at("name").str == "graph.run") ++graph_spans;
+    if (cat == "fifo" && e.at("ph").str == "C") ++fifo_counters;
+  }
+  // One decision per substituted region, spans for source/sink/device.
+  EXPECT_EQ(decisions, rt.stats().substitutions.size());
+  EXPECT_GE(decisions, 1u);
+  EXPECT_GE(task_spans, 3u);
+  EXPECT_EQ(graph_spans, 1u);
+  EXPECT_GE(fifo_counters, 2u);
+}
+
+TEST(RuntimeObservability, AdaptiveDecisionCarriesCandidateScores) {
+  workloads::register_native_kernels();
+  auto cp = runtime::compile(intpipe().lime_source);
+  ASSERT_TRUE(cp->ok());
+  runtime::RuntimeConfig rc;
+  rc.placement = runtime::Placement::kAdaptive;
+  runtime::LiquidRuntime rt(*cp, rc);
+
+  TraceRecorder rec;
+  rec.install();
+  rt.call(intpipe().entry, intpipe().make_args(512, 11));
+  rec.uninstall();
+
+  Json doc = parse_or_die(rec.chrome_trace_json());
+  size_t with_candidates = 0;
+  for (const auto& e : doc.at("traceEvents").arr) {
+    if (e.at("cat").str != "decision") continue;
+    const Json& cands = e.at("args").at("candidates");
+    ASSERT_EQ(cands.kind, Json::Kind::kArray);
+    EXPECT_GE(cands.arr.size(), 1u);
+    for (const auto& c : cands.arr) {
+      EXPECT_TRUE(c.has("device"));
+      EXPECT_TRUE(c.has("time_us"));
+      EXPECT_GE(c.at("time_us").num, 0.0);
+    }
+    ++with_candidates;
+  }
+  EXPECT_GE(with_candidates, 1u);
+  EXPECT_GT(rt.stats().candidates_profiled, 0u);
+}
+
+TEST(RuntimeObservability, UntracedRunLeavesNoEventsBehind) {
+  auto cp = runtime::compile(intpipe().lime_source);
+  ASSERT_TRUE(cp->ok());
+  runtime::LiquidRuntime rt(*cp);
+  rt.call(intpipe().entry, intpipe().make_args(128, 1));  // tracing off
+
+  TraceRecorder rec;
+  rec.install();
+  rec.uninstall();
+  EXPECT_EQ(rec.event_count(), 0u);
+}
+
+}  // namespace
+}  // namespace lm::obs

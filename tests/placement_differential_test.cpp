@@ -1,0 +1,145 @@
+// Placement differential coverage: every workload in the suite must produce
+// identical results under every placement policy — substitution choices are
+// performance decisions, never semantic ones ("functionally-equivalent
+// configurations", §4.2). kAdaptive is the interesting case: its choice
+// depends on profiling timings, so this test also pins down that a
+// *timing-dependent* plan still computes the same function.
+#include <gtest/gtest.h>
+
+#include "runtime/liquid_runtime.h"
+#include "workloads/workloads.h"
+
+namespace lm::workloads {
+namespace {
+
+using bc::Value;
+using runtime::LiquidRuntime;
+using runtime::Placement;
+using runtime::RuntimeConfig;
+
+constexpr Placement kAllPlacements[] = {Placement::kCpuOnly,
+                                        Placement::kGpuOnly, Placement::kAuto,
+                                        Placement::kAdaptive};
+
+const char* placement_label(Placement p) {
+  switch (p) {
+    case Placement::kCpuOnly: return "cpu";
+    case Placement::kGpuOnly: return "gpu";
+    case Placement::kFpgaOnly: return "fpga";
+    case Placement::kAuto: return "auto";
+    case Placement::kAdaptive: return "adaptive";
+  }
+  return "?";
+}
+
+Value run_under(const Workload& w, Placement placement, size_t n,
+                uint64_t seed) {
+  auto cp = runtime::compile(w.lime_source);
+  EXPECT_TRUE(cp->ok()) << w.name << ":\n" << cp->diags.to_string();
+  RuntimeConfig rc;
+  rc.placement = placement;
+  LiquidRuntime rt(*cp, rc);
+  return rt.call(w.entry, w.make_args(n, seed));
+}
+
+struct Case {
+  const Workload* w;
+  bool is_pipeline;
+};
+
+std::vector<Case> all_cases() {
+  std::vector<Case> out;
+  for (const auto& w : gpu_suite()) out.push_back({&w, false});
+  for (const auto& w : pipeline_suite()) out.push_back({&w, true});
+  return out;
+}
+
+class PlacementDifferential : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(PlacementDifferential, AllPoliciesAgreeWithReference) {
+  const Case c = all_cases()[GetParam()];
+  const Workload& w = *c.w;
+  const size_t n = w.name == "nbody" || w.name == "matmul" ? 256 : 1024;
+  const uint64_t seed = 424242;
+
+  // Reductions re-associate on the device; everything else is elementwise
+  // and must agree bit-exactly (integer workloads always exact).
+  const double tol = w.name == "sumreduce" ? 1e-5 : 0.0;
+
+  Value expected = w.reference(w.make_args(n, seed));
+  for (Placement p : kAllPlacements) {
+    Value got = run_under(w, p, n, seed);
+    EXPECT_TRUE(results_match(got, expected, tol))
+        << w.name << " diverged under placement " << placement_label(p);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSuites, PlacementDifferential,
+    ::testing::Range<size_t>(0, all_cases().size()),
+    [](const ::testing::TestParamInfo<size_t>& info) {
+      return std::string(all_cases()[info.param].w->name) +
+             (all_cases()[info.param].is_pipeline ? "_pipe" : "");
+    });
+
+/// Same matrix with the native kernels installed: the "vendor toolflow
+/// output" path must be just as placement-invariant as kernel IR.
+class PlacementDifferentialNative : public ::testing::TestWithParam<size_t> {
+};
+
+TEST_P(PlacementDifferentialNative, AllPoliciesAgreeWithReference) {
+  register_native_kernels();
+  const Case c = all_cases()[GetParam()];
+  const Workload& w = *c.w;
+  const size_t n = w.name == "nbody" || w.name == "matmul" ? 256 : 1024;
+  const uint64_t seed = 97;
+  const double tol = w.name == "sumreduce" ? 1e-5 : 0.0;
+
+  runtime::CompileOptions copts;
+  copts.use_native_kernels = true;
+  Value expected = w.reference(w.make_args(n, seed));
+  for (Placement p : kAllPlacements) {
+    auto cp = runtime::compile(w.lime_source, copts);
+    ASSERT_TRUE(cp->ok()) << w.name;
+    RuntimeConfig rc;
+    rc.placement = p;
+    LiquidRuntime rt(*cp, rc);
+    Value got = rt.call(w.entry, w.make_args(n, seed));
+    EXPECT_TRUE(results_match(got, expected, tol))
+        << w.name << " (native) diverged under placement "
+        << placement_label(p);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSuites, PlacementDifferentialNative,
+    ::testing::Range<size_t>(0, all_cases().size()),
+    [](const ::testing::TestParamInfo<size_t>& info) {
+      return std::string(all_cases()[info.param].w->name) +
+             (all_cases()[info.param].is_pipeline ? "_pipe" : "");
+    });
+
+/// Inline (single-threaded) execution is another equivalent configuration:
+/// the pipeline suite must not depend on thread-per-task scheduling.
+TEST(PlacementDifferential, InlineSchedulingMatchesThreaded) {
+  for (const auto& w : pipeline_suite()) {
+    const size_t n = 512;
+    const uint64_t seed = 31;
+    Value expected = w.reference(w.make_args(n, seed));
+    for (Placement p : kAllPlacements) {
+      auto cp = runtime::compile(w.lime_source);
+      ASSERT_TRUE(cp->ok()) << w.name;
+      RuntimeConfig rc;
+      rc.placement = p;
+      rc.use_threads = false;
+      LiquidRuntime rt(*cp, rc);
+      Value got = rt.call(w.entry, w.make_args(n, seed));
+      EXPECT_TRUE(results_match(got, expected, 0.0))
+          << w.name << " inline diverged under placement "
+          << placement_label(p);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lm::workloads

@@ -13,6 +13,12 @@
 //   lmc program.lime --run C.m --ints 1,2,3 [--placement auto|cpu|gpu|fpga|adaptive]
 //   lmc program.lime --run C.m --floats 1.5,2.5
 //   lmc program.lime --run C.m --bits 100
+//   lmc program.lime --run C.m --ints .. --trace=out.json --metrics
+//
+// --trace records the run as Chrome-trace JSON (open in chrome://tracing
+// or https://ui.perfetto.dev): per-task execution spans, substitution
+// decisions with candidate scores, GPU launches, FPGA cycle counts, FIFO
+// high-water counters. --metrics prints the runtime counter summary.
 //
 // The --run input becomes a single value-array argument (int[[]]/float[[]]
 // /bit[[]]) — the calling convention of every workload entry point in this
@@ -21,6 +27,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "obs/trace.h"
 #include "runtime/liquid_runtime.h"
 #include "runtime/repository.h"
 #include "util/strings.h"
@@ -33,7 +40,8 @@ int usage() {
   std::cerr << "usage: lmc <file.lime> [--emit=opencl|verilog|bytecode|graphs]\n"
                "           [--run Class.method (--ints a,b,.. | --floats a,b,..\n"
                "            | --bits 0101..)] [--placement auto|cpu|gpu|fpga|adaptive]\n"
-               "           [--no-gpu] [--no-fpga] [--quiet]\n";
+               "           [--no-gpu] [--no-fpga] [--quiet]\n"
+               "           [--trace=<file.json>] [--metrics]\n";
   return 2;
 }
 
@@ -60,6 +68,8 @@ int main(int argc, char** argv) {
   runtime::Placement placement = runtime::Placement::kAuto;
   runtime::CompileOptions copts;
   bool quiet = false;
+  std::string trace_path;
+  bool want_metrics = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
@@ -92,6 +102,12 @@ int main(int argc, char** argv) {
       copts.enable_fpga = false;
     } else if (a == "--quiet") {
       quiet = true;
+    } else if (a.rfind("--trace=", 0) == 0) {
+      trace_path = a.substr(8);
+    } else if (a == "--trace") {
+      trace_path = next("--trace");
+    } else if (a == "--metrics") {
+      want_metrics = true;
     } else if (!a.empty() && a[0] == '-') {
       std::cerr << "lmc: unknown flag " << a << "\n";
       return usage();
@@ -193,6 +209,13 @@ int main(int argc, char** argv) {
   runtime::RuntimeConfig rc;
   rc.placement = placement;
   runtime::LiquidRuntime rt(*program, rc);
+
+  std::unique_ptr<obs::TraceRecorder> recorder;
+  if (!trace_path.empty()) {
+    recorder = std::make_unique<obs::TraceRecorder>();
+    recorder->install();
+  }
+
   try {
     bc::Value out = rt.call(run_entry, std::move(args));
     std::cout << out.to_string() << "\n";
@@ -206,6 +229,24 @@ int main(int argc, char** argv) {
   } catch (const std::exception& e) {
     std::cerr << "lmc: runtime error: " << e.what() << "\n";
     return 1;
+  }
+
+  if (recorder) {
+    recorder->uninstall();
+    std::ofstream tf(trace_path);
+    if (!tf) {
+      std::cerr << "lmc: cannot write " << trace_path << "\n";
+      return 1;
+    }
+    tf << recorder->chrome_trace_json();
+    if (!quiet) {
+      std::cout << "# trace: " << recorder->event_count() << " event(s) from "
+                << recorder->thread_count() << " thread(s) -> " << trace_path
+                << "\n";
+    }
+  }
+  if (want_metrics) {
+    std::cout << "# metrics: " << rt.metrics().summary() << "\n";
   }
   return 0;
 }
