@@ -111,29 +111,84 @@ void print_summary() {
   std::printf("\n=== E6: pipeline scheduling summary (n = 32768) ===\n");
   lm::bench::Table table({"depth", "inline (ms)", "threads (ms)",
                           "gpu fused (ms)", "gpu per-filter (ms)"});
+  lm::bench::JsonReport json("pipeline");
   size_t n = 1u << 15;
   for (int depth : {1, 2, 3}) {
     auto cp = runtime::compile(pipeline_source(depth));
     auto args = make_input(n);
-    auto run = [&](runtime::Placement p, bool threads, bool fusion) {
+    auto run = [&](const char* label, runtime::Placement p, bool threads,
+                   bool fusion) {
       runtime::RuntimeConfig rc;
       rc.placement = p;
       rc.use_threads = threads;
       rc.allow_fusion = fusion;
-      return lm::bench::time_best([&] {
+      lm::bench::SampleStats st = lm::bench::time_stats([&] {
         runtime::LiquidRuntime rt(*cp, rc);
         rt.call("Pipe.run", args);
       });
+      json.add("depth=" + std::to_string(depth) + "/" + label,
+               {{"wall_ms", st.best_s * 1e3},
+                {"p50_ms", st.p50_s * 1e3},
+                {"p99_ms", st.p99_s * 1e3},
+                {"reps", static_cast<double>(st.reps)}});
+      return st.best_s;
     };
     table.row(
         {std::to_string(depth),
-         lm::bench::fmt(run(runtime::Placement::kCpuOnly, false, true) * 1e3),
-         lm::bench::fmt(run(runtime::Placement::kCpuOnly, true, true) * 1e3),
-         lm::bench::fmt(run(runtime::Placement::kGpuOnly, true, true) * 1e3),
-         lm::bench::fmt(run(runtime::Placement::kGpuOnly, true, false) *
+         lm::bench::fmt(
+             run("inline", runtime::Placement::kCpuOnly, false, true) * 1e3),
+         lm::bench::fmt(
+             run("threads", runtime::Placement::kCpuOnly, true, true) * 1e3),
+         lm::bench::fmt(
+             run("gpu-fused", runtime::Placement::kGpuOnly, true, true) *
+             1e3),
+         lm::bench::fmt(run("gpu-per-filter", runtime::Placement::kGpuOnly,
+                            true, false) *
                         1e3)});
   }
   table.print();
+
+  // Observability overhead ablation (depth=3, fused GPU, threaded): the
+  // flight-recorder + cost-model record path is always on and included in
+  // the baseline; the rows below add an installed trace recorder and the
+  // mid-run re-substitution check on top.
+  {
+    auto cp = runtime::compile(pipeline_source(3));
+    auto args = make_input(n);
+    auto timed = [&](const char* label, bool trace, bool resub) {
+      runtime::RuntimeConfig rc;
+      rc.placement = runtime::Placement::kGpuOnly;
+      if (resub) {
+        rc.placement = runtime::Placement::kAdaptive;
+        rc.enable_resubstitution = true;
+      }
+      obs::TraceRecorder recorder;
+      if (trace) recorder.install();
+      lm::bench::SampleStats st = lm::bench::time_stats([&] {
+        runtime::LiquidRuntime rt(*cp, rc);
+        rt.call("Pipe.run", args);
+      });
+      if (trace) recorder.uninstall();
+      json.add(std::string("overhead/") + label,
+               {{"wall_ms", st.best_s * 1e3},
+                {"p50_ms", st.p50_s * 1e3},
+                {"p99_ms", st.p99_s * 1e3},
+                {"reps", static_cast<double>(st.reps)}});
+      return st.best_s;
+    };
+    double base = timed("baseline", false, false);
+    double traced = timed("trace-installed", true, false);
+    double resub = timed("resub-enabled", false, true);
+    std::printf("observability overhead (depth=3 gpu): baseline %.3f ms, "
+                "+trace %.1f%%, +resub(adaptive) %.1f%%\n",
+                base * 1e3, (traced / base - 1.0) * 100.0,
+                (resub / base - 1.0) * 100.0);
+  }
+
+  const char* json_file = "BENCH_pipeline.json";
+  if (json.write(json_file)) {
+    std::printf("json: %s\n", json_file);
+  }
   std::printf("fusion halves (or better) device batches by keeping the "
               "whole relocated region in one artifact (§4.2: prefer the "
               "larger substitution).\n");

@@ -88,6 +88,7 @@ void print_summary() {
               "IntPipe (scale => clamp => offset), n = 16384 ===\n");
   lm::bench::Table table(
       {"placement", "substitution", "time (ms)", "vs cpu"});
+  lm::bench::JsonReport json("substitution");
   auto cp = runtime::compile(intpipe().lime_source);
   auto args = intpipe().make_args(16384, 1);
   double cpu_time = 0;
@@ -100,7 +101,7 @@ void print_summary() {
     runtime::RuntimeConfig rc;
     rc.placement = placement;
     std::string subs;
-    double t = lm::bench::time_best([&] {
+    lm::bench::SampleStats st = lm::bench::time_stats([&] {
       runtime::LiquidRuntime rt(*cp, rc);
       rt.call(intpipe().entry, args);
       subs.clear();
@@ -112,11 +113,20 @@ void print_summary() {
         if (s.fused) subs += "(fused)";
       }
     });
+    double t = st.best_s;
     if (placement == runtime::Placement::kCpuOnly) cpu_time = t;
+    json.add(label, {{"wall_ms", st.best_s * 1e3},
+                     {"p50_ms", st.p50_s * 1e3},
+                     {"p99_ms", st.p99_s * 1e3},
+                     {"reps", static_cast<double>(st.reps)}});
     table.row({label, subs, lm::bench::fmt(t * 1e3),
                lm::bench::fmt(cpu_time / t, "x")});
   }
   table.print();
+  const char* json_file = "BENCH_substitution.json";
+  if (json.write(json_file)) {
+    std::printf("json: %s\n", json_file);
+  }
 
   // One traced adaptive run: the trace's "decision" events carry every
   // candidate artifact and its profiled score — the full E2 story in one

@@ -1,10 +1,13 @@
 // Shared helpers for the experiment benchmarks (E1–E7).
 #pragma once
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace lm::bench {
@@ -33,6 +36,75 @@ inline double time_best(const std::function<void()>& fn, int min_reps = 3,
   }
   return best;
 }
+
+/// Wall-clock sample statistics over repeated runs: the best (the Table
+/// headline number) plus the p50/p99 spread the BENCH_*.json files carry.
+struct SampleStats {
+  double best_s = 0;
+  double p50_s = 0;
+  double p99_s = 0;
+  int reps = 0;
+};
+
+/// Runs fn at least `min_reps` times and at least `min_seconds` total and
+/// returns best/p50/p99 over the samples.
+inline SampleStats time_stats(const std::function<void()>& fn,
+                              int min_reps = 9, double min_seconds = 0.05) {
+  std::vector<double> samples;
+  double total = 0;
+  while (static_cast<int>(samples.size()) < min_reps || total < min_seconds) {
+    double t = time_once(fn);
+    samples.push_back(t);
+    total += t;
+    if (samples.size() > 1000) break;
+  }
+  std::sort(samples.begin(), samples.end());
+  auto at = [&](double q) {
+    size_t rank = static_cast<size_t>(
+        std::ceil(q * static_cast<double>(samples.size())));
+    if (rank == 0) rank = 1;
+    return samples[std::min(rank, samples.size()) - 1];
+  };
+  return {samples.front(), at(0.5), at(0.99),
+          static_cast<int>(samples.size())};
+}
+
+/// Accumulates named rows of numeric fields and writes the machine-readable
+/// BENCH_<suite>.json files (one object per benchmark) that trend tooling
+/// diffs across runs. Names come from the benchmarks themselves, so no
+/// JSON escaping is attempted.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string suite) : suite_(std::move(suite)) {}
+
+  void add(const std::string& name,
+           std::vector<std::pair<std::string, double>> fields) {
+    entries_.push_back({name, std::move(fields)});
+  }
+
+  bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) return false;
+    std::fprintf(f, "{\"suite\":\"%s\",\"benchmarks\":[", suite_.c_str());
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      const auto& [name, fields] = entries_[i];
+      std::fprintf(f, "%s{\"name\":\"%s\"", i ? "," : "", name.c_str());
+      for (const auto& [key, value] : fields) {
+        std::fprintf(f, ",\"%s\":%.9g", key.c_str(), value);
+      }
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "]}\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  std::string suite_;
+  std::vector<std::pair<std::string,
+                        std::vector<std::pair<std::string, double>>>>
+      entries_;
+};
 
 /// Fixed-width table printer for the paper-style summary rows.
 class Table {

@@ -1,0 +1,131 @@
+// Per-(task, device) performance models (§7: "runtime introspection and
+// adaptation ... so that tasks run where they are best suited").
+//
+// Every device-node batch drain feeds one CostEntry: a latency histogram of
+// the batch wall time plus an EWMA of the per-element cost. The EWMA is
+// what the mid-run re-substitution check compares against the calibrated
+// scores of the losing candidates (StarPU-style history-based models); the
+// histogram is what the end-of-run performance report renders (p50/p90/p99
+// per task per device).
+//
+// Entries are created under a mutex but have stable addresses: a device
+// thread looks its entry up once per artifact and then records with atomic
+// ops only.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/histogram.h"
+
+namespace lm::obs {
+
+class CostEntry {
+ public:
+  /// One batch drain: wall time for `elements` stream elements. Lock-free.
+  void record_batch(double seconds, uint64_t elements, double alpha) {
+    if (elements == 0) return;
+    batch_latency_.record_seconds(seconds);
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    elements_.fetch_add(elements, std::memory_order_relaxed);
+    double x = seconds * 1e6 / static_cast<double>(elements);
+    double cur = ewma_us_per_elem_.load(std::memory_order_relaxed);
+    for (;;) {
+      double next = cur == kUnseeded ? x : cur + alpha * (x - cur);
+      if (ewma_us_per_elem_.compare_exchange_weak(cur, next,
+                                                  std::memory_order_relaxed)) {
+        return;
+      }
+    }
+  }
+
+  void record_transfer(uint64_t to_device, uint64_t from_device) {
+    bytes_to_device_.fetch_add(to_device, std::memory_order_relaxed);
+    bytes_from_device_.fetch_add(from_device, std::memory_order_relaxed);
+  }
+
+  /// Smoothed per-element cost in microseconds; 0 before the first batch.
+  double ewma_us_per_elem() const {
+    double v = ewma_us_per_elem_.load(std::memory_order_relaxed);
+    return v == kUnseeded ? 0.0 : v;
+  }
+
+  const LatencyHistogram& batch_latency() const { return batch_latency_; }
+  uint64_t batches() const { return batches_.load(std::memory_order_relaxed); }
+  uint64_t elements() const {
+    return elements_.load(std::memory_order_relaxed);
+  }
+  uint64_t bytes_to_device() const {
+    return bytes_to_device_.load(std::memory_order_relaxed);
+  }
+  uint64_t bytes_from_device() const {
+    return bytes_from_device_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr double kUnseeded = -1.0;
+
+  LatencyHistogram batch_latency_;
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> elements_{0};
+  std::atomic<uint64_t> bytes_to_device_{0};
+  std::atomic<uint64_t> bytes_from_device_{0};
+  std::atomic<double> ewma_us_per_elem_{kUnseeded};
+};
+
+class CostModelRegistry {
+ public:
+  CostModelRegistry() = default;
+  CostModelRegistry(const CostModelRegistry&) = delete;
+  CostModelRegistry& operator=(const CostModelRegistry&) = delete;
+
+  /// Finds or creates the entry for (task, device). The reference is stable
+  /// for the registry's lifetime.
+  CostEntry& entry(const std::string& task, const std::string& device) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = entries_[Key{task, device}];
+    if (!slot) slot = std::make_unique<CostEntry>();
+    return *slot;
+  }
+
+  struct Row {
+    std::string task;
+    std::string device;
+    const CostEntry* entry;
+  };
+
+  /// Every entry, sorted by (task, device) — the report's table order.
+  std::vector<Row> rows() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<Row> out;
+    out.reserve(entries_.size());
+    for (const auto& [k, v] : entries_) {
+      out.push_back({k.task, k.device, v.get()});
+    }
+    return out;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
+
+ private:
+  struct Key {
+    std::string task;
+    std::string device;
+    bool operator<(const Key& o) const {
+      if (task != o.task) return task < o.task;
+      return device < o.device;
+    }
+  };
+
+  mutable std::mutex mu_;
+  std::map<Key, std::unique_ptr<CostEntry>> entries_;
+};
+
+}  // namespace lm::obs

@@ -1,0 +1,182 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+
+#include "obs/trace.h"
+
+namespace lm::obs {
+
+namespace {
+
+double steady_now_us() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder() : t0_us_(steady_now_us()) {}
+
+FlightRecorder& FlightRecorder::instance() {
+  // Leaked on purpose: task threads may record during process teardown.
+  static FlightRecorder* g = new FlightRecorder();
+  return *g;
+}
+
+double FlightRecorder::now_us() const { return steady_now_us() - t0_us_; }
+
+FlightRecorder::Ring& FlightRecorder::local_ring() {
+  // Ring is private, so the TLS slot lives inside the member function.
+  static thread_local Ring* t_ring = nullptr;
+  if (t_ring) return *t_ring;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto ring = std::make_unique<Ring>();
+  ring->tid = static_cast<uint32_t>(rings_.size() + 1);
+  ring->slots.resize(capacity_ ? capacity_ : 1);
+  Ring* raw = ring.get();
+  rings_.push_back(std::move(ring));
+  t_ring = raw;
+  return *raw;
+}
+
+void FlightRecorder::record(const char* category, const char* name,
+                            std::string_view detail, double dur_us,
+                            uint64_t a, uint64_t b) {
+  Ring& r = local_ring();
+  FlightEvent e;
+  e.ts_us = now_us();
+  e.dur_us = dur_us;
+  e.category = category;
+  e.name = name;
+  size_t n = std::min(detail.size(), sizeof(e.detail) - 1);
+  std::memcpy(e.detail, detail.data(), n);
+  e.detail[n] = '\0';
+  e.a = a;
+  e.b = b;
+  e.tid = r.tid;
+  e.used = true;
+  std::lock_guard<std::mutex> lock(r.mu);  // uncontended except vs dump
+  r.slots[r.next] = e;
+  r.next = (r.next + 1) % r.slots.size();
+  ++r.recorded;
+}
+
+std::vector<FlightEvent> FlightRecorder::snapshot() const {
+  std::vector<FlightEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& r : rings_) {
+      std::lock_guard<std::mutex> rl(r->mu);
+      for (const FlightEvent& e : r->slots) {
+        if (e.used) out.push_back(e);
+      }
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const FlightEvent& a, const FlightEvent& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+  return out;
+}
+
+std::string FlightRecorder::chrome_trace_json(const std::string& reason) const {
+  std::vector<FlightEvent> evs = snapshot();
+  std::string out;
+  out.reserve(evs.size() * 128 + 256);
+  out += "{\"traceEvents\":[";
+  bool first = true;
+  for (const FlightEvent& e : evs) {
+    if (!first) out += ',';
+    first = false;
+    JsonArgs args;
+    if (e.detail[0]) args.add("detail", std::string(e.detail));
+    if (e.a) args.add("a", e.a);
+    if (e.b) args.add("b", e.b);
+    out += "{\"name\":\"";
+    out += json_escape(e.name);
+    out += "\",\"cat\":\"";
+    out += json_escape(e.category);
+    out += "\",\"ph\":\"";
+    out += e.dur_us < 0 ? 'i' : 'X';
+    out += "\",\"ts\":" + std::to_string(e.ts_us);
+    if (e.dur_us >= 0) out += ",\"dur\":" + std::to_string(e.dur_us);
+    out += ",\"pid\":1,\"tid\":" + std::to_string(e.tid);
+    if (e.dur_us < 0) out += ",\"s\":\"t\"";
+    const std::string& body = args.str();
+    if (!body.empty()) {
+      out += ",\"args\":{";
+      out += body;
+      out += '}';
+    }
+    out += '}';
+  }
+  out += "],\"displayTimeUnit\":\"ms\",\"metadata\":{";
+  out += JsonArgs()
+             .add("reason", reason)
+             .add("totalRecorded", total_recorded())
+             .add("ringCapacity", static_cast<uint64_t>(ring_capacity()))
+             .str();
+  out += "}}";
+  return out;
+}
+
+bool FlightRecorder::dump_to_file(const std::string& path,
+                                  const std::string& reason) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << chrome_trace_json(reason);
+  return static_cast<bool>(out);
+}
+
+uint64_t FlightRecorder::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t n = 0;
+  for (const auto& r : rings_) {
+    std::lock_guard<std::mutex> rl(r->mu);
+    n += r->recorded;
+  }
+  return n;
+}
+
+size_t FlightRecorder::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& r : rings_) {
+    std::lock_guard<std::mutex> rl(r->mu);
+    for (const FlightEvent& e : r->slots) n += e.used ? 1 : 0;
+  }
+  return n;
+}
+
+void FlightRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& r : rings_) {
+    std::lock_guard<std::mutex> rl(r->mu);
+    for (FlightEvent& e : r->slots) e.used = false;
+    r->next = 0;
+    r->recorded = 0;
+  }
+}
+
+void FlightRecorder::set_ring_capacity(size_t k) {
+  if (k == 0) k = 1;
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = k;
+  for (const auto& r : rings_) {
+    std::lock_guard<std::mutex> rl(r->mu);
+    if (r->slots.size() == k) continue;
+    r->slots.assign(k, FlightEvent{});
+    r->next = 0;
+  }
+}
+
+size_t FlightRecorder::ring_capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+}  // namespace lm::obs

@@ -1,0 +1,96 @@
+// Always-on flight recorder: the last K runtime events per thread, kept in
+// fixed-size rings so steady-state cost is a timestamp, a struct copy and
+// one uncontended mutex — no allocation, no unbounded growth. Nothing is
+// exported until something goes wrong (a task faults, a drift swap fires),
+// at which point the rings are merged into a Chrome-trace snapshot and
+// written alongside the error. This is the black box the §7 "runtime
+// introspection" story needs when no TraceRecorder was installed: the
+// crash report carries the recent scheduling history instead of nothing.
+//
+// The recorder is process-wide and always enabled; events are plain
+// structs with static-string names and a small copied detail field, so
+// recording from task threads is safe and cheap. Dump policy (where and
+// when snapshots are written) belongs to the runtime's config — the
+// recorder only captures and renders.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lm::obs {
+
+struct FlightEvent {
+  double ts_us = 0;
+  double dur_us = -1;  // < 0 → instant event, otherwise a complete span
+  const char* category = "";  // static storage only
+  const char* name = "";      // static storage only
+  char detail[48] = {0};      // truncated copy (task id, error text, ...)
+  uint64_t a = 0;             // payload (elements, batch index, ...)
+  uint64_t b = 0;             // payload (bytes, ...)
+  uint32_t tid = 0;
+  bool used = false;
+};
+
+class FlightRecorder {
+ public:
+  static constexpr size_t kDefaultRingCapacity = 256;
+
+  /// The process-wide recorder (created on first use, never destroyed).
+  static FlightRecorder& instance();
+
+  /// Microseconds since the recorder was created.
+  double now_us() const;
+
+  /// Records one event into the calling thread's ring, overwriting the
+  /// oldest entry when full. `detail` is truncated to fit the fixed slot.
+  void record(const char* category, const char* name,
+              std::string_view detail = {}, double dur_us = -1.0,
+              uint64_t a = 0, uint64_t b = 0);
+
+  /// Merged, timestamp-sorted snapshot of every thread's ring.
+  std::vector<FlightEvent> snapshot() const;
+
+  /// The snapshot rendered as a Chrome-trace document. `reason` lands in
+  /// the trace metadata so the dump explains why it exists.
+  std::string chrome_trace_json(const std::string& reason) const;
+
+  /// Renders and writes a snapshot; returns false if the file can't be
+  /// opened. Never throws (dumping happens on error paths).
+  bool dump_to_file(const std::string& path, const std::string& reason) const;
+
+  /// Total events ever recorded (including overwritten ones).
+  uint64_t total_recorded() const;
+
+  /// Events currently held across all rings.
+  size_t event_count() const;
+
+  /// Empties every ring (rings and thread bindings survive). Tests only.
+  void clear();
+
+  /// Resizes every ring (existing and future). Clears resized rings.
+  void set_ring_capacity(size_t k);
+  size_t ring_capacity() const;
+
+ private:
+  struct Ring {
+    uint32_t tid = 0;
+    mutable std::mutex mu;
+    size_t next = 0;
+    uint64_t recorded = 0;
+    std::vector<FlightEvent> slots;  // fixed size between set_ring_capacity
+  };
+
+  FlightRecorder();
+  Ring& local_ring();
+
+  const double t0_us_;  // steady_clock at creation, in microseconds
+  mutable std::mutex mu_;  // guards rings_ growth and capacity_
+  size_t capacity_ = kDefaultRingCapacity;
+  std::vector<std::unique_ptr<Ring>> rings_;
+};
+
+}  // namespace lm::obs

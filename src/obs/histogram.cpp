@@ -1,0 +1,52 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lm::obs {
+
+double LatencyHistogram::percentile_ns(double q) const {
+  uint64_t n = count();
+  if (n == 0) return 0.0;
+  if (q >= 100.0) return static_cast<double>(max_ns());
+  if (q < 0) q = 0;
+  // Rank of the requested sample, 1-based.
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q / 100.0 *
+                                                  static_cast<double>(n)));
+  if (rank == 0) rank = 1;
+  if (rank > n) rank = n;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBucketCount; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= rank) {
+      // Bucket midpoints quantize upward; never report past the true max.
+      return std::min(bucket_mid(i), static_cast<double>(max_ns()));
+    }
+  }
+  // Concurrent recorders can make the per-bucket sum lag count_; fall back
+  // to the exact maximum.
+  return static_cast<double>(max_ns());
+}
+
+void LatencyHistogram::merge_into(LatencyHistogram& dst) const {
+  for (size_t i = 0; i < kBucketCount; ++i) {
+    uint64_t c = buckets_[i].load(std::memory_order_relaxed);
+    if (c) dst.buckets_[i].fetch_add(c, std::memory_order_relaxed);
+  }
+  dst.count_.fetch_add(count(), std::memory_order_relaxed);
+  dst.sum_ns_.fetch_add(sum_ns(), std::memory_order_relaxed);
+  uint64_t m = max_ns();
+  uint64_t cur = dst.max_ns_.load(std::memory_order_relaxed);
+  while (m > cur && !dst.max_ns_.compare_exchange_weak(
+                        cur, m, std::memory_order_relaxed)) {
+  }
+}
+
+void LatencyHistogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_ns_.store(0, std::memory_order_relaxed);
+  max_ns_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace lm::obs

@@ -1,0 +1,108 @@
+// Fixed-bucket log-scale latency histogram (§7: runtime introspection).
+//
+// The online profiler records one sample per device batch drain, from task
+// threads, while another thread may concurrently merge or render the
+// histogram into a report. The record path is therefore the contract:
+//
+//   * allocation-free — the bucket array is a fixed-size member,
+//   * lock-free — a handful of relaxed atomic RMWs, no mutex,
+//   * wait-free in practice — fetch_add on the bucket, sum and count; the
+//     only loop is the CAS-max for the exact maximum.
+//
+// Bucketing follows the HdrHistogram layout: values below 2·kSubBuckets
+// count exactly (one bucket per nanosecond); above that, each power-of-two
+// octave splits into kSubBuckets linear sub-buckets, so the relative
+// quantization error of any reported percentile is at most
+// 1/(2·kSubBuckets) ≈ 3.1%. 61 octaves × 16 sub-buckets cover 1 ns to
+// ~580 years in 976 buckets (~8 KB of atomics).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+
+namespace lm::obs {
+
+class LatencyHistogram {
+ public:
+  static constexpr uint64_t kSubBuckets = 16;       // per octave
+  static constexpr uint64_t kSubBucketBits = 4;     // log2(kSubBuckets)
+  static constexpr size_t kBucketCount =
+      (64 - kSubBucketBits + 1) * kSubBuckets;      // 976
+
+  /// Maps a nanosecond value to its bucket. Exposed for the property test
+  /// that pins the quantization-error bound.
+  static size_t bucket_index(uint64_t ns) {
+    if (ns < 2 * kSubBuckets) return static_cast<size_t>(ns);
+    // Octave = position of the most significant bit; sub-bucket = the next
+    // kSubBucketBits bits below it.
+    unsigned e = 63u - static_cast<unsigned>(std::countl_zero(ns));
+    uint64_t sub = (ns >> (e - kSubBucketBits)) - kSubBuckets;
+    return static_cast<size_t>((e - kSubBucketBits + 1) * kSubBuckets + sub);
+  }
+
+  /// Inclusive lower edge of a bucket, in nanoseconds.
+  static uint64_t bucket_lower(size_t index) {
+    if (index < 2 * kSubBuckets) return static_cast<uint64_t>(index);
+    uint64_t octave = index / kSubBuckets;        // >= 2
+    uint64_t sub = index % kSubBuckets;
+    unsigned shift = static_cast<unsigned>(octave - 1);
+    return (kSubBuckets + sub) << shift;
+  }
+
+  /// Representative (midpoint) value of a bucket, in nanoseconds.
+  static double bucket_mid(size_t index) {
+    uint64_t lo = bucket_lower(index);
+    uint64_t width = index < 2 * kSubBuckets
+                         ? 1
+                         : (uint64_t{1} << (index / kSubBuckets - 1));
+    return static_cast<double>(lo) + static_cast<double>(width) / 2.0;
+  }
+
+  /// Records one sample. Safe from any thread; never allocates.
+  void record_ns(uint64_t ns) {
+    buckets_[bucket_index(ns)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_ns_.fetch_add(ns, std::memory_order_relaxed);
+    uint64_t cur = max_ns_.load(std::memory_order_relaxed);
+    while (ns > cur && !max_ns_.compare_exchange_weak(
+                           cur, ns, std::memory_order_relaxed)) {
+    }
+  }
+
+  void record_seconds(double s) {
+    if (s < 0) s = 0;
+    record_ns(static_cast<uint64_t>(s * 1e9));
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum_ns() const { return sum_ns_.load(std::memory_order_relaxed); }
+  uint64_t max_ns() const { return max_ns_.load(std::memory_order_relaxed); }
+  double mean_ns() const {
+    uint64_t n = count();
+    return n ? static_cast<double>(sum_ns()) / static_cast<double>(n) : 0.0;
+  }
+
+  /// The q-th percentile (q in [0,100]) as the midpoint of the bucket
+  /// holding the ⌈q/100·n⌉-th smallest sample; q=100 returns the exact
+  /// recorded maximum. 0 when empty. Safe to call concurrently with
+  /// record_ns (the answer is then a point-in-time approximation).
+  double percentile_ns(double q) const;
+  double percentile_us(double q) const { return percentile_ns(q) / 1e3; }
+
+  /// Adds this histogram's contents into `dst`. Both sides may be
+  /// concurrently recording.
+  void merge_into(LatencyHistogram& dst) const;
+
+  /// Zeroes every bucket (not linearizable against concurrent recorders).
+  void reset();
+
+ private:
+  std::array<std::atomic<uint64_t>, kBucketCount> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_ns_{0};
+  std::atomic<uint64_t> max_ns_{0};
+};
+
+}  // namespace lm::obs

@@ -1,0 +1,186 @@
+#include "obs/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace lm::obs {
+
+namespace {
+
+std::string fmt_us(double us) {
+  char buf[64];
+  if (us >= 1000.0) {
+    std::snprintf(buf, sizeof buf, "%.1f", us);
+  } else if (us >= 1.0) {
+    std::snprintf(buf, sizeof buf, "%.2f", us);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.4f", us);
+  }
+  return buf;
+}
+
+/// Minimal fixed-width table (obs cannot reach the bench helpers).
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers)
+      : rows_{std::move(headers)} {}
+
+  void row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void render(std::string& out) const {
+    std::vector<size_t> width(rows_.front().size());
+    for (const auto& r : rows_) {
+      for (size_t i = 0; i < r.size() && i < width.size(); ++i) {
+        width[i] = std::max(width[i], r[i].size());
+      }
+    }
+    for (size_t ri = 0; ri < rows_.size(); ++ri) {
+      out += "| ";
+      for (size_t i = 0; i < width.size(); ++i) {
+        const std::string& cell = i < rows_[ri].size() ? rows_[ri][i] : "";
+        out += cell;
+        out.append(width[i] - cell.size() + 1, ' ');
+        out += "| ";
+      }
+      out += '\n';
+      if (ri == 0) {
+        out += '|';
+        for (size_t i = 0; i < width.size(); ++i) {
+          out.append(width[i] + 3, '-');
+          out += '|';
+        }
+        out += '\n';
+      }
+    }
+  }
+
+ private:
+  std::vector<std::vector<std::string>> rows_;  // rows_[0] = headers
+};
+
+}  // namespace
+
+std::string PerfReport::to_text() const {
+  std::string out;
+  out += "== Liquid Metal performance report (policy: " + policy + ") ==\n";
+  if (tasks.empty()) {
+    out += "no device batches recorded (nothing ran on a profiled node)\n";
+  } else {
+    out += "per-task / per-device batch drain latency:\n";
+    TextTable t({"task", "device", "batches", "elements", "p50 (us)",
+                 "p90 (us)", "p99 (us)", "max (us)", "us/elem (ewma)",
+                 "bytes->dev", "bytes<-dev"});
+    for (const TaskRow& r : tasks) {
+      t.row({r.task, r.device, std::to_string(r.batches),
+             std::to_string(r.elements), fmt_us(r.p50_us), fmt_us(r.p90_us),
+             fmt_us(r.p99_us), fmt_us(r.max_us), fmt_us(r.ewma_us_per_elem),
+             std::to_string(r.bytes_to_device),
+             std::to_string(r.bytes_from_device)});
+    }
+    t.render(out);
+  }
+
+  out += "substitutions:\n";
+  if (substitutions.empty()) out += "  (none)\n";
+  for (const Substitution& s : substitutions) {
+    out += "  " + s.tasks + " -> " + s.device + (s.fused ? " (fused)" : "") +
+           "\n";
+  }
+
+  out += "re-substitutions:\n";
+  if (resubstitutions.empty()) out += "  (none)\n";
+  for (const Resubstitution& r : resubstitutions) {
+    out += "  " + r.tasks + ": " + r.from_device + " -> " + r.to_device +
+           " at batch " + std::to_string(r.at_batch) + " (live " +
+           fmt_us(r.live_us_per_elem) + " us/elem vs calibrated " +
+           fmt_us(r.calibrated_us_per_elem) + "; before p50 " +
+           fmt_us(r.before_p50_us) + " us, p99 " + fmt_us(r.before_p99_us) +
+           " us)\n";
+  }
+
+  out += "counters:";
+  bool any = false;
+  for (const auto& [name, value] : metrics) {
+    if (value == 0) continue;
+    out += any ? " " : " ";
+    out += name + "=" + std::to_string(value);
+    any = true;
+  }
+  if (!any) out += " (none)";
+  out += '\n';
+  out += "dropped trace events: " + std::to_string(dropped_trace_events) +
+         "\n";
+  return out;
+}
+
+std::string PerfReport::to_json() const {
+  std::string out = "{";
+  out += JsonArgs().add("policy", policy).str();
+
+  out += ",\"tasks\":[";
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    const TaskRow& r = tasks[i];
+    if (i) out += ',';
+    out += '{';
+    out += JsonArgs()
+               .add("task", r.task)
+               .add("device", r.device)
+               .add("batches", r.batches)
+               .add("elements", r.elements)
+               .add("p50_us", r.p50_us)
+               .add("p90_us", r.p90_us)
+               .add("p99_us", r.p99_us)
+               .add("max_us", r.max_us)
+               .add("mean_us", r.mean_us)
+               .add("us_per_elem_ewma", r.ewma_us_per_elem)
+               .add("bytes_to_device", r.bytes_to_device)
+               .add("bytes_from_device", r.bytes_from_device)
+               .str();
+    out += '}';
+  }
+  out += "],\"substitutions\":[";
+  for (size_t i = 0; i < substitutions.size(); ++i) {
+    const Substitution& s = substitutions[i];
+    if (i) out += ',';
+    out += '{';
+    out += JsonArgs()
+               .add("tasks", s.tasks)
+               .add("device", s.device)
+               .add("fused", s.fused)
+               .str();
+    out += '}';
+  }
+  out += "],\"resubstitutions\":[";
+  for (size_t i = 0; i < resubstitutions.size(); ++i) {
+    const Resubstitution& r = resubstitutions[i];
+    if (i) out += ',';
+    out += '{';
+    out += JsonArgs()
+               .add("tasks", r.tasks)
+               .add("from_device", r.from_device)
+               .add("to_device", r.to_device)
+               .add("live_us_per_elem", r.live_us_per_elem)
+               .add("calibrated_us_per_elem", r.calibrated_us_per_elem)
+               .add("before_p50_us", r.before_p50_us)
+               .add("before_p99_us", r.before_p99_us)
+               .add("at_batch", r.at_batch)
+               .str();
+    out += '}';
+  }
+  out += "],\"metrics\":{";
+  bool first = true;
+  for (const auto& [name, value] : metrics) {
+    if (!first) out += ',';
+    first = false;
+    out += JsonArgs().add(name.c_str(), value).str();
+  }
+  out += "},";
+  out += JsonArgs().add("dropped_trace_events", dropped_trace_events).str();
+  out += '}';
+  return out;
+}
+
+}  // namespace lm::obs

@@ -1,0 +1,65 @@
+// The end-of-run performance report (§7): one structure holding everything
+// the runtime learned about where work ran and how fast — the per-task ×
+// per-device cost-model table (counts, latency percentiles, marshaled
+// bytes), the substitution and re-substitution history, the raw metric
+// counters, and the observability health counters (dropped trace events).
+//
+// The runtime assembles it (LiquidRuntime::report()); this type only
+// renders — a fixed-width text table for terminals (`lmc --report`) and a
+// JSON document for machines (`lmc --report=json`, the bench trajectory
+// files). Devices are plain strings here so obs stays independent of the
+// runtime's DeviceKind.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lm::obs {
+
+struct PerfReport {
+  struct TaskRow {
+    std::string task;
+    std::string device;
+    uint64_t batches = 0;
+    uint64_t elements = 0;
+    double p50_us = 0;
+    double p90_us = 0;
+    double p99_us = 0;
+    double max_us = 0;
+    double mean_us = 0;
+    double ewma_us_per_elem = 0;
+    uint64_t bytes_to_device = 0;
+    uint64_t bytes_from_device = 0;
+  };
+
+  struct Substitution {
+    std::string tasks;
+    std::string device;
+    bool fused = false;
+  };
+
+  struct Resubstitution {
+    std::string tasks;
+    std::string from_device;
+    std::string to_device;
+    double live_us_per_elem = 0;
+    double calibrated_us_per_elem = 0;
+    double before_p50_us = 0;
+    double before_p99_us = 0;
+    uint64_t at_batch = 0;
+  };
+
+  std::string policy;  // placement policy the run used
+  std::vector<TaskRow> tasks;
+  std::vector<Substitution> substitutions;
+  std::vector<Resubstitution> resubstitutions;
+  std::map<std::string, uint64_t> metrics;
+  uint64_t dropped_trace_events = 0;
+
+  std::string to_text() const;
+  std::string to_json() const;
+};
+
+}  // namespace lm::obs

@@ -121,9 +121,11 @@ JsonArgs& JsonArgs::add_raw(const char* k, const std::string& json) {
 // TraceRecorder
 // ---------------------------------------------------------------------------
 
-TraceRecorder::TraceRecorder()
+TraceRecorder::TraceRecorder(size_t max_events_per_thread)
     : id_(g_next_recorder_id.fetch_add(1, std::memory_order_relaxed)),
-      t0_(std::chrono::steady_clock::now()) {}
+      t0_(std::chrono::steady_clock::now()),
+      max_events_per_thread_(max_events_per_thread ? max_events_per_thread
+                                                   : 1) {}
 
 TraceRecorder::~TraceRecorder() {
   TraceRecorder* self = this;
@@ -168,6 +170,12 @@ void TraceRecorder::append(TraceEvent e) {
   Buffer& b = local_buffer();
   e.tid = b.tid;
   std::lock_guard<std::mutex> lock(b.mu);  // uncontended except vs export
+  if (b.events.size() >= max_events_per_thread_) {
+    // Full buffer: drop, but never silently — the count rides along in the
+    // export metadata and the runtime's trace.dropped_events counter.
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   b.events.push_back(std::move(e));
 }
 
@@ -282,7 +290,11 @@ std::string TraceRecorder::chrome_trace_json() const {
     }
     out += '}';
   }
-  out += "],\"displayTimeUnit\":\"ms\"}";
+  out += "],\"displayTimeUnit\":\"ms\",\"metadata\":{\"droppedEvents\":";
+  out += std::to_string(dropped_events());
+  out += ",\"maxEventsPerThread\":";
+  out += std::to_string(max_events_per_thread_);
+  out += "}}";
   return out;
 }
 

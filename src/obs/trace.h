@@ -76,7 +76,13 @@ class JsonArgs {
 
 class TraceRecorder {
  public:
-  TraceRecorder();
+  /// Default per-thread event cap. Beyond it events are *dropped* (and
+  /// counted — see dropped_events()), never reallocated without bound: a
+  /// forgotten recorder on a long run must not eat the heap.
+  static constexpr size_t kDefaultMaxEventsPerThread = 1u << 18;
+
+  explicit TraceRecorder(
+      size_t max_events_per_thread = kDefaultMaxEventsPerThread);
   ~TraceRecorder();  // uninstalls itself if still installed
 
   TraceRecorder(const TraceRecorder&) = delete;
@@ -111,6 +117,15 @@ class TraceRecorder {
   /// Number of distinct threads that recorded at least one event.
   size_t thread_count() const;
 
+  /// Events rejected because a per-thread buffer hit its cap. Surfaced in
+  /// the export metadata, the runtime's `trace.dropped_events` counter and
+  /// the performance report — a silently truncated trace reads as "nothing
+  /// else happened", which is worse than an honest drop count.
+  uint64_t dropped_events() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  size_t max_events_per_thread() const { return max_events_per_thread_; }
+
  private:
   struct Buffer {
     uint32_t tid = 0;
@@ -125,6 +140,8 @@ class TraceRecorder {
 
   const uint64_t id_;  // process-unique, never reused (TLS cache key)
   const std::chrono::steady_clock::time_point t0_;
+  const size_t max_events_per_thread_;
+  std::atomic<uint64_t> dropped_{0};
   mutable std::mutex mu_;  // guards buffers_ vector growth
   std::vector<std::unique_ptr<Buffer>> buffers_;
 };

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <thread>
 
+#include "obs/flight_recorder.h"
 #include "runtime/fifo.h"
 #include "util/error.h"
 
@@ -35,6 +36,14 @@ struct LiquidRuntime::RtNode {
   // Device node (after substitution).
   Artifact* artifact = nullptr;
   std::string label;
+
+  /// kAdaptive + enable_resubstitution: every calibrated candidate for this
+  /// node (including the chosen one), so the drift check can swap mid-run.
+  struct ResubAlternative {
+    Artifact* artifact = nullptr;
+    double us_per_elem = 0;  // calibration score
+  };
+  std::vector<ResubAlternative> resub_alts;
 };
 
 struct LiquidRuntime::RtGraph {
@@ -62,6 +71,16 @@ struct LiquidRuntime::RtGraph {
   }
 
   void note_error(std::exception_ptr e) {
+    // The fault lands in the flight recorder before anything else: even if
+    // teardown hangs, the black box already holds the story.
+    try {
+      std::rethrow_exception(e);
+    } catch (const std::exception& ex) {
+      obs::FlightRecorder::instance().record("fault", "task-error", ex.what());
+    } catch (...) {
+      obs::FlightRecorder::instance().record("fault", "task-error",
+                                             "unknown exception");
+    }
     std::lock_guard<std::mutex> lock(err_mu);
     if (!error) error = e;
     // Unblock everyone.
@@ -82,6 +101,9 @@ struct LiquidRuntime::HotCounters {
   obs::MetricsRegistry::Counter* reduces_interpreted;
   obs::MetricsRegistry::Counter* candidates_profiled;
   obs::MetricsRegistry::Counter* substitutions;
+  obs::MetricsRegistry::Counter* resubstitutions;
+  obs::MetricsRegistry::Counter* trace_dropped;
+  obs::MetricsRegistry::Counter* flight_dumps;
   obs::MetricsRegistry::Counter* bytes_to_device;
   obs::MetricsRegistry::Counter* bytes_from_device;
   obs::MetricsRegistry::Counter* device_batches;
@@ -96,6 +118,9 @@ struct LiquidRuntime::HotCounters {
         reduces_interpreted(&m.counter("runtime.reduces_interpreted")),
         candidates_profiled(&m.counter("runtime.candidates_profiled")),
         substitutions(&m.counter("runtime.substitutions")),
+        resubstitutions(&m.counter("runtime.resubstitutions")),
+        trace_dropped(&m.counter("trace.dropped_events")),
+        flight_dumps(&m.counter("flight.dumps")),
         bytes_to_device(&m.counter("marshal.bytes_to_device")),
         bytes_from_device(&m.counter("marshal.bytes_from_device")),
         device_batches(&m.counter("marshal.device_batches")),
@@ -124,6 +149,12 @@ LiquidRuntime::LiquidRuntime(CompiledProgram& program, RuntimeConfig config)
   hot_ = std::make_unique<HotCounters>(metrics_);
   interp_.set_task_host(this);
   interp_.set_accel_hooks(this);
+  if (config_.flight_ring_capacity != 0 &&
+      config_.flight_ring_capacity !=
+          obs::FlightRecorder::instance().ring_capacity()) {
+    obs::FlightRecorder::instance().set_ring_capacity(
+        config_.flight_ring_capacity);
+  }
 }
 
 LiquidRuntime::~LiquidRuntime() = default;
@@ -133,11 +164,21 @@ Value LiquidRuntime::call(const std::string& qualified_name,
   return interp_.call(qualified_name, std::move(args));
 }
 
+void LiquidRuntime::sync_trace_drops() const {
+  if (TraceRecorder* r = TraceRecorder::current()) {
+    uint64_t cur = r->dropped_events();
+    uint64_t seen = trace_drops_seen_.exchange(cur, std::memory_order_relaxed);
+    if (cur > seen) hot_->trace_dropped->add(cur - seen);
+  }
+}
+
 const RuntimeStats& LiquidRuntime::stats() const {
+  sync_trace_drops();
   RuntimeStats s;
   {
     std::lock_guard<std::mutex> lock(subs_mu_);
     s.substitutions = substitutions_;
+    s.resubstitutions = resubstitutions_;
   }
   s.graphs_executed = hot_->graphs_executed->value();
   s.elements_streamed = hot_->elements_streamed->value();
@@ -149,6 +190,7 @@ const RuntimeStats& LiquidRuntime::stats() const {
   s.bytes_to_device = hot_->bytes_to_device->value();
   s.bytes_from_device = hot_->bytes_from_device->value();
   s.fifo_high_water = hot_->fifo_high_water->value();
+  s.trace_dropped_events = hot_->trace_dropped->value();
   stats_snapshot_ = std::move(s);
   return stats_snapshot_;
 }
@@ -157,6 +199,55 @@ void LiquidRuntime::reset_stats() {
   metrics_.reset();
   std::lock_guard<std::mutex> lock(subs_mu_);
   substitutions_.clear();
+  resubstitutions_.clear();
+}
+
+obs::PerfReport LiquidRuntime::report() const {
+  sync_trace_drops();
+  obs::PerfReport rep;
+  rep.policy = placement_name();
+  for (const obs::CostModelRegistry::Row& row : cost_models_.rows()) {
+    const obs::CostEntry& e = *row.entry;
+    if (e.batches() == 0) continue;
+    obs::PerfReport::TaskRow r;
+    r.task = row.task;
+    r.device = row.device;
+    r.batches = e.batches();
+    r.elements = e.elements();
+    const obs::LatencyHistogram& h = e.batch_latency();
+    r.p50_us = h.percentile_us(50);
+    r.p90_us = h.percentile_us(90);
+    r.p99_us = h.percentile_us(99);
+    r.max_us = static_cast<double>(h.max_ns()) / 1e3;
+    r.mean_us = h.mean_ns() / 1e3;
+    r.ewma_us_per_elem = e.ewma_us_per_elem();
+    r.bytes_to_device = e.bytes_to_device();
+    r.bytes_from_device = e.bytes_from_device();
+    rep.tasks.push_back(std::move(r));
+  }
+  {
+    std::lock_guard<std::mutex> lock(subs_mu_);
+    for (const SubstitutionRecord& s : substitutions_) {
+      rep.substitutions.push_back({s.task_ids, to_string(s.device), s.fused});
+    }
+    for (const ResubstitutionRecord& r : resubstitutions_) {
+      rep.resubstitutions.push_back(
+          {r.task_ids, to_string(r.from), to_string(r.to), r.live_us_per_elem,
+           r.calibrated_us_per_elem, r.before_p50_us, r.before_p99_us,
+           r.at_batch});
+    }
+  }
+  rep.metrics = metrics_.snapshot();
+  rep.dropped_trace_events = hot_->trace_dropped->value();
+  return rep;
+}
+
+void LiquidRuntime::dump_flight(const std::string& reason) const {
+  if (config_.flight_dump_path.empty()) return;
+  if (obs::FlightRecorder::instance().dump_to_file(config_.flight_dump_path,
+                                                   reason)) {
+    hot_->flight_dumps->add();
+  }
 }
 
 const char* LiquidRuntime::placement_name() const {
@@ -173,13 +264,19 @@ const char* LiquidRuntime::placement_name() const {
 void LiquidRuntime::record_substitution(SubstitutionRecord rec,
                                         std::string extra_args) {
   hot_->substitutions->add();
+  obs::FlightRecorder::instance().record("decision", "substitution",
+                                         rec.task_ids);
   if (TraceRecorder* r = TraceRecorder::current()) {
-    std::string body = JsonArgs()
-                           .add("tasks", rec.task_ids)
-                           .add("device", to_string(rec.device))
-                           .add("fused", rec.fused)
-                           .add("policy", placement_name())
-                           .str();
+    JsonArgs args;
+    args.add("tasks", rec.task_ids)
+        .add("device", to_string(rec.device))
+        .add("fused", rec.fused)
+        .add("policy", placement_name());
+    if (config_.placement == Placement::kAdaptive) {
+      args.add("calibrated", rec.calibrated);
+      if (rec.calibrated) args.add("score_us_per_elem", rec.score_us_per_elem);
+    }
+    std::string body = std::move(args).str();
     if (!extra_args.empty()) {
       body += ',';
       body += extra_args;
@@ -188,6 +285,31 @@ void LiquidRuntime::record_substitution(SubstitutionRecord rec,
   }
   std::lock_guard<std::mutex> lock(subs_mu_);
   substitutions_.push_back(std::move(rec));
+}
+
+void LiquidRuntime::record_resubstitution(ResubstitutionRecord rec) {
+  hot_->resubstitutions->add();
+  obs::FlightRecorder::instance().record(
+      "decision", "resubstitution", rec.task_ids, /*dur_us=*/-1.0,
+      rec.at_batch, static_cast<uint64_t>(rec.live_us_per_elem * 1000.0));
+  if (TraceRecorder* r = TraceRecorder::current()) {
+    r->instant("decision", "resubstitution",
+               JsonArgs()
+                   .add("tasks", rec.task_ids)
+                   .add("from", to_string(rec.from))
+                   .add("to", to_string(rec.to))
+                   .add("live_us_per_elem", rec.live_us_per_elem)
+                   .add("calibrated_us_per_elem", rec.calibrated_us_per_elem)
+                   .add("before_p50_us", rec.before_p50_us)
+                   .add("before_p99_us", rec.before_p99_us)
+                   .add("at_batch", rec.at_batch)
+                   .str());
+  }
+  // The swap is a "something changed mid-run" moment worth a black-box
+  // snapshot: it captures the drain history that triggered the decision.
+  dump_flight("resubstitution: " + rec.task_ids);
+  std::lock_guard<std::mutex> lock(subs_mu_);
+  resubstitutions_.push_back(std::move(rec));
 }
 
 // ---------------------------------------------------------------------------
@@ -363,35 +485,52 @@ void LiquidRuntime::substitute_adaptive(RtGraph& g) {
   // not just the winner but every loser and by how much.
   const bool tracing = TraceRecorder::current() != nullptr;
 
-  auto profile = [&](Artifact* a,
-                     const std::vector<Value>& in) -> std::pair<double,
-                                                               std::vector<Value>> {
+  /// A candidate's calibration result. `eligible` is false when the prefix
+  /// could not feed the artifact even once (usable == 0): such a candidate
+  /// carries no measurement and must never win on its (absent) score.
+  struct Scored {
+    Artifact* artifact = nullptr;
+    double seconds = 0;
+    double us_per_elem = 0;
+    bool eligible = false;
+  };
+
+  auto profile = [&](Artifact* a, const std::vector<Value>& in,
+                     std::vector<Value>* out) -> Scored {
     size_t arity = static_cast<size_t>(a->manifest().arity);
     size_t usable = (in.size() / arity) * arity;
+    if (usable == 0) {
+      // Regression guard: a zero time here used to make an un-runnable
+      // candidate look infinitely fast and beat every real measurement.
+      return {a, 0, 0, false};
+    }
     std::span<const Value> batch(in.data(), usable);
     hot_->candidates_profiled->add();
-    if (usable == 0) return {0.0, {}};
     // Warm once, then time the better of two runs.
-    std::vector<Value> out = a->process(batch);
+    std::vector<Value> result = a->process(batch);
     double best = 1e300;
     for (int rep = 0; rep < 2; ++rep) {
       auto t0 = std::chrono::steady_clock::now();
-      out = a->process(batch);
+      result = a->process(batch);
       auto t1 = std::chrono::steady_clock::now();
       best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
     }
-    return {best, std::move(out)};
+    *out = std::move(result);
+    return {a, best, best * 1e6 / static_cast<double>(usable), true};
   };
 
-  /// One "{"tasks":...,"device":...,"time_us":...}" entry per candidate.
-  auto cand_entry = [](Artifact* a, double seconds) {
-    return "{" +
-           JsonArgs()
-               .add("tasks", a->manifest().task_id)
-               .add("device", to_string(a->manifest().device))
-               .add("time_us", seconds * 1e6)
-               .str() +
-           "}";
+  /// One "{"tasks":...,"device":...,"time_us":...}" entry per candidate;
+  /// uncalibratable candidates show "eligible":false instead of a time.
+  auto cand_entry = [](const Scored& s) {
+    JsonArgs j;
+    j.add("tasks", s.artifact->manifest().task_id)
+        .add("device", to_string(s.artifact->manifest().device));
+    if (s.eligible) {
+      j.add("time_us", s.seconds * 1e6);
+    } else {
+      j.add("eligible", false);
+    }
+    return "{" + std::move(j).str() + "}";
   };
   auto join_entries = [](const std::vector<std::string>& entries) {
     std::string out = "[";
@@ -446,103 +585,152 @@ void LiquidRuntime::substitute_adaptive(RtGraph& g) {
     }
 
     // Plan A: the fused segment on its best device.
-    Artifact* fused_best = nullptr;
-    double fused_time = 1e300;
+    Scored fused_best;  // eligible=false until some candidate measures
     std::vector<Value> fused_out;
-    std::vector<std::string> fused_cands;
+    std::vector<std::string> fused_entries;
+    std::vector<RtNode::ResubAlternative> fused_alts;
+    std::vector<Artifact*> fused_cands;
     if (ids.size() > 1 && config_.allow_fusion) {
-      for (Artifact* cand : candidates_for(ArtifactStore::segment_id(ids))) {
-        auto [t, out] = profile(cand, stream);
-        if (tracing) fused_cands.push_back(cand_entry(cand, t));
-        if (t < fused_time) {
-          fused_time = t;
-          fused_best = cand;
+      fused_cands = candidates_for(ArtifactStore::segment_id(ids));
+      for (Artifact* cand : fused_cands) {
+        std::vector<Value> out;
+        Scored s = profile(cand, stream, &out);
+        if (tracing) fused_entries.push_back(cand_entry(s));
+        if (!s.eligible) continue;
+        fused_alts.push_back({cand, s.us_per_elem});
+        if (!fused_best.eligible || s.seconds < fused_best.seconds) {
+          fused_best = s;
           fused_out = std::move(out);
         }
       }
     }
 
     // Plan B: each filter independently on its best device.
+    struct Choice {
+      Scored best;  // best.eligible=false → static-preference fallback
+      std::vector<RtNode::ResubAlternative> alts;
+      std::vector<std::string> entries;
+    };
     double chain_time = 0;
-    std::vector<Artifact*> chain_choice;
-    std::vector<std::vector<std::string>> chain_cands;
+    bool any_chain_calibrated = false;
+    std::vector<Choice> chain;
     std::vector<Value> chain_stream = stream;
     for (size_t k = i; k < j; ++k) {
-      Artifact* best = nullptr;
-      double best_t = 1e300;
+      Choice c;
       std::vector<Value> best_out;
-      std::vector<std::string> cands;
-      for (Artifact* cand : candidates_for(g.nodes[k].task_id)) {
-        auto [t, out] = profile(cand, chain_stream);
-        if (tracing) cands.push_back(cand_entry(cand, t));
-        if (t < best_t) {
-          best_t = t;
-          best = cand;
+      std::vector<Artifact*> cands = candidates_for(g.nodes[k].task_id);
+      LM_CHECK_MSG(!cands.empty(),
+                   "no artifact at all for " << g.nodes[k].task_id);
+      for (Artifact* cand : cands) {
+        std::vector<Value> out;
+        Scored s = profile(cand, chain_stream, &out);
+        if (tracing) c.entries.push_back(cand_entry(s));
+        if (!s.eligible) continue;
+        c.alts.push_back({cand, s.us_per_elem});
+        if (!c.best.eligible || s.seconds < c.best.seconds) {
+          c.best = s;
           best_out = std::move(out);
         }
       }
-      LM_CHECK_MSG(best != nullptr,
-                   "no artifact at all for " << g.nodes[k].task_id);
-      chain_time += best_t;
-      chain_choice.push_back(best);
-      chain_cands.push_back(std::move(cands));
-      chain_stream = std::move(best_out);
+      if (c.best.eligible) {
+        any_chain_calibrated = true;
+        chain_time += c.best.seconds;
+        chain_stream = std::move(best_out);
+      } else {
+        // No candidate could be calibrated (prefix shorter than every
+        // arity). Fall back to the static §4.2 preference order —
+        // candidates_for lists accelerators first — with the record marked
+        // uncalibrated, instead of crowning a bogus zero score.
+        c.best.artifact = cands.front();
+      }
+      chain.push_back(std::move(c));
     }
 
-    if (fused_best && fused_time <= chain_time) {
+    std::string joined;
+    for (size_t k = 0; k < ids.size(); ++k) {
+      if (k) joined += "+";
+      joined += ids[k];
+    }
+
+    auto emit_device = [&](Artifact* a,
+                           std::vector<RtNode::ResubAlternative> alts) {
       RtNode dev;
       dev.kind = RtNode::Kind::kDevice;
-      dev.artifact = fused_best;
-      dev.arity = fused_best->manifest().arity;
-      dev.label = fused_best->manifest().task_id;
-      rewritten.push_back(std::move(dev));
-      std::string joined;
-      for (size_t k = 0; k < ids.size(); ++k) {
-        if (k) joined += "+";
-        joined += ids[k];
+      dev.artifact = a;
+      dev.arity = a->manifest().arity;
+      dev.label = a->manifest().task_id;
+      // A node can only re-substitute toward a *measured* alternative, so
+      // it needs at least one calibrated loser besides its own score.
+      if (config_.enable_resubstitution && alts.size() >= 2) {
+        dev.resub_alts = std::move(alts);
       }
+      rewritten.push_back(std::move(dev));
+    };
+
+    // When nothing at all could be calibrated, preserve the §4.2 static
+    // preference: the largest substitution (fused) on the preferred device.
+    const bool fused_fallback =
+        !fused_cands.empty() && !fused_best.eligible && !any_chain_calibrated;
+
+    if (fused_best.eligible && fused_best.seconds <= chain_time) {
+      emit_device(fused_best.artifact, std::move(fused_alts));
       std::string extra;
       if (tracing) {
         // The losing per-filter plan rides along so the trace explains
         // *why* fusion won.
-        std::vector<std::string> all = fused_cands;
-        for (auto& cs : chain_cands) {
-          all.insert(all.end(), cs.begin(), cs.end());
+        std::vector<std::string> all = fused_entries;
+        for (auto& c : chain) {
+          all.insert(all.end(), c.entries.begin(), c.entries.end());
         }
         extra = JsonArgs()
-                    .add("fused_time_us", fused_time * 1e6)
+                    .add("fused_time_us", fused_best.seconds * 1e6)
                     .add("chain_time_us", chain_time * 1e6)
                     .add_raw("candidates", join_entries(all))
                     .str();
       }
-      record_substitution(
-          {joined, fused_best->manifest().device, /*fused=*/true},
-          std::move(extra));
+      record_substitution({joined, fused_best.artifact->manifest().device,
+                           /*fused=*/true, fused_best.us_per_elem,
+                           /*calibrated=*/true},
+                          std::move(extra));
       stream = std::move(fused_out);
+    } else if (fused_fallback) {
+      Artifact* a = fused_cands.front();
+      emit_device(a, {});
+      std::string extra;
+      if (tracing) {
+        extra = JsonArgs()
+                    .add_raw("candidates", join_entries(fused_entries))
+                    .str();
+      }
+      record_substitution({joined, a->manifest().device, /*fused=*/true,
+                           /*score_us_per_elem=*/-1.0, /*calibrated=*/false},
+                          std::move(extra));
+      // The calibration stream was too short to advance; leave it be.
     } else {
-      for (size_t k = 0; k < chain_choice.size(); ++k) {
-        Artifact* a = chain_choice[k];
-        if (a->manifest().device == DeviceKind::kCpu) {
+      for (size_t k = 0; k < chain.size(); ++k) {
+        Choice& c = chain[k];
+        Artifact* a = c.best.artifact;
+        // A CPU-won filter normally stays an interpreter node, but a node
+        // that may later swap devices must drain in device batches.
+        const bool resub_node =
+            config_.enable_resubstitution && c.alts.size() >= 2;
+        if (a->manifest().device == DeviceKind::kCpu && !resub_node) {
           rewritten.push_back(g.nodes[i + k]);  // keep as interpreter filter
         } else {
-          RtNode dev;
-          dev.kind = RtNode::Kind::kDevice;
-          dev.artifact = a;
-          dev.arity = a->manifest().arity;
-          dev.label = a->manifest().task_id;
-          rewritten.push_back(std::move(dev));
+          emit_device(a, std::move(c.alts));
         }
         std::string extra;
         if (tracing) {
           JsonArgs e;
-          if (!fused_cands.empty()) {
-            e.add("fused_time_us", fused_time * 1e6);
+          if (!fused_entries.empty() && fused_best.eligible) {
+            e.add("fused_time_us", fused_best.seconds * 1e6);
           }
-          e.add_raw("candidates", join_entries(chain_cands[k]));
+          e.add_raw("candidates", join_entries(c.entries));
           extra = std::move(e).str();
         }
         record_substitution(
-            {g.nodes[i + k].task_id, a->manifest().device, /*fused=*/false},
+            {g.nodes[i + k].task_id, a->manifest().device, /*fused=*/false,
+             c.best.eligible ? c.best.us_per_elem : -1.0, c.best.eligible},
             std::move(extra));
       }
       stream = std::move(chain_stream);
@@ -574,6 +762,113 @@ void validate_shape(const std::vector<LiquidRuntime::RtNode>& nodes) {
 }
 
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// DeviceRun: per-device-node batch driver (§7 online profiling)
+// ---------------------------------------------------------------------------
+
+/// Drives one device node's drains: times every batch into the node's
+/// (task, device) cost model, accounts marshaling traffic, feeds the flight
+/// recorder, and — when the node carries calibrated alternatives — runs the
+/// periodic drift check that may swap the artifact mid-run. Used by both
+/// the threaded and the inline scheduler so they profile identically.
+class LiquidRuntime::DeviceRun {
+ public:
+  DeviceRun(LiquidRuntime& rt, RtNode& node, TraceRecorder* rec)
+      : rt_(rt), node_(node), rec_(rec) {
+    bind(node.artifact);
+  }
+
+  size_t arity() const { return static_cast<size_t>(cur_->manifest().arity); }
+
+  std::vector<Value> process(std::span<const Value> batch) {
+    const TransferStats& ts = cur_->transfer_stats();
+    uint64_t to0 = ts.bytes_to_device, from0 = ts.bytes_from_device;
+    double t0_us = rec_ ? rec_->now_us() : 0;
+    auto t0 = std::chrono::steady_clock::now();
+    std::vector<Value> out = cur_->process(batch);
+    auto t1 = std::chrono::steady_clock::now();
+    double dt = std::chrono::duration<double>(t1 - t0).count();
+    if (rec_) {
+      rec_->complete("task", "drain:" + cur_->manifest().task_id, t0_us,
+                     dt * 1e6,
+                     JsonArgs()
+                         .add("elements", static_cast<uint64_t>(batch.size()))
+                         .str());
+    }
+    uint64_t dto = ts.bytes_to_device - to0;
+    uint64_t dfrom = ts.bytes_from_device - from0;
+    cost_->record_batch(dt, batch.size(), rt_.config_.cost_ewma_alpha);
+    cost_->record_transfer(dto, dfrom);
+    rt_.hot_->device_batches->add();
+    rt_.hot_->bytes_to_device->add(dto);
+    rt_.hot_->bytes_from_device->add(dfrom);
+    ++batches_;
+    elements_ += batch.size();
+    bytes_to_ += dto;
+    bytes_from_ += dfrom;
+    obs::FlightRecorder::instance().record("task", "drain",
+                                           cur_->manifest().task_id, dt * 1e6,
+                                           batch.size(), dto + dfrom);
+    maybe_resubstitute();
+    return out;
+  }
+
+  uint64_t batches() const { return batches_; }
+  uint64_t elements() const { return elements_; }
+  uint64_t bytes_to_device() const { return bytes_to_; }
+  uint64_t bytes_from_device() const { return bytes_from_; }
+
+ private:
+  void bind(Artifact* a) {
+    cur_ = a;
+    cost_ = &rt_.cost_models_.entry(a->manifest().task_id,
+                                    to_string(a->manifest().device));
+  }
+
+  /// Every `resubstitution_interval` batches: if the live per-element cost
+  /// has drifted past the best calibrated loser by more than the configured
+  /// margin, swap artifacts for the remainder of the stream. One swap per
+  /// node per run keeps the policy stable (no flapping).
+  void maybe_resubstitute() {
+    if (swapped_ || node_.resub_alts.size() < 2) return;
+    if (++since_check_ < rt_.config_.resubstitution_interval) return;
+    since_check_ = 0;
+    double live = cost_->ewma_us_per_elem();
+    if (live <= 0) return;
+    const RtNode::ResubAlternative* target = nullptr;
+    for (const auto& alt : node_.resub_alts) {
+      if (alt.artifact == cur_) continue;
+      if (!target || alt.us_per_elem < target->us_per_elem) target = &alt;
+    }
+    if (!target) return;
+    if (live <=
+        target->us_per_elem * (1.0 + rt_.config_.resubstitution_drift)) {
+      return;
+    }
+    ResubstitutionRecord rec;
+    rec.task_ids = cur_->manifest().task_id;
+    rec.from = cur_->manifest().device;
+    rec.to = target->artifact->manifest().device;
+    rec.live_us_per_elem = live;
+    rec.calibrated_us_per_elem = target->us_per_elem;
+    rec.before_p50_us = cost_->batch_latency().percentile_us(50);
+    rec.before_p99_us = cost_->batch_latency().percentile_us(99);
+    rec.at_batch = batches_;
+    bind(target->artifact);
+    swapped_ = true;
+    rt_.record_resubstitution(std::move(rec));
+  }
+
+  LiquidRuntime& rt_;
+  RtNode& node_;
+  TraceRecorder* rec_;
+  Artifact* cur_ = nullptr;
+  obs::CostEntry* cost_ = nullptr;
+  uint64_t batches_ = 0, elements_ = 0, bytes_to_ = 0, bytes_from_ = 0;
+  uint64_t since_check_ = 0;
+  bool swapped_ = false;
+};
 
 void LiquidRuntime::start(Value graph) {
   auto g = graph_of(graph);
@@ -614,10 +909,17 @@ void LiquidRuntime::execute(RtGraph& g) {
     finalize_graph(g);
   } else {
     TraceSpan span("runtime", "graph.run");
-    run_inline(g);
+    try {
+      run_inline(g);
+    } catch (...) {
+      g.note_error(std::current_exception());
+    }
     g.executed = true;
     hot_->graphs_executed->add();
-    if (g.error) std::rethrow_exception(g.error);
+    if (g.error) {
+      dump_flight("task-fault");
+      std::rethrow_exception(g.error);
+    }
   }
 }
 
@@ -646,7 +948,10 @@ void LiquidRuntime::finalize_graph(RtGraph& g) {
                       .add("nodes", static_cast<uint64_t>(g.nodes.size()))
                       .str());
   }
-  if (g.error) std::rethrow_exception(g.error);
+  if (g.error) {
+    dump_flight("task-fault");
+    std::rethrow_exception(g.error);
+  }
 }
 
 void LiquidRuntime::run_inline(RtGraph& g) {
@@ -664,21 +969,28 @@ void LiquidRuntime::run_inline(RtGraph& g) {
     if (n.kind == RtNode::Kind::kDevice) {
       TraceSpan span;
       if (rec) span.begin(rec, "task", "device:" + n.label);
-      const TransferStats& ts = n.artifact->transfer_stats();
-      uint64_t to0 = ts.bytes_to_device, from0 = ts.bytes_from_device;
-      size_t k = static_cast<size_t>(n.arity);
+      DeviceRun run(*this, n, rec);
+      size_t k = run.arity();
       size_t usable = (stream.size() / k) * k;
-      stream = n.artifact->process(
-          std::span<const Value>(stream.data(), usable));
-      hot_->device_batches->add();
-      hot_->bytes_to_device->add(ts.bytes_to_device - to0);
-      hot_->bytes_from_device->add(ts.bytes_from_device - from0);
+      // Chunked like the threaded path: the cost model sees the same batch
+      // granularity and the drift check can fire mid-stream.
+      size_t chunk = std::max<size_t>(config_.device_batch, 1) * k;
+      std::vector<Value> next;
+      next.reserve(usable / k);
+      for (size_t off = 0; off < usable; off += chunk) {
+        size_t len = std::min(chunk, usable - off);
+        std::vector<Value> produced =
+            run.process(std::span<const Value>(stream.data() + off, len));
+        next.insert(next.end(), std::make_move_iterator(produced.begin()),
+                    std::make_move_iterator(produced.end()));
+      }
+      stream = std::move(next);
       if (span.active()) {
         span.set_args(JsonArgs()
-                          .add("elements", static_cast<uint64_t>(usable))
-                          .add("bytes_to_device", ts.bytes_to_device - to0)
-                          .add("bytes_from_device",
-                               ts.bytes_from_device - from0)
+                          .add("batches", run.batches())
+                          .add("elements", run.elements())
+                          .add("bytes_to_device", run.bytes_to_device())
+                          .add("bytes_from_device", run.bytes_from_device())
                           .str());
       }
     } else {
@@ -812,11 +1124,8 @@ void LiquidRuntime::run_threaded(RtGraph& g) {
           try {
             TraceSpan span;
             if (rec) span.begin(rec, "task", "device:" + node->label);
-            const TransferStats& tstats = node->artifact->transfer_stats();
-            uint64_t to0 = tstats.bytes_to_device;
-            uint64_t from0 = tstats.bytes_from_device;
-            uint64_t batches = 0, elements = 0;
-            size_t k = static_cast<size_t>(node->arity);
+            DeviceRun run(*this, *node, rec);
+            size_t k = run.arity();
             std::vector<Value> pending;
             for (;;) {
               auto batch =
@@ -827,22 +1136,8 @@ void LiquidRuntime::run_threaded(RtGraph& g) {
                              std::make_move_iterator(batch.end()));
               size_t usable = (pending.size() / k) * k;
               if (usable == 0) continue;
-              std::vector<Value> results;
-              {
-                // The "drain" span: one device firing over a batch.
-                TraceSpan drain;
-                if (rec) {
-                  drain.begin(rec, "task", "drain:" + node->label);
-                  drain.set_args(
-                      JsonArgs()
-                          .add("elements", static_cast<uint64_t>(usable))
-                          .str());
-                }
-                results = node->artifact->process(
-                    std::span<const Value>(pending.data(), usable));
-              }
-              ++batches;
-              elements += usable;
+              std::vector<Value> results =
+                  run.process(std::span<const Value>(pending.data(), usable));
               pending.erase(pending.begin(),
                             pending.begin() + static_cast<long>(usable));
               bool closed = false;
@@ -855,17 +1150,13 @@ void LiquidRuntime::run_threaded(RtGraph& g) {
               if (closed) break;
             }
             out->finish();
-            hot_->device_batches->add(batches);
-            hot_->bytes_to_device->add(tstats.bytes_to_device - to0);
-            hot_->bytes_from_device->add(tstats.bytes_from_device - from0);
             if (span.active()) {
               span.set_args(
                   JsonArgs()
-                      .add("batches", batches)
-                      .add("elements", elements)
-                      .add("bytes_to_device", tstats.bytes_to_device - to0)
-                      .add("bytes_from_device",
-                           tstats.bytes_from_device - from0)
+                      .add("batches", run.batches())
+                      .add("elements", run.elements())
+                      .add("bytes_to_device", run.bytes_to_device())
+                      .add("bytes_from_device", run.bytes_from_device())
                       .str());
             }
           } catch (...) {

@@ -17,12 +17,15 @@
 // bytecode although that choice can be manually directed as well."
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "obs/cost_model.h"
 #include "obs/metrics.h"
+#include "obs/report.h"
 #include "obs/trace.h"
 #include "runtime/liquid_compiler.h"
 #include "runtime/store.h"
@@ -58,6 +61,28 @@ struct RuntimeConfig {
   bool allow_fusion = true;
   /// kAdaptive: how many stream elements to profile each candidate on.
   size_t calibration_elements = 64;
+
+  // -- online profiling and mid-run re-substitution (§7, StarPU-style) --
+
+  /// kAdaptive only: every `resubstitution_interval` device batches, a
+  /// node compares its live cost model (EWMA of µs per element) against
+  /// the calibrated score of the best losing candidate; past the drift
+  /// threshold it swaps artifacts for the remainder of the stream. Off by
+  /// default — substitution stays a one-shot decision unless asked.
+  bool enable_resubstitution = false;
+  /// Device batches between drift checks.
+  size_t resubstitution_interval = 8;
+  /// Relative drift that triggers a swap: live > calibrated × (1 + drift).
+  double resubstitution_drift = 0.5;
+  /// Smoothing factor for the per-(task, device) EWMA cost models.
+  double cost_ewma_alpha = 0.25;
+
+  /// Flight recorder: per-thread ring size for the always-on black box
+  /// (applied to the process-wide recorder at runtime construction).
+  size_t flight_ring_capacity = 256;
+  /// Where Chrome-trace snapshots are dumped when a task faults or a drift
+  /// swap fires. Empty (the default) disables dumping; capture still runs.
+  std::string flight_dump_path;
 };
 
 /// One substitution decision, for logs, tests and the E2 experiment.
@@ -65,6 +90,30 @@ struct SubstitutionRecord {
   std::string task_ids;  // "P.a+P.b" for a fused segment
   DeviceKind device = DeviceKind::kCpu;
   bool fused = false;
+  /// kAdaptive: the winning candidate's measured calibration score in µs
+  /// per stream element; negative when no measurement backs the choice.
+  double score_us_per_elem = -1.0;
+  /// kAdaptive: false when the calibration prefix could not feed any
+  /// candidate (fewer elements than the artifact's arity) and the choice
+  /// fell back to the static §4.2 preference order.
+  bool calibrated = false;
+};
+
+/// One mid-run artifact swap (enable_resubstitution): the live cost model
+/// drifted past the calibrated score of a losing candidate.
+struct ResubstitutionRecord {
+  std::string task_ids;
+  DeviceKind from = DeviceKind::kCpu;
+  DeviceKind to = DeviceKind::kCpu;
+  /// Live EWMA of the abandoned artifact at the swap, µs per element.
+  double live_us_per_elem = 0;
+  /// Calibration score of the artifact swapped in, µs per element.
+  double calibrated_us_per_elem = 0;
+  /// Batch-drain latency percentiles of the abandoned artifact.
+  double before_p50_us = 0;
+  double before_p99_us = 0;
+  /// How many batches the node had drained when the swap fired.
+  uint64_t at_batch = 0;
 };
 
 /// Point-in-time view of the runtime's counters. This is a *snapshot*
@@ -74,6 +123,7 @@ struct SubstitutionRecord {
 /// was the live store, a latent data race).
 struct RuntimeStats {
   std::vector<SubstitutionRecord> substitutions;
+  std::vector<ResubstitutionRecord> resubstitutions;
   uint64_t graphs_executed = 0;
   uint64_t elements_streamed = 0;
   uint64_t maps_accelerated = 0;
@@ -87,6 +137,8 @@ struct RuntimeStats {
   uint64_t bytes_from_device = 0;
   /// Highest FIFO occupancy observed across all executed graphs.
   uint64_t fifo_high_water = 0;
+  /// Trace events rejected by the installed recorder's per-thread cap.
+  uint64_t trace_dropped_events = 0;
 };
 
 class LiquidRuntime : public bc::TaskGraphHost, public bc::AccelHooks {
@@ -114,6 +166,13 @@ class LiquidRuntime : public bc::TaskGraphHost, public bc::AccelHooks {
   /// listed in DESIGN.md §7 ("Observability").
   const obs::MetricsRegistry& metrics() const { return metrics_; }
   obs::MetricsRegistry& metrics() { return metrics_; }
+  /// Live per-(task, device) cost models fed by every device-node batch.
+  const obs::CostModelRegistry& cost_models() const { return cost_models_; }
+  /// End-of-run performance report: per-task × per-device batch counts and
+  /// latency percentiles, transfer bytes, substitution / re-substitution
+  /// history, counters and trace-drop counts. Cheap to build; callable at
+  /// any point (mid-stream rows show whatever has drained so far).
+  obs::PerfReport report() const;
   const RuntimeConfig& config() const { return config_; }
   void set_placement(Placement p) { config_.placement = p; }
 
@@ -148,16 +207,31 @@ class LiquidRuntime : public bc::TaskGraphHost, public bc::AccelHooks {
   /// Appends to the decision log and emits a substitution-decision trace
   /// event (`extra_args` carries the losing candidates and their scores).
   void record_substitution(SubstitutionRecord rec, std::string extra_args);
+  /// Appends to the re-substitution log, emits decision trace + flight
+  /// events, and snapshots the flight recorder if a dump path is set.
+  void record_resubstitution(ResubstitutionRecord rec);
+  /// Dumps the flight-recorder rings to config_.flight_dump_path (no-op
+  /// when the path is empty). Never throws.
+  void dump_flight(const std::string& reason) const;
+  /// Folds the installed recorder's drop count into trace.dropped_events.
+  void sync_trace_drops() const;
   const char* placement_name() const;
+
+  class DeviceRun;  // per-device-node batch driver (cost model + resub)
+  friend class DeviceRun;
 
   CompiledProgram& program_;
   RuntimeConfig config_;
   bc::Interpreter interp_;
 
   obs::MetricsRegistry metrics_;
+  obs::CostModelRegistry cost_models_;
   std::unique_ptr<HotCounters> hot_;  // cached instrument pointers
   mutable std::mutex subs_mu_;
   std::vector<SubstitutionRecord> substitutions_;
+  std::vector<ResubstitutionRecord> resubstitutions_;
+  /// Recorder drop count already folded into trace.dropped_events.
+  mutable std::atomic<uint64_t> trace_drops_seen_{0};
   mutable RuntimeStats stats_snapshot_;
 };
 

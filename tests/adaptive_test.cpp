@@ -3,7 +3,10 @@
 // prefix of the actual stream.
 #include <gtest/gtest.h>
 
+#include <chrono>
+
 #include "runtime/liquid_runtime.h"
+#include "tests/fake_artifact_test_util.h"
 #include "tests/lime_test_util.h"
 #include "util/rng.h"
 #include "workloads/workloads.h"
@@ -152,6 +155,84 @@ TEST(Adaptive, MixedRelocatedAndFixedFilters) {
   }
   // Decisions recorded only for the two relocated filters.
   EXPECT_EQ(rt.stats().substitutions.size(), 2u);
+}
+
+/// Regression for the calibration scoring bug: a candidate whose arity
+/// exceeds the calibration prefix can't be profiled even once (usable == 0)
+/// and used to return a 0.0-second score — "infinitely fast" — beating
+/// every real measurement. It must instead be ineligible: the measured CPU
+/// artifact wins and the bogus candidate is never counted as profiled.
+TEST(Adaptive, UnrunnableCandidateCannotWinCalibration) {
+  CompileOptions opts;
+  opts.enable_gpu = false;
+  opts.enable_fpga = false;
+  auto cp = compile(kPipe, opts);
+  ASSERT_TRUE(cp->ok());
+  // A "GPU" artifact demanding 64 elements per firing: with a 16-element
+  // calibration prefix it can never be measured.
+  cp->store.add(std::make_unique<lm::testing::ScriptedArtifact>(
+      "P.scale", DeviceKind::kGpu, /*arity=*/64, /*fast_calls=*/-1,
+      std::chrono::microseconds(0)));
+
+  RuntimeConfig rc;
+  rc.placement = Placement::kAdaptive;
+  rc.calibration_elements = 16;
+  LiquidRuntime rt(*cp, rc);
+  std::vector<int32_t> input(200);
+  for (size_t i = 0; i < input.size(); ++i) input[i] = static_cast<int32_t>(i);
+  Value out = rt.call("P.run", {Value::array(bc::make_i32_array(input, true))});
+  ASSERT_EQ(out.as_array()->size(), input.size());
+  for (size_t i = 0; i < input.size(); i += 13) {
+    EXPECT_EQ(bc::array_get(*out.as_array(), i).as_i32(), 3 * input[i] + 7);
+  }
+
+  // Both filters landed on the measured CPU artifact, with real scores.
+  ASSERT_EQ(rt.stats().substitutions.size(), 2u);
+  for (const auto& s : rt.stats().substitutions) {
+    EXPECT_EQ(s.device, DeviceKind::kCpu);
+    EXPECT_TRUE(s.calibrated);
+    EXPECT_GT(s.score_us_per_elem, 0.0);
+  }
+  // The un-runnable candidate never counted as a profiled measurement:
+  // only the two CPU artifacts did.
+  EXPECT_EQ(rt.stats().candidates_profiled, 2u);
+}
+
+/// When the calibration prefix can't feed *any* candidate, the decision
+/// falls back to the static §4.2 preference order (accelerators first) and
+/// the record says so instead of carrying a fabricated score.
+TEST(Adaptive, UncalibratableRunFallsBackToStaticPreference) {
+  CompileOptions opts;
+  opts.enable_gpu = false;
+  opts.enable_fpga = false;
+  auto cp = compile(kPipe, opts);
+  ASSERT_TRUE(cp->ok());
+  cp->store.add(std::make_unique<lm::testing::ScriptedArtifact>(
+      "P.scale", DeviceKind::kGpu, /*arity=*/1, /*fast_calls=*/-1,
+      std::chrono::microseconds(0)));
+
+  RuntimeConfig rc;
+  rc.placement = Placement::kAdaptive;
+  rc.calibration_elements = 0;  // nothing to profile with
+  LiquidRuntime rt(*cp, rc);
+  std::vector<int32_t> input(50, 9);
+  Value out = rt.call("P.run", {Value::array(bc::make_i32_array(input, true))});
+  ASSERT_EQ(out.as_array()->size(), input.size());
+  EXPECT_EQ(bc::array_get(*out.as_array(), 0).as_i32(), 3 * 9 + 7);
+
+  EXPECT_EQ(rt.stats().candidates_profiled, 0u);
+  ASSERT_EQ(rt.stats().substitutions.size(), 2u);
+  bool saw_scale = false;
+  for (const auto& s : rt.stats().substitutions) {
+    EXPECT_FALSE(s.calibrated);
+    EXPECT_LT(s.score_us_per_elem, 0.0);  // no fabricated measurement
+    if (s.task_ids == "P.scale") {
+      saw_scale = true;
+      // Preference order: the injected accelerator artifact wins the tie.
+      EXPECT_EQ(s.device, DeviceKind::kGpu);
+    }
+  }
+  EXPECT_TRUE(saw_scale);
 }
 
 }  // namespace

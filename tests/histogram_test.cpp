@@ -1,0 +1,297 @@
+// LatencyHistogram: the online profiler's percentile engine. The contract
+// under test is quantitative — any reported percentile is within the
+// documented 1/(2·kSubBuckets) ≈ 3.1% of the exact order statistic of the
+// recorded samples — so these are property tests against a sorted-vector
+// reference across several latency-shaped distributions, plus the
+// concurrency contract (lock-free record from many threads, merge while
+// recording).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "obs/histogram.h"
+#include "util/rng.h"
+
+namespace lm::obs {
+namespace {
+
+constexpr double kRelTol =
+    1.0 / (2.0 * static_cast<double>(LatencyHistogram::kSubBuckets));
+
+/// The ⌈q/100·n⌉-th smallest sample (1-based) — the same definition
+/// percentile_ns() documents, computed exactly.
+uint64_t ref_percentile(const std::vector<uint64_t>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  if (q >= 100.0) return sorted.back();
+  uint64_t n = sorted.size();
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(q / 100.0 * static_cast<double>(n)));
+  if (rank == 0) rank = 1;
+  if (rank > n) rank = n;
+  return sorted[rank - 1];
+}
+
+void expect_percentiles_track_reference(const LatencyHistogram& h,
+                                        std::vector<uint64_t> samples,
+                                        const char* what) {
+  std::sort(samples.begin(), samples.end());
+  for (double q : {0.0, 1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 99.9,
+                   100.0}) {
+    double got = h.percentile_ns(q);
+    double ref = static_cast<double>(ref_percentile(samples, q));
+    // The histogram reports the midpoint of the bucket holding the rank
+    // sample: at most half a bucket width away, i.e. within the relative
+    // quantization bound (plus 1 ns of slack for the linear region).
+    double tol = ref * kRelTol + 1.0;
+    EXPECT_NEAR(got, ref, tol) << what << " q=" << q;
+  }
+  EXPECT_EQ(h.count(), samples.size()) << what;
+  EXPECT_EQ(h.max_ns(), samples.back()) << what;
+  EXPECT_DOUBLE_EQ(h.percentile_ns(100),
+                   static_cast<double>(samples.back()))
+      << what << ": q=100 must be the exact maximum";
+}
+
+// ---------------------------------------------------------------------------
+// Bucket layout invariants
+// ---------------------------------------------------------------------------
+
+TEST(LatencyHistogramLayout, BucketEdgesBracketEveryValue) {
+  auto check = [](uint64_t ns) {
+    size_t idx = LatencyHistogram::bucket_index(ns);
+    ASSERT_LT(idx, LatencyHistogram::kBucketCount) << "ns=" << ns;
+    EXPECT_LE(LatencyHistogram::bucket_lower(idx), ns) << "ns=" << ns;
+    if (idx + 1 < LatencyHistogram::kBucketCount) {
+      EXPECT_LT(ns, LatencyHistogram::bucket_lower(idx + 1)) << "ns=" << ns;
+    }
+  };
+  for (uint64_t ns = 0; ns < 4096; ++ns) check(ns);
+  SplitMix64 rng(2026);
+  for (int i = 0; i < 20000; ++i) {
+    // Random magnitudes so every octave gets hit, not just small values.
+    uint64_t ns = rng.next() >> rng.next_below(64);
+    check(ns);
+  }
+  check(UINT64_MAX);
+}
+
+TEST(LatencyHistogramLayout, MidpointQuantizationErrorIsBounded) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t ns = rng.next() >> rng.next_below(64);
+    double mid = LatencyHistogram::bucket_mid(LatencyHistogram::bucket_index(ns));
+    if (ns < 2 * LatencyHistogram::kSubBuckets) {
+      EXPECT_LE(std::abs(mid - static_cast<double>(ns)), 0.5) << "ns=" << ns;
+    } else {
+      double rel = std::abs(mid - static_cast<double>(ns)) /
+                   static_cast<double>(ns);
+      EXPECT_LE(rel, kRelTol + 1e-12) << "ns=" << ns;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Percentiles vs sorted reference, per distribution
+// ---------------------------------------------------------------------------
+
+TEST(LatencyHistogramProperty, UniformDistribution) {
+  LatencyHistogram h;
+  std::vector<uint64_t> samples;
+  SplitMix64 rng(11);
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t ns = 1 + rng.next_below(10'000'000);  // up to 10 ms
+    h.record_ns(ns);
+    samples.push_back(ns);
+  }
+  expect_percentiles_track_reference(h, std::move(samples), "uniform");
+}
+
+TEST(LatencyHistogramProperty, ExponentialDistribution) {
+  LatencyHistogram h;
+  std::vector<uint64_t> samples;
+  SplitMix64 rng(13);
+  for (int i = 0; i < 20000; ++i) {
+    // Exponential with a 50 µs mean — the classic latency shape.
+    double u = rng.next_double();
+    if (u <= 0) u = 1e-12;
+    uint64_t ns = static_cast<uint64_t>(-std::log(u) * 50'000.0);
+    h.record_ns(ns);
+    samples.push_back(ns);
+  }
+  expect_percentiles_track_reference(h, std::move(samples), "exponential");
+}
+
+TEST(LatencyHistogramProperty, LognormalDistribution) {
+  LatencyHistogram h;
+  std::vector<uint64_t> samples;
+  SplitMix64 rng(17);
+  for (int i = 0; i < 20000; ++i) {
+    // Sum of uniforms approximates a normal; exponentiate for lognormal.
+    double z = 0;
+    for (int k = 0; k < 12; ++k) z += rng.next_double();
+    z -= 6.0;  // ~N(0,1)
+    uint64_t ns = static_cast<uint64_t>(std::exp(10.0 + 1.5 * z));
+    h.record_ns(ns);
+    samples.push_back(ns);
+  }
+  expect_percentiles_track_reference(h, std::move(samples), "lognormal");
+}
+
+TEST(LatencyHistogramProperty, PowerLawWithHeavyTail) {
+  LatencyHistogram h;
+  std::vector<uint64_t> samples;
+  SplitMix64 rng(19);
+  for (int i = 0; i < 20000; ++i) {
+    double u = rng.next_double();
+    if (u < 1e-7) u = 1e-7;
+    uint64_t ns = static_cast<uint64_t>(1000.0 / (u * u));  // tail to ~1e17
+    h.record_ns(ns);
+    samples.push_back(ns);
+  }
+  expect_percentiles_track_reference(h, std::move(samples), "power-law");
+}
+
+TEST(LatencyHistogramProperty, ConstantDistribution) {
+  // Every percentile of a constant stream is within the quantization bound
+  // of that constant, never above it (the midpoint clamp), and q=100 is the
+  // constant exactly.
+  for (uint64_t v : {0ull, 7ull, 31ull, 32ull, 4'423'679ull, 1'000'000'007ull}) {
+    LatencyHistogram h;
+    for (int i = 0; i < 1000; ++i) h.record_ns(v);
+    double dv = static_cast<double>(v);
+    for (double q : {0.0, 50.0, 99.0}) {
+      double got = h.percentile_ns(q);
+      EXPECT_LE(got, dv) << "v=" << v << " q=" << q;
+      EXPECT_NEAR(got, dv, dv * kRelTol + 0.5) << "v=" << v << " q=" << q;
+    }
+    EXPECT_DOUBLE_EQ(h.percentile_ns(100), dv);
+    EXPECT_EQ(h.max_ns(), v);
+    EXPECT_DOUBLE_EQ(h.mean_ns(), dv);
+  }
+}
+
+TEST(LatencyHistogramProperty, PercentileNeverExceedsRecordedMax) {
+  // Regression: bucket midpoints quantize upward, so an unclamped p50 of a
+  // log-region value could exceed the true maximum.
+  SplitMix64 rng(23);
+  for (int trial = 0; trial < 200; ++trial) {
+    LatencyHistogram h;
+    int n = 1 + static_cast<int>(rng.next_below(50));
+    for (int i = 0; i < n; ++i) h.record_ns(rng.next() >> rng.next_below(40));
+    for (double q : {25.0, 50.0, 90.0, 99.0, 100.0}) {
+      EXPECT_LE(h.percentile_ns(q), static_cast<double>(h.max_ns()));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Empty / edge behavior
+// ---------------------------------------------------------------------------
+
+TEST(LatencyHistogram, EmptyReportsZeroEverywhere) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum_ns(), 0u);
+  EXPECT_EQ(h.max_ns(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean_ns(), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile_ns(50), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile_ns(100), 0.0);
+}
+
+TEST(LatencyHistogram, RecordSecondsClampsNegativeToZero) {
+  LatencyHistogram h;
+  h.record_seconds(-1.0);
+  h.record_seconds(2e-6);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max_ns(), 2000u);
+  // The clamped sample landed in the 0 ns bucket (midpoint 0.5).
+  EXPECT_LE(h.percentile_ns(1), 0.5);
+}
+
+TEST(LatencyHistogram, ResetZeroesEverything) {
+  LatencyHistogram h;
+  for (int i = 0; i < 100; ++i) h.record_ns(1000 + i);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum_ns(), 0u);
+  EXPECT_EQ(h.max_ns(), 0u);
+  EXPECT_DOUBLE_EQ(h.percentile_ns(99), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Merge
+// ---------------------------------------------------------------------------
+
+TEST(LatencyHistogram, MergeMatchesSingleHistogramExactly) {
+  LatencyHistogram a, b, combined, merged;
+  SplitMix64 rng(29);
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t ns = rng.next() >> rng.next_below(44);
+    (i % 2 ? a : b).record_ns(ns);
+    combined.record_ns(ns);
+  }
+  a.merge_into(merged);
+  b.merge_into(merged);
+  EXPECT_EQ(merged.count(), combined.count());
+  EXPECT_EQ(merged.sum_ns(), combined.sum_ns());
+  EXPECT_EQ(merged.max_ns(), combined.max_ns());
+  for (double q : {0.0, 10.0, 50.0, 90.0, 99.0, 99.9, 100.0}) {
+    EXPECT_DOUBLE_EQ(merged.percentile_ns(q), combined.percentile_ns(q))
+        << "q=" << q;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency: lock-free record from many threads + merge while recording
+// ---------------------------------------------------------------------------
+
+/// Hammers one shared histogram from 8 recording threads while the main
+/// thread concurrently merges it into a scratch histogram and reads
+/// percentiles. Totals must be exact after the join; the mid-run reads only
+/// need to not crash / not race (this is the TSan payload for the record
+/// path's lock-freedom claim).
+TEST(LatencyHistogramConcurrency, ConcurrentRecordAndMergeHammer) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  LatencyHistogram h;
+  std::vector<std::thread> threads;
+  uint64_t expected_sum = 0;
+  uint64_t expected_max = 0;
+  // Per-thread sample streams are deterministic, so totals are known.
+  for (int t = 0; t < kThreads; ++t) {
+    SplitMix64 preview(static_cast<uint64_t>(t) + 1);
+    for (int i = 0; i < kPerThread; ++i) {
+      uint64_t ns = preview.next() >> 34;  // < ~1.07e9
+      expected_sum += ns;
+      expected_max = std::max(expected_max, ns);
+    }
+    threads.emplace_back([&h, t] {
+      SplitMix64 rng(static_cast<uint64_t>(t) + 1);
+      for (int i = 0; i < kPerThread; ++i) h.record_ns(rng.next() >> 34);
+    });
+  }
+  for (int round = 0; round < 50; ++round) {
+    LatencyHistogram scratch;
+    h.merge_into(scratch);
+    // Point-in-time reads: bounded by what has been recorded so far.
+    EXPECT_LE(scratch.count(), static_cast<uint64_t>(kThreads) * kPerThread);
+    (void)scratch.percentile_ns(99);
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(h.count(), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h.sum_ns(), expected_sum);
+  EXPECT_EQ(h.max_ns(), expected_max);
+
+  LatencyHistogram merged;
+  h.merge_into(merged);
+  EXPECT_EQ(merged.count(), h.count());
+  EXPECT_EQ(merged.sum_ns(), h.sum_ns());
+  EXPECT_EQ(merged.max_ns(), h.max_ns());
+}
+
+}  // namespace
+}  // namespace lm::obs

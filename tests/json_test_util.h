@@ -1,0 +1,185 @@
+// A minimal JSON parser shared by the observability tests: syntax
+// validation plus a queryable value tree. The exporters under test (Chrome
+// traces, flight-recorder snapshots, performance reports) all claim "loads
+// in chrome://tracing / json.load" — a claim only as good as a parse-back.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lm::testing {
+
+struct Json {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool b = false;
+  double num = 0;
+  std::string str;
+  std::vector<Json> arr;
+  std::map<std::string, Json> obj;
+
+  const Json& at(const std::string& key) const {
+    auto it = obj.find(key);
+    if (it == obj.end()) {
+      static const Json kNullJson;
+      return kNullJson;
+    }
+    return it->second;
+  }
+  bool has(const std::string& key) const { return obj.count(key) > 0; }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  bool parse(Json* out) {
+    skip_ws();
+    if (!value(out)) return false;
+    skip_ws();
+    return pos_ == s_.size();  // no trailing garbage
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool literal(const char* word) {
+    size_t len = std::strlen(word);
+    if (s_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+  bool string(std::string* out) {
+    if (!consume('"')) return false;
+    out->clear();
+    while (pos_ < s_.size()) {
+      char c = s_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) return false;
+        char e = s_[pos_++];
+        switch (e) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) return false;
+            for (int i = 0; i < 4; ++i) {
+              if (!std::isxdigit(static_cast<unsigned char>(s_[pos_ + i]))) {
+                return false;
+              }
+            }
+            pos_ += 4;
+            out->push_back('?');  // codepoint value irrelevant to these tests
+            break;
+          }
+          default: return false;
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return false;  // raw control characters are invalid JSON
+      } else {
+        out->push_back(c);
+      }
+    }
+    return false;  // unterminated
+  }
+  bool value(Json* out) {
+    skip_ws();
+    if (pos_ >= s_.size()) return false;
+    char c = s_[pos_];
+    if (c == '{') {
+      ++pos_;
+      out->kind = Json::Kind::kObject;
+      skip_ws();
+      if (consume('}')) return true;
+      for (;;) {
+        std::string key;
+        skip_ws();
+        if (!string(&key)) return false;
+        if (!consume(':')) return false;
+        Json v;
+        if (!value(&v)) return false;
+        out->obj.emplace(std::move(key), std::move(v));
+        if (consume(',')) continue;
+        return consume('}');
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      out->kind = Json::Kind::kArray;
+      skip_ws();
+      if (consume(']')) return true;
+      for (;;) {
+        Json v;
+        if (!value(&v)) return false;
+        out->arr.push_back(std::move(v));
+        if (consume(',')) continue;
+        return consume(']');
+      }
+    }
+    if (c == '"') {
+      out->kind = Json::Kind::kString;
+      return string(&out->str);
+    }
+    if (c == 't') {
+      out->kind = Json::Kind::kBool;
+      out->b = true;
+      return literal("true");
+    }
+    if (c == 'f') {
+      out->kind = Json::Kind::kBool;
+      out->b = false;
+      return literal("false");
+    }
+    if (c == 'n') {
+      out->kind = Json::Kind::kNull;
+      return literal("null");
+    }
+    // Number.
+    size_t start = pos_;
+    if (c == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    out->kind = Json::Kind::kNumber;
+    out->num = std::stod(s_.substr(start, pos_ - start));
+    return true;
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+inline Json parse_or_die(const std::string& text) {
+  Json doc;
+  JsonParser p(text);
+  EXPECT_TRUE(p.parse(&doc)) << "invalid JSON:\n" << text;
+  return doc;
+}
+
+}  // namespace lm::testing

@@ -1,197 +1,26 @@
 // The observability layer: TraceRecorder/TraceSpan, MetricsRegistry, and
 // their integration with the Liquid Metal runtime.
 //
-// The Chrome-trace export is validated by *parsing it back* with a minimal
-// JSON reader — the format claim ("loads in chrome://tracing") is only as
-// good as the JSON being well-formed.
+// The Chrome-trace export is validated by *parsing it back* with the shared
+// minimal JSON reader — the format claim ("loads in chrome://tracing") is
+// only as good as the JSON being well-formed.
 #include <gtest/gtest.h>
 
 #include <atomic>
-#include <cctype>
-#include <cstring>
-#include <map>
 #include <thread>
 #include <vector>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "runtime/liquid_runtime.h"
+#include "tests/json_test_util.h"
 #include "workloads/workloads.h"
 
 namespace lm::obs {
 namespace {
 
-// ---------------------------------------------------------------------------
-// A minimal JSON parser (syntax validation + a queryable value tree).
-// ---------------------------------------------------------------------------
-
-struct Json {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool b = false;
-  double num = 0;
-  std::string str;
-  std::vector<Json> arr;
-  std::map<std::string, Json> obj;
-
-  const Json& at(const std::string& key) const {
-    auto it = obj.find(key);
-    if (it == obj.end()) {
-      static const Json kNullJson;
-      return kNullJson;
-    }
-    return it->second;
-  }
-  bool has(const std::string& key) const { return obj.count(key) > 0; }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : s_(text) {}
-
-  bool parse(Json* out) {
-    skip_ws();
-    if (!value(out)) return false;
-    skip_ws();
-    return pos_ == s_.size();  // no trailing garbage
-  }
-
- private:
-  void skip_ws() {
-    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) {
-      ++pos_;
-    }
-  }
-  bool consume(char c) {
-    skip_ws();
-    if (pos_ < s_.size() && s_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-  bool literal(const char* word) {
-    size_t len = std::strlen(word);
-    if (s_.compare(pos_, len, word) != 0) return false;
-    pos_ += len;
-    return true;
-  }
-  bool string(std::string* out) {
-    if (!consume('"')) return false;
-    out->clear();
-    while (pos_ < s_.size()) {
-      char c = s_[pos_++];
-      if (c == '"') return true;
-      if (c == '\\') {
-        if (pos_ >= s_.size()) return false;
-        char e = s_[pos_++];
-        switch (e) {
-          case '"': out->push_back('"'); break;
-          case '\\': out->push_back('\\'); break;
-          case '/': out->push_back('/'); break;
-          case 'b': out->push_back('\b'); break;
-          case 'f': out->push_back('\f'); break;
-          case 'n': out->push_back('\n'); break;
-          case 'r': out->push_back('\r'); break;
-          case 't': out->push_back('\t'); break;
-          case 'u': {
-            if (pos_ + 4 > s_.size()) return false;
-            for (int i = 0; i < 4; ++i) {
-              if (!std::isxdigit(static_cast<unsigned char>(s_[pos_ + i]))) {
-                return false;
-              }
-            }
-            pos_ += 4;
-            out->push_back('?');  // codepoint value irrelevant to these tests
-            break;
-          }
-          default: return false;
-        }
-      } else if (static_cast<unsigned char>(c) < 0x20) {
-        return false;  // raw control characters are invalid JSON
-      } else {
-        out->push_back(c);
-      }
-    }
-    return false;  // unterminated
-  }
-  bool value(Json* out) {
-    skip_ws();
-    if (pos_ >= s_.size()) return false;
-    char c = s_[pos_];
-    if (c == '{') {
-      ++pos_;
-      out->kind = Json::Kind::kObject;
-      skip_ws();
-      if (consume('}')) return true;
-      for (;;) {
-        std::string key;
-        skip_ws();
-        if (!string(&key)) return false;
-        if (!consume(':')) return false;
-        Json v;
-        if (!value(&v)) return false;
-        out->obj.emplace(std::move(key), std::move(v));
-        if (consume(',')) continue;
-        return consume('}');
-      }
-    }
-    if (c == '[') {
-      ++pos_;
-      out->kind = Json::Kind::kArray;
-      skip_ws();
-      if (consume(']')) return true;
-      for (;;) {
-        Json v;
-        if (!value(&v)) return false;
-        out->arr.push_back(std::move(v));
-        if (consume(',')) continue;
-        return consume(']');
-      }
-    }
-    if (c == '"') {
-      out->kind = Json::Kind::kString;
-      return string(&out->str);
-    }
-    if (c == 't') {
-      out->kind = Json::Kind::kBool;
-      out->b = true;
-      return literal("true");
-    }
-    if (c == 'f') {
-      out->kind = Json::Kind::kBool;
-      out->b = false;
-      return literal("false");
-    }
-    if (c == 'n') {
-      out->kind = Json::Kind::kNull;
-      return literal("null");
-    }
-    // Number.
-    size_t start = pos_;
-    if (c == '-') ++pos_;
-    while (pos_ < s_.size() &&
-           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
-            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
-            s_[pos_] == '+' || s_[pos_] == '-')) {
-      ++pos_;
-    }
-    if (pos_ == start) return false;
-    out->kind = Json::Kind::kNumber;
-    out->num = std::stod(s_.substr(start, pos_ - start));
-    return true;
-  }
-
-  const std::string& s_;
-  size_t pos_ = 0;
-};
-
-Json parse_or_die(const std::string& text) {
-  Json doc;
-  JsonParser p(text);
-  EXPECT_TRUE(p.parse(&doc)) << "invalid JSON:\n" << text;
-  return doc;
-}
+using lm::testing::Json;
+using lm::testing::parse_or_die;
 
 // ---------------------------------------------------------------------------
 // JsonArgs / json_escape
@@ -367,6 +196,40 @@ TEST(TraceRecorderTest, ChromeTraceJsonParsesBackCorrectly) {
 
   EXPECT_EQ(counter->at("name").str, "queue");
   EXPECT_EQ(counter->at("args").at("value").num, 5);
+}
+
+// ---------------------------------------------------------------------------
+// Buffer-cap drops: counted, exported, never silent
+// ---------------------------------------------------------------------------
+
+TEST(TraceRecorderTest, DropsAreCountedWhenBufferHitsCap) {
+  TraceRecorder rec(/*max_events_per_thread=*/4);
+  rec.install();
+  for (int i = 0; i < 10; ++i) rec.instant("t", "e");
+  rec.uninstall();
+  EXPECT_EQ(rec.event_count(), 4u);
+  EXPECT_EQ(rec.dropped_events(), 6u);
+  EXPECT_EQ(rec.max_events_per_thread(), 4u);
+}
+
+TEST(TraceRecorderTest, DropCountRidesInExportMetadata) {
+  TraceRecorder rec(/*max_events_per_thread=*/3);
+  rec.install();
+  for (int i = 0; i < 8; ++i) rec.instant("t", "e");
+  rec.uninstall();
+  Json doc = parse_or_die(rec.chrome_trace_json());
+  EXPECT_EQ(doc.at("metadata").at("droppedEvents").num, 5.0);
+  EXPECT_EQ(doc.at("metadata").at("maxEventsPerThread").num, 3.0);
+  EXPECT_EQ(doc.at("traceEvents").arr.size(), 3u);
+}
+
+TEST(TraceRecorderTest, NoDropsExportsZeroInMetadata) {
+  TraceRecorder rec;
+  rec.install();
+  rec.instant("t", "only");
+  rec.uninstall();
+  Json doc = parse_or_die(rec.chrome_trace_json());
+  EXPECT_EQ(doc.at("metadata").at("droppedEvents").num, 0.0);
 }
 
 // ---------------------------------------------------------------------------
@@ -546,13 +409,43 @@ TEST(RuntimeObservability, AdaptiveDecisionCarriesCandidateScores) {
     EXPECT_GE(cands.arr.size(), 1u);
     for (const auto& c : cands.arr) {
       EXPECT_TRUE(c.has("device"));
-      EXPECT_TRUE(c.has("time_us"));
-      EXPECT_GE(c.at("time_us").num, 0.0);
+      // Calibrated candidates carry their measured time; uncalibratable
+      // ones are marked ineligible instead of pretending to be fast.
+      EXPECT_TRUE(c.has("time_us") || c.has("eligible"));
+      if (c.has("time_us")) {
+        EXPECT_GE(c.at("time_us").num, 0.0);
+      }
     }
     ++with_candidates;
   }
   EXPECT_GE(with_candidates, 1u);
   EXPECT_GT(rt.stats().candidates_profiled, 0u);
+}
+
+/// A tiny per-thread cap on a threaded device run must overflow, and the
+/// overflow must surface through every reporting channel: the recorder, the
+/// runtime metric, RuntimeStats, and the performance report.
+TEST(RuntimeObservability, TraceDropsSurfaceInStatsAndReport) {
+  auto cp = runtime::compile(intpipe().lime_source);
+  ASSERT_TRUE(cp->ok());
+  runtime::RuntimeConfig rc;
+  rc.placement = runtime::Placement::kGpuOnly;
+  rc.device_batch = 4;  // many drain events per thread
+  runtime::LiquidRuntime rt(*cp, rc);
+
+  TraceRecorder rec(/*max_events_per_thread=*/2);
+  rec.install();
+  rt.call(intpipe().entry, intpipe().make_args(1024, 13));
+  // stats() folds the recorder's drop count into the runtime metric while
+  // the recorder is still installed.
+  const runtime::RuntimeStats& s = rt.stats();
+  obs::PerfReport rep = rt.report();
+  rec.uninstall();
+
+  EXPECT_GT(rec.dropped_events(), 0u);
+  EXPECT_EQ(s.trace_dropped_events, rec.dropped_events());
+  EXPECT_EQ(rt.metrics().value("trace.dropped_events"), rec.dropped_events());
+  EXPECT_EQ(rep.dropped_trace_events, rec.dropped_events());
 }
 
 TEST(RuntimeObservability, UntracedRunLeavesNoEventsBehind) {

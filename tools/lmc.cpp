@@ -14,11 +14,22 @@
 //   lmc program.lime --run C.m --floats 1.5,2.5
 //   lmc program.lime --run C.m --bits 100
 //   lmc program.lime --run C.m --ints .. --trace=out.json --metrics
+//   lmc program.lime --run C.m --ints .. --report[=json]
 //
 // --trace records the run as Chrome-trace JSON (open in chrome://tracing
 // or https://ui.perfetto.dev): per-task execution spans, substitution
 // decisions with candidate scores, GPU launches, FPGA cycle counts, FIFO
 // high-water counters. --metrics prints the runtime counter summary.
+//
+// --report prints the end-of-run performance report (per-task × per-device
+// batch counts and latency percentiles, marshaled bytes, substitution and
+// re-substitution history, dropped-trace-event counts); --report=json
+// emits the same as a JSON document. --resub enables mid-run drift
+// re-substitution under --placement adaptive.
+//
+// The flight recorder is always on; when a task faults (or a drift swap
+// fires) the last events per thread are dumped as Chrome-trace JSON to
+// lm-flight.json (--flight=<path> to move it, --flight=none to disable).
 //
 // The --run input becomes a single value-array argument (int[[]]/float[[]]
 // /bit[[]]) — the calling convention of every workload entry point in this
@@ -41,7 +52,8 @@ int usage() {
                "           [--run Class.method (--ints a,b,.. | --floats a,b,..\n"
                "            | --bits 0101..)] [--placement auto|cpu|gpu|fpga|adaptive]\n"
                "           [--no-gpu] [--no-fpga] [--quiet]\n"
-               "           [--trace=<file.json>] [--metrics]\n";
+               "           [--trace=<file.json>] [--metrics]\n"
+               "           [--report[=json]] [--resub] [--flight=<file.json>|none]\n";
   return 2;
 }
 
@@ -70,6 +82,9 @@ int main(int argc, char** argv) {
   bool quiet = false;
   std::string trace_path;
   bool want_metrics = false;
+  std::string report_mode;                    // "", "text" or "json"
+  std::string flight_path = "lm-flight.json";  // "" disables dumping
+  bool enable_resub = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
@@ -108,6 +123,19 @@ int main(int argc, char** argv) {
       trace_path = next("--trace");
     } else if (a == "--metrics") {
       want_metrics = true;
+    } else if (a == "--report") {
+      report_mode = "text";
+    } else if (a.rfind("--report=", 0) == 0) {
+      report_mode = a.substr(9);
+      if (report_mode != "text" && report_mode != "json") {
+        std::cerr << "lmc: --report takes 'text' or 'json'\n";
+        return usage();
+      }
+    } else if (a.rfind("--flight=", 0) == 0) {
+      flight_path = a.substr(9);
+      if (flight_path == "none") flight_path.clear();
+    } else if (a == "--resub") {
+      enable_resub = true;
     } else if (!a.empty() && a[0] == '-') {
       std::cerr << "lmc: unknown flag " << a << "\n";
       return usage();
@@ -208,6 +236,8 @@ int main(int argc, char** argv) {
 
   runtime::RuntimeConfig rc;
   rc.placement = placement;
+  rc.enable_resubstitution = enable_resub;
+  rc.flight_dump_path = flight_path;
   runtime::LiquidRuntime rt(*program, rc);
 
   std::unique_ptr<obs::TraceRecorder> recorder;
@@ -220,14 +250,24 @@ int main(int argc, char** argv) {
     bc::Value out = rt.call(run_entry, std::move(args));
     std::cout << out.to_string() << "\n";
     if (!quiet) {
-      for (const auto& s : rt.stats().substitutions) {
+      const auto& stats = rt.stats();
+      for (const auto& s : stats.substitutions) {
         std::cout << "# " << s.task_ids << " -> "
                   << runtime::to_string(s.device)
                   << (s.fused ? " (fused)" : "") << "\n";
       }
+      for (const auto& r : stats.resubstitutions) {
+        std::cout << "# " << r.task_ids << " re-substituted "
+                  << runtime::to_string(r.from) << " -> "
+                  << runtime::to_string(r.to) << " at batch " << r.at_batch
+                  << "\n";
+      }
     }
   } catch (const std::exception& e) {
     std::cerr << "lmc: runtime error: " << e.what() << "\n";
+    if (!flight_path.empty() && rt.metrics().value("flight.dumps") > 0) {
+      std::cerr << "lmc: flight recorder snapshot -> " << flight_path << "\n";
+    }
     return 1;
   }
 
@@ -247,6 +287,11 @@ int main(int argc, char** argv) {
   }
   if (want_metrics) {
     std::cout << "# metrics: " << rt.metrics().summary() << "\n";
+  }
+  if (report_mode == "json") {
+    std::cout << rt.report().to_json() << "\n";
+  } else if (!report_mode.empty()) {
+    std::cout << rt.report().to_text();
   }
   return 0;
 }
