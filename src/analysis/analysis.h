@@ -1,0 +1,46 @@
+// Whole-program static analysis over the Lime AST and task graphs.
+//
+// Four analyses share the dataflow framework (cfg.h + dataflow.h) and the
+// stable LM error-code scheme (DESIGN.md §S11):
+//
+//   LM101–LM103  definite assignment + constant propagation per method
+//   LM110–LM111  interprocedural effect/isolation verification (effects.h);
+//                violating tasks are *demoted* to bytecode-only placement
+//   LM201–LM205  task-graph hazards (dangling graphs, self-connections,
+//                duplicate connections, rate mismatches, shared state
+//                across relocation brackets)
+//   LM301–LM315  IR well-formedness (ir_verify.h), run between compiler
+//                passes when LM_VERIFY_IR=1
+//
+// The runtime compiler driver calls analyze_program on every compile; the
+// findings merge into the program's DiagnosticEngine and the demoted set
+// gates backend artifact creation.
+#pragma once
+
+#include <unordered_set>
+
+#include "ir/task_graph.h"
+#include "lime/ast.h"
+#include "util/diagnostics.h"
+
+namespace lm::analysis {
+
+struct AnalysisOptions {
+  bool check_locals = true;   // LM101–LM103
+  bool check_effects = true;  // LM110–LM111
+  bool check_graphs = true;   // LM201–LM205
+};
+
+struct AnalysisResult {
+  DiagnosticEngine diags;
+  /// Qualified method names whose accelerator artifacts must not be built:
+  /// the effect verifier proved the method touches shared mutable state,
+  /// so a relocated artifact could diverge from bytecode (§2.1, §3).
+  std::unordered_set<std::string> demoted;
+};
+
+AnalysisResult analyze_program(const lime::Program& program,
+                               const ir::ProgramTaskGraphs& graphs,
+                               const AnalysisOptions& opts = {});
+
+}  // namespace lm::analysis

@@ -1,0 +1,184 @@
+#include "analysis/cfg.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace lm::analysis {
+
+using lime::as;
+using lime::StmtKind;
+
+namespace {
+
+class Builder {
+ public:
+  Cfg build(const lime::MethodDecl& m) {
+    cfg_.method = &m;
+    new_block();  // kEntry
+    new_block();  // kExit
+    cur_ = Cfg::kEntry;
+    if (m.body) stmt(*m.body);
+    edge(cur_, Cfg::kExit);  // implicit fall-off (void methods)
+    return std::move(cfg_);
+  }
+
+ private:
+  int new_block() {
+    cfg_.blocks.emplace_back();
+    return static_cast<int>(cfg_.blocks.size()) - 1;
+  }
+  void edge(int from, int to) {
+    cfg_.blocks[static_cast<size_t>(from)].succs.push_back(to);
+    cfg_.blocks[static_cast<size_t>(to)].preds.push_back(from);
+  }
+  void add_expr(const lime::Expr* e) {
+    if (e) cfg_.blocks[static_cast<size_t>(cur_)].items.push_back({nullptr, e});
+  }
+
+  void stmt(const lime::Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::kBlock:
+        for (const auto& c : as<lime::BlockStmt>(s).stmts) {
+          if (c) stmt(*c);
+        }
+        return;
+      case StmtKind::kExpr:
+        add_expr(as<lime::ExprStmt>(s).expr.get());
+        return;
+      case StmtKind::kVarDecl: {
+        const auto& vd = as<lime::VarDeclStmt>(s);
+        cfg_.blocks[static_cast<size_t>(cur_)].items.push_back(
+            {&vd, vd.init.get()});
+        return;
+      }
+      case StmtKind::kReturn:
+        add_expr(as<lime::ReturnStmt>(s).value.get());
+        edge(cur_, Cfg::kExit);
+        cur_ = new_block();  // anything that follows is unreachable
+        return;
+      case StmtKind::kIf: {
+        const auto& is = as<lime::IfStmt>(s);
+        add_expr(is.cond.get());
+        int from = cur_;
+        int then_b = new_block();
+        edge(from, then_b);
+        cur_ = then_b;
+        stmt(*is.then_stmt);
+        int then_end = cur_;
+        int join;
+        if (is.else_stmt) {
+          int else_b = new_block();
+          edge(from, else_b);
+          cur_ = else_b;
+          stmt(*is.else_stmt);
+          int else_end = cur_;
+          join = new_block();
+          edge(then_end, join);
+          edge(else_end, join);
+        } else {
+          join = new_block();
+          edge(then_end, join);
+          edge(from, join);
+        }
+        cur_ = join;
+        return;
+      }
+      case StmtKind::kWhile: {
+        const auto& ws = as<lime::WhileStmt>(s);
+        int head = new_block();
+        edge(cur_, head);
+        cur_ = head;
+        add_expr(ws.cond.get());
+        int body = new_block();
+        int after = new_block();
+        edge(head, body);
+        edge(head, after);
+        loops_.push_back({after, head});
+        cur_ = body;
+        stmt(*ws.body);
+        edge(cur_, head);
+        loops_.pop_back();
+        cur_ = after;
+        return;
+      }
+      case StmtKind::kFor: {
+        const auto& fs = as<lime::ForStmt>(s);
+        if (fs.init) stmt(*fs.init);
+        int head = new_block();
+        edge(cur_, head);
+        cur_ = head;
+        if (fs.cond) add_expr(fs.cond.get());
+        int body = new_block();
+        int after = new_block();
+        int update = new_block();  // the `continue` target
+        edge(head, body);
+        if (fs.cond) edge(head, after);
+        loops_.push_back({after, update});
+        cur_ = body;
+        stmt(*fs.body);
+        edge(cur_, update);
+        cur_ = update;
+        if (fs.update) add_expr(fs.update.get());
+        edge(cur_, head);
+        loops_.pop_back();
+        cur_ = after;
+        return;
+      }
+      case StmtKind::kBreak:
+        if (!loops_.empty()) edge(cur_, loops_.back().break_target);
+        cur_ = new_block();
+        return;
+      case StmtKind::kContinue:
+        if (!loops_.empty()) edge(cur_, loops_.back().continue_target);
+        cur_ = new_block();
+        return;
+    }
+  }
+
+  struct LoopCtx {
+    int break_target;
+    int continue_target;
+  };
+
+  Cfg cfg_;
+  int cur_ = 0;
+  std::vector<LoopCtx> loops_;
+};
+
+}  // namespace
+
+Cfg build_cfg(const lime::MethodDecl& m) {
+  LM_CHECK(m.body != nullptr);
+  return Builder().build(m);
+}
+
+std::vector<int> reverse_post_order(const Cfg& cfg) {
+  std::vector<int> post;
+  std::vector<char> seen(cfg.blocks.size(), 0);
+  // Iterative DFS with an explicit stack (deep ASTs stay safe).
+  struct Frame {
+    int block;
+    size_t next_succ = 0;
+  };
+  std::vector<Frame> stack{{Cfg::kEntry}};
+  seen[Cfg::kEntry] = 1;
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    const auto& succs = cfg.blocks[static_cast<size_t>(f.block)].succs;
+    if (f.next_succ < succs.size()) {
+      int s = succs[f.next_succ++];
+      if (!seen[static_cast<size_t>(s)]) {
+        seen[static_cast<size_t>(s)] = 1;
+        stack.push_back({s});
+      }
+    } else {
+      post.push_back(f.block);
+      stack.pop_back();
+    }
+  }
+  std::reverse(post.begin(), post.end());
+  return post;
+}
+
+}  // namespace lm::analysis

@@ -1,0 +1,75 @@
+// Generic forward dataflow over analysis::Cfg — the worklist solver every
+// concrete analysis plugs a lattice into.
+//
+// An Analysis provides:
+//   using State = ...;                       // a lattice element
+//   State boundary();                        // entry state
+//   bool join(State& into, const State& s);  // least upper bound;
+//                                            // returns true when `into` grew
+//   void transfer(const CfgItem&, State&);   // abstract evaluation
+//
+// solve_forward computes the in-state of every reachable block to fixpoint.
+// Analyses typically re-run `transfer` over each reachable block afterwards
+// with reporting enabled — the fixpoint in-states make that pass complete.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "analysis/cfg.h"
+
+namespace lm::analysis {
+
+template <typename State>
+struct DataflowResult {
+  /// In-state per block (valid only where reachable[b]).
+  std::vector<State> in;
+  /// False for blocks no execution reaches (code after return/break).
+  std::vector<char> reachable;
+};
+
+template <typename Analysis>
+DataflowResult<typename Analysis::State> solve_forward(const Cfg& cfg,
+                                                       Analysis& a) {
+  using State = typename Analysis::State;
+  size_t n = cfg.blocks.size();
+  DataflowResult<State> r;
+  r.in.resize(n);
+  r.reachable.assign(n, 0);
+  r.in[Cfg::kEntry] = a.boundary();
+  r.reachable[Cfg::kEntry] = 1;
+
+  std::deque<int> work;
+  std::vector<char> queued(n, 0);
+  for (int b : reverse_post_order(cfg)) {
+    work.push_back(b);
+    queued[static_cast<size_t>(b)] = 1;
+  }
+  while (!work.empty()) {
+    int b = work.front();
+    work.pop_front();
+    queued[static_cast<size_t>(b)] = 0;
+    if (!r.reachable[static_cast<size_t>(b)]) continue;
+    State out = r.in[static_cast<size_t>(b)];
+    for (const CfgItem& item : cfg.blocks[static_cast<size_t>(b)].items) {
+      a.transfer(item, out);
+    }
+    for (int s : cfg.blocks[static_cast<size_t>(b)].succs) {
+      bool changed;
+      if (!r.reachable[static_cast<size_t>(s)]) {
+        r.in[static_cast<size_t>(s)] = out;
+        r.reachable[static_cast<size_t>(s)] = 1;
+        changed = true;
+      } else {
+        changed = a.join(r.in[static_cast<size_t>(s)], out);
+      }
+      if (changed && !queued[static_cast<size_t>(s)]) {
+        work.push_back(s);
+        queued[static_cast<size_t>(s)] = 1;
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace lm::analysis

@@ -1,0 +1,360 @@
+// LM101–LM103: definite assignment plus constant propagation.
+//
+// One combined forward analysis over the CFG tracks, per local slot:
+//   * whether the slot may still be uninitialized (join = may-union), and
+//   * a small constant lattice: a known integer value, or a known array
+//     length (bit literals carry their width; `new T[k]` carries k).
+//
+// The constant facts power two checks the runtime would otherwise only
+// catch (or silently mis-execute) at run time: constant indices out of
+// bounds of known-length arrays (LM102) and constant shift amounts that
+// exceed the operand's bit width (LM103 — Java/Lime semantics mask the
+// amount, which is almost never what the bit-twiddling author meant).
+#include "analysis/dataflow.h"
+#include "analysis/passes.h"
+
+namespace lm::analysis {
+
+using lime::as;
+using lime::BinOp;
+using lime::ExprKind;
+using lime::TypeKind;
+
+namespace {
+
+struct ConstVal {
+  enum Kind : uint8_t { kUnknown, kInt, kLen };
+  Kind kind = kUnknown;
+  int64_t value = 0;
+
+  bool operator==(const ConstVal& o) const {
+    return kind == o.kind && (kind == kUnknown || value == o.value);
+  }
+};
+
+struct LocalState {
+  std::vector<char> maybe_uninit;  // per slot: 1 = possibly uninitialized
+  std::vector<ConstVal> consts;    // per slot
+};
+
+/// Walks one expression in evaluation order, updating `st`. With a
+/// non-null DiagnosticEngine the walk also reports findings — the solver
+/// runs it silently to fixpoint first, then a reporting pass replays each
+/// reachable block from its fixpoint in-state.
+class Evaluator {
+ public:
+  Evaluator(LocalState& st, DiagnosticEngine* diags) : st_(st), diags_(diags) {}
+
+  ConstVal eval(const lime::Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kIntLit:
+        return {ConstVal::kInt, as<lime::IntLitExpr>(e).value};
+      case ExprKind::kBitLit:
+        return {ConstVal::kLen,
+                static_cast<int64_t>(as<lime::BitLitExpr>(e).bits.width())};
+      case ExprKind::kFloatLit:
+      case ExprKind::kBoolLit:
+      case ExprKind::kThis:
+        return {};
+      case ExprKind::kName: {
+        const auto& n = as<lime::NameExpr>(e);
+        if (n.ref != lime::NameRefKind::kLocal) return {};
+        check_use(n.slot, n.name, e.loc);
+        return const_of(n.slot);
+      }
+      case ExprKind::kUnary: {
+        const auto& u = as<lime::UnaryExpr>(e);
+        ConstVal v = eval(*u.operand);
+        if (u.op == lime::UnOp::kNeg && v.kind == ConstVal::kInt) {
+          return {ConstVal::kInt, -v.value};
+        }
+        return {};
+      }
+      case ExprKind::kBinary:
+        return eval_binary(as<lime::BinaryExpr>(e));
+      case ExprKind::kAssign:
+        return eval_assign(as<lime::AssignExpr>(e));
+      case ExprKind::kTernary: {
+        const auto& t = as<lime::TernaryExpr>(e);
+        eval(*t.cond);
+        LocalState base = st_;
+        ConstVal a = eval(*t.then_expr);
+        LocalState after_then = st_;
+        st_ = std::move(base);
+        ConstVal b = eval(*t.else_expr);
+        join_into(st_, after_then);
+        return a == b ? a : ConstVal{};
+      }
+      case ExprKind::kCall: {
+        const auto& c = as<lime::CallExpr>(e);
+        if (c.receiver) eval(*c.receiver);
+        for (const auto& a : c.args) eval(*a);
+        return {};
+      }
+      case ExprKind::kIndex: {
+        const auto& ix = as<lime::IndexExpr>(e);
+        ConstVal a = eval(*ix.array);
+        ConstVal i = eval(*ix.index);
+        check_bounds(a, i, ix.index->loc);
+        return {};
+      }
+      case ExprKind::kField: {
+        const auto& f = as<lime::FieldExpr>(e);
+        ConstVal obj = f.object ? eval(*f.object) : ConstVal{};
+        if (f.is_array_length && obj.kind == ConstVal::kLen) {
+          return {ConstVal::kInt, obj.value};
+        }
+        return {};
+      }
+      case ExprKind::kNewArray: {
+        const auto& n = as<lime::NewArrayExpr>(e);
+        if (n.length) {
+          ConstVal len = eval(*n.length);
+          if (len.kind == ConstVal::kInt) {
+            return {ConstVal::kLen, len.value};
+          }
+          return {};
+        }
+        if (n.from_array) {
+          ConstVal src = eval(*n.from_array);
+          if (src.kind == ConstVal::kLen) return src;  // freeze keeps length
+        }
+        return {};
+      }
+      case ExprKind::kCast: {
+        const auto& c = as<lime::CastExpr>(e);
+        ConstVal v = eval(*c.operand);
+        if (v.kind == ConstVal::kInt && !c.target->is_floating() &&
+            !c.target->is_array_like()) {
+          return v;
+        }
+        return {};
+      }
+      case ExprKind::kMap:
+      case ExprKind::kReduce: {
+        const auto& args = e.kind == ExprKind::kMap
+                               ? as<lime::MapExpr>(e).args
+                               : as<lime::ReduceExpr>(e).args;
+        for (const auto& a : args) eval(*a);
+        return {};
+      }
+      case ExprKind::kTask:
+        return {};
+      case ExprKind::kRelocate:
+        return eval(*as<lime::RelocateExpr>(e).inner);
+      case ExprKind::kConnect: {
+        const auto& c = as<lime::ConnectExpr>(e);
+        eval(*c.lhs);
+        eval(*c.rhs);
+        return {};
+      }
+    }
+    return {};
+  }
+
+  void declare(const lime::VarDeclStmt& vd) {
+    if (vd.init) {
+      ConstVal v = eval(*vd.init);
+      set_slot(vd.slot, true, v);
+    } else if (vd.slot >= 0 &&
+               vd.slot < static_cast<int>(st_.maybe_uninit.size())) {
+      // A bare declaration (re)opens the slot as uninitialized.
+      st_.maybe_uninit[static_cast<size_t>(vd.slot)] = 1;
+      st_.consts[static_cast<size_t>(vd.slot)] = {};
+    }
+  }
+
+  static void join_into(LocalState& into, const LocalState& from) {
+    for (size_t i = 0; i < into.maybe_uninit.size(); ++i) {
+      into.maybe_uninit[i] =
+          static_cast<char>(into.maybe_uninit[i] | from.maybe_uninit[i]);
+      if (!(into.consts[i] == from.consts[i])) into.consts[i] = {};
+    }
+  }
+
+ private:
+  ConstVal const_of(int slot) {
+    if (slot < 0 || slot >= static_cast<int>(st_.consts.size())) return {};
+    return st_.consts[static_cast<size_t>(slot)];
+  }
+
+  void set_slot(int slot, bool assigned, ConstVal v) {
+    if (slot < 0 || slot >= static_cast<int>(st_.consts.size())) return;
+    if (assigned) st_.maybe_uninit[static_cast<size_t>(slot)] = 0;
+    st_.consts[static_cast<size_t>(slot)] = v;
+  }
+
+  void check_use(int slot, const std::string& name, SourceLoc loc) {
+    if (!diags_) return;
+    if (slot < 0 || slot >= static_cast<int>(st_.maybe_uninit.size())) return;
+    if (st_.maybe_uninit[static_cast<size_t>(slot)]) {
+      diags_->report(Severity::kWarning, "LM101", loc,
+                     "variable '" + name +
+                         "' may be used before it is initialized");
+    }
+  }
+
+  void check_bounds(ConstVal array, ConstVal index, SourceLoc loc) {
+    if (!diags_) return;
+    if (array.kind != ConstVal::kLen || index.kind != ConstVal::kInt) return;
+    if (index.value < 0 || index.value >= array.value) {
+      diags_->report(Severity::kWarning, "LM102", loc,
+                     "constant index " + std::to_string(index.value) +
+                         " is out of bounds for an array of known length " +
+                         std::to_string(array.value));
+    }
+  }
+
+  ConstVal eval_binary(const lime::BinaryExpr& b) {
+    if (b.op == BinOp::kLAnd || b.op == BinOp::kLOr) {
+      eval(*b.lhs);
+      LocalState before_rhs = st_;
+      eval(*b.rhs);  // conditionally evaluated
+      join_into(st_, before_rhs);
+      return {};
+    }
+    ConstVal l = eval(*b.lhs);
+    ConstVal r = eval(*b.rhs);
+    if ((b.op == BinOp::kShl || b.op == BinOp::kShr) && diags_ &&
+        r.kind == ConstVal::kInt) {
+      TypeKind k = b.lhs->type ? b.lhs->type->kind : TypeKind::kInt;
+      if (k == TypeKind::kInt || k == TypeKind::kLong) {
+        int width = k == TypeKind::kLong ? 64 : 32;
+        if (r.value < 0 || r.value >= width) {
+          diags_->report(Severity::kWarning, "LM103", b.loc,
+                         "constant shift amount " + std::to_string(r.value) +
+                             " is out of range for a " +
+                             std::to_string(width) + "-bit operand");
+        }
+      }
+    }
+    if (l.kind == ConstVal::kInt && r.kind == ConstVal::kInt) {
+      switch (b.op) {
+        case BinOp::kAdd:
+          return {ConstVal::kInt, l.value + r.value};
+        case BinOp::kSub:
+          return {ConstVal::kInt, l.value - r.value};
+        case BinOp::kMul:
+          return {ConstVal::kInt, l.value * r.value};
+        case BinOp::kDiv:
+          if (r.value != 0) return {ConstVal::kInt, l.value / r.value};
+          return {};
+        case BinOp::kRem:
+          if (r.value != 0) return {ConstVal::kInt, l.value % r.value};
+          return {};
+        default:
+          return {};
+      }
+    }
+    return {};
+  }
+
+  ConstVal eval_assign(const lime::AssignExpr& a) {
+    if (a.target->kind == ExprKind::kName) {
+      const auto& n = as<lime::NameExpr>(*a.target);
+      if (n.ref == lime::NameRefKind::kLocal) {
+        ConstVal cur;
+        if (a.compound) {
+          // Compound assignment reads the target first.
+          check_use(n.slot, n.name, a.target->loc);
+          cur = const_of(n.slot);
+        }
+        ConstVal v = eval(*a.value);
+        ConstVal result;
+        if (!a.compound) {
+          result = v;
+        } else if (cur.kind == ConstVal::kInt && v.kind == ConstVal::kInt) {
+          switch (a.op) {
+            case BinOp::kAdd: result = {ConstVal::kInt, cur.value + v.value}; break;
+            case BinOp::kSub: result = {ConstVal::kInt, cur.value - v.value}; break;
+            case BinOp::kMul: result = {ConstVal::kInt, cur.value * v.value}; break;
+            default: break;
+          }
+        }
+        set_slot(n.slot, true, result);
+        return result;
+      }
+      eval(*a.target);
+      eval(*a.value);
+      return {};
+    }
+    if (a.target->kind == ExprKind::kIndex) {
+      const auto& ix = as<lime::IndexExpr>(*a.target);
+      ConstVal arr = eval(*ix.array);
+      ConstVal idx = eval(*ix.index);
+      check_bounds(arr, idx, ix.index->loc);
+      eval(*a.value);
+      return {};
+    }
+    eval(*a.target);
+    eval(*a.value);
+    return {};
+  }
+
+  LocalState& st_;
+  DiagnosticEngine* diags_;
+};
+
+struct LocalFactsAnalysis {
+  using State = LocalState;
+
+  explicit LocalFactsAnalysis(const lime::MethodDecl& m) : method(m) {}
+
+  State boundary() const {
+    State s;
+    s.maybe_uninit.assign(static_cast<size_t>(method.num_slots), 0);
+    s.consts.assign(static_cast<size_t>(method.num_slots), {});
+    return s;
+  }
+
+  bool join(State& into, const State& from) const {
+    bool changed = false;
+    for (size_t i = 0; i < into.maybe_uninit.size(); ++i) {
+      if (from.maybe_uninit[i] && !into.maybe_uninit[i]) {
+        into.maybe_uninit[i] = 1;
+        changed = true;
+      }
+      if (!(into.consts[i] == from.consts[i]) &&
+          into.consts[i].kind != ConstVal::kUnknown) {
+        into.consts[i] = {};
+        changed = true;
+      }
+    }
+    return changed;
+  }
+
+  void transfer(const CfgItem& item, State& st) const {
+    Evaluator ev(st, nullptr);
+    if (item.decl) {
+      ev.declare(*item.decl);
+    } else if (item.expr) {
+      ev.eval(*item.expr);
+    }
+  }
+
+  const lime::MethodDecl& method;
+};
+
+}  // namespace
+
+void check_local_facts(const lime::MethodDecl& m, DiagnosticEngine& diags) {
+  if (!m.body || m.num_slots <= 0) return;
+  Cfg cfg = build_cfg(m);
+  LocalFactsAnalysis a(m);
+  auto result = solve_forward(cfg, a);
+  // Reporting pass: replay each reachable block from its fixpoint in-state.
+  for (size_t b = 0; b < cfg.blocks.size(); ++b) {
+    if (!result.reachable[b]) continue;
+    LocalState st = result.in[b];
+    Evaluator ev(st, &diags);
+    for (const CfgItem& item : cfg.blocks[b].items) {
+      if (item.decl) {
+        ev.declare(*item.decl);
+      } else if (item.expr) {
+        ev.eval(*item.expr);
+      }
+    }
+  }
+}
+
+}  // namespace lm::analysis

@@ -1,0 +1,412 @@
+#include "analysis/effects.h"
+
+#include <vector>
+
+namespace lm::analysis {
+
+using lime::as;
+using lime::ExprKind;
+using lime::StmtKind;
+
+namespace {
+
+/// Where an array-typed expression's storage comes from — the precision
+/// that separates a benign store into a method-local scratch buffer from a
+/// store into shared or caller-visible state.
+enum class Origin : uint8_t {
+  kFresh,    // allocated in this method (new T[n], map results)
+  kCaller,   // a parameter, or unknown provenance (conservative)
+  kField,    // backed by a field (shared state) — field pointer alongside
+};
+
+struct OriginVal {
+  Origin origin = Origin::kCaller;
+  const lime::FieldDecl* field = nullptr;
+};
+
+struct CallSiteEffects {
+  const lime::MethodDecl* callee = nullptr;
+  /// Origins of array-typed arguments at this site (for propagating a
+  /// callee's caller-array writes to the right caller-side origin).
+  std::vector<OriginVal> array_args;
+};
+
+struct DirectEffects {
+  EffectSummary summary;
+  std::vector<CallSiteEffects> calls;
+};
+
+class MethodScanner {
+ public:
+  DirectEffects scan(const lime::MethodDecl& m) {
+    method_ = &m;
+    // Seed origins: array-typed parameters are caller storage. Two passes
+    // over the body stabilize simple local-to-local aliasing chains.
+    for (const auto& p : m.params) {
+      if (p.type && p.type->is_array_like()) {
+        origins_[p.slot] = {Origin::kCaller, nullptr};
+      }
+    }
+    for (int pass = 0; pass < 2; ++pass) collect_origins(*m.body);
+    walk_stmt(*m.body);
+    return std::move(out_);
+  }
+
+ private:
+  // -- origin inference (flow-insensitive) --
+
+  OriginVal origin_of(const lime::Expr& e) const {
+    switch (e.kind) {
+      case ExprKind::kNewArray:
+      case ExprKind::kMap:
+      case ExprKind::kBitLit:
+        return {Origin::kFresh, nullptr};
+      case ExprKind::kName: {
+        const auto& n = as<lime::NameExpr>(e);
+        if (n.ref == lime::NameRefKind::kLocal) {
+          auto it = origins_.find(n.slot);
+          if (it != origins_.end()) return it->second;
+          return {Origin::kCaller, nullptr};
+        }
+        if (n.ref == lime::NameRefKind::kField) {
+          return {Origin::kField, n.field};
+        }
+        return {Origin::kCaller, nullptr};
+      }
+      case ExprKind::kField: {
+        const auto& f = as<lime::FieldExpr>(e);
+        if (f.field) return {Origin::kField, f.field};
+        return {Origin::kCaller, nullptr};
+      }
+      case ExprKind::kCast:
+        return origin_of(*as<lime::CastExpr>(e).operand);
+      case ExprKind::kTernary: {
+        // Either branch may flow; prefer the more pessimistic one.
+        const auto& t = as<lime::TernaryExpr>(e);
+        OriginVal a = origin_of(*t.then_expr);
+        OriginVal b = origin_of(*t.else_expr);
+        if (a.origin == Origin::kField) return a;
+        if (b.origin == Origin::kField) return b;
+        if (a.origin == Origin::kCaller) return a;
+        return b;
+      }
+      default:
+        return {Origin::kCaller, nullptr};
+    }
+  }
+
+  void note_local_array(int slot, const lime::Expr& rhs) {
+    origins_[slot] = origin_of(rhs);
+  }
+
+  void collect_origins(const lime::Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::kBlock:
+        for (const auto& c : as<lime::BlockStmt>(s).stmts) {
+          if (c) collect_origins(*c);
+        }
+        return;
+      case StmtKind::kVarDecl: {
+        const auto& vd = as<lime::VarDeclStmt>(s);
+        if (vd.init && vd.init->type && vd.init->type->is_array_like()) {
+          note_local_array(vd.slot, *vd.init);
+        }
+        return;
+      }
+      case StmtKind::kExpr: {
+        const auto* e = as<lime::ExprStmt>(s).expr.get();
+        if (e && e->kind == ExprKind::kAssign) {
+          const auto& a = as<lime::AssignExpr>(*e);
+          if (a.target->kind == ExprKind::kName && a.value->type &&
+              a.value->type->is_array_like()) {
+            const auto& n = as<lime::NameExpr>(*a.target);
+            if (n.ref == lime::NameRefKind::kLocal) {
+              note_local_array(n.slot, *a.value);
+            }
+          }
+        }
+        return;
+      }
+      case StmtKind::kIf: {
+        const auto& i = as<lime::IfStmt>(s);
+        collect_origins(*i.then_stmt);
+        if (i.else_stmt) collect_origins(*i.else_stmt);
+        return;
+      }
+      case StmtKind::kWhile:
+        collect_origins(*as<lime::WhileStmt>(s).body);
+        return;
+      case StmtKind::kFor: {
+        const auto& f = as<lime::ForStmt>(s);
+        if (f.init) collect_origins(*f.init);
+        collect_origins(*f.body);
+        return;
+      }
+      default:
+        return;
+    }
+  }
+
+  // -- effect collection --
+
+  void record_store(const lime::Expr& array_expr) {
+    OriginVal o = origin_of(array_expr);
+    switch (o.origin) {
+      case Origin::kFresh:
+        return;  // method-local scratch: benign
+      case Origin::kField:
+        out_.summary.writes.insert(o.field);
+        return;
+      case Origin::kCaller:
+        out_.summary.writes_caller_array = true;
+        return;
+    }
+  }
+
+  void record_element_read(const lime::Expr& array_expr) {
+    OriginVal o = origin_of(array_expr);
+    if (o.origin == Origin::kField && o.field != nullptr) {
+      out_.summary.reads.insert(o.field);
+    }
+  }
+
+  void record_call(const lime::MethodDecl* callee,
+                   const std::vector<const lime::Expr*>& args) {
+    if (!callee) {
+      out_.summary.calls_unknown = true;
+      return;
+    }
+    CallSiteEffects cs;
+    cs.callee = callee;
+    for (const auto* a : args) {
+      if (a && a->type && a->type->is_array_like() &&
+          a->type->kind != lime::TypeKind::kValueArray) {
+        cs.array_args.push_back(origin_of(*a));
+      }
+    }
+    out_.calls.push_back(std::move(cs));
+  }
+
+  void walk_stmt(const lime::Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::kBlock:
+        for (const auto& c : as<lime::BlockStmt>(s).stmts) {
+          if (c) walk_stmt(*c);
+        }
+        return;
+      case StmtKind::kExpr:
+        if (as<lime::ExprStmt>(s).expr) walk_expr(*as<lime::ExprStmt>(s).expr);
+        return;
+      case StmtKind::kVarDecl:
+        if (as<lime::VarDeclStmt>(s).init) {
+          walk_expr(*as<lime::VarDeclStmt>(s).init);
+        }
+        return;
+      case StmtKind::kIf: {
+        const auto& i = as<lime::IfStmt>(s);
+        walk_expr(*i.cond);
+        walk_stmt(*i.then_stmt);
+        if (i.else_stmt) walk_stmt(*i.else_stmt);
+        return;
+      }
+      case StmtKind::kWhile: {
+        const auto& w = as<lime::WhileStmt>(s);
+        walk_expr(*w.cond);
+        walk_stmt(*w.body);
+        return;
+      }
+      case StmtKind::kFor: {
+        const auto& f = as<lime::ForStmt>(s);
+        if (f.init) walk_stmt(*f.init);
+        if (f.cond) walk_expr(*f.cond);
+        walk_stmt(*f.body);
+        if (f.update) walk_expr(*f.update);
+        return;
+      }
+      case StmtKind::kReturn:
+        if (as<lime::ReturnStmt>(s).value) {
+          walk_expr(*as<lime::ReturnStmt>(s).value);
+        }
+        return;
+      default:
+        return;
+    }
+  }
+
+  void walk_expr(const lime::Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kAssign: {
+        const auto& a = as<lime::AssignExpr>(e);
+        if (a.target->kind == ExprKind::kIndex) {
+          const auto& ix = as<lime::IndexExpr>(*a.target);
+          record_store(*ix.array);
+          walk_expr(*ix.array);
+          walk_expr(*ix.index);
+        } else if (a.target->kind == ExprKind::kName) {
+          const auto& n = as<lime::NameExpr>(*a.target);
+          if (n.ref == lime::NameRefKind::kField && n.field &&
+              !method_->is_ctor) {
+            out_.summary.writes.insert(n.field);
+          }
+        } else if (a.target->kind == ExprKind::kField) {
+          const auto& f = as<lime::FieldExpr>(*a.target);
+          if (f.field && !method_->is_ctor) {
+            out_.summary.writes.insert(f.field);
+          }
+          if (f.object) walk_expr(*f.object);
+        }
+        walk_expr(*a.value);
+        return;
+      }
+      case ExprKind::kIndex: {
+        const auto& ix = as<lime::IndexExpr>(e);
+        record_element_read(*ix.array);
+        walk_expr(*ix.array);
+        walk_expr(*ix.index);
+        return;
+      }
+      case ExprKind::kName: {
+        const auto& n = as<lime::NameExpr>(e);
+        if (n.ref == lime::NameRefKind::kField && n.field &&
+            !n.field->is_final) {
+          out_.summary.reads.insert(n.field);
+        }
+        return;
+      }
+      case ExprKind::kCall: {
+        const auto& c = as<lime::CallExpr>(e);
+        if (c.receiver) walk_expr(*c.receiver);
+        for (const auto& a : c.args) walk_expr(*a);
+        if (c.builtin == lime::CallExpr::Builtin::kNone) {
+          std::vector<const lime::Expr*> args;
+          for (const auto& a : c.args) args.push_back(a.get());
+          record_call(c.resolved, args);
+        }
+        return;
+      }
+      case ExprKind::kMap: {
+        const auto& m = as<lime::MapExpr>(e);
+        for (const auto& a : m.args) walk_expr(*a);
+        std::vector<const lime::Expr*> none;
+        record_call(m.resolved, none);  // map args are value arrays
+        return;
+      }
+      case ExprKind::kReduce: {
+        const auto& r = as<lime::ReduceExpr>(e);
+        for (const auto& a : r.args) walk_expr(*a);
+        std::vector<const lime::Expr*> none;
+        record_call(r.resolved, none);
+        return;
+      }
+      case ExprKind::kUnary: {
+        const auto& u = as<lime::UnaryExpr>(e);
+        walk_expr(*u.operand);
+        if (u.op == lime::UnOp::kUserOp) {
+          std::vector<const lime::Expr*> none;
+          record_call(u.user_method, none);
+        }
+        return;
+      }
+      case ExprKind::kBinary:
+        walk_expr(*as<lime::BinaryExpr>(e).lhs);
+        walk_expr(*as<lime::BinaryExpr>(e).rhs);
+        return;
+      case ExprKind::kTernary: {
+        const auto& t = as<lime::TernaryExpr>(e);
+        walk_expr(*t.cond);
+        walk_expr(*t.then_expr);
+        walk_expr(*t.else_expr);
+        return;
+      }
+      case ExprKind::kField: {
+        const auto& f = as<lime::FieldExpr>(e);
+        if (f.object) walk_expr(*f.object);
+        if (f.field && !f.field->is_final && !f.is_array_length) {
+          out_.summary.reads.insert(f.field);
+        }
+        return;
+      }
+      case ExprKind::kCast:
+        walk_expr(*as<lime::CastExpr>(e).operand);
+        return;
+      case ExprKind::kNewArray: {
+        const auto& n = as<lime::NewArrayExpr>(e);
+        if (n.length) walk_expr(*n.length);
+        if (n.from_array) walk_expr(*n.from_array);
+        return;
+      }
+      case ExprKind::kRelocate:
+        walk_expr(*as<lime::RelocateExpr>(e).inner);
+        return;
+      case ExprKind::kConnect:
+        walk_expr(*as<lime::ConnectExpr>(e).lhs);
+        walk_expr(*as<lime::ConnectExpr>(e).rhs);
+        return;
+      default:
+        return;
+    }
+  }
+
+  const lime::MethodDecl* method_ = nullptr;
+  std::unordered_map<int, OriginVal> origins_;
+  DirectEffects out_;
+};
+
+}  // namespace
+
+EffectMap compute_effects(const lime::Program& program) {
+  // Direct effects per method.
+  std::unordered_map<const lime::MethodDecl*, DirectEffects> direct;
+  for (const auto& cls : program.classes) {
+    for (const auto& m : cls->methods) {
+      if (!m->body) continue;
+      MethodScanner scanner;
+      direct.emplace(m.get(), scanner.scan(*m));
+    }
+  }
+
+  // Call-graph fixpoint: fold callee summaries into callers until stable.
+  EffectMap summaries;
+  for (const auto& [m, d] : direct) summaries[m] = d.summary;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto& [m, d] : direct) {
+      EffectSummary& s = summaries[m];
+      for (const auto& cs : d.calls) {
+        auto it = summaries.find(cs.callee);
+        if (it == summaries.end()) {
+          // Callee without a body (implicit enum methods): effect-free.
+          continue;
+        }
+        const EffectSummary& callee = it->second;
+        for (const auto* f : callee.writes) {
+          if (s.writes.insert(f).second) changed = true;
+        }
+        for (const auto* f : callee.reads) {
+          if (s.reads.insert(f).second) changed = true;
+        }
+        if (callee.calls_unknown && !s.calls_unknown) {
+          s.calls_unknown = true;
+          changed = true;
+        }
+        if (callee.writes_caller_array) {
+          // The callee may write its array arguments: attribute the write
+          // to whatever storage this call site handed over.
+          for (const auto& o : cs.array_args) {
+            if (o.origin == Origin::kField && o.field) {
+              if (s.writes.insert(o.field).second) changed = true;
+            } else if (o.origin == Origin::kCaller &&
+                       !s.writes_caller_array) {
+              s.writes_caller_array = true;
+              changed = true;
+            }
+          }
+        }
+      }
+    }
+  }
+  return summaries;
+}
+
+}  // namespace lm::analysis

@@ -1,0 +1,41 @@
+// Interprocedural effect summaries (the isolation/effect verifier's data).
+//
+// For every method with a body we compute, to a call-graph fixpoint, the
+// set of fields whose *contents* the method may mutate or read. The
+// interesting soundness gap this closes: sema's purity bit is computed
+// from the signature alone, and a `local static` method may legally store
+// into the elements of a `static final` mutable array — shared state that
+// relocated artifacts would not see. analyze_program turns those facts
+// into LM110/LM111 diagnostics and demotes the offending tasks.
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "lime/ast.h"
+
+namespace lm::analysis {
+
+struct EffectSummary {
+  /// Fields mutated (scalar stores, or element stores into the field's
+  /// array), directly or via calls.
+  std::unordered_set<const lime::FieldDecl*> writes;
+  /// Mutable state read: element loads of array-typed fields and reads of
+  /// non-final scalar fields, directly or via calls.
+  std::unordered_set<const lime::FieldDecl*> reads;
+  /// The method may store into an array supplied by its caller.
+  bool writes_caller_array = false;
+  /// The method calls something whose effects we cannot see.
+  bool calls_unknown = false;
+
+  bool mutates_shared_state() const {
+    return !writes.empty() || writes_caller_array || calls_unknown;
+  }
+};
+
+using EffectMap = std::unordered_map<const lime::MethodDecl*, EffectSummary>;
+
+/// Computes transitive effect summaries for every method with a body.
+EffectMap compute_effects(const lime::Program& program);
+
+}  // namespace lm::analysis

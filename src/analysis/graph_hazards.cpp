@@ -1,0 +1,522 @@
+// LM201–LM205: task-graph hazard detection.
+//
+// Two complementary views feed this pass. The AST view tracks how graph
+// values are built and consumed inside each method (never-started graphs,
+// self-connections, one graph value reused across connections). The
+// extracted-graph view (ir::ProgramTaskGraphs) checks the semantic shape:
+// source/sink storage aliasing, rate/arity divisibility, and mutable state
+// shared between filters when part of the pipeline is relocated.
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/passes.h"
+
+namespace lm::analysis {
+
+using lime::as;
+using lime::ExprKind;
+using lime::StmtKind;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// AST view: graph construction/consumption per method
+// ---------------------------------------------------------------------------
+
+struct GraphLocal {
+  SourceLoc decl_loc;
+  std::string name;
+  int connect_uses = 0;  // times this value appears as a connect operand
+  bool started = false;  // saw <name>.start() / <name>.finish()
+  bool escaped = false;  // read in some other way — fate unknown
+};
+
+class MethodGraphScan {
+ public:
+  MethodGraphScan(const lime::MethodDecl& m, DiagnosticEngine& diags)
+      : method_(m), diags_(diags) {}
+
+  void run() {
+    if (!method_.body) return;
+    scan_stmt(*method_.body);
+    for (const auto& [slot, gl] : locals_) {
+      if (!gl.started && !gl.escaped) {
+        diags_.report(Severity::kWarning, "LM201", gl.decl_loc,
+                      "task graph '" + gl.name +
+                          "' is constructed but never started; its tasks "
+                          "will not run");
+      }
+      if (gl.connect_uses > 1) {
+        diags_.report(Severity::kWarning, "LM203", gl.decl_loc,
+                      "task graph '" + gl.name + "' is used in " +
+                          std::to_string(gl.connect_uses) +
+                          " connections; a graph value names one pipeline "
+                          "and must appear in a single connect chain");
+      }
+    }
+  }
+
+ private:
+  static const lime::NameExpr* as_local_name(const lime::Expr& e) {
+    if (e.kind != ExprKind::kName) return nullptr;
+    const auto& n = as<lime::NameExpr>(e);
+    return n.ref == lime::NameRefKind::kLocal ? &n : nullptr;
+  }
+
+  static bool is_connectish(const lime::Expr& e) {
+    return e.kind == ExprKind::kConnect || e.kind == ExprKind::kRelocate ||
+           e.kind == ExprKind::kTask;
+  }
+
+  void scan_stmt(const lime::Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::kBlock:
+        for (const auto& c : as<lime::BlockStmt>(s).stmts) {
+          if (c) scan_stmt(*c);
+        }
+        return;
+      case StmtKind::kVarDecl: {
+        const auto& vd = as<lime::VarDeclStmt>(s);
+        if (vd.init && is_connectish(*vd.init)) {
+          GraphLocal gl;
+          gl.decl_loc = vd.loc;
+          gl.name = vd.name;
+          // A connect chain in the initializer is this value's one
+          // pipeline; any further connect operand use is a reuse (LM203).
+          gl.connect_uses = vd.init->kind == ExprKind::kConnect ? 1 : 0;
+          locals_[vd.slot] = gl;
+          scan_operand_uses(*vd.init);
+        } else if (vd.init) {
+          scan_expr(*vd.init);
+        }
+        return;
+      }
+      case StmtKind::kExpr: {
+        const auto* e = as<lime::ExprStmt>(s).expr.get();
+        if (!e) return;
+        if (e->kind == ExprKind::kConnect) {
+          // A bare connect chain in statement position: unless a graph
+          // local roots it (tracked separately), the pipeline is built and
+          // immediately dropped.
+          scan_operand_uses(*e);
+          if (!chain_has_local_root(*e)) {
+            diags_.report(Severity::kWarning, "LM201", e->loc,
+                          "task graph is constructed but never started; "
+                          "its tasks will not run");
+          }
+          return;
+        }
+        scan_expr(*e);
+        return;
+      }
+      case StmtKind::kIf: {
+        const auto& i = as<lime::IfStmt>(s);
+        scan_expr(*i.cond);
+        scan_stmt(*i.then_stmt);
+        if (i.else_stmt) scan_stmt(*i.else_stmt);
+        return;
+      }
+      case StmtKind::kWhile: {
+        const auto& w = as<lime::WhileStmt>(s);
+        scan_expr(*w.cond);
+        scan_stmt(*w.body);
+        return;
+      }
+      case StmtKind::kFor: {
+        const auto& f = as<lime::ForStmt>(s);
+        if (f.init) scan_stmt(*f.init);
+        if (f.cond) scan_expr(*f.cond);
+        scan_stmt(*f.body);
+        if (f.update) scan_expr(*f.update);
+        return;
+      }
+      case StmtKind::kReturn:
+        if (as<lime::ReturnStmt>(s).value) {
+          scan_expr(*as<lime::ReturnStmt>(s).value);
+        }
+        return;
+      default:
+        return;
+    }
+  }
+
+  bool chain_has_local_root(const lime::Expr& e) {
+    if (e.kind == ExprKind::kConnect) {
+      const auto& c = as<lime::ConnectExpr>(e);
+      return chain_has_local_root(*c.lhs) || chain_has_local_root(*c.rhs);
+    }
+    const auto* n = as_local_name(e);
+    return n && locals_.count(n->slot) > 0;
+  }
+
+  /// Records graph-local uses inside a connect chain (LM202/LM203 inputs)
+  /// without treating them as escapes.
+  void scan_operand_uses(const lime::Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kConnect: {
+        const auto& c = as<lime::ConnectExpr>(e);
+        const auto* l = as_local_name(*c.lhs);
+        const auto* r = as_local_name(*c.rhs);
+        if (l && r && l->slot == r->slot) {
+          diags_.report(Severity::kWarning, "LM202", e.loc,
+                        "task graph '" + l->name +
+                            "' is connected to itself; a self-loop can "
+                            "never make progress");
+        }
+        scan_operand_uses(*c.lhs);
+        scan_operand_uses(*c.rhs);
+        return;
+      }
+      case ExprKind::kRelocate:
+        scan_operand_uses(*as<lime::RelocateExpr>(e).inner);
+        return;
+      case ExprKind::kName: {
+        const auto* n = as_local_name(e);
+        if (n) {
+          auto it = locals_.find(n->slot);
+          if (it != locals_.end()) it->second.connect_uses++;
+        }
+        return;
+      }
+      default:
+        scan_expr(e);
+        return;
+    }
+  }
+
+  void scan_expr(const lime::Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kCall: {
+        const auto& c = as<lime::CallExpr>(e);
+        if ((c.builtin == lime::CallExpr::Builtin::kStart ||
+             c.builtin == lime::CallExpr::Builtin::kFinish) &&
+            c.receiver) {
+          if (const auto* n = as_local_name(*c.receiver)) {
+            auto it = locals_.find(n->slot);
+            if (it != locals_.end()) {
+              it->second.started = true;
+            }
+          } else {
+            scan_expr(*c.receiver);
+          }
+          for (const auto& a : c.args) scan_expr(*a);
+          return;
+        }
+        if (c.receiver) scan_expr(*c.receiver);
+        for (const auto& a : c.args) scan_expr(*a);
+        return;
+      }
+      case ExprKind::kConnect:
+        scan_operand_uses(e);
+        return;
+      case ExprKind::kName: {
+        // Any other read of a tracked graph local: it escapes our view.
+        if (const auto* n = as_local_name(e)) {
+          auto it = locals_.find(n->slot);
+          if (it != locals_.end()) it->second.escaped = true;
+        }
+        return;
+      }
+      case ExprKind::kAssign: {
+        const auto& a = as<lime::AssignExpr>(e);
+        if (const auto* n = as_local_name(*a.target)) {
+          if (a.value && is_connectish(*a.value)) {
+            GraphLocal gl;
+            gl.decl_loc = e.loc;
+            gl.name = n->name;
+            locals_[n->slot] = gl;
+            scan_operand_uses(*a.value);
+            return;
+          }
+        } else if (a.target) {
+          scan_expr(*a.target);
+        }
+        if (a.value) scan_expr(*a.value);
+        return;
+      }
+      case ExprKind::kBinary:
+        scan_expr(*as<lime::BinaryExpr>(e).lhs);
+        scan_expr(*as<lime::BinaryExpr>(e).rhs);
+        return;
+      case ExprKind::kUnary:
+        scan_expr(*as<lime::UnaryExpr>(e).operand);
+        return;
+      case ExprKind::kTernary: {
+        const auto& t = as<lime::TernaryExpr>(e);
+        scan_expr(*t.cond);
+        scan_expr(*t.then_expr);
+        scan_expr(*t.else_expr);
+        return;
+      }
+      case ExprKind::kIndex:
+        scan_expr(*as<lime::IndexExpr>(e).array);
+        scan_expr(*as<lime::IndexExpr>(e).index);
+        return;
+      case ExprKind::kField:
+        if (as<lime::FieldExpr>(e).object) {
+          scan_expr(*as<lime::FieldExpr>(e).object);
+        }
+        return;
+      case ExprKind::kCast:
+        scan_expr(*as<lime::CastExpr>(e).operand);
+        return;
+      case ExprKind::kNewArray: {
+        const auto& n = as<lime::NewArrayExpr>(e);
+        if (n.length) scan_expr(*n.length);
+        if (n.from_array) scan_expr(*n.from_array);
+        return;
+      }
+      case ExprKind::kMap:
+        for (const auto& a : as<lime::MapExpr>(e).args) scan_expr(*a);
+        return;
+      case ExprKind::kReduce:
+        for (const auto& a : as<lime::ReduceExpr>(e).args) scan_expr(*a);
+        return;
+      case ExprKind::kRelocate:
+        scan_expr(*as<lime::RelocateExpr>(e).inner);
+        return;
+      default:
+        return;
+    }
+  }
+
+  const lime::MethodDecl& method_;
+  DiagnosticEngine& diags_;
+  std::unordered_map<int, GraphLocal> locals_;
+};
+
+// ---------------------------------------------------------------------------
+// Extracted-graph view: aliasing, rates, shared state across brackets
+// ---------------------------------------------------------------------------
+
+/// Resolves the storage root of a source/sink receiver: the local slot or
+/// field it names, looking through casts.
+struct StorageRoot {
+  enum class Kind { kNone, kLocal, kField } kind = Kind::kNone;
+  int slot = -1;
+  const lime::FieldDecl* field = nullptr;
+  std::string name;
+
+  bool same_as(const StorageRoot& o) const {
+    if (kind == Kind::kNone || o.kind != kind) return false;
+    if (kind == Kind::kLocal) return slot == o.slot;
+    return field != nullptr && field == o.field;
+  }
+};
+
+StorageRoot storage_root(const lime::Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kName: {
+      const auto& n = as<lime::NameExpr>(e);
+      if (n.ref == lime::NameRefKind::kLocal) {
+        return {StorageRoot::Kind::kLocal, n.slot, nullptr, n.name};
+      }
+      if (n.ref == lime::NameRefKind::kField) {
+        return {StorageRoot::Kind::kField, -1, n.field, n.name};
+      }
+      return {};
+    }
+    case ExprKind::kField: {
+      const auto& f = as<lime::FieldExpr>(e);
+      if (f.field) return {StorageRoot::Kind::kField, -1, f.field, f.name};
+      return {};
+    }
+    case ExprKind::kCast:
+      return storage_root(*as<lime::CastExpr>(e).operand);
+    default:
+      return {};
+  }
+}
+
+/// Static element count of a source receiver, or -1 when unknown. A bit
+/// literal carries its width; a local whose (sole) initializer is a bit
+/// literal or a constant-length allocation is resolved through the
+/// enclosing method body.
+int64_t static_source_length(const lime::Expr& recv,
+                             const lime::MethodDecl* enclosing);
+
+int64_t static_length_of_init(const lime::Expr& init) {
+  switch (init.kind) {
+    case ExprKind::kBitLit:
+      return as<lime::BitLitExpr>(init).bits.width();
+    case ExprKind::kNewArray: {
+      const auto& na = as<lime::NewArrayExpr>(init);
+      if (na.length && na.length->kind == ExprKind::kIntLit) {
+        return as<lime::IntLitExpr>(*na.length).value;
+      }
+      if (na.from_array) return static_length_of_init(*na.from_array);
+      return -1;
+    }
+    case ExprKind::kCast:
+      return static_length_of_init(*as<lime::CastExpr>(init).operand);
+    default:
+      return -1;
+  }
+}
+
+const lime::Expr* find_local_init(const lime::Stmt& s, int slot) {
+  switch (s.kind) {
+    case StmtKind::kBlock:
+      for (const auto& c : as<lime::BlockStmt>(s).stmts) {
+        if (!c) continue;
+        if (const auto* r = find_local_init(*c, slot)) return r;
+      }
+      return nullptr;
+    case StmtKind::kVarDecl: {
+      const auto& vd = as<lime::VarDeclStmt>(s);
+      if (vd.slot == slot) return vd.init.get();
+      return nullptr;
+    }
+    case StmtKind::kIf: {
+      const auto& i = as<lime::IfStmt>(s);
+      if (const auto* r = find_local_init(*i.then_stmt, slot)) return r;
+      if (i.else_stmt) return find_local_init(*i.else_stmt, slot);
+      return nullptr;
+    }
+    case StmtKind::kWhile:
+      return find_local_init(*as<lime::WhileStmt>(s).body, slot);
+    case StmtKind::kFor: {
+      const auto& f = as<lime::ForStmt>(s);
+      if (f.init) {
+        if (const auto* r = find_local_init(*f.init, slot)) return r;
+      }
+      return find_local_init(*f.body, slot);
+    }
+    default:
+      return nullptr;
+  }
+}
+
+int64_t static_source_length(const lime::Expr& recv,
+                             const lime::MethodDecl* enclosing) {
+  if (recv.kind == ExprKind::kBitLit) {
+    return as<lime::BitLitExpr>(recv).bits.width();
+  }
+  if (recv.kind == ExprKind::kCast) {
+    return static_source_length(*as<lime::CastExpr>(recv).operand, enclosing);
+  }
+  if (recv.kind == ExprKind::kName && enclosing && enclosing->body) {
+    const auto& n = as<lime::NameExpr>(recv);
+    if (n.ref == lime::NameRefKind::kLocal) {
+      if (const auto* init = find_local_init(*enclosing->body, n.slot)) {
+        return static_length_of_init(*init);
+      }
+    }
+  }
+  return -1;
+}
+
+void check_extracted_graph(const ir::TaskGraphInfo& g,
+                           const EffectMap& effects,
+                           DiagnosticEngine& diags) {
+  using NodeKind = ir::TaskNodeInfo::Kind;
+  if (g.nodes.size() < 2) return;
+
+  // LM202 (semantic form): source and sink backed by the same storage. The
+  // sink drains into the very array the source is streaming out of.
+  const ir::TaskNodeInfo* source = nullptr;
+  const ir::TaskNodeInfo* sink = nullptr;
+  for (const auto& n : g.nodes) {
+    if (n.kind == NodeKind::kSource && !source) source = &n;
+    if (n.kind == NodeKind::kSink) sink = &n;
+  }
+  if (source && sink && source->receiver_expr && sink->receiver_expr) {
+    StorageRoot a = storage_root(*source->receiver_expr);
+    StorageRoot b = storage_root(*sink->receiver_expr);
+    if (a.same_as(b)) {
+      diags.report(Severity::kWarning, "LM202", g.loc,
+                   "task graph source and sink share storage '" + a.name +
+                       "'; the sink overwrites elements the source has yet "
+                       "to stream");
+    }
+  }
+
+  // LM204: rate/arity mismatches. Non-positive declared rates are always
+  // wrong; with a statically known stream length, check each filter's arity
+  // divides the elements reaching it (the remainder is silently dropped).
+  if (source) {
+    if (source->rate <= 0) {
+      diags.report(Severity::kWarning, "LM204", g.loc,
+                   "source rate " + std::to_string(source->rate) +
+                       " is not positive; the source can never fire");
+    }
+    int64_t remaining =
+        source->receiver_expr
+            ? static_source_length(*source->receiver_expr, g.enclosing)
+            : -1;
+    if (remaining >= 0) {
+      for (const auto& n : g.nodes) {
+        if (n.kind != NodeKind::kFilter || n.arity <= 0) continue;
+        if (remaining % n.arity != 0) {
+          diags.report(
+              Severity::kWarning, "LM204", g.loc,
+              "filter '" + n.task_id + "' consumes " +
+                  std::to_string(n.arity) + " elements per firing but " +
+                  std::to_string(remaining) +
+                  " reach it; the trailing " +
+                  std::to_string(remaining % n.arity) +
+                  " element(s) are dropped");
+        }
+        remaining /= n.arity;
+      }
+    }
+  }
+
+  // LM205: two filters of one pipeline touch the same field, at least one
+  // writes it, and at least one party is relocated. Once the runtime
+  // substitutes an accelerator artifact the field has two homes (§2.3 —
+  // isolation is what makes relocation sound).
+  struct FieldUse {
+    std::vector<const ir::TaskNodeInfo*> readers, writers;
+  };
+  std::unordered_map<const lime::FieldDecl*, FieldUse> uses;
+  for (const auto& n : g.nodes) {
+    if (n.kind != NodeKind::kFilter || !n.method) continue;
+    auto it = effects.find(n.method);
+    if (it == effects.end()) continue;
+    for (const auto* f : it->second.writes) uses[f].writers.push_back(&n);
+    for (const auto* f : it->second.reads) uses[f].readers.push_back(&n);
+  }
+  for (const auto& [field, u] : uses) {
+    size_t parties = u.writers.size();
+    for (const auto* r : u.readers) {
+      bool also_writer = false;
+      for (const auto* w : u.writers) {
+        if (w == r) also_writer = true;
+      }
+      if (!also_writer) ++parties;
+    }
+    if (u.writers.empty() || parties < 2) continue;
+    bool any_relocated = false;
+    for (const auto* w : u.writers) any_relocated |= w->relocated;
+    for (const auto* r : u.readers) any_relocated |= r->relocated;
+    if (!any_relocated) continue;
+    diags.report(Severity::kWarning, "LM205", g.loc,
+                 "field '" + field->name +
+                     "' is shared mutable state between " +
+                     std::to_string(parties) +
+                     " filters of a graph with relocation brackets; a "
+                     "relocated artifact cannot observe the other filter's "
+                     "writes");
+  }
+}
+
+}  // namespace
+
+void check_graph_hazards(const lime::Program& program,
+                         const ir::ProgramTaskGraphs& graphs,
+                         const EffectMap& effects, DiagnosticEngine& diags) {
+  for (const auto& cls : program.classes) {
+    if (cls->name == "bit") continue;
+    for (const auto& m : cls->methods) {
+      MethodGraphScan scan(*m, diags);
+      scan.run();
+    }
+  }
+  for (const auto& g : graphs.graphs) {
+    check_extracted_graph(g, effects, diags);
+  }
+}
+
+}  // namespace lm::analysis

@@ -1,0 +1,430 @@
+#include "analysis/ir_verify.h"
+
+#include <string>
+#include <vector>
+
+namespace lm::analysis {
+
+namespace {
+
+std::string pc_str(size_t pc) { return "pc " + std::to_string(pc); }
+
+// ---------------------------------------------------------------------------
+// Kernel IR
+// ---------------------------------------------------------------------------
+
+/// Registers an instruction reads, in the executor's order.
+void read_regs(const gpu::KInstr& in, std::vector<uint16_t>& out) {
+  using gpu::KOp;
+  out.clear();
+  switch (in.op) {
+    case KOp::kLoadParam:
+    case KOp::kLoadConst:
+    case KOp::kArrayLen:
+    case KOp::kJump:
+      return;
+    case KOp::kLoadElem:
+      out.push_back(in.b);  // a is a parameter index, b the index register
+      return;
+    case KOp::kMov:
+    case KOp::kNeg:
+    case KOp::kNot:
+    case KOp::kBitFlip:
+    case KOp::kCast:
+    case KOp::kJumpIfFalse:
+    case KOp::kRet:
+      out.push_back(in.a);
+      return;
+    case KOp::kArith:
+    case KOp::kCmp:
+      out.push_back(in.a);
+      out.push_back(in.b);
+      return;
+    case KOp::kIntrinsic: {
+      out.push_back(in.a);
+      auto i = static_cast<bc::Intrinsic>(in.aux);
+      if (i == bc::Intrinsic::kPow || i == bc::Intrinsic::kMin ||
+          i == bc::Intrinsic::kMax) {
+        out.push_back(in.b);
+      }
+      return;
+    }
+  }
+}
+
+bool writes_dst(gpu::KOp op) {
+  using gpu::KOp;
+  switch (op) {
+    case KOp::kJump:
+    case KOp::kJumpIfFalse:
+    case KOp::kRet:
+      return false;
+    default:
+      return true;
+  }
+}
+
+/// Successor pcs. A successor equal to code.size() is "fell off the end" —
+/// structurally representable (dead jumps past a kRet target it) but must
+/// never be reachable.
+void successors(const gpu::KInstr& in, size_t pc, size_t n,
+                std::vector<size_t>& out) {
+  using gpu::KOp;
+  out.clear();
+  switch (in.op) {
+    case KOp::kRet:
+      return;
+    case KOp::kJump:
+      if (in.imm >= 0) out.push_back(static_cast<size_t>(in.imm));
+      return;
+    case KOp::kJumpIfFalse:
+      if (in.imm >= 0) out.push_back(static_cast<size_t>(in.imm));
+      out.push_back(pc + 1);
+      return;
+    default:
+      out.push_back(pc + 1);
+      return;
+  }
+  (void)n;
+}
+
+}  // namespace
+
+int verify_kernel(const gpu::KernelProgram& k, DiagnosticEngine& diags) {
+  const size_t n = k.code.size();
+  const auto nr = static_cast<uint16_t>(k.num_regs);
+  int count = 0;
+  SourceLoc loc{};
+  auto err = [&](const std::string& code, const std::string& msg) {
+    diags.report(Severity::kError, code, loc,
+                 "kernel '" + k.task_id + "': " + msg);
+    ++count;
+  };
+
+  // Pass 1: per-instruction structural checks.
+  std::vector<uint16_t> reads;
+  for (size_t pc = 0; pc < n; ++pc) {
+    const gpu::KInstr& in = k.code[pc];
+    using gpu::KOp;
+
+    if (writes_dst(in.op) && in.dst >= nr) {
+      err("LM301", pc_str(pc) + ": destination register r" +
+                       std::to_string(in.dst) + " out of range (num_regs=" +
+                       std::to_string(k.num_regs) + ")");
+    }
+    read_regs(in, reads);
+    for (uint16_t r : reads) {
+      if (r >= nr) {
+        err("LM301", pc_str(pc) + ": source register r" + std::to_string(r) +
+                         " out of range (num_regs=" +
+                         std::to_string(k.num_regs) + ")");
+      }
+    }
+
+    if (in.op == KOp::kLoadConst && in.a >= k.consts.size()) {
+      err("LM302", pc_str(pc) + ": constant-pool index " +
+                       std::to_string(in.a) + " out of range (pool size " +
+                       std::to_string(k.consts.size()) + ")");
+    }
+
+    if (in.op == KOp::kJump || in.op == KOp::kJumpIfFalse) {
+      if (in.imm < 0 || static_cast<size_t>(in.imm) > n) {
+        err("LM303", pc_str(pc) + ": jump target " + std::to_string(in.imm) +
+                         " out of range [0, " + std::to_string(n) + "]");
+      }
+    }
+
+    if (in.op == KOp::kLoadParam || in.op == KOp::kLoadElem ||
+        in.op == KOp::kArrayLen) {
+      if (in.a >= k.params.size()) {
+        err("LM305", pc_str(pc) + ": parameter index " + std::to_string(in.a) +
+                         " out of range (" + std::to_string(k.params.size()) +
+                         " params)");
+      } else {
+        const auto mode = k.params[in.a].mode;
+        const bool needs_whole =
+            in.op == KOp::kLoadElem || in.op == KOp::kArrayLen;
+        if (needs_whole && mode != gpu::ParamMode::kWholeArray) {
+          err("LM305", pc_str(pc) +
+                           ": array access to non-whole-array parameter " +
+                           std::to_string(in.a));
+        }
+        if (!needs_whole && mode == gpu::ParamMode::kWholeArray) {
+          err("LM305", pc_str(pc) +
+                           ": scalar load of whole-array parameter " +
+                           std::to_string(in.a));
+        }
+      }
+    }
+  }
+  if (count > 0) return count;  // dataflow needs structural sanity
+
+  // Pass 2: reachability + must-defined registers (forward dataflow, meet =
+  // intersection). in_state[pc] bit r set ⇔ r is defined on every path.
+  std::vector<char> reachable(n + 1, 0);
+  std::vector<std::vector<char>> defined(
+      n + 1, std::vector<char>(k.num_regs > 0 ? k.num_regs : 0, 1));
+  std::vector<size_t> work;
+  if (n == 0) {
+    reachable[0] = 1;
+  } else {
+    reachable[0] = 1;
+    for (auto& d : defined[0]) d = 0;
+    work.push_back(0);
+  }
+  std::vector<size_t> succ;
+  while (!work.empty()) {
+    size_t pc = work.back();
+    work.pop_back();
+    if (pc >= n) continue;
+    const gpu::KInstr& in = k.code[pc];
+    std::vector<char> out = defined[pc];
+    if (writes_dst(in.op) && in.dst < out.size()) out[in.dst] = 1;
+    successors(in, pc, n, succ);
+    for (size_t s : succ) {
+      if (s > n) continue;
+      bool changed = false;
+      if (!reachable[s]) {
+        reachable[s] = 1;
+        defined[s] = out;
+        changed = true;
+      } else {
+        for (size_t r = 0; r < out.size(); ++r) {
+          if (!out[r] && defined[s][r]) {
+            defined[s][r] = 0;
+            changed = true;
+          }
+        }
+      }
+      if (changed && s < n) work.push_back(s);
+      if (changed && s == n) reachable[n] = 1;
+    }
+  }
+
+  for (size_t pc = 0; pc < n; ++pc) {
+    if (!reachable[pc]) continue;
+    read_regs(k.code[pc], reads);
+    for (uint16_t r : reads) {
+      if (r < defined[pc].size() && !defined[pc][r]) {
+        err("LM304", pc_str(pc) + ": register r" + std::to_string(r) +
+                         " may be used before definition");
+      }
+    }
+  }
+
+  if (n == 0 || reachable[n]) {
+    err("LM306",
+        "execution can fall off the end of the kernel without returning");
+  }
+  return count;
+}
+
+// ---------------------------------------------------------------------------
+// RTL netlist
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void collect_sig_leaves(const rtl::HExpr& e, std::vector<rtl::SigId>& out) {
+  switch (e.kind) {
+    case rtl::HKind::kConst:
+      return;
+    case rtl::HKind::kSig:
+      out.push_back(e.sig);
+      return;
+    default:
+      if (e.a) collect_sig_leaves(*e.a, out);
+      if (e.b) collect_sig_leaves(*e.b, out);
+      if (e.c) collect_sig_leaves(*e.c, out);
+      return;
+  }
+}
+
+}  // namespace
+
+int verify_module(const rtl::Module& m, DiagnosticEngine& diags) {
+  int count = 0;
+  SourceLoc loc{};
+  auto err = [&](const std::string& code, const std::string& msg) {
+    diags.report(Severity::kError, code, loc,
+                 "module '" + m.name + "': " + msg);
+    ++count;
+  };
+  const int num_sigs = static_cast<int>(m.signals.size());
+  auto in_range = [&](rtl::SigId id) { return id >= 0 && id < num_sigs; };
+  auto sig_name = [&](rtl::SigId id) {
+    return in_range(id) ? m.signals[static_cast<size_t>(id)].name
+                        : ("<sig " + std::to_string(id) + ">");
+  };
+
+  // LM311: every referenced signal id must exist.
+  std::vector<rtl::SigId> leaves;
+  auto check_expr_ids = [&](const rtl::HExpr& e, const std::string& where) {
+    leaves.clear();
+    collect_sig_leaves(e, leaves);
+    bool ok = true;
+    for (rtl::SigId id : leaves) {
+      if (!in_range(id)) {
+        err("LM311", where + " references signal id " + std::to_string(id) +
+                         " out of range (" + std::to_string(num_sigs) +
+                         " signals)");
+        ok = false;
+      }
+    }
+    return ok;
+  };
+  bool ids_ok = true;
+  for (const auto& ca : m.comb) {
+    if (!in_range(ca.target)) {
+      err("LM311", "combinational assignment targets signal id " +
+                       std::to_string(ca.target) + " out of range");
+      ids_ok = false;
+    }
+    if (!ca.expr || !check_expr_ids(*ca.expr, "combinational expression")) {
+      ids_ok = false;
+    }
+  }
+  for (const auto& sa : m.seq) {
+    if (!in_range(sa.target)) {
+      err("LM311", "sequential assignment targets signal id " +
+                       std::to_string(sa.target) + " out of range");
+      ids_ok = false;
+    }
+    if (!sa.next || !check_expr_ids(*sa.next, "register next-value")) {
+      ids_ok = false;
+    }
+  }
+  if (!ids_ok) return count;  // later checks index signals by id
+
+  // LM312: driver legality — one combinational driver per wire/output, one
+  // sequential driver per reg, inputs driven by nobody, no cross-kind mixes.
+  std::vector<int> comb_drivers(static_cast<size_t>(num_sigs), 0);
+  std::vector<int> seq_drivers(static_cast<size_t>(num_sigs), 0);
+  for (const auto& ca : m.comb) {
+    const rtl::Signal& s = m.signals[static_cast<size_t>(ca.target)];
+    if (s.kind == rtl::SigKind::kInput) {
+      err("LM312", "input '" + s.name + "' has a combinational driver");
+    } else if (s.kind == rtl::SigKind::kReg) {
+      err("LM312", "register '" + s.name +
+                       "' has a combinational driver (needs assign_next)");
+    }
+    if (++comb_drivers[static_cast<size_t>(ca.target)] == 2) {
+      err("LM312", "signal '" + s.name + "' has multiple combinational "
+                                         "drivers");
+    }
+  }
+  for (const auto& sa : m.seq) {
+    const rtl::Signal& s = m.signals[static_cast<size_t>(sa.target)];
+    if (s.kind != rtl::SigKind::kReg) {
+      err("LM312", "sequential assignment to non-register '" + s.name + "'");
+    }
+    if (++seq_drivers[static_cast<size_t>(sa.target)] == 2) {
+      err("LM312", "register '" + s.name + "' has multiple sequential "
+                                           "drivers");
+    }
+  }
+
+  // LM313: undriven outputs and registers; wires that are read somewhere
+  // but never driven.
+  std::vector<char> read_somewhere(static_cast<size_t>(num_sigs), 0);
+  auto mark_reads = [&](const rtl::HExpr& e) {
+    leaves.clear();
+    collect_sig_leaves(e, leaves);
+    for (rtl::SigId id : leaves) read_somewhere[static_cast<size_t>(id)] = 1;
+  };
+  for (const auto& ca : m.comb) mark_reads(*ca.expr);
+  for (const auto& sa : m.seq) mark_reads(*sa.next);
+  for (int id = 0; id < num_sigs; ++id) {
+    const rtl::Signal& s = m.signals[static_cast<size_t>(id)];
+    switch (s.kind) {
+      case rtl::SigKind::kOutput:
+        if (comb_drivers[static_cast<size_t>(id)] == 0) {
+          err("LM313", "output '" + s.name + "' is never driven");
+        }
+        break;
+      case rtl::SigKind::kReg:
+        if (seq_drivers[static_cast<size_t>(id)] == 0) {
+          err("LM313", "register '" + s.name + "' has no next-value");
+        }
+        break;
+      case rtl::SigKind::kWire:
+        if (read_somewhere[static_cast<size_t>(id)] &&
+            comb_drivers[static_cast<size_t>(id)] == 0) {
+          err("LM313", "wire '" + s.name + "' is read but never driven");
+        }
+        break;
+      case rtl::SigKind::kInput:
+        break;
+    }
+  }
+
+  // LM314: top-level width agreement between every assignment and its
+  // target signal.
+  for (const auto& ca : m.comb) {
+    const rtl::Signal& s = m.signals[static_cast<size_t>(ca.target)];
+    if (ca.expr->width != s.width) {
+      err("LM314", "signal '" + s.name + "' is " + std::to_string(s.width) +
+                       " bits but its driver produces " +
+                       std::to_string(ca.expr->width) + " bits");
+    }
+  }
+  for (const auto& sa : m.seq) {
+    const rtl::Signal& s = m.signals[static_cast<size_t>(sa.target)];
+    if (sa.next->width != s.width) {
+      err("LM314", "register '" + s.name + "' is " +
+                       std::to_string(s.width) +
+                       " bits but its next-value produces " +
+                       std::to_string(sa.next->width) + " bits");
+    }
+  }
+
+  // LM315: combinational cycles. Edges flow from each comb-driven source
+  // leaf to the assignment's target; registers and inputs break cycles.
+  std::vector<int> driver_of(static_cast<size_t>(num_sigs), -1);
+  for (size_t i = 0; i < m.comb.size(); ++i) {
+    const rtl::Signal& s = m.signals[static_cast<size_t>(m.comb[i].target)];
+    if (s.kind == rtl::SigKind::kWire || s.kind == rtl::SigKind::kOutput) {
+      driver_of[static_cast<size_t>(m.comb[i].target)] =
+          static_cast<int>(i);
+    }
+  }
+  // Iterative DFS, colors: 0 = white, 1 = on stack, 2 = done.
+  std::vector<char> color(m.comb.size(), 0);
+  bool cycle = false;
+  for (size_t root = 0; root < m.comb.size() && !cycle; ++root) {
+    if (color[root] != 0) continue;
+    std::vector<std::pair<size_t, size_t>> stack;  // (assign idx, leaf pos)
+    std::vector<std::vector<rtl::SigId>> leaf_sets;
+    auto open = [&](size_t idx) {
+      color[idx] = 1;
+      std::vector<rtl::SigId> ls;
+      collect_sig_leaves(*m.comb[idx].expr, ls);
+      leaf_sets.push_back(std::move(ls));
+      stack.emplace_back(idx, 0);
+    };
+    open(root);
+    while (!stack.empty() && !cycle) {
+      auto& [idx, pos] = stack.back();
+      if (pos >= leaf_sets.back().size()) {
+        color[idx] = 2;
+        stack.pop_back();
+        leaf_sets.pop_back();
+        continue;
+      }
+      rtl::SigId leaf = leaf_sets.back()[pos++];
+      int next = driver_of[static_cast<size_t>(leaf)];
+      if (next < 0) continue;
+      if (color[static_cast<size_t>(next)] == 1) {
+        err("LM315",
+            "combinational cycle through signal '" + sig_name(leaf) + "'");
+        cycle = true;
+      } else if (color[static_cast<size_t>(next)] == 0) {
+        open(static_cast<size_t>(next));
+      }
+    }
+  }
+
+  return count;
+}
+
+}  // namespace lm::analysis

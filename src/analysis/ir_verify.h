@@ -1,0 +1,34 @@
+// IR well-formedness verification (LM3xx).
+//
+// Both backends lower through internal IRs that the simulated devices then
+// trust blindly: the executor indexes registers without bounds checks and
+// the RTL simulator assumes validate()'s invariants. These verifiers make
+// the trust explicit — they re-derive every invariant independently and
+// report violations as LM3xx diagnostics instead of undefined behaviour.
+// The compiler driver runs them after each successful backend compile when
+// LM_VERIFY_IR=1; tests feed them deliberately corrupted IR.
+//
+//   LM301  register operand out of range          LM311  signal id out of range
+//   LM302  constant-pool index out of range       LM312  multiple/illegal drivers
+//   LM303  jump target out of range               LM313  undriven signal
+//   LM304  register used before definition        LM314  expression width mismatch
+//   LM305  parameter index/mode mismatch          LM315  combinational cycle
+//   LM306  reachable fall-off-the-end
+#pragma once
+
+#include "gpu/kernel_ir.h"
+#include "rtl/netlist.h"
+#include "util/diagnostics.h"
+
+namespace lm::analysis {
+
+/// Verifies a compiled kernel program. Returns the number of diagnostics
+/// added (all errors, located at line 0 — kernel IR has no source mapping;
+/// the task_id is embedded in each message).
+int verify_kernel(const gpu::KernelProgram& k, DiagnosticEngine& diags);
+
+/// Verifies an RTL module's structural invariants without tripping the
+/// Module::validate() assertions. Returns the number of diagnostics added.
+int verify_module(const rtl::Module& m, DiagnosticEngine& diags);
+
+}  // namespace lm::analysis

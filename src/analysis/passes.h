@@ -1,0 +1,21 @@
+// Internal pass entry points shared between analysis.cpp and the
+// per-analysis translation units. Not part of the public surface.
+#pragma once
+
+#include "analysis/effects.h"
+#include "ir/task_graph.h"
+#include "lime/ast.h"
+#include "util/diagnostics.h"
+
+namespace lm::analysis {
+
+/// LM101–LM103: definite assignment / use-before-init plus constant and
+/// bit-literal-width propagation over one method body.
+void check_local_facts(const lime::MethodDecl& m, DiagnosticEngine& diags);
+
+/// LM201–LM205: task-graph hazard detection over the whole program.
+void check_graph_hazards(const lime::Program& program,
+                         const ir::ProgramTaskGraphs& graphs,
+                         const EffectMap& effects, DiagnosticEngine& diags);
+
+}  // namespace lm::analysis

@@ -233,9 +233,12 @@ class ConstEval {
 /// Per-method code generator.
 class MethodCompiler {
  public:
+  using StaticCellMap = std::unordered_map<const lime::FieldDecl*, Value>;
+
   MethodCompiler(BytecodeModule& module,
-                 const std::unordered_map<const lime::MethodDecl*, int>& index)
-      : module_(module), method_index_(index) {}
+                 const std::unordered_map<const lime::MethodDecl*, int>& index,
+                 StaticCellMap& static_cells)
+      : module_(module), method_index_(index), static_cells_(static_cells) {}
 
   void compile(const lime::MethodDecl& m, CompiledMethod& out) {
     code_ = &out.code;
@@ -261,6 +264,31 @@ class MethodCompiler {
                         (m ? m->qualified_name() : "<null>")};
     }
     return it->second;
+  }
+
+  /// Materializes a `static final T[] f = new T[K]` field as one shared
+  /// array cell (Java semantics: the reference is final, the elements are
+  /// not). Every reference site aliases the same storage, so element writes
+  /// are visible program-wide — exactly the shared state the effect
+  /// verifier demotes accelerated placement for. Returns nullptr when the
+  /// initializer is not a constant-length allocation.
+  const Value* static_array_cell(const lime::FieldDecl* f) {
+    auto it = static_cells_.find(f);
+    if (it != static_cells_.end()) return &it->second;
+    if (!f->init || f->init->kind != ExprKind::kNewArray) return nullptr;
+    const auto& na = as<lime::NewArrayExpr>(*f->init);
+    if (na.is_value_array || !na.length) return nullptr;
+    ConstEval ce;
+    auto len = ce.eval(*na.length);
+    if (!len || len->kind() != ValueKind::kInt || len->as_i32() < 0) {
+      return nullptr;
+    }
+    ArrayRef cell = make_array(elem_code_for(na.elem_type),
+                               static_cast<size_t>(len->as_i32()));
+    auto [pos, inserted] =
+        static_cells_.emplace(f, Value::array(std::move(cell)));
+    (void)inserted;
+    return &pos->second;
   }
 
   // -- statements --
@@ -530,6 +558,10 @@ class MethodCompiler {
             emit_const(*v);
             return true;
           }
+          if (const Value* cell = static_array_cell(f)) {
+            emit_const(*cell);
+            return true;
+          }
           throw Unsupported{"static final field '" + f->name +
                             "' has a non-constant initializer"};
         }
@@ -560,6 +592,10 @@ class MethodCompiler {
       ConstEval ce;
       if (auto v = ce.eval(*f.field->init)) {
         emit_const(*v);
+        return true;
+      }
+      if (const Value* cell = static_array_cell(f.field)) {
+        emit_const(*cell);
         return true;
       }
     }
@@ -730,6 +766,7 @@ class MethodCompiler {
 
   BytecodeModule& module_;
   const std::unordered_map<const lime::MethodDecl*, int>& method_index_;
+  StaticCellMap& static_cells_;
   std::vector<Instr>* code_ = nullptr;
   std::vector<Loop> loops_;
   int relocate_depth_ = 0;
@@ -746,6 +783,7 @@ std::unique_ptr<BytecodeModule> compile_program(const lime::Program& program,
                                                 DiagnosticEngine& diags) {
   auto module = std::make_unique<BytecodeModule>();
   std::unordered_map<const lime::MethodDecl*, int> index;
+  MethodCompiler::StaticCellMap static_cells;
 
   // Pass 1: allocate method slots (so calls can be emitted in any order).
   for (const auto& cls : program.classes) {
@@ -773,7 +811,7 @@ std::unique_ptr<BytecodeModule> compile_program(const lime::Program& program,
     for (const auto& m : cls->methods) {
       CompiledMethod& cm = module->methods[index[m.get()]];
       try {
-        MethodCompiler mc(*module, index);
+        MethodCompiler mc(*module, index, static_cells);
         mc.compile(*m, cm);
       } catch (const Unsupported& u) {
         cm.code.clear();

@@ -30,6 +30,9 @@ namespace {
 
 struct Exclude {
   std::string reason;
+  /// Position of the offending construct; line 0 means "the method as a
+  /// whole" and the catch site substitutes the method's declaration loc.
+  SourceLoc loc{};
 };
 
 constexpr int kMaxInlineDepth = 8;
@@ -105,6 +108,26 @@ class Synthesizer {
       }
       case StmtKind::kVarDecl: {
         const auto& vd = as<lime::VarDeclStmt>(s);
+        // `var` declarations carry no declared type; the initializer's
+        // synthesis excludes any unsupported construct on its own.
+        if (!vd.declared_type) {
+          if (!vd.init) throw Exclude{"'var' local without initializer"};
+          st.env[vd.slot] = eval(*vd.init, st);
+          return;
+        }
+        switch (vd.declared_type->kind) {
+          case lime::TypeKind::kBit:
+          case lime::TypeKind::kBoolean:
+          case lime::TypeKind::kInt:
+          case lime::TypeKind::kClass:
+          case lime::TypeKind::kLong:
+            break;
+          default:
+            throw Exclude{"local '" + vd.name + "' of type " +
+                              vd.declared_type->to_string() +
+                              " is not synthesizable",
+                          vd.loc};
+        }
         int w = fpga_width(vd.declared_type);
         st.env[vd.slot] = vd.init ? eval(*vd.init, st) : h_const(w, 0);
         return;
@@ -326,16 +349,17 @@ class Synthesizer {
                          static_cast<uint64_t>(f.enum_ordinal));
         }
         if (auto v = bc::eval_const_expr(f)) return const_to_hexpr(*v);
-        throw Exclude{"field access in a filter body"};
+        throw Exclude{"field access in a filter body", f.loc};
       }
       case ExprKind::kIndex:
         throw Exclude{"array access in a filter body (no memory "
-                      "inference in this backend)"};
+                      "inference in this backend)",
+                      ex.loc};
       case ExprKind::kNewArray:
-        throw Exclude{"array allocation in a filter body"};
+        throw Exclude{"array allocation in a filter body", ex.loc};
       case ExprKind::kMap: case ExprKind::kReduce: case ExprKind::kTask:
       case ExprKind::kRelocate: case ExprKind::kConnect:
-        throw Exclude{"task/map/reduce operator in a filter body"};
+        throw Exclude{"task/map/reduce operator in a filter body", ex.loc};
     }
     LM_UNREACHABLE("unhandled expression");
   }
@@ -586,6 +610,7 @@ FpgaCompileResult synthesize_filter(const lime::MethodDecl& method,
   } catch (const Exclude& ex) {
     FpgaCompileResult result;
     result.exclusion_reason = ex.reason;
+    result.exclusion_loc = ex.loc.line > 0 ? ex.loc : method.loc;
     return result;
   }
 }
@@ -623,6 +648,7 @@ FpgaCompileResult synthesize_segment(
   } catch (const Exclude& ex) {
     FpgaCompileResult result;
     result.exclusion_reason = ex.reason;
+    result.exclusion_loc = ex.loc.line > 0 ? ex.loc : chain[0]->loc;
     return result;
   }
 }

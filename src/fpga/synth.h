@@ -56,6 +56,9 @@ struct FpgaCompileResult {
   std::string verilog;                  // the artifact text (Fig. 2)
   FpgaPortMeta ports;
   std::string exclusion_reason;
+  /// Source position of the construct that triggered the exclusion (the
+  /// method declaration when no finer position is known).
+  SourceLoc exclusion_loc{};
 
   bool ok() const { return module != nullptr; }
 };

@@ -22,6 +22,9 @@ constexpr int kMaxInlineDepth = 8;
 
 struct Exclude {
   std::string reason;
+  /// Where the offending construct sits; default (line 0) means "the
+  /// method as a whole" and the catch site substitutes the method's loc.
+  SourceLoc loc{};
 };
 
 ArithOp arith_for(BinOp op) {
@@ -422,7 +425,7 @@ class Lowering {
           return add_const(NumType::kBit, r);
         }
         if (auto v = bc::eval_const_expr(f)) return const_from_value(*v);
-        throw Exclude{"field access inside a kernel"};
+        throw Exclude{"field access inside a kernel", f.loc};
       }
       case ExprKind::kCast: {
         const auto& c = as<lime::CastExpr>(e);
@@ -435,14 +438,14 @@ class Lowering {
         return dst;
       }
       case ExprKind::kNewArray:
-        throw Exclude{"array allocation inside a kernel"};
+        throw Exclude{"array allocation inside a kernel", e.loc};
       case ExprKind::kMap:
       case ExprKind::kReduce:
-        throw Exclude{"nested map/reduce inside a kernel"};
+        throw Exclude{"nested map/reduce inside a kernel", e.loc};
       case ExprKind::kTask:
       case ExprKind::kRelocate:
       case ExprKind::kConnect:
-        throw Exclude{"task-graph construction inside a kernel"};
+        throw Exclude{"task-graph construction inside a kernel", e.loc};
     }
     LM_UNREACHABLE("unhandled kernel expression");
   }
@@ -464,10 +467,10 @@ class Lowering {
         // Static-final constants fold (sema guarantees local methods touch
         // nothing else among fields).
         if (auto v = bc::eval_const_expr(n)) return const_from_value(*v);
-        throw Exclude{"field '" + n.name + "' inside a kernel"};
+        throw Exclude{"field '" + n.name + "' inside a kernel", n.loc};
       }
       default:
-        throw Exclude{"unresolved name inside a kernel"};
+        throw Exclude{"unresolved name inside a kernel", n.loc};
     }
   }
 
@@ -543,7 +546,7 @@ class Lowering {
 
   int lower_assign(const lime::AssignExpr& a) {
     if (a.target->kind != ExprKind::kName) {
-      throw Exclude{"assignment through memory inside a kernel"};
+      throw Exclude{"assignment through memory inside a kernel", a.loc};
     }
     const auto& n = as<lime::NameExpr>(*a.target);
     LM_CHECK(n.ref == lime::NameRefKind::kLocal);
@@ -565,7 +568,7 @@ class Lowering {
       case B::kNone:
         break;
       case B::kSource: case B::kSink: case B::kStart: case B::kFinish:
-        throw Exclude{"task-graph operation inside a kernel"};
+        throw Exclude{"task-graph operation inside a kernel", c.loc};
       default: {
         std::vector<int> regs;
         for (const auto& arg : c.args) regs.push_back(lower_expr(*arg));
@@ -579,7 +582,8 @@ class Lowering {
     LM_CHECK(c.resolved != nullptr);
     if (!c.resolved->is_pure) {
       throw Exclude{"call to impure method '" +
-                    c.resolved->qualified_name() + "' inside a kernel"};
+                        c.resolved->qualified_name() + "' inside a kernel",
+                    c.loc};
     }
     std::vector<int> arg_regs;
     if (!c.resolved->is_static) {
@@ -763,6 +767,7 @@ KernelCompileResult compile_kernel(const lime::MethodDecl& method) {
     result.program = std::move(prog);
   } catch (const Exclude& ex) {
     result.exclusion_reason = ex.reason;
+    result.exclusion_loc = ex.loc.line > 0 ? ex.loc : method.loc;
   }
   return result;
 }
@@ -817,6 +822,7 @@ KernelCompileResult compile_segment_kernel(
     result.program = std::move(prog);
   } catch (const Exclude& ex) {
     result.exclusion_reason = ex.reason;
+    result.exclusion_loc = ex.loc.line > 0 ? ex.loc : chain[0]->loc;
   }
   return result;
 }

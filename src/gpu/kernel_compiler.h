@@ -28,6 +28,9 @@ namespace lm::gpu {
 struct KernelCompileResult {
   std::unique_ptr<KernelProgram> program;  // null when excluded
   std::string exclusion_reason;            // why the backend declined
+  /// Source position of the construct that triggered the exclusion (the
+  /// method declaration when no finer position is known).
+  SourceLoc exclusion_loc{};
 
   bool ok() const { return program != nullptr; }
 };

@@ -223,6 +223,7 @@ class Extractor {
           n.kind = TaskNodeInfo::Kind::kSource;
           n.out_type = c.receiver->type ? c.receiver->type->elem : nullptr;
           n.relocated = relocated;
+          n.receiver_expr = c.receiver.get();
           // A literal rate is recorded; non-literal rates default to 1.
           if (!c.args.empty() && c.args[0]->kind == ExprKind::kIntLit) {
             n.rate = static_cast<int>(as<lime::IntLitExpr>(*c.args[0]).value);
@@ -235,6 +236,7 @@ class Extractor {
           n.kind = TaskNodeInfo::Kind::kSink;
           n.in_type = c.receiver->type ? c.receiver->type->elem : nullptr;
           n.relocated = relocated;
+          n.receiver_expr = c.receiver.get();
           info.nodes.push_back(std::move(n));
           return;
         }

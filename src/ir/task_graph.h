@@ -39,6 +39,10 @@ struct TaskNodeInfo {
 
   /// Source only: declared rate (elements per firing).
   int rate = 1;
+
+  /// Source/sink only: the receiver expression of the `.source()`/`.sink()`
+  /// call, for the static analyzer (aliasing and rate checks). May be null.
+  const lime::Expr* receiver_expr = nullptr;
 };
 
 struct TaskGraphInfo {

@@ -1,7 +1,10 @@
 #include "runtime/liquid_compiler.h"
 
+#include <cstdlib>
 #include <unordered_set>
 
+#include "analysis/analysis.h"
+#include "analysis/ir_verify.h"
 #include "bytecode/compiler.h"
 #include "fpga/synth.h"
 #include "gpu/kernel_compiler.h"
@@ -181,6 +184,18 @@ std::unique_ptr<CompiledProgram> compile(const std::string& source,
   cp->graphs = ir::extract_task_graphs(*cp->ast, cp->diags);
   if (cp->diags.has_errors()) return cp;
 
+  // 3b. Whole-program static analysis: definite assignment, the
+  // interprocedural effect/isolation verifier, and task-graph hazards.
+  // Effect-verifier violations demote tasks to bytecode-only placement.
+  {
+    analysis::AnalysisResult ar = analysis::analyze_program(*cp->ast,
+                                                            cp->graphs);
+    cp->diags.merge(ar.diags);
+    cp->demoted_tasks = std::move(ar.demoted);
+    if (cp->diags.has_errors()) return cp;
+  }
+  const bool verify_ir = std::getenv("LM_VERIFY_IR") != nullptr;
+
   cp->gpu_device = std::make_shared<gpu::GpuDevice>(options.gpu_config);
 
   // Bytecode artifacts for every filter method appearing in any graph (the
@@ -223,10 +238,25 @@ std::unique_ptr<CompiledProgram> compile(const std::string& source,
       if (!m) return;
       std::string id = m->qualified_name();
       if (!gpu_done.insert(id).second) return;
+      if (cp->demoted_tasks.count(id)) {
+        cp->backend_log.push_back("gpu: demoted " + id +
+                                  " — effect verifier (LM110)");
+        cp->suitability.push_back({"LM403", DeviceKind::kGpu, id, m->loc,
+                                   "demoted by the effect verifier"});
+        return;
+      }
       auto r = gpu::compile_kernel(*m);
       if (!r.ok()) {
         cp->backend_log.push_back("gpu: excluded " + id + " — " +
                                   r.exclusion_reason);
+        cp->suitability.push_back({"LM401", DeviceKind::kGpu, id,
+                                   r.exclusion_loc, r.exclusion_reason});
+        return;
+      }
+      if (verify_ir &&
+          analysis::verify_kernel(*r.program, cp->diags) > 0) {
+        cp->backend_log.push_back("gpu: dropped " + id +
+                                  " — kernel IR verification failed");
         return;
       }
       ArtifactManifest mf = manifest_for(*m, DeviceKind::kGpu,
@@ -247,10 +277,18 @@ std::unique_ptr<CompiledProgram> compile(const std::string& source,
           ids.push_back(g.nodes[static_cast<size_t>(i)].task_id);
           add_gpu_kernel(g.nodes[static_cast<size_t>(i)].method);
         }
-        if (chain.size() > 1) {
+        bool seg_demoted = false;
+        for (const auto& id : ids) seg_demoted |= cp->demoted_tasks.count(id) > 0;
+        if (chain.size() > 1 && !seg_demoted) {
           std::string seg_id = ArtifactStore::segment_id(ids);
           if (gpu_done.insert(seg_id).second) {
             auto r = gpu::compile_segment_kernel(chain);
+            if (r.ok() && verify_ir &&
+                analysis::verify_kernel(*r.program, cp->diags) > 0) {
+              cp->backend_log.push_back("gpu: dropped segment " + seg_id +
+                                        " — kernel IR verification failed");
+              continue;
+            }
             if (r.ok()) {
               ArtifactManifest mf;
               mf.task_id = seg_id;
@@ -269,6 +307,9 @@ std::unique_ptr<CompiledProgram> compile(const std::string& source,
             } else {
               cp->backend_log.push_back("gpu: excluded segment " + seg_id +
                                         " — " + r.exclusion_reason);
+              cp->suitability.push_back({"LM401", DeviceKind::kGpu, seg_id,
+                                         r.exclusion_loc,
+                                         r.exclusion_reason});
             }
           }
         }
@@ -288,10 +329,24 @@ std::unique_ptr<CompiledProgram> compile(const std::string& source,
     for (const auto* m : cp->graphs.relocated_filter_methods()) {
       std::string id = m->qualified_name();
       if (!fpga_done.insert(id).second) continue;
+      if (cp->demoted_tasks.count(id)) {
+        cp->backend_log.push_back("fpga: demoted " + id +
+                                  " — effect verifier (LM110)");
+        cp->suitability.push_back({"LM403", DeviceKind::kFpga, id, m->loc,
+                                   "demoted by the effect verifier"});
+        continue;
+      }
       auto r = fpga::synthesize_filter(*m, synth_opts);
       if (!r.ok()) {
         cp->backend_log.push_back("fpga: excluded " + id + " — " +
                                   r.exclusion_reason);
+        cp->suitability.push_back({"LM402", DeviceKind::kFpga, id,
+                                   r.exclusion_loc, r.exclusion_reason});
+        continue;
+      }
+      if (verify_ir && analysis::verify_module(*r.module, cp->diags) > 0) {
+        cp->backend_log.push_back("fpga: dropped " + id +
+                                  " — RTL verification failed");
         continue;
       }
       ArtifactManifest mf = manifest_for(*m, DeviceKind::kFpga, r.verilog);
@@ -310,10 +365,22 @@ std::unique_ptr<CompiledProgram> compile(const std::string& source,
         }
         std::string seg_id = ArtifactStore::segment_id(ids);
         if (!fpga_done.insert(seg_id).second) continue;
+        bool seg_demoted = false;
+        for (const auto& id : ids) {
+          seg_demoted |= cp->demoted_tasks.count(id) > 0;
+        }
+        if (seg_demoted) continue;
         auto r = fpga::synthesize_segment(chain, synth_opts);
         if (!r.ok()) {
           cp->backend_log.push_back("fpga: excluded segment " + seg_id +
                                     " — " + r.exclusion_reason);
+          cp->suitability.push_back({"LM402", DeviceKind::kFpga, seg_id,
+                                     r.exclusion_loc, r.exclusion_reason});
+          continue;
+        }
+        if (verify_ir && analysis::verify_module(*r.module, cp->diags) > 0) {
+          cp->backend_log.push_back("fpga: dropped segment " + seg_id +
+                                    " — RTL verification failed");
           continue;
         }
         ArtifactManifest mf;

@@ -16,6 +16,7 @@
 
 #include <memory>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "bytecode/module.h"
@@ -37,6 +38,17 @@ struct CompileOptions {
   bool use_native_kernels = true;
 };
 
+/// One structured record per backend suitability decision, for `lmc
+/// --analyze` reporting (LM401 = GPU exclusion, LM402 = FPGA exclusion,
+/// LM403 = effect-verifier demotion).
+struct SuitabilityFinding {
+  std::string code;     // LM401 / LM402 / LM403
+  DeviceKind device = DeviceKind::kCpu;
+  std::string task_id;
+  SourceLoc loc;        // offending construct, or the method declaration
+  std::string reason;
+};
+
 struct CompiledProgram {
   std::unique_ptr<lime::Program> ast;
   std::unique_ptr<bc::BytecodeModule> bytecode;
@@ -47,6 +59,12 @@ struct CompiledProgram {
   /// One line per backend decision: artifacts produced and exclusions with
   /// their reasons (§3's compile-time reporting).
   std::vector<std::string> backend_log;
+  /// Structured per-device suitability decisions (LM4xx notes).
+  std::vector<SuitabilityFinding> suitability;
+  /// Tasks the effect verifier proved unsafe to relocate: no GPU/FPGA
+  /// artifacts are built for them, so placement naturally falls back to
+  /// bytecode (§4.2's substitution finds only the CPU artifact).
+  std::unordered_set<std::string> demoted_tasks;
 
   bool ok() const { return ast != nullptr && !diags.has_errors(); }
 };

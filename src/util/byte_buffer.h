@@ -27,6 +27,7 @@ class ByteWriter {
   void f64(double v) { raw(&v, sizeof v); }
 
   void raw(const void* p, size_t n) {
+    if (n == 0) return;  // empty arrays pass p == nullptr (UB for memcpy)
     const auto* b = static_cast<const uint8_t*>(p);
     buf_.insert(buf_.end(), b, b + n);
   }
@@ -67,6 +68,7 @@ class ByteReader {
 
   void raw(void* out, size_t n) {
     check(n);
+    if (n == 0) return;  // empty reads may carry out == nullptr
     std::memcpy(out, data_.data() + pos_, n);
     pos_ += n;
   }

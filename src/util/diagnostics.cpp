@@ -1,5 +1,6 @@
 #include "util/diagnostics.h"
 
+#include <algorithm>
 #include <sstream>
 
 namespace lm {
@@ -16,24 +17,64 @@ const char* to_string(Severity s) {
   return "unknown";
 }
 
+std::string to_string(const Diagnostic& d) {
+  std::ostringstream os;
+  os << to_string(d.severity);
+  if (!d.code.empty()) os << " " << d.code;
+  os << " " << to_string(d.loc) << ": " << d.message;
+  return os.str();
+}
+
+void DiagnosticEngine::push(Diagnostic d) {
+  for (const auto& e : diags_) {
+    if (e.severity == d.severity && e.code == d.code &&
+        e.loc.line == d.loc.line && e.loc.column == d.loc.column &&
+        e.message == d.message) {
+      return;  // duplicate
+    }
+  }
+  if (d.severity == Severity::kError) ++error_count_;
+  if (d.severity == Severity::kWarning) ++warning_count_;
+  diags_.push_back(std::move(d));
+}
+
 void DiagnosticEngine::error(SourceLoc loc, std::string message) {
-  diags_.push_back({Severity::kError, loc, std::move(message)});
-  ++error_count_;
+  push({Severity::kError, loc, std::move(message), {}});
 }
 
 void DiagnosticEngine::warning(SourceLoc loc, std::string message) {
-  diags_.push_back({Severity::kWarning, loc, std::move(message)});
+  push({Severity::kWarning, loc, std::move(message), {}});
 }
 
 void DiagnosticEngine::note(SourceLoc loc, std::string message) {
-  diags_.push_back({Severity::kNote, loc, std::move(message)});
+  push({Severity::kNote, loc, std::move(message), {}});
+}
+
+void DiagnosticEngine::report(Severity severity, std::string code,
+                              SourceLoc loc, std::string message) {
+  push({severity, loc, std::move(message), std::move(code)});
+}
+
+void DiagnosticEngine::merge(const DiagnosticEngine& other) {
+  for (const auto& d : other.diags_) push(d);
+}
+
+std::vector<Diagnostic> DiagnosticEngine::sorted() const {
+  std::vector<Diagnostic> out = diags_;
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.loc.line != b.loc.line) {
+                       return a.loc.line < b.loc.line;
+                     }
+                     return a.loc.column < b.loc.column;
+                   });
+  return out;
 }
 
 std::string DiagnosticEngine::to_string() const {
   std::ostringstream os;
-  for (const auto& d : diags_) {
-    os << lm::to_string(d.severity) << " " << lm::to_string(d.loc) << ": "
-       << d.message << "\n";
+  for (const auto& d : sorted()) {
+    os << lm::to_string(d) << "\n";
   }
   return os.str();
 }
@@ -41,6 +82,7 @@ std::string DiagnosticEngine::to_string() const {
 void DiagnosticEngine::clear() {
   diags_.clear();
   error_count_ = 0;
+  warning_count_ = 0;
 }
 
 }  // namespace lm

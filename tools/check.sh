@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Pre-merge gate: every claim the repo makes, re-verified from scratch.
+#
+#   1. plain build + full tier-1 test suite (also under LM_VERIFY_IR=1,
+#      exercising the kernel-IR and netlist verifiers on every artifact),
+#   2. ASan+UBSan build + tier-1,
+#   3. TSan build + tier-1 (the runtime's concurrency claims),
+#   4. `lmc --analyze --strict` over every shipped .lime example — the
+#      static analyzer must report zero warnings/errors on them.
+#
+# Usage: tools/check.sh [--quick]
+#   --quick skips the sanitizer builds (steps 2 and 3).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 4)"
+QUICK=0
+[[ "${1:-}" == "--quick" ]] && QUICK=1
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+step "plain build + tier-1"
+cmake --preset default >/dev/null
+cmake --build --preset default -j "$JOBS"
+ctest --preset default -j "$JOBS" -L tier1
+
+step "tier-1 with IR verification (LM_VERIFY_IR=1)"
+LM_VERIFY_IR=1 ctest --preset default -j "$JOBS" -L tier1
+
+if [[ "$QUICK" == 0 ]]; then
+  step "ASan+UBSan build + tier-1"
+  cmake --preset sanitize >/dev/null
+  cmake --build --preset sanitize -j "$JOBS"
+  ctest --preset sanitize -j "$JOBS" -L tier1
+
+  step "TSan build + tier-1"
+  cmake --preset tsan >/dev/null
+  cmake --build --preset tsan -j "$JOBS"
+  ctest --preset tsan -j "$JOBS" -L tier1
+fi
+
+step "static analysis over shipped examples (lmc --analyze --strict)"
+LMC=build/tools/lmc
+for f in examples/*.lime; do
+  echo "-- $LMC $f --analyze --strict"
+  "$LMC" "$f" --analyze --strict
+done
+
+step "OK"

@@ -15,6 +15,16 @@
 //   lmc program.lime --run C.m --bits 100
 //   lmc program.lime --run C.m --ints .. --trace=out.json --metrics
 //   lmc program.lime --run C.m --ints .. --report[=json]
+//   lmc program.lime --analyze[=json]       static analysis report (LM codes)
+//   lmc program.lime --strict               fail (exit 1) on any warning
+//
+// --analyze runs the whole-program static analyzer (definite assignment,
+// effect/isolation verification, task-graph hazards — DESIGN.md §S11) and
+// prints every finding with its stable LM code in deterministic order,
+// followed by the per-device suitability notes (LM401/402 exclusions,
+// LM403 demotions). Exit status is 1 when errors are present (or, under
+// --strict, any warning). Set LM_VERIFY_IR=1 to additionally verify every
+// compiled kernel/RTL artifact (LM3xx).
 //
 // --trace records the run as Chrome-trace JSON (open in chrome://tracing
 // or https://ui.perfetto.dev): per-task execution spans, substitution
@@ -53,7 +63,8 @@ int usage() {
                "            | --bits 0101..)] [--placement auto|cpu|gpu|fpga|adaptive]\n"
                "           [--no-gpu] [--no-fpga] [--quiet]\n"
                "           [--trace=<file.json>] [--metrics]\n"
-               "           [--report[=json]] [--resub] [--flight=<file.json>|none]\n";
+               "           [--report[=json]] [--resub] [--flight=<file.json>|none]\n"
+               "           [--analyze[=json]] [--strict]\n";
   return 2;
 }
 
@@ -85,6 +96,8 @@ int main(int argc, char** argv) {
   std::string report_mode;                    // "", "text" or "json"
   std::string flight_path = "lm-flight.json";  // "" disables dumping
   bool enable_resub = false;
+  std::string analyze_mode;  // "", "text" or "json"
+  bool strict = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
@@ -136,6 +149,16 @@ int main(int argc, char** argv) {
       if (flight_path == "none") flight_path.clear();
     } else if (a == "--resub") {
       enable_resub = true;
+    } else if (a == "--analyze") {
+      analyze_mode = "text";
+    } else if (a.rfind("--analyze=", 0) == 0) {
+      analyze_mode = a.substr(10);
+      if (analyze_mode != "text" && analyze_mode != "json") {
+        std::cerr << "lmc: --analyze takes 'text' or 'json'\n";
+        return usage();
+      }
+    } else if (a == "--strict") {
+      strict = true;
     } else if (!a.empty() && a[0] == '-') {
       std::cerr << "lmc: unknown flag " << a << "\n";
       return usage();
@@ -154,6 +177,39 @@ int main(int argc, char** argv) {
   buf << in.rdbuf();
 
   auto program = runtime::compile(buf.str(), copts);
+
+  if (!analyze_mode.empty()) {
+    // Fold the structured suitability decisions in as LM4xx notes so one
+    // engine provides ordering and deduplication for the whole report.
+    DiagnosticEngine all = program->diags;
+    for (const auto& f : program->suitability) {
+      all.report(Severity::kNote, f.code, f.loc,
+                 std::string("[") + runtime::to_string(f.device) + "] " +
+                     f.task_id + ": " + f.reason);
+    }
+    if (analyze_mode == "json") {
+      std::ostringstream os;
+      os << "[";
+      bool first = true;
+      for (const auto& d : all.sorted()) {
+        if (!first) os << ",";
+        first = false;
+        os << "\n  {\"code\": \"" << obs::json_escape(d.code)
+           << "\", \"severity\": \"" << lm::to_string(d.severity)
+           << "\", \"line\": " << d.loc.line
+           << ", \"col\": " << d.loc.column << ", \"message\": \""
+           << obs::json_escape(d.message) << "\"}";
+      }
+      os << (first ? "]\n" : "\n]\n");
+      std::cout << os.str();
+    } else {
+      std::cout << all.to_string();
+    }
+    if (program->diags.has_errors()) return 1;
+    if (strict && program->diags.warning_count() > 0) return 1;
+    return 0;
+  }
+
   if (!program->ok()) {
     std::cerr << program->diags.to_string();
     return 1;
@@ -162,6 +218,10 @@ int main(int argc, char** argv) {
   if (!quiet && program->diags.error_count() == 0 &&
       !program->diags.diagnostics().empty()) {
     std::cerr << program->diags.to_string();
+  }
+  if (strict && program->diags.warning_count() > 0) {
+    std::cerr << "lmc: failing on warnings (--strict)\n";
+    return 1;
   }
 
   if (!quiet) {
