@@ -57,6 +57,12 @@ FpgaFilter::FpgaFilter(FpgaCompileResult artifact) {
   ports_ = std::move(artifact.ports);
 }
 
+std::string FpgaFilter::describe() const {
+  return module_->name + " (arity " + std::to_string(ports_.arity) + ", II " +
+         std::to_string(ports_.initiation_interval) + ", latency " +
+         std::to_string(ports_.latency) + ")";
+}
+
 void FpgaFilter::enable_waveform() { want_vcd_ = true; }
 
 std::string FpgaFilter::waveform() const {

@@ -43,6 +43,9 @@ class FpgaFilter {
   std::string waveform() const;
 
   int arity() const { return ports_.arity; }
+  /// One-line module identity for listings and remote servers (lmdev):
+  /// "<module> (arity K, II N, latency L)".
+  std::string describe() const;
   const FpgaPortMeta& ports() const { return ports_; }
   const rtl::Module& module() const { return *module_; }
   const std::string& verilog() const { return verilog_; }

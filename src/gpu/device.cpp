@@ -396,6 +396,11 @@ GpuDevice::GpuDevice(GpuDeviceConfig config) : config_(config) {
   if (compute_units_ < 1) compute_units_ = 1;
 }
 
+std::string GpuDevice::describe() const {
+  return name_ + " (" + std::to_string(compute_units_) + " compute units, " +
+         std::to_string(registry_.size()) + " native kernels)";
+}
+
 CValue GpuDevice::launch(const KernelProgram& program,
                          const std::vector<KArg>& args, size_t n) {
   stats_.launches.fetch_add(1, std::memory_order_relaxed);

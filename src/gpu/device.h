@@ -104,6 +104,9 @@ class GpuDevice {
                        const std::vector<KArg>& args, size_t n);
 
   const std::string& name() const { return name_; }
+  /// One-line device identity for listings and remote servers (lmdev):
+  /// "simgpu0 (N compute units, M native kernels)".
+  std::string describe() const;
   int compute_units() const { return compute_units_; }
   const GpuStats& stats() const { return stats_; }
   void reset_stats() {

@@ -1,0 +1,35 @@
+// Wires remote device servers into a runtime: dials every endpoint in
+// RuntimeConfig::remote_endpoints, lists the artifacts each serves, and
+// registers a RemoteArtifact proxy per listing so they join the
+// substitution candidate pool. Lives here — not in the runtime — so
+// lm_runtime never depends on lm_net; tools that want remote devices link
+// lm_net and call this once after constructing the runtime.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "runtime/liquid_compiler.h"
+#include "runtime/liquid_runtime.h"
+
+namespace lm::net {
+
+struct AttachResult {
+  /// Remote artifacts registered across all endpoints.
+  size_t artifacts = 0;
+  /// Endpoints that answered the hello + list exchange.
+  std::vector<std::string> endpoints_ok;
+  /// One "endpoint: what went wrong" line per endpoint that did not.
+  std::vector<std::string> errors;
+};
+
+/// Attaches every configured endpoint. Per-endpoint failures (unreachable,
+/// fingerprint mismatch) are collected, not thrown — a missing device
+/// server degrades to local execution, it doesn't abort the program.
+/// `program` must be the same compiled program `rt` was built over (its
+/// store supplies the parameter/return types remote proxies serialize
+/// with, and its fingerprint must match the server's).
+AttachResult attach_remote_devices(runtime::LiquidRuntime& rt,
+                                   const runtime::CompiledProgram& program);
+
+}  // namespace lm::net

@@ -1,0 +1,312 @@
+#include "net/client.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "obs/flight_recorder.h"
+#include "util/byte_buffer.h"
+
+namespace lm::net {
+
+namespace {
+
+std::string error_message(const Frame& f) {
+  try {
+    ByteReader r(f.payload);
+    return r.str();
+  } catch (...) {
+    return "(malformed error payload)";
+  }
+}
+
+}  // namespace
+
+void parse_endpoint(const std::string& spec, std::string* host,
+                    uint16_t* port) {
+  size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= spec.size()) {
+    throw TransportError("bad endpoint '" + spec + "' (expected host:port)");
+  }
+  *host = spec.substr(0, colon);
+  int p = 0;
+  try {
+    p = std::stoi(spec.substr(colon + 1));
+  } catch (...) {
+    p = -1;
+  }
+  if (p <= 0 || p > 65535) {
+    throw TransportError("bad port in endpoint '" + spec + "'");
+  }
+  *port = static_cast<uint16_t>(p);
+}
+
+RemoteSession::RemoteSession(std::string host, uint16_t port,
+                             uint64_t fingerprint, SessionOptions opts,
+                             obs::MetricsRegistry* metrics)
+    : host_(std::move(host)),
+      port_(port),
+      endpoint_(host_ + ":" + std::to_string(port_)),
+      fingerprint_(fingerprint),
+      opts_(std::move(opts)) {
+  if (metrics) {
+    c_requests_ = &metrics->counter("net.requests");
+    c_retries_ = &metrics->counter("net.request_retries");
+    c_failures_ = &metrics->counter("net.request_failures");
+    c_connects_ = &metrics->counter("net.connects");
+    c_bytes_sent_ = &metrics->counter("net.bytes_sent");
+    c_bytes_recv_ = &metrics->counter("net.bytes_received");
+    c_pings_ = &metrics->counter("net.pings");
+    c_ping_failures_ = &metrics->counter("net.ping_failures");
+    c_endpoint_down_ = &metrics->counter("net.endpoint_down");
+  }
+}
+
+RemoteSession::~RemoteSession() {
+  stop_heartbeat_.store(true, std::memory_order_release);
+  hb_cv_.notify_all();
+  if (heartbeat_.joinable()) heartbeat_.join();
+}
+
+Socket RemoteSession::dial(Deadline deadline) {
+  // The whole retry loop is bounded by connect_timeout_ms (not the caller's
+  // request deadline): when connects fail *instantly* — port closed, host
+  // unreachable — backing off until a 30 s request deadline would make every
+  // degradation path (attach to a dead endpoint, mid-stream fallback) stall
+  // for the full request timeout.
+  deadline = std::min(deadline, deadline_in_ms(opts_.connect_timeout_ms));
+  int backoff = opts_.backoff_initial_ms;
+  for (;;) {
+    try {
+      Socket s = Socket::connect(host_, port_, deadline);
+      // Handshake: prove both ends compiled the same program before any
+      // batch crosses.
+      Frame hello = roundtrip(s, FrameType::kHello,
+                              encode_hello({opts_.client_name, fingerprint_}),
+                              deadline);
+      if (hello.type != FrameType::kHelloOk) {
+        throw RemoteError(endpoint_ + ": " + error_message(hello));
+      }
+      if (c_connects_) c_connects_->add();
+      {
+        std::lock_guard<std::mutex> lock(pool_mu_);
+        if (ever_connected_) {
+          reconnects_.fetch_add(1, std::memory_order_relaxed);
+        }
+        ever_connected_ = true;
+      }
+      return s;
+    } catch (const RemoteError&) {
+      // The server answered and said no (fingerprint mismatch, protocol
+      // refusal) — redialing cannot change its mind.
+      throw;
+    } catch (const TransportError&) {
+      if (std::chrono::steady_clock::now() +
+              std::chrono::milliseconds(backoff) >=
+          deadline) {
+        throw;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+      backoff = std::min(backoff * 2, opts_.backoff_max_ms);
+    }
+  }
+}
+
+Socket RemoteSession::acquire(Deadline deadline) {
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    if (!pool_.empty()) {
+      Socket s = std::move(pool_.back());
+      pool_.pop_back();
+      return s;
+    }
+  }
+  return dial(deadline);
+}
+
+void RemoteSession::release(Socket s) {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  if (pool_.size() < opts_.pool_size) pool_.push_back(std::move(s));
+  // else: s destructs, closing the surplus connection.
+}
+
+Frame RemoteSession::roundtrip(Socket& s, FrameType type,
+                               std::vector<uint8_t> payload,
+                               Deadline deadline) {
+  Frame req;
+  req.type = type;
+  req.request_id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  req.payload = std::move(payload);
+  write_frame(s, req, deadline);
+  if (c_bytes_sent_) c_bytes_sent_->add(req.payload.size() + 20);
+  Frame reply = read_frame(s, deadline);
+  if (c_bytes_recv_) c_bytes_recv_->add(reply.payload.size() + 20);
+  if (reply.request_id != req.request_id) {
+    throw TransportError(endpoint_ + ": response id mismatch (got " +
+                         std::to_string(reply.request_id) + ", expected " +
+                         std::to_string(req.request_id) + ")");
+  }
+  return reply;
+}
+
+std::vector<ArtifactListing> RemoteSession::list() {
+  Deadline dl = deadline_in_ms(opts_.request_timeout_ms);
+  Socket s = acquire(dl);
+  Frame reply = roundtrip(s, FrameType::kList, {}, dl);
+  if (reply.type != FrameType::kListOk) {
+    throw RemoteError(endpoint_ + ": " + error_message(reply));
+  }
+  auto listing = decode_listing(reply.payload);
+  release(std::move(s));
+  return listing;
+}
+
+void RemoteSession::note_success(double rtt_us) {
+  rtt_hist_.record_ns(static_cast<uint64_t>(rtt_us * 1e3));
+  std::lock_guard<std::mutex> lock(rtt_mu_);
+  rtt_ewma_us_ = rtt_ewma_us_ == 0 ? rtt_us
+                                   : 0.75 * rtt_ewma_us_ + 0.25 * rtt_us;
+  down_.store(false, std::memory_order_release);
+  ping_misses_.store(0, std::memory_order_relaxed);
+}
+
+double RemoteSession::rtt_ewma_us() const {
+  std::lock_guard<std::mutex> lock(rtt_mu_);
+  return rtt_ewma_us_;
+}
+
+void RemoteSession::mark_down(const std::string& why) {
+  bool was_down = down_.exchange(true, std::memory_order_acq_rel);
+  if (!was_down) {
+    if (c_endpoint_down_) c_endpoint_down_->add();
+    obs::FlightRecorder::instance().record("fault", "endpoint-down",
+                                           endpoint_ + ": " + why);
+  }
+  // Pooled connections to a dead endpoint are poison; drop them so the
+  // next attempt dials fresh.
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  pool_.clear();
+}
+
+std::vector<uint8_t> RemoteSession::process(const std::string& task_id,
+                                            runtime::DeviceKind device,
+                                            std::span<const uint8_t> batch) {
+  if (down_.load(std::memory_order_acquire)) {
+    if (c_failures_) c_failures_->add();
+    throw TransportError(endpoint_ + " is down (heartbeat)");
+  }
+  if (c_requests_) c_requests_->add();
+  ProcessRequest p;
+  p.task_id = task_id;
+  p.device = device;
+  p.batch.assign(batch.begin(), batch.end());
+  std::vector<uint8_t> encoded = encode_process(p);
+
+  const int attempts = 1 + std::max(0, opts_.max_retries);
+  std::string last_error;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0 && c_retries_) c_retries_->add();
+    Deadline dl = deadline_in_ms(opts_.request_timeout_ms);
+    try {
+      Socket s = acquire(dl);
+      auto t0 = std::chrono::steady_clock::now();
+      Frame reply = roundtrip(s, FrameType::kProcess, encoded, dl);
+      auto t1 = std::chrono::steady_clock::now();
+      if (reply.type != FrameType::kProcessOk) {
+        if (c_failures_) c_failures_->add();
+        throw RemoteError(endpoint_ + ": " + error_message(reply));
+      }
+      note_success(std::chrono::duration<double, std::micro>(t1 - t0).count());
+      release(std::move(s));
+      return std::move(reply.payload);
+    } catch (const RemoteError&) {
+      throw;  // the server answered; retrying cannot change the outcome
+    } catch (const TransportError& e) {
+      last_error = e.what();
+    }
+  }
+  if (c_failures_) c_failures_->add();
+  mark_down(last_error);
+  throw TransportError("request to " + endpoint_ + " failed after " +
+                       std::to_string(attempts) + " attempt(s): " +
+                       last_error);
+}
+
+std::vector<std::vector<uint8_t>> RemoteSession::process_pipelined(
+    const std::string& task_id, runtime::DeviceKind device,
+    const std::vector<std::vector<uint8_t>>& batches) {
+  Deadline dl = deadline_in_ms(opts_.request_timeout_ms);
+  Socket s = acquire(dl);
+  std::vector<uint64_t> ids;
+  ids.reserve(batches.size());
+  for (const auto& b : batches) {
+    ProcessRequest p;
+    p.task_id = task_id;
+    p.device = device;
+    p.batch = b;
+    Frame req;
+    req.type = FrameType::kProcess;
+    req.request_id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+    req.payload = encode_process(p);
+    write_frame(s, req, dl);
+    if (c_bytes_sent_) c_bytes_sent_->add(req.payload.size() + 20);
+    ids.push_back(req.request_id);
+  }
+  std::vector<std::vector<uint8_t>> out;
+  out.reserve(batches.size());
+  for (uint64_t id : ids) {
+    Frame reply = read_frame(s, dl);
+    if (c_bytes_recv_) c_bytes_recv_->add(reply.payload.size() + 20);
+    if (reply.request_id != id) {
+      throw TransportError(endpoint_ + ": pipelined response out of order");
+    }
+    if (reply.type != FrameType::kProcessOk) {
+      throw RemoteError(endpoint_ + ": " + error_message(reply));
+    }
+    out.push_back(std::move(reply.payload));
+  }
+  if (c_requests_) c_requests_->add(ids.size());
+  release(std::move(s));
+  return out;
+}
+
+void RemoteSession::start_heartbeat() {
+  if (heartbeat_.joinable()) return;
+  stop_heartbeat_.store(false, std::memory_order_release);
+  heartbeat_ = std::thread([this] { heartbeat_loop(); });
+}
+
+void RemoteSession::heartbeat_loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(hb_mu_);
+      hb_cv_.wait_for(lock,
+                      std::chrono::milliseconds(opts_.heartbeat_interval_ms),
+                      [this] {
+                        return stop_heartbeat_.load(std::memory_order_acquire);
+                      });
+    }
+    if (stop_heartbeat_.load(std::memory_order_acquire)) return;
+    if (c_pings_) c_pings_->add();
+    try {
+      // Short deadline: a ping is tiny, so anything slower than the
+      // heartbeat interval is as bad as down.
+      Deadline dl = deadline_in_ms(opts_.heartbeat_interval_ms);
+      Socket s = acquire(dl);
+      auto t0 = std::chrono::steady_clock::now();
+      Frame reply = roundtrip(s, FrameType::kPing, {}, dl);
+      auto t1 = std::chrono::steady_clock::now();
+      if (reply.type != FrameType::kPong) {
+        throw TransportError("unexpected ping reply");
+      }
+      note_success(std::chrono::duration<double, std::micro>(t1 - t0).count());
+      release(std::move(s));
+    } catch (const TransportError& e) {
+      if (c_ping_failures_) c_ping_failures_->add();
+      int misses = ping_misses_.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (misses >= opts_.heartbeat_misses) mark_down(e.what());
+    }
+  }
+}
+
+}  // namespace lm::net

@@ -1,0 +1,166 @@
+// RemoteSession: the client side of the remote-device transport.
+//
+// One session per endpoint, shared by every RemoteArtifact proxying to it.
+// Provides:
+//   * a connection pool — process() borrows a connection, uses it
+//     exclusively for one request/response exchange, and returns it;
+//   * per-request deadlines — every exchange (send + receive, however many
+//     syscalls) shares one absolute deadline;
+//   * retry with reconnect — a transport failure discards the borrowed
+//     connection and retries the request on a freshly dialed one
+//     (artifacts are pure functions of their input batch, so at-least-once
+//     re-execution is safe);
+//   * exponential-backoff dialing — reconnect attempts back off
+//     10ms → 20ms → … → backoff_max_ms;
+//   * heartbeat liveness — a background thread pings the endpoint; after
+//     `heartbeat_misses` consecutive failures the endpoint is marked down
+//     and process() fails fast with TransportError instead of waiting out
+//     a full request timeout. A later successful ping revives it.
+//
+// Failures always surface as lm::TransportError — the one exception type
+// the runtime's drain loop converts into bytecode fallback.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/frame.h"
+#include "net/protocol.h"
+#include "obs/histogram.h"
+#include "obs/metrics.h"
+
+namespace lm::net {
+
+/// The server answered with a kError frame: the transport works but the
+/// request itself failed (unknown artifact, fingerprint mismatch, artifact
+/// fault). Still a TransportError — the runtime's fallback path catches the
+/// base type — but never retried, since a deterministic failure would just
+/// fail again.
+class RemoteError : public TransportError {
+ public:
+  explicit RemoteError(const std::string& what) : TransportError(what) {}
+};
+
+struct SessionOptions {
+  int connect_timeout_ms = 2000;
+  /// Deadline for one full request/response exchange. The default is
+  /// generous because the server runs cycle-accurate simulators; tests
+  /// that provoke timeouts dial it down.
+  int request_timeout_ms = 30000;
+  /// Extra attempts after a failed exchange (each on a fresh connection).
+  int max_retries = 1;
+  int backoff_initial_ms = 10;
+  int backoff_max_ms = 500;
+  int heartbeat_interval_ms = 250;
+  int heartbeat_misses = 2;
+  /// Idle connections kept for reuse (beyond this they are closed).
+  size_t pool_size = 4;
+  std::string client_name = "lm-client";
+};
+
+class RemoteSession {
+ public:
+  /// `fingerprint` is the local program_fingerprint(); the server rejects
+  /// the hello when it serves a different program.
+  RemoteSession(std::string host, uint16_t port, uint64_t fingerprint,
+                SessionOptions opts = {},
+                obs::MetricsRegistry* metrics = nullptr);
+  ~RemoteSession();
+
+  RemoteSession(const RemoteSession&) = delete;
+  RemoteSession& operator=(const RemoteSession&) = delete;
+
+  const std::string& endpoint() const { return endpoint_; }
+
+  /// Dials (if needed) and fetches the server's artifact listing.
+  std::vector<ArtifactListing> list();
+
+  /// One batch through (task_id, device) on the server: sends the packed
+  /// input batch, returns the packed output batch.
+  std::vector<uint8_t> process(const std::string& task_id,
+                               runtime::DeviceKind device,
+                               std::span<const uint8_t> batch);
+
+  /// Pipelined variant: all requests are written down one connection
+  /// before any reply is read (request ids sequence them). Used by the RPC
+  /// bench to measure what batching buys over lock-step request/response.
+  std::vector<std::vector<uint8_t>> process_pipelined(
+      const std::string& task_id, runtime::DeviceKind device,
+      const std::vector<std::vector<uint8_t>>& batches);
+
+  /// Starts the background liveness pinger (idempotent).
+  void start_heartbeat();
+  /// Last heartbeat verdict (true until proven otherwise).
+  bool alive() const { return !down_.load(std::memory_order_acquire); }
+
+  /// Smoothed round-trip time over completed exchanges, µs (0 until the
+  /// first exchange). Feeds the substitution cost model: a remote
+  /// candidate's measured score inherently includes this.
+  double rtt_ewma_us() const;
+  const obs::LatencyHistogram& rtt_histogram() const { return rtt_hist_; }
+
+  uint64_t reconnects() const {
+    return reconnects_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Borrows a connection: pooled if available, freshly dialed otherwise.
+  Socket acquire(Deadline deadline);
+  void release(Socket s);
+  /// Dials + hellos with exponential backoff until `deadline`.
+  Socket dial(Deadline deadline);
+  /// One request/response on a borrowed connection.
+  Frame roundtrip(Socket& s, FrameType type, std::vector<uint8_t> payload,
+                  Deadline deadline);
+  void heartbeat_loop();
+  void note_success(double rtt_us);
+  void mark_down(const std::string& why);
+
+  std::string host_;
+  uint16_t port_;
+  std::string endpoint_;
+  uint64_t fingerprint_;
+  SessionOptions opts_;
+
+  std::atomic<uint64_t> next_request_id_{1};
+  std::atomic<bool> down_{false};
+  std::atomic<int> ping_misses_{0};
+  std::atomic<uint64_t> reconnects_{0};
+
+  mutable std::mutex pool_mu_;
+  std::vector<Socket> pool_;
+  bool ever_connected_ = false;
+
+  mutable std::mutex rtt_mu_;
+  double rtt_ewma_us_ = 0;
+  obs::LatencyHistogram rtt_hist_;
+
+  std::thread heartbeat_;
+  std::atomic<bool> stop_heartbeat_{false};
+  std::mutex hb_mu_;
+  std::condition_variable hb_cv_;
+
+  // Optional instrumentation (pointers cached once; registry outlives us).
+  obs::MetricsRegistry::Counter* c_requests_ = nullptr;
+  obs::MetricsRegistry::Counter* c_retries_ = nullptr;
+  obs::MetricsRegistry::Counter* c_failures_ = nullptr;
+  obs::MetricsRegistry::Counter* c_connects_ = nullptr;
+  obs::MetricsRegistry::Counter* c_bytes_sent_ = nullptr;
+  obs::MetricsRegistry::Counter* c_bytes_recv_ = nullptr;
+  obs::MetricsRegistry::Counter* c_pings_ = nullptr;
+  obs::MetricsRegistry::Counter* c_ping_failures_ = nullptr;
+  obs::MetricsRegistry::Counter* c_endpoint_down_ = nullptr;
+};
+
+/// Parses "host:port" (host may be a dotted quad or "localhost"). Throws
+/// TransportError on malformed input.
+void parse_endpoint(const std::string& spec, std::string* host,
+                    uint16_t* port);
+
+}  // namespace lm::net

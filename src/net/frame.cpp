@@ -1,0 +1,71 @@
+#include "net/frame.h"
+
+#include "util/byte_buffer.h"
+
+namespace lm::net {
+
+namespace {
+constexpr size_t kHeaderSize = 20;
+}
+
+const char* to_string(FrameType t) {
+  switch (t) {
+    case FrameType::kHello: return "hello";
+    case FrameType::kHelloOk: return "hello-ok";
+    case FrameType::kList: return "list";
+    case FrameType::kListOk: return "list-ok";
+    case FrameType::kProcess: return "process";
+    case FrameType::kProcessOk: return "process-ok";
+    case FrameType::kError: return "error";
+    case FrameType::kPing: return "ping";
+    case FrameType::kPong: return "pong";
+  }
+  return "?";
+}
+
+void write_frame(Socket& s, const Frame& f, Deadline deadline) {
+  if (f.payload.size() > kMaxPayload) {
+    throw TransportError("frame payload too large: " +
+                         std::to_string(f.payload.size()) + " bytes");
+  }
+  ByteWriter w;
+  w.u32(kFrameMagic);
+  w.u8(kProtocolVersion);
+  w.u8(static_cast<uint8_t>(f.type));
+  w.u16(0);  // flags
+  w.u64(f.request_id);
+  w.u32(static_cast<uint32_t>(f.payload.size()));
+  w.raw(f.payload.data(), f.payload.size());
+  s.send_all(w.bytes(), deadline);
+}
+
+Frame read_frame(Socket& s, Deadline deadline) {
+  uint8_t header[kHeaderSize];
+  s.recv_all(header, deadline);
+  ByteReader r(header);
+  uint32_t magic = r.u32();
+  if (magic != kFrameMagic) {
+    throw TransportError("bad frame magic (not an lmdev peer?)");
+  }
+  uint8_t version = r.u8();
+  if (version != kProtocolVersion) {
+    throw TransportError("protocol version mismatch: peer speaks v" +
+                         std::to_string(version) + ", this build v" +
+                         std::to_string(kProtocolVersion));
+  }
+  Frame f;
+  f.type = static_cast<FrameType>(r.u8());
+  uint16_t flags = r.u16();
+  if (flags != 0) throw TransportError("nonzero frame flags");
+  f.request_id = r.u64();
+  uint32_t len = r.u32();
+  if (len > kMaxPayload) {
+    throw TransportError("frame payload too large: " + std::to_string(len) +
+                         " bytes");
+  }
+  f.payload.resize(len);
+  s.recv_all(f.payload, deadline);
+  return f;
+}
+
+}  // namespace lm::net

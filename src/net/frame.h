@@ -1,0 +1,61 @@
+// Length-prefixed framing for the remote-device protocol (DESIGN.md §9).
+//
+// Every message on the wire is one frame:
+//
+//   offset  size  field
+//   0       4     magic       'LMRP' (0x4C 0x4D 0x52 0x50 on the wire)
+//   4       1     version     kProtocolVersion
+//   5       1     type        FrameType
+//   6       2     flags       reserved, must be 0
+//   8       8     request_id  echoed verbatim in the response
+//   16      4     payload_len bytes of payload that follow
+//   20      …     payload     type-specific (see protocol.h)
+//
+// All integers little-endian (the byte order of every serde scalar — one
+// endianness for the whole stack). request_id lets a client pipeline many
+// requests down one connection and match responses by id; the server
+// answers in request order, so ids double as a sequencing check.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/socket.h"
+
+namespace lm::net {
+
+inline constexpr uint32_t kFrameMagic = 0x504D524C;  // "LMRP" little-endian
+inline constexpr uint8_t kProtocolVersion = 1;
+/// Upper bound on a frame payload. Generous (a 4096-element batch of f64
+/// is 32 KiB) but finite, so a corrupt or hostile length prefix cannot make
+/// the receiver allocate unbounded memory.
+inline constexpr uint32_t kMaxPayload = 64u << 20;
+
+enum class FrameType : uint8_t {
+  kHello = 1,      // client → server: name + program fingerprint
+  kHelloOk = 2,    // server → client: server name + artifact count
+  kList = 3,       // client → server: enumerate served artifacts
+  kListOk = 4,     // server → client: the listing
+  kProcess = 5,    // client → server: run one batch through an artifact
+  kProcessOk = 6,  // server → client: the output batch
+  kError = 7,      // server → client: str message (request failed)
+  kPing = 8,       // liveness probe, empty payload
+  kPong = 9,       // liveness reply, empty payload
+};
+
+const char* to_string(FrameType t);
+
+struct Frame {
+  FrameType type = FrameType::kError;
+  uint64_t request_id = 0;
+  std::vector<uint8_t> payload;
+};
+
+/// Sends one frame (header + payload) before `deadline`.
+void write_frame(Socket& s, const Frame& f, Deadline deadline);
+
+/// Receives one frame, validating magic/version/length. Throws
+/// TransportError on timeout, EOF, or a malformed header.
+Frame read_frame(Socket& s, Deadline deadline);
+
+}  // namespace lm::net

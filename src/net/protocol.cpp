@@ -1,0 +1,144 @@
+#include "net/protocol.h"
+
+#include <algorithm>
+
+#include "util/byte_buffer.h"
+#include "util/error.h"
+
+namespace lm::net {
+
+namespace {
+
+runtime::DeviceKind device_from_wire(uint8_t b) {
+  switch (b) {
+    case 0: return runtime::DeviceKind::kCpu;
+    case 1: return runtime::DeviceKind::kGpu;
+    case 2: return runtime::DeviceKind::kFpga;
+  }
+  throw TransportError("bad device kind on wire: " + std::to_string(b));
+}
+
+uint8_t device_to_wire(runtime::DeviceKind d) {
+  switch (d) {
+    case runtime::DeviceKind::kCpu: return 0;
+    case runtime::DeviceKind::kGpu: return 1;
+    case runtime::DeviceKind::kFpga: return 2;
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::vector<uint8_t> encode_hello(const HelloRequest& h) {
+  ByteWriter w;
+  w.str(h.client);
+  w.u64(h.fingerprint);
+  return w.take();
+}
+
+HelloRequest decode_hello(std::span<const uint8_t> payload) {
+  ByteReader r(payload);
+  HelloRequest h;
+  h.client = r.str();
+  h.fingerprint = r.u64();
+  return h;
+}
+
+std::vector<uint8_t> encode_hello_reply(const HelloReply& h) {
+  ByteWriter w;
+  w.str(h.server);
+  w.u32(h.artifact_count);
+  return w.take();
+}
+
+HelloReply decode_hello_reply(std::span<const uint8_t> payload) {
+  ByteReader r(payload);
+  HelloReply h;
+  h.server = r.str();
+  h.artifact_count = r.u32();
+  return h;
+}
+
+std::vector<uint8_t> encode_listing(const std::vector<ArtifactListing>& ls) {
+  ByteWriter w;
+  w.u32(static_cast<uint32_t>(ls.size()));
+  for (const auto& l : ls) {
+    w.str(l.task_id);
+    w.u8(device_to_wire(l.device));
+    w.u32(static_cast<uint32_t>(l.arity));
+    w.str(l.signature);
+  }
+  return w.take();
+}
+
+std::vector<ArtifactListing> decode_listing(
+    std::span<const uint8_t> payload) {
+  ByteReader r(payload);
+  uint32_t n = r.u32();
+  std::vector<ArtifactListing> out;
+  out.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    ArtifactListing l;
+    l.task_id = r.str();
+    l.device = device_from_wire(r.u8());
+    l.arity = static_cast<int>(r.u32());
+    l.signature = r.str();
+    out.push_back(std::move(l));
+  }
+  return out;
+}
+
+std::vector<uint8_t> encode_process(const ProcessRequest& p) {
+  ByteWriter w;
+  w.str(p.task_id);
+  w.u8(device_to_wire(p.device));
+  w.u32(static_cast<uint32_t>(p.batch.size()));
+  w.raw(p.batch.data(), p.batch.size());
+  return w.take();
+}
+
+ProcessRequest decode_process(std::span<const uint8_t> payload) {
+  ByteReader r(payload);
+  ProcessRequest p;
+  p.task_id = r.str();
+  p.device = device_from_wire(r.u8());
+  uint32_t n = r.u32();
+  p.batch.resize(n);
+  r.raw(p.batch.data(), n);
+  return p;
+}
+
+uint64_t program_fingerprint(const runtime::ArtifactStore& store) {
+  std::vector<std::string> lines;
+  for (const auto* m : store.manifests()) {
+    if (m->device != runtime::DeviceKind::kCpu) continue;
+    lines.push_back(m->to_string());
+  }
+  std::sort(lines.begin(), lines.end());
+  uint64_t h = 1469598103934665603ull;  // FNV-1a 64 offset basis
+  auto mix = [&h](char c) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ull;
+  };
+  for (const auto& line : lines) {
+    for (char c : line) mix(c);
+    mix('\n');
+  }
+  return h;
+}
+
+std::vector<ArtifactListing> store_listing(
+    const runtime::ArtifactStore& store) {
+  std::vector<ArtifactListing> out;
+  for (const auto* m : store.manifests()) {
+    if (m->device == runtime::DeviceKind::kCpu) continue;
+    out.push_back({m->task_id, m->device, m->arity, m->to_string()});
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.task_id != b.task_id ? a.task_id < b.task_id
+                                  : a.signature < b.signature;
+  });
+  return out;
+}
+
+}  // namespace lm::net

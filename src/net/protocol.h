@@ -1,0 +1,76 @@
+// Payload codecs for the remote-device protocol (DESIGN.md §9).
+//
+// Payloads ride inside frames (frame.h) and are encoded with the same
+// ByteWriter/ByteReader primitives as the universal wire format — strings
+// are u32-length-prefixed, integers little-endian. Batches of stream
+// elements are serde value arrays (serde/batch.h), so the bytes a batch
+// occupies on the socket are exactly the bytes it occupies crossing the
+// in-process native boundary.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/store.h"
+
+namespace lm::net {
+
+/// kHello payload: who is calling and what program they compiled.
+struct HelloRequest {
+  std::string client;
+  /// FNV-1a over the sorted CPU-artifact manifests (program_fingerprint).
+  /// Client and server must agree or substitution would be unsound — the
+  /// artifacts would implement different tasks.
+  uint64_t fingerprint = 0;
+};
+
+/// kHelloOk payload.
+struct HelloReply {
+  std::string server;
+  uint32_t artifact_count = 0;
+};
+
+/// One artifact the server offers (kListOk payload holds a u32 count then
+/// this record per artifact).
+struct ArtifactListing {
+  std::string task_id;
+  runtime::DeviceKind device = runtime::DeviceKind::kCpu;
+  int arity = 1;
+  /// The manifest's to_string() — a human-readable signature used for
+  /// listings and a belt-and-braces compatibility check.
+  std::string signature;
+};
+
+/// kProcess payload: run one batch through (task_id, device).
+struct ProcessRequest {
+  std::string task_id;
+  runtime::DeviceKind device = runtime::DeviceKind::kCpu;
+  /// serde::pack_batch of the input elements.
+  std::vector<uint8_t> batch;
+};
+
+std::vector<uint8_t> encode_hello(const HelloRequest& h);
+HelloRequest decode_hello(std::span<const uint8_t> payload);
+
+std::vector<uint8_t> encode_hello_reply(const HelloReply& h);
+HelloReply decode_hello_reply(std::span<const uint8_t> payload);
+
+std::vector<uint8_t> encode_listing(const std::vector<ArtifactListing>& ls);
+std::vector<ArtifactListing> decode_listing(std::span<const uint8_t> payload);
+
+std::vector<uint8_t> encode_process(const ProcessRequest& p);
+ProcessRequest decode_process(std::span<const uint8_t> payload);
+
+/// The program identity both ends hash at hello time: FNV-1a64 over every
+/// CPU artifact manifest (sorted by task id). CPU artifacts exist for every
+/// task on both sides regardless of --no-gpu/--no-fpga flags, so the
+/// fingerprint is device-configuration-independent.
+uint64_t program_fingerprint(const runtime::ArtifactStore& store);
+
+/// The listing a server built from its store: every non-CPU artifact (the
+/// CPU ones are not worth a network hop — every client already has them).
+std::vector<ArtifactListing> store_listing(
+    const runtime::ArtifactStore& store);
+
+}  // namespace lm::net

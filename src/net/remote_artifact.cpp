@@ -1,0 +1,51 @@
+#include "net/remote_artifact.h"
+
+#include "obs/trace.h"
+#include "serde/batch.h"
+#include "util/error.h"
+
+namespace lm::net {
+
+using bc::Value;
+
+RemoteArtifact::RemoteArtifact(runtime::ArtifactManifest manifest,
+                               std::shared_ptr<RemoteSession> session)
+    : Artifact(std::move(manifest)), session_(std::move(session)) {
+  LM_CHECK(session_ != nullptr);
+  LM_CHECK_MSG(!manifest_.param_types.empty(),
+               "remote artifact needs a parameter type for serialization");
+}
+
+std::vector<Value> RemoteArtifact::process(std::span<const Value> inputs) {
+  size_t k = static_cast<size_t>(manifest_.arity);
+  LM_CHECK(inputs.size() % k == 0);
+  ++transfer_.batches;
+  transfer_.elements_in += inputs.size();
+
+  obs::TraceSpan span;
+  if (obs::TraceRecorder* rec = obs::TraceRecorder::current()) {
+    span.begin(rec, "net", "rpc:" + manifest_.task_id);
+  }
+
+  // Stream elements all share one type (only values of the upstream
+  // element type flow through a connection).
+  auto wire = serde::pack_batch(inputs, manifest_.param_types[0]);
+  transfer_.bytes_to_device += wire.size();
+
+  auto reply = session_->process(manifest_.task_id, manifest_.device, wire);
+  transfer_.bytes_from_device += reply.size();
+
+  auto out = serde::unpack_batch(reply, manifest_.return_type);
+  transfer_.elements_out += out.size();
+  if (span.active()) {
+    span.set_args(obs::JsonArgs()
+                      .add("endpoint", session_->endpoint())
+                      .add("elements", static_cast<uint64_t>(inputs.size()))
+                      .add("bytes_out", static_cast<uint64_t>(wire.size()))
+                      .add("bytes_in", static_cast<uint64_t>(reply.size()))
+                      .str());
+  }
+  return out;
+}
+
+}  // namespace lm::net

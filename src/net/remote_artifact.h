@@ -1,0 +1,41 @@
+// RemoteArtifact: a device artifact whose process() crosses a socket.
+//
+// The proxy satisfies the exact Artifact contract the runtime substitutes
+// against — consume n*arity stream elements, return n outputs — so a GPU
+// or FPGA artifact served by a remote `lmdev` is a drop-in substitution
+// candidate. The wire format is the same serde batch encoding the
+// in-process native boundary uses (Fig. 3's byte stream, now over TCP),
+// which is what makes remote results bit-identical to local ones.
+#pragma once
+
+#include <memory>
+
+#include "net/client.h"
+#include "runtime/artifact.h"
+
+namespace lm::net {
+
+class RemoteArtifact final : public runtime::Artifact {
+ public:
+  /// `manifest.device` is the *remote* device kind; param/return types are
+  /// copied from a local manifest for the same task (the serialization
+  /// schema — both ends agree on it via the hello fingerprint).
+  RemoteArtifact(runtime::ArtifactManifest manifest,
+                 std::shared_ptr<RemoteSession> session);
+
+  std::vector<bc::Value> process(std::span<const bc::Value> inputs) override;
+
+  bool is_remote() const override { return true; }
+  std::string location() const override { return session_->endpoint(); }
+  std::string cost_label() const override {
+    return std::string(runtime::to_string(manifest_.device)) + "@" +
+           session_->endpoint();
+  }
+
+  RemoteSession& session() { return *session_; }
+
+ private:
+  std::shared_ptr<RemoteSession> session_;
+};
+
+}  // namespace lm::net

@@ -1,0 +1,195 @@
+#include "net/server.h"
+
+#include "obs/trace.h"
+#include "serde/batch.h"
+#include "util/byte_buffer.h"
+
+namespace lm::net {
+
+using runtime::Artifact;
+using runtime::DeviceKind;
+
+namespace {
+
+Frame error_frame(uint64_t request_id, const std::string& message) {
+  Frame f;
+  f.type = FrameType::kError;
+  f.request_id = request_id;
+  ByteWriter w;
+  w.str(message);
+  f.payload = w.take();
+  return f;
+}
+
+}  // namespace
+
+DeviceServer::DeviceServer(const runtime::CompiledProgram& program,
+                           Options opts)
+    : program_(program), opts_(std::move(opts)) {
+  fingerprint_ = program_fingerprint(program_.store);
+  listing_ = store_listing(program_.store);
+  for (const auto& l : listing_) {
+    Artifact* a = program_.store.find(l.task_id, l.device);
+    if (a && !locks_.count(a)) {
+      locks_.emplace(a, std::make_unique<std::mutex>());
+    }
+  }
+}
+
+DeviceServer::~DeviceServer() { stop(); }
+
+void DeviceServer::start() {
+  listener_ = std::make_unique<Listener>(opts_.port);
+  port_ = listener_->port();
+  endpoint_ = "127.0.0.1:" + std::to_string(port_);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void DeviceServer::accept_loop() {
+  for (;;) {
+    Socket s = listener_->accept();
+    if (!s.valid()) return;  // listener closed
+    if (stopping_.load(std::memory_order_acquire)) return;
+    auto conn = std::make_unique<Conn>();
+    conn->sock = std::move(s);
+    Conn* raw = conn.get();
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.push_back(std::move(conn));
+    conns_.back()->th = std::thread([this, raw] { serve(raw); });
+  }
+}
+
+void DeviceServer::serve(Conn* conn) {
+  try {
+    for (;;) {
+      Frame req = read_frame(conn->sock, no_deadline());
+      Frame reply = handle(req);
+      write_frame(conn->sock, reply, no_deadline());
+      if (opts_.fail_after != 0 && req.type == FrameType::kProcess &&
+          served_.load(std::memory_order_relaxed) >= opts_.fail_after) {
+        abrupt_stop();  // fault injection: die after the Nth batch
+        return;
+      }
+    }
+  } catch (const TransportError&) {
+    // Peer went away (or we were stopped): this connection is done.
+  }
+}
+
+Frame DeviceServer::handle(const Frame& req) {
+  try {
+    switch (req.type) {
+      case FrameType::kPing: {
+        Frame f;
+        f.type = FrameType::kPong;
+        f.request_id = req.request_id;
+        return f;
+      }
+      case FrameType::kHello: {
+        HelloRequest h = decode_hello(req.payload);
+        if (h.fingerprint != fingerprint_) {
+          return error_frame(
+              req.request_id,
+              "program fingerprint mismatch: client compiled a different "
+              "program than this server (client " +
+                  std::to_string(h.fingerprint) + ", server " +
+                  std::to_string(fingerprint_) + ")");
+        }
+        Frame f;
+        f.type = FrameType::kHelloOk;
+        f.request_id = req.request_id;
+        f.payload = encode_hello_reply(
+            {opts_.name, static_cast<uint32_t>(listing_.size())});
+        return f;
+      }
+      case FrameType::kList: {
+        Frame f;
+        f.type = FrameType::kListOk;
+        f.request_id = req.request_id;
+        f.payload = encode_listing(listing_);
+        return f;
+      }
+      case FrameType::kProcess: {
+        ProcessRequest p = decode_process(req.payload);
+        Artifact* a = program_.store.find(p.task_id, p.device);
+        if (!a) {
+          return error_frame(req.request_id,
+                             "no artifact for " + p.task_id + " on " +
+                                 runtime::to_string(p.device));
+        }
+        obs::TraceSpan span;
+        if (obs::TraceRecorder* rec = obs::TraceRecorder::current()) {
+          span.begin(rec, "net", "serve:" + p.task_id);
+        }
+        const auto& mf = a->manifest();
+        std::vector<bc::Value> in =
+            serde::unpack_batch(p.batch, mf.param_types[0]);
+        std::vector<bc::Value> out;
+        {
+          // Serialize batches per artifact: device simulators are stateful.
+          std::lock_guard<std::mutex> lock(*locks_.at(a));
+          out = a->process(in);
+        }
+        Frame f;
+        f.type = FrameType::kProcessOk;
+        f.request_id = req.request_id;
+        f.payload = serde::pack_batch(out, mf.return_type);
+        served_.fetch_add(1, std::memory_order_relaxed);
+        if (span.active()) {
+          span.set_args(obs::JsonArgs()
+                            .add("elements", static_cast<uint64_t>(in.size()))
+                            .add("bytes_in",
+                                 static_cast<uint64_t>(p.batch.size()))
+                            .str());
+        }
+        return f;
+      }
+      default:
+        return error_frame(req.request_id,
+                           std::string("unexpected frame type: ") +
+                               to_string(req.type));
+    }
+  } catch (const std::exception& e) {
+    // Artifact faults and malformed payloads surface as protocol errors;
+    // the connection stays up.
+    return error_frame(req.request_id, e.what());
+  }
+}
+
+void DeviceServer::drop_all_connections() {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  for (auto& c : conns_) c->sock.shutdown_both();
+}
+
+void DeviceServer::abrupt_stop() {
+  crashed_.store(true, std::memory_order_release);
+  stopping_.store(true, std::memory_order_release);
+  if (listener_) listener_->close();
+  drop_all_connections();
+}
+
+void DeviceServer::stop() {
+  stopping_.store(true, std::memory_order_release);
+  if (listener_) listener_->close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  drop_all_connections();
+  // No new connections can appear now (accept thread joined), so the list
+  // is stable without the lock — but hold it anyway for clarity.
+  std::vector<std::unique_ptr<Conn>> conns;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns.swap(conns_);
+  }
+  for (auto& c : conns) {
+    if (c->th.joinable()) {
+      // A serve thread that called abrupt_stop() is in this list; joining
+      // it from itself would deadlock — but abrupt_stop() returns out of
+      // serve() immediately, so by the time stop() runs on another thread
+      // the serve thread is exiting. Self-join cannot happen because
+      // stop() is never called from a serve thread.
+      c->th.join();
+    }
+  }
+}
+
+}  // namespace lm::net

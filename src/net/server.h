@@ -1,0 +1,106 @@
+// DeviceServer: hosts a compiled program's device artifacts over TCP.
+//
+// The server side of the remote-device transport (DESIGN.md §9). It owns a
+// listener plus one thread per connection; each connection is served
+// sequentially in request order (responses echo the request id, so a
+// pipelining client can stuff many kProcess frames down one connection and
+// read the replies back in sequence). Artifacts live in the program's
+// store; a per-artifact mutex serializes concurrent batches from different
+// connections because device simulators (the RTL filter in particular) are
+// stateful across process() calls.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/frame.h"
+#include "net/protocol.h"
+#include "runtime/liquid_compiler.h"
+
+namespace lm::net {
+
+class DeviceServer {
+ public:
+  struct Options {
+    /// TCP port; 0 picks an ephemeral port (read it back from port()).
+    uint16_t port = 0;
+    std::string name = "lmdev";
+    /// Fault injection: after serving this many kProcess requests the
+    /// server abruptly drops every connection and stops accepting — the
+    /// deterministic stand-in for kill -9 mid-stream. 0 disables.
+    uint64_t fail_after = 0;
+  };
+
+  /// The program must outlive the server. (Two overloads, not a default
+  /// `= {}` argument: nested-class member initializers are not usable in
+  /// default arguments of the enclosing class.)
+  explicit DeviceServer(const runtime::CompiledProgram& program)
+      : DeviceServer(program, Options{}) {}
+  DeviceServer(const runtime::CompiledProgram& program, Options opts);
+  ~DeviceServer();
+
+  DeviceServer(const DeviceServer&) = delete;
+  DeviceServer& operator=(const DeviceServer&) = delete;
+
+  /// Binds, listens and spawns the accept thread. Throws TransportError
+  /// when the port cannot be bound.
+  void start();
+
+  /// Stops accepting, drops every connection and joins all threads.
+  /// Idempotent.
+  void stop();
+
+  /// Simulated crash: closes the listener and every connection socket
+  /// *without* joining — in-flight requests die mid-exchange exactly as
+  /// they would under SIGKILL. stop() (or the destructor) joins later.
+  void abrupt_stop();
+
+  uint16_t port() const { return port_; }
+  const std::string& endpoint() const { return endpoint_; }
+  uint64_t fingerprint() const { return fingerprint_; }
+  size_t artifact_count() const { return listing_.size(); }
+  uint64_t requests_served() const {
+    return served_.load(std::memory_order_relaxed);
+  }
+  /// True once abrupt_stop() ran (including via fail_after).
+  bool crashed() const { return crashed_.load(std::memory_order_acquire); }
+
+ private:
+  struct Conn {
+    Socket sock;
+    std::thread th;
+  };
+
+  void accept_loop();
+  void serve(Conn* conn);
+  /// Builds the reply to one request frame (never throws; artifact
+  /// failures become kError frames).
+  Frame handle(const Frame& req);
+  void drop_all_connections();
+
+  const runtime::CompiledProgram& program_;
+  Options opts_;
+  uint64_t fingerprint_ = 0;
+  std::vector<ArtifactListing> listing_;
+  /// One lock per served artifact (see file comment).
+  std::unordered_map<runtime::Artifact*, std::unique_ptr<std::mutex>> locks_;
+
+  std::unique_ptr<Listener> listener_;
+  std::thread accept_thread_;
+  uint16_t port_ = 0;
+  std::string endpoint_;
+
+  std::mutex conns_mu_;
+  std::vector<std::unique_ptr<Conn>> conns_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> crashed_{false};
+  std::atomic<uint64_t> served_{0};
+};
+
+}  // namespace lm::net

@@ -1,0 +1,204 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+namespace lm::net {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw TransportError(what + ": " + std::strerror(errno));
+}
+
+/// Remaining budget in ms for poll(); -1 = block, 0 = already expired.
+int poll_budget_ms(Deadline deadline) {
+  if (deadline == no_deadline()) return -1;
+  auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                  deadline - std::chrono::steady_clock::now())
+                  .count();
+  if (left <= 0) return 0;
+  return static_cast<int>(std::min<int64_t>(left, 1 << 30));
+}
+
+/// Waits for `events` on fd or throws on deadline expiry.
+void wait_ready(int fd, short events, Deadline deadline, const char* what) {
+  for (;;) {
+    int budget = poll_budget_ms(deadline);
+    if (budget == 0) throw TransportError(std::string(what) + " timed out");
+    pollfd p{fd, events, 0};
+    int rc = ::poll(&p, 1, budget);
+    if (rc > 0) return;  // ready (or error/hup — the next syscall reports it)
+    if (rc == 0) throw TransportError(std::string(what) + " timed out");
+    if (errno != EINTR) fail(what);
+  }
+}
+
+void set_common_options(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+sockaddr_in make_addr(const std::string& host, uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    // "localhost" is the one name worth resolving without dragging in a
+    // resolver; anything else must be a dotted quad.
+    if (host == "localhost") {
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    } else {
+      throw TransportError("cannot parse address '" + host +
+                           "' (use a dotted-quad IPv4 address)");
+    }
+  }
+  return addr;
+}
+
+}  // namespace
+
+Deadline no_deadline() { return Deadline::max(); }
+
+Deadline deadline_in_ms(int64_t ms) {
+  if (ms <= 0) return no_deadline();
+  return std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+}
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& o) noexcept : fd_(std::exchange(o.fd_, -1)) {}
+
+Socket& Socket::operator=(Socket&& o) noexcept {
+  if (this != &o) {
+    close();
+    fd_ = std::exchange(o.fd_, -1);
+  }
+  return *this;
+}
+
+Socket Socket::connect(const std::string& host, uint16_t port,
+                       Deadline deadline) {
+  sockaddr_in addr = make_addr(host, port);
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) fail("socket");
+  Socket s(fd);
+  // Non-blocking connect so the deadline applies to the handshake too.
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  if (rc != 0 && errno != EINPROGRESS) fail("connect to " + host);
+  if (rc != 0) {
+    wait_ready(fd, POLLOUT, deadline, "connect");
+    int err = 0;
+    socklen_t len = sizeof err;
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      errno = err;
+      fail("connect to " + host + ":" + std::to_string(port));
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);  // back to blocking; poll gates every op
+  set_common_options(fd);
+  return s;
+}
+
+void Socket::send_all(std::span<const uint8_t> data, Deadline deadline) {
+  size_t off = 0;
+  while (off < data.size()) {
+    wait_ready(fd_, POLLOUT, deadline, "send");
+    ssize_t n = ::send(fd_, data.data() + off, data.size() - off,
+                       MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+    } else if (n < 0 && errno != EINTR && errno != EAGAIN) {
+      fail("send");
+    }
+  }
+}
+
+void Socket::recv_all(std::span<uint8_t> out, Deadline deadline) {
+  size_t off = 0;
+  while (off < out.size()) {
+    wait_ready(fd_, POLLIN, deadline, "recv");
+    ssize_t n = ::recv(fd_, out.data() + off, out.size() - off, 0);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+    } else if (n == 0) {
+      throw TransportError("connection closed by peer");
+    } else if (errno != EINTR && errno != EAGAIN) {
+      fail("recv");
+    }
+  }
+}
+
+void Socket::shutdown_both() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Listener::Listener(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) fail("socket");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd, 16) != 0) {
+    int e = errno;
+    ::close(fd);
+    errno = e;
+    fail("bind/listen 127.0.0.1:" + std::to_string(port));
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  fd_.store(fd, std::memory_order_release);
+}
+
+Listener::~Listener() { close(); }
+
+Socket Listener::accept() {
+  for (;;) {
+    int lfd = fd_.load(std::memory_order_acquire);
+    if (lfd < 0) return Socket();  // listener closed: clean shutdown
+    int fd = ::accept(lfd, nullptr, nullptr);
+    if (fd >= 0) {
+      set_common_options(fd);
+      return Socket(fd);
+    }
+    if (fd_.load(std::memory_order_acquire) < 0 || errno == EBADF ||
+        errno == EINVAL) {
+      return Socket();
+    }
+    if (errno != EINTR && errno != ECONNABORTED) fail("accept");
+  }
+}
+
+void Listener::close() {
+  int fd = fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+}
+
+}  // namespace lm::net

@@ -1,0 +1,94 @@
+// Thin RAII wrapper over POSIX TCP sockets for the remote-device transport.
+//
+// Deliberately minimal: blocking sockets with poll()-enforced deadlines.
+// Every read/write takes an absolute deadline so a whole request — however
+// many syscalls it spans — shares one timeout budget, which is what the
+// per-request deadline semantics of RemoteSession need. All failures throw
+// lm::TransportError; the runtime catches exactly that type to trigger
+// bytecode fallback.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "util/error.h"
+
+namespace lm::net {
+
+using Deadline = std::chrono::steady_clock::time_point;
+
+/// A deadline that never fires (blocking semantics).
+Deadline no_deadline();
+/// Now + ms (ms <= 0 → no_deadline()).
+Deadline deadline_in_ms(int64_t ms);
+
+/// A connected TCP stream. Move-only; closes on destruction.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+  Socket(Socket&& o) noexcept;
+  Socket& operator=(Socket&& o) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  /// Connects to host:port, throwing TransportError on failure or when the
+  /// deadline passes mid-connect.
+  static Socket connect(const std::string& host, uint16_t port,
+                        Deadline deadline);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Writes all of `data` or throws. MSG_NOSIGNAL: a peer that died mid-
+  /// write yields a TransportError, never SIGPIPE.
+  void send_all(std::span<const uint8_t> data, Deadline deadline);
+
+  /// Reads exactly `out.size()` bytes or throws. A clean EOF before any
+  /// byte of this read throws TransportError("connection closed by peer").
+  void recv_all(std::span<uint8_t> out, Deadline deadline);
+
+  /// Half-closes both directions (wakes a peer blocked in recv) without
+  /// releasing the descriptor. Safe to call from another thread while a
+  /// recv is in flight — the basis of DeviceServer::abrupt_stop().
+  void shutdown_both();
+
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// A listening TCP socket bound to 127.0.0.1 (the transport is a
+/// lab-network protocol; binding loopback by default keeps `lmdev` from
+/// exposing an unauthenticated execution service).
+class Listener {
+ public:
+  /// Binds and listens. port 0 → ephemeral; read the outcome from port().
+  explicit Listener(uint16_t port);
+  ~Listener();
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// The bound port (resolved after construction even for port 0).
+  uint16_t port() const { return port_; }
+
+  /// Accepts one connection. Returns an invalid Socket when the listener
+  /// was closed from another thread (clean shutdown), throws on real
+  /// errors.
+  Socket accept();
+
+  /// Unblocks accept() from another thread.
+  void close();
+
+ private:
+  /// Atomic because close() races with a blocked accept() by design.
+  std::atomic<int> fd_{-1};
+  uint16_t port_ = 0;
+};
+
+}  // namespace lm::net

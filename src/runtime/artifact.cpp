@@ -5,6 +5,7 @@
 
 #include "bytecode/compiler.h"
 #include "obs/trace.h"
+#include "serde/batch.h"
 #include "util/error.h"
 
 namespace lm::runtime {
@@ -44,13 +45,11 @@ CValue elements_to_device(std::span<const Value> elems,
                           const lime::TypeRef& elem_type,
                           serde::NativeBoundary& boundary,
                           TransferStats& stats) {
-  ArrayRef arr = bc::make_array(bc::elem_code_for(elem_type), elems.size());
-  for (size_t i = 0; i < elems.size(); ++i) bc::array_set(*arr, i, elems[i]);
-  auto ser = serde::serializer_for(lime::Type::value_array(elem_type));
-  ByteWriter w;
-  arr->is_value = true;
-  ser->serialize(Value::array(arr), w);
-  auto native = boundary.cross_to_native(w.bytes());
+  // The batch encode/decode lives in serde/batch.h, shared with the remote
+  // transport (src/net/), so local and remote artifacts move bit-identical
+  // bytes.
+  auto wire = serde::pack_batch(elems, elem_type);
+  auto native = boundary.cross_to_native(wire);
   stats.bytes_to_device += native.size();
   return serde::unmarshal_native(native, lime::Type::value_array(elem_type));
 }
@@ -63,16 +62,7 @@ std::vector<Value> elements_from_device(const CValue& out,
   auto wire = serde::marshal_native(out);
   auto host = boundary.cross_to_host(wire);
   stats.bytes_from_device += host.size();
-  auto ser = serde::serializer_for(lime::Type::value_array(elem_type));
-  ByteReader r(host);
-  Value v = ser->deserialize(r);
-  const ArrayRef& arr = v.as_array();
-  std::vector<Value> result;
-  result.reserve(arr->size());
-  for (size_t i = 0; i < arr->size(); ++i) {
-    result.push_back(bc::array_get(*arr, i));
-  }
-  return result;
+  return serde::unpack_batch(host, elem_type);
 }
 
 gpu::KReg scalar_reg_from(const CValue& c) {
@@ -272,6 +262,31 @@ Value GpuKernelArtifact::run_reduce(const Value& array) {
   Value v = ser->deserialize(r);
   transfer_.elements_out += 1;
   return bc::array_get(*v.as_array(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// ChainArtifact
+// ---------------------------------------------------------------------------
+
+ChainArtifact::ChainArtifact(ArtifactManifest manifest,
+                             std::vector<Artifact*> stages)
+    : Artifact(std::move(manifest)), stages_(std::move(stages)) {
+  LM_CHECK_MSG(!stages_.empty(), "fallback chain needs at least one stage");
+}
+
+std::vector<Value> ChainArtifact::process(std::span<const Value> inputs) {
+  ++transfer_.batches;
+  transfer_.elements_in += inputs.size();
+  std::vector<Value> cur(inputs.begin(), inputs.end());
+  for (Artifact* stage : stages_) {
+    size_t k = static_cast<size_t>(stage->manifest().arity);
+    // Whole firings only — a trailing partial group is dropped, matching
+    // the threaded scheduler's end-of-stream semantics.
+    size_t usable = (cur.size() / k) * k;
+    cur = stage->process(std::span<const Value>(cur.data(), usable));
+  }
+  transfer_.elements_out += cur.size();
+  return cur;
 }
 
 // ---------------------------------------------------------------------------

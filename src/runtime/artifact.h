@@ -69,6 +69,20 @@ class Artifact {
   virtual std::vector<bc::Value> process(
       std::span<const bc::Value> inputs) = 0;
 
+  /// True when process() crosses a socket (src/net/ proxies). The runtime
+  /// uses this to attach a local fallback artifact at substitution time.
+  virtual bool is_remote() const { return false; }
+
+  /// Where the computation runs: "local", or "host:port" for proxies.
+  virtual std::string location() const { return "local"; }
+
+  /// The device label this artifact's batches are recorded under in the
+  /// cost-model registry. Remote proxies append their endpoint so a remote
+  /// GPU and the local GPU keep separate cost histories.
+  virtual std::string cost_label() const {
+    return to_string(manifest_.device);
+  }
+
   const TransferStats& transfer_stats() const { return transfer_; }
 
  protected:
@@ -120,6 +134,22 @@ class GpuKernelArtifact final : public Artifact {
  private:
   std::unique_ptr<gpu::KernelProgram> program_;
   std::shared_ptr<gpu::GpuDevice> device_;
+};
+
+/// CPU fallback for a fused segment: pipes each batch through the member
+/// tasks' artifacts in graph order. Built by the runtime when a *remote*
+/// fused-segment artifact is substituted — the store holds no monolithic
+/// CPU artifact under "seg:..." ids, yet remote failure must still be able
+/// to fall back to local execution without unfusing the graph mid-run.
+class ChainArtifact final : public Artifact {
+ public:
+  /// `stages` are borrowed from the store (which outlives the runtime).
+  ChainArtifact(ArtifactManifest manifest, std::vector<Artifact*> stages);
+
+  std::vector<bc::Value> process(std::span<const bc::Value> inputs) override;
+
+ private:
+  std::vector<Artifact*> stages_;
 };
 
 /// FPGA artifact: synthesized module streamed through the RTL simulator.

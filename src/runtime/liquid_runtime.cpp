@@ -36,6 +36,9 @@ struct LiquidRuntime::RtNode {
   // Device node (after substitution).
   Artifact* artifact = nullptr;
   std::string label;
+  /// Remote artifacts only: the local artifact this node swaps to when the
+  /// transport dies mid-stream (graceful degradation, DESIGN.md §9).
+  Artifact* fallback = nullptr;
 
   /// kAdaptive + enable_resubstitution: every calibrated candidate for this
   /// node (including the chosen one), so the drift check can swap mid-run.
@@ -159,6 +162,56 @@ LiquidRuntime::LiquidRuntime(CompiledProgram& program, RuntimeConfig config)
 
 LiquidRuntime::~LiquidRuntime() = default;
 
+void LiquidRuntime::add_remote_artifact(std::unique_ptr<Artifact> artifact) {
+  LM_CHECK(artifact != nullptr);
+  LM_CHECK_MSG(artifact->is_remote(),
+               "add_remote_artifact is for net:: proxies only");
+  remote_store_.add(std::move(artifact));
+}
+
+Artifact* LiquidRuntime::find_candidate(const std::string& id,
+                                        DeviceKind d) const {
+  Artifact* local = program_.store.find(id, d);
+  Artifact* remote = remote_store_.find(id, d);
+  // Bytecode across the wire is strictly worse than bytecode here; servers
+  // don't list CPU artifacts, but guard anyway.
+  if (!remote || d == DeviceKind::kCpu) return local;
+  if (config_.prefer_remote || !local) return remote;
+  return local;
+}
+
+Artifact* LiquidRuntime::fallback_for(
+    const Artifact* chosen, const std::vector<std::string>& task_ids) {
+  if (!chosen || !chosen->is_remote() || task_ids.empty()) return nullptr;
+  if (task_ids.size() == 1) {
+    return program_.store.find(task_ids.front(), DeviceKind::kCpu);
+  }
+  // Fused segment: the store holds no monolithic CPU artifact under
+  // "seg:..." ids, so chain the members' CPU artifacts (cached per segment
+  // — two graphs may substitute the same pipeline).
+  std::string seg = ArtifactStore::segment_id(task_ids);
+  std::lock_guard<std::mutex> lock(subs_mu_);
+  for (const auto& c : fallback_chains_) {
+    if (c->manifest().task_id == seg) return c.get();
+  }
+  std::vector<Artifact*> stages;
+  for (const std::string& id : task_ids) {
+    Artifact* s = program_.store.find(id, DeviceKind::kCpu);
+    if (!s) return nullptr;  // no net to fall into; run remote without one
+    stages.push_back(s);
+  }
+  ArtifactManifest m;
+  m.task_id = seg;
+  m.device = DeviceKind::kCpu;
+  m.param_types = stages.front()->manifest().param_types;
+  m.return_type = stages.back()->manifest().return_type;
+  m.arity = stages.front()->manifest().arity;
+  m.artifact_text = "// cpu fallback chain for " + seg;
+  fallback_chains_.push_back(
+      std::make_unique<ChainArtifact>(std::move(m), std::move(stages)));
+  return fallback_chains_.back().get();
+}
+
 Value LiquidRuntime::call(const std::string& qualified_name,
                           std::vector<Value> args) {
   return interp_.call(qualified_name, std::move(args));
@@ -272,6 +325,9 @@ void LiquidRuntime::record_substitution(SubstitutionRecord rec,
         .add("device", to_string(rec.device))
         .add("fused", rec.fused)
         .add("policy", placement_name());
+    if (rec.remote) {
+      args.add("remote", true).add("endpoint", rec.endpoint);
+    }
     if (config_.placement == Placement::kAdaptive) {
       args.add("calibrated", rec.calibrated);
       if (rec.calibrated) args.add("score_us_per_elem", rec.score_us_per_elem);
@@ -296,6 +352,7 @@ void LiquidRuntime::record_resubstitution(ResubstitutionRecord rec) {
     r->instant("decision", "resubstitution",
                JsonArgs()
                    .add("tasks", rec.task_ids)
+                   .add("reason", rec.reason)
                    .add("from", to_string(rec.from))
                    .add("to", to_string(rec.to))
                    .add("live_us_per_elem", rec.live_us_per_elem)
@@ -423,7 +480,7 @@ void LiquidRuntime::substitute(RtGraph& g) {
     Artifact* seg = nullptr;
     if (ids.size() > 1 && config_.allow_fusion) {
       for (DeviceKind d : preference) {
-        seg = program_.store.find(ArtifactStore::segment_id(ids), d);
+        seg = find_candidate(ArtifactStore::segment_id(ids), d);
         if (seg) break;
       }
     }
@@ -433,14 +490,17 @@ void LiquidRuntime::substitute(RtGraph& g) {
       dev.artifact = seg;
       dev.arity = seg->manifest().arity;
       dev.label = seg->manifest().task_id;
+      dev.fallback = fallback_for(seg, ids);
       out.push_back(std::move(dev));
       std::string joined;
       for (size_t k = 0; k < ids.size(); ++k) {
         if (k) joined += "+";
         joined += ids[k];
       }
-      record_substitution({joined, seg->manifest().device, /*fused=*/true},
-                          {});
+      SubstitutionRecord rec{joined, seg->manifest().device, /*fused=*/true};
+      rec.remote = seg->is_remote();
+      if (rec.remote) rec.endpoint = seg->location();
+      record_substitution(std::move(rec), {});
       i = j;
       continue;
     }
@@ -449,7 +509,7 @@ void LiquidRuntime::substitute(RtGraph& g) {
       const RtNode& f = g.nodes[k];
       Artifact* chosen = nullptr;
       for (DeviceKind d : preference) {
-        chosen = program_.store.find(f.task_id, d);
+        chosen = find_candidate(f.task_id, d);
         if (chosen) break;
       }
       if (chosen) {
@@ -458,9 +518,13 @@ void LiquidRuntime::substitute(RtGraph& g) {
         dev.artifact = chosen;
         dev.arity = chosen->manifest().arity;
         dev.label = chosen->manifest().task_id;
+        dev.fallback = fallback_for(chosen, {f.task_id});
         out.push_back(std::move(dev));
-        record_substitution(
-            {f.task_id, chosen->manifest().device, /*fused=*/false}, {});
+        SubstitutionRecord rec{f.task_id, chosen->manifest().device,
+                               /*fused=*/false};
+        rec.remote = chosen->is_remote();
+        if (rec.remote) rec.endpoint = chosen->location();
+        record_substitution(std::move(rec), {});
       } else {
         out.push_back(f);
         record_substitution({f.task_id, DeviceKind::kCpu, /*fused=*/false},
@@ -506,14 +570,21 @@ void LiquidRuntime::substitute_adaptive(RtGraph& g) {
     }
     std::span<const Value> batch(in.data(), usable);
     hot_->candidates_profiled->add();
-    // Warm once, then time the better of two runs.
-    std::vector<Value> result = a->process(batch);
+    std::vector<Value> result;
     double best = 1e300;
-    for (int rep = 0; rep < 2; ++rep) {
-      auto t0 = std::chrono::steady_clock::now();
+    try {
+      // Warm once, then time the better of two runs.
       result = a->process(batch);
-      auto t1 = std::chrono::steady_clock::now();
-      best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+      for (int rep = 0; rep < 2; ++rep) {
+        auto t0 = std::chrono::steady_clock::now();
+        result = a->process(batch);
+        auto t1 = std::chrono::steady_clock::now();
+        best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+      }
+    } catch (const TransportError&) {
+      // A remote candidate whose endpoint died during calibration simply
+      // drops out of the race; the run proceeds with whoever answered.
+      return {a, 0, 0, false};
     }
     *out = std::move(result);
     return {a, best, best * 1e6 / static_cast<double>(usable), true};
@@ -525,6 +596,7 @@ void LiquidRuntime::substitute_adaptive(RtGraph& g) {
     JsonArgs j;
     j.add("tasks", s.artifact->manifest().task_id)
         .add("device", to_string(s.artifact->manifest().device));
+    if (s.artifact->is_remote()) j.add("endpoint", s.artifact->location());
     if (s.eligible) {
       j.add("time_us", s.seconds * 1e6);
     } else {
@@ -542,12 +614,17 @@ void LiquidRuntime::substitute_adaptive(RtGraph& g) {
     return out;
   };
 
-  // Candidate ordering breaks ties toward accelerators (paper default).
+  // Candidate ordering breaks ties toward accelerators (paper default),
+  // and local before remote on the same device so equal measurements avoid
+  // the network hop. Remote candidates race on their *measured* time, which
+  // inherently charges the round-trip and wire transfer.
   auto candidates_for = [&](const std::string& id) {
     std::vector<Artifact*> out;
     for (DeviceKind d :
          {DeviceKind::kGpu, DeviceKind::kFpga, DeviceKind::kCpu}) {
       if (Artifact* a = program_.store.find(id, d)) out.push_back(a);
+      if (d == DeviceKind::kCpu) continue;  // servers never list bytecode
+      if (Artifact* a = remote_store_.find(id, d)) out.push_back(a);
     }
     return out;
   };
@@ -653,12 +730,14 @@ void LiquidRuntime::substitute_adaptive(RtGraph& g) {
     }
 
     auto emit_device = [&](Artifact* a,
-                           std::vector<RtNode::ResubAlternative> alts) {
+                           std::vector<RtNode::ResubAlternative> alts,
+                           const std::vector<std::string>& fb_ids) {
       RtNode dev;
       dev.kind = RtNode::Kind::kDevice;
       dev.artifact = a;
       dev.arity = a->manifest().arity;
       dev.label = a->manifest().task_id;
+      dev.fallback = fallback_for(a, fb_ids);
       // A node can only re-substitute toward a *measured* alternative, so
       // it needs at least one calibrated loser besides its own score.
       if (config_.enable_resubstitution && alts.size() >= 2) {
@@ -673,7 +752,7 @@ void LiquidRuntime::substitute_adaptive(RtGraph& g) {
         !fused_cands.empty() && !fused_best.eligible && !any_chain_calibrated;
 
     if (fused_best.eligible && fused_best.seconds <= chain_time) {
-      emit_device(fused_best.artifact, std::move(fused_alts));
+      emit_device(fused_best.artifact, std::move(fused_alts), ids);
       std::string extra;
       if (tracing) {
         // The losing per-filter plan rides along so the trace explains
@@ -688,23 +767,29 @@ void LiquidRuntime::substitute_adaptive(RtGraph& g) {
                     .add_raw("candidates", join_entries(all))
                     .str();
       }
-      record_substitution({joined, fused_best.artifact->manifest().device,
-                           /*fused=*/true, fused_best.us_per_elem,
-                           /*calibrated=*/true},
-                          std::move(extra));
+      {
+        Artifact* a = fused_best.artifact;
+        SubstitutionRecord rec{joined, a->manifest().device, /*fused=*/true,
+                               fused_best.us_per_elem, /*calibrated=*/true};
+        rec.remote = a->is_remote();
+        if (rec.remote) rec.endpoint = a->location();
+        record_substitution(std::move(rec), std::move(extra));
+      }
       stream = std::move(fused_out);
     } else if (fused_fallback) {
       Artifact* a = fused_cands.front();
-      emit_device(a, {});
+      emit_device(a, {}, ids);
       std::string extra;
       if (tracing) {
         extra = JsonArgs()
                     .add_raw("candidates", join_entries(fused_entries))
                     .str();
       }
-      record_substitution({joined, a->manifest().device, /*fused=*/true,
-                           /*score_us_per_elem=*/-1.0, /*calibrated=*/false},
-                          std::move(extra));
+      SubstitutionRecord rec{joined, a->manifest().device, /*fused=*/true,
+                             /*score_us_per_elem=*/-1.0, /*calibrated=*/false};
+      rec.remote = a->is_remote();
+      if (rec.remote) rec.endpoint = a->location();
+      record_substitution(std::move(rec), std::move(extra));
       // The calibration stream was too short to advance; leave it be.
     } else {
       for (size_t k = 0; k < chain.size(); ++k) {
@@ -714,10 +799,11 @@ void LiquidRuntime::substitute_adaptive(RtGraph& g) {
         // that may later swap devices must drain in device batches.
         const bool resub_node =
             config_.enable_resubstitution && c.alts.size() >= 2;
-        if (a->manifest().device == DeviceKind::kCpu && !resub_node) {
+        if (a->manifest().device == DeviceKind::kCpu && !resub_node &&
+            !a->is_remote()) {
           rewritten.push_back(g.nodes[i + k]);  // keep as interpreter filter
         } else {
-          emit_device(a, std::move(c.alts));
+          emit_device(a, std::move(c.alts), {g.nodes[i + k].task_id});
         }
         std::string extra;
         if (tracing) {
@@ -728,10 +814,12 @@ void LiquidRuntime::substitute_adaptive(RtGraph& g) {
           e.add_raw("candidates", join_entries(c.entries));
           extra = std::move(e).str();
         }
-        record_substitution(
-            {g.nodes[i + k].task_id, a->manifest().device, /*fused=*/false,
-             c.best.eligible ? c.best.us_per_elem : -1.0, c.best.eligible},
-            std::move(extra));
+        SubstitutionRecord rec{
+            g.nodes[i + k].task_id, a->manifest().device, /*fused=*/false,
+            c.best.eligible ? c.best.us_per_elem : -1.0, c.best.eligible};
+        rec.remote = a->is_remote();
+        if (rec.remote) rec.endpoint = a->location();
+        record_substitution(std::move(rec), std::move(extra));
       }
       stream = std::move(chain_stream);
     }
@@ -786,7 +874,7 @@ class LiquidRuntime::DeviceRun {
     uint64_t to0 = ts.bytes_to_device, from0 = ts.bytes_from_device;
     double t0_us = rec_ ? rec_->now_us() : 0;
     auto t0 = std::chrono::steady_clock::now();
-    std::vector<Value> out = cur_->process(batch);
+    std::vector<Value> out = invoke(batch);
     auto t1 = std::chrono::steady_clock::now();
     double dt = std::chrono::duration<double>(t1 - t0).count();
     if (rec_) {
@@ -822,8 +910,42 @@ class LiquidRuntime::DeviceRun {
  private:
   void bind(Artifact* a) {
     cur_ = a;
-    cost_ = &rt_.cost_models_.entry(a->manifest().task_id,
-                                    to_string(a->manifest().device));
+    // cost_label() keeps a remote GPU's history separate from the local
+    // GPU's: the remote entry absorbs round-trip and wire time, so scores
+    // compared across the two are wire-cost-aware by construction.
+    cost_ = &rt_.cost_models_.entry(a->manifest().task_id, a->cost_label());
+  }
+
+  /// cur_->process with graceful degradation: when a *remote* artifact's
+  /// transport dies (endpoint down, timeout, connection killed mid-batch),
+  /// swap to the node's local fallback and replay the same batch — artifacts
+  /// are pure functions of their input batch, so at-least-once is safe. The
+  /// failed attempt's time is charged to the fallback's first batch; an
+  /// acceptable smear given the swap happens at most once per node.
+  std::vector<Value> invoke(std::span<const Value> batch) {
+    if (!cur_->is_remote() || node_.fallback == nullptr) {
+      return cur_->process(batch);
+    }
+    try {
+      return cur_->process(batch);
+    } catch (const TransportError& e) {
+      obs::FlightRecorder::instance().record("fault", "remote-transport",
+                                             e.what());
+      ResubstitutionRecord rec;
+      rec.task_ids = cur_->manifest().task_id;
+      rec.from = cur_->manifest().device;
+      rec.to = node_.fallback->manifest().device;
+      rec.live_us_per_elem = cost_->ewma_us_per_elem();
+      rec.before_p50_us = cost_->batch_latency().percentile_us(50);
+      rec.before_p99_us = cost_->batch_latency().percentile_us(99);
+      rec.at_batch = batches_;
+      rec.reason = "remote-failure";
+      rt_.metrics_.counter("net.remote_fallbacks").add();
+      bind(node_.fallback);
+      swapped_ = true;  // the fallback is final; no drift swaps after this
+      rt_.record_resubstitution(std::move(rec));
+      return cur_->process(batch);
+    }
   }
 
   /// Every `resubstitution_interval` batches: if the live per-element cost
@@ -1081,6 +1203,12 @@ void LiquidRuntime::run_threaded(RtGraph& g) {
                   JsonArgs().add("elements", static_cast<uint64_t>(i)).str());
             }
           } catch (...) {
+            // Hop-by-hop unwind: close the incoming queue *here* so the
+            // producer blocked on it fails its next push immediately, then
+            // let note_error sweep the rest of the graph. Without the local
+            // close, unwinding a deep pipeline depends entirely on the
+            // global sweep reaching every queue.
+            in->close();
             graph->note_error(std::current_exception());
           }
         });
@@ -1097,6 +1225,7 @@ void LiquidRuntime::run_threaded(RtGraph& g) {
             size_t k = static_cast<size_t>(node->arity);
             std::vector<Value> args(k);
             uint64_t fires = 0;
+            bool downstream_dead = false;
             for (;;) {
               size_t got = 0;
               for (; got < k; ++got) {
@@ -1105,14 +1234,22 @@ void LiquidRuntime::run_threaded(RtGraph& g) {
                 args[got] = std::move(*v);
               }
               if (got < k) break;  // stream ended (partial firing dropped)
-              if (!out->push(local.call(node->method_index, args))) break;
+              if (!out->push(local.call(node->method_index, args))) {
+                downstream_dead = true;
+                break;
+              }
               ++fires;
             }
             out->finish();
+            // Propagate the shutdown upstream hop by hop: a dead consumer
+            // makes this node a dead consumer of its own input, unwinding
+            // the producer blocked on a full queue above us.
+            if (downstream_dead) in->close();
             if (span.active()) {
               span.set_args(JsonArgs().add("fires", fires).str());
             }
           } catch (...) {
+            in->close();
             graph->note_error(std::current_exception());
             out->finish();
           }
@@ -1127,6 +1264,7 @@ void LiquidRuntime::run_threaded(RtGraph& g) {
             DeviceRun run(*this, *node, rec);
             size_t k = run.arity();
             std::vector<Value> pending;
+            bool downstream_dead = false;
             for (;;) {
               auto batch =
                   in->pop_batch(config_.device_batch * k - pending.size());
@@ -1140,16 +1278,16 @@ void LiquidRuntime::run_threaded(RtGraph& g) {
                   run.process(std::span<const Value>(pending.data(), usable));
               pending.erase(pending.begin(),
                             pending.begin() + static_cast<long>(usable));
-              bool closed = false;
               for (auto& r : results) {
                 if (!out->push(std::move(r))) {
-                  closed = true;
+                  downstream_dead = true;
                   break;
                 }
               }
-              if (closed) break;
+              if (downstream_dead) break;
             }
             out->finish();
+            if (downstream_dead) in->close();  // hop-by-hop unwind
             if (span.active()) {
               span.set_args(
                   JsonArgs()
@@ -1160,6 +1298,7 @@ void LiquidRuntime::run_threaded(RtGraph& g) {
                       .str());
             }
           } catch (...) {
+            in->close();
             graph->note_error(std::current_exception());
             out->finish();
           }

@@ -83,6 +83,25 @@ struct RuntimeConfig {
   /// Where Chrome-trace snapshots are dumped when a task faults or a drift
   /// swap fires. Empty (the default) disables dumping; capture still runs.
   std::string flight_dump_path;
+
+  // -- remote device transport (src/net/, DESIGN.md §9) --
+
+  /// Device servers ("host:port") whose artifacts become substitution
+  /// candidates. The runtime itself never dials: net::attach_remote_devices
+  /// reads this list, connects, and registers RemoteArtifact proxies via
+  /// add_remote_artifact(). Kept in the config so one struct describes the
+  /// whole placement universe.
+  std::vector<std::string> remote_endpoints;
+  /// Per-request deadline for remote batches, ms. Generous by default —
+  /// the server runs cycle-accurate simulators.
+  int remote_timeout_ms = 30000;
+  /// Re-send attempts (each on a fresh connection) before a remote batch
+  /// fails over to the local fallback artifact.
+  int remote_retries = 1;
+  /// kAuto/kGpuOnly/kFpgaOnly: when a device has both a local and a remote
+  /// artifact, prefer the remote one (the point of attaching a server).
+  /// kAdaptive ignores this and lets calibration measurements decide.
+  bool prefer_remote = true;
 };
 
 /// One substitution decision, for logs, tests and the E2 experiment.
@@ -97,6 +116,10 @@ struct SubstitutionRecord {
   /// candidate (fewer elements than the artifact's arity) and the choice
   /// fell back to the static §4.2 preference order.
   bool calibrated = false;
+  /// True when the winning artifact runs out-of-process (src/net/).
+  bool remote = false;
+  /// "host:port" of the serving lmdev when `remote` is set.
+  std::string endpoint;
 };
 
 /// One mid-run artifact swap (enable_resubstitution): the live cost model
@@ -114,6 +137,9 @@ struct ResubstitutionRecord {
   double before_p99_us = 0;
   /// How many batches the node had drained when the swap fired.
   uint64_t at_batch = 0;
+  /// Why the swap fired: "drift" (cost-model divergence) or
+  /// "remote-failure" (transport death, swapped to the local fallback).
+  std::string reason = "drift";
 };
 
 /// Point-in-time view of the runtime's counters. This is a *snapshot*
@@ -176,6 +202,14 @@ class LiquidRuntime : public bc::TaskGraphHost, public bc::AccelHooks {
   const RuntimeConfig& config() const { return config_; }
   void set_placement(Placement p) { config_.placement = p; }
 
+  /// Registers an out-of-process substitution candidate (a net::RemoteArtifact
+  /// proxy). Called by net::attach_remote_devices before the first run; the
+  /// artifact joins the candidate pool alongside the compiled program's own
+  /// store entries.
+  void add_remote_artifact(std::unique_ptr<Artifact> artifact);
+  /// The remote candidates registered so far (tests / tools).
+  const ArtifactStore& remote_store() const { return remote_store_; }
+
   // -- TaskGraphHost (called by the interpreter) --
   bc::Value make_source(bc::Value array, int rate) override;
   bc::Value make_sink(bc::Value array) override;
@@ -195,6 +229,15 @@ class LiquidRuntime : public bc::TaskGraphHost, public bc::AccelHooks {
   struct HotCounters;
 
   std::shared_ptr<RtGraph> graph_of(const bc::Value& v);
+  /// The best artifact for (id, device) across the program store and the
+  /// remote store: remote wins over local per config_.prefer_remote (never
+  /// for kCpu — a bytecode hop across the wire is strictly worse).
+  Artifact* find_candidate(const std::string& id, DeviceKind d) const;
+  /// The local artifact a remote substitution falls back to when the
+  /// transport dies mid-stream: the CPU artifact for a single task, or a
+  /// lazily built (and cached) ChainArtifact for a fused segment.
+  Artifact* fallback_for(const Artifact* chosen,
+                         const std::vector<std::string>& task_ids);
   /// §4.2 substitution: rewrites the node list in place.
   void substitute(RtGraph& g);
   /// The kAdaptive policy: profiles candidates on a stream prefix.
@@ -226,6 +269,14 @@ class LiquidRuntime : public bc::TaskGraphHost, public bc::AccelHooks {
 
   obs::MetricsRegistry metrics_;
   obs::CostModelRegistry cost_models_;
+  /// Out-of-process candidates (net::RemoteArtifact proxies). Declared after
+  /// metrics_ so proxies (which cache metric pointers via their sessions)
+  /// destruct first.
+  ArtifactStore remote_store_;
+  /// Lazily built CPU fallback chains for fused segments, keyed by segment
+  /// id. Guarded by subs_mu_ (built during substitution, single-threaded per
+  /// graph, but two graphs may substitute concurrently).
+  std::vector<std::unique_ptr<Artifact>> fallback_chains_;
   std::unique_ptr<HotCounters> hot_;  // cached instrument pointers
   mutable std::mutex subs_mu_;
   std::vector<SubstitutionRecord> substitutions_;

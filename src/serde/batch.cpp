@@ -1,0 +1,36 @@
+#include "serde/batch.h"
+
+#include "serde/wire.h"
+#include "util/byte_buffer.h"
+
+namespace lm::serde {
+
+using bc::ArrayRef;
+using bc::Value;
+
+std::vector<uint8_t> pack_batch(std::span<const Value> elems,
+                                const lime::TypeRef& elem_type) {
+  ArrayRef arr = bc::make_array(bc::elem_code_for(elem_type), elems.size());
+  for (size_t i = 0; i < elems.size(); ++i) bc::array_set(*arr, i, elems[i]);
+  arr->is_value = true;
+  auto ser = serializer_for(lime::Type::value_array(elem_type));
+  ByteWriter w;
+  ser->serialize(Value::array(arr), w);
+  return w.take();
+}
+
+std::vector<Value> unpack_batch(std::span<const uint8_t> bytes,
+                                const lime::TypeRef& elem_type) {
+  auto ser = serializer_for(lime::Type::value_array(elem_type));
+  ByteReader r(bytes);
+  Value v = ser->deserialize(r);
+  const ArrayRef& arr = v.as_array();
+  std::vector<Value> out;
+  out.reserve(arr->size());
+  for (size_t i = 0; i < arr->size(); ++i) {
+    out.push_back(bc::array_get(*arr, i));
+  }
+  return out;
+}
+
+}  // namespace lm::serde

@@ -1,0 +1,30 @@
+// Batch framing over the universal wire format (§4.3, Fig. 3).
+//
+// A device artifact consumes a *batch* of stream elements per firing; on
+// the wire a batch is simply a value array of the stream's element type,
+// serialized with the element type's custom serializer. These helpers are
+// the single encode/decode path shared by the in-process native boundary
+// (runtime/artifact.cpp) and the remote transport (src/net/), so a batch
+// that crosses a socket is byte-identical to one that crosses the JNI-like
+// boundary — the property that makes remote artifacts drop-in substitutes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bytecode/value.h"
+#include "lime/type.h"
+
+namespace lm::serde {
+
+/// Serializes `elems` (each of `elem_type`) as one wire-format value array.
+std::vector<uint8_t> pack_batch(std::span<const bc::Value> elems,
+                                const lime::TypeRef& elem_type);
+
+/// Inverse of pack_batch. Throws RuntimeError on underflow and
+/// InternalError when `elem_type` has no wire format.
+std::vector<bc::Value> unpack_batch(std::span<const uint8_t> bytes,
+                                    const lime::TypeRef& elem_type);
+
+}  // namespace lm::serde

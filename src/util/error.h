@@ -29,6 +29,16 @@ class RuntimeError : public std::runtime_error {
   explicit RuntimeError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Thrown by the remote-device transport (src/net/) when an endpoint is
+/// unreachable, a request times out, or a connection dies mid-exchange.
+/// Header-only and defined here — not in src/net/ — so the runtime's
+/// device-node drain loop can catch it and fall back to a local artifact
+/// without the runtime library depending on the transport library.
+class TransportError : public RuntimeError {
+ public:
+  explicit TransportError(const std::string& what) : RuntimeError(what) {}
+};
+
 namespace detail {
 [[noreturn]] inline void check_failed(const char* file, int line,
                                       const char* expr,

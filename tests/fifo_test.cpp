@@ -3,10 +3,16 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 #include <vector>
 
+#include "runtime/artifact.h"
+#include "obs/flight_recorder.h"
 #include "runtime/fifo.h"
+#include "runtime/liquid_compiler.h"
+#include "runtime/liquid_runtime.h"
+#include "util/error.h"
 
 namespace lm::runtime {
 namespace {
@@ -278,6 +284,122 @@ TEST(Fifo, RuntimeHighWaterMetricMatchesObservation) {
   producer.join();
   EXPECT_EQ(count, kN);
   EXPECT_EQ(q.high_water(), q.capacity());
+}
+
+// ---------------------------------------------------------------------------
+// Shutdown propagation through a running pipeline
+// ---------------------------------------------------------------------------
+//
+// When a node deep in the pipeline dies, every producer upstream of it may
+// be *blocked* on a full FIFO (capacity 1 makes that certain). The error
+// path must close each consumer's input queue hop by hop so those blocked
+// push() calls return false and the whole chain unwinds — the regression
+// here is a graph that hangs forever in finish() instead of surfacing the
+// task error.
+
+/// A device artifact that computes 3*x for its first `ok_calls` batches and
+/// then throws — a deterministic mid-stream device fault.
+class FailingArtifact final : public Artifact {
+ public:
+  FailingArtifact(std::string task_id, DeviceKind device, uint64_t ok_calls)
+      : Artifact(make_manifest(std::move(task_id), device)),
+        ok_calls_(ok_calls) {}
+
+  std::vector<bc::Value> process(std::span<const bc::Value> inputs) override {
+    if (calls_++ >= ok_calls_) {
+      throw RuntimeError("injected device fault in " + manifest_.task_id);
+    }
+    std::vector<bc::Value> out;
+    out.reserve(inputs.size());
+    for (const auto& v : inputs) out.push_back(bc::Value::i32(3 * v.as_i32()));
+    return out;
+  }
+
+ private:
+  static ArtifactManifest make_manifest(std::string task_id,
+                                        DeviceKind device) {
+    ArtifactManifest m;
+    m.task_id = std::move(task_id);
+    m.device = device;
+    m.arity = 1;
+    m.artifact_text = "// failing test artifact";
+    return m;
+  }
+
+  uint64_t ok_calls_;
+  uint64_t calls_ = 0;
+};
+
+constexpr const char* kChainSource = R"(
+  class P {
+    local static int a(int x) { return x + 1; }
+    local static int b(int x) { return x * 2; }
+    local static int c(int x) { return x - 3; }
+    static int[[]] run(int[[]] input) {
+      int[] result = new int[input.length];
+      var g = input.source(1)
+        => ([ task a ]) => ([ task b ]) => ([ task c ])
+        => result.<int>sink();
+      g.finish();
+      return new int[[]](result);
+    }
+  }
+)";
+
+void expect_fault_unwinds(const char* failing_task, uint64_t ok_calls) {
+  CompileOptions copts;
+  copts.enable_gpu = false;  // the only device artifact is the failing one
+  copts.enable_fpga = false;
+  auto cp = compile(kChainSource, copts);
+  ASSERT_TRUE(cp->ok()) << cp->diags.to_string();
+  cp->store.add(std::make_unique<FailingArtifact>(failing_task,
+                                                  DeviceKind::kGpu, ok_calls));
+
+  RuntimeConfig rc;
+  rc.placement = Placement::kGpuOnly;
+  rc.fifo_capacity = 1;  // guarantee upstream producers block mid-stream
+  rc.device_batch = 4;
+  rc.use_threads = true;
+  LiquidRuntime rt(*cp, rc);
+
+  // Long enough that the source cannot possibly fit in the queues: without
+  // shutdown propagation this call never returns.
+  const size_t n = 20000;
+  std::vector<int32_t> input(n, 1);
+  auto t0 = std::chrono::steady_clock::now();
+  EXPECT_THROW(rt.call("P.run",
+                       {bc::Value::array(bc::make_i32_array(input, true))}),
+               RuntimeError);
+  auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(elapsed).count(),
+            15)
+      << "pipeline unwind stalled";
+}
+
+TEST(FifoShutdown, MidPipelineFaultUnwindsBlockedUpstreamProducers) {
+  expect_fault_unwinds("P.b", 0);
+}
+
+TEST(FifoShutdown, SinkAdjacentFaultUnwindsWholeChain) {
+  expect_fault_unwinds("P.c", 0);
+}
+
+TEST(FifoShutdown, FaultAfterSuccessfulBatchesStillUnwinds) {
+  expect_fault_unwinds("P.b", 3);
+}
+
+// The fault must also reach the flight recorder (the black box is the
+// first responder in note_error).
+TEST(FifoShutdown, FaultLandsInFlightRecorder) {
+  expect_fault_unwinds("P.b", 1);
+  bool saw = false;
+  for (const auto& ev : obs::FlightRecorder::instance().snapshot()) {
+    if (std::string(ev.category) == "fault" &&
+        std::string(ev.name) == "task-error") {
+      saw = true;
+    }
+  }
+  EXPECT_TRUE(saw);
 }
 
 }  // namespace

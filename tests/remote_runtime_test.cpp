@@ -1,0 +1,303 @@
+// Runtime-level remote transport coverage (DESIGN.md §9).
+//
+// Two properties anchor the subsystem:
+//
+//  * Loopback differential — every workload must produce results identical
+//    to the local reference when its device artifacts run out-of-process
+//    (in-process DeviceServer over 127.0.0.1). Remote execution is a
+//    performance/topology decision, never a semantic one — the same
+//    contract the placement differential pins for local policies.
+//
+//  * Graceful degradation — a server that dies mid-stream must not abort
+//    the program: the node swaps to its local CPU fallback, the output
+//    stays exact, and the swap is visible in the decision log, the metrics
+//    and the flight recorder.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/attach.h"
+#include "net/server.h"
+#include "obs/flight_recorder.h"
+#include "runtime/liquid_runtime.h"
+#include "workloads/workloads.h"
+
+namespace lm::workloads {
+namespace {
+
+using bc::Value;
+using runtime::DeviceKind;
+using runtime::LiquidRuntime;
+using runtime::Placement;
+using runtime::RuntimeConfig;
+
+const Workload& pipeline_by_name(const std::string& name) {
+  for (const auto& w : pipeline_suite()) {
+    if (w.name == name) return w;
+  }
+  ADD_FAILURE() << "no pipeline workload named " << name;
+  std::abort();
+}
+
+/// Compiles `w` twice — once for the server process-stand-in, once for the
+/// client — runs the client against the server and returns the result.
+/// The two CompiledPrograms never share artifact stores: every device batch
+/// the client offloads really crosses the socket.
+struct Loopback {
+  std::unique_ptr<runtime::CompiledProgram> server_prog;
+  std::unique_ptr<runtime::CompiledProgram> client_prog;
+  std::unique_ptr<net::DeviceServer> server;
+
+  explicit Loopback(const Workload& w,
+                    net::DeviceServer::Options sopts = {},
+                    runtime::CompileOptions client_copts = {}) {
+    server_prog = runtime::compile(w.lime_source);
+    EXPECT_TRUE(server_prog->ok()) << server_prog->diags.to_string();
+    server = std::make_unique<net::DeviceServer>(*server_prog, sopts);
+    server->start();
+    client_prog = runtime::compile(w.lime_source, client_copts);
+    EXPECT_TRUE(client_prog->ok()) << client_prog->diags.to_string();
+  }
+
+  RuntimeConfig remote_config() const {
+    RuntimeConfig rc;
+    rc.remote_endpoints = {server->endpoint()};
+    return rc;
+  }
+};
+
+struct Case {
+  const Workload* w;
+  bool is_pipeline;
+};
+
+std::vector<Case> all_cases() {
+  std::vector<Case> out;
+  for (const auto& w : gpu_suite()) out.push_back({&w, false});
+  for (const auto& w : pipeline_suite()) out.push_back({&w, true});
+  return out;
+}
+
+class RemoteDifferential : public ::testing::TestWithParam<size_t> {};
+
+// Acceptance gate: every workload, bit-identical with --remote vs local.
+TEST_P(RemoteDifferential, LoopbackMatchesReference) {
+  const Case c = all_cases()[GetParam()];
+  const Workload& w = *c.w;
+  const size_t n = w.name == "nbody" || w.name == "matmul" ? 256 : 1024;
+  const uint64_t seed = 424242;
+  const double tol = w.name == "sumreduce" ? 1e-5 : 0.0;
+
+  Loopback lb(w);
+  RuntimeConfig rc = lb.remote_config();
+  LiquidRuntime rt(*lb.client_prog, rc);
+  net::AttachResult att = net::attach_remote_devices(rt, *lb.client_prog);
+  EXPECT_TRUE(att.errors.empty())
+      << w.name << ": " << (att.errors.empty() ? "" : att.errors[0]);
+  EXPECT_GT(att.artifacts, 0u) << w.name << " served nothing";
+
+  Value expected = w.reference(w.make_args(n, seed));
+  Value got = rt.call(w.entry, w.make_args(n, seed));
+  EXPECT_TRUE(results_match(got, expected, tol))
+      << w.name << " diverged over the loopback transport";
+
+  // Pipeline workloads substitute task artifacts, so with prefer_remote
+  // (the default) at least one decision must have gone out-of-process —
+  // keeps the differential non-vacuous.
+  if (c.is_pipeline) {
+    bool any_remote = false;
+    for (const auto& s : rt.stats().substitutions) any_remote |= s.remote;
+    EXPECT_TRUE(any_remote) << w.name << " never used the remote device";
+    EXPECT_GT(rt.metrics().value("net.requests"), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSuites, RemoteDifferential,
+    ::testing::Range<size_t>(0, all_cases().size()),
+    [](const ::testing::TestParamInfo<size_t>& info) {
+      return std::string(all_cases()[info.param].w->name) +
+             (all_cases()[info.param].is_pipeline ? "_pipe" : "");
+    });
+
+// The point of the transport: a host compiled with *no* device backends
+// still runs its filters on an accelerator — somebody else's, over TCP.
+// The fingerprint hashes only CPU manifests, so the asymmetric configs
+// still recognize each other as the same program.
+TEST(RemoteRuntime, ClientWithoutDeviceBackendsOffloadsRemotely) {
+  const Workload& w = pipeline_by_name("intpipe");
+  runtime::CompileOptions cpu_only;
+  cpu_only.enable_gpu = false;
+  cpu_only.enable_fpga = false;
+  Loopback lb(w, {}, cpu_only);
+
+  RuntimeConfig rc = lb.remote_config();
+  LiquidRuntime rt(*lb.client_prog, rc);
+  net::AttachResult att = net::attach_remote_devices(rt, *lb.client_prog);
+  ASSERT_TRUE(att.errors.empty()) << att.errors[0];
+  ASSERT_GT(att.artifacts, 0u);
+
+  const size_t n = 512;
+  Value expected = w.reference(w.make_args(n, 7));
+  Value got = rt.call(w.entry, w.make_args(n, 7));
+  EXPECT_TRUE(results_match(got, expected, 0.0));
+
+  bool any_remote = false;
+  for (const auto& s : rt.stats().substitutions) {
+    if (s.remote) {
+      any_remote = true;
+      EXPECT_EQ(s.endpoint, lb.server->endpoint());
+      EXPECT_NE(s.device, DeviceKind::kCpu);
+    }
+  }
+  EXPECT_TRUE(any_remote);
+  EXPECT_GT(lb.server->requests_served(), 0u);
+}
+
+// Graceful degradation, the acceptance fault-injection gate: the server
+// crashes (deterministically, via --fail-after) mid-stream; the stream must
+// complete on the local bytecode fallback with exact output, and the swap
+// must be visible in the decision log, the net.remote_fallbacks counter and
+// the flight recorder.
+TEST(RemoteRuntime, ServerDeathMidStreamFallsBackToBytecode) {
+  const Workload& w = pipeline_by_name("intpipe");
+  net::DeviceServer::Options sopts;
+  sopts.fail_after = 2;  // serve two batches, then drop everything
+  Loopback lb(w, sopts);
+
+  RuntimeConfig rc = lb.remote_config();
+  rc.device_batch = 64;  // 1024 elements -> 16 batches per device node
+  LiquidRuntime rt(*lb.client_prog, rc);
+  net::AttachResult att = net::attach_remote_devices(rt, *lb.client_prog);
+  ASSERT_TRUE(att.errors.empty()) << att.errors[0];
+  ASSERT_GT(att.artifacts, 0u);
+
+  const size_t n = 1024;
+  Value expected = w.reference(w.make_args(n, 99));
+  Value got = rt.call(w.entry, w.make_args(n, 99));
+
+  // Exact output across the crash — not "mostly right", identical.
+  EXPECT_TRUE(results_match(got, expected, 0.0));
+  EXPECT_TRUE(lb.server->crashed());
+
+  // The swap is in the decision log with the remote-failure reason.
+  const auto& resubs = rt.stats().resubstitutions;
+  ASSERT_GE(resubs.size(), 1u);
+  bool saw_fallback = false;
+  for (const auto& r : resubs) {
+    if (r.reason != "remote-failure") continue;
+    saw_fallback = true;
+    EXPECT_EQ(r.to, DeviceKind::kCpu);
+    EXPECT_GE(r.at_batch, 1u);
+  }
+  EXPECT_TRUE(saw_fallback);
+  EXPECT_GE(rt.metrics().value("net.remote_fallbacks"), 1u);
+
+  // The black box caught the transport fault.
+  bool flight_saw_fault = false;
+  for (const auto& ev : obs::FlightRecorder::instance().snapshot()) {
+    if (std::string(ev.category) == "fault" &&
+        std::string(ev.name) == "remote-transport") {
+      flight_saw_fault = true;
+    }
+  }
+  EXPECT_TRUE(flight_saw_fault);
+}
+
+// An endpoint nobody listens on degrades to local execution: the attach
+// collects the error instead of throwing and the run proceeds untouched.
+TEST(RemoteRuntime, UnreachableEndpointDegradesToLocal) {
+  const Workload& w = pipeline_by_name("intpipe");
+  auto cp = runtime::compile(w.lime_source);
+  ASSERT_TRUE(cp->ok());
+
+  RuntimeConfig rc;
+  rc.remote_endpoints = {"127.0.0.1:1"};  // reserved port, nothing there
+  LiquidRuntime rt(*cp, rc);
+  net::AttachResult att = net::attach_remote_devices(rt, *cp);
+  EXPECT_EQ(att.artifacts, 0u);
+  ASSERT_EQ(att.errors.size(), 1u);
+  EXPECT_NE(att.errors[0].find("127.0.0.1:1"), std::string::npos);
+
+  const size_t n = 256;
+  Value expected = w.reference(w.make_args(n, 5));
+  Value got = rt.call(w.entry, w.make_args(n, 5));
+  EXPECT_TRUE(results_match(got, expected, 0.0));
+  for (const auto& s : rt.stats().substitutions) EXPECT_FALSE(s.remote);
+}
+
+// A server hosting a *different* program is refused at attach (fingerprint
+// mismatch), again as a collected error, and the run stays local.
+TEST(RemoteRuntime, FingerprintMismatchIsCollectedNotFatal) {
+  const Workload& server_w = pipeline_by_name("intpipe");
+  auto server_prog = runtime::compile(server_w.lime_source);
+  ASSERT_TRUE(server_prog->ok());
+  net::DeviceServer server(*server_prog);
+  server.start();
+
+  // The client compiled something else entirely.
+  const Workload& client_w = gpu_suite().front();
+  auto client_prog = runtime::compile(client_w.lime_source);
+  ASSERT_TRUE(client_prog->ok());
+
+  RuntimeConfig rc;
+  rc.remote_endpoints = {server.endpoint()};
+  LiquidRuntime rt(*client_prog, rc);
+  net::AttachResult att = net::attach_remote_devices(rt, *client_prog);
+  EXPECT_EQ(att.artifacts, 0u);
+  ASSERT_EQ(att.errors.size(), 1u);
+  EXPECT_NE(att.errors[0].find("fingerprint"), std::string::npos)
+      << att.errors[0];
+
+  const size_t n = 256;
+  Value expected = client_w.reference(client_w.make_args(n, 3));
+  Value got = rt.call(client_w.entry, client_w.make_args(n, 3));
+  EXPECT_TRUE(results_match(got, expected, 1e-5));
+}
+
+// prefer_remote=false keeps local artifacts when both exist — the remote
+// pool augments the candidate set, never forcibly replaces it.
+TEST(RemoteRuntime, PreferRemoteOffKeepsLocalArtifacts) {
+  const Workload& w = pipeline_by_name("intpipe");
+  Loopback lb(w);
+  RuntimeConfig rc = lb.remote_config();
+  rc.prefer_remote = false;
+  LiquidRuntime rt(*lb.client_prog, rc);
+  net::AttachResult att = net::attach_remote_devices(rt, *lb.client_prog);
+  ASSERT_TRUE(att.errors.empty());
+  ASSERT_GT(att.artifacts, 0u);
+
+  const size_t n = 256;
+  Value expected = w.reference(w.make_args(n, 11));
+  Value got = rt.call(w.entry, w.make_args(n, 11));
+  EXPECT_TRUE(results_match(got, expected, 0.0));
+  for (const auto& s : rt.stats().substitutions) EXPECT_FALSE(s.remote);
+  EXPECT_EQ(lb.server->requests_served(), 0u);
+}
+
+// kAdaptive calibrates remote candidates over the wire like any other: the
+// chosen plan (whatever the timings favored) still computes the function.
+TEST(RemoteRuntime, AdaptivePlacementWithRemoteCandidatesStaysCorrect) {
+  const Workload& w = pipeline_by_name("intpipe");
+  Loopback lb(w);
+  RuntimeConfig rc = lb.remote_config();
+  rc.placement = Placement::kAdaptive;
+  rc.calibration_elements = 32;
+  LiquidRuntime rt(*lb.client_prog, rc);
+  net::AttachResult att = net::attach_remote_devices(rt, *lb.client_prog);
+  ASSERT_TRUE(att.errors.empty());
+  ASSERT_GT(att.artifacts, 0u);
+
+  const size_t n = 512;
+  Value expected = w.reference(w.make_args(n, 17));
+  Value got = rt.call(w.entry, w.make_args(n, 17));
+  EXPECT_TRUE(results_match(got, expected, 0.0));
+  // Remote candidates joined calibration (RPCs happened even if a local
+  // artifact ultimately won the timings).
+  EXPECT_GT(rt.metrics().value("net.requests"), 0u);
+}
+
+}  // namespace
+}  // namespace lm::workloads

@@ -1,6 +1,7 @@
 // Unit tests for the marshaling layer (S8) — the Fig. 3 data path.
 #include <gtest/gtest.h>
 
+#include "serde/batch.h"
 #include "serde/native.h"
 #include "serde/wire.h"
 
@@ -100,6 +101,147 @@ TEST(Wire, TruncatedStreamRaises) {
   bytes.resize(bytes.size() - 2);  // chop off part of the payload
   ByteReader r(bytes);
   EXPECT_THROW(ser->deserialize(r), RuntimeError);
+}
+
+// ---------------------------------------------------------------------------
+// Wire fuzz: randomized round-trips with exact size accounting
+// ---------------------------------------------------------------------------
+
+// Deterministic 64-bit LCG (MMIX constants) — reproducible "fuzz" without
+// std::random machinery, so a failure seed pins the exact case.
+struct Lcg {
+  uint64_t s;
+  uint64_t next() { return s = s * 6364136223846793005ULL + 1442695040888963407ULL; }
+  uint32_t bits(int n) { return static_cast<uint32_t>(next() >> (64 - n)); }
+};
+
+// Array lengths that straddle every interesting boundary of the bit-packed
+// encoding: empty, sub-byte, exact-byte, byte+1, and multi-word sizes.
+constexpr size_t kFuzzLengths[] = {0, 1, 7, 8, 9, 15, 16, 17, 63, 64, 65};
+
+Value random_array(Lcg& rng, ElemCode elem, size_t n) {
+  switch (elem) {
+    case ElemCode::kI32: {
+      std::vector<int32_t> v(n);
+      for (auto& x : v) x = static_cast<int32_t>(rng.next());
+      return Value::array(bc::make_i32_array(std::move(v), true));
+    }
+    case ElemCode::kI64: {
+      std::vector<int64_t> v(n);
+      for (auto& x : v) x = static_cast<int64_t>(rng.next());
+      return Value::array(bc::make_i64_array(std::move(v), true));
+    }
+    case ElemCode::kF32: {
+      std::vector<float> v(n);
+      for (auto& x : v) x = static_cast<float>(static_cast<int32_t>(rng.next())) * 0.5f;
+      return Value::array(bc::make_f32_array(std::move(v), true));
+    }
+    case ElemCode::kF64: {
+      std::vector<double> v(n);
+      for (auto& x : v) x = static_cast<double>(static_cast<int64_t>(rng.next())) * 0.25;
+      return Value::array(bc::make_f64_array(std::move(v), true));
+    }
+    case ElemCode::kBool: {
+      std::vector<uint8_t> v(n);
+      for (auto& x : v) x = rng.bits(1);
+      return Value::array(bc::make_bool_array(std::move(v), true));
+    }
+    case ElemCode::kBit: {
+      std::vector<uint8_t> v(n);
+      for (auto& x : v) x = rng.bits(1);
+      return Value::array(bc::make_bit_array(std::move(v), true));
+    }
+    default: break;
+  }
+  ADD_FAILURE() << "unhandled elem code";
+  return Value::i32(0);
+}
+
+// The property the transfer accounting (and the framed transport) depends
+// on: for every value, the bytes serialize() writes are exactly wire_size(),
+// and deserialize() reads them all back into an equal value.
+TEST(WireFuzz, SerializedSizeMatchesWireSizeAndRoundTrips) {
+  struct ElemCase {
+    ElemCode code;
+    lime::TypeRef type;
+  };
+  const ElemCase cases[] = {
+      {ElemCode::kI32, Type::int_()},     {ElemCode::kI64, Type::long_()},
+      {ElemCode::kF32, Type::float_()},   {ElemCode::kF64, Type::double_()},
+      {ElemCode::kBool, Type::boolean()}, {ElemCode::kBit, Type::bit()},
+  };
+  Lcg rng{0x5eed5eed5eed5eedULL};
+  for (const auto& ec : cases) {
+    auto t = Type::value_array(ec.type);
+    auto ser = serializer_for(t);
+    for (size_t n : kFuzzLengths) {
+      for (int rep = 0; rep < 8; ++rep) {
+        Value v = random_array(rng, ec.code, n);
+        ByteWriter w;
+        ser->serialize(v, w);
+        ASSERT_EQ(w.size(), ser->wire_size(v))
+            << ser->type_name() << " n=" << n << " rep=" << rep;
+        ByteReader r(w.bytes());
+        Value back = ser->deserialize(r);
+        ASSERT_TRUE(r.done())
+            << ser->type_name() << " n=" << n << ": trailing bytes";
+        ASSERT_TRUE(back.equals(v)) << ser->type_name() << " n=" << n;
+      }
+    }
+  }
+}
+
+// Every truncation point of a serialized stream must raise, never read
+// out of bounds or fabricate elements.
+TEST(WireFuzz, EveryTruncationPointRaises) {
+  Lcg rng{99};
+  auto t = Type::value_array(Type::bit());
+  auto ser = serializer_for(t);
+  Value v = random_array(rng, ElemCode::kBit, 17);
+  ByteWriter w;
+  ser->serialize(v, w);
+  const auto full = w.bytes();
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    std::vector<uint8_t> prefix(full.begin(), full.begin() + cut);
+    ByteReader r(prefix);
+    EXPECT_THROW(ser->deserialize(r), RuntimeError) << "cut=" << cut;
+  }
+}
+
+// Types that can never cross a task boundary have no serializer: nested
+// arrays and boxed (non-value) element types throw instead of guessing.
+TEST(WireFuzz, NonWireTypesRejected) {
+  EXPECT_THROW(serializer_for(Type::value_array(Type::value_array(Type::bit()))),
+               InternalError);
+  EXPECT_THROW(serializer_for(Type::array(Type::array(Type::int_()))),
+               InternalError);
+}
+
+// pack_batch/unpack_batch are the single framing path shared by the native
+// boundary and the socket transport — round-trip equality over random
+// batches is exactly the "remote artifacts are drop-in" property.
+TEST(WireFuzz, BatchFramingRoundTrips) {
+  Lcg rng{0xabcdef};
+  for (size_t n : kFuzzLengths) {
+    std::vector<Value> elems;
+    elems.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      elems.push_back(Value::i32(static_cast<int32_t>(rng.next())));
+    }
+    auto bytes = pack_batch(elems, Type::int_());
+    auto back = unpack_batch(bytes, Type::int_());
+    ASSERT_EQ(back.size(), elems.size());
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_TRUE(back[i].equals(elems[i])) << "n=" << n << " i=" << i;
+    }
+    // A batch is one wire value-array: its size is the array wire size.
+    auto ser = serializer_for(lime::Type::value_array(Type::int_()));
+    ASSERT_EQ(bytes.size(), 4u + 4u * n);
+    (void)ser;
+  }
+  // Batches of non-wire element types are rejected up front.
+  EXPECT_THROW(pack_batch({}, Type::value_array(Type::int_())),
+               InternalError);
 }
 
 // ---------------------------------------------------------------------------

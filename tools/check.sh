@@ -5,7 +5,13 @@
 #      exercising the kernel-IR and netlist verifiers on every artifact),
 #   2. ASan+UBSan build + tier-1,
 #   3. TSan build + tier-1 (the runtime's concurrency claims),
-#   4. `lmc --analyze --strict` over every shipped .lime example — the
+#   4. remote loopback soak — lmdev serves examples/intpipe.lime from a
+#      second process; lmc runs against it and the output must be identical
+#      to a cpu-only run, including when the server crashes mid-stream
+#      (deterministically via --fail-after, and best-effort via kill -9):
+#      the runtime must complete on the local bytecode fallback. Repeated
+#      under TSan (unless --quick) to race-check the transport.
+#   5. `lmc --analyze --strict` over every shipped .lime example — the
 #      static analyzer must report zero warnings/errors on them.
 #
 # Usage: tools/check.sh [--quick]
@@ -18,6 +24,77 @@ QUICK=0
 [[ "${1:-}" == "--quick" ]] && QUICK=1
 
 step() { printf '\n== %s ==\n' "$*"; }
+
+# Extracts the result line ("[i32 value ...]{...}") from an lmc run.
+result_of() { grep '^\[' <<<"$1" | head -1; }
+
+# Remote loopback soak against the binaries in $1 ("$2" labels the step,
+# $3 is the element count — smaller under TSan).
+soak() {
+  local bdir="$1" label="$2" n="$3"
+  local lmc="$bdir/tools/lmc" lmdev="$bdir/tools/lmdev"
+  local ints
+  ints="$(seq 1 "$n" | paste -sd, -)"
+  local log out expected got pid port
+  log="$(mktemp)"
+
+  spawn_lmdev() {  # $@ = extra lmdev flags; sets $pid and $port
+    : >"$log"
+    "$lmdev" examples/intpipe.lime --quiet "$@" >"$log" 2>&1 &
+    pid=$!
+    port=""
+    for _ in $(seq 1 100); do
+      port="$(sed -n 's/.*on 127\.0\.0\.1:\([0-9][0-9]*\).*/\1/p' "$log")"
+      [[ -n "$port" ]] && break
+      sleep 0.1
+    done
+    [[ -n "$port" ]] || { echo "FAIL($label): lmdev never printed its endpoint"; cat "$log"; exit 1; }
+  }
+
+  step "remote loopback soak ($label)"
+  expected="$(result_of "$("$lmc" examples/intpipe.lime --run IntPipe.run \
+      --ints "$ints" --placement cpu --quiet)")"
+  [[ -n "$expected" ]] || { echo "FAIL($label): no local reference output"; exit 1; }
+
+  # 4a. differential: remote run must be bit-identical to the cpu-only run
+  # and must actually have substituted the remote artifact.
+  spawn_lmdev
+  out="$("$lmc" examples/intpipe.lime --run IntPipe.run --ints "$ints" \
+      --remote="127.0.0.1:$port")"
+  kill "$pid" 2>/dev/null || true; wait "$pid" 2>/dev/null || true
+  got="$(result_of "$out")"
+  [[ "$got" == "$expected" ]] || { echo "FAIL($label): remote output diverged"; echo "want: $expected"; echo "got:  $got"; exit 1; }
+  grep -q "@127\.0\.0\.1:$port" <<<"$out" || { echo "FAIL($label): no remote substitution happened"; echo "$out"; exit 1; }
+  echo "ok: remote differential"
+
+  # 4b. deterministic mid-stream crash (--fail-after): the run must still
+  # exit 0 with identical output, completing on the bytecode fallback.
+  spawn_lmdev --fail-after 2
+  out="$("$lmc" examples/intpipe.lime --run IntPipe.run --ints "$ints" \
+      --remote="127.0.0.1:$port" --device-batch=64)"
+  kill "$pid" 2>/dev/null || true; wait "$pid" 2>/dev/null || true
+  got="$(result_of "$out")"
+  [[ "$got" == "$expected" ]] || { echo "FAIL($label): output diverged across server crash"; echo "$out"; exit 1; }
+  grep -q "re-substituted" <<<"$out" || { echo "FAIL($label): crash did not trigger the bytecode fallback"; echo "$out"; exit 1; }
+  grep -q "remote-failure" <<<"$out" || { echo "FAIL($label): fallback not attributed to remote-failure"; echo "$out"; exit 1; }
+  echo "ok: deterministic crash fallback"
+
+  # 4c. best-effort kill -9 mid-run: completion + identical output are
+  # required; whether the fallback fired depends on timing, so only the
+  # invariants are asserted.
+  spawn_lmdev
+  "$lmc" examples/intpipe.lime --run IntPipe.run --ints "$ints" \
+      --remote="127.0.0.1:$port" --device-batch=64 >"$log.out" 2>&1 &
+  local cpid=$!
+  sleep 0.2
+  kill -9 "$pid" 2>/dev/null || true
+  wait "$cpid" || { echo "FAIL($label): lmc died after kill -9 of lmdev"; cat "$log.out"; exit 1; }
+  wait "$pid" 2>/dev/null || true
+  got="$(result_of "$(cat "$log.out")")"
+  [[ "$got" == "$expected" ]] || { echo "FAIL($label): output diverged across kill -9"; cat "$log.out"; exit 1; }
+  echo "ok: kill -9 survival"
+  rm -f "$log" "$log.out"
+}
 
 step "plain build + tier-1"
 cmake --preset default >/dev/null
@@ -37,6 +114,11 @@ if [[ "$QUICK" == 0 ]]; then
   cmake --preset tsan >/dev/null
   cmake --build --preset tsan -j "$JOBS"
   ctest --preset tsan -j "$JOBS" -L tier1
+fi
+
+soak build plain 4096
+if [[ "$QUICK" == 0 ]]; then
+  soak build-tsan tsan 512
 fi
 
 step "static analysis over shipped examples (lmc --analyze --strict)"

@@ -48,6 +48,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "net/attach.h"
 #include "obs/trace.h"
 #include "runtime/liquid_runtime.h"
 #include "runtime/repository.h"
@@ -64,7 +65,8 @@ int usage() {
                "           [--no-gpu] [--no-fpga] [--quiet]\n"
                "           [--trace=<file.json>] [--metrics]\n"
                "           [--report[=json]] [--resub] [--flight=<file.json>|none]\n"
-               "           [--analyze[=json]] [--strict]\n";
+               "           [--analyze[=json]] [--strict]\n"
+               "           [--remote=host:port[,host:port..]] [--device-batch=N]\n";
   return 2;
 }
 
@@ -98,6 +100,8 @@ int main(int argc, char** argv) {
   bool enable_resub = false;
   std::string analyze_mode;  // "", "text" or "json"
   bool strict = false;
+  std::vector<std::string> remote_endpoints;
+  size_t device_batch = 0;  // 0 → RuntimeConfig default
 
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
@@ -159,6 +163,12 @@ int main(int argc, char** argv) {
       }
     } else if (a == "--strict") {
       strict = true;
+    } else if (a.rfind("--remote=", 0) == 0) {
+      for (const auto& ep : split(a.substr(9), ',')) {
+        if (!ep.empty()) remote_endpoints.push_back(ep);
+      }
+    } else if (a.rfind("--device-batch=", 0) == 0) {
+      device_batch = static_cast<size_t>(std::stoul(a.substr(15)));
     } else if (!a.empty() && a[0] == '-') {
       std::cerr << "lmc: unknown flag " << a << "\n";
       return usage();
@@ -298,7 +308,24 @@ int main(int argc, char** argv) {
   rc.placement = placement;
   rc.enable_resubstitution = enable_resub;
   rc.flight_dump_path = flight_path;
+  rc.remote_endpoints = remote_endpoints;
+  if (device_batch > 0) rc.device_batch = device_batch;
   runtime::LiquidRuntime rt(*program, rc);
+
+  if (!remote_endpoints.empty()) {
+    net::AttachResult att = net::attach_remote_devices(rt, *program);
+    for (const auto& err : att.errors) {
+      std::cerr << "lmc: warning: remote " << err << " (continuing local)\n";
+    }
+    if (!quiet && att.artifacts > 0) {
+      std::cout << "# attached " << att.artifacts
+                << " remote artifact(s) from ";
+      for (size_t i = 0; i < att.endpoints_ok.size(); ++i) {
+        std::cout << (i ? ", " : "") << att.endpoints_ok[i];
+      }
+      std::cout << "\n";
+    }
+  }
 
   std::unique_ptr<obs::TraceRecorder> recorder;
   if (!trace_path.empty()) {
@@ -314,13 +341,14 @@ int main(int argc, char** argv) {
       for (const auto& s : stats.substitutions) {
         std::cout << "# " << s.task_ids << " -> "
                   << runtime::to_string(s.device)
+                  << (s.remote ? "@" + s.endpoint : "")
                   << (s.fused ? " (fused)" : "") << "\n";
       }
       for (const auto& r : stats.resubstitutions) {
         std::cout << "# " << r.task_ids << " re-substituted "
                   << runtime::to_string(r.from) << " -> "
                   << runtime::to_string(r.to) << " at batch " << r.at_batch
-                  << "\n";
+                  << " (" << r.reason << ")\n";
       }
     }
   } catch (const std::exception& e) {

@@ -1,0 +1,122 @@
+// lmdev — the Liquid Metal device server.
+//
+// Compiles a Lime source file and serves its device artifacts over TCP so
+// another process's runtime can substitute them remotely (DESIGN.md §9):
+//
+//   lmdev program.lime                 serve on an ephemeral port
+//   lmdev program.lime --port 7411     serve on a fixed port
+//   lmdev program.lime --no-fpga       serve only the GPU artifacts
+//   lmdev program.lime --fail-after N  crash (drop every connection) after
+//                                      serving N batches — fault-injection
+//                                      hook for the fallback soak tests
+//
+// The client must have compiled the *same* program: the hello exchange
+// compares FNV-1a fingerprints over the CPU-artifact manifests and refuses
+// mismatched peers. The port line below is printed (and flushed) even under
+// --quiet so harnesses can parse the endpoint.
+#include <atomic>
+#include <csignal>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <thread>
+
+#include "net/server.h"
+#include "runtime/liquid_compiler.h"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void on_signal(int) { g_stop.store(true); }
+
+int usage() {
+  std::cerr << "usage: lmdev <file.lime> [--port N] [--no-gpu] [--no-fpga]\n"
+               "             [--fail-after N] [--quiet]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lm;
+  if (argc < 2) return usage();
+  std::string path;
+  net::DeviceServer::Options sopts;
+  runtime::CompileOptions copts;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    auto next = [&](const char* what) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "lmdev: " << what << " needs a value\n";
+        exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--port") {
+      sopts.port = static_cast<uint16_t>(std::stoul(next("--port")));
+    } else if (a == "--fail-after") {
+      sopts.fail_after = std::stoull(next("--fail-after"));
+    } else if (a == "--no-gpu") {
+      copts.enable_gpu = false;
+    } else if (a == "--no-fpga") {
+      copts.enable_fpga = false;
+    } else if (a == "--quiet") {
+      quiet = true;
+    } else if (!a.empty() && a[0] == '-') {
+      std::cerr << "lmdev: unknown flag " << a << "\n";
+      return usage();
+    } else {
+      path = a;
+    }
+  }
+  if (path.empty()) return usage();
+
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "lmdev: cannot open " << path << "\n";
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+
+  auto program = runtime::compile(buf.str(), copts);
+  if (!program->ok()) {
+    std::cerr << program->diags.to_string();
+    return 1;
+  }
+
+  try {
+    net::DeviceServer server(*program, sopts);
+    server.start();
+    // The endpoint line is the harness contract: printed and flushed even
+    // under --quiet so a parent process can parse the ephemeral port.
+    std::cout << "lmdev: serving " << server.artifact_count()
+              << " artifact(s) on " << server.endpoint() << std::endl;
+    if (!quiet) {
+      std::cout << "lmdev: program fingerprint " << std::hex
+                << server.fingerprint() << std::dec << "\n";
+      if (sopts.fail_after > 0) {
+        std::cout << "lmdev: will crash after " << sopts.fail_after
+                  << " batch(es)\n";
+      }
+    }
+
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+    while (!g_stop.load() && !server.crashed()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    if (server.crashed() && !quiet) {
+      std::cout << "lmdev: crashed (fail-after) having served "
+                << server.requests_served() << " batch(es)\n";
+    }
+    server.stop();
+  } catch (const std::exception& e) {
+    std::cerr << "lmdev: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
