@@ -53,6 +53,7 @@ AttachResult attach_remote_devices(runtime::LiquidRuntime& rt,
       if (added > 0) session->start_heartbeat();
       res.artifacts += added;
       res.endpoints_ok.push_back(session->endpoint());
+      res.sessions.push_back(std::move(session));
     } catch (const RuntimeError& e) {
       res.errors.push_back(spec + ": " + e.what());
     }

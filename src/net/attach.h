@@ -6,6 +6,7 @@
 // lm_net and call this once after constructing the runtime.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -14,6 +15,8 @@
 
 namespace lm::net {
 
+class RemoteSession;
+
 struct AttachResult {
   /// Remote artifacts registered across all endpoints.
   size_t artifacts = 0;
@@ -21,6 +24,12 @@ struct AttachResult {
   std::vector<std::string> endpoints_ok;
   /// One "endpoint: what went wrong" line per endpoint that did not.
   std::vector<std::string> errors;
+  /// The live sessions behind endpoints_ok, in the same order. Tools that
+  /// mount a telemetry exporter register each session's gauge collector
+  /// (RTT, reconnects, clock offset) and health component from here; the
+  /// proxies co-own the sessions, so holding this does not extend their
+  /// lifetime obligations.
+  std::vector<std::shared_ptr<RemoteSession>> sessions;
 };
 
 /// Attaches every configured endpoint. Per-endpoint failures (unreachable,

@@ -2,14 +2,23 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <thread>
 
 #include "obs/flight_recorder.h"
+#include "obs/trace.h"
 #include "util/byte_buffer.h"
 
 namespace lm::net {
 
 namespace {
+
+std::string trace_id_hex(uint64_t id) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
 
 std::string error_message(const Frame& f) {
   try {
@@ -59,6 +68,7 @@ RemoteSession::RemoteSession(std::string host, uint16_t port,
     c_pings_ = &metrics->counter("net.pings");
     c_ping_failures_ = &metrics->counter("net.ping_failures");
     c_endpoint_down_ = &metrics->counter("net.endpoint_down");
+    c_heartbeat_misses_ = &metrics->counter("net.heartbeat_misses");
   }
 }
 
@@ -132,21 +142,70 @@ void RemoteSession::release(Socket s) {
 
 Frame RemoteSession::roundtrip(Socket& s, FrameType type,
                                std::vector<uint8_t> payload,
-                               Deadline deadline) {
+                               Deadline deadline, ExchangeInfo* info) {
   Frame req;
   req.type = type;
   req.request_id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  if (obs::TraceRecorder* rec = obs::TraceRecorder::current()) {
+    req.trace_id = rec->trace_id();  // trace context crosses the wire
+  }
   req.payload = std::move(payload);
+  auto t0 = std::chrono::steady_clock::now();
   write_frame(s, req, deadline);
-  if (c_bytes_sent_) c_bytes_sent_->add(req.payload.size() + 20);
+  if (c_bytes_sent_) c_bytes_sent_->add(wire_size(req));
   Frame reply = read_frame(s, deadline);
-  if (c_bytes_recv_) c_bytes_recv_->add(reply.payload.size() + 20);
+  auto t1 = std::chrono::steady_clock::now();
+  if (c_bytes_recv_) c_bytes_recv_->add(wire_size(reply));
   if (reply.request_id != req.request_id) {
     throw TransportError(endpoint_ + ": response id mismatch (got " +
                          std::to_string(reply.request_id) + ", expected " +
                          std::to_string(req.request_id) + ")");
   }
+  handle_reply_telemetry(reply, t0, t1, info);
   return reply;
+}
+
+void RemoteSession::handle_reply_telemetry(
+    const Frame& reply, std::chrono::steady_clock::time_point t0,
+    std::chrono::steady_clock::time_point t1, ExchangeInfo* info) {
+  if (reply.aux.empty()) return;
+  ReplyTelemetry tele;
+  try {
+    tele = decode_telemetry(reply.aux);
+  } catch (const std::exception&) {
+    return;  // telemetry is advisory; never fail an exchange over it
+  }
+  clock_.update(session_us(t0), session_us(t1), tele.recv_ts_us,
+                tele.send_ts_us);
+  if (info) {
+    info->has_telemetry = true;
+    for (const auto& sp : tele.spans) {
+      if (sp.name == "execute") info->server_execute_us = sp.dur_us;
+    }
+  }
+  obs::TraceRecorder* rec = obs::TraceRecorder::current();
+  if (!rec || reply.trace_id != rec->trace_id() || tele.spans.empty()) {
+    return;
+  }
+  // Import the server spans into a per-endpoint lane of the client trace,
+  // shifted by *this exchange's* midpoint offset. Using the same
+  // exchange's offset (not the session-best estimate) is what guarantees
+  // the aligned spans nest inside [t0, t1]: the server cannot have spent
+  // longer processing than the client observed round-trip (see
+  // obs::ClockOffsetEstimator).
+  double offset = obs::ClockOffsetEstimator::offset_from(
+      rec->to_us(t0), rec->to_us(t1), tele.recv_ts_us, tele.send_ts_us);
+  uint32_t lane = rec->lane("remote " + endpoint_);
+  std::string id_hex = trace_id_hex(reply.trace_id);
+  for (const auto& sp : tele.spans) {
+    rec->complete_lane(lane, "remote", "srv:" + sp.name, sp.ts_us - offset,
+                       sp.dur_us,
+                       obs::JsonArgs()
+                           .add("endpoint", endpoint_)
+                           .add("trace_id", id_hex)
+                           .add("request_id", reply.request_id)
+                           .str());
+  }
 }
 
 std::vector<ArtifactListing> RemoteSession::list() {
@@ -190,7 +249,8 @@ void RemoteSession::mark_down(const std::string& why) {
 
 std::vector<uint8_t> RemoteSession::process(const std::string& task_id,
                                             runtime::DeviceKind device,
-                                            std::span<const uint8_t> batch) {
+                                            std::span<const uint8_t> batch,
+                                            ExchangeInfo* info) {
   if (down_.load(std::memory_order_acquire)) {
     if (c_failures_) c_failures_->add();
     throw TransportError(endpoint_ + " is down (heartbeat)");
@@ -210,7 +270,7 @@ std::vector<uint8_t> RemoteSession::process(const std::string& task_id,
     try {
       Socket s = acquire(dl);
       auto t0 = std::chrono::steady_clock::now();
-      Frame reply = roundtrip(s, FrameType::kProcess, encoded, dl);
+      Frame reply = roundtrip(s, FrameType::kProcess, encoded, dl, info);
       auto t1 = std::chrono::steady_clock::now();
       if (reply.type != FrameType::kProcessOk) {
         if (c_failures_) c_failures_->add();
@@ -237,8 +297,14 @@ std::vector<std::vector<uint8_t>> RemoteSession::process_pipelined(
     const std::vector<std::vector<uint8_t>>& batches) {
   Deadline dl = deadline_in_ms(opts_.request_timeout_ms);
   Socket s = acquire(dl);
+  uint64_t trace_id = 0;
+  if (obs::TraceRecorder* rec = obs::TraceRecorder::current()) {
+    trace_id = rec->trace_id();
+  }
   std::vector<uint64_t> ids;
+  std::vector<std::chrono::steady_clock::time_point> sent_at;
   ids.reserve(batches.size());
+  sent_at.reserve(batches.size());
   for (const auto& b : batches) {
     ProcessRequest p;
     p.task_id = task_id;
@@ -247,27 +313,56 @@ std::vector<std::vector<uint8_t>> RemoteSession::process_pipelined(
     Frame req;
     req.type = FrameType::kProcess;
     req.request_id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+    req.trace_id = trace_id;
     req.payload = encode_process(p);
+    sent_at.push_back(std::chrono::steady_clock::now());
     write_frame(s, req, dl);
-    if (c_bytes_sent_) c_bytes_sent_->add(req.payload.size() + 20);
+    if (c_bytes_sent_) c_bytes_sent_->add(wire_size(req));
     ids.push_back(req.request_id);
   }
   std::vector<std::vector<uint8_t>> out;
   out.reserve(batches.size());
-  for (uint64_t id : ids) {
+  for (size_t i = 0; i < ids.size(); ++i) {
     Frame reply = read_frame(s, dl);
-    if (c_bytes_recv_) c_bytes_recv_->add(reply.payload.size() + 20);
-    if (reply.request_id != id) {
+    auto t1 = std::chrono::steady_clock::now();
+    if (c_bytes_recv_) c_bytes_recv_->add(wire_size(reply));
+    if (reply.request_id != ids[i]) {
       throw TransportError(endpoint_ + ": pipelined response out of order");
     }
     if (reply.type != FrameType::kProcessOk) {
       throw RemoteError(endpoint_ + ": " + error_message(reply));
     }
+    // The exchange window of a pipelined request is its own write → its
+    // own read: later requests were written before this reply arrived, so
+    // each reply still brackets its server spans.
+    handle_reply_telemetry(reply, sent_at[i], t1, nullptr);
     out.push_back(std::move(reply.payload));
   }
   if (c_requests_) c_requests_->add(ids.size());
   release(std::move(s));
   return out;
+}
+
+void RemoteSession::collect_telemetry(
+    std::vector<obs::GaugeSample>& out) const {
+  std::vector<std::pair<std::string, std::string>> labels = {
+      {"endpoint", endpoint_}};
+  out.emplace_back("remote.alive", alive() ? 1.0 : 0.0, labels);
+  out.emplace_back("remote.rtt_ewma_us", rtt_ewma_us(), labels);
+  out.emplace_back("remote.reconnects", static_cast<double>(reconnects()),
+                   labels);
+  out.emplace_back("remote.ping_misses",
+                   static_cast<double>(
+                       ping_misses_.load(std::memory_order_relaxed)),
+                   labels);
+  out.emplace_back("remote.clock_offset_us", clock_.offset_us(), labels);
+  out.emplace_back("remote.clock_rtt_us", clock_.best_rtt_us(), labels);
+  size_t idle;
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    idle = pool_.size();
+  }
+  out.emplace_back("remote.pool_idle", static_cast<double>(idle), labels);
 }
 
 void RemoteSession::start_heartbeat() {
@@ -303,6 +398,10 @@ void RemoteSession::heartbeat_loop() {
       release(std::move(s));
     } catch (const TransportError& e) {
       if (c_ping_failures_) c_ping_failures_->add();
+      // Counted separately from ping_failures: the exporter's
+      // net.heartbeat_misses series is the "how close to being declared
+      // down" signal, and it must never silently under-report.
+      if (c_heartbeat_misses_) c_heartbeat_misses_->add();
       int misses = ping_misses_.fetch_add(1, std::memory_order_relaxed) + 1;
       if (misses >= opts_.heartbeat_misses) mark_down(e.what());
     }

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -34,6 +35,7 @@
 #include "net/protocol.h"
 #include "obs/histogram.h"
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 
 namespace lm::net {
 
@@ -81,11 +83,22 @@ class RemoteSession {
   /// Dials (if needed) and fetches the server's artifact listing.
   std::vector<ArtifactListing> list();
 
+  /// What the server's piggybacked telemetry said about one exchange.
+  struct ExchangeInfo {
+    bool has_telemetry = false;
+    /// Duration of the server's "execute" span (device time under the
+    /// artifact lock), µs; 0 when the request was untraced or the reply
+    /// carried no spans. Feeds RemoteArtifact's server-side histogram.
+    double server_execute_us = 0;
+  };
+
   /// One batch through (task_id, device) on the server: sends the packed
-  /// input batch, returns the packed output batch.
+  /// input batch, returns the packed output batch. `info`, when non-null,
+  /// receives the server-side telemetry of the successful exchange.
   std::vector<uint8_t> process(const std::string& task_id,
                                runtime::DeviceKind device,
-                               std::span<const uint8_t> batch);
+                               std::span<const uint8_t> batch,
+                               ExchangeInfo* info = nullptr);
 
   /// Pipelined variant: all requests are written down one connection
   /// before any reply is read (request ids sequence them). Used by the RPC
@@ -109,6 +122,16 @@ class RemoteSession {
     return reconnects_.load(std::memory_order_relaxed);
   }
 
+  /// NTP-midpoint estimate of (server clock − session clock), fed by every
+  /// exchange including heartbeats. The *session* clock is µs since this
+  /// session's construction.
+  const obs::ClockOffsetEstimator& clock_offset() const { return clock_; }
+
+  /// Live gauges for a TelemetryHub collector: RTT EWMA, liveness,
+  /// reconnect/backoff state, clock offset — all labeled with the
+  /// endpoint.
+  void collect_telemetry(std::vector<obs::GaugeSample>& out) const;
+
  private:
   /// Borrows a connection: pooled if available, freshly dialed otherwise.
   Socket acquire(Deadline deadline);
@@ -117,7 +140,17 @@ class RemoteSession {
   Socket dial(Deadline deadline);
   /// One request/response on a borrowed connection.
   Frame roundtrip(Socket& s, FrameType type, std::vector<uint8_t> payload,
-                  Deadline deadline);
+                  Deadline deadline, ExchangeInfo* info = nullptr);
+  /// Decodes a reply's aux block: feeds the clock-offset estimator,
+  /// imports server spans into the installed recorder's per-endpoint lane
+  /// (aligned with this exchange's own midpoint offset) and fills `info`.
+  void handle_reply_telemetry(const Frame& reply,
+                              std::chrono::steady_clock::time_point t0,
+                              std::chrono::steady_clock::time_point t1,
+                              ExchangeInfo* info);
+  double session_us(std::chrono::steady_clock::time_point tp) const {
+    return std::chrono::duration<double, std::micro>(tp - epoch_).count();
+  }
   void heartbeat_loop();
   void note_success(double rtt_us);
   void mark_down(const std::string& why);
@@ -127,6 +160,9 @@ class RemoteSession {
   std::string endpoint_;
   uint64_t fingerprint_;
   SessionOptions opts_;
+  const std::chrono::steady_clock::time_point epoch_ =
+      std::chrono::steady_clock::now();
+  obs::ClockOffsetEstimator clock_;
 
   std::atomic<uint64_t> next_request_id_{1};
   std::atomic<bool> down_{false};
@@ -156,6 +192,7 @@ class RemoteSession {
   obs::MetricsRegistry::Counter* c_pings_ = nullptr;
   obs::MetricsRegistry::Counter* c_ping_failures_ = nullptr;
   obs::MetricsRegistry::Counter* c_endpoint_down_ = nullptr;
+  obs::MetricsRegistry::Counter* c_heartbeat_misses_ = nullptr;
 };
 
 /// Parses "host:port" (host may be a dotted quad or "localhost"). Throws

@@ -4,10 +4,6 @@
 
 namespace lm::net {
 
-namespace {
-constexpr size_t kHeaderSize = 20;
-}
-
 const char* to_string(FrameType t) {
   switch (t) {
     case FrameType::kHello: return "hello";
@@ -23,24 +19,39 @@ const char* to_string(FrameType t) {
   return "?";
 }
 
+size_t wire_size(const Frame& f) {
+  size_t n = kFrameHeaderSize + f.payload.size();
+  if (!f.aux.empty()) n += 4 + f.aux.size();
+  return n;
+}
+
 void write_frame(Socket& s, const Frame& f, Deadline deadline) {
   if (f.payload.size() > kMaxPayload) {
     throw TransportError("frame payload too large: " +
                          std::to_string(f.payload.size()) + " bytes");
   }
+  if (f.aux.size() > kMaxAux) {
+    throw TransportError("frame aux block too large: " +
+                         std::to_string(f.aux.size()) + " bytes");
+  }
   ByteWriter w;
   w.u32(kFrameMagic);
   w.u8(kProtocolVersion);
   w.u8(static_cast<uint8_t>(f.type));
-  w.u16(0);  // flags
+  w.u16(f.aux.empty() ? 0 : kFlagAuxTelemetry);
   w.u64(f.request_id);
+  w.u64(f.trace_id);
   w.u32(static_cast<uint32_t>(f.payload.size()));
   w.raw(f.payload.data(), f.payload.size());
+  if (!f.aux.empty()) {
+    w.u32(static_cast<uint32_t>(f.aux.size()));
+    w.raw(f.aux.data(), f.aux.size());
+  }
   s.send_all(w.bytes(), deadline);
 }
 
 Frame read_frame(Socket& s, Deadline deadline) {
-  uint8_t header[kHeaderSize];
+  uint8_t header[kFrameHeaderSize];
   s.recv_all(header, deadline);
   ByteReader r(header);
   uint32_t magic = r.u32();
@@ -56,8 +67,11 @@ Frame read_frame(Socket& s, Deadline deadline) {
   Frame f;
   f.type = static_cast<FrameType>(r.u8());
   uint16_t flags = r.u16();
-  if (flags != 0) throw TransportError("nonzero frame flags");
+  if ((flags & ~kFlagAuxTelemetry) != 0) {
+    throw TransportError("unknown frame flags");
+  }
   f.request_id = r.u64();
+  f.trace_id = r.u64();
   uint32_t len = r.u32();
   if (len > kMaxPayload) {
     throw TransportError("frame payload too large: " + std::to_string(len) +
@@ -65,6 +79,18 @@ Frame read_frame(Socket& s, Deadline deadline) {
   }
   f.payload.resize(len);
   s.recv_all(f.payload, deadline);
+  if (flags & kFlagAuxTelemetry) {
+    uint8_t lenbuf[4];
+    s.recv_all(lenbuf, deadline);
+    ByteReader lr(lenbuf);
+    uint32_t aux_len = lr.u32();
+    if (aux_len > kMaxAux) {
+      throw TransportError("frame aux block too large: " +
+                           std::to_string(aux_len) + " bytes");
+    }
+    f.aux.resize(aux_len);
+    s.recv_all(f.aux, deadline);
+  }
   return f;
 }
 

@@ -6,15 +6,26 @@
 //   0       4     magic       'LMRP' (0x4C 0x4D 0x52 0x50 on the wire)
 //   4       1     version     kProtocolVersion
 //   5       1     type        FrameType
-//   6       2     flags       reserved, must be 0
+//   6       2     flags       bit 0: aux telemetry block follows payload;
+//                             all other bits reserved, must be 0
 //   8       8     request_id  echoed verbatim in the response
-//   16      4     payload_len bytes of payload that follow
-//   20      …     payload     type-specific (see protocol.h)
+//   16      8     trace_id    client trace context (0 = untraced); echoed
+//                             in the response so imported spans can be
+//                             matched to the trace that caused them
+//   24      4     payload_len bytes of payload that follow
+//   28      …     payload     type-specific (see protocol.h)
+//   …       4     aux_len     only when flags bit 0 is set
+//   …       …     aux         telemetry block (protocol.h ReplyTelemetry)
 //
 // All integers little-endian (the byte order of every serde scalar — one
 // endianness for the whole stack). request_id lets a client pipeline many
 // requests down one connection and match responses by id; the server
 // answers in request order, so ids double as a sequencing check.
+//
+// v2 (this layout) added trace_id and the aux block; v1 peers are
+// rejected by the version check with an explicit mismatch error — the
+// client and server ship from one tree, so there is no mixed-version
+// deployment to stay compatible with.
 #pragma once
 
 #include <cstdint>
@@ -25,11 +36,20 @@
 namespace lm::net {
 
 inline constexpr uint32_t kFrameMagic = 0x504D524C;  // "LMRP" little-endian
-inline constexpr uint8_t kProtocolVersion = 1;
+inline constexpr uint8_t kProtocolVersion = 2;
+inline constexpr size_t kFrameHeaderSize = 28;
 /// Upper bound on a frame payload. Generous (a 4096-element batch of f64
 /// is 32 KiB) but finite, so a corrupt or hostile length prefix cannot make
 /// the receiver allocate unbounded memory.
 inline constexpr uint32_t kMaxPayload = 64u << 20;
+/// Upper bound on the aux telemetry block — a handful of spans, never
+/// batch-sized.
+inline constexpr uint32_t kMaxAux = 1u << 20;
+
+/// flags bit 0: a u32-length-prefixed aux telemetry block follows the
+/// payload. Telemetry rides out-of-band so every payload codec keeps its
+/// exact PR-4 layout.
+inline constexpr uint16_t kFlagAuxTelemetry = 0x1;
 
 enum class FrameType : uint8_t {
   kHello = 1,      // client → server: name + program fingerprint
@@ -48,13 +68,22 @@ const char* to_string(FrameType t);
 struct Frame {
   FrameType type = FrameType::kError;
   uint64_t request_id = 0;
+  /// Client trace context. Requests carry the installed TraceRecorder's
+  /// id (or 0); replies echo the request's.
+  uint64_t trace_id = 0;
   std::vector<uint8_t> payload;
+  /// Optional telemetry block (empty = absent). Encoded/decoded by
+  /// protocol.h's ReplyTelemetry codec.
+  std::vector<uint8_t> aux;
 };
 
-/// Sends one frame (header + payload) before `deadline`.
+/// Bytes this frame occupies on the wire (header + payload + aux framing).
+size_t wire_size(const Frame& f);
+
+/// Sends one frame (header + payload [+ aux]) before `deadline`.
 void write_frame(Socket& s, const Frame& f, Deadline deadline);
 
-/// Receives one frame, validating magic/version/length. Throws
+/// Receives one frame, validating magic/version/flags/lengths. Throws
 /// TransportError on timeout, EOF, or a malformed header.
 Frame read_frame(Socket& s, Deadline deadline);
 

@@ -108,6 +108,36 @@ ProcessRequest decode_process(std::span<const uint8_t> payload) {
   return p;
 }
 
+std::vector<uint8_t> encode_telemetry(const ReplyTelemetry& t) {
+  ByteWriter w;
+  w.f64(t.recv_ts_us);
+  w.f64(t.send_ts_us);
+  w.u32(static_cast<uint32_t>(t.spans.size()));
+  for (const auto& s : t.spans) {
+    w.str(s.name);
+    w.f64(s.ts_us);
+    w.f64(s.dur_us);
+  }
+  return w.take();
+}
+
+ReplyTelemetry decode_telemetry(std::span<const uint8_t> aux) {
+  ByteReader r(aux);
+  ReplyTelemetry t;
+  t.recv_ts_us = r.f64();
+  t.send_ts_us = r.f64();
+  uint32_t n = r.u32();
+  t.spans.reserve(std::min<uint32_t>(n, 1024));
+  for (uint32_t i = 0; i < n; ++i) {
+    ServerSpan s;
+    s.name = r.str();
+    s.ts_us = r.f64();
+    s.dur_us = r.f64();
+    t.spans.push_back(std::move(s));
+  }
+  return t;
+}
+
 uint64_t program_fingerprint(const runtime::ArtifactStore& store) {
   std::vector<std::string> lines;
   for (const auto* m : store.manifests()) {

@@ -62,6 +62,29 @@ std::vector<ArtifactListing> decode_listing(std::span<const uint8_t> payload);
 std::vector<uint8_t> encode_process(const ProcessRequest& p);
 ProcessRequest decode_process(std::span<const uint8_t> payload);
 
+/// One server-side span, timestamped on the *server's* clock in
+/// microseconds since the DeviceServer's construction. The client shifts
+/// it onto its own timeline with the NTP-midpoint offset of the same
+/// exchange (obs::ClockOffsetEstimator).
+struct ServerSpan {
+  std::string name;  // "decode" | "queue" | "execute" | "encode"
+  double ts_us = 0;
+  double dur_us = 0;
+};
+
+/// The aux telemetry block a server piggybacks on replies (frame.h flags
+/// bit 0). Every reply carries the receive/send timestamps — two f64s that
+/// feed the clock-offset estimator from ordinary heartbeats; spans are
+/// only populated for traced (trace_id != 0) kProcess requests.
+struct ReplyTelemetry {
+  double recv_ts_us = 0;  // request fully read off the socket
+  double send_ts_us = 0;  // reply about to be written
+  std::vector<ServerSpan> spans;
+};
+
+std::vector<uint8_t> encode_telemetry(const ReplyTelemetry& t);
+ReplyTelemetry decode_telemetry(std::span<const uint8_t> aux);
+
 /// The program identity both ends hash at hello time: FNV-1a64 over every
 /// CPU artifact manifest (sorted by task id). CPU artifacts exist for every
 /// task on both sides regardless of --no-gpu/--no-fpga flags, so the

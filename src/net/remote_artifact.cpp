@@ -1,5 +1,7 @@
 #include "net/remote_artifact.h"
 
+#include <cstdio>
+
 #include "obs/trace.h"
 #include "serde/batch.h"
 #include "util/error.h"
@@ -23,8 +25,20 @@ std::vector<Value> RemoteArtifact::process(std::span<const Value> inputs) {
   transfer_.elements_in += inputs.size();
 
   obs::TraceSpan span;
+  std::string trace_id_hex;
   if (obs::TraceRecorder* rec = obs::TraceRecorder::current()) {
     span.begin(rec, "net", "rpc:" + manifest_.task_id);
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(rec->trace_id()));
+    trace_id_hex = buf;
+    // Set identifying args up front so an exchange that throws still leaves
+    // an attributable span in the trace (the crash casualty keeps its
+    // endpoint and trace id; only the byte counts are success-path data).
+    span.set_args(obs::JsonArgs()
+                      .add("endpoint", session_->endpoint())
+                      .add("trace_id", trace_id_hex)
+                      .str());
   }
 
   // Stream elements all share one type (only values of the upstream
@@ -32,14 +46,21 @@ std::vector<Value> RemoteArtifact::process(std::span<const Value> inputs) {
   auto wire = serde::pack_batch(inputs, manifest_.param_types[0]);
   transfer_.bytes_to_device += wire.size();
 
-  auto reply = session_->process(manifest_.task_id, manifest_.device, wire);
+  RemoteSession::ExchangeInfo info;
+  auto reply =
+      session_->process(manifest_.task_id, manifest_.device, wire, &info);
   transfer_.bytes_from_device += reply.size();
+  if (info.server_execute_us > 0) {
+    server_exec_.record_ns(
+        static_cast<uint64_t>(info.server_execute_us * 1e3));
+  }
 
   auto out = serde::unpack_batch(reply, manifest_.return_type);
   transfer_.elements_out += out.size();
   if (span.active()) {
     span.set_args(obs::JsonArgs()
                       .add("endpoint", session_->endpoint())
+                      .add("trace_id", trace_id_hex)
                       .add("elements", static_cast<uint64_t>(inputs.size()))
                       .add("bytes_out", static_cast<uint64_t>(wire.size()))
                       .add("bytes_in", static_cast<uint64_t>(reply.size()))

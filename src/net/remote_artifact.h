@@ -11,6 +11,7 @@
 #include <memory>
 
 #include "net/client.h"
+#include "obs/histogram.h"
 #include "runtime/artifact.h"
 
 namespace lm::net {
@@ -34,8 +35,15 @@ class RemoteArtifact final : public runtime::Artifact {
 
   RemoteSession& session() { return *session_; }
 
+  /// Device time on the *server* (the reply telemetry's execute span),
+  /// merged into the client PerfReport via LatencyHistogram::merge().
+  const obs::LatencyHistogram* server_histogram() const override {
+    return server_exec_.count() ? &server_exec_ : nullptr;
+  }
+
  private:
   std::shared_ptr<RemoteSession> session_;
+  obs::LatencyHistogram server_exec_;
 };
 
 }  // namespace lm::net

@@ -60,23 +60,37 @@ void DeviceServer::accept_loop() {
 }
 
 void DeviceServer::serve(Conn* conn) {
+  active_conns_.fetch_add(1, std::memory_order_relaxed);
   try {
     for (;;) {
       Frame req = read_frame(conn->sock, no_deadline());
-      Frame reply = handle(req);
+      ReplyTelemetry tele;
+      tele.recv_ts_us = now_us();
+      c_requests_.add();
+      c_bytes_in_.add(wire_size(req));
+      Frame reply = handle(req, tele);
+      reply.trace_id = req.trace_id;
+      if (reply.type == FrameType::kError) c_errors_.add();
+      // Every reply carries the server receive/send timestamps — they cost
+      // two f64s and let heartbeats feed the client's clock-offset
+      // estimator; spans ride along only for traced requests.
+      tele.send_ts_us = now_us();
+      reply.aux = encode_telemetry(tele);
+      c_bytes_out_.add(wire_size(reply));
       write_frame(conn->sock, reply, no_deadline());
       if (opts_.fail_after != 0 && req.type == FrameType::kProcess &&
           served_.load(std::memory_order_relaxed) >= opts_.fail_after) {
         abrupt_stop();  // fault injection: die after the Nth batch
-        return;
+        break;
       }
     }
   } catch (const TransportError&) {
     // Peer went away (or we were stopped): this connection is done.
   }
+  active_conns_.fetch_sub(1, std::memory_order_relaxed);
 }
 
-Frame DeviceServer::handle(const Frame& req) {
+Frame DeviceServer::handle(const Frame& req, ReplyTelemetry& tele) {
   try {
     switch (req.type) {
       case FrameType::kPing: {
@@ -110,6 +124,8 @@ Frame DeviceServer::handle(const Frame& req) {
         return f;
       }
       case FrameType::kProcess: {
+        const bool traced = req.trace_id != 0;
+        double t_decode0 = now_us();
         ProcessRequest p = decode_process(req.payload);
         Artifact* a = program_.store.find(p.task_id, p.device);
         if (!a) {
@@ -124,16 +140,32 @@ Frame DeviceServer::handle(const Frame& req) {
         const auto& mf = a->manifest();
         std::vector<bc::Value> in =
             serde::unpack_batch(p.batch, mf.param_types[0]);
+        double t_queue0 = now_us();  // decode done, start waiting
         std::vector<bc::Value> out;
+        double t_exec0 = 0, t_exec1 = 0;
         {
           // Serialize batches per artifact: device simulators are stateful.
           std::lock_guard<std::mutex> lock(*locks_.at(a));
+          t_exec0 = now_us();  // lock acquired: queue wait is over
           out = a->process(in);
+          t_exec1 = now_us();
         }
         Frame f;
         f.type = FrameType::kProcessOk;
         f.request_id = req.request_id;
         f.payload = serde::pack_batch(out, mf.return_type);
+        double t_encode1 = now_us();
+        exec_hist_.record_ns(
+            static_cast<uint64_t>((t_exec1 - t_exec0) * 1e3));
+        if (traced) {
+          // The four phases a client RTT hides, on the server clock. The
+          // client shifts them onto its timeline with the same exchange's
+          // NTP-midpoint offset and renders them in a per-endpoint lane.
+          tele.spans.push_back({"decode", t_decode0, t_queue0 - t_decode0});
+          tele.spans.push_back({"queue", t_queue0, t_exec0 - t_queue0});
+          tele.spans.push_back({"execute", t_exec0, t_exec1 - t_exec0});
+          tele.spans.push_back({"encode", t_exec1, t_encode1 - t_exec1});
+        }
         served_.fetch_add(1, std::memory_order_relaxed);
         if (span.active()) {
           span.set_args(obs::JsonArgs()
@@ -154,6 +186,20 @@ Frame DeviceServer::handle(const Frame& req) {
     // the connection stays up.
     return error_frame(req.request_id, e.what());
   }
+}
+
+void DeviceServer::collect_telemetry(
+    std::vector<obs::GaugeSample>& out) const {
+  out.emplace_back("server.active_connections",
+                   static_cast<double>(active_connections()));
+  out.emplace_back("server.requests_served",
+                   static_cast<double>(requests_served()));
+  out.emplace_back("server.artifacts",
+                   static_cast<double>(listing_.size()));
+  out.emplace_back("server.exec_batches",
+                   static_cast<double>(exec_hist_.count()));
+  out.emplace_back("server.exec_p50_us", exec_hist_.percentile_us(50));
+  out.emplace_back("server.exec_p99_us", exec_hist_.percentile_us(99));
 }
 
 void DeviceServer::drop_all_connections() {

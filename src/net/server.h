@@ -11,6 +11,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -21,6 +22,9 @@
 
 #include "net/frame.h"
 #include "net/protocol.h"
+#include "obs/histogram.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "runtime/liquid_compiler.h"
 
 namespace lm::net {
@@ -71,6 +75,18 @@ class DeviceServer {
   /// True once abrupt_stop() ran (including via fail_after).
   bool crashed() const { return crashed_.load(std::memory_order_acquire); }
 
+  /// Server-local metrics (requests, errors, bytes). Safe to scrape from
+  /// another thread while connections are being served.
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+  /// Device-execute latency across every served batch (the time under the
+  /// artifact lock, excluding decode/queue/encode).
+  const obs::LatencyHistogram& exec_histogram() const { return exec_hist_; }
+  int64_t active_connections() const {
+    return active_conns_.load(std::memory_order_relaxed);
+  }
+  /// Live gauges for a TelemetryHub collector (lmdev's exporter).
+  void collect_telemetry(std::vector<obs::GaugeSample>& out) const;
+
  private:
   struct Conn {
     Socket sock;
@@ -80,9 +96,18 @@ class DeviceServer {
   void accept_loop();
   void serve(Conn* conn);
   /// Builds the reply to one request frame (never throws; artifact
-  /// failures become kError frames).
-  Frame handle(const Frame& req);
+  /// failures become kError frames). Fills `tele` with server-side spans
+  /// for traced kProcess requests; serve() adds the receive/send
+  /// timestamps and piggybacks the block on the reply.
+  Frame handle(const Frame& req, ReplyTelemetry& tele);
   void drop_all_connections();
+  /// Microseconds since this server was constructed — the "server clock"
+  /// every ReplyTelemetry timestamp is expressed in.
+  double now_us() const {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
 
   const runtime::CompiledProgram& program_;
   Options opts_;
@@ -101,6 +126,19 @@ class DeviceServer {
   std::atomic<bool> stopping_{false};
   std::atomic<bool> crashed_{false};
   std::atomic<uint64_t> served_{0};
+  std::atomic<int64_t> active_conns_{0};
+
+  const std::chrono::steady_clock::time_point epoch_ =
+      std::chrono::steady_clock::now();
+  obs::MetricsRegistry metrics_;
+  obs::MetricsRegistry::Counter& c_requests_ =
+      metrics_.counter("server.requests");
+  obs::MetricsRegistry::Counter& c_errors_ = metrics_.counter("server.errors");
+  obs::MetricsRegistry::Counter& c_bytes_in_ =
+      metrics_.counter("server.bytes_received");
+  obs::MetricsRegistry::Counter& c_bytes_out_ =
+      metrics_.counter("server.bytes_sent");
+  obs::LatencyHistogram exec_hist_;
 };
 
 }  // namespace lm::net

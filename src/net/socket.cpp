@@ -141,6 +141,16 @@ void Socket::recv_all(std::span<uint8_t> out, Deadline deadline) {
   }
 }
 
+size_t Socket::recv_some(std::span<uint8_t> out, Deadline deadline) {
+  if (out.empty()) return 0;
+  for (;;) {
+    wait_ready(fd_, POLLIN, deadline, "recv");
+    ssize_t n = ::recv(fd_, out.data(), out.size(), 0);
+    if (n >= 0) return static_cast<size_t>(n);
+    if (errno != EINTR && errno != EAGAIN) fail("recv");
+  }
+}
+
 void Socket::shutdown_both() {
   if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
 }

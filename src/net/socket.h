@@ -52,6 +52,12 @@ class Socket {
   /// byte of this read throws TransportError("connection closed by peer").
   void recv_all(std::span<uint8_t> out, Deadline deadline);
 
+  /// Reads up to `out.size()` bytes; returns how many arrived, 0 on a
+  /// clean EOF. For protocols whose message end is the connection end
+  /// (HTTP/1.0 with Connection: close), where recv_all's exact-count
+  /// contract cannot apply.
+  size_t recv_some(std::span<uint8_t> out, Deadline deadline);
+
   /// Half-closes both directions (wakes a peer blocked in recv) without
   /// releasing the descriptor. Safe to call from another thread while a
   /// recv is in flight — the basis of DeviceServer::abrupt_stop().

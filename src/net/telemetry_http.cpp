@@ -1,0 +1,191 @@
+#include "net/telemetry_http.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "obs/flight_recorder.h"
+
+namespace lm::net {
+
+namespace {
+
+constexpr size_t kMaxRequestBytes = 8192;
+
+std::string http_response(int status, const char* reason,
+                          const char* content_type, const std::string& body) {
+  std::string out = "HTTP/1.0 " + std::to_string(status) + " " + reason +
+                    "\r\nContent-Type: " + content_type +
+                    "\r\nContent-Length: " + std::to_string(body.size()) +
+                    "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+TelemetryServer::TelemetryServer(const obs::TelemetryHub& hub, Options opts)
+    : hub_(hub), opts_(opts) {}
+
+TelemetryServer::~TelemetryServer() { stop(); }
+
+void TelemetryServer::start() {
+  listener_ = std::make_unique<Listener>(opts_.port);
+  port_ = listener_->port();
+  endpoint_ = "127.0.0.1:" + std::to_string(port_);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void TelemetryServer::accept_loop() {
+  for (;;) {
+    Socket s = listener_->accept();
+    if (!s.valid()) return;  // listener closed
+    if (stopping_.load(std::memory_order_acquire)) return;
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    // Reap finished connections first: a 10 Hz scraper over a long soak
+    // would otherwise accumulate one dead thread per request.
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      if ((*it)->done.load(std::memory_order_acquire)) {
+        if ((*it)->th.joinable()) (*it)->th.join();
+        it = conns_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    auto conn = std::make_unique<Conn>();
+    conn->sock = std::move(s);
+    Conn* raw = conn.get();
+    conns_.push_back(std::move(conn));
+    conns_.back()->th = std::thread([this, raw] { serve(raw); });
+  }
+}
+
+void TelemetryServer::serve(Conn* conn) {
+  Deadline dl = deadline_in_ms(opts_.request_timeout_ms);
+  try {
+    // Read until the end of the request head (blank line) or the cap; the
+    // request line is all we route on.
+    std::string head;
+    uint8_t buf[512];
+    while (head.size() < kMaxRequestBytes &&
+           head.find("\r\n\r\n") == std::string::npos &&
+           head.find("\n\n") == std::string::npos) {
+      size_t n = conn->sock.recv_some(buf, dl);
+      if (n == 0) break;  // peer closed early
+      head.append(reinterpret_cast<const char*>(buf), n);
+    }
+    size_t eol = head.find_first_of("\r\n");
+    std::string request_line =
+        eol == std::string::npos ? head : head.substr(0, eol);
+    std::string response = respond(request_line);
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    conn->sock.send_all(
+        {reinterpret_cast<const uint8_t*>(response.data()), response.size()},
+        dl);
+  } catch (const TransportError&) {
+    // Scraper went away or wedged past the deadline: drop the connection.
+  }
+  // Connection: close — the peer reads until EOF, so end the stream here.
+  // The fd itself is released when the Conn is destroyed (reap or stop(),
+  // both after joining this thread): shutdown only reads the fd, so it
+  // cannot race with stop() waking a wedged connection the same way.
+  conn->sock.shutdown_both();
+  conn->done.store(true, std::memory_order_release);
+}
+
+std::string TelemetryServer::respond(const std::string& request_line) {
+  size_t sp1 = request_line.find(' ');
+  size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos
+                               : request_line.find(' ', sp1 + 1);
+  std::string method =
+      sp1 == std::string::npos ? "" : request_line.substr(0, sp1);
+  std::string path = sp2 == std::string::npos
+                         ? ""
+                         : request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (method != "GET") {
+    return http_response(405, "Method Not Allowed", "text/plain",
+                         "only GET is served\n");
+  }
+  if (size_t q = path.find('?'); q != std::string::npos) {
+    path.resize(q);
+  }
+  if (path == "/metrics") {
+    return http_response(200, "OK",
+                         "text/plain; version=0.0.4; charset=utf-8",
+                         hub_.prometheus_text());
+  }
+  if (path == "/healthz") {
+    bool healthy = true;
+    std::string body = hub_.health_json(&healthy);
+    body += '\n';
+    return healthy ? http_response(200, "OK", "application/json", body)
+                   : http_response(503, "Service Unavailable",
+                                   "application/json", body);
+  }
+  if (path == "/flight") {
+    return http_response(
+        200, "OK", "application/json",
+        obs::FlightRecorder::instance().chrome_trace_json("telemetry-pull"));
+  }
+  return http_response(404, "Not Found", "text/plain",
+                       "no such endpoint (try /metrics, /healthz, "
+                       "/flight)\n");
+}
+
+void TelemetryServer::stop() {
+  stopping_.store(true, std::memory_order_release);
+  if (listener_) listener_->close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::unique_ptr<Conn>> conns;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns.swap(conns_);
+  }
+  for (auto& c : conns) {
+    c->sock.shutdown_both();
+    if (c->th.joinable()) c->th.join();
+  }
+}
+
+int http_get(const std::string& host, uint16_t port, const std::string& path,
+             std::string* body, int timeout_ms) {
+  Deadline dl = deadline_in_ms(timeout_ms);
+  Socket s = Socket::connect(host, port, dl);
+  std::string req = "GET " + path + " HTTP/1.0\r\nHost: " + host +
+                    "\r\nConnection: close\r\n\r\n";
+  s.send_all({reinterpret_cast<const uint8_t*>(req.data()), req.size()}, dl);
+  std::string raw;
+  uint8_t buf[4096];
+  for (;;) {
+    size_t n = s.recv_some(buf, dl);
+    if (n == 0) break;  // Connection: close — EOF ends the response
+    raw.append(reinterpret_cast<const char*>(buf), n);
+    if (raw.size() > (64u << 20)) {
+      throw TransportError("telemetry response too large");
+    }
+  }
+  if (raw.compare(0, 5, "HTTP/") != 0) {
+    throw TransportError("not an HTTP response from " + host + ":" +
+                         std::to_string(port));
+  }
+  size_t sp = raw.find(' ');
+  int status = 0;
+  if (sp != std::string::npos) {
+    status = std::atoi(raw.c_str() + sp + 1);
+  }
+  if (status == 0) {
+    throw TransportError("malformed HTTP status line");
+  }
+  if (body) {
+    size_t sep = raw.find("\r\n\r\n");
+    size_t skip = 4;
+    if (sep == std::string::npos) {
+      sep = raw.find("\n\n");
+      skip = 2;
+    }
+    *body = sep == std::string::npos ? "" : raw.substr(sep + skip);
+  }
+  return status;
+}
+
+}  // namespace lm::net

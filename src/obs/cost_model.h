@@ -48,6 +48,16 @@ class CostEntry {
     bytes_from_device_.fetch_add(from_device, std::memory_order_relaxed);
   }
 
+  /// Batch-in-flight bracket: a device node marks the entry while its
+  /// artifact is executing so the telemetry plane can export a live
+  /// per-(task, device) in-flight gauge — record_batch() only lands after
+  /// the batch completes, which makes long batches invisible to a scraper.
+  void begin_batch() { in_flight_.fetch_add(1, std::memory_order_relaxed); }
+  void end_batch() { in_flight_.fetch_sub(1, std::memory_order_relaxed); }
+  int64_t in_flight() const {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
+
   /// Smoothed per-element cost in microseconds; 0 before the first batch.
   double ewma_us_per_elem() const {
     double v = ewma_us_per_elem_.load(std::memory_order_relaxed);
@@ -74,6 +84,7 @@ class CostEntry {
   std::atomic<uint64_t> elements_{0};
   std::atomic<uint64_t> bytes_to_device_{0};
   std::atomic<uint64_t> bytes_from_device_{0};
+  std::atomic<int64_t> in_flight_{0};
   std::atomic<double> ewma_us_per_elem_{kUnseeded};
 };
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/error.h"
+
 namespace lm::obs {
 
 double LatencyHistogram::percentile_ns(double q) const {
@@ -40,6 +42,13 @@ void LatencyHistogram::merge_into(LatencyHistogram& dst) const {
   while (m > cur && !dst.max_ns_.compare_exchange_weak(
                         cur, m, std::memory_order_relaxed)) {
   }
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& src) {
+  LM_CHECK_MSG(src.sub_buckets_ == sub_buckets_ &&
+                   src.bucket_count_ == bucket_count_,
+               "LatencyHistogram::merge: bucket layouts differ");
+  src.merge_into(*this);
 }
 
 void LatencyHistogram::reset() {

@@ -95,10 +95,25 @@ class LatencyHistogram {
   /// concurrently recording.
   void merge_into(LatencyHistogram& dst) const;
 
+  /// Folds `src` into this histogram — the report path uses this to merge
+  /// remote server-side histograms into the client's rows. Asserts both
+  /// sides share the same bucket layout first: today that is a compile-time
+  /// constant, but a histogram fed from another process was bucketed by
+  /// *that* build, and a silent mis-merge (counts landing in the wrong
+  /// octave) is far worse than a loud failure.
+  void merge(const LatencyHistogram& src);
+
+  uint64_t sub_buckets() const { return sub_buckets_; }
+  size_t bucket_count() const { return bucket_count_; }
+
   /// Zeroes every bucket (not linearizable against concurrent recorders).
   void reset();
 
  private:
+  // Layout stamp, carried per instance so merge() can verify it even for
+  // histograms reconstructed from wire data.
+  uint64_t sub_buckets_ = kSubBuckets;
+  size_t bucket_count_ = kBucketCount;
   std::array<std::atomic<uint64_t>, kBucketCount> buckets_{};
   std::atomic<uint64_t> count_{0};
   std::atomic<uint64_t> sum_ns_{0};

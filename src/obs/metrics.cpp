@@ -31,6 +31,20 @@ std::map<std::string, uint64_t> MetricsRegistry::snapshot() const {
   return out;
 }
 
+std::map<std::string, uint64_t> MetricsRegistry::snapshot_counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, uint64_t> out;
+  for (const auto& [name, c] : counters_) out[name] = c->value();
+  return out;
+}
+
+std::map<std::string, uint64_t> MetricsRegistry::snapshot_gauges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, uint64_t> out;
+  for (const auto& [name, g] : gauges_) out[name] = g->value();
+  return out;
+}
+
 std::string MetricsRegistry::summary(bool include_zeros) const {
   std::string out;
   for (const auto& [name, v] : snapshot()) {

@@ -61,6 +61,12 @@ class MetricsRegistry {
   /// names are unique across both kinds).
   std::map<std::string, uint64_t> snapshot() const;
 
+  /// Same view split by instrument kind — the Prometheus exporter needs to
+  /// emit honest `# TYPE` lines (counter vs gauge), which the merged
+  /// snapshot cannot reconstruct.
+  std::map<std::string, uint64_t> snapshot_counters() const;
+  std::map<std::string, uint64_t> snapshot_gauges() const;
+
   /// One-line summary, sorted by name: "a=1 b=2 c=3". Zero-valued
   /// instruments are skipped unless `include_zeros`.
   std::string summary(bool include_zeros = false) const;

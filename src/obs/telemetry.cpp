@@ -1,0 +1,417 @@
+#include "obs/telemetry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/trace.h"
+
+namespace lm::obs {
+
+namespace {
+
+bool name_start_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+         c == ':';
+}
+
+bool name_char(char c) { return name_start_char(c) || (c >= '0' && c <= '9'); }
+
+bool label_name_start_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+
+bool label_name_char(char c) {
+  return label_name_start_char(c) || (c >= '0' && c <= '9');
+}
+
+void append_value(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "0";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  out += buf;
+}
+
+/// Label names share the metric alphabet minus ':' and get no "lm_"
+/// prefix — they are scoped by their family already.
+std::string sanitize_label_name(const std::string& k) {
+  std::string out;
+  out.reserve(k.size() + 1);
+  for (char c : k) {
+    out += label_name_char(c) ? c : '_';
+  }
+  if (out.empty() || !label_name_start_char(out[0])) out = "_" + out;
+  return out;
+}
+
+void append_labels(
+    std::string& out,
+    const std::vector<std::pair<std::string, std::string>>& labels) {
+  if (labels.empty()) return;
+  out += '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += sanitize_label_name(k);
+    out += "=\"";
+    out += prometheus_label_escape(v);
+    out += '"';
+  }
+  out += '}';
+}
+
+}  // namespace
+
+std::string prometheus_name(const std::string& dotted) {
+  std::string out;
+  out.reserve(dotted.size() + 4);
+  out += "lm_";
+  for (char c : dotted) {
+    out += name_char(c) && c != ':' ? c : '_';
+  }
+  return out;
+}
+
+std::string prometheus_label_escape(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// TelemetryHub
+// ---------------------------------------------------------------------------
+
+void TelemetryHub::add_metrics(const MetricsRegistry* m) {
+  std::lock_guard<std::mutex> lock(mu_);
+  registries_.push_back(m);
+}
+
+void TelemetryHub::add_collector(GaugeCollector c) {
+  std::lock_guard<std::mutex> lock(mu_);
+  collectors_.push_back(std::move(c));
+}
+
+void TelemetryHub::add_health(HealthCollector c) {
+  std::lock_guard<std::mutex> lock(mu_);
+  health_.push_back(std::move(c));
+}
+
+std::string TelemetryHub::prometheus_text() const {
+  std::vector<const MetricsRegistry*> regs;
+  std::vector<GaugeCollector> cols;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    regs = registries_;
+    cols = collectors_;
+  }
+
+  // Registry instruments. Multiple registries (runtime + per-session) may
+  // carry the same series; counters sum, high-water gauges take the max —
+  // duplicate series lines would be malformed exposition.
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, uint64_t> gauges;
+  for (const MetricsRegistry* r : regs) {
+    for (const auto& [n, v] : r->snapshot_counters()) counters[n] += v;
+    for (const auto& [n, v] : r->snapshot_gauges()) {
+      auto& slot = gauges[n];
+      slot = std::max(slot, v);
+    }
+  }
+
+  std::vector<GaugeSample> samples;
+  for (const auto& c : cols) c(samples);
+
+  std::string out;
+  out.reserve(1024 + samples.size() * 64);
+  for (const auto& [n, v] : counters) {
+    std::string name = prometheus_name(n) + "_total";
+    out += "# TYPE " + name + " counter\n";
+    out += name + " " + std::to_string(v) + "\n";
+  }
+  for (const auto& [n, v] : gauges) {
+    std::string name = prometheus_name(n);
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " " + std::to_string(v) + "\n";
+  }
+
+  // Live samples, grouped per family (the text format requires all lines
+  // of one metric family to be contiguous).
+  std::stable_sort(samples.begin(), samples.end(),
+                   [](const GaugeSample& a, const GaugeSample& b) {
+                     return a.name < b.name;
+                   });
+  for (size_t i = 0; i < samples.size(); ++i) {
+    std::string name = prometheus_name(samples[i].name);
+    if (i == 0 || samples[i].name != samples[i - 1].name) {
+      out += "# TYPE " + name + " gauge\n";
+    }
+    out += name;
+    append_labels(out, samples[i].labels);
+    out += ' ';
+    append_value(out, samples[i].value);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string TelemetryHub::health_json(bool* healthy) const {
+  std::vector<HealthCollector> probes;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    probes = health_;
+  }
+  std::vector<HealthComponent> comps;
+  for (const auto& p : probes) p(comps);
+
+  bool ok = true;
+  for (const auto& c : comps) ok = ok && c.ok;
+  if (healthy) *healthy = ok;
+
+  std::string out = "{\"status\":\"";
+  out += ok ? "ok" : "degraded";
+  out += "\",\"components\":[";
+  bool first = true;
+  for (const auto& c : comps) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"" + json_escape(c.name) + "\",\"ok\":";
+    out += c.ok ? "true" : "false";
+    if (!c.detail.empty()) {
+      out += ",\"detail\":\"" + json_escape(c.detail) + "\"";
+    }
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text validation
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct LineParser {
+  const std::string& s;
+  size_t i = 0;
+  explicit LineParser(const std::string& line) : s(line) {}
+  bool done() const { return i >= s.size(); }
+  char peek() const { return i < s.size() ? s[i] : '\0'; }
+  void skip_ws() {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
+  }
+  bool parse_name(std::string* out, bool label) {
+    size_t start = i;
+    if (done()) return false;
+    if (label ? !label_name_start_char(s[i]) : !name_start_char(s[i])) {
+      return false;
+    }
+    ++i;
+    while (i < s.size() && (label ? label_name_char(s[i]) : name_char(s[i]))) {
+      ++i;
+    }
+    *out = s.substr(start, i - start);
+    return true;
+  }
+};
+
+bool parse_sample_value(const std::string& tok) {
+  if (tok.empty()) return false;
+  if (tok == "+Inf" || tok == "-Inf" || tok == "NaN") return true;
+  char* end = nullptr;
+  std::strtod(tok.c_str(), &end);
+  return end && *end == '\0';
+}
+
+}  // namespace
+
+bool validate_prometheus_text(const std::string& body, std::string* error) {
+  auto fail = [&](size_t lineno, const std::string& why) {
+    if (error) *error = "line " + std::to_string(lineno) + ": " + why;
+    return false;
+  };
+
+  if (!body.empty() && body.back() != '\n') {
+    return fail(0, "exposition must end with a newline");
+  }
+
+  std::map<std::string, std::string> typed;  // family -> type
+  size_t lineno = 0;
+  size_t pos = 0;
+  while (pos < body.size()) {
+    size_t nl = body.find('\n', pos);
+    std::string line = body.substr(pos, nl - pos);
+    pos = nl + 1;
+    ++lineno;
+    if (line.empty()) continue;
+
+    if (line[0] == '#') {
+      LineParser p(line);
+      ++p.i;  // '#'
+      p.skip_ws();
+      std::string kw;
+      while (!p.done() && p.peek() != ' ' && p.peek() != '\t') {
+        kw += p.s[p.i++];
+      }
+      if (kw != "TYPE" && kw != "HELP") continue;  // free-form comment
+      p.skip_ws();
+      std::string family;
+      if (!p.parse_name(&family, /*label=*/false)) {
+        return fail(lineno, "bad metric name in # " + kw);
+      }
+      if (kw == "TYPE") {
+        p.skip_ws();
+        std::string type;
+        while (!p.done() && p.peek() != ' ' && p.peek() != '\t') {
+          type += p.s[p.i++];
+        }
+        if (type != "counter" && type != "gauge" && type != "histogram" &&
+            type != "summary" && type != "untyped") {
+          return fail(lineno, "unknown TYPE '" + type + "'");
+        }
+        if (typed.count(family)) {
+          return fail(lineno, "duplicate TYPE for family " + family);
+        }
+        typed[family] = type;
+      }
+      continue;
+    }
+
+    // Sample line: name [{labels}] value [timestamp]
+    LineParser p(line);
+    std::string name;
+    if (!p.parse_name(&name, /*label=*/false)) {
+      return fail(lineno, "bad metric name");
+    }
+    if (p.peek() == '{') {
+      ++p.i;
+      bool first = true;
+      while (true) {
+        p.skip_ws();
+        if (p.peek() == '}') {
+          ++p.i;
+          break;
+        }
+        if (!first) {
+          return fail(lineno, "expected ',' or '}' in label set");
+        }
+        while (true) {
+          std::string lname;
+          if (!p.parse_name(&lname, /*label=*/true)) {
+            return fail(lineno, "bad label name");
+          }
+          if (p.peek() != '=') return fail(lineno, "expected '=' after label");
+          ++p.i;
+          if (p.peek() != '"') return fail(lineno, "label value not quoted");
+          ++p.i;
+          bool closed = false;
+          while (!p.done()) {
+            char c = p.s[p.i++];
+            if (c == '\\') {
+              if (p.done()) return fail(lineno, "dangling escape");
+              ++p.i;
+            } else if (c == '"') {
+              closed = true;
+              break;
+            }
+          }
+          if (!closed) return fail(lineno, "unterminated label value");
+          if (p.peek() == ',') {
+            ++p.i;
+            continue;
+          }
+          break;
+        }
+        first = false;
+      }
+    }
+    p.skip_ws();
+    std::string value_tok;
+    while (!p.done() && p.peek() != ' ' && p.peek() != '\t') {
+      value_tok += p.s[p.i++];
+    }
+    if (!parse_sample_value(value_tok)) {
+      return fail(lineno, "bad sample value '" + value_tok + "'");
+    }
+    p.skip_ws();
+    if (!p.done()) {
+      // Optional timestamp: integer milliseconds.
+      std::string ts;
+      while (!p.done() && p.peek() != ' ' && p.peek() != '\t') {
+        ts += p.s[p.i++];
+      }
+      char* end = nullptr;
+      std::strtoll(ts.c_str(), &end, 10);
+      if (!end || *end != '\0' || ts.empty()) {
+        return fail(lineno, "bad timestamp '" + ts + "'");
+      }
+      p.skip_ws();
+      if (!p.done()) return fail(lineno, "trailing garbage after timestamp");
+    }
+
+    // Our contract: every sample belongs to a family announced by TYPE.
+    std::string family = name;
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      if (!typed.count(family) && name.size() > std::strlen(suffix) &&
+          name.compare(name.size() - std::strlen(suffix), std::string::npos,
+                       suffix) == 0) {
+        std::string stripped =
+            name.substr(0, name.size() - std::strlen(suffix));
+        if (typed.count(stripped)) family = stripped;
+      }
+    }
+    if (!typed.count(family)) {
+      return fail(lineno, "sample '" + name + "' has no preceding # TYPE");
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// ClockOffsetEstimator
+// ---------------------------------------------------------------------------
+
+void ClockOffsetEstimator::update(double t0_us, double t1_us, double sr_us,
+                                  double ss_us) {
+  double rtt = (t1_us - t0_us) - (ss_us - sr_us);
+  if (rtt < 0) rtt = 0;  // clock jitter can make the wire time go negative
+  double offset = offset_from(t0_us, t1_us, sr_us, ss_us);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++samples_;
+  if (samples_ == 1 || rtt < best_rtt_us_) {
+    best_rtt_us_ = rtt;
+    offset_us_ = offset;
+  }
+}
+
+double ClockOffsetEstimator::offset_us() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return offset_us_;
+}
+
+double ClockOffsetEstimator::best_rtt_us() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return best_rtt_us_;
+}
+
+uint64_t ClockOffsetEstimator::samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_;
+}
+
+}  // namespace lm::obs

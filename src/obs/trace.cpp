@@ -15,6 +15,18 @@ namespace {
 
 std::atomic<uint64_t> g_next_recorder_id{1};
 
+/// splitmix64 finalizer — turns (recorder id, clock reading) into a trace
+/// id that is unique per process *and* almost surely unique across the
+/// client/server processes that exchange it (zero is reserved for
+/// "untraced" and never produced).
+uint64_t mix_trace_id(uint64_t seed) {
+  uint64_t z = seed + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  return z ? z : 1;
+}
+
 /// Per-thread cache of (recorder id → buffer). A thread normally sees one
 /// recorder over its lifetime, so the list stays length 0 or 1; ids are
 /// never reused, so a stale entry can never alias a new recorder.
@@ -123,6 +135,10 @@ JsonArgs& JsonArgs::add_raw(const char* k, const std::string& json) {
 
 TraceRecorder::TraceRecorder(size_t max_events_per_thread)
     : id_(g_next_recorder_id.fetch_add(1, std::memory_order_relaxed)),
+      trace_id_(mix_trace_id(
+          id_ ^ static_cast<uint64_t>(
+                    std::chrono::steady_clock::now().time_since_epoch()
+                        .count()))),
       t0_(std::chrono::steady_clock::now()),
       max_events_per_thread_(max_events_per_thread ? max_events_per_thread
                                                    : 1) {}
@@ -167,7 +183,10 @@ TraceRecorder::Buffer& TraceRecorder::local_buffer() {
 }
 
 void TraceRecorder::append(TraceEvent e) {
-  Buffer& b = local_buffer();
+  append_to(local_buffer(), std::move(e));
+}
+
+void TraceRecorder::append_to(Buffer& b, TraceEvent e) {
   e.tid = b.tid;
   std::lock_guard<std::mutex> lock(b.mu);  // uncontended except vs export
   if (b.events.size() >= max_events_per_thread_) {
@@ -177,6 +196,44 @@ void TraceRecorder::append(TraceEvent e) {
     return;
   }
   b.events.push_back(std::move(e));
+}
+
+uint32_t TraceRecorder::lane(const std::string& label) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Buffer* b : lanes_) {
+    if (b->label == label) return b->tid;
+  }
+  auto buf = std::make_unique<Buffer>();
+  buf->tid = static_cast<uint32_t>(buffers_.size() + 1);
+  buf->label = label;
+  Buffer* raw = buf.get();
+  buffers_.push_back(std::move(buf));
+  lanes_.push_back(raw);
+  return raw->tid;
+}
+
+void TraceRecorder::complete_lane(uint32_t lane_tid, const char* category,
+                                  std::string name, double ts_us,
+                                  double dur_us, std::string args) {
+  Buffer* lane_buf = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Buffer* b : lanes_) {
+      if (b->tid == lane_tid) {
+        lane_buf = b;
+        break;
+      }
+    }
+  }
+  LM_CHECK_MSG(lane_buf != nullptr, "complete_lane: unknown lane tid");
+  TraceEvent e;
+  e.phase = TraceEvent::Phase::kComplete;
+  e.category = category;
+  e.name = std::move(name);
+  e.args = std::move(args);
+  e.ts_us = ts_us;
+  e.dur_us = dur_us;
+  append_to(*lane_buf, std::move(e));
 }
 
 void TraceRecorder::complete(const char* category, std::string name,
@@ -251,10 +308,26 @@ std::vector<TraceEvent> TraceRecorder::events() const {
 
 std::string TraceRecorder::chrome_trace_json() const {
   std::vector<TraceEvent> evs = events();
+  std::vector<std::pair<uint32_t, std::string>> lane_names;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Buffer* b : lanes_) lane_names.emplace_back(b->tid, b->label);
+  }
   std::string out;
   out.reserve(evs.size() * 96 + 64);
   out += "{\"traceEvents\":[";
   bool first = true;
+  // Lanes render as named rows: imported remote spans get e.g.
+  // "remote 127.0.0.1:9000" instead of a bare synthetic tid.
+  for (const auto& [tid, label] : lane_names) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":";
+    out += std::to_string(tid);
+    out += ",\"args\":{\"name\":\"";
+    out += json_escape(label);
+    out += "\"}}";
+  }
   for (const TraceEvent& e : evs) {
     if (!first) out += ',';
     first = false;
@@ -290,7 +363,12 @@ std::string TraceRecorder::chrome_trace_json() const {
     }
     out += '}';
   }
-  out += "],\"displayTimeUnit\":\"ms\",\"metadata\":{\"droppedEvents\":";
+  out += "],\"displayTimeUnit\":\"ms\",\"metadata\":{\"traceId\":\"";
+  char idbuf[24];
+  std::snprintf(idbuf, sizeof(idbuf), "%016llx",
+                static_cast<unsigned long long>(trace_id_));
+  out += idbuf;
+  out += "\",\"droppedEvents\":";
   out += std::to_string(dropped_events());
   out += ",\"maxEventsPerThread\":";
   out += std::to_string(max_events_per_thread_);

@@ -101,6 +101,30 @@ class TraceRecorder {
 
   /// Microseconds since this recorder was created.
   double now_us() const;
+  /// Converts an absolute steady_clock reading into this recorder's
+  /// timebase (microseconds since creation). Lets callers timestamp with
+  /// the raw clock and translate later — e.g. the remote client records
+  /// send/receive instants before it knows whether the reply carries spans.
+  double to_us(std::chrono::steady_clock::time_point tp) const {
+    return std::chrono::duration<double, std::micro>(tp - t0_).count();
+  }
+
+  /// Process-unique 64-bit id for this recorder's trace. Propagated to
+  /// remote device servers in LMRP frames so server-side spans can be
+  /// matched back to the client trace that caused them. Never zero (zero
+  /// on the wire means "untraced").
+  uint64_t trace_id() const { return trace_id_; }
+
+  /// Reserves a named *lane*: an event row not owned by any thread, used
+  /// for spans imported from another process (remote device servers).
+  /// Returns the lane's tid; idempotent per label. The label is emitted as
+  /// Chrome `thread_name` metadata so the unified trace shows e.g.
+  /// "remote 127.0.0.1:9000" as its own row under the client's pid.
+  uint32_t lane(const std::string& label);
+  /// Appends a kComplete event to a lane from any thread.
+  void complete_lane(uint32_t lane_tid, const char* category,
+                     std::string name, double ts_us, double dur_us,
+                     std::string args = {});
 
   // -- event emission (thread-safe; appends to the calling thread's buffer)
   void complete(const char* category, std::string name, double ts_us,
@@ -129,21 +153,25 @@ class TraceRecorder {
  private:
   struct Buffer {
     uint32_t tid = 0;
+    std::string label;      // non-empty: a lane, not a thread buffer
     mutable std::mutex mu;  // uncontended: one writer (the owning thread)
     std::vector<TraceEvent> events;
   };
 
   Buffer& local_buffer();
   void append(TraceEvent e);
+  void append_to(Buffer& b, TraceEvent e);
 
   static std::atomic<TraceRecorder*> g_current;
 
   const uint64_t id_;  // process-unique, never reused (TLS cache key)
+  const uint64_t trace_id_;
   const std::chrono::steady_clock::time_point t0_;
   const size_t max_events_per_thread_;
   std::atomic<uint64_t> dropped_{0};
-  mutable std::mutex mu_;  // guards buffers_ vector growth
+  mutable std::mutex mu_;  // guards buffers_ vector growth + lane lookup
   std::vector<std::unique_ptr<Buffer>> buffers_;
+  std::vector<Buffer*> lanes_;  // subset of buffers_ with a label
 };
 
 /// RAII span. Inert when default-constructed or when no recorder is

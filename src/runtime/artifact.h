@@ -25,6 +25,10 @@
 #include "serde/native.h"
 #include "serde/wire.h"
 
+namespace lm::obs {
+class LatencyHistogram;
+}
+
 namespace lm::runtime {
 
 enum class DeviceKind { kCpu, kGpu, kFpga };
@@ -84,6 +88,15 @@ class Artifact {
   }
 
   const TransferStats& transfer_stats() const { return transfer_; }
+
+  /// Server-side device-execute latency, populated only by remote proxies
+  /// from the telemetry their replies piggyback. The report path merges it
+  /// (LatencyHistogram::merge) into the client's PerfReport, so "what the
+  /// wire cost" and "what the device cost" stay separable per task.
+  /// nullptr for local artifacts and for remote ones with no samples yet.
+  virtual const obs::LatencyHistogram* server_histogram() const {
+    return nullptr;
+  }
 
  protected:
   explicit Artifact(ArtifactManifest manifest)

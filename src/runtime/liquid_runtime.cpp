@@ -290,9 +290,65 @@ obs::PerfReport LiquidRuntime::report() const {
            r.at_batch});
     }
   }
+  // Remote proxies piggyback the server's device-execute latency on their
+  // replies (net::ReplyTelemetry); fold those histograms in as their own
+  // ":server" rows so wire time (the proxy's cost-model row above) and
+  // device time stay separable per task.
+  for (const Artifact* a : remote_store_.artifacts()) {
+    const obs::LatencyHistogram* sh = a->server_histogram();
+    if (!sh || sh->count() == 0) continue;
+    obs::LatencyHistogram merged;
+    merged.merge(*sh);
+    obs::PerfReport::TaskRow r;
+    r.task = a->manifest().task_id;
+    r.device = a->cost_label() + ":server";
+    r.batches = merged.count();
+    r.p50_us = merged.percentile_us(50);
+    r.p90_us = merged.percentile_us(90);
+    r.p99_us = merged.percentile_us(99);
+    r.max_us = static_cast<double>(merged.max_ns()) / 1e3;
+    r.mean_us = merged.mean_ns() / 1e3;
+    rep.tasks.push_back(std::move(r));
+  }
   rep.metrics = metrics_.snapshot();
   rep.dropped_trace_events = hot_->trace_dropped->value();
   return rep;
+}
+
+void LiquidRuntime::collect_telemetry(
+    std::vector<obs::GaugeSample>& out) const {
+  sync_trace_drops();
+  {
+    std::lock_guard<std::mutex> lock(graphs_mu_);
+    size_t gi = 0;
+    for (const auto& w : active_graphs_) {
+      std::shared_ptr<RtGraph> g = w.lock();
+      if (!g) continue;
+      for (size_t qi = 0; qi < g->fifos.size(); ++qi) {
+        std::vector<std::pair<std::string, std::string>> labels = {
+            {"graph", std::to_string(gi)}, {"queue", std::to_string(qi)}};
+        out.emplace_back("fifo.depth",
+                         static_cast<double>(g->fifos[qi]->size()), labels);
+        out.emplace_back("fifo.capacity",
+                         static_cast<double>(g->fifos[qi]->capacity()),
+                         std::move(labels));
+      }
+      ++gi;
+    }
+  }
+  for (const obs::CostModelRegistry::Row& row : cost_models_.rows()) {
+    std::vector<std::pair<std::string, std::string>> labels = {
+        {"task", row.task}, {"device", row.device}};
+    const obs::CostEntry& e = *row.entry;
+    out.emplace_back("task.in_flight", static_cast<double>(e.in_flight()),
+                     labels);
+    out.emplace_back("task.batches", static_cast<double>(e.batches()),
+                     labels);
+    out.emplace_back("task.elements", static_cast<double>(e.elements()),
+                     labels);
+    out.emplace_back("task.ewma_us_per_elem", e.ewma_us_per_elem(),
+                     std::move(labels));
+  }
 }
 
 void LiquidRuntime::dump_flight(const std::string& reason) const {
@@ -874,7 +930,21 @@ class LiquidRuntime::DeviceRun {
     uint64_t to0 = ts.bytes_to_device, from0 = ts.bytes_from_device;
     double t0_us = rec_ ? rec_->now_us() : 0;
     auto t0 = std::chrono::steady_clock::now();
-    std::vector<Value> out = invoke(batch);
+    // In-flight bracket on the entry bound at batch start: invoke() may
+    // rebind cost_ mid-batch (remote fallback), and the end must land on
+    // the same entry the begin did.
+    struct InFlight {
+      obs::CostEntry* e;
+      explicit InFlight(obs::CostEntry* entry) : e(entry) {
+        e->begin_batch();
+      }
+      ~InFlight() { e->end_batch(); }
+    };
+    std::vector<Value> out;
+    {
+      InFlight guard(cost_);
+      out = invoke(batch);
+    }
     auto t1 = std::chrono::steady_clock::now();
     double dt = std::chrono::duration<double>(t1 - t0).count();
     if (rec_) {
@@ -1006,6 +1076,15 @@ void LiquidRuntime::start(Value graph) {
     g->trace_start_us = rec->now_us();
   }
   run_threaded(*g);  // spawns threads; finish() joins
+  {
+    // Expose the running graph to the telemetry plane (live FIFO depths).
+    // Prune dead entries here rather than on scrape so the exporter path
+    // stays read-mostly.
+    std::lock_guard<std::mutex> lock(graphs_mu_);
+    std::erase_if(active_graphs_,
+                  [](const std::weak_ptr<RtGraph>& w) { return w.expired(); });
+    active_graphs_.push_back(g);
+  }
   g->started = true;
 }
 

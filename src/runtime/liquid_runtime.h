@@ -26,6 +26,7 @@
 #include "obs/cost_model.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "runtime/liquid_compiler.h"
 #include "runtime/store.h"
@@ -199,6 +200,12 @@ class LiquidRuntime : public bc::TaskGraphHost, public bc::AccelHooks {
   /// history, counters and trace-drop counts. Cheap to build; callable at
   /// any point (mid-stream rows show whatever has drained so far).
   obs::PerfReport report() const;
+  /// Appends live gauges for the telemetry exporter: per-FIFO depth and
+  /// capacity for every graph whose threads are still running, and
+  /// per-(task, device) in-flight / throughput / EWMA rows from the cost
+  /// models. Safe to call from an exporter thread concurrently with the
+  /// workload; intended as a TelemetryHub gauge collector.
+  void collect_telemetry(std::vector<obs::GaugeSample>& out) const;
   const RuntimeConfig& config() const { return config_; }
   void set_placement(Placement p) { config_.placement = p; }
 
@@ -281,6 +288,11 @@ class LiquidRuntime : public bc::TaskGraphHost, public bc::AccelHooks {
   mutable std::mutex subs_mu_;
   std::vector<SubstitutionRecord> substitutions_;
   std::vector<ResubstitutionRecord> resubstitutions_;
+  /// Graphs whose threads may still be running, registered by start() so
+  /// collect_telemetry() can read live FIFO depths. Weak: the graph value
+  /// owns the RtGraph; a scrape must never extend a finished graph's life.
+  mutable std::mutex graphs_mu_;
+  std::vector<std::weak_ptr<RtGraph>> active_graphs_;
   /// Recorder drop count already folded into trace.dropped_events.
   mutable std::atomic<uint64_t> trace_drops_seen_{0};
   mutable RuntimeStats stats_snapshot_;

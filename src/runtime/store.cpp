@@ -36,6 +36,13 @@ std::vector<const ArtifactManifest*> ArtifactStore::manifests() const {
   return out;
 }
 
+std::vector<const Artifact*> ArtifactStore::artifacts() const {
+  std::vector<const Artifact*> out;
+  out.reserve(all_.size());
+  for (const auto& a : all_) out.push_back(a.get());
+  return out;
+}
+
 std::string ArtifactStore::segment_id(
     const std::vector<std::string>& task_ids) {
   std::string id = "seg";

@@ -25,6 +25,10 @@ class ArtifactStore {
   /// Every manifest, for listings and tests.
   std::vector<const ArtifactManifest*> manifests() const;
 
+  /// Every artifact, in registration order. The report path walks the
+  /// remote store with this to fold server-side histograms in.
+  std::vector<const Artifact*> artifacts() const;
+
   size_t size() const { return all_.size(); }
 
   /// The conventional key for a fused pipeline segment.

@@ -61,22 +61,82 @@ std::vector<int32_t> unpack_ints(std::span<const uint8_t> wire) {
 
 TEST(Frame, RoundTripOverLoopback) {
   Listener l(0);
-  Frame sent{FrameType::kProcess, 42, {1, 2, 3, 4, 5}};
+  Frame sent;
+  sent.type = FrameType::kProcess;
+  sent.request_id = 42;
+  sent.trace_id = 0xabcdef0123456789ull;
+  sent.payload = {1, 2, 3, 4, 5};
   std::thread server([&] {
     Socket s = l.accept();
     ASSERT_TRUE(s.valid());
     Frame f = read_frame(s, no_deadline());
     EXPECT_EQ(f.type, FrameType::kProcess);
     EXPECT_EQ(f.request_id, 42u);
+    EXPECT_EQ(f.trace_id, 0xabcdef0123456789ull);
     EXPECT_EQ(f.payload, sent.payload);
-    write_frame(s, {FrameType::kProcessOk, f.request_id, {9}}, no_deadline());
+    EXPECT_TRUE(f.aux.empty());
+    Frame reply;
+    reply.type = FrameType::kProcessOk;
+    reply.request_id = f.request_id;
+    reply.trace_id = f.trace_id;
+    reply.payload = {9};
+    write_frame(s, reply, no_deadline());
   });
   Socket c = Socket::connect("127.0.0.1", l.port(), deadline_in_ms(2000));
   write_frame(c, sent, deadline_in_ms(2000));
   Frame reply = read_frame(c, deadline_in_ms(2000));
   EXPECT_EQ(reply.type, FrameType::kProcessOk);
   EXPECT_EQ(reply.request_id, 42u);
+  EXPECT_EQ(reply.trace_id, 0xabcdef0123456789ull);
   EXPECT_EQ(reply.payload, std::vector<uint8_t>{9});
+  server.join();
+}
+
+TEST(Frame, AuxBlockRoundTrips) {
+  // v2: the aux-telemetry block rides behind the payload, gated on a
+  // header flag, and is invisible to frames that don't carry one.
+  Listener l(0);
+  Frame sent;
+  sent.type = FrameType::kProcessOk;
+  sent.request_id = 7;
+  sent.payload = {1, 2};
+  sent.aux = {0xde, 0xad, 0xbe, 0xef};
+  EXPECT_EQ(wire_size(sent), kFrameHeaderSize + 2 + 4 + 4);
+  std::thread server([&] {
+    Socket s = l.accept();
+    ASSERT_TRUE(s.valid());
+    write_frame(s, sent, no_deadline());
+  });
+  Socket c = Socket::connect("127.0.0.1", l.port(), deadline_in_ms(2000));
+  Frame got = read_frame(c, deadline_in_ms(2000));
+  EXPECT_EQ(got.payload, sent.payload);
+  EXPECT_EQ(got.aux, sent.aux);
+  server.join();
+}
+
+TEST(Frame, RejectsUnknownFlags) {
+  // Forward compatibility is explicit: a header with a flag bit we don't
+  // understand is an error, not a silent skip.
+  Listener l(0);
+  std::thread server([&] {
+    Socket s = l.accept();
+    ASSERT_TRUE(s.valid());
+    std::vector<uint8_t> hdr;
+    auto w32 = [&](uint32_t v) {
+      for (int i = 0; i < 4; ++i) hdr.push_back((v >> (8 * i)) & 0xff);
+    };
+    w32(kFrameMagic);
+    hdr.push_back(kProtocolVersion);
+    hdr.push_back(static_cast<uint8_t>(FrameType::kProcess));
+    hdr.push_back(0x02);  // flags: an undefined bit
+    hdr.push_back(0);
+    for (int i = 0; i < 8; ++i) hdr.push_back(0);  // request id
+    for (int i = 0; i < 8; ++i) hdr.push_back(0);  // trace id
+    w32(0);
+    s.send_all(hdr, no_deadline());
+  });
+  Socket c = Socket::connect("127.0.0.1", l.port(), deadline_in_ms(2000));
+  EXPECT_THROW(read_frame(c, deadline_in_ms(2000)), TransportError);
   server.join();
 }
 
@@ -112,6 +172,7 @@ TEST(Frame, RejectsOversizedPayloadDeclaration) {
     hdr.push_back(0);
     hdr.push_back(0);  // flags
     for (int i = 0; i < 8; ++i) hdr.push_back(0);  // request id
+    for (int i = 0; i < 8; ++i) hdr.push_back(0);  // trace id
     w32(kMaxPayload + 1);
     s.send_all(hdr, no_deadline());
   });
@@ -125,7 +186,7 @@ TEST(Frame, PeerDisconnectMidHeaderThrows) {
   std::thread server([&] {
     Socket s = l.accept();
     ASSERT_TRUE(s.valid());
-    uint8_t half[4] = {0x4c, 0x52, 0x4d, 0x50};  // 4 of 20 header bytes
+    uint8_t half[4] = {0x4c, 0x52, 0x4d, 0x50};  // 4 of 28 header bytes
     s.send_all(half, no_deadline());
     s.close();
   });

@@ -14,6 +14,8 @@
 //    and the flight recorder.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -21,7 +23,9 @@
 #include "net/attach.h"
 #include "net/server.h"
 #include "obs/flight_recorder.h"
+#include "obs/trace.h"
 #include "runtime/liquid_runtime.h"
+#include "tests/json_test_util.h"
 #include "workloads/workloads.h"
 
 namespace lm::workloads {
@@ -297,6 +301,114 @@ TEST(RemoteRuntime, AdaptivePlacementWithRemoteCandidatesStaysCorrect) {
   // Remote candidates joined calibration (RPCs happened even if a local
   // artifact ultimately won the timings).
   EXPECT_GT(rt.metrics().value("net.requests"), 0u);
+}
+
+// The unified-trace differential (ISSUE 5 acceptance): with a recorder
+// installed, a remote run produces ONE Chrome trace holding both the client
+// rpc spans and the server-side rows the replies piggybacked — every span
+// stamped with the same trace id, every server execute nested strictly
+// inside the client span that caused it. Run under --fail-after so the
+// property holds through fault injection too: requests the crash swallowed
+// simply have no server pair, they never produce misaligned orphans.
+TEST(RemoteRuntime, UnifiedTracePairsClientAndServerSpans) {
+  const Workload& w = pipeline_by_name("intpipe");
+  net::DeviceServer::Options sopts;
+  sopts.fail_after = 6;  // crash mid-stream, after several traced exchanges
+  Loopback lb(w, sopts);
+
+  RuntimeConfig rc = lb.remote_config();
+  rc.device_batch = 64;  // 1024 elements -> enough pipelined requests
+  LiquidRuntime rt(*lb.client_prog, rc);
+  net::AttachResult att = net::attach_remote_devices(rt, *lb.client_prog);
+  ASSERT_TRUE(att.errors.empty()) << att.errors[0];
+  ASSERT_GT(att.artifacts, 0u);
+
+  obs::TraceRecorder rec;
+  rec.install();
+  const size_t n = 1024;
+  Value expected = w.reference(w.make_args(n, 31));
+  Value got = rt.call(w.entry, w.make_args(n, 31));
+  rec.uninstall();
+  EXPECT_TRUE(results_match(got, expected, 0.0));
+  EXPECT_TRUE(lb.server->crashed());
+
+  char want_id[24];
+  std::snprintf(want_id, sizeof(want_id), "%016llx",
+                static_cast<unsigned long long>(rec.trace_id()));
+
+  lm::testing::Json doc = lm::testing::parse_or_die(rec.chrome_trace_json());
+  EXPECT_EQ(doc.at("metadata").at("traceId").str, want_id);
+
+  struct Span {
+    double ts, dur;
+    std::string trace_id;
+    double request_id;
+  };
+  std::vector<Span> rpcs;
+  std::map<std::string, std::vector<Span>> srv;  // name -> spans
+  bool lane_named = false;
+  for (const lm::testing::Json& e : doc.at("traceEvents").arr) {
+    const std::string& name = e.at("name").str;
+    if (e.at("ph").str == "M" && name == "thread_name" &&
+        e.at("args").at("name").str == "remote " + lb.server->endpoint()) {
+      lane_named = true;
+    }
+    if (e.at("ph").str != "X") continue;
+    Span s{e.at("ts").num, e.at("dur").num, e.at("args").at("trace_id").str,
+           e.at("args").at("request_id").num};
+    if (name.rfind("rpc:", 0) == 0) rpcs.push_back(s);
+    if (name.rfind("srv:", 0) == 0) srv[name].push_back(s);
+  }
+  // The remote lane exists and is labeled with the endpoint.
+  EXPECT_TRUE(lane_named);
+  // Several exchanges were traced before the crash; the four server-side
+  // phases arrived for each of them.
+  ASSERT_GE(rpcs.size(), 3u);
+  const size_t n_exec = srv["srv:execute"].size();
+  ASSERT_GE(n_exec, 2u);
+  EXPECT_EQ(srv["srv:decode"].size(), n_exec);
+  EXPECT_EQ(srv["srv:queue"].size(), n_exec);
+  EXPECT_EQ(srv["srv:encode"].size(), n_exec);
+
+  // Every span in the unified trace shares the client's trace id.
+  for (const Span& s : rpcs) EXPECT_EQ(s.trace_id, want_id);
+  for (const auto& [name, spans] : srv) {
+    for (const Span& s : spans) EXPECT_EQ(s.trace_id, want_id);
+  }
+
+  // Pairing: each server execute nests strictly inside exactly one client
+  // rpc span (the alignment guarantee), and no rpc span owns two server
+  // executes. Requests the crash ate leave rpc spans with no pair — never
+  // the other way round.
+  std::map<size_t, int> owner_count;
+  for (const Span& e : srv["srv:execute"]) {
+    int owners = 0;
+    for (size_t i = 0; i < rpcs.size(); ++i) {
+      if (e.ts >= rpcs[i].ts && e.ts + e.dur <= rpcs[i].ts + rpcs[i].dur) {
+        ++owners;
+        ++owner_count[i];
+      }
+    }
+    EXPECT_EQ(owners, 1) << "server execute at ts=" << e.ts
+                         << " not nested in exactly one client rpc span";
+  }
+  for (const auto& [i, cnt] : owner_count) {
+    EXPECT_EQ(cnt, 1) << "rpc span " << i << " owns " << cnt
+                      << " server executes";
+  }
+  EXPECT_LE(owner_count.size(), rpcs.size());
+
+  // The server histograms the replies piggybacked reached the report as
+  // ":server" rows (LatencyHistogram::merge satellite). Summed across rows
+  // they account for exactly the executes the trace saw.
+  uint64_t server_batches = 0;
+  for (const auto& row : rt.report().tasks) {
+    if (row.device.find(":server") != std::string::npos) {
+      server_batches += row.batches;
+      EXPECT_GT(row.p50_us, 0.0);
+    }
+  }
+  EXPECT_EQ(server_batches, n_exec);
 }
 
 }  // namespace

@@ -10,7 +10,12 @@
 #      to a cpu-only run, including when the server crashes mid-stream
 #      (deterministically via --fail-after, and best-effort via kill -9):
 #      the runtime must complete on the local bytecode fallback. Repeated
-#      under TSan (unless --quick) to race-check the transport.
+#      under TSan (unless --quick) to race-check the transport. While each
+#      lmdev serves, `lmtop --check` scrapes its /metrics at 10 Hz: one
+#      malformed exposition or a wedged exporter (zero successful scrapes)
+#      fails the gate; an endpoint dying mid-soak (fail-after, kill -9)
+#      is expected and tolerated. A final pass scrapes lmc's own runtime
+#      exporter (--telemetry-port) mid-run.
 #   5. `lmc --analyze --strict` over every shipped .lime example — the
 #      static analyzer must report zero warnings/errors on them.
 #
@@ -38,17 +43,49 @@ soak() {
   local log out expected got pid port
   log="$(mktemp)"
 
-  spawn_lmdev() {  # $@ = extra lmdev flags; sets $pid and $port
+  spawn_lmdev() {  # $@ = extra lmdev flags; sets $pid, $port and $tport
     : >"$log"
-    "$lmdev" examples/intpipe.lime --quiet "$@" >"$log" 2>&1 &
+    "$lmdev" examples/intpipe.lime --quiet --telemetry-port 0 "$@" \
+        >"$log" 2>&1 &
     pid=$!
-    port=""
+    port=""; tport=""
     for _ in $(seq 1 100); do
-      port="$(sed -n 's/.*on 127\.0\.0\.1:\([0-9][0-9]*\).*/\1/p' "$log")"
-      [[ -n "$port" ]] && break
+      port="$(sed -n 's/.*serving .* on 127\.0\.0\.1:\([0-9][0-9]*\).*/\1/p' "$log")"
+      tport="$(sed -n 's/.*telemetry on 127\.0\.0\.1:\([0-9][0-9]*\).*/\1/p' "$log")"
+      [[ -n "$port" && -n "$tport" ]] && break
       sleep 0.1
     done
-    [[ -n "$port" ]] || { echo "FAIL($label): lmdev never printed its endpoint"; cat "$log"; exit 1; }
+    [[ -n "$port" && -n "$tport" ]] || { echo "FAIL($label): lmdev never printed its endpoints"; cat "$log"; exit 1; }
+  }
+
+  # 10 Hz `lmtop --check` against a live exporter. The endpoint dying
+  # mid-soak is expected (fail-after / kill -9 take the process down);
+  # a malformed exposition or a non-200 is always fatal, and so is an
+  # exporter that never answered one scrape (wedged).
+  scrape_log=""
+  scraper_pid=""
+  start_scraper() {  # $1 = telemetry port
+    scrape_log="$(mktemp)"
+    local lmtop="$bdir/tools/lmtop" tp="$1"
+    (
+      while :; do
+        "$lmtop" "127.0.0.1:$tp" --check >>"$scrape_log" 2>&1 || true
+        sleep 0.1
+      done
+    ) &
+    scraper_pid=$!
+  }
+  stop_scraper() {
+    kill "$scraper_pid" 2>/dev/null || true
+    wait "$scraper_pid" 2>/dev/null || true
+    if grep -qE 'malformed exposition|/metrics returned' "$scrape_log"; then
+      echo "FAIL($label): telemetry exposition broke under load"
+      cat "$scrape_log"; exit 1
+    fi
+    grep -q '^ok:' "$scrape_log" || {
+      echo "FAIL($label): telemetry exporter never answered a scrape"
+      cat "$scrape_log"; exit 1; }
+    rm -f "$scrape_log"
   }
 
   step "remote loopback soak ($label)"
@@ -59,19 +96,23 @@ soak() {
   # 4a. differential: remote run must be bit-identical to the cpu-only run
   # and must actually have substituted the remote artifact.
   spawn_lmdev
+  start_scraper "$tport"
   out="$("$lmc" examples/intpipe.lime --run IntPipe.run --ints "$ints" \
       --remote="127.0.0.1:$port")"
+  stop_scraper
   kill "$pid" 2>/dev/null || true; wait "$pid" 2>/dev/null || true
   got="$(result_of "$out")"
   [[ "$got" == "$expected" ]] || { echo "FAIL($label): remote output diverged"; echo "want: $expected"; echo "got:  $got"; exit 1; }
   grep -q "@127\.0\.0\.1:$port" <<<"$out" || { echo "FAIL($label): no remote substitution happened"; echo "$out"; exit 1; }
-  echo "ok: remote differential"
+  echo "ok: remote differential (scraped at 10 Hz)"
 
   # 4b. deterministic mid-stream crash (--fail-after): the run must still
   # exit 0 with identical output, completing on the bytecode fallback.
   spawn_lmdev --fail-after 2
+  start_scraper "$tport"
   out="$("$lmc" examples/intpipe.lime --run IntPipe.run --ints "$ints" \
       --remote="127.0.0.1:$port" --device-batch=64)"
+  stop_scraper
   kill "$pid" 2>/dev/null || true; wait "$pid" 2>/dev/null || true
   got="$(result_of "$out")"
   [[ "$got" == "$expected" ]] || { echo "FAIL($label): output diverged across server crash"; echo "$out"; exit 1; }
@@ -93,6 +134,36 @@ soak() {
   got="$(result_of "$(cat "$log.out")")"
   [[ "$got" == "$expected" ]] || { echo "FAIL($label): output diverged across kill -9"; cat "$log.out"; exit 1; }
   echo "ok: kill -9 survival"
+
+  # 4d. the runtime's own exporter, scraped strictly mid-run: lmc streams
+  # a long per-element remote exchange (--device-batch=1); the moment its
+  # telemetry endpoint appears we SIGSTOP lmdev, freezing lmc inside a
+  # pending reply (request timeout is 30 s, a 100 ms pause is invisible),
+  # scrape the live /metrics, then SIGCONT and let the run finish.
+  local ints4 expected4
+  ints4="$(seq 1 16384 | paste -sd, -)"
+  expected4="$(result_of "$("$lmc" examples/intpipe.lime --run IntPipe.run \
+      --ints "$ints4" --placement cpu --quiet)")"
+  spawn_lmdev
+  "$lmc" examples/intpipe.lime --run IntPipe.run --ints "$ints4" \
+      --remote="127.0.0.1:$port" --device-batch=1 --telemetry-port=0 \
+      >"$log.out" 2>&1 &
+  local cpid2=$! ctport=""
+  for _ in $(seq 1 500); do
+    ctport="$(sed -n 's/.*telemetry on 127\.0\.0\.1:\([0-9][0-9]*\).*/\1/p' "$log.out")"
+    [[ -n "$ctport" ]] && break
+    sleep 0.02
+  done
+  [[ -n "$ctport" ]] || { echo "FAIL($label): lmc never printed its telemetry endpoint"; cat "$log.out"; exit 1; }
+  kill -STOP "$pid" 2>/dev/null || true
+  "$bdir/tools/lmtop" "127.0.0.1:$ctport" --check \
+      || { echo "FAIL($label): lmc exposition failed the grammar check"; cat "$log.out"; exit 1; }
+  kill -CONT "$pid" 2>/dev/null || true
+  wait "$cpid2" || { echo "FAIL($label): lmc with --telemetry-port exited nonzero"; cat "$log.out"; exit 1; }
+  kill "$pid" 2>/dev/null || true; wait "$pid" 2>/dev/null || true
+  got="$(result_of "$(cat "$log.out")")"
+  [[ "$got" == "$expected4" ]] || { echo "FAIL($label): output diverged with the exporter live"; cat "$log.out"; exit 1; }
+  echo "ok: runtime exporter scrape mid-run"
   rm -f "$log" "$log.out"
 }
 

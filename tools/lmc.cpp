@@ -49,6 +49,8 @@
 #include <sstream>
 
 #include "net/attach.h"
+#include "net/client.h"
+#include "net/telemetry_http.h"
 #include "obs/trace.h"
 #include "runtime/liquid_runtime.h"
 #include "runtime/repository.h"
@@ -66,7 +68,8 @@ int usage() {
                "           [--trace=<file.json>] [--metrics]\n"
                "           [--report[=json]] [--resub] [--flight=<file.json>|none]\n"
                "           [--analyze[=json]] [--strict]\n"
-               "           [--remote=host:port[,host:port..]] [--device-batch=N]\n";
+               "           [--remote=host:port[,host:port..]] [--device-batch=N]\n"
+               "           [--telemetry-port=N]\n";
   return 2;
 }
 
@@ -102,6 +105,7 @@ int main(int argc, char** argv) {
   bool strict = false;
   std::vector<std::string> remote_endpoints;
   size_t device_batch = 0;  // 0 → RuntimeConfig default
+  int telemetry_port = -1;  // <0 → exporter off; 0 → ephemeral port
 
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
@@ -169,6 +173,8 @@ int main(int argc, char** argv) {
       }
     } else if (a.rfind("--device-batch=", 0) == 0) {
       device_batch = static_cast<size_t>(std::stoul(a.substr(15)));
+    } else if (a.rfind("--telemetry-port=", 0) == 0) {
+      telemetry_port = static_cast<int>(std::stoul(a.substr(17)));
     } else if (!a.empty() && a[0] == '-') {
       std::cerr << "lmc: unknown flag " << a << "\n";
       return usage();
@@ -312,8 +318,9 @@ int main(int argc, char** argv) {
   if (device_batch > 0) rc.device_batch = device_batch;
   runtime::LiquidRuntime rt(*program, rc);
 
+  net::AttachResult att;
   if (!remote_endpoints.empty()) {
-    net::AttachResult att = net::attach_remote_devices(rt, *program);
+    att = net::attach_remote_devices(rt, *program);
     for (const auto& err : att.errors) {
       std::cerr << "lmc: warning: remote " << err << " (continuing local)\n";
     }
@@ -325,6 +332,36 @@ int main(int argc, char** argv) {
       }
       std::cout << "\n";
     }
+  }
+
+  // Live telemetry exporter: runtime counters + live FIFO/task gauges +
+  // one collector and health component per attached remote session.
+  // Declared after `rt`/`att` so the exporter thread stops before anything
+  // it scrapes is torn down.
+  obs::TelemetryHub hub;
+  std::unique_ptr<net::TelemetryServer> telemetry;
+  if (telemetry_port >= 0) {
+    hub.add_metrics(&rt.metrics());
+    hub.add_collector([&rt](std::vector<obs::GaugeSample>& out) {
+      rt.collect_telemetry(out);
+    });
+    for (const auto& session : att.sessions) {
+      hub.add_collector([session](std::vector<obs::GaugeSample>& out) {
+        session->collect_telemetry(out);
+      });
+      hub.add_health([session](std::vector<obs::HealthComponent>& out) {
+        bool up = session->alive();
+        out.push_back({"remote:" + session->endpoint(), up,
+                       up ? "" : "endpoint down"});
+      });
+    }
+    net::TelemetryServer::Options topts;
+    topts.port = static_cast<uint16_t>(telemetry_port);
+    telemetry = std::make_unique<net::TelemetryServer>(hub, topts);
+    telemetry->start();
+    // Printed and flushed even under --quiet: the harness contract for
+    // parsing an ephemeral port, same as lmdev's endpoint line.
+    std::cout << "# telemetry on " << telemetry->endpoint() << std::endl;
   }
 
   std::unique_ptr<obs::TraceRecorder> recorder;

@@ -9,6 +9,10 @@
 //   lmdev program.lime --fail-after N  crash (drop every connection) after
 //                                      serving N batches — fault-injection
 //                                      hook for the fallback soak tests
+//   lmdev program.lime --telemetry-port N
+//                                      also serve /metrics, /healthz and
+//                                      /flight over HTTP on that port
+//                                      (0 = ephemeral; line printed flushed)
 //
 // The client must have compiled the *same* program: the hello exchange
 // compares FNV-1a fingerprints over the CPU-artifact manifests and refuses
@@ -22,6 +26,7 @@
 #include <thread>
 
 #include "net/server.h"
+#include "net/telemetry_http.h"
 #include "runtime/liquid_compiler.h"
 
 namespace {
@@ -32,7 +37,7 @@ void on_signal(int) { g_stop.store(true); }
 
 int usage() {
   std::cerr << "usage: lmdev <file.lime> [--port N] [--no-gpu] [--no-fpga]\n"
-               "             [--fail-after N] [--quiet]\n";
+               "             [--fail-after N] [--telemetry-port N] [--quiet]\n";
   return 2;
 }
 
@@ -45,6 +50,7 @@ int main(int argc, char** argv) {
   net::DeviceServer::Options sopts;
   runtime::CompileOptions copts;
   bool quiet = false;
+  int telemetry_port = -1;  // <0 → exporter off; 0 → ephemeral port
 
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
@@ -59,6 +65,10 @@ int main(int argc, char** argv) {
       sopts.port = static_cast<uint16_t>(std::stoul(next("--port")));
     } else if (a == "--fail-after") {
       sopts.fail_after = std::stoull(next("--fail-after"));
+    } else if (a == "--telemetry-port") {
+      telemetry_port = static_cast<int>(std::stoul(next("--telemetry-port")));
+    } else if (a.rfind("--telemetry-port=", 0) == 0) {
+      telemetry_port = static_cast<int>(std::stoul(a.substr(17)));
     } else if (a == "--no-gpu") {
       copts.enable_gpu = false;
     } else if (a == "--no-fpga") {
@@ -95,6 +105,30 @@ int main(int argc, char** argv) {
     // under --quiet so a parent process can parse the ephemeral port.
     std::cout << "lmdev: serving " << server.artifact_count()
               << " artifact(s) on " << server.endpoint() << std::endl;
+
+    // Telemetry exporter: the server's own registry plus its live gauges
+    // (active connections, execute percentiles); health goes degraded once
+    // a --fail-after crash fires.
+    obs::TelemetryHub hub;
+    std::unique_ptr<net::TelemetryServer> telemetry;
+    if (telemetry_port >= 0) {
+      hub.add_metrics(&server.metrics());
+      hub.add_collector([&server](std::vector<obs::GaugeSample>& out) {
+        server.collect_telemetry(out);
+      });
+      hub.add_health([&server](std::vector<obs::HealthComponent>& out) {
+        bool up = !server.crashed();
+        out.push_back(
+            {"device_server", up, up ? "" : "crashed (fail-after)"});
+      });
+      net::TelemetryServer::Options topts;
+      topts.port = static_cast<uint16_t>(telemetry_port);
+      telemetry = std::make_unique<net::TelemetryServer>(hub, topts);
+      telemetry->start();
+      // Flushed even under --quiet: harness contract for ephemeral ports.
+      std::cout << "lmdev: telemetry on " << telemetry->endpoint()
+                << std::endl;
+    }
     if (!quiet) {
       std::cout << "lmdev: program fingerprint " << std::hex
                 << server.fingerprint() << std::dec << "\n";

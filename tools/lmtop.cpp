@@ -1,0 +1,325 @@
+// lmtop — live telemetry viewer for Liquid Metal processes.
+//
+// Polls the /metrics endpoint a runtime (`lmc --telemetry-port=N`) or a
+// device server (`lmdev --telemetry-port N`) exports and renders a plain
+// text dashboard: per-task throughput and in-flight batches, FIFO depths,
+// remote-session health (RTT, reconnects, clock offset), and the headline
+// counters. No curses, no curl — a scrape is one HTTP/1.0 GET.
+//
+//   lmtop host:port                poll every second, redraw
+//   lmtop host:port --interval=250 poll every 250 ms
+//   lmtop host:port --once         one scrape, one render, exit
+//   lmtop host:port --raw          dump the exposition text verbatim
+//   lmtop host:port --check        scrape once, validate the Prometheus
+//                                  exposition grammar; exit 1 on malformed
+//                                  output or an unreachable endpoint
+//
+// --check is the machine mode: tools/check.sh points it at the live
+// endpoints at 10 Hz during the loopback soaks, so a regression that
+// breaks the exposition format (or wedges the exporter) fails CI.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "net/client.h"
+#include "net/telemetry_http.h"
+#include "obs/telemetry.h"
+
+namespace {
+
+using namespace lm;
+
+int usage() {
+  std::cerr << "usage: lmtop <host:port> [--interval=ms] [--once] [--raw]\n"
+               "             [--check]\n";
+  return 2;
+}
+
+struct Sample {
+  std::string name;
+  std::map<std::string, std::string> labels;
+  double value = 0;
+};
+
+/// Parses the exposition subset we emit: comments skipped, then
+/// `name{k="v",..} value`. Escapes in label values are unwound. Assumes
+/// the body already passed (or will be passed through) the validator —
+/// this is a renderer, not a second grammar check.
+std::vector<Sample> parse_metrics(const std::string& body) {
+  std::vector<Sample> out;
+  std::istringstream is(body);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    Sample s;
+    size_t i = 0;
+    while (i < line.size() && line[i] != '{' && line[i] != ' ') ++i;
+    s.name = line.substr(0, i);
+    if (i < line.size() && line[i] == '{') {
+      ++i;
+      while (i < line.size() && line[i] != '}') {
+        size_t eq = line.find('=', i);
+        if (eq == std::string::npos) break;
+        std::string key = line.substr(i, eq - i);
+        i = eq + 1;
+        if (i >= line.size() || line[i] != '"') break;
+        ++i;
+        std::string val;
+        while (i < line.size() && line[i] != '"') {
+          if (line[i] == '\\' && i + 1 < line.size()) {
+            ++i;
+            if (line[i] == 'n') val += '\n';
+            else val += line[i];
+          } else {
+            val += line[i];
+          }
+          ++i;
+        }
+        if (i < line.size()) ++i;  // closing quote
+        s.labels[key] = val;
+        if (i < line.size() && line[i] == ',') ++i;
+      }
+      if (i < line.size()) ++i;  // closing brace
+    }
+    while (i < line.size() && line[i] == ' ') ++i;
+    if (i >= line.size()) continue;
+    s.value = std::strtod(line.c_str() + i, nullptr);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+double find_value(const std::vector<Sample>& ms, const std::string& name,
+                  const std::map<std::string, std::string>& labels,
+                  bool* found = nullptr) {
+  for (const Sample& s : ms) {
+    if (s.name != name) continue;
+    bool match = true;
+    for (const auto& [k, v] : labels) {
+      auto it = s.labels.find(k);
+      if (it == s.labels.end() || it->second != v) {
+        match = false;
+        break;
+      }
+    }
+    if (match) {
+      if (found) *found = true;
+      return s.value;
+    }
+  }
+  if (found) *found = false;
+  return 0;
+}
+
+std::string fmt(double v) {
+  char buf[32];
+  if (v == static_cast<double>(static_cast<long long>(v)) && v < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f", v);
+  }
+  return buf;
+}
+
+/// One dashboard frame from a parsed scrape. `prev`/`dt_s` feed the
+/// throughput column (delta elements over the poll interval).
+void render(const std::string& endpoint, const std::string& health,
+            const std::vector<Sample>& ms, const std::vector<Sample>& prev,
+            double dt_s) {
+  std::ostringstream os;
+  os << "lmtop — " << endpoint << "   health: " << health << "\n\n";
+
+  // Tasks: every (task, device) pair seen in the task.* gauge family.
+  std::vector<std::pair<std::string, std::string>> tasks;
+  for (const Sample& s : ms) {
+    if (s.name != "lm_task_batches") continue;
+    auto t = s.labels.find("task");
+    auto d = s.labels.find("device");
+    if (t == s.labels.end() || d == s.labels.end()) continue;
+    tasks.emplace_back(t->second, d->second);
+  }
+  std::sort(tasks.begin(), tasks.end());
+  if (!tasks.empty()) {
+    os << "  task                     device              batches   "
+          "elements    elem/s  inflight  us/elem\n";
+    for (const auto& [task, dev] : tasks) {
+      std::map<std::string, std::string> l = {{"task", task},
+                                              {"device", dev}};
+      double elems = find_value(ms, "lm_task_elements", l);
+      double rate = 0;
+      if (dt_s > 0) {
+        bool had = false;
+        double before = find_value(prev, "lm_task_elements", l, &had);
+        if (had && elems >= before) rate = (elems - before) / dt_s;
+      }
+      char row[256];
+      std::snprintf(row, sizeof(row),
+                    "  %-24s %-18s %8s %10s %9s %9s %8s\n", task.c_str(),
+                    dev.c_str(),
+                    fmt(find_value(ms, "lm_task_batches", l)).c_str(),
+                    fmt(elems).c_str(), fmt(rate).c_str(),
+                    fmt(find_value(ms, "lm_task_in_flight", l)).c_str(),
+                    fmt(find_value(ms, "lm_task_ewma_us_per_elem", l))
+                        .c_str());
+      os << row;
+    }
+    os << "\n";
+  }
+
+  // FIFOs: depth/capacity per (graph, queue).
+  bool any_fifo = false;
+  for (const Sample& s : ms) {
+    if (s.name != "lm_fifo_depth") continue;
+    if (!any_fifo) {
+      os << "  fifo            depth / capacity\n";
+      any_fifo = true;
+    }
+    auto g = s.labels.find("graph");
+    auto q = s.labels.find("queue");
+    std::string id = "g" + (g != s.labels.end() ? g->second : "?") + ".q" +
+                     (q != s.labels.end() ? q->second : "?");
+    double cap = find_value(ms, "lm_fifo_capacity", s.labels);
+    char row[128];
+    std::snprintf(row, sizeof(row), "  %-14s %6s / %s\n", id.c_str(),
+                  fmt(s.value).c_str(), fmt(cap).c_str());
+    os << row;
+  }
+  if (any_fifo) os << "\n";
+
+  // Remote sessions: one row per endpoint label on remote.alive.
+  bool any_remote = false;
+  for (const Sample& s : ms) {
+    if (s.name != "lm_remote_alive") continue;
+    if (!any_remote) {
+      os << "  remote               state     rtt_us  reconnects  "
+            "clock_off_us\n";
+      any_remote = true;
+    }
+    auto ep = s.labels.find("endpoint");
+    std::string where = ep != s.labels.end() ? ep->second : "?";
+    char row[192];
+    std::snprintf(
+        row, sizeof(row), "  %-20s %-8s %9s %11s %13s\n", where.c_str(),
+        s.value > 0 ? "up" : "DOWN",
+        fmt(find_value(ms, "lm_remote_rtt_ewma_us", s.labels)).c_str(),
+        fmt(find_value(ms, "lm_remote_reconnects", s.labels)).c_str(),
+        fmt(find_value(ms, "lm_remote_clock_offset_us", s.labels)).c_str());
+    os << row;
+  }
+  if (any_remote) os << "\n";
+
+  // Headline counters, when present.
+  os << "  counters:";
+  for (const char* name :
+       {"lm_runtime_elements_streamed_total", "lm_net_requests_total",
+        "lm_server_requests_total", "lm_trace_dropped_events_total",
+        "lm_net_heartbeat_misses_total"}) {
+    bool found = false;
+    double v = find_value(ms, name, {}, &found);
+    if (found) os << "  " << name << "=" << fmt(v);
+  }
+  os << "\n";
+  std::cout << os.str();
+  std::cout.flush();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string endpoint;
+  int interval_ms = 1000;
+  bool once = false, raw = false, check = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--interval=", 0) == 0) {
+      interval_ms = std::max(10, std::atoi(a.c_str() + 11));
+    } else if (a == "--once") {
+      once = true;
+    } else if (a == "--raw") {
+      raw = true;
+    } else if (a == "--check") {
+      check = true;
+    } else if (!a.empty() && a[0] == '-') {
+      std::cerr << "lmtop: unknown flag " << a << "\n";
+      return usage();
+    } else {
+      endpoint = a;
+    }
+  }
+  if (endpoint.empty()) return usage();
+
+  std::string host;
+  uint16_t port = 0;
+  try {
+    net::parse_endpoint(endpoint, &host, &port);
+  } catch (const std::exception& e) {
+    std::cerr << "lmtop: " << e.what() << "\n";
+    return 2;
+  }
+
+  if (check) {
+    // Machine mode: one scrape, grammar-checked. Any transport failure,
+    // non-200, or exposition violation is a hard failure — this is what
+    // the CI soak points at a live endpoint.
+    try {
+      std::string body;
+      int status = net::http_get(host, port, "/metrics", &body);
+      if (status != 200) {
+        std::cerr << "lmtop: /metrics returned " << status << "\n";
+        return 1;
+      }
+      std::string err;
+      if (!obs::validate_prometheus_text(body, &err)) {
+        std::cerr << "lmtop: malformed exposition: " << err << "\n";
+        return 1;
+      }
+      std::cout << "ok: " << parse_metrics(body).size() << " sample(s)\n";
+      return 0;
+    } catch (const std::exception& e) {
+      std::cerr << "lmtop: scrape failed: " << e.what() << "\n";
+      return 1;
+    }
+  }
+
+  const bool tty = ::isatty(STDOUT_FILENO) != 0;
+  std::vector<Sample> prev;
+  auto prev_t = std::chrono::steady_clock::now();
+  bool first = true;
+  for (;;) {
+    std::string body, health = "unreachable";
+    std::vector<Sample> ms;
+    try {
+      int status = net::http_get(host, port, "/metrics", &body);
+      if (status == 200) ms = parse_metrics(body);
+      std::string hbody;
+      int hstatus = net::http_get(host, port, "/healthz", &hbody);
+      health = hstatus == 200 ? "ok" : "degraded (503)";
+    } catch (const std::exception& e) {
+      health = std::string("unreachable (") + e.what() + ")";
+    }
+    if (raw) {
+      std::cout << body;
+      if (once) return 0;
+    } else {
+      auto now = std::chrono::steady_clock::now();
+      double dt_s =
+          first ? 0 : std::chrono::duration<double>(now - prev_t).count();
+      if (tty && !once) std::cout << "\033[H\033[2J";
+      render(endpoint, health, ms, prev, dt_s);
+      if (!tty && !once) std::cout << "---\n";
+      prev = std::move(ms);
+      prev_t = now;
+      first = false;
+      if (once) return 0;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+}
