@@ -1,10 +1,11 @@
 // E6 — pipeline parallelism (§2.2) and scheduler ablations:
 //
-//   * throughput vs pipeline depth (1–3 filters) under thread-per-task
+//   * throughput vs pipeline depth (1–3 filters) under threaded executor
 //     scheduling vs inline execution,
 //   * FIFO capacity sweep (backpressure cost),
 //   * fused-segment substitution vs per-filter substitution (the "prefers
-//     a larger substitution" design choice of §4.2, ablated).
+//     a larger substitution" design choice of §4.2, ablated),
+//   * E10: executor worker-pool scaling at 1/2/4/8 workers.
 #include <benchmark/benchmark.h>
 
 #include <fstream>
@@ -183,6 +184,36 @@ void print_summary() {
                 "+trace %.1f%%, +resub(adaptive) %.1f%%\n",
                 base * 1e3, (traced / base - 1.0) * 100.0,
                 (resub / base - 1.0) * 100.0);
+  }
+
+  // E10 — executor worker scaling: the same depth-3 pipeline over worker
+  // pools of 1/2/4/8 threads (cpu-only so the measurement isolates the
+  // event-driven executor, not device offload). A linear pipeline has at
+  // most `depth+2` runnable tasks, so throughput should saturate once the
+  // pool covers the pipeline width; more workers must not cost anything.
+  {
+    auto cp = runtime::compile(pipeline_source(3));
+    auto args = make_input(n);
+    std::printf("\n=== E10: executor worker scaling (depth=3, n = %zu) ===\n",
+                n);
+    lm::bench::Table wt({"workers", "wall (ms)", "p50 (ms)", "p99 (ms)"});
+    for (size_t w : {1, 2, 4, 8}) {
+      runtime::RuntimeConfig rc;
+      rc.placement = runtime::Placement::kCpuOnly;
+      rc.worker_threads = w;
+      lm::bench::SampleStats st = lm::bench::time_stats([&] {
+        runtime::LiquidRuntime rt(*cp, rc);
+        rt.call("Pipe.run", args);
+      });
+      json.add("workers=" + std::to_string(w),
+               {{"wall_ms", st.best_s * 1e3},
+                {"p50_ms", st.p50_s * 1e3},
+                {"p99_ms", st.p99_s * 1e3},
+                {"reps", static_cast<double>(st.reps)}});
+      wt.row({std::to_string(w), lm::bench::fmt(st.best_s * 1e3),
+              lm::bench::fmt(st.p50_s * 1e3), lm::bench::fmt(st.p99_s * 1e3)});
+    }
+    wt.print();
   }
 
   const char* json_file = "BENCH_pipeline.json";

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "net/poll_loop.h"
 #include "obs/flight_recorder.h"
 #include "obs/trace.h"
 #include "util/byte_buffer.h"
@@ -73,9 +74,21 @@ RemoteSession::RemoteSession(std::string host, uint16_t port,
 }
 
 RemoteSession::~RemoteSession() {
+  // Stop the poll loop first: it dials and marks the session down through
+  // machinery the rest of the teardown dismantles.
+  {
+    std::lock_guard<std::mutex> lock(poll_mu_);
+    poll_loop_.reset();
+  }
   stop_heartbeat_.store(true, std::memory_order_release);
   hb_cv_.notify_all();
   if (heartbeat_.joinable()) heartbeat_.join();
+}
+
+PollLoop* RemoteSession::ensure_poll_loop() {
+  std::lock_guard<std::mutex> lock(poll_mu_);
+  if (!poll_loop_) poll_loop_ = std::make_unique<PollLoop>(*this);
+  return poll_loop_.get();
 }
 
 Socket RemoteSession::dial(Deadline deadline) {
@@ -290,6 +303,65 @@ std::vector<uint8_t> RemoteSession::process(const std::string& task_id,
   throw TransportError("request to " + endpoint_ + " failed after " +
                        std::to_string(attempts) + " attempt(s): " +
                        last_error);
+}
+
+std::shared_ptr<PendingRpc> RemoteSession::process_async(
+    const std::string& task_id, runtime::DeviceKind device,
+    std::span<const uint8_t> batch, std::function<void()> on_done) {
+  auto rpc = std::make_shared<PendingRpc>();
+  if (down_.load(std::memory_order_acquire)) {
+    // Fast-fail like process(), but through the pending handle so the
+    // caller's completion path is the same as for in-flight failures.
+    if (c_failures_) c_failures_->add();
+    rpc->error = std::make_exception_ptr(
+        TransportError(endpoint_ + " is down (heartbeat)"));
+    on_done();
+    return rpc;
+  }
+  if (c_requests_) c_requests_->add();
+  ProcessRequest p;
+  p.task_id = task_id;
+  p.device = device;
+  p.batch.assign(batch.begin(), batch.end());
+
+  auto op = std::make_unique<PollLoop::Op>();
+  op->request.type = FrameType::kProcess;
+  op->request.request_id =
+      next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  if (obs::TraceRecorder* rec = obs::TraceRecorder::current()) {
+    op->request.trace_id = rec->trace_id();
+  }
+  op->request.payload = encode_process(p);
+  op->encoded = encode_frame(op->request);
+  op->attempts_left = 1 + std::max(0, opts_.max_retries);
+  op->done = [rpc, cb = std::move(on_done)](
+                 std::exception_ptr err, Frame reply,
+                 std::chrono::steady_clock::time_point t0,
+                 std::chrono::steady_clock::time_point t1) {
+    rpc->error = err;
+    rpc->reply = std::move(reply);
+    rpc->t0 = t0;
+    rpc->t1 = t1;
+    cb();
+  };
+  ensure_poll_loop()->submit(std::move(op));
+  return rpc;
+}
+
+std::vector<uint8_t> RemoteSession::take(PendingRpc& rpc,
+                                         ExchangeInfo* info) {
+  if (rpc.error) std::rethrow_exception(rpc.error);
+  if (rpc.reply.type != FrameType::kProcessOk) {
+    if (c_failures_) c_failures_->add();
+    throw RemoteError(endpoint_ + ": " + error_message(rpc.reply));
+  }
+  note_success(
+      std::chrono::duration<double, std::micro>(rpc.t1 - rpc.t0).count());
+  // Telemetry is handled here — on the worker that collects the batch —
+  // rather than on the poll thread, so span import sees the worker's
+  // installed TraceRecorder just like the blocking path.
+  handle_reply_telemetry(rpc.reply, rpc.t0, rpc.t1, info);
+  return std::move(rpc.reply.payload);
 }
 
 std::vector<std::vector<uint8_t>> RemoteSession::process_pipelined(

@@ -25,6 +25,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -47,6 +48,19 @@ namespace lm::net {
 class RemoteError : public TransportError {
  public:
   explicit RemoteError(const std::string& what) : TransportError(what) {}
+};
+
+class PollLoop;
+
+/// A pending asynchronous exchange (RemoteSession::process_async). The
+/// poll thread fills the fields and then fires the submission's on_done
+/// callback exactly once; afterwards any thread ordered after that
+/// callback resolves the exchange with RemoteSession::take().
+struct PendingRpc {
+  std::exception_ptr error;  // set on transport failure, else null
+  Frame reply;
+  std::chrono::steady_clock::time_point t0{};  // write start
+  std::chrono::steady_clock::time_point t1{};  // reply arrival
 };
 
 struct SessionOptions {
@@ -100,6 +114,23 @@ class RemoteSession {
                                std::span<const uint8_t> batch,
                                ExchangeInfo* info = nullptr);
 
+  /// Asynchronous process(): encodes the request, hands it to the
+  /// session's poll loop (started lazily) and returns immediately.
+  /// `on_done` fires exactly once — from the poll thread on completion,
+  /// or inline when the endpoint is already marked down — after which
+  /// take() resolves the exchange. Transport failures never throw from
+  /// here; they surface from take() so callers keep one fallback path.
+  std::shared_ptr<PendingRpc> process_async(const std::string& task_id,
+                                            runtime::DeviceKind device,
+                                            std::span<const uint8_t> batch,
+                                            std::function<void()> on_done);
+
+  /// Resolves a completed async exchange: rethrows its transport failure,
+  /// or validates the reply and feeds RTT/clock/telemetry exactly like
+  /// process(), returning the packed output batch. Only call after the
+  /// exchange's on_done has fired (and with ordering to that callback).
+  std::vector<uint8_t> take(PendingRpc& rpc, ExchangeInfo* info = nullptr);
+
   /// Pipelined variant: all requests are written down one connection
   /// before any reply is read (request ids sequence them). Used by the RPC
   /// bench to measure what batching buys over lock-step request/response.
@@ -133,6 +164,12 @@ class RemoteSession {
   void collect_telemetry(std::vector<obs::GaugeSample>& out) const;
 
  private:
+  /// The poll loop drives async exchanges with the session's dial,
+  /// failure-marking and metrics machinery.
+  friend class PollLoop;
+
+  /// Starts the poll thread on first use (idempotent).
+  PollLoop* ensure_poll_loop();
   /// Borrows a connection: pooled if available, freshly dialed otherwise.
   Socket acquire(Deadline deadline);
   void release(Socket s);
@@ -172,6 +209,9 @@ class RemoteSession {
   mutable std::mutex pool_mu_;
   std::vector<Socket> pool_;
   bool ever_connected_ = false;
+
+  std::mutex poll_mu_;
+  std::unique_ptr<PollLoop> poll_loop_;
 
   mutable std::mutex rtt_mu_;
   double rtt_ewma_us_ = 0;

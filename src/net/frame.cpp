@@ -1,5 +1,7 @@
 #include "net/frame.h"
 
+#include <cstring>
+
 #include "util/byte_buffer.h"
 
 namespace lm::net {
@@ -25,7 +27,7 @@ size_t wire_size(const Frame& f) {
   return n;
 }
 
-void write_frame(Socket& s, const Frame& f, Deadline deadline) {
+std::vector<uint8_t> encode_frame(const Frame& f) {
   if (f.payload.size() > kMaxPayload) {
     throw TransportError("frame payload too large: " +
                          std::to_string(f.payload.size()) + " bytes");
@@ -47,7 +49,11 @@ void write_frame(Socket& s, const Frame& f, Deadline deadline) {
     w.u32(static_cast<uint32_t>(f.aux.size()));
     w.raw(f.aux.data(), f.aux.size());
   }
-  s.send_all(w.bytes(), deadline);
+  return w.take();
+}
+
+void write_frame(Socket& s, const Frame& f, Deadline deadline) {
+  s.send_all(encode_frame(f), deadline);
 }
 
 Frame read_frame(Socket& s, Deadline deadline) {
@@ -90,6 +96,72 @@ Frame read_frame(Socket& s, Deadline deadline) {
     }
     f.aux.resize(aux_len);
     s.recv_all(f.aux, deadline);
+  }
+  return f;
+}
+
+void FrameParser::feed(const uint8_t* data, size_t n) {
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+void FrameParser::reset() {
+  buf_.clear();
+  pos_ = 0;
+}
+
+std::optional<Frame> FrameParser::next() {
+  size_t avail = buf_.size() - pos_;
+  if (avail < kFrameHeaderSize) return std::nullopt;
+  ByteReader r(std::span<const uint8_t>(buf_.data() + pos_, avail));
+  uint32_t magic = r.u32();
+  if (magic != kFrameMagic) {
+    throw TransportError("bad frame magic (not an lmdev peer?)");
+  }
+  uint8_t version = r.u8();
+  if (version != kProtocolVersion) {
+    throw TransportError("protocol version mismatch: peer speaks v" +
+                         std::to_string(version) + ", this build v" +
+                         std::to_string(kProtocolVersion));
+  }
+  Frame f;
+  f.type = static_cast<FrameType>(r.u8());
+  uint16_t flags = r.u16();
+  if ((flags & ~kFlagAuxTelemetry) != 0) {
+    throw TransportError("unknown frame flags");
+  }
+  f.request_id = r.u64();
+  f.trace_id = r.u64();
+  uint32_t len = r.u32();
+  if (len > kMaxPayload) {
+    throw TransportError("frame payload too large: " + std::to_string(len) +
+                         " bytes");
+  }
+  // Lengths are validated before being waited on, so a corrupt prefix is
+  // rejected here instead of stalling the parser on bytes that never come.
+  size_t need = kFrameHeaderSize + len;
+  uint32_t aux_len = 0;
+  if (flags & kFlagAuxTelemetry) {
+    if (avail < need + 4) return std::nullopt;
+    std::memcpy(&aux_len, buf_.data() + pos_ + need, 4);
+    if (aux_len > kMaxAux) {
+      throw TransportError("frame aux block too large: " +
+                           std::to_string(aux_len) + " bytes");
+    }
+    need += 4 + aux_len;
+  }
+  if (avail < need) return std::nullopt;
+  const uint8_t* body = buf_.data() + pos_ + kFrameHeaderSize;
+  f.payload.assign(body, body + len);
+  if (aux_len > 0) {
+    const uint8_t* aux = body + len + 4;
+    f.aux.assign(aux, aux + aux_len);
+  }
+  pos_ += need;
+  // Compact once the consumed prefix dominates, keeping the buffer from
+  // growing without bound across a long-lived pipelined connection.
+  if (pos_ > 4096 && pos_ * 2 >= buf_.size()) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<ptrdiff_t>(pos_));
+    pos_ = 0;
   }
   return f;
 }

@@ -29,6 +29,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "net/socket.h"
@@ -80,11 +81,33 @@ struct Frame {
 /// Bytes this frame occupies on the wire (header + payload + aux framing).
 size_t wire_size(const Frame& f);
 
+/// Serializes one frame to its wire bytes (the buffer write_frame sends).
+/// Throws TransportError when payload/aux exceed the protocol caps.
+std::vector<uint8_t> encode_frame(const Frame& f);
+
 /// Sends one frame (header + payload [+ aux]) before `deadline`.
 void write_frame(Socket& s, const Frame& f, Deadline deadline);
 
 /// Receives one frame, validating magic/version/flags/lengths. Throws
 /// TransportError on timeout, EOF, or a malformed header.
 Frame read_frame(Socket& s, Deadline deadline);
+
+/// Incremental frame decoder for nonblocking transports. feed() raw bytes
+/// as they arrive off the socket; next() yields completed frames, applying
+/// exactly read_frame's validation. A malformed stream throws
+/// TransportError from next() — the connection must then be discarded
+/// (there is no way to resynchronize a byte stream).
+class FrameParser {
+ public:
+  void feed(const uint8_t* data, size_t n);
+  /// The next complete frame, or nullopt until more bytes arrive.
+  std::optional<Frame> next();
+  /// Drops buffered bytes (a fresh connection starts mid-stream clean).
+  void reset();
+
+ private:
+  std::vector<uint8_t> buf_;
+  size_t pos_ = 0;  // consumed prefix of buf_, compacted opportunistically
+};
 
 }  // namespace lm::net

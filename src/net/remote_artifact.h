@@ -16,6 +16,8 @@
 
 namespace lm::net {
 
+class RemoteAsyncBatch;
+
 class RemoteArtifact final : public runtime::Artifact {
  public:
   /// `manifest.device` is the *remote* device kind; param/return types are
@@ -25,6 +27,14 @@ class RemoteArtifact final : public runtime::Artifact {
                  std::shared_ptr<RemoteSession> session);
 
   std::vector<bc::Value> process(std::span<const bc::Value> inputs) override;
+
+  /// The async path: the batch is packed here (on the issuing worker) and
+  /// handed to the session's poll loop; decoding and telemetry accounting
+  /// run in take_results() on whichever worker collects the batch.
+  bool supports_async() const override { return true; }
+  std::unique_ptr<runtime::AsyncBatch> process_async(
+      std::span<const bc::Value> inputs,
+      std::function<void()> on_done) override;
 
   bool is_remote() const override { return true; }
   std::string location() const override { return session_->endpoint(); }
@@ -42,6 +52,11 @@ class RemoteArtifact final : public runtime::Artifact {
   }
 
  private:
+  friend class RemoteAsyncBatch;
+  /// take_results() body: resolves the exchange, records transfer and
+  /// server-time stats, unpacks the reply, emits the deferred rpc span.
+  std::vector<bc::Value> resolve_async(RemoteAsyncBatch& batch);
+
   std::shared_ptr<RemoteSession> session_;
   obs::LatencyHistogram server_exec_;
 };

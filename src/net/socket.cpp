@@ -151,6 +151,38 @@ size_t Socket::recv_some(std::span<uint8_t> out, Deadline deadline) {
   }
 }
 
+void Socket::set_nonblocking() {
+  int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK) != 0) {
+    fail("fcntl(O_NONBLOCK)");
+  }
+}
+
+size_t Socket::send_nb(std::span<const uint8_t> data) {
+  if (data.empty()) return 0;
+  for (;;) {
+    ssize_t n = ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n >= 0) return static_cast<size_t>(n);
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+    if (errno != EINTR) fail("send");
+  }
+}
+
+size_t Socket::recv_nb(std::span<uint8_t> out, bool* eof) {
+  *eof = false;
+  if (out.empty()) return 0;
+  for (;;) {
+    ssize_t n = ::recv(fd_, out.data(), out.size(), 0);
+    if (n > 0) return static_cast<size_t>(n);
+    if (n == 0) {
+      *eof = true;
+      return 0;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+    if (errno != EINTR) fail("recv");
+  }
+}
+
 void Socket::shutdown_both() {
   if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
 }

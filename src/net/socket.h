@@ -58,6 +58,22 @@ class Socket {
   /// contract cannot apply.
   size_t recv_some(std::span<uint8_t> out, Deadline deadline);
 
+  // -- nonblocking mode (the poll-loop transport, net/poll_loop.h) --
+
+  /// Switches the descriptor to O_NONBLOCK. The blocking helpers above
+  /// must not be used afterwards; pair with send_nb/recv_nb.
+  void set_nonblocking();
+
+  /// Nonblocking send: returns how many bytes the kernel accepted — 0 when
+  /// the socket buffer is full (would block). Throws TransportError on a
+  /// hard error (peer reset, ...); MSG_NOSIGNAL, never SIGPIPE.
+  size_t send_nb(std::span<const uint8_t> data);
+
+  /// Nonblocking recv: returns bytes read — 0 when nothing is buffered
+  /// (would block) — and sets *eof on a clean peer close. Throws
+  /// TransportError on a hard error.
+  size_t recv_nb(std::span<uint8_t> out, bool* eof);
+
   /// Half-closes both directions (wakes a peer blocked in recv) without
   /// releasing the descriptor. Safe to call from another thread while a
   /// recv is in flight — the basis of DeviceServer::abrupt_stop().

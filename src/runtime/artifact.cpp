@@ -24,6 +24,12 @@ const char* to_string(DeviceKind k) {
   return "?";
 }
 
+std::unique_ptr<AsyncBatch> Artifact::process_async(
+    std::span<const bc::Value> /*inputs*/, std::function<void()> /*on_done*/) {
+  throw RuntimeError("artifact " + manifest_.task_id +
+                     " does not support asynchronous batches");
+}
+
 std::string ArtifactManifest::to_string() const {
   std::ostringstream os;
   os << "artifact " << task_id << " [" << lm::runtime::to_string(device)

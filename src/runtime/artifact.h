@@ -14,6 +14,7 @@
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
@@ -62,6 +63,19 @@ struct TransferStats {
   std::atomic<uint64_t> bytes_from_device{0};
 };
 
+/// An in-flight asynchronous batch (remote artifacts only): issued with
+/// Artifact::process_async, resolved with take_results() once the
+/// completion callback has fired. Decoding — and any transport error — is
+/// deferred to take_results() so it happens on an executor worker, never
+/// on the I/O thread that delivered the reply.
+class AsyncBatch {
+ public:
+  virtual ~AsyncBatch() = default;
+  /// Call only after the completion callback fired. Returns the decoded
+  /// outputs or rethrows the failure (TransportError, RemoteError, ...).
+  virtual std::vector<bc::Value> take_results() = 0;
+};
+
 class Artifact {
  public:
   virtual ~Artifact() = default;
@@ -72,6 +86,18 @@ class Artifact {
   /// outputs, in order.
   virtual std::vector<bc::Value> process(
       std::span<const bc::Value> inputs) = 0;
+
+  /// True when this artifact can overlap a batch with other work via
+  /// process_async (remote proxies backed by the nonblocking poll loop).
+  virtual bool supports_async() const { return false; }
+
+  /// Starts a batch without blocking. `on_done` fires exactly once, from
+  /// an arbitrary thread, when the result (or failure) is available; the
+  /// caller then resolves it with AsyncBatch::take_results(). `inputs`
+  /// must stay alive until take_results() returns. Artifacts that report
+  /// supports_async() must override this; the default refuses.
+  virtual std::unique_ptr<AsyncBatch> process_async(
+      std::span<const bc::Value> inputs, std::function<void()> on_done);
 
   /// True when process() crosses a socket (src/net/ proxies). The runtime
   /// uses this to attach a local fallback artifact at substitution time.

@@ -1,0 +1,235 @@
+#include "runtime/executor.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace lm::runtime {
+
+namespace {
+/// Identifies the worker thread (and its executor) for queue routing.
+thread_local Executor* tls_exec = nullptr;
+thread_local size_t tls_worker = 0;
+}  // namespace
+
+Executor::Executor(const Options& opts)
+    : seed_(opts.seed),
+      n_workers_(opts.seed != 0 ? 0
+                 : opts.workers != 0
+                     ? opts.workers
+                     : std::max<size_t>(1, std::thread::hardware_concurrency())),
+      rng_(opts.seed) {
+  if (opts.metrics) {
+    c_steps_ = &opts.metrics->counter("executor.steps");
+    c_wakeups_ = &opts.metrics->counter("executor.wakeups");
+    c_parks_ = &opts.metrics->counter("executor.parks");
+    c_steals_ = &opts.metrics->counter("executor.steals");
+  }
+  local_.resize(n_workers_);
+  threads_.reserve(n_workers_);
+  for (size_t i = 0; i < n_workers_; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+Executor::~Executor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void Executor::submit(ExecTask* t) {
+  t->exec_.store(this, std::memory_order_release);
+  wake(t);
+}
+
+void Executor::wake(ExecTask* t) {
+  for (;;) {
+    int s = t->state_.load(std::memory_order_acquire);
+    switch (s) {
+      case ExecTask::kIdle: {
+        int expected = ExecTask::kIdle;
+        if (t->state_.compare_exchange_weak(expected, ExecTask::kQueued,
+                                            std::memory_order_acq_rel)) {
+          // Attach before enqueueing: a FIFO waker can legitimately wake a
+          // task its graph has wired but not yet submit()ted, and the
+          // worker that dequeues it may call task->executor() immediately.
+          t->exec_.store(this, std::memory_order_release);
+          if (c_wakeups_) c_wakeups_->add();
+          n_wakeups_.fetch_add(1, std::memory_order_relaxed);
+          enqueue(t);
+          return;
+        }
+        break;  // raced; re-read
+      }
+      case ExecTask::kRunning: {
+        int expected = ExecTask::kRunning;
+        if (t->state_.compare_exchange_weak(expected, ExecTask::kNotified,
+                                            std::memory_order_acq_rel)) {
+          return;  // the worker will re-enqueue instead of parking
+        }
+        break;
+      }
+      case ExecTask::kQueued:
+      case ExecTask::kNotified:
+      case ExecTask::kDoneState:
+        return;  // already scheduled (or finished) — wake is level-triggered
+      default:
+        return;
+    }
+  }
+}
+
+void Executor::enqueue(ExecTask* t) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (tls_exec == this && tls_worker < local_.size()) {
+      local_[tls_worker].push_back(t);
+    } else {
+      inject_.push_back(t);
+    }
+  }
+  cv_.notify_one();
+}
+
+void Executor::note_external_begin() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++external_pending_;
+}
+
+void Executor::note_external_end() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --external_pending_;
+  }
+  // drive() may be waiting to re-evaluate its deadlock verdict.
+  cv_.notify_all();
+}
+
+void Executor::run_task(ExecTask* t) {
+  t->state_.store(ExecTask::kRunning, std::memory_order_release);
+  ExecTask::StepResult r = t->step();
+  if (c_steps_) c_steps_->add();
+  n_steps_.fetch_add(1, std::memory_order_relaxed);
+  switch (r) {
+    case ExecTask::StepResult::kReady:
+      // A concurrent wake may have set kNotified; both mean "requeue".
+      t->state_.store(ExecTask::kQueued, std::memory_order_release);
+      enqueue(t);
+      break;
+    case ExecTask::StepResult::kBlocked: {
+      int expected = ExecTask::kRunning;
+      if (t->state_.compare_exchange_strong(expected, ExecTask::kIdle,
+                                            std::memory_order_acq_rel)) {
+        if (c_parks_) c_parks_->add();
+        n_parks_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        // kNotified: a wake raced the park decision — do not lose it.
+        t->state_.store(ExecTask::kQueued, std::memory_order_release);
+        enqueue(t);
+      }
+      break;
+    }
+    case ExecTask::StepResult::kDone:
+      t->state_.store(ExecTask::kDoneState, std::memory_order_release);
+      t->retired();  // must be the executor's last touch of the task
+      break;
+  }
+}
+
+ExecTask* Executor::dequeue_locked(size_t idx) {
+  if (!local_[idx].empty()) {
+    ExecTask* t = local_[idx].front();
+    local_[idx].pop_front();
+    return t;
+  }
+  if (!inject_.empty()) {
+    ExecTask* t = inject_.front();
+    inject_.pop_front();
+    return t;
+  }
+  // Steal from a sibling's tail (the coldest work it has).
+  for (size_t off = 1; off < local_.size(); ++off) {
+    size_t victim = (idx + off) % local_.size();
+    if (!local_[victim].empty()) {
+      ExecTask* t = local_[victim].back();
+      local_[victim].pop_back();
+      if (c_steals_) c_steals_->add();
+      n_steals_.fetch_add(1, std::memory_order_relaxed);
+      return t;
+    }
+  }
+  return nullptr;
+}
+
+void Executor::worker_loop(size_t idx) {
+  tls_exec = this;
+  tls_worker = idx;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    ExecTask* t = dequeue_locked(idx);
+    if (!t) {
+      if (stop_) break;
+      cv_.wait(lock);
+      continue;
+    }
+    lock.unlock();
+    run_task(t);
+    lock.lock();
+  }
+  tls_exec = nullptr;
+}
+
+void Executor::drive(const std::function<bool()>& done) {
+  LM_CHECK_MSG(deterministic(), "drive() is for seeded deterministic mode");
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!done()) {
+    if (inject_.empty()) {
+      if (external_pending_ == 0) {
+        throw RuntimeError(
+            "deterministic executor stalled: every task is parked, nothing "
+            "external is pending, and the graph is not done (deadlock)");
+      }
+      // A completion callback will wake somebody; sleep until it does.
+      cv_.wait(lock,
+               [&] { return !inject_.empty() || external_pending_ == 0; });
+      continue;
+    }
+    size_t i = rng_.next_below(inject_.size());
+    ExecTask* t = inject_[i];
+    inject_.erase(inject_.begin() + static_cast<long>(i));
+    lock.unlock();
+    run_task(t);
+    lock.lock();
+  }
+}
+
+Executor::Stats Executor::stats() const {
+  Stats s;
+  s.steps = n_steps_.load(std::memory_order_relaxed);
+  s.wakeups = n_wakeups_.load(std::memory_order_relaxed);
+  s.parks = n_parks_.load(std::memory_order_relaxed);
+  s.steals = n_steals_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Executor::collect_telemetry(std::vector<obs::GaugeSample>& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  out.emplace_back(
+      "executor.queue_depth", static_cast<double>(inject_.size()),
+      std::vector<std::pair<std::string, std::string>>{{"worker", "inject"}});
+  for (size_t i = 0; i < local_.size(); ++i) {
+    out.emplace_back("executor.queue_depth",
+                     static_cast<double>(local_[i].size()),
+                     std::vector<std::pair<std::string, std::string>>{
+                         {"worker", std::to_string(i)}});
+  }
+  out.emplace_back(
+      "executor.workers", static_cast<double>(n_workers_),
+      std::vector<std::pair<std::string, std::string>>{});
+}
+
+}  // namespace lm::runtime

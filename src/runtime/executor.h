@@ -1,0 +1,187 @@
+// Event-driven executor: a fixed worker pool pulling batch-granular task
+// steps from a ready queue (ROADMAP item 2 — the StarPU-shaped runtime
+// core that replaces thread-per-task scheduling).
+//
+// Tasks are cooperative state machines: step() runs one bounded slice of
+// work using only *nonblocking* operations and reports whether the task
+// can continue (kReady), must wait for an external event (kBlocked), or is
+// finished (kDone). Readiness events — a FIFO becoming nonempty, a remote
+// reply arriving — call wake(), which re-queues a parked task. N programs
+// × M tasks therefore multiplex over a constant number of OS threads, and
+// an in-flight RPC parks a continuation instead of a thread.
+//
+// The lost-wakeup problem (task decides to park while a wake races in) is
+// solved with a small per-task state machine:
+//
+//   kIdle ──wake──▶ kQueued ──dequeue──▶ kRunning ──step()═kBlocked──▶ kIdle
+//                                          │  ▲
+//                                   wake   ▼  │ step()═kReady
+//                                       kNotified ─▶ kQueued (re-enqueued)
+//
+// wake() is idempotent and level-triggered: on a parked task it enqueues;
+// on a running task it sets kNotified so the worker re-enqueues instead of
+// parking. A waker may therefore fire spuriously or concurrently with the
+// task's own step — the protocol absorbs both. The only obligation on the
+// task is to return kBlocked *only after* a failed nonblocking attempt on
+// the resource it waits for (the attempt happens under the resource's
+// lock, so the resource's next state change fires the waker).
+//
+// Two scheduling modes share the task protocol:
+//
+//   * threaded (default): `workers` OS threads, each with a local ready
+//     deque plus one shared injection queue; idle workers steal from
+//     siblings. Wakes from a worker land on its local queue (locality);
+//     wakes from outside (completion callbacks, submitting thread) land on
+//     the injection queue.
+//
+//   * deterministic (seed != 0): no OS threads at all. Ready tasks
+//     accumulate in one ordered list; drive() repeatedly picks the next
+//     task with a seeded SplitMix64 and steps it to quiescence. The same
+//     seed replays the same interleaving, turning schedule-dependent bugs
+//     into reproducible unit tests. A stall with no external work pending
+//     is reported as a deadlock instead of hanging.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "util/rng.h"
+
+namespace lm::runtime {
+
+class Executor;
+
+/// A schedulable unit of work. Owned by its graph; the executor holds raw
+/// pointers, which stay valid because a graph is only destroyed after all
+/// of its tasks retired (the graph's completion latch).
+class ExecTask {
+ public:
+  enum class StepResult {
+    kReady,    // made progress, wants another step (re-enqueued)
+    kBlocked,  // must wait for a wake() from a readiness event
+    kDone,     // finished; never stepped again
+  };
+
+  virtual ~ExecTask() = default;
+
+  /// One bounded slice of work. Must not block on locks held across
+  /// steps or on I/O — use try-operations and return kBlocked.
+  virtual StepResult step() = 0;
+
+  /// Called exactly once, after the kDone step, as the executor's last
+  /// touch of the task. Typically decrements the graph's completion latch.
+  virtual void retired() {}
+
+  /// The executor this task was submitted to (nullptr before submit()).
+  /// Tasks use it to wake themselves from completion callbacks and to
+  /// bracket external (off-executor) work.
+  Executor* executor() const { return exec_.load(std::memory_order_acquire); }
+
+ private:
+  friend class Executor;
+  enum State : int { kIdle, kQueued, kRunning, kNotified, kDoneState };
+  std::atomic<int> state_{kIdle};
+  std::atomic<Executor*> exec_{nullptr};
+};
+
+class Executor {
+ public:
+  struct Options {
+    /// Worker threads; 0 → std::thread::hardware_concurrency().
+    size_t workers = 0;
+    /// Nonzero → deterministic virtual-scheduler mode: no OS threads,
+    /// drive() serializes all task steps with this seed.
+    uint64_t seed = 0;
+    /// Optional instrumentation sink (steps/parks/wakeups/steals counters).
+    obs::MetricsRegistry* metrics = nullptr;
+  };
+
+  explicit Executor(const Options& opts);
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  bool deterministic() const { return seed_ != 0; }
+  size_t workers() const { return n_workers_; }
+  uint64_t seed() const { return seed_; }
+
+  /// First schedule of a task: records the owning executor, then wakes it.
+  void submit(ExecTask* t);
+
+  /// Readiness event: enqueue a parked task, or flag a running one for
+  /// re-enqueue. Idempotent; safe from any thread, including completion
+  /// callbacks and the task's own step().
+  void wake(ExecTask* t);
+
+  /// Brackets work in flight *outside* the executor (an async RPC whose
+  /// completion will wake a task). Deterministic drive() distinguishes
+  /// "everything parked but a reply is coming" (wait) from "everything
+  /// parked and nothing can wake us" (deadlock) with this counter. The
+  /// matching note_external_end() must be called *after* the wake it
+  /// delivers, so the counter covers the whole wait window.
+  void note_external_begin();
+  void note_external_end();
+
+  /// Deterministic mode only: steps seeded-random ready tasks until
+  /// `done()` returns true. Throws RuntimeError when every task is parked,
+  /// nothing external is pending and `done()` still fails — a deadlock
+  /// that would otherwise hang forever. Reentrant calls are not allowed
+  /// (single-threaded by construction).
+  void drive(const std::function<bool()>& done);
+
+  struct Stats {
+    uint64_t steps = 0;
+    uint64_t wakeups = 0;
+    uint64_t parks = 0;
+    uint64_t steals = 0;
+  };
+  Stats stats() const;
+
+  /// Appends per-worker ready-queue depth gauges (plus the shared
+  /// injection queue as worker="inject") for the telemetry plane.
+  void collect_telemetry(std::vector<obs::GaugeSample>& out) const;
+
+ private:
+  void worker_loop(size_t idx);
+  /// mu_ must be held. Returns the next task for worker `idx`: local
+  /// queue first, then the injection queue, then steal from a sibling.
+  ExecTask* dequeue_locked(size_t idx);
+  /// Routes a ready task to the calling worker's local queue (when the
+  /// caller is one of our workers) or the injection queue.
+  void enqueue(ExecTask* t);
+  /// Runs one step of a dequeued task and applies the state protocol.
+  void run_task(ExecTask* t);
+
+  const uint64_t seed_;
+  const size_t n_workers_;
+  obs::MetricsRegistry::Counter* c_steps_ = nullptr;
+  obs::MetricsRegistry::Counter* c_wakeups_ = nullptr;
+  obs::MetricsRegistry::Counter* c_parks_ = nullptr;
+  obs::MetricsRegistry::Counter* c_steals_ = nullptr;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  /// Shared injection queue (all modes; the only queue in deterministic
+  /// mode, where insertion order + seeded picks define the schedule).
+  std::deque<ExecTask*> inject_;
+  /// Per-worker local deques (threaded mode).
+  std::vector<std::deque<ExecTask*>> local_;
+  std::vector<std::thread> threads_;
+  size_t external_pending_ = 0;
+  SplitMix64 rng_;
+
+  // Fallback tallies when no metrics registry was supplied.
+  std::atomic<uint64_t> n_steps_{0}, n_wakeups_{0}, n_parks_{0}, n_steals_{0};
+};
+
+}  // namespace lm::runtime

@@ -5,8 +5,12 @@
 //  * TaskGraphHost — receives task creation/connect/start/finish ops while
 //    the Lime program runs, builds the runtime graph of task objects (§4.1),
 //    performs task substitution against the artifact store (§4.2), then
-//    schedules a thread per task with FIFO connections, marshaling data to
-//    device artifacts as needed (§4.3).
+//    schedules the tasks over the shared event-driven executor with FIFO
+//    connections, marshaling data to device artifacts as needed (§4.3).
+//    Tasks are cooperative state machines multiplexed over a fixed worker
+//    pool (see runtime/executor.h) — N graphs × M tasks share O(workers)
+//    OS threads, and FIFO readiness events wake parked tasks instead of
+//    unblocking dedicated threads.
 //
 //  * AccelHooks — offered every map/reduce; when the store holds a GPU
 //    kernel for the method and the placement policy allows it, the whole
@@ -33,6 +37,8 @@
 
 namespace lm::runtime {
 
+class Executor;
+
 /// Manual direction of placement (§4.2).
 enum class Placement {
   kAuto,      // prefer larger, prefer accelerators (the paper's default)
@@ -55,6 +61,16 @@ struct RuntimeConfig {
   size_t device_batch = 4096;
   /// false → single-threaded inline execution (debugging / determinism).
   bool use_threads = true;
+  /// Executor worker threads shared by all graphs this runtime executes.
+  /// 0 → hardware concurrency. Fixed at the first executed graph (the
+  /// worker pool is created lazily and lives for the runtime's lifetime).
+  size_t worker_threads = 0;
+  /// Nonzero → deterministic virtual-scheduler mode: zero worker threads,
+  /// every task step serialized on the finishing thread in an order drawn
+  /// from this seed. The same seed replays the same interleaving, making
+  /// schedule-dependent bugs reproducible. Graphs execute inside finish()
+  /// (or at handle destruction) instead of concurrently with start().
+  uint64_t scheduler_seed = 0;
   /// false → maps/reduces always interpret (isolates pipeline effects).
   bool accelerate_maps = true;
   /// false → never substitute fused segment artifacts, only per-filter ones
@@ -250,8 +266,12 @@ class LiquidRuntime : public bc::TaskGraphHost, public bc::AccelHooks {
   /// The kAdaptive policy: profiles candidates on a stream prefix.
   void substitute_adaptive(RtGraph& g);
   void execute(RtGraph& g);
-  void run_threaded(RtGraph& g);
+  /// Builds the graph's task objects, wires FIFO wakers and submits
+  /// everything to the shared executor (replaces thread-per-task).
+  void run_executor(RtGraph& g);
   void run_inline(RtGraph& g);
+  /// The lazily created executor shared by every graph this runtime runs.
+  std::shared_ptr<Executor> ensure_executor();
   /// Joins, drains FIFO/marshaling observability, rethrows graph errors.
   void finalize_graph(RtGraph& g);
   /// Appends to the decision log and emits a substitution-decision trace
@@ -270,6 +290,14 @@ class LiquidRuntime : public bc::TaskGraphHost, public bc::AccelHooks {
   class DeviceRun;  // per-device-node batch driver (cost model + resub)
   friend class DeviceRun;
 
+  // Executor task types, one per node kind (liquid_runtime.cpp). Nested so
+  // they reach the runtime's private counters and DeviceRun.
+  class NodeTask;
+  class SourceTask;
+  class SinkTask;
+  class FilterTask;
+  class DeviceTask;
+
   CompiledProgram& program_;
   RuntimeConfig config_;
   bc::Interpreter interp_;
@@ -285,6 +313,11 @@ class LiquidRuntime : public bc::TaskGraphHost, public bc::AccelHooks {
   /// graph, but two graphs may substitute concurrently).
   std::vector<std::unique_ptr<Artifact>> fallback_chains_;
   std::unique_ptr<HotCounters> hot_;  // cached instrument pointers
+  /// Shared worker pool (runtime/executor.h), created at the first
+  /// executed graph. shared_ptr: running graphs co-own it so a graph
+  /// handle outliving the runtime still drains safely.
+  mutable std::mutex exec_mu_;
+  std::shared_ptr<Executor> executor_;
   mutable std::mutex subs_mu_;
   std::vector<SubstitutionRecord> substitutions_;
   std::vector<ResubstitutionRecord> resubstitutions_;

@@ -264,6 +264,105 @@ TEST(Fifo, CloseWhileManyBlocked) {
   EXPECT_FALSE(empty_q.pop().has_value());
 }
 
+TEST(FifoShutdown, CloseDiscardsQueuedValues) {
+  // Regression: close() used to leave buffered values poppable, so a
+  // consumer at shutdown could observe data from a producer that had
+  // already been torn down — or block forever waiting for the rest of a
+  // stream that would never come. Closed means dead, immediately.
+  ValueFifo q(4);
+  q.push(Value::i32(1));
+  q.push(Value::i32(2));
+  q.close();
+  EXPECT_FALSE(q.pop().has_value());
+  Value v;
+  EXPECT_EQ(q.try_pop(&v), FifoSignal::kShutdown);
+  std::vector<Value> batch;
+  EXPECT_EQ(q.try_pop_batch(8, &batch), FifoSignal::kShutdown);
+  EXPECT_TRUE(batch.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(FifoShutdown, ConsumerBlockedAtShutdownNeverHangs) {
+  // A consumer already parked in a blocking pop when close() arrives must
+  // observe the shutdown (nullopt), not data and not a hang. A hang here
+  // trips the per-test ctest timeout.
+  ValueFifo q(4);
+  std::atomic<bool> observed_shutdown{false};
+  std::thread consumer([&] {
+    observed_shutdown.store(!q.pop().has_value());
+  });
+  // Let the consumer reach the wait with high probability, then close.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  consumer.join();
+  EXPECT_TRUE(observed_shutdown.load());
+}
+
+TEST(FifoShutdown, CloseAfterFinishStillDiscardsBufferedTail) {
+  // finish() promises the buffered values will be delivered; a later
+  // close() (error unwind) revokes that promise — the error path must win.
+  ValueFifo q(4);
+  q.push(Value::i32(7));
+  q.finish();
+  q.close();
+  EXPECT_FALSE(q.pop().has_value());
+  Value v;
+  EXPECT_EQ(q.try_pop(&v), FifoSignal::kShutdown);
+}
+
+TEST(Fifo, TryApiSignalsAndBackpressure) {
+  ValueFifo q(2);
+  Value v = Value::i32(10);
+  EXPECT_EQ(q.try_push(v), FifoSignal::kOk);
+  v = Value::i32(11);
+  EXPECT_EQ(q.try_push(v), FifoSignal::kOk);
+  v = Value::i32(12);
+  EXPECT_EQ(q.try_push(v), FifoSignal::kWouldBlock);  // full; v not consumed
+  EXPECT_EQ(v.as_i32(), 12);
+
+  Value got;
+  EXPECT_EQ(q.try_pop(&got), FifoSignal::kOk);
+  EXPECT_EQ(got.as_i32(), 10);
+  EXPECT_EQ(q.try_push(v), FifoSignal::kOk);  // space again
+
+  std::vector<Value> batch;
+  EXPECT_EQ(q.try_pop_batch(8, &batch), FifoSignal::kOk);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].as_i32(), 11);
+  EXPECT_EQ(batch[1].as_i32(), 12);
+
+  EXPECT_EQ(q.try_pop(&got), FifoSignal::kWouldBlock);  // empty, open
+  q.finish();
+  EXPECT_EQ(q.try_pop(&got), FifoSignal::kEndOfStream);
+}
+
+TEST(Fifo, WakersFireOnEdgesOnly) {
+  ValueFifo q(2);
+  int consumer_wakes = 0;
+  int producer_wakes = 0;
+  q.set_consumer_waker([&] { ++consumer_wakes; });
+  q.set_producer_waker([&] { ++producer_wakes; });
+
+  Value v = Value::i32(0);
+  EXPECT_EQ(q.try_push(v), FifoSignal::kOk);  // empty→nonempty edge
+  EXPECT_EQ(consumer_wakes, 1);
+  v = Value::i32(1);
+  EXPECT_EQ(q.try_push(v), FifoSignal::kOk);  // still nonempty: no edge
+  EXPECT_EQ(consumer_wakes, 1);
+
+  Value got;
+  EXPECT_EQ(q.try_pop(&got), FifoSignal::kOk);  // full→not-full edge
+  EXPECT_EQ(producer_wakes, 1);
+  EXPECT_EQ(q.try_pop(&got), FifoSignal::kOk);  // was not full: no edge
+  EXPECT_EQ(producer_wakes, 1);
+
+  q.finish();  // end-of-stream is a consumer readiness event
+  EXPECT_EQ(consumer_wakes, 2);
+  q.close();  // shutdown wakes both sides
+  EXPECT_EQ(consumer_wakes, 3);
+  EXPECT_EQ(producer_wakes, 2);
+}
+
 /// The FIFO occupancy metric surfaced by the runtime must agree with what
 /// the FIFOs themselves observed: a tiny capacity forces the high-water
 /// mark to exactly that capacity on a long stream.

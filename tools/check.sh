@@ -16,7 +16,12 @@
 #      fails the gate; an endpoint dying mid-soak (fail-after, kill -9)
 #      is expected and tolerated. A final pass scrapes lmc's own runtime
 #      exporter (--telemetry-port) mid-run.
-#   5. `lmc --analyze --strict` over every shipped .lime example — the
+#   5. executor soak — a thousand task graphs multiplexed over a fixed
+#      worker pool (thread count must stay O(workers), results exact),
+#      run standalone in the plain build and again under TSan so the
+#      executor's work-stealing and wake-up paths are race-checked at
+#      full load.
+#   6. `lmc --analyze --strict` over every shipped .lime example — the
 #      static analyzer must report zero warnings/errors on them.
 #
 # Usage: tools/check.sh [--quick]
@@ -190,6 +195,13 @@ fi
 soak build plain 4096
 if [[ "$QUICK" == 0 ]]; then
   soak build-tsan tsan 512
+fi
+
+step "executor soak: 1000 graphs over a fixed worker pool (plain)"
+build/tests/executor_test --gtest_filter='ExecutorSoak.*'
+if [[ "$QUICK" == 0 ]]; then
+  step "executor soak: 1000 graphs over a fixed worker pool (tsan)"
+  build-tsan/tests/executor_test --gtest_filter='ExecutorSoak.*'
 fi
 
 step "static analysis over shipped examples (lmc --analyze --strict)"

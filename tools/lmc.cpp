@@ -69,7 +69,7 @@ int usage() {
                "           [--report[=json]] [--resub] [--flight=<file.json>|none]\n"
                "           [--analyze[=json]] [--strict]\n"
                "           [--remote=host:port[,host:port..]] [--device-batch=N]\n"
-               "           [--telemetry-port=N]\n";
+               "           [--telemetry-port=N] [--workers=N] [--sched-seed=S]\n";
   return 2;
 }
 
@@ -106,6 +106,8 @@ int main(int argc, char** argv) {
   std::vector<std::string> remote_endpoints;
   size_t device_batch = 0;  // 0 → RuntimeConfig default
   int telemetry_port = -1;  // <0 → exporter off; 0 → ephemeral port
+  size_t workers = 0;       // 0 → hardware concurrency
+  uint64_t sched_seed = 0;  // 0 → threaded; nonzero → deterministic replay
 
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
@@ -175,6 +177,10 @@ int main(int argc, char** argv) {
       device_batch = static_cast<size_t>(std::stoul(a.substr(15)));
     } else if (a.rfind("--telemetry-port=", 0) == 0) {
       telemetry_port = static_cast<int>(std::stoul(a.substr(17)));
+    } else if (a.rfind("--workers=", 0) == 0) {
+      workers = static_cast<size_t>(std::stoul(a.substr(10)));
+    } else if (a.rfind("--sched-seed=", 0) == 0) {
+      sched_seed = std::stoull(a.substr(13));
     } else if (!a.empty() && a[0] == '-') {
       std::cerr << "lmc: unknown flag " << a << "\n";
       return usage();
@@ -316,6 +322,8 @@ int main(int argc, char** argv) {
   rc.flight_dump_path = flight_path;
   rc.remote_endpoints = remote_endpoints;
   if (device_batch > 0) rc.device_batch = device_batch;
+  rc.worker_threads = workers;
+  rc.scheduler_seed = sched_seed;
   runtime::LiquidRuntime rt(*program, rc);
 
   net::AttachResult att;
