@@ -8,11 +8,13 @@
 //   * E10: executor worker-pool scaling at 1/2/4/8 workers.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <fstream>
 
 #include "bench/bench_util.h"
 #include "obs/trace.h"
 #include "runtime/liquid_runtime.h"
+#include "util/output_path.h"
 #include "workloads/workloads.h"
 
 namespace {
@@ -151,25 +153,37 @@ void print_summary() {
 
   // Observability overhead ablation (depth=3, fused GPU, threaded): the
   // flight-recorder + cost-model record path is always on and included in
-  // the baseline; the rows below add an installed trace recorder and the
-  // mid-run re-substitution check on top.
+  // the baseline; the rows below add an installed trace recorder (with
+  // attribution bookkeeping off, then on — the *in-run* cost of
+  // `lmc --explain`; the analysis itself is deferred to the first
+  // consumer and measured separately below) and the mid-run
+  // re-substitution check on top.
   {
     auto cp = runtime::compile(pipeline_source(3));
     auto args = make_input(n);
-    auto timed = [&](const char* label, bool trace, bool resub) {
+    auto timed = [&](const char* label, bool trace, bool attribution,
+                     bool resub) {
       runtime::RuntimeConfig rc;
       rc.placement = runtime::Placement::kGpuOnly;
+      rc.attribution = attribution;
       if (resub) {
         rc.placement = runtime::Placement::kAdaptive;
         rc.enable_resubstitution = true;
       }
-      obs::TraceRecorder recorder;
-      if (trace) recorder.install();
+      // Fresh recorder per rep: the attribution pass walks the recorder's
+      // event snapshot at graph finalization, so reusing one recorder
+      // across reps would charge rep k for k runs' worth of events — an
+      // artifact of the harness, not of `lmc --explain` (one run, one
+      // recorder).
       lm::bench::SampleStats st = lm::bench::time_stats([&] {
-        runtime::LiquidRuntime rt(*cp, rc);
-        rt.call("Pipe.run", args);
+        obs::TraceRecorder recorder;
+        if (trace) recorder.install();
+        {
+          runtime::LiquidRuntime rt(*cp, rc);
+          rt.call("Pipe.run", args);
+        }
+        if (trace) recorder.uninstall();
       });
-      if (trace) recorder.uninstall();
       json.add(std::string("overhead/") + label,
                {{"wall_ms", st.best_s * 1e3},
                 {"p50_ms", st.p50_s * 1e3},
@@ -177,13 +191,41 @@ void print_summary() {
                 {"reps", static_cast<double>(st.reps)}});
       return st.best_s;
     };
-    double base = timed("baseline", false, false);
-    double traced = timed("trace-installed", true, false);
-    double resub = timed("resub-enabled", false, true);
+    double base = timed("baseline", false, false, false);
+    double traced = timed("trace-installed", true, false, false);
+    double explained = timed("explain", true, true, false);
+    double resub = timed("resub-enabled", false, false, true);
+    json.add("overhead/explain-vs-trace",
+             {{"overhead_pct", (explained / traced - 1.0) * 100.0}});
     std::printf("observability overhead (depth=3 gpu): baseline %.3f ms, "
-                "+trace %.1f%%, +resub(adaptive) %.1f%%\n",
+                "+trace %.1f%%, +explain %.1f%% (%.1f%% over trace), "
+                "+resub(adaptive) %.1f%%\n",
                 base * 1e3, (traced / base - 1.0) * 100.0,
+                (explained / base - 1.0) * 100.0,
+                (explained / traced - 1.0) * 100.0,
                 (resub / base - 1.0) * 100.0);
+
+    // The deferred analysis pass itself — what the first consumer
+    // (`--explain`, report(), a telemetry scrape) pays after the run.
+    {
+      runtime::RuntimeConfig rc;
+      rc.placement = runtime::Placement::kGpuOnly;
+      obs::TraceRecorder recorder;
+      recorder.install();
+      runtime::LiquidRuntime rt(*cp, rc);
+      rt.call("Pipe.run", args);
+      auto t0 = std::chrono::steady_clock::now();
+      auto atts = rt.attributions();
+      double pass_ms = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+      recorder.uninstall();
+      json.add("overhead/attribution-pass",
+               {{"wall_ms", pass_ms},
+                {"graphs", static_cast<double>(atts.size())}});
+      std::printf("attribution pass (deferred, %zu graph(s)): %.3f ms\n",
+                  atts.size(), pass_ms);
+    }
   }
 
   // E10 — executor worker scaling: the same depth-3 pipeline over worker
@@ -216,9 +258,9 @@ void print_summary() {
     wt.print();
   }
 
-  const char* json_file = "BENCH_pipeline.json";
-  if (json.write(json_file)) {
-    std::printf("json: %s\n", json_file);
+  const std::string json_file = util::resolve_output_path("BENCH_pipeline.json");
+  if (json.write(json_file.c_str())) {
+    std::printf("json: %s\n", json_file.c_str());
   }
   std::printf("fusion halves (or better) device batches by keeping the "
               "whole relocated region in one artifact (§4.2: prefer the "
@@ -235,10 +277,11 @@ void print_summary() {
   runtime::LiquidRuntime rt(*cp, rc);
   rt.call("Pipe.run", args);
   recorder.uninstall();
-  const char* trace_file = "bench_pipeline_trace.json";
+  const std::string trace_file =
+      util::resolve_output_path("bench_pipeline_trace.json");
   std::ofstream(trace_file) << recorder.chrome_trace_json();
   std::printf("trace: %zu event(s) -> %s\n", recorder.event_count(),
-              trace_file);
+              trace_file.c_str());
   std::printf("metrics: %s\n", rt.metrics().summary().c_str());
 }
 

@@ -8,6 +8,7 @@
 #include <unistd.h>
 
 #include "net/client.h"
+#include "obs/trace.h"
 
 namespace lm::net {
 
@@ -61,7 +62,15 @@ int PollLoop::poll_timeout_ms() const {
 }
 
 void PollLoop::loop() {
+  // Lazy per-iteration naming (cheap pointer compare): the recorder is
+  // installed per run, after this thread already exists.
+  uint64_t named_trace = 0;
   for (;;) {
+    if (obs::TraceRecorder* rec = obs::TraceRecorder::current();
+        rec && rec->trace_id() != named_trace) {
+      rec->set_thread_name("poll-loop");
+      named_trace = rec->trace_id();
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       while (!incoming_.empty()) {

@@ -1,0 +1,109 @@
+// Critical-path attribution (DESIGN.md §12): explains where the wall-clock
+// time of an executed graph went.
+//
+// analyze_run() walks *backward* from the moment the sink finished. At
+// every instant it asks "what was the critical task doing?" and emits one
+// segment per answer:
+//
+//   running            → "compute:<device>" for time inside a device drain,
+//                        "serde" for device-task time outside drains
+//                        (marshal/unmarshal), "compute:cpu" for interpreter
+//                        tasks; remote drains split into "serde" +
+//                        "rpc-wait" via the nested PR 5 rpc spans;
+//   queued             → "queue-wait" (enqueue→dispatch latency);
+//   parked on a FIFO   → the walk *redirects* to the peer task that owed
+//                        the data (pop → producer, push → consumer) —
+//                        whatever that peer was doing IS the critical
+//                        path; irreducible cycles fall back to
+//                        "fifo-blocked";
+//   parked on an RPC   → "rpc-wait";
+//   uninstrumented gap → "sched" (executor dispatch overhead, teardown).
+//
+// Every backward step consumes a disjoint slice of [t0,t1], so the
+// category totals sum to the wall time by construction — coverage()
+// doubles as a self-consistency check (tools/check.sh gates on it).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/critical_path.h"
+
+namespace lm::obs {
+
+/// The result of attributing one graph run.
+struct Attribution {
+  uint64_t gid = 0;
+  double t0_us = 0;
+  double t1_us = 0;
+  double wall_us = 0;
+
+  /// Wall time per category, sorted descending. Sums to wall_us.
+  struct Category {
+    std::string name;
+    double us = 0;
+  };
+  std::vector<Category> categories;
+
+  /// Critical-path time aggregated per (task, category), sorted descending.
+  struct Contributor {
+    std::string task;
+    std::string category;
+    double us = 0;
+    uint64_t segments = 0;
+  };
+  std::vector<Contributor> critical_path;
+
+  /// The ordered critical-path segments (ascending time). Each endpoint
+  /// derives from a recorded event boundary.
+  struct Segment {
+    std::string task;
+    std::string category;
+    double t0_us = 0;
+    double t1_us = 0;
+  };
+  std::vector<Segment> segments;
+
+  /// Busy time per device (from drain spans), for the utilization table.
+  struct DeviceUse {
+    std::string device;
+    double busy_us = 0;
+  };
+  std::vector<DeviceUse> devices;
+
+  /// Per-edge FIFO pressure, copied from the run.
+  std::vector<EdgeStat> edges;
+
+  /// Timing-free structural view: dispatch/park counts per task in node
+  /// order. Under the deterministic scheduler these counts replay exactly,
+  /// so to_json(/*structural=*/true) is byte-identical across same-seed
+  /// runs even though durations are not.
+  struct TaskShape {
+    std::string task;
+    uint64_t dispatches = 0;
+    uint64_t steps = 0;
+    uint64_t parks_pop = 0;
+    uint64_t parks_push = 0;
+    uint64_t parks_rpc = 0;
+  };
+  std::vector<TaskShape> tasks;
+
+  /// Fraction of wall time the categories explain (≈1.0 by construction).
+  double coverage() const;
+
+  /// Human table: top critical-path contributors, category breakdown,
+  /// per-device utilization, FIFO edge pressure.
+  std::string to_text() const;
+  /// JSON object. structural=true emits only replay-deterministic counts
+  /// (no durations, no gid) — the deterministic-scheduler rendering.
+  std::string to_json(bool structural = false) const;
+};
+
+/// Attributes a single reconstructed run.
+Attribution analyze_run(const GraphRun& run);
+
+/// Convenience: reconstruct + analyze every graph in a trace snapshot.
+std::vector<Attribution> attribute_trace(const std::vector<TraceEvent>& events);
+
+}  // namespace lm::obs

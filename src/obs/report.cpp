@@ -113,6 +113,10 @@ std::string PerfReport::to_text() const {
   out += '\n';
   out += "dropped trace events: " + std::to_string(dropped_trace_events) +
          "\n";
+  for (const Attribution& a : attributions) {
+    out += '\n';
+    out += a.to_text();
+  }
   return out;
 }
 
@@ -179,7 +183,12 @@ std::string PerfReport::to_json() const {
   }
   out += "},";
   out += JsonArgs().add("dropped_trace_events", dropped_trace_events).str();
-  out += '}';
+  out += ",\"attributions\":[";
+  for (size_t i = 0; i < attributions.size(); ++i) {
+    if (i) out += ',';
+    out += attributions[i].to_json();
+  }
+  out += "]}";
   return out;
 }
 

@@ -16,6 +16,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/attribution.h"
+
 namespace lm::obs {
 
 struct PerfReport {
@@ -57,6 +59,9 @@ struct PerfReport {
   std::vector<Resubstitution> resubstitutions;
   std::map<std::string, uint64_t> metrics;
   uint64_t dropped_trace_events = 0;
+  /// Critical-path attributions, one per executor graph run (§12), in run
+  /// order. Populated only when a TraceRecorder was installed for the run.
+  std::vector<Attribution> attributions;
 
   std::string to_text() const;
   std::string to_json() const;

@@ -236,6 +236,12 @@ void TraceRecorder::complete_lane(uint32_t lane_tid, const char* category,
   append_to(*lane_buf, std::move(e));
 }
 
+void TraceRecorder::set_thread_name(std::string name) {
+  Buffer& b = local_buffer();
+  std::lock_guard<std::mutex> lock(b.mu);
+  b.label = std::move(name);
+}
+
 void TraceRecorder::complete(const char* category, std::string name,
                              double ts_us, double dur_us, std::string args) {
   TraceEvent e;
@@ -310,8 +316,13 @@ std::string TraceRecorder::chrome_trace_json() const {
   std::vector<TraceEvent> evs = events();
   std::vector<std::pair<uint32_t, std::string>> lane_names;
   {
+    // Every labeled buffer gets thread_name metadata: imported lanes AND
+    // threads that called set_thread_name (executor workers, poll loop).
     std::lock_guard<std::mutex> lock(mu_);
-    for (const Buffer* b : lanes_) lane_names.emplace_back(b->tid, b->label);
+    for (const auto& b : buffers_) {
+      std::lock_guard<std::mutex> bl(b->mu);
+      if (!b->label.empty()) lane_names.emplace_back(b->tid, b->label);
+    }
   }
   std::string out;
   out.reserve(evs.size() * 96 + 64);

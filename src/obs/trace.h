@@ -126,6 +126,12 @@ class TraceRecorder {
                      std::string name, double ts_us, double dur_us,
                      std::string args = {});
 
+  /// Labels the *calling thread's* buffer so its row renders with a name
+  /// ("worker-3", "poll-loop") instead of a bare tid. Idempotent; safe to
+  /// call repeatedly (workers re-check per dispatch because recorders are
+  /// installed after the pool spins up).
+  void set_thread_name(std::string name);
+
   // -- event emission (thread-safe; appends to the calling thread's buffer)
   void complete(const char* category, std::string name, double ts_us,
                 double dur_us, std::string args = {});

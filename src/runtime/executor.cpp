@@ -1,7 +1,9 @@
 #include "runtime/executor.h"
 
 #include <algorithm>
+#include <chrono>
 
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace lm::runtime {
@@ -10,6 +12,21 @@ namespace {
 /// Identifies the worker thread (and its executor) for queue routing.
 thread_local Executor* tls_exec = nullptr;
 thread_local size_t tls_worker = 0;
+
+const char* reason_name(ExecTask::BlockReason r) {
+  switch (r) {
+    case ExecTask::BlockReason::kPop: return "pop";
+    case ExecTask::BlockReason::kPush: return "push";
+    case ExecTask::BlockReason::kRpc: return "rpc";
+    case ExecTask::BlockReason::kNone: break;
+  }
+  return "none";
+}
+
+int64_t ns_between(std::chrono::steady_clock::time_point a,
+                   std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count();
+}
 }  // namespace
 
 Executor::Executor(const Options& opts)
@@ -58,6 +75,9 @@ void Executor::wake(ExecTask* t) {
           // task its graph has wired but not yet submit()ted, and the
           // worker that dequeues it may call task->executor() immediately.
           t->exec_.store(this, std::memory_order_release);
+          // Winning the CAS makes this thread the only enqueuer until the
+          // next dispatch reads the stamp (under the queue mutex).
+          t->enq_tp_ = std::chrono::steady_clock::now();
           if (c_wakeups_) c_wakeups_->add();
           n_wakeups_.fetch_add(1, std::memory_order_relaxed);
           enqueue(t);
@@ -109,14 +129,72 @@ void Executor::note_external_end() {
   cv_.notify_all();
 }
 
+void Executor::flush_exec_span(ExecTask* t) {
+  t->have_run_ = false;
+  obs::TraceRecorder* rec = obs::TraceRecorder::current();
+  if (!rec) return;
+  const double enq = rec->to_us(t->run_enq_);
+  const double start = rec->to_us(t->run_start_);
+  const double end = rec->to_us(t->last_step_end_tp_);
+  obs::JsonArgs a;
+  a.add("gid", t->gid_).add("node", t->node_);
+  a.add("queue_us", start > enq ? start - enq : 0.0);
+  if (t->run_park_reason_ != ExecTask::BlockReason::kNone &&
+      t->run_park0_.time_since_epoch().count() != 0) {
+    const double park0 = rec->to_us(t->run_park0_);
+    a.add("park_us", enq > park0 ? enq - park0 : 0.0);
+    a.add("reason", reason_name(t->run_park_reason_));
+  }
+  a.add("steps", t->run_steps_);
+  if (t->run_gap_ns_ > 0) a.add("gap_us", static_cast<double>(t->run_gap_ns_) / 1e3);
+  rec->complete("exec", t->trace_label_, start, end > start ? end - start : 0.0,
+                std::move(a).str());
+}
+
 void Executor::run_task(ExecTask* t) {
+  const auto dispatch_tp = std::chrono::steady_clock::now();
+  const int64_t wait_ns = std::max<int64_t>(0, ns_between(t->enq_tp_, dispatch_tp));
+  queue_wait_ns_.fetch_add(static_cast<uint64_t>(wait_ns),
+                           std::memory_order_relaxed);
+  if (!t->trace_label_.empty()) {
+    // Coalesce consecutive dispatches into one "exec" span: a span flushes
+    // when the task actually parked in between (so the park/queue prologue
+    // is attributable) or when the queue gap is long enough to matter. The
+    // gap trigger is wall-clock-dependent, so deterministic replays
+    // (seed != 0) flush only on parks — span *counts* then depend solely
+    // on the schedule and byte-identical structural attribution holds.
+    constexpr int64_t kCoalesceGapNs = 5000;
+    if (t->have_run_ && (t->parked_reason_ != ExecTask::BlockReason::kNone ||
+                         (seed_ == 0 && wait_ns > kCoalesceGapNs))) {
+      flush_exec_span(t);
+    }
+    if (!t->have_run_) {
+      t->have_run_ = true;
+      t->run_park_reason_ = t->parked_reason_;
+      t->run_park0_ = t->last_step_end_tp_;
+      t->run_enq_ = t->enq_tp_;
+      t->run_start_ = dispatch_tp;
+      t->run_steps_ = 0;
+      t->run_gap_ns_ = 0;
+    } else {
+      t->run_gap_ns_ += wait_ns;
+    }
+    ++t->run_steps_;
+  }
   t->state_.store(ExecTask::kRunning, std::memory_order_release);
+  t->block_reason_ = ExecTask::BlockReason::kNone;
   ExecTask::StepResult r = t->step();
   if (c_steps_) c_steps_->add();
   n_steps_.fetch_add(1, std::memory_order_relaxed);
+  t->last_step_end_tp_ = std::chrono::steady_clock::now();
+  t->parked_reason_ = r == ExecTask::StepResult::kBlocked
+                          ? t->block_reason_
+                          : ExecTask::BlockReason::kNone;
+  if (r == ExecTask::StepResult::kDone && t->have_run_) flush_exec_span(t);
   switch (r) {
     case ExecTask::StepResult::kReady:
       // A concurrent wake may have set kNotified; both mean "requeue".
+      t->enq_tp_ = t->last_step_end_tp_;
       t->state_.store(ExecTask::kQueued, std::memory_order_release);
       enqueue(t);
       break;
@@ -128,6 +206,7 @@ void Executor::run_task(ExecTask* t) {
         n_parks_.fetch_add(1, std::memory_order_relaxed);
       } else {
         // kNotified: a wake raced the park decision — do not lose it.
+        t->enq_tp_ = t->last_step_end_tp_;
         t->state_.store(ExecTask::kQueued, std::memory_order_release);
         enqueue(t);
       }
@@ -168,6 +247,9 @@ ExecTask* Executor::dequeue_locked(size_t idx) {
 void Executor::worker_loop(size_t idx) {
   tls_exec = this;
   tls_worker = idx;
+  // Recorders install after the pool spins up, so the thread names itself
+  // lazily: once per recorder, re-checked with one atomic load per dispatch.
+  uint64_t named_trace = 0;
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
     ExecTask* t = dequeue_locked(idx);
@@ -177,6 +259,11 @@ void Executor::worker_loop(size_t idx) {
       continue;
     }
     lock.unlock();
+    if (obs::TraceRecorder* rec = obs::TraceRecorder::current();
+        rec != nullptr && rec->trace_id() != named_trace) {
+      rec->set_thread_name("worker-" + std::to_string(idx));
+      named_trace = rec->trace_id();
+    }
     run_task(t);
     lock.lock();
   }
@@ -213,6 +300,7 @@ Executor::Stats Executor::stats() const {
   s.wakeups = n_wakeups_.load(std::memory_order_relaxed);
   s.parks = n_parks_.load(std::memory_order_relaxed);
   s.steals = n_steals_.load(std::memory_order_relaxed);
+  s.queue_wait_ns = queue_wait_ns_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -229,6 +317,11 @@ void Executor::collect_telemetry(std::vector<obs::GaugeSample>& out) const {
   }
   out.emplace_back(
       "executor.workers", static_cast<double>(n_workers_),
+      std::vector<std::pair<std::string, std::string>>{});
+  out.emplace_back(
+      "executor.queue_wait_us",
+      static_cast<double>(queue_wait_ns_.load(std::memory_order_relaxed)) /
+          1e3,
       std::vector<std::pair<std::string, std::string>>{});
 }
 

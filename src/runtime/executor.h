@@ -43,11 +43,13 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -85,11 +87,56 @@ class ExecTask {
   /// bracket external (off-executor) work.
   Executor* executor() const { return exec_.load(std::memory_order_acquire); }
 
+  /// Why a task is about to return kBlocked. Feeds the park annotation on
+  /// the executor's "exec" trace spans, which is what lets the attribution
+  /// engine redirect blocked time to the peer task that caused it.
+  enum class BlockReason : uint8_t { kNone, kPop, kPush, kRpc };
+
+  /// Gives the task a trace identity: `label` names its span row (e.g.
+  /// "filter:f0"), `gid` is the owning graph's run id, `node` its position
+  /// in the pipeline. Tasks without a label (raw executor tests) emit no
+  /// spans and pay only two clock reads per dispatch. Call before submit().
+  void set_trace_info(std::string label, uint64_t gid, int node) {
+    trace_label_ = std::move(label);
+    gid_ = gid;
+    node_ = node;
+  }
+  const std::string& trace_label() const { return trace_label_; }
+  uint64_t trace_gid() const { return gid_; }
+  int trace_node() const { return node_; }
+
+  /// Declares why step() is about to return kBlocked. Reset by the
+  /// executor before every step; only the last call before parking counts.
+  void set_block_reason(BlockReason r) { block_reason_ = r; }
+
  private:
   friend class Executor;
   enum State : int { kIdle, kQueued, kRunning, kNotified, kDoneState };
   std::atomic<int> state_{kIdle};
   std::atomic<Executor*> exec_{nullptr};
+
+  // Trace identity (empty label = untraced).
+  std::string trace_label_;
+  uint64_t gid_ = 0;
+  int node_ = -1;
+
+  // Dispatch bookkeeping. Not atomic: every field is written either by the
+  // single waker that won the kIdle→kQueued CAS (enq_tp_) or by the worker
+  // currently holding the task, and read at the *next* dispatch — the
+  // state-machine CAS chain plus the queue mutex provide happens-before.
+  BlockReason block_reason_ = BlockReason::kNone;   // set inside step()
+  BlockReason parked_reason_ = BlockReason::kNone;  // reason of last park
+  std::chrono::steady_clock::time_point enq_tp_{};
+  std::chrono::steady_clock::time_point last_step_end_tp_{};
+  // Coalesced "exec" span accumulator: consecutive dispatches with no park
+  // in between merge into one span (see Executor::run_task).
+  bool have_run_ = false;
+  BlockReason run_park_reason_ = BlockReason::kNone;
+  std::chrono::steady_clock::time_point run_park0_{};
+  std::chrono::steady_clock::time_point run_enq_{};
+  std::chrono::steady_clock::time_point run_start_{};
+  uint64_t run_steps_ = 0;
+  int64_t run_gap_ns_ = 0;
 };
 
 class Executor {
@@ -143,6 +190,8 @@ class Executor {
     uint64_t wakeups = 0;
     uint64_t parks = 0;
     uint64_t steals = 0;
+    /// Total enqueue→dispatch latency across all dispatches.
+    uint64_t queue_wait_ns = 0;
   };
   Stats stats() const;
 
@@ -160,6 +209,8 @@ class Executor {
   void enqueue(ExecTask* t);
   /// Runs one step of a dequeued task and applies the state protocol.
   void run_task(ExecTask* t);
+  /// Emits the accumulated coalesced "exec" span for a labeled task.
+  void flush_exec_span(ExecTask* t);
 
   const uint64_t seed_;
   const size_t n_workers_;
@@ -182,6 +233,7 @@ class Executor {
 
   // Fallback tallies when no metrics registry was supplied.
   std::atomic<uint64_t> n_steps_{0}, n_wakeups_{0}, n_parks_{0}, n_steals_{0};
+  std::atomic<uint64_t> queue_wait_ns_{0};
 };
 
 }  // namespace lm::runtime

@@ -25,7 +25,9 @@
 // immediately.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -66,8 +68,13 @@ class ValueFifo {
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (closed_) return FifoSignal::kShutdown;
-      if (q_.size() >= capacity_) return FifoSignal::kWouldBlock;
+      if (q_.size() >= capacity_) {
+        mark_blocked_locked(prod_blocked_since_);
+        return FifoSignal::kWouldBlock;
+      }
+      settle_blocked_locked(prod_blocked_since_, prod_blocked_ns_);
       fire = q_.empty();
+      if (fire) settle_blocked_locked(cons_blocked_since_, cons_blocked_ns_);
       q_.push_back(std::move(v));
       if (q_.size() > high_water_) high_water_ = q_.size();
       not_empty_.notify_one();
@@ -84,9 +91,13 @@ class ValueFifo {
       std::lock_guard<std::mutex> lock(mu_);
       if (closed_) return FifoSignal::kShutdown;
       if (q_.empty()) {
-        return finished_ ? FifoSignal::kEndOfStream : FifoSignal::kWouldBlock;
+        if (finished_) return FifoSignal::kEndOfStream;
+        mark_blocked_locked(cons_blocked_since_);
+        return FifoSignal::kWouldBlock;
       }
+      settle_blocked_locked(cons_blocked_since_, cons_blocked_ns_);
       fire = q_.size() == capacity_;
+      if (fire) settle_blocked_locked(prod_blocked_since_, prod_blocked_ns_);
       *out = std::move(q_.front());
       q_.pop_front();
       not_full_.notify_one();
@@ -104,9 +115,13 @@ class ValueFifo {
       std::lock_guard<std::mutex> lock(mu_);
       if (closed_) return FifoSignal::kShutdown;
       if (q_.empty()) {
-        return finished_ ? FifoSignal::kEndOfStream : FifoSignal::kWouldBlock;
+        if (finished_) return FifoSignal::kEndOfStream;
+        mark_blocked_locked(cons_blocked_since_);
+        return FifoSignal::kWouldBlock;
       }
+      settle_blocked_locked(cons_blocked_since_, cons_blocked_ns_);
       fire = q_.size() == capacity_;
+      if (fire) settle_blocked_locked(prod_blocked_since_, prod_blocked_ns_);
       while (!q_.empty() && max-- > 0) {
         out->push_back(std::move(q_.front()));
         q_.pop_front();
@@ -123,9 +138,14 @@ class ValueFifo {
     bool fire;
     {
       std::unique_lock<std::mutex> lock(mu_);
+      if (q_.size() >= capacity_ && !closed_) {
+        mark_blocked_locked(prod_blocked_since_);
+      }
       not_full_.wait(lock, [&] { return q_.size() < capacity_ || closed_; });
+      settle_blocked_locked(prod_blocked_since_, prod_blocked_ns_);
       if (closed_) return false;
       fire = q_.empty();
+      if (fire) settle_blocked_locked(cons_blocked_since_, cons_blocked_ns_);
       q_.push_back(std::move(v));
       if (q_.size() > high_water_) high_water_ = q_.size();
       not_empty_.notify_one();
@@ -139,6 +159,7 @@ class ValueFifo {
     {
       std::lock_guard<std::mutex> lock(mu_);
       finished_ = true;
+      settle_blocked_locked(cons_blocked_since_, cons_blocked_ns_);
       not_empty_.notify_all();
     }
     if (consumer_waker_) consumer_waker_();
@@ -150,10 +171,15 @@ class ValueFifo {
     bc::Value v;
     {
       std::unique_lock<std::mutex> lock(mu_);
+      if (q_.empty() && !finished_ && !closed_) {
+        mark_blocked_locked(cons_blocked_since_);
+      }
       not_empty_.wait(lock,
                       [&] { return !q_.empty() || finished_ || closed_; });
+      settle_blocked_locked(cons_blocked_since_, cons_blocked_ns_);
       if (closed_ || q_.empty()) return std::nullopt;
       fire = q_.size() == capacity_;
+      if (fire) settle_blocked_locked(prod_blocked_since_, prod_blocked_ns_);
       v = std::move(q_.front());
       q_.pop_front();
       not_full_.notify_one();
@@ -169,10 +195,15 @@ class ValueFifo {
     std::vector<bc::Value> out;
     {
       std::unique_lock<std::mutex> lock(mu_);
+      if (q_.empty() && !finished_ && !closed_) {
+        mark_blocked_locked(cons_blocked_since_);
+      }
       not_empty_.wait(lock,
                       [&] { return !q_.empty() || finished_ || closed_; });
+      settle_blocked_locked(cons_blocked_since_, cons_blocked_ns_);
       if (closed_) return out;
       fire = q_.size() == capacity_;
+      if (fire) settle_blocked_locked(prod_blocked_since_, prod_blocked_ns_);
       while (!q_.empty() && out.size() < max) {
         out.push_back(std::move(q_.front()));
         q_.pop_front();
@@ -191,6 +222,8 @@ class ValueFifo {
     {
       std::lock_guard<std::mutex> lock(mu_);
       closed_ = true;
+      settle_blocked_locked(prod_blocked_since_, prod_blocked_ns_);
+      settle_blocked_locked(cons_blocked_since_, cons_blocked_ns_);
       q_.clear();
       not_full_.notify_all();
       not_empty_.notify_all();
@@ -209,6 +242,20 @@ class ValueFifo {
     return high_water_;
   }
 
+  /// Cumulative time the producer side spent blocked on a full queue (from
+  /// a failed try_push / a blocking push's wait until the not-full edge).
+  /// Includes any in-progress blocked window. Attribution input (§12).
+  double producer_blocked_us() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return blocked_us_locked(prod_blocked_since_, prod_blocked_ns_);
+  }
+  /// Cumulative time the consumer side spent blocked on an empty-but-open
+  /// queue, symmetric to producer_blocked_us().
+  double consumer_blocked_us() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return blocked_us_locked(cons_blocked_since_, cons_blocked_ns_);
+  }
+
   size_t size() const {
     std::lock_guard<std::mutex> lock(mu_);
     return q_.size();
@@ -220,6 +267,31 @@ class ValueFifo {
   }
 
  private:
+  using Clock = std::chrono::steady_clock;
+
+  /// mu_ held. Starts a blocked window unless one is already open.
+  static void mark_blocked_locked(Clock::time_point& since) {
+    if (since == Clock::time_point{}) since = Clock::now();
+  }
+  /// mu_ held. Closes an open blocked window into the accumulator.
+  static void settle_blocked_locked(Clock::time_point& since,
+                                    int64_t& total_ns) {
+    if (since != Clock::time_point{}) {
+      total_ns += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      Clock::now() - since)
+                      .count();
+      since = {};
+    }
+  }
+  static double blocked_us_locked(Clock::time_point since, int64_t total_ns) {
+    if (since != Clock::time_point{}) {
+      total_ns += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      Clock::now() - since)
+                      .count();
+    }
+    return static_cast<double>(total_ns) / 1e3;
+  }
+
   const size_t capacity_;
   mutable std::mutex mu_;
   std::condition_variable not_full_, not_empty_;
@@ -227,6 +299,10 @@ class ValueFifo {
   size_t high_water_ = 0;
   bool finished_ = false;
   bool closed_ = false;
+  Clock::time_point prod_blocked_since_{};
+  Clock::time_point cons_blocked_since_{};
+  int64_t prod_blocked_ns_ = 0;
+  int64_t cons_blocked_ns_ = 0;
   /// Wired before execution, read without the lock afterwards (see
   /// set_consumer_waker).
   std::function<void()> consumer_waker_;

@@ -58,6 +58,11 @@ struct LiquidRuntime::RtGraph {
   bool started = false;
   bool executed = false;
 
+  /// Process-unique run id, assigned when the graph reaches the executor.
+  /// Stamped into every span the run emits (graph.run, exec, drains, fifo
+  /// edges) so the attribution engine can separate concurrent graphs.
+  uint64_t gid = 0;
+
   std::vector<std::shared_ptr<ValueFifo>> fifos;
   /// The graph's executor tasks (one per node). Owned here; the executor
   /// and the FIFO wakers hold raw pointers, valid until destruction —
@@ -362,6 +367,11 @@ obs::PerfReport LiquidRuntime::report() const {
   }
   rep.metrics = metrics_.snapshot();
   rep.dropped_trace_events = hot_->trace_dropped->value();
+  refresh_attributions();
+  {
+    std::lock_guard<std::mutex> lock(attr_mu_);
+    rep.attributions = attributions_;
+  }
   return rep;
 }
 
@@ -415,6 +425,56 @@ void LiquidRuntime::collect_telemetry(
     out.emplace_back("task.ewma_us_per_elem", e.ewma_us_per_elem(),
                      std::move(labels));
   }
+  // Attribution gauges. attr.analyzed_graphs is exported unconditionally
+  // (0 before any analysis) so lmtop --check can assert the series exists
+  // even when the scrape races the first graph; the per-category and wall
+  // gauges describe the most recently analyzed graph. The scrape is a
+  // consumer: graphs queued since the last one are analyzed here, on the
+  // exporter thread, not on the workload's.
+  refresh_attributions();
+  {
+    std::lock_guard<std::mutex> lock(attr_mu_);
+    out.emplace_back("attr.analyzed_graphs",
+                     static_cast<double>(attributions_.size()),
+                     std::vector<std::pair<std::string, std::string>>{});
+    if (!attributions_.empty()) {
+      const obs::Attribution& a = attributions_.back();
+      out.emplace_back("attr.wall_us", a.wall_us,
+                       std::vector<std::pair<std::string, std::string>>{});
+      out.emplace_back("attr.coverage", a.coverage(),
+                       std::vector<std::pair<std::string, std::string>>{});
+      for (const obs::Attribution::Category& c : a.categories) {
+        out.emplace_back("attr.category_us", c.us,
+                         std::vector<std::pair<std::string, std::string>>{
+                             {"category", c.name}});
+      }
+    }
+  }
+}
+
+void LiquidRuntime::refresh_attributions() const {
+  std::lock_guard<std::mutex> lock(attr_mu_);
+  if (attr_pending_.empty()) return;
+  obs::TraceRecorder* rec = obs::TraceRecorder::current();
+  if (rec == nullptr) return;  // recorder gone; keep the queue for later
+  std::vector<uint64_t> pending = std::move(attr_pending_);
+  attr_pending_.clear();
+  std::vector<obs::Attribution> atts = obs::attribute_trace(rec->events());
+  // One attempt per gid: a gid the trace cannot resolve (events dropped)
+  // is abandoned rather than retried — the events will not come back.
+  for (uint64_t gid : pending) {
+    for (obs::Attribution& a : atts) {
+      if (a.gid != gid || a.wall_us <= 0) continue;
+      attributions_.push_back(std::move(a));
+      break;
+    }
+  }
+}
+
+std::vector<obs::Attribution> LiquidRuntime::attributions() const {
+  refresh_attributions();
+  std::lock_guard<std::mutex> lock(attr_mu_);
+  return attributions_;
 }
 
 void LiquidRuntime::dump_flight(const std::string& reason) const {
@@ -991,6 +1051,14 @@ class LiquidRuntime::DeviceRun {
 
   size_t arity() const { return static_cast<size_t>(cur_->manifest().arity); }
 
+  /// Identity stamped into drain spans so the attribution engine can bind
+  /// them to the owning graph's task lane (executor mode only; inline runs
+  /// keep gid 0 and are skipped by the engine).
+  void set_trace_ids(uint64_t gid, int node) {
+    trace_gid_ = gid;
+    trace_node_ = node;
+  }
+
   std::vector<Value> process(std::span<const Value> batch) {
     const TransferStats& ts = cur_->transfer_stats();
     uint64_t to0 = ts.bytes_to_device, from0 = ts.bytes_from_device;
@@ -1018,6 +1086,9 @@ class LiquidRuntime::DeviceRun {
                      dt * 1e6,
                      JsonArgs()
                          .add("elements", static_cast<uint64_t>(batch.size()))
+                         .add("gid", trace_gid_)
+                         .add("node", trace_node_)
+                         .add("device", cur_->cost_label())
                          .str());
     }
     uint64_t dto = ts.bytes_to_device - to0;
@@ -1122,10 +1193,14 @@ class LiquidRuntime::DeviceRun {
     a->cost->end_batch();
     size_t n = a->inputs.size();
     if (rec_) {
-      rec_->complete(
-          "task", "drain:" + a->artifact->manifest().task_id, a->t0_us,
-          dt * 1e6,
-          JsonArgs().add("elements", static_cast<uint64_t>(n)).str());
+      rec_->complete("task", "drain:" + a->artifact->manifest().task_id,
+                     a->t0_us, dt * 1e6,
+                     JsonArgs()
+                         .add("elements", static_cast<uint64_t>(n))
+                         .add("gid", trace_gid_)
+                         .add("node", trace_node_)
+                         .add("device", a->artifact->cost_label())
+                         .str());
     }
     uint64_t dto = a->ts->bytes_to_device - a->to0;
     uint64_t dfrom = a->ts->bytes_from_device - a->from0;
@@ -1245,6 +1320,8 @@ class LiquidRuntime::DeviceRun {
   uint64_t batches_ = 0, elements_ = 0, bytes_to_ = 0, bytes_from_ = 0;
   uint64_t since_check_ = 0;
   bool swapped_ = false;
+  uint64_t trace_gid_ = 0;
+  int trace_node_ = -1;
 };
 
 void LiquidRuntime::start(Value graph) {
@@ -1326,6 +1403,20 @@ void LiquidRuntime::finalize_graph(RtGraph& g) {
     if (rec) {
       rec->counter("fifo", "fifo." + std::to_string(i) + ".high_water",
                    static_cast<double>(hw));
+      // Edge statistics for the attribution engine: cumulative blocked
+      // time on both sides of the FIFO between node i and node i+1.
+      rec->instant("fifo", "edge:" + std::to_string(i),
+                   JsonArgs()
+                       .add("gid", g.gid)
+                       .add("edge", static_cast<int>(i))
+                       .add("producer_blocked_us",
+                            g.fifos[i]->producer_blocked_us())
+                       .add("consumer_blocked_us",
+                            g.fifos[i]->consumer_blocked_us())
+                       .add("high_water", hw)
+                       .add("capacity",
+                            static_cast<uint64_t>(g.fifos[i]->capacity()))
+                       .str());
     }
   }
   if (rec && g.trace_start_us >= 0) {
@@ -1333,7 +1424,15 @@ void LiquidRuntime::finalize_graph(RtGraph& g) {
                   rec->now_us() - g.trace_start_us,
                   JsonArgs()
                       .add("nodes", static_cast<uint64_t>(g.nodes.size()))
+                      .add("gid", g.gid)
                       .str());
+    if (config_.attribution && g.gid != 0) {
+      // Attribution is post-mortem analysis: only queue the gid here. The
+      // trace walk runs at the first consumer (attributions(), report(),
+      // a telemetry scrape) so the run itself never pays for it.
+      std::lock_guard<std::mutex> lock(attr_mu_);
+      attr_pending_.push_back(g.gid);
+    }
   }
   if (g.error) {
     dump_flight("task-fault");
@@ -1456,6 +1555,10 @@ class LiquidRuntime::NodeTask : public ExecTask {
 
   void retired() final { graph_->task_retired(); }
 
+  /// The label this task's "task"/"exec" spans carry ("source",
+  /// "filter:<id>", "device:<label>", ...).
+  const std::string& span_name() const { return trace_name_; }
+
  protected:
   /// One bounded slice of the node's work, using only try-operations.
   virtual StepResult run_slice() = 0;
@@ -1506,6 +1609,7 @@ class LiquidRuntime::SourceTask final : public NodeTask {
           ++pushed_;
           break;
         case FifoSignal::kWouldBlock:
+          set_block_reason(BlockReason::kPush);
           return StepResult::kBlocked;
         default:  // kShutdown: downstream died, nothing left to do here
           return StepResult::kDone;
@@ -1545,6 +1649,7 @@ class LiquidRuntime::SinkTask final : public NodeTask {
           bc::array_set(*dst, i_++, v);
           break;
         case FifoSignal::kWouldBlock:
+          set_block_reason(BlockReason::kPop);
           return StepResult::kBlocked;
         default:  // kEndOfStream (complete) or kShutdown (error unwind)
           return StepResult::kDone;
@@ -1584,6 +1689,7 @@ class LiquidRuntime::FilterTask final : public NodeTask {
             ++fires_;
             continue;
           case FifoSignal::kWouldBlock:
+            set_block_reason(BlockReason::kPush);
             return StepResult::kBlocked;
           default:
             // Downstream dead: become a dead consumer of our own input,
@@ -1600,7 +1706,10 @@ class LiquidRuntime::FilterTask final : public NodeTask {
           args_[got_++] = std::move(v);
           continue;
         }
-        if (s == FifoSignal::kWouldBlock) return StepResult::kBlocked;
+        if (s == FifoSignal::kWouldBlock) {
+          set_block_reason(BlockReason::kPop);
+          return StepResult::kBlocked;
+        }
         // End of stream (a trailing partial firing is dropped) or shutdown.
         out_->finish();
         return StepResult::kDone;
@@ -1636,13 +1745,19 @@ class LiquidRuntime::DeviceTask final : public NodeTask {
                  "device:" + node->label),
         run_(rt, *node, TraceRecorder::current()) {}
 
+  /// Forwards the owning graph's identity into this node's drain spans.
+  void bind_trace_ids(uint64_t gid, int node) { run_.set_trace_ids(gid, node); }
+
  protected:
   StepResult run_slice() override {
     // 1. Resolve a completed asynchronous batch — or keep waiting on it
     //    (a close() waker may fire while the RPC is still in flight; the
     //    reply or its deadline will wake us again).
     if (run_.async_in_flight()) {
-      if (!run_.async_ready()) return StepResult::kBlocked;
+      if (!run_.async_ready()) {
+        set_block_reason(BlockReason::kRpc);
+        return StepResult::kBlocked;
+      }
       std::vector<Value> produced = run_.collect_async();
       for (auto& v : produced) outbuf_.push_back(std::move(v));
     }
@@ -1653,6 +1768,7 @@ class LiquidRuntime::DeviceTask final : public NodeTask {
           outbuf_.pop_front();
           break;
         case FifoSignal::kWouldBlock:
+          set_block_reason(BlockReason::kPush);
           return StepResult::kBlocked;
         default:
           in_->close();  // hop-by-hop unwind
@@ -1683,6 +1799,7 @@ class LiquidRuntime::DeviceTask final : public NodeTask {
         out_->finish();
         return StepResult::kDone;
       }
+      set_block_reason(BlockReason::kPop);
       return StepResult::kBlocked;  // parked after the failed try above
     }
     // 4. One batch per step. Remote artifacts go asynchronous: the RPC
@@ -1709,6 +1826,7 @@ class LiquidRuntime::DeviceTask final : public NodeTask {
         ex->note_external_end();
         throw;
       }
+      set_block_reason(BlockReason::kRpc);
       return StepResult::kBlocked;  // woken by the completion callback
     }
     std::vector<Value> produced =
@@ -1735,9 +1853,16 @@ class LiquidRuntime::DeviceTask final : public NodeTask {
   bool eof_ = false;
 };
 
+namespace {
+/// Process-unique run ids for executor graphs; 0 means "never reached the
+/// executor" and is skipped by the attribution engine.
+std::atomic<uint64_t> g_next_gid{1};
+}  // namespace
+
 void LiquidRuntime::run_executor(RtGraph& g) {
   std::shared_ptr<Executor> ex = ensure_executor();
   g.executor = ex;
+  g.gid = g_next_gid.fetch_add(1, std::memory_order_relaxed);
   size_t n_nodes = g.nodes.size();
   g.fifos.clear();
   for (size_t i = 0; i + 1 < n_nodes; ++i) {
@@ -1761,11 +1886,18 @@ void LiquidRuntime::run_executor(RtGraph& g) {
         g.tasks.push_back(std::make_unique<FilterTask>(
             *this, &g, node, std::move(in), std::move(out)));
         break;
-      case RtNode::Kind::kDevice:
-        g.tasks.push_back(std::make_unique<DeviceTask>(
-            *this, &g, node, std::move(in), std::move(out)));
+      case RtNode::Kind::kDevice: {
+        auto dev = std::make_unique<DeviceTask>(*this, &g, node,
+                                                std::move(in), std::move(out));
+        dev->bind_trace_ids(g.gid, static_cast<int>(ni));
+        g.tasks.push_back(std::move(dev));
         break;
+      }
     }
+    // Stamp identity so the executor's coalesced "exec" dispatch spans can
+    // be bound back to this graph's node lane by the attribution engine.
+    auto* task = static_cast<NodeTask*>(g.tasks.back().get());
+    task->set_trace_info(task->span_name(), g.gid, static_cast<int>(ni));
   }
   g.live = g.tasks.size();
   // Readiness wiring: FIFO i sits between node i (producer) and node i+1

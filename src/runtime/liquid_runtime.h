@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/attribution.h"
 #include "obs/cost_model.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
@@ -100,6 +101,13 @@ struct RuntimeConfig {
   /// Where Chrome-trace snapshots are dumped when a task faults or a drift
   /// swap fires. Empty (the default) disables dumping; capture still runs.
   std::string flight_dump_path;
+
+  /// Enable critical-path attribution (DESIGN.md §12) for executor graphs
+  /// run while a TraceRecorder is installed. Finalization only notes the
+  /// graph id; the trace walk itself runs lazily at the first consumer —
+  /// attributions(), report() or a telemetry scrape — so the analysis
+  /// never sits on the run's own critical path.
+  bool attribution = true;
 
   // -- remote device transport (src/net/, DESIGN.md §9) --
 
@@ -216,6 +224,12 @@ class LiquidRuntime : public bc::TaskGraphHost, public bc::AccelHooks {
   /// history, counters and trace-drop counts. Cheap to build; callable at
   /// any point (mid-stream rows show whatever has drained so far).
   obs::PerfReport report() const;
+  /// Critical-path attributions (one per executor graph finalized while a
+  /// recorder was installed and config.attribution was on), in execution
+  /// order. Graphs pending analysis are resolved here first, reading the
+  /// currently installed recorder. Copies under the lock; safe
+  /// concurrently with running graphs.
+  std::vector<obs::Attribution> attributions() const;
   /// Appends live gauges for the telemetry exporter: per-FIFO depth and
   /// capacity for every graph whose threads are still running, and
   /// per-(task, device) in-flight / throughput / EWMA rows from the cost
@@ -326,6 +340,16 @@ class LiquidRuntime : public bc::TaskGraphHost, public bc::AccelHooks {
   /// owns the RtGraph; a scrape must never extend a finished graph's life.
   mutable std::mutex graphs_mu_;
   std::vector<std::weak_ptr<RtGraph>> active_graphs_;
+  /// Per-graph critical-path attributions. finalize_graph only queues the
+  /// gid (attribution is post-mortem analysis and must not tax the run);
+  /// refresh_attributions() resolves the queue against the installed
+  /// recorder at the first consumer — attributions(), report(), or a
+  /// telemetry scrape. One attempt per gid: if its events were dropped,
+  /// retrying cannot bring them back.
+  void refresh_attributions() const;
+  mutable std::mutex attr_mu_;
+  mutable std::vector<obs::Attribution> attributions_;
+  mutable std::vector<uint64_t> attr_pending_;
   /// Recorder drop count already folded into trace.dropped_events.
   mutable std::atomic<uint64_t> trace_drops_seen_{0};
   mutable RuntimeStats stats_snapshot_;

@@ -1,0 +1,24 @@
+#include "util/output_path.h"
+
+#include <cstdlib>
+
+namespace lm::util {
+
+std::string resolve_output_path(const std::string& filename) {
+  if (filename.empty() || filename.find('/') != std::string::npos) {
+    return filename;
+  }
+  if (const char* dir = std::getenv("LM_OUTPUT_DIR"); dir && *dir) {
+    std::string out = dir;
+    if (out.back() != '/') out += '/';
+    out += filename;
+    return out;
+  }
+#ifdef LM_DEFAULT_OUTPUT_DIR
+  return std::string(LM_DEFAULT_OUTPUT_DIR "/") + filename;
+#else
+  return filename;
+#endif
+}
+
+}  // namespace lm::util

@@ -1,0 +1,21 @@
+// Where diagnostic artifacts (flight dumps, Chrome traces, bench JSON)
+// land on disk. Historically every tool wrote bare filenames into whatever
+// directory it happened to be invoked from, littering source checkouts
+// with lm-flight.json droppings. resolve_output_path() gives all writers
+// one convention:
+//
+//   - a path with a directory component ("/tmp/t.json", "out/t.json") is
+//     the caller being explicit — returned unchanged;
+//   - a bare filename is redirected under $LM_OUTPUT_DIR if set, else
+//     under the build tree the binary came from (LM_DEFAULT_OUTPUT_DIR,
+//     a compile definition), else left as-is (installed binaries with no
+//     environment keep the old CWD behavior).
+#pragma once
+
+#include <string>
+
+namespace lm::util {
+
+std::string resolve_output_path(const std::string& filename);
+
+}  // namespace lm::util

@@ -15,13 +15,18 @@
 #      malformed exposition or a wedged exporter (zero successful scrapes)
 #      fails the gate; an endpoint dying mid-soak (fail-after, kill -9)
 #      is expected and tolerated. A final pass scrapes lmc's own runtime
-#      exporter (--telemetry-port) mid-run.
-#   5. executor soak — a thousand task graphs multiplexed over a fixed
+#      exporter (--telemetry-port) mid-run and asserts the attribution
+#      (lm_attr_*) and executor queue-wait series are already published.
+#   5. critical-path attribution gate — `lmc --explain=json` over a
+#      pipeline run: every attributed graph's category totals must sum to
+#      within 5% of its wall time, and two `--sched-seed` runs must yield
+#      byte-identical structural attribution (DESIGN.md §12),
+#   6. executor soak — a thousand task graphs multiplexed over a fixed
 #      worker pool (thread count must stay O(workers), results exact),
 #      run standalone in the plain build and again under TSan so the
 #      executor's work-stealing and wake-up paths are race-checked at
 #      full load.
-#   6. `lmc --analyze --strict` over every shipped .lime example — the
+#   7. `lmc --analyze --strict` over every shipped .lime example — the
 #      static analyzer must report zero warnings/errors on them.
 #
 # Usage: tools/check.sh [--quick]
@@ -161,7 +166,11 @@ soak() {
   done
   [[ -n "$ctport" ]] || { echo "FAIL($label): lmc never printed its telemetry endpoint"; cat "$log.out"; exit 1; }
   kill -STOP "$pid" 2>/dev/null || true
-  "$bdir/tools/lmtop" "127.0.0.1:$ctport" --check \
+  # The runtime exporter must already publish the attribution + queue-wait
+  # series mid-run (attr.analyzed_graphs is exported from the first scrape,
+  # value 0 until a graph finishes).
+  "$bdir/tools/lmtop" "127.0.0.1:$ctport" \
+      --check-series=lm_attr_analyzed_graphs,lm_executor_queue_wait_us \
       || { echo "FAIL($label): lmc exposition failed the grammar check"; cat "$log.out"; exit 1; }
   kill -CONT "$pid" 2>/dev/null || true
   wait "$cpid2" || { echo "FAIL($label): lmc with --telemetry-port exited nonzero"; cat "$log.out"; exit 1; }
@@ -196,6 +205,33 @@ soak build plain 4096
 if [[ "$QUICK" == 0 ]]; then
   soak build-tsan tsan 512
 fi
+
+step "critical-path attribution: coverage + determinism (lmc --explain)"
+LMC=build/tools/lmc
+ints="$(seq 1 4096 | paste -sd, -)"
+# 6a. every attributed graph's categories must sum to within 5% of its
+# wall time — the engine's self-consistency invariant (DESIGN.md §12).
+out="$("$LMC" examples/intpipe.lime --run IntPipe.run --ints "$ints" \
+    --explain=json --quiet)"
+attr_line="$(grep '^{"attributions"' <<<"$out" || true)"
+[[ -n "$attr_line" ]] || { echo "FAIL: --explain=json printed no attributions"; echo "$out"; exit 1; }
+coverages="$(grep -o '"coverage":[0-9.]*' <<<"$attr_line" | cut -d: -f2)"
+[[ -n "$coverages" ]] || { echo "FAIL: attributions carry no coverage"; echo "$attr_line"; exit 1; }
+while read -r c; do
+  awk -v c="$c" 'BEGIN { exit !(c >= 0.95 && c <= 1.05) }' \
+      || { echo "FAIL: attribution coverage $c outside [0.95, 1.05]"; echo "$attr_line"; exit 1; }
+done <<<"$coverages"
+echo "ok: $(wc -l <<<"$coverages") attribution(s), coverage within 5% of wall"
+# 6b. under the deterministic scheduler the structural attribution must be
+# byte-identical across runs (same seed → same dispatch/park counts).
+run_seeded() {
+  "$LMC" examples/intpipe.lime --run IntPipe.run --ints "$ints" \
+      --sched-seed=42 --explain=json --quiet | grep '^{"attributions"'
+}
+a="$(run_seeded)"; b="$(run_seeded)"
+[[ -n "$a" && "$a" == "$b" ]] \
+    || { echo "FAIL: seeded attribution not byte-identical"; diff <(echo "$a") <(echo "$b") || true; exit 1; }
+echo "ok: seeded structural attribution byte-identical"
 
 step "executor soak: 1000 graphs over a fixed worker pool (plain)"
 build/tests/executor_test --gtest_filter='ExecutorSoak.*'

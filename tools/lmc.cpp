@@ -37,9 +37,20 @@
 // emits the same as a JSON document. --resub enables mid-run drift
 // re-substitution under --placement adaptive.
 //
+// --explain runs the critical-path attribution engine (DESIGN.md §12)
+// over the executed graphs and prints, per run, the top critical-path
+// contributors, a category breakdown that sums to the wall time, and
+// per-device utilization. --explain=json emits the same as JSON (one
+// {"attributions":[..]} object); under a nonzero --sched-seed the JSON is
+// the structural (timing-free) rendering, byte-identical across replays
+// of the same seed. --explain works without --trace: lmc installs a
+// recorder internally for the run.
+//
 // The flight recorder is always on; when a task faults (or a drift swap
 // fires) the last events per thread are dumped as Chrome-trace JSON to
 // lm-flight.json (--flight=<path> to move it, --flight=none to disable).
+// Bare output filenames land under $LM_OUTPUT_DIR (default: the build
+// tree), not the invoking CWD — see util/output_path.h.
 //
 // The --run input becomes a single value-array argument (int[[]]/float[[]]
 // /bit[[]]) — the calling convention of every workload entry point in this
@@ -54,6 +65,7 @@
 #include "obs/trace.h"
 #include "runtime/liquid_runtime.h"
 #include "runtime/repository.h"
+#include "util/output_path.h"
 #include "util/strings.h"
 
 namespace {
@@ -66,7 +78,8 @@ int usage() {
                "            | --bits 0101..)] [--placement auto|cpu|gpu|fpga|adaptive]\n"
                "           [--no-gpu] [--no-fpga] [--quiet]\n"
                "           [--trace=<file.json>] [--metrics]\n"
-               "           [--report[=json]] [--resub] [--flight=<file.json>|none]\n"
+               "           [--report[=json]] [--explain[=json]] [--resub]\n"
+               "           [--flight=<file.json>|none]\n"
                "           [--analyze[=json]] [--strict]\n"
                "           [--remote=host:port[,host:port..]] [--device-batch=N]\n"
                "           [--telemetry-port=N] [--workers=N] [--sched-seed=S]\n";
@@ -99,6 +112,7 @@ int main(int argc, char** argv) {
   std::string trace_path;
   bool want_metrics = false;
   std::string report_mode;                    // "", "text" or "json"
+  std::string explain_mode;                   // "", "text" or "json"
   std::string flight_path = "lm-flight.json";  // "" disables dumping
   bool enable_resub = false;
   std::string analyze_mode;  // "", "text" or "json"
@@ -154,8 +168,19 @@ int main(int argc, char** argv) {
         std::cerr << "lmc: --report takes 'text' or 'json'\n";
         return usage();
       }
+    } else if (a == "--explain") {
+      explain_mode = "text";
+    } else if (a.rfind("--explain=", 0) == 0) {
+      explain_mode = a.substr(10);
+      if (explain_mode != "text" && explain_mode != "json") {
+        std::cerr << "lmc: --explain takes 'text' or 'json'\n";
+        return usage();
+      }
     } else if (a.rfind("--flight=", 0) == 0) {
       flight_path = a.substr(9);
+      if (flight_path == "none") flight_path.clear();
+    } else if (a.rfind("--flight-path=", 0) == 0) {
+      flight_path = a.substr(14);
       if (flight_path == "none") flight_path.clear();
     } else if (a == "--resub") {
       enable_resub = true;
@@ -316,6 +341,8 @@ int main(int argc, char** argv) {
     args.push_back(bc::Value::array(bc::make_bit_array(std::move(vals), true)));
   }
 
+  flight_path = util::resolve_output_path(flight_path);
+
   runtime::RuntimeConfig rc;
   rc.placement = placement;
   rc.enable_resubstitution = enable_resub;
@@ -372,8 +399,10 @@ int main(int argc, char** argv) {
     std::cout << "# telemetry on " << telemetry->endpoint() << std::endl;
   }
 
+  // --explain needs trace events even when the user didn't ask for a trace
+  // file: install a recorder for the run either way.
   std::unique_ptr<obs::TraceRecorder> recorder;
-  if (!trace_path.empty()) {
+  if (!trace_path.empty() || !explain_mode.empty()) {
     recorder = std::make_unique<obs::TraceRecorder>();
     recorder->install();
   }
@@ -404,18 +433,44 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Resolve pending critical-path attributions before the recorder goes
+  // away: the analysis is lazy and reads the installed recorder's events.
+  std::vector<obs::Attribution> atts;
+  if (recorder && (!explain_mode.empty() || !report_mode.empty())) {
+    atts = rt.attributions();
+  }
   if (recorder) {
     recorder->uninstall();
-    std::ofstream tf(trace_path);
-    if (!tf) {
-      std::cerr << "lmc: cannot write " << trace_path << "\n";
-      return 1;
+    if (!trace_path.empty()) {
+      std::ofstream tf(trace_path);
+      if (!tf) {
+        std::cerr << "lmc: cannot write " << trace_path << "\n";
+        return 1;
+      }
+      tf << recorder->chrome_trace_json();
+      if (!quiet) {
+        std::cout << "# trace: " << recorder->event_count()
+                  << " event(s) from " << recorder->thread_count()
+                  << " thread(s) -> " << trace_path << "\n";
+      }
     }
-    tf << recorder->chrome_trace_json();
-    if (!quiet) {
-      std::cout << "# trace: " << recorder->event_count() << " event(s) from "
-                << recorder->thread_count() << " thread(s) -> " << trace_path
-                << "\n";
+  }
+  if (!explain_mode.empty()) {
+    if (explain_mode == "json") {
+      // Structural rendering under a deterministic seed: byte-identical
+      // across replays (no durations, which real time perturbs).
+      const bool structural = sched_seed != 0;
+      std::string out = "{\"attributions\":[";
+      for (size_t i = 0; i < atts.size(); ++i) {
+        if (i) out += ',';
+        out += atts[i].to_json(structural);
+      }
+      out += "]}";
+      std::cout << out << "\n";
+    } else if (atts.empty()) {
+      std::cout << "# explain: no executor graph runs to attribute\n";
+    } else {
+      for (const auto& a : atts) std::cout << a.to_text();
     }
   }
   if (want_metrics) {

@@ -13,10 +13,16 @@
 //   lmtop host:port --check        scrape once, validate the Prometheus
 //                                  exposition grammar; exit 1 on malformed
 //                                  output or an unreachable endpoint
+//   lmtop host:port --check --check-series=a,b
+//                                  additionally require each named series
+//                                  to be present in the scrape
 //
 // --check is the machine mode: tools/check.sh points it at the live
 // endpoints at 10 Hz during the loopback soaks, so a regression that
 // breaks the exposition format (or wedges the exporter) fails CI.
+// --check-series pins specific series (e.g. lm_attr_analyzed_graphs,
+// lm_executor_queue_wait_us on a runtime exporter) so silently dropping
+// a telemetry family also fails the gate.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -31,6 +37,7 @@
 #include "net/client.h"
 #include "net/telemetry_http.h"
 #include "obs/telemetry.h"
+#include "util/strings.h"
 
 namespace {
 
@@ -38,7 +45,7 @@ using namespace lm;
 
 int usage() {
   std::cerr << "usage: lmtop <host:port> [--interval=ms] [--once] [--raw]\n"
-               "             [--check]\n";
+               "             [--check] [--check-series=name,name..]\n";
   return 2;
 }
 
@@ -215,6 +222,37 @@ void render(const std::string& endpoint, const std::string& health,
   }
   if (any_remote) os << "\n";
 
+  // Critical-path attribution of the most recent graph run (lm_attr_*
+  // gauges, exported once the runtime's attribution engine has analyzed a
+  // completed executor graph).
+  bool have_attr = false;
+  double analyzed = find_value(ms, "lm_attr_analyzed_graphs", {}, &have_attr);
+  if (have_attr && analyzed > 0) {
+    double wall = find_value(ms, "lm_attr_wall_us", {});
+    double cov = find_value(ms, "lm_attr_coverage", {});
+    char head[160];
+    std::snprintf(head, sizeof(head),
+                  "  attribution (last of %s run(s)):  wall %s us   "
+                  "coverage %.1f%%\n",
+                  fmt(analyzed).c_str(), fmt(wall).c_str(), cov * 100.0);
+    os << head;
+    std::vector<std::pair<double, std::string>> cats;
+    for (const Sample& s : ms) {
+      if (s.name != "lm_attr_category_us") continue;
+      auto c = s.labels.find("category");
+      cats.emplace_back(s.value, c != s.labels.end() ? c->second : "?");
+    }
+    std::sort(cats.rbegin(), cats.rend());
+    for (const auto& [us, cat] : cats) {
+      char row[128];
+      std::snprintf(row, sizeof(row), "    %-20s %12s us  %5.1f%%\n",
+                    cat.c_str(), fmt(us).c_str(),
+                    wall > 0 ? 100.0 * us / wall : 0.0);
+      os << row;
+    }
+    os << "\n";
+  }
+
   // Headline counters, when present.
   os << "  counters:";
   for (const char* name :
@@ -236,6 +274,7 @@ int main(int argc, char** argv) {
   std::string endpoint;
   int interval_ms = 1000;
   bool once = false, raw = false, check = false;
+  std::vector<std::string> required_series;
 
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
@@ -247,6 +286,11 @@ int main(int argc, char** argv) {
       raw = true;
     } else if (a == "--check") {
       check = true;
+    } else if (a.rfind("--check-series=", 0) == 0) {
+      check = true;  // implies --check
+      for (const auto& name : split(a.substr(15), ',')) {
+        if (!name.empty()) required_series.push_back(name);
+      }
     } else if (!a.empty() && a[0] == '-') {
       std::cerr << "lmtop: unknown flag " << a << "\n";
       return usage();
@@ -281,7 +325,22 @@ int main(int argc, char** argv) {
         std::cerr << "lmtop: malformed exposition: " << err << "\n";
         return 1;
       }
-      std::cout << "ok: " << parse_metrics(body).size() << " sample(s)\n";
+      std::vector<Sample> ms = parse_metrics(body);
+      for (const std::string& name : required_series) {
+        bool found = false;
+        find_value(ms, name, {}, &found);
+        if (!found) {
+          std::cerr << "lmtop: required series " << name
+                    << " missing from scrape\n";
+          return 1;
+        }
+      }
+      std::cout << "ok: " << ms.size() << " sample(s)";
+      if (!required_series.empty()) {
+        std::cout << ", " << required_series.size()
+                  << " required series present";
+      }
+      std::cout << "\n";
       return 0;
     } catch (const std::exception& e) {
       std::cerr << "lmtop: scrape failed: " << e.what() << "\n";
