@@ -88,6 +88,17 @@ AnalysisResult analyze_program(const lime::Program& program,
     check_graph_hazards(program, graphs, effects, res.diags);
   }
 
+  // Deadlock proofs come after hazards so rate/arity sanity (LM204) has
+  // already fired; the verifier skips graphs with non-positive rates.
+  if (opts.check_deadlock) {
+    res.capacity_reports =
+        check_deadlock(graphs, opts.fifo_capacity, res.diags);
+  }
+
+  if (opts.estimate_costs) {
+    res.static_costs = estimate_static_costs(graphs, res.demoted);
+  }
+
   return res;
 }
 

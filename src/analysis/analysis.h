@@ -9,6 +9,9 @@
 //   LM201–LM205  task-graph hazards (dangling graphs, self-connections,
 //                duplicate connections, rate mismatches, shared state
 //                across relocation brackets)
+//   LM210–LM214  FIFO capacity / deadlock verification over static
+//                push/pop rates (deadlock.h), backed by the interval
+//                abstract-interpretation tier (intervals.h)
 //   LM301–LM315  IR well-formedness (ir_verify.h), run between compiler
 //                passes when LM_VERIFY_IR=1
 //
@@ -18,7 +21,10 @@
 #pragma once
 
 #include <unordered_set>
+#include <vector>
 
+#include "analysis/cost_estimate.h"
+#include "analysis/deadlock.h"
 #include "ir/task_graph.h"
 #include "lime/ast.h"
 #include "util/diagnostics.h"
@@ -26,9 +32,15 @@
 namespace lm::analysis {
 
 struct AnalysisOptions {
-  bool check_locals = true;   // LM101–LM103
-  bool check_effects = true;  // LM110–LM111
-  bool check_graphs = true;   // LM201–LM205
+  bool check_locals = true;    // LM101–LM103
+  bool check_effects = true;   // LM110–LM111
+  bool check_graphs = true;    // LM201–LM205
+  bool check_deadlock = true;  // LM210–LM214 (deadlock.h)
+  /// FIFO capacity the deadlock verifier proves against; <= 0 → the
+  /// runtime default (kDefaultFifoCapacity).
+  int64_t fifo_capacity = 0;
+  /// Build the static per-(task, device) cost model (cost_estimate.h).
+  bool estimate_costs = true;
 };
 
 struct AnalysisResult {
@@ -37,6 +49,10 @@ struct AnalysisResult {
   /// the effect verifier proved the method touches shared mutable state,
   /// so a relocated artifact could diverge from bytecode (§2.1, §3).
   std::unordered_set<std::string> demoted;
+  /// Per-graph FIFO capacity verdicts (LM212's structured form).
+  std::vector<GraphCapacityReport> capacity_reports;
+  /// Static cost estimates the runtime seeds its cost models with.
+  StaticCostModel static_costs;
 };
 
 AnalysisResult analyze_program(const lime::Program& program,

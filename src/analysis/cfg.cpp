@@ -88,6 +88,7 @@ class Builder {
         const auto& ws = as<lime::WhileStmt>(s);
         int head = new_block();
         edge(cur_, head);
+        cfg_.loop_heads.emplace_back(&s, head);
         cur_ = head;
         add_expr(ws.cond.get());
         int body = new_block();
@@ -107,6 +108,7 @@ class Builder {
         if (fs.init) stmt(*fs.init);
         int head = new_block();
         edge(cur_, head);
+        cfg_.loop_heads.emplace_back(&s, head);
         cur_ = head;
         if (fs.cond) add_expr(fs.cond.get());
         int body = new_block();

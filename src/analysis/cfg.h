@@ -41,6 +41,12 @@ struct Cfg {
 
   const lime::MethodDecl* method = nullptr;
   std::vector<CfgBlock> blocks;
+
+  /// Loop statement (WhileStmt/ForStmt) → its head block, i.e. the block
+  /// that evaluates the loop condition and whose succs[0]/succs[1] are the
+  /// body/exit edges. Lets range analyses attach trip-count facts back to
+  /// the AST loop they were derived from. AST pre-order.
+  std::vector<std::pair<const lime::Stmt*, int>> loop_heads;
 };
 
 /// Builds the CFG of `m` (which must have a body).

@@ -1,0 +1,353 @@
+// FIFO capacity / deadlock verification (deadlock.h).
+//
+// Two stages, both classical synchronous-dataflow results:
+//
+//  1. Balance equations. For every edge (u →p/c→ v) a repetition vector r
+//     must satisfy r[u]·p = r[v]·c. Solved per connected component by BFS
+//     with exact rational arithmetic; no solution means some cycle
+//     accumulates or starves tokens at ANY finite capacity (LM214).
+//
+//  2. Atomic-firing simulation of one hyperperiod at the configured
+//     capacity. Completing the hyperperiod returns every FIFO to empty, so
+//     the schedule repeats forever: deadlock-freedom is proven (LM212). A
+//     wedge — no node fireable, some node short of its repetition count —
+//     is a proof of deadlock under atomic semantics (LM210).
+//
+// The per-edge minimal safe capacity reported with the certificate is the
+// single-edge bound push + pop − gcd(push, pop): exact for one edge, a
+// lower bound on cycles (where the simulation, not the bound, decides).
+#include "analysis/deadlock.h"
+
+#include <numeric>
+#include <string>
+
+#include "analysis/passes.h"
+
+namespace lm::analysis {
+
+namespace {
+
+/// Hyperperiods larger than this are not simulated; the verdict degrades
+/// to "unprovable" rather than stalling the compiler.
+constexpr int64_t kMaxFirings = int64_t{1} << 20;
+
+struct Fraction {
+  int64_t num = 0;
+  int64_t den = 1;
+
+  static Fraction make(int64_t n, int64_t d) {
+    int64_t g = std::gcd(n < 0 ? -n : n, d < 0 ? -d : d);
+    if (g == 0) g = 1;
+    if (d < 0) {
+      n = -n;
+      d = -d;
+    }
+    return {n / g, d / g};
+  }
+
+  bool operator==(const Fraction& o) const {
+    return num == o.num && den == o.den;
+  }
+};
+
+Fraction mul(const Fraction& a, int64_t num, int64_t den) {
+  // (a.num/a.den) · (num/den) with cross-reduction to delay overflow.
+  int64_t g1 = std::gcd(a.num < 0 ? -a.num : a.num, den);
+  int64_t g2 = std::gcd(num, a.den);
+  if (g1 == 0) g1 = 1;
+  if (g2 == 0) g2 = 1;
+  return Fraction::make((a.num / g1) * (num / g2), (a.den / g2) * (den / g1));
+}
+
+}  // namespace
+
+RateVerdict analyze_rate_graph(const RateGraph& g, int64_t capacity) {
+  RateVerdict v;
+  size_t n = g.node_labels.size();
+  v.repetitions.assign(n, 0);
+  v.min_capacities.assign(g.edges.size(), 0);
+  for (size_t e = 0; e < g.edges.size(); ++e) {
+    const RateEdge& ed = g.edges[e];
+    int64_t gg = std::gcd(ed.push, ed.pop);
+    v.min_capacities[e] = gg > 0 ? ed.push + ed.pop - gg
+                                 : std::max(ed.push, ed.pop);
+  }
+  if (n == 0) {
+    v.deadlock_free = true;
+    return v;
+  }
+
+  // Adjacency over undirected structure for component-wise propagation.
+  std::vector<std::vector<size_t>> touching(n);
+  for (size_t e = 0; e < g.edges.size(); ++e) {
+    const RateEdge& ed = g.edges[e];
+    if (ed.from < 0 || ed.to < 0 || static_cast<size_t>(ed.from) >= n ||
+        static_cast<size_t>(ed.to) >= n || ed.push <= 0 || ed.pop <= 0) {
+      v.consistent = false;
+      v.inconsistent_edges.push_back(e);
+      continue;
+    }
+    touching[static_cast<size_t>(ed.from)].push_back(e);
+    touching[static_cast<size_t>(ed.to)].push_back(e);
+  }
+  if (!v.consistent) return v;
+
+  // Balance equations per component.
+  std::vector<Fraction> r(n, Fraction{0, 1});
+  std::vector<char> seen(n, 0);
+  for (size_t start = 0; start < n; ++start) {
+    if (seen[start]) continue;
+    std::vector<size_t> queue{start};
+    seen[start] = 1;
+    r[start] = {1, 1};
+    size_t head = 0;
+    std::vector<size_t> component{start};
+    while (head < queue.size()) {
+      size_t u = queue[head++];
+      for (size_t e : touching[u]) {
+        const RateEdge& ed = g.edges[e];
+        auto from = static_cast<size_t>(ed.from);
+        auto to = static_cast<size_t>(ed.to);
+        // r[to] = r[from] · push / pop.
+        size_t other = from == u ? to : from;
+        Fraction expect = from == u ? mul(r[u], ed.push, ed.pop)
+                                    : mul(r[u], ed.pop, ed.push);
+        if (!seen[other]) {
+          seen[other] = 1;
+          r[other] = expect;
+          queue.push_back(other);
+          component.push_back(other);
+        } else if (!(r[other] == expect)) {
+          v.consistent = false;
+          v.inconsistent_edges.push_back(e);
+        }
+      }
+    }
+    // Scale the component to the smallest positive integers.
+    int64_t lcm_den = 1;
+    for (size_t u : component) {
+      int64_t d = r[u].den;
+      lcm_den = lcm_den / std::gcd(lcm_den, d) * d;
+    }
+    int64_t gcd_num = 0;
+    for (size_t u : component) {
+      gcd_num = std::gcd(gcd_num, r[u].num * (lcm_den / r[u].den));
+    }
+    if (gcd_num == 0) gcd_num = 1;
+    for (size_t u : component) {
+      v.repetitions[u] = r[u].num * (lcm_den / r[u].den) / gcd_num;
+    }
+  }
+  if (!v.consistent) return v;
+
+  // Atomic-firing simulation of one hyperperiod.
+  int64_t total = 0;
+  for (int64_t reps : v.repetitions) total += reps;
+  if (total <= 0 || total > kMaxFirings) {
+    v.simulated = false;
+    return v;
+  }
+  v.simulated = true;
+  std::vector<int64_t> tokens(g.edges.size(), 0);
+  std::vector<int64_t> fired(n, 0);
+  int64_t done = 0;
+  bool progress = true;
+  while (done < total && progress) {
+    progress = false;
+    for (size_t u = 0; u < n; ++u) {
+      if (fired[u] >= v.repetitions[u]) continue;
+      bool can = true;
+      for (size_t e : touching[u]) {
+        const RateEdge& ed = g.edges[e];
+        if (static_cast<size_t>(ed.to) == u && tokens[e] < ed.pop) can = false;
+        if (static_cast<size_t>(ed.from) == u &&
+            tokens[e] + ed.push > capacity) {
+          can = false;
+        }
+      }
+      if (!can) continue;
+      for (size_t e : touching[u]) {
+        const RateEdge& ed = g.edges[e];
+        if (static_cast<size_t>(ed.to) == u) tokens[e] -= ed.pop;
+        if (static_cast<size_t>(ed.from) == u) tokens[e] += ed.push;
+      }
+      ++fired[u];
+      ++done;
+      progress = true;
+    }
+  }
+  if (done == total) {
+    v.deadlock_free = true;
+  } else {
+    for (size_t u = 0; u < n; ++u) {
+      if (fired[u] < v.repetitions[u]) {
+        v.wedged_node = static_cast<int>(u);
+        break;
+      }
+    }
+  }
+  return v;
+}
+
+RateVerdict verify_rate_graph(const RateGraph& g, int64_t capacity,
+                              const std::string& graph_name, SourceLoc loc,
+                              DiagnosticEngine& diags) {
+  RateVerdict v = analyze_rate_graph(g, capacity);
+  auto edge_label = [&](size_t e) {
+    const RateEdge& ed = g.edges[e];
+    std::string from =
+        ed.from >= 0 && static_cast<size_t>(ed.from) < g.node_labels.size()
+            ? g.node_labels[static_cast<size_t>(ed.from)]
+            : "?";
+    std::string to =
+        ed.to >= 0 && static_cast<size_t>(ed.to) < g.node_labels.size()
+            ? g.node_labels[static_cast<size_t>(ed.to)]
+            : "?";
+    return from + "=>" + to;
+  };
+  if (!v.consistent) {
+    size_t e = v.inconsistent_edges.empty() ? 0 : v.inconsistent_edges[0];
+    const RateEdge& ed = g.edges[e];
+    diags.report(
+        Severity::kError, "LM214", loc,
+        "task graph '" + graph_name + "' has inconsistent rates on edge '" +
+            edge_label(e) + "' (pushes " + std::to_string(ed.push) +
+            ", pops " + std::to_string(ed.pop) +
+            " per firing): tokens accumulate or starve at any FIFO "
+            "capacity");
+    return v;
+  }
+  if (!v.simulated) {
+    diags.report(Severity::kWarning, "LM211", loc,
+                 "task graph '" + graph_name +
+                     "' has a hyperperiod too large to verify statically; "
+                     "deadlock-freedom is not proven");
+    return v;
+  }
+  if (!v.deadlock_free) {
+    std::string node =
+        v.wedged_node >= 0 &&
+                static_cast<size_t>(v.wedged_node) < g.node_labels.size()
+            ? g.node_labels[static_cast<size_t>(v.wedged_node)]
+            : "?";
+    int64_t need = 0;
+    for (int64_t m : v.min_capacities) need = std::max(need, m);
+    diags.report(
+        Severity::kError, "LM210", loc,
+        "task graph '" + graph_name + "' deadlocks at FIFO capacity " +
+            std::to_string(capacity) + " under atomic firing: node '" + node +
+            "' can never fire; minimal safe capacity is " +
+            std::to_string(need));
+    return v;
+  }
+  std::string caps;
+  for (size_t e = 0; e < g.edges.size(); ++e) {
+    if (!caps.empty()) caps += ", ";
+    caps += edge_label(e) + ":" + std::to_string(v.min_capacities[e]);
+  }
+  diags.report(Severity::kNote, "LM212", loc,
+               "task graph '" + graph_name +
+                   "' proven deadlock-free at FIFO capacity " +
+                   std::to_string(capacity) +
+                   "; minimal safe capacities per edge: " +
+                   (caps.empty() ? "none" : caps));
+  return v;
+}
+
+std::vector<GraphCapacityReport> check_deadlock(
+    const ir::ProgramTaskGraphs& graphs, int64_t fifo_capacity,
+    DiagnosticEngine& diags) {
+  using NodeKind = ir::TaskNodeInfo::Kind;
+  int64_t capacity = fifo_capacity > 0 ? fifo_capacity : kDefaultFifoCapacity;
+  std::vector<GraphCapacityReport> out;
+  for (const auto& g : graphs.graphs) {
+    if (g.nodes.size() < 2) continue;
+    GraphCapacityReport rep;
+    rep.graph = &g;
+    rep.loc = g.loc;
+    rep.configured_capacity = capacity;
+    std::string name = g.enclosing ? g.enclosing->qualified_name() : "<graph>";
+
+    const ir::TaskNodeInfo* source = nullptr;
+    bool rates_ok = true;
+    for (const auto& n : g.nodes) {
+      if (n.kind == NodeKind::kSource) {
+        source = &n;
+        if (!n.rate_static) {
+          diags.report(Severity::kWarning, "LM211", g.loc,
+                       "source rate of task graph '" + name +
+                           "' is not an integer literal; push/pop rates are "
+                           "statically indeterminate and deadlock-freedom "
+                           "cannot be proven");
+          rates_ok = false;
+        }
+        if (n.rate <= 0) rates_ok = false;  // LM204 already reported
+      }
+      if (n.kind == NodeKind::kFilter && n.arity <= 0) rates_ok = false;
+    }
+
+    // LM213: with a statically known stream length, a filter whose arity
+    // exceeds the elements that ever reach it never fires — everything
+    // downstream (including the sink) starves. Distinct from LM204, which
+    // flags the dropped remainder of a filter that does fire.
+    if (source && source->receiver_expr && rates_ok) {
+      int64_t remaining =
+          static_source_length(*source->receiver_expr, g.enclosing);
+      if (remaining > 0) {
+        for (const auto& n : g.nodes) {
+          if (n.kind != NodeKind::kFilter || n.arity <= 0) continue;
+          if (remaining < n.arity) {
+            diags.report(
+                Severity::kWarning, "LM213", g.loc,
+                "filter '" + n.task_id + "' of task graph '" + name +
+                    "' consumes " + std::to_string(n.arity) +
+                    " elements per firing but only " +
+                    std::to_string(remaining) +
+                    " ever reach it; it never fires and the sink starves");
+            break;  // downstream counts are all zero — avoid a cascade
+          }
+          remaining /= n.arity;
+          if (remaining == 0) break;
+        }
+      }
+    }
+
+    if (rates_ok) {
+      RateGraph rg;
+      for (const auto& n : g.nodes) {
+        switch (n.kind) {
+          case NodeKind::kSource: rg.node_labels.push_back("source"); break;
+          case NodeKind::kSink: rg.node_labels.push_back("sink"); break;
+          case NodeKind::kFilter: rg.node_labels.push_back(n.task_id); break;
+        }
+      }
+      for (size_t i = 0; i + 1 < g.nodes.size(); ++i) {
+        RateEdge e;
+        e.from = static_cast<int>(i);
+        e.to = static_cast<int>(i + 1);
+        e.push = g.nodes[i].pushes_per_fire();
+        e.pop = g.nodes[i + 1].pops_per_fire();
+        rg.edges.push_back(e);
+      }
+      RateVerdict v = verify_rate_graph(rg, capacity, name, g.loc, diags);
+      rep.proven = v.deadlock_free;
+      for (size_t e = 0; e < rg.edges.size(); ++e) {
+        GraphCapacityReport::Edge edge;
+        edge.label = rg.node_labels[static_cast<size_t>(rg.edges[e].from)] +
+                     "=>" +
+                     rg.node_labels[static_cast<size_t>(rg.edges[e].to)];
+        edge.push = rg.edges[e].push;
+        edge.pop = rg.edges[e].pop;
+        edge.min_capacity =
+            e < v.min_capacities.size() ? v.min_capacities[e] : 1;
+        rep.min_safe_capacity =
+            std::max(rep.min_safe_capacity, edge.min_capacity);
+        rep.edges.push_back(std::move(edge));
+      }
+    }
+    out.push_back(std::move(rep));
+  }
+  return out;
+}
+
+}  // namespace lm::analysis

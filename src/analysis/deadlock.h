@@ -1,0 +1,122 @@
+// FIFO capacity / deadlock verification over static push/pop rates.
+//
+// The runtime wires tasks together with bounded ValueFifos; whether a
+// graph+capacity configuration can wedge is decidable statically once the
+// per-firing rates are known (synchronous-dataflow theory). The verifier
+// models conservative *atomic firing* semantics — a node consumes all its
+// pops and produces all its pushes in one indivisible step — which is
+// strictly more demanding than the real runtime (FilterTask drains one
+// element at a time; DeviceTask buffers partial batches), so a proof here
+// transfers: if the atomic model cannot deadlock, neither can the runtime.
+//
+// Codes (DESIGN.md §13):
+//   LM210 (error)    configured capacity provably wedges the atomic model
+//   LM211 (warning)  rates not statically determinable — proof unavailable
+//   LM212 (note)     proof certificate: deadlock-free, per-edge minimal
+//                    safe capacities
+//   LM213 (warning)  total starvation: a filter can never fire at all
+//   LM214 (error)    rate-inconsistent cycle (unbounded accumulation or
+//                    starvation at ANY capacity)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/task_graph.h"
+#include "lime/ast.h"
+#include "util/diagnostics.h"
+
+namespace lm::analysis {
+
+/// The runtime's default ValueFifo capacity (RuntimeConfig::fifo_capacity);
+/// used when the caller does not pin one.
+constexpr int64_t kDefaultFifoCapacity = 1024;
+
+// ---------------------------------------------------------------------------
+// Generic rate-graph engine
+// ---------------------------------------------------------------------------
+
+/// One bounded FIFO: `from` pushes `push` tokens per firing, `to` pops
+/// `pop` tokens per firing. Arbitrary topologies (including cycles) are
+/// allowed — Lime connect chains are linear, but the engine is the reusable
+/// piece the auto-partitioner will feed fused/split graphs into.
+struct RateEdge {
+  int from = 0;
+  int to = 0;
+  int64_t push = 1;
+  int64_t pop = 1;
+};
+
+struct RateGraph {
+  std::vector<std::string> node_labels;
+  std::vector<RateEdge> edges;
+};
+
+struct RateVerdict {
+  /// Balance equations solvable: a repetition vector exists. False means
+  /// some cycle accumulates or starves tokens regardless of capacity
+  /// (LM214).
+  bool consistent = true;
+  /// Edges violating their balance equation (indices into graph.edges).
+  std::vector<size_t> inconsistent_edges;
+  /// Firings per node in one hyperperiod (valid when consistent).
+  std::vector<int64_t> repetitions;
+  /// The atomic-firing simulation ran (hyperperiod small enough). False
+  /// when the total firing count exceeds the simulation budget — the
+  /// verdict degrades to "unproven" (LM211) rather than stalling.
+  bool simulated = false;
+  /// Deadlock-freedom proven at the configured capacity: the atomic-firing
+  /// simulation completed a full hyperperiod (state returns to empty, so
+  /// the schedule repeats forever).
+  bool deadlock_free = false;
+  /// Per-edge minimal safe capacity bound push + pop − gcd(push, pop)
+  /// (exact for a single edge; a lower bound on cycles). Parallel to
+  /// graph.edges; valid when consistent.
+  std::vector<int64_t> min_capacities;
+  /// First node that could not fire when the simulation wedged (-1 when
+  /// deadlock_free or not simulated).
+  int wedged_node = -1;
+};
+
+/// Analyzes the graph at one uniform capacity; pure computation, no diags.
+RateVerdict analyze_rate_graph(const RateGraph& g, int64_t capacity);
+
+/// Same, plus LM210/LM212/LM214 diagnostics at `loc` for `graph_name`.
+RateVerdict verify_rate_graph(const RateGraph& g, int64_t capacity,
+                              const std::string& graph_name, SourceLoc loc,
+                              DiagnosticEngine& diags);
+
+// ---------------------------------------------------------------------------
+// Lime task-graph adapter
+// ---------------------------------------------------------------------------
+
+/// The verifier's conclusions for one extracted task graph — the structured
+/// form behind LM212, consumed by `lmc --analyze=json` (which check.sh uses
+/// to drive the minimal-capacity differential soak).
+struct GraphCapacityReport {
+  const ir::TaskGraphInfo* graph = nullptr;
+  SourceLoc loc;
+  /// Deadlock-freedom proven at `configured_capacity`.
+  bool proven = false;
+  int64_t configured_capacity = kDefaultFifoCapacity;
+  /// Max over edges of the per-edge minimal safe capacity (0 when the
+  /// graph has no edges or rates are indeterminate).
+  int64_t min_safe_capacity = 0;
+
+  struct Edge {
+    std::string label;  // "source=>IntPipe.scale"
+    int64_t push = 1;
+    int64_t pop = 1;
+    int64_t min_capacity = 1;
+  };
+  std::vector<Edge> edges;
+};
+
+/// Verifies every extracted graph at `fifo_capacity` (<=0 → the runtime
+/// default), reporting LM210–LM213 into `diags`.
+std::vector<GraphCapacityReport> check_deadlock(
+    const ir::ProgramTaskGraphs& graphs, int64_t fifo_capacity,
+    DiagnosticEngine& diags);
+
+}  // namespace lm::analysis

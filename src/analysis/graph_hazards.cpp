@@ -329,13 +329,6 @@ StorageRoot storage_root(const lime::Expr& e) {
   }
 }
 
-/// Static element count of a source receiver, or -1 when unknown. A bit
-/// literal carries its width; a local whose (sole) initializer is a bit
-/// literal or a constant-length allocation is resolved through the
-/// enclosing method body.
-int64_t static_source_length(const lime::Expr& recv,
-                             const lime::MethodDecl* enclosing);
-
 int64_t static_length_of_init(const lime::Expr& init) {
   switch (init.kind) {
     case ExprKind::kBitLit:
@@ -386,25 +379,6 @@ const lime::Expr* find_local_init(const lime::Stmt& s, int slot) {
     default:
       return nullptr;
   }
-}
-
-int64_t static_source_length(const lime::Expr& recv,
-                             const lime::MethodDecl* enclosing) {
-  if (recv.kind == ExprKind::kBitLit) {
-    return as<lime::BitLitExpr>(recv).bits.width();
-  }
-  if (recv.kind == ExprKind::kCast) {
-    return static_source_length(*as<lime::CastExpr>(recv).operand, enclosing);
-  }
-  if (recv.kind == ExprKind::kName && enclosing && enclosing->body) {
-    const auto& n = as<lime::NameExpr>(recv);
-    if (n.ref == lime::NameRefKind::kLocal) {
-      if (const auto* init = find_local_init(*enclosing->body, n.slot)) {
-        return static_length_of_init(*init);
-      }
-    }
-  }
-  return -1;
 }
 
 void check_extracted_graph(const ir::TaskGraphInfo& g,
@@ -503,6 +477,25 @@ void check_extracted_graph(const ir::TaskGraphInfo& g,
 }
 
 }  // namespace
+
+int64_t static_source_length(const lime::Expr& recv,
+                             const lime::MethodDecl* enclosing) {
+  if (recv.kind == ExprKind::kBitLit) {
+    return as<lime::BitLitExpr>(recv).bits.width();
+  }
+  if (recv.kind == ExprKind::kCast) {
+    return static_source_length(*as<lime::CastExpr>(recv).operand, enclosing);
+  }
+  if (recv.kind == ExprKind::kName && enclosing && enclosing->body) {
+    const auto& n = as<lime::NameExpr>(recv);
+    if (n.ref == lime::NameRefKind::kLocal) {
+      if (const auto* init = find_local_init(*enclosing->body, n.slot)) {
+        return static_length_of_init(*init);
+      }
+    }
+  }
+  return -1;
+}
 
 void check_graph_hazards(const lime::Program& program,
                          const ir::ProgramTaskGraphs& graphs,

@@ -1,0 +1,1163 @@
+// Interval abstract interpretation with widening/narrowing (intervals.h).
+//
+// Solver shape: the generic solve_forward (dataflow.h) assumes a lattice of
+// finite height; intervals are not one. The worklist here therefore widens
+// at back-edge targets once a block has absorbed kWidenDelay precise joins,
+// which forces every chain to stabilize in a bounded number of visits, and
+// then runs kNarrowPasses decreasing passes to pull the infinities back to
+// the loop bounds the conditions actually imply.
+#include "analysis/intervals.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+#include "util/error.h"
+
+namespace lm::analysis {
+
+using lime::as;
+using lime::BinOp;
+using lime::ExprKind;
+using lime::StmtKind;
+using lime::TypeKind;
+using lime::UnOp;
+
+namespace {
+
+constexpr int64_t kNegInf = Interval::kNegInf;
+constexpr int64_t kPosInf = Interval::kPosInf;
+
+bool is_inf(int64_t v) { return v == kNegInf || v == kPosInf; }
+
+/// Saturating add of two endpoints of the same kind (lo+lo or hi+hi). The
+/// infinities absorb; a finite overflow saturates toward its sign.
+int64_t sat_add(int64_t a, int64_t b) {
+  if (a == kNegInf || b == kNegInf) return kNegInf;
+  if (a == kPosInf || b == kPosInf) return kPosInf;
+  int64_t r;
+  if (__builtin_add_overflow(a, b, &r)) return a > 0 ? kPosInf : kNegInf;
+  return r;
+}
+
+int64_t sat_neg(int64_t a) {
+  if (a == kNegInf) return kPosInf;
+  if (a == kPosInf) return kNegInf;
+  return -a;
+}
+
+int64_t sat_mul(int64_t a, int64_t b) {
+  if (a == 0 || b == 0) return 0;  // 0 · ±inf = 0 for endpoint limits
+  bool neg = (a < 0) != (b < 0);
+  if (is_inf(a) || is_inf(b)) return neg ? kNegInf : kPosInf;
+  int64_t r;
+  if (__builtin_mul_overflow(a, b, &r)) return neg ? kNegInf : kPosInf;
+  return r;
+}
+
+}  // namespace
+
+std::string Interval::to_string() const {
+  if (bot) return "⊥";
+  std::string s = "[";
+  s += lo == kNegInf ? "-inf" : std::to_string(lo);
+  s += ", ";
+  s += hi == kPosInf ? "+inf" : std::to_string(hi);
+  s += "]";
+  return s;
+}
+
+Interval join(const Interval& a, const Interval& b) {
+  if (a.bot) return b;
+  if (b.bot) return a;
+  return {false, std::min(a.lo, b.lo), std::max(a.hi, b.hi)};
+}
+
+Interval meet(const Interval& a, const Interval& b) {
+  if (a.bot || b.bot) return Interval::bottom();
+  return Interval::range(std::max(a.lo, b.lo), std::min(a.hi, b.hi));
+}
+
+Interval widen(const Interval& prev, const Interval& next) {
+  if (prev.bot) return next;
+  if (next.bot) return prev;
+  return {false, next.lo < prev.lo ? kNegInf : prev.lo,
+          next.hi > prev.hi ? kPosInf : prev.hi};
+}
+
+Interval iv_add(const Interval& a, const Interval& b) {
+  if (a.bot || b.bot) return Interval::bottom();
+  return {false, sat_add(a.lo, b.lo), sat_add(a.hi, b.hi)};
+}
+
+Interval iv_sub(const Interval& a, const Interval& b) {
+  if (a.bot || b.bot) return Interval::bottom();
+  return {false, sat_add(a.lo, sat_neg(b.hi)), sat_add(a.hi, sat_neg(b.lo))};
+}
+
+Interval iv_neg(const Interval& a) {
+  if (a.bot) return a;
+  return {false, sat_neg(a.hi), sat_neg(a.lo)};
+}
+
+Interval iv_mul(const Interval& a, const Interval& b) {
+  if (a.bot || b.bot) return Interval::bottom();
+  int64_t c[4] = {sat_mul(a.lo, b.lo), sat_mul(a.lo, b.hi),
+                  sat_mul(a.hi, b.lo), sat_mul(a.hi, b.hi)};
+  return {false, *std::min_element(c, c + 4), *std::max_element(c, c + 4)};
+}
+
+Interval iv_div(const Interval& a, const Interval& b) {
+  if (a.bot || b.bot) return Interval::bottom();
+  // A divisor range containing zero (or unbounded) degrades to top.
+  if (b.lo <= 0 && b.hi >= 0) return Interval::top();
+  if (is_inf(b.lo) || is_inf(b.hi)) return Interval::top();
+  auto div1 = [](int64_t x, int64_t d) -> int64_t {
+    if (x == kNegInf) return d > 0 ? kNegInf : kPosInf;
+    if (x == kPosInf) return d > 0 ? kPosInf : kNegInf;
+    return x / d;  // C++ truncating division, matches the VM
+  };
+  int64_t c[4] = {div1(a.lo, b.lo), div1(a.lo, b.hi), div1(a.hi, b.lo),
+                  div1(a.hi, b.hi)};
+  return {false, *std::min_element(c, c + 4), *std::max_element(c, c + 4)};
+}
+
+Interval iv_rem(const Interval& a, const Interval& b) {
+  if (a.bot || b.bot) return Interval::bottom();
+  if (b.lo <= 0 && b.hi >= 0) return Interval::top();
+  // |a % b| < |b|, and the result keeps a's sign (C++/Lime semantics).
+  int64_t m = std::max(b.hi == kPosInf ? kPosInf : b.hi,
+                       b.lo == kNegInf ? kPosInf : sat_neg(b.lo));
+  if (m == kPosInf) return Interval::top();
+  int64_t lo = a.lo < 0 ? sat_add(sat_neg(m), 1) : 0;
+  int64_t hi = a.hi > 0 ? m - 1 : 0;
+  return Interval::range(lo, hi);
+}
+
+Interval iv_min(const Interval& a, const Interval& b) {
+  if (a.bot || b.bot) return Interval::bottom();
+  return {false, std::min(a.lo, b.lo), std::min(a.hi, b.hi)};
+}
+
+Interval iv_max(const Interval& a, const Interval& b) {
+  if (a.bot || b.bot) return Interval::bottom();
+  return {false, std::max(a.lo, b.lo), std::max(a.hi, b.hi)};
+}
+
+Interval iv_abs(const Interval& a) {
+  if (a.bot) return a;
+  if (a.lo >= 0) return a;
+  if (a.hi <= 0) return iv_neg(a);
+  return {false, 0, std::max(a.hi, sat_neg(a.lo))};
+}
+
+Interval type_range(const lime::TypeRef& t) {
+  if (!t) return Interval::top();
+  switch (t->kind) {
+    case TypeKind::kInt:
+      return Interval::range(INT32_MIN, INT32_MAX);
+    case TypeKind::kLong:
+      return Interval::top();
+    case TypeKind::kBoolean:
+    case TypeKind::kBit:
+      return Interval::range(0, 1);
+    default:
+      // Floats, arrays, classes, graphs: not in the integer domain. Top
+      // keeps any accidental consumer conservative.
+      return Interval::top();
+  }
+}
+
+namespace {
+
+constexpr int kWidenDelay = 2;   // precise joins absorbed before widening
+constexpr int kNarrowPasses = 2; // bounded decreasing iterations
+
+struct IntervalState {
+  bool feasible = true;
+  std::vector<Interval> slots;  // bottom = not (yet) an integer value here
+
+  bool operator==(const IntervalState& o) const {
+    return feasible == o.feasible && slots == o.slots;
+  }
+};
+
+void join_into(IntervalState& into, const IntervalState& from) {
+  if (!from.feasible) return;
+  if (!into.feasible) {
+    into = from;
+    return;
+  }
+  for (size_t i = 0; i < into.slots.size(); ++i) {
+    into.slots[i] = join(into.slots[i], from.slots[i]);
+  }
+}
+
+/// Expression walk in evaluation order: returns the value interval and
+/// applies assignment side effects to the state.
+class IntervalEvaluator {
+ public:
+  explicit IntervalEvaluator(IntervalState& st) : st_(st) {}
+
+  Interval eval(const lime::Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kIntLit:
+        return Interval::constant(as<lime::IntLitExpr>(e).value);
+      case ExprKind::kBoolLit:
+        return Interval::constant(as<lime::BoolLitExpr>(e).value ? 1 : 0);
+      case ExprKind::kFloatLit:
+      case ExprKind::kBitLit:
+      case ExprKind::kThis:
+        return type_range(e.type);
+      case ExprKind::kName: {
+        const auto& n = as<lime::NameExpr>(e);
+        if (n.ref == lime::NameRefKind::kEnumConst) {
+          return Interval::constant(n.enum_ordinal);
+        }
+        if (n.ref != lime::NameRefKind::kLocal) return type_range(e.type);
+        Interval v = slot_of(n.slot);
+        // A bottom slot means "never assigned on this path"; reading it is
+        // LM101's problem — stay conservative here.
+        return v.bot ? type_range(e.type) : v;
+      }
+      case ExprKind::kUnary: {
+        const auto& u = as<lime::UnaryExpr>(e);
+        Interval v = eval(*u.operand);
+        switch (u.op) {
+          case UnOp::kNeg:
+            return iv_neg(v);
+          case UnOp::kNot: {
+            Interval b = meet(v, Interval::range(0, 1));
+            if (b.bot) return Interval::range(0, 1);
+            if (b.lo == b.hi) return Interval::constant(1 - b.lo);
+            return Interval::range(0, 1);
+          }
+          case UnOp::kBitNot:
+            // ~x == -x - 1
+            return iv_sub(iv_neg(v), Interval::constant(1));
+          case UnOp::kUserOp:
+            return type_range(e.type);
+        }
+        return type_range(e.type);
+      }
+      case ExprKind::kBinary:
+        return eval_binary(as<lime::BinaryExpr>(e));
+      case ExprKind::kAssign:
+        return eval_assign(as<lime::AssignExpr>(e));
+      case ExprKind::kTernary: {
+        const auto& t = as<lime::TernaryExpr>(e);
+        eval(*t.cond);
+        IntervalState base = st_;
+        assume(*t.cond, true);
+        Interval a = st_.feasible ? eval(*t.then_expr) : Interval::bottom();
+        IntervalState after_then = st_;
+        st_ = std::move(base);
+        assume(*t.cond, false);
+        Interval b = st_.feasible ? eval(*t.else_expr) : Interval::bottom();
+        join_into(st_, after_then);
+        return join(a, b);
+      }
+      case ExprKind::kCall: {
+        const auto& c = as<lime::CallExpr>(e);
+        if (c.receiver) eval(*c.receiver);
+        std::vector<Interval> args;
+        args.reserve(c.args.size());
+        for (const auto& a : c.args) args.push_back(eval(*a));
+        using B = lime::CallExpr::Builtin;
+        if (e.type && e.type->is_integral()) {
+          if (c.builtin == B::kMin && args.size() == 2) {
+            return iv_min(args[0], args[1]);
+          }
+          if (c.builtin == B::kMax && args.size() == 2) {
+            return iv_max(args[0], args[1]);
+          }
+          if (c.builtin == B::kAbs && args.size() == 1) {
+            return iv_abs(args[0]);
+          }
+        }
+        return type_range(e.type);
+      }
+      case ExprKind::kIndex: {
+        const auto& ix = as<lime::IndexExpr>(e);
+        eval(*ix.array);
+        eval(*ix.index);
+        return type_range(e.type);
+      }
+      case ExprKind::kField: {
+        const auto& f = as<lime::FieldExpr>(e);
+        if (f.object) eval(*f.object);
+        if (f.enum_ordinal >= 0) return Interval::constant(f.enum_ordinal);
+        if (f.is_array_length) return Interval::range(0, INT32_MAX);
+        return type_range(e.type);
+      }
+      case ExprKind::kNewArray: {
+        const auto& n = as<lime::NewArrayExpr>(e);
+        if (n.length) eval(*n.length);
+        if (n.from_array) eval(*n.from_array);
+        return type_range(e.type);
+      }
+      case ExprKind::kCast: {
+        const auto& c = as<lime::CastExpr>(e);
+        Interval v = eval(*c.operand);
+        Interval tr = type_range(c.target);
+        // A narrowing cast wraps; only keep the operand range when it
+        // provably fits the target.
+        if (!v.bot && meet(v, tr) == v) return v;
+        return tr;
+      }
+      case ExprKind::kMap:
+      case ExprKind::kReduce: {
+        const auto& args = e.kind == ExprKind::kMap
+                               ? as<lime::MapExpr>(e).args
+                               : as<lime::ReduceExpr>(e).args;
+        for (const auto& a : args) eval(*a);
+        return type_range(e.type);
+      }
+      case ExprKind::kTask:
+        return type_range(e.type);
+      case ExprKind::kRelocate:
+        return eval(*as<lime::RelocateExpr>(e).inner);
+      case ExprKind::kConnect: {
+        const auto& c = as<lime::ConnectExpr>(e);
+        eval(*c.lhs);
+        eval(*c.rhs);
+        return type_range(e.type);
+      }
+    }
+    return Interval::top();
+  }
+
+  void declare(const lime::VarDeclStmt& vd) {
+    if (vd.init) {
+      Interval v = eval(*vd.init);
+      set_slot(vd.slot, meet_type(v, vd.init->type ? vd.init->type
+                                                   : vd.declared_type));
+    } else {
+      set_slot(vd.slot, Interval::bottom());  // (re)opened, unassigned
+    }
+  }
+
+  /// Refines the state under "e evaluated to `truth`". Only shrinks
+  /// intervals — never executes side effects (conditions were already
+  /// evaluated by the caller).
+  void assume(const lime::Expr& e, bool truth) {
+    switch (e.kind) {
+      case ExprKind::kBoolLit:
+        if (as<lime::BoolLitExpr>(e).value != truth) st_.feasible = false;
+        return;
+      case ExprKind::kName: {
+        const auto& n = as<lime::NameExpr>(e);
+        if (n.ref == lime::NameRefKind::kLocal) {
+          refine_slot(n.slot, Interval::constant(truth ? 1 : 0));
+        }
+        return;
+      }
+      case ExprKind::kUnary: {
+        const auto& u = as<lime::UnaryExpr>(e);
+        if (u.op == UnOp::kNot) assume(*u.operand, !truth);
+        return;
+      }
+      case ExprKind::kBinary: {
+        const auto& b = as<lime::BinaryExpr>(e);
+        if (b.op == BinOp::kLAnd) {
+          if (truth) {
+            assume(*b.lhs, true);
+            assume(*b.rhs, true);
+          }
+          return;
+        }
+        if (b.op == BinOp::kLOr) {
+          if (!truth) {
+            assume(*b.lhs, false);
+            assume(*b.rhs, false);
+          }
+          return;
+        }
+        if (!lime::is_comparison(b.op)) return;
+        assume_cmp(b, truth);
+        return;
+      }
+      default:
+        return;
+    }
+  }
+
+ private:
+  Interval slot_of(int slot) const {
+    if (slot < 0 || slot >= static_cast<int>(st_.slots.size())) {
+      return Interval::top();
+    }
+    return st_.slots[static_cast<size_t>(slot)];
+  }
+
+  void set_slot(int slot, Interval v) {
+    if (slot < 0 || slot >= static_cast<int>(st_.slots.size())) return;
+    st_.slots[static_cast<size_t>(slot)] = v;
+  }
+
+  /// Meets the slot with `bound`; an empty result marks the path infeasible
+  /// (the condition can't hold for any value the slot may carry).
+  void refine_slot(int slot, Interval bound) {
+    if (slot < 0 || slot >= static_cast<int>(st_.slots.size())) return;
+    Interval& cur = st_.slots[static_cast<size_t>(slot)];
+    if (cur.bot) return;  // unassigned here; nothing to refine
+    Interval m = meet(cur, bound);
+    if (m.bot) {
+      st_.feasible = false;
+      return;
+    }
+    cur = m;
+  }
+
+  static Interval meet_type(Interval v, const lime::TypeRef& t) {
+    if (v.bot) return v;
+    return meet(v, type_range(t));
+  }
+
+  /// `x ⟨op⟩ bound` assumed true: the interval x must additionally lie in.
+  static Interval cmp_bound(BinOp op, const Interval& bound) {
+    if (bound.bot) return Interval::top();
+    switch (op) {
+      case BinOp::kLt:
+        return Interval::range(kNegInf, sat_add(bound.hi, -1));
+      case BinOp::kLe:
+        return Interval::range(kNegInf, bound.hi);
+      case BinOp::kGt:
+        return Interval::range(sat_add(bound.lo, 1), kPosInf);
+      case BinOp::kGe:
+        return Interval::range(bound.lo, kPosInf);
+      case BinOp::kEq:
+        return bound;
+      case BinOp::kNe:
+      default:
+        return Interval::top();  // can't express a hole in one interval
+    }
+  }
+
+  static BinOp negate_cmp(BinOp op) {
+    switch (op) {
+      case BinOp::kLt: return BinOp::kGe;
+      case BinOp::kLe: return BinOp::kGt;
+      case BinOp::kGt: return BinOp::kLe;
+      case BinOp::kGe: return BinOp::kLt;
+      case BinOp::kEq: return BinOp::kNe;
+      case BinOp::kNe: return BinOp::kEq;
+      default: return op;
+    }
+  }
+
+  static BinOp swap_cmp(BinOp op) {
+    switch (op) {
+      case BinOp::kLt: return BinOp::kGt;
+      case BinOp::kLe: return BinOp::kGe;
+      case BinOp::kGt: return BinOp::kLt;
+      case BinOp::kGe: return BinOp::kLe;
+      default: return op;  // kEq / kNe symmetric
+    }
+  }
+
+  void assume_cmp(const lime::BinaryExpr& b, bool truth) {
+    // Only refine integral comparisons; float compares carry no interval
+    // facts (and NaN breaks trichotomy).
+    if (b.lhs->type && b.lhs->type->is_floating()) return;
+    BinOp op = truth ? b.op : negate_cmp(b.op);
+    // Side-effect-free re-evaluation: conditions with embedded assignments
+    // are not refined (eval would double-apply the effect).
+    if (has_assign(*b.lhs) || has_assign(*b.rhs)) return;
+    Interval lv = eval(*b.lhs);
+    Interval rv = eval(*b.rhs);
+    if (const auto* n = local_name(*b.lhs)) {
+      refine_slot(n->slot, cmp_bound(op, rv));
+    }
+    if (const auto* n = local_name(*b.rhs)) {
+      refine_slot(n->slot, cmp_bound(swap_cmp(op), lv));
+    }
+  }
+
+  static const lime::NameExpr* local_name(const lime::Expr& e) {
+    if (e.kind != ExprKind::kName) return nullptr;
+    const auto& n = as<lime::NameExpr>(e);
+    return n.ref == lime::NameRefKind::kLocal ? &n : nullptr;
+  }
+
+  static bool has_assign(const lime::Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kAssign:
+        return true;
+      case ExprKind::kUnary:
+        return has_assign(*as<lime::UnaryExpr>(e).operand);
+      case ExprKind::kBinary: {
+        const auto& b = as<lime::BinaryExpr>(e);
+        return has_assign(*b.lhs) || has_assign(*b.rhs);
+      }
+      case ExprKind::kTernary: {
+        const auto& t = as<lime::TernaryExpr>(e);
+        return has_assign(*t.cond) || has_assign(*t.then_expr) ||
+               has_assign(*t.else_expr);
+      }
+      case ExprKind::kCast:
+        return has_assign(*as<lime::CastExpr>(e).operand);
+      case ExprKind::kCall: {
+        const auto& c = as<lime::CallExpr>(e);
+        if (c.receiver && has_assign(*c.receiver)) return true;
+        for (const auto& a : c.args) {
+          if (has_assign(*a)) return true;
+        }
+        return false;
+      }
+      case ExprKind::kIndex: {
+        const auto& ix = as<lime::IndexExpr>(e);
+        return has_assign(*ix.array) || has_assign(*ix.index);
+      }
+      case ExprKind::kField: {
+        const auto& f = as<lime::FieldExpr>(e);
+        return f.object && has_assign(*f.object);
+      }
+      default:
+        return false;
+    }
+  }
+
+  Interval eval_binary(const lime::BinaryExpr& b) {
+    if (b.op == BinOp::kLAnd || b.op == BinOp::kLOr) {
+      eval(*b.lhs);
+      IntervalState before_rhs = st_;
+      eval(*b.rhs);  // conditionally evaluated
+      join_into(st_, before_rhs);
+      return Interval::range(0, 1);
+    }
+    Interval l = eval(*b.lhs);
+    Interval r = eval(*b.rhs);
+    if (lime::is_comparison(b.op)) return Interval::range(0, 1);
+    bool integral = b.type ? b.type->is_integral()
+                           : (!b.lhs->type || !b.lhs->type->is_floating());
+    if (!integral) return type_range(b.type);
+    Interval v = arith(b.op, l, r);
+    return meet_type(v, b.type);
+  }
+
+  static Interval arith(BinOp op, const Interval& l, const Interval& r) {
+    switch (op) {
+      case BinOp::kAdd: return iv_add(l, r);
+      case BinOp::kSub: return iv_sub(l, r);
+      case BinOp::kMul: return iv_mul(l, r);
+      case BinOp::kDiv: return iv_div(l, r);
+      case BinOp::kRem: return iv_rem(l, r);
+      case BinOp::kShl:
+        if (!r.bot && r.lo == r.hi && r.lo >= 0 && r.lo < 32) {
+          return iv_mul(l, Interval::constant(int64_t{1} << r.lo));
+        }
+        return Interval::top();
+      case BinOp::kShr:
+        if (!r.bot && r.lo == r.hi && r.lo >= 0 && r.lo < 32 && !l.bot &&
+            l.lo >= 0) {
+          return iv_div(l, Interval::constant(int64_t{1} << r.lo));
+        }
+        return Interval::top();
+      case BinOp::kAnd:
+        // x & mask with both non-negative: bounded by min of the two his.
+        if (!l.bot && !r.bot && l.lo >= 0 && r.lo >= 0) {
+          return Interval::range(0, std::min(l.hi, r.hi));
+        }
+        return Interval::top();
+      case BinOp::kOr:
+      case BinOp::kXor:
+        return Interval::top();
+      default:
+        return Interval::top();
+    }
+  }
+
+  Interval eval_assign(const lime::AssignExpr& a) {
+    if (a.target->kind == ExprKind::kName) {
+      const auto& n = as<lime::NameExpr>(*a.target);
+      if (n.ref == lime::NameRefKind::kLocal) {
+        Interval cur = slot_of(n.slot);
+        Interval v = eval(*a.value);
+        Interval result;
+        if (!a.compound) {
+          result = v;
+        } else {
+          Interval base = cur.bot ? type_range(a.target->type) : cur;
+          result = arith(a.op, base, v);
+        }
+        result = meet_type(result, a.target->type);
+        set_slot(n.slot, result);
+        return result;
+      }
+      eval(*a.target);
+      return eval(*a.value);
+    }
+    if (a.target->kind == ExprKind::kIndex) {
+      const auto& ix = as<lime::IndexExpr>(*a.target);
+      eval(*ix.array);
+      eval(*ix.index);
+      return eval(*a.value);
+    }
+    eval(*a.target);
+    return eval(*a.value);
+  }
+
+  IntervalState& st_;
+};
+
+/// The custom widening worklist plus narrowing passes. Keeps per-block
+/// in-states; out-states are recomputed on demand (transfer is cheap).
+class IntervalSolver {
+ public:
+  IntervalSolver(const Cfg& cfg, const lime::MethodDecl& m,
+                 const std::vector<Interval>& arg_ranges)
+      : cfg_(cfg), method_(m) {
+    size_t n = cfg.blocks.size();
+    in_.resize(n);
+    reachable_.assign(n, 0);
+    rpo_ = reverse_post_order(cfg);
+    rpo_pos_.assign(n, -1);
+    for (size_t i = 0; i < rpo_.size(); ++i) {
+      rpo_pos_[static_cast<size_t>(rpo_[i])] = static_cast<int>(i);
+    }
+    // Widening points: targets of back edges (pred not earlier in RPO).
+    widen_point_.assign(n, 0);
+    for (int b : rpo_) {
+      for (int p : cfg.blocks[static_cast<size_t>(b)].preds) {
+        int pp = rpo_pos_[static_cast<size_t>(p)];
+        if (pp < 0 || pp >= rpo_pos_[static_cast<size_t>(b)]) {
+          widen_point_[static_cast<size_t>(b)] = 1;
+        }
+      }
+    }
+    in_[Cfg::kEntry] = boundary(arg_ranges);
+    reachable_[Cfg::kEntry] = 1;
+  }
+
+  void solve() {
+    join_count_.assign(cfg_.blocks.size(), 0);
+    std::deque<int> work(rpo_.begin(), rpo_.end());
+    std::vector<char> queued(cfg_.blocks.size(), 1);
+    // Widening guarantees convergence; the cap is a belt-and-braces bound
+    // that the termination stress test asserts is never approached.
+    const int max_visits = static_cast<int>(cfg_.blocks.size()) * 64 + 4096;
+    while (!work.empty() && visits_ < max_visits) {
+      int b = work.front();
+      work.pop_front();
+      queued[static_cast<size_t>(b)] = 0;
+      if (!reachable_[static_cast<size_t>(b)]) continue;
+      ++visits_;
+      for_each_edge(b, [&](int s, IntervalState&& edge_state) {
+        if (!edge_state.feasible) return;
+        bool changed;
+        auto su = static_cast<size_t>(s);
+        if (!reachable_[su]) {
+          in_[su] = std::move(edge_state);
+          reachable_[su] = 1;
+          changed = true;
+        } else {
+          IntervalState joined = in_[su];
+          join_into(joined, edge_state);
+          if (joined == in_[su]) {
+            changed = false;
+          } else {
+            if (widen_point_[su] && ++join_count_[su] > kWidenDelay) {
+              for (size_t i = 0; i < joined.slots.size(); ++i) {
+                joined.slots[i] = widen(in_[su].slots[i], joined.slots[i]);
+              }
+            }
+            in_[su] = std::move(joined);
+            changed = true;
+          }
+        }
+        if (changed && !queued[su]) {
+          work.push_back(s);
+          queued[su] = 1;
+        }
+      });
+    }
+    converged_ = work.empty();
+    // Narrowing: bounded decreasing passes recomputing each in-state from
+    // its predecessors without widening. Sound after stabilization; each
+    // pass can only tighten.
+    for (int pass = 0; pass < kNarrowPasses; ++pass) {
+      for (int b : rpo_) {
+        if (b == Cfg::kEntry) continue;
+        auto bu = static_cast<size_t>(b);
+        if (!reachable_[bu]) continue;
+        IntervalState fresh;
+        fresh.feasible = false;
+        for (int p : cfg_.blocks[bu].preds) {
+          if (!reachable_[static_cast<size_t>(p)]) continue;
+          for_each_edge(p, [&](int s, IntervalState&& edge_state) {
+            if (s == b && edge_state.feasible) join_into(fresh, edge_state);
+          });
+        }
+        if (fresh.feasible) in_[bu] = std::move(fresh);
+      }
+    }
+  }
+
+  const IntervalState& in(int b) const {
+    return in_[static_cast<size_t>(b)];
+  }
+  bool reachable(int b) const {
+    return reachable_[static_cast<size_t>(b)] != 0;
+  }
+  int visits() const { return visits_; }
+  bool converged() const { return converged_; }
+
+  /// Joined interval of every reachable `return <expr>` value.
+  Interval return_range() const {
+    Interval r = Interval::bottom();
+    for (int b : rpo_) {
+      auto bu = static_cast<size_t>(b);
+      if (!reachable_[bu]) continue;
+      const auto& blk = cfg_.blocks[bu];
+      bool to_exit = false;
+      for (int s : blk.succs) to_exit |= s == Cfg::kExit;
+      if (!to_exit || blk.items.empty()) continue;
+      IntervalState st = in_[bu];
+      IntervalEvaluator ev(st);
+      Interval last = Interval::bottom();
+      for (const CfgItem& item : blk.items) {
+        if (item.decl) {
+          ev.declare(*item.decl);
+          last = Interval::bottom();
+        } else if (item.expr) {
+          last = ev.eval(*item.expr);
+        }
+      }
+      r = join(r, last);
+    }
+    return meet_type_checked(r);
+  }
+
+ private:
+  Interval meet_type_checked(Interval r) const {
+    if (r.bot) return r;
+    if (method_.return_type && method_.return_type->is_integral()) {
+      return meet(r, type_range(method_.return_type));
+    }
+    return r;
+  }
+
+  IntervalState boundary(const std::vector<Interval>& arg_ranges) const {
+    IntervalState s;
+    s.slots.assign(static_cast<size_t>(std::max(method_.num_slots, 0)),
+                   Interval::bottom());
+    for (size_t i = 0; i < method_.params.size(); ++i) {
+      const lime::Param& p = method_.params[i];
+      if (p.slot < 0 || p.slot >= static_cast<int>(s.slots.size())) continue;
+      Interval v = i < arg_ranges.size() && !arg_ranges[i].bot
+                       ? meet(arg_ranges[i], type_range(p.type))
+                       : type_range(p.type);
+      s.slots[static_cast<size_t>(p.slot)] = v;
+    }
+    return s;
+  }
+
+  /// Transfers block `b` and hands each outgoing edge its (possibly
+  /// branch-refined) state. A block ending in a condition has exactly two
+  /// successors by construction (cfg.cpp): succs[0] is the true edge.
+  template <typename Fn>
+  void for_each_edge(int b, Fn&& fn) const {
+    auto bu = static_cast<size_t>(b);
+    const CfgBlock& blk = cfg_.blocks[bu];
+    IntervalState out = in_[bu];
+    IntervalEvaluator ev(out);
+    for (const CfgItem& item : blk.items) {
+      if (item.decl) {
+        ev.declare(*item.decl);
+      } else if (item.expr) {
+        ev.eval(*item.expr);
+      }
+    }
+    const lime::Expr* cond =
+        blk.succs.size() == 2 && !blk.items.empty() && !blk.items.back().decl
+            ? blk.items.back().expr
+            : nullptr;
+    for (size_t i = 0; i < blk.succs.size(); ++i) {
+      IntervalState edge_state = out;
+      if (cond) {
+        IntervalEvaluator refine(edge_state);
+        refine.assume(*cond, i == 0);
+      }
+      fn(blk.succs[i], std::move(edge_state));
+    }
+  }
+
+  const Cfg& cfg_;
+  const lime::MethodDecl& method_;
+  std::vector<IntervalState> in_;
+  std::vector<char> reachable_;
+  std::vector<int> rpo_;
+  std::vector<int> rpo_pos_;
+  std::vector<char> widen_point_;
+  std::vector<int> join_count_;
+  int visits_ = 0;
+  bool converged_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Trip counts
+// ---------------------------------------------------------------------------
+
+const lime::NameExpr* as_local(const lime::Expr& e) {
+  if (e.kind != ExprKind::kName) return nullptr;
+  const auto& n = as<lime::NameExpr>(e);
+  return n.ref == lime::NameRefKind::kLocal ? &n : nullptr;
+}
+
+/// Recognizes `i = i ± c`, `i += c`, `i -= c` for local slot `slot`;
+/// returns the signed step via `step` (c must be a literal constant).
+bool match_step(const lime::Expr& e, int slot, int64_t* step) {
+  if (e.kind != ExprKind::kAssign) return false;
+  const auto& a = as<lime::AssignExpr>(e);
+  const auto* t = as_local(*a.target);
+  if (!t || t->slot != slot) return false;
+  auto lit = [](const lime::Expr& x, int64_t* v) {
+    if (x.kind == ExprKind::kIntLit) {
+      *v = as<lime::IntLitExpr>(x).value;
+      return true;
+    }
+    return false;
+  };
+  int64_t c = 0;
+  if (a.compound) {
+    if (!lit(*a.value, &c)) return false;
+    if (a.op == BinOp::kAdd) { *step = c; return true; }
+    if (a.op == BinOp::kSub) { *step = -c; return true; }
+    return false;
+  }
+  if (a.value->kind != ExprKind::kBinary) return false;
+  const auto& b = as<lime::BinaryExpr>(*a.value);
+  const auto* l = as_local(*b.lhs);
+  const auto* r = as_local(*b.rhs);
+  if (b.op == BinOp::kAdd) {
+    if (l && l->slot == slot && lit(*b.rhs, &c)) { *step = c; return true; }
+    if (r && r->slot == slot && lit(*b.lhs, &c)) { *step = c; return true; }
+    return false;
+  }
+  if (b.op == BinOp::kSub) {
+    if (l && l->slot == slot && lit(*b.rhs, &c)) { *step = -c; return true; }
+    return false;
+  }
+  return false;
+}
+
+/// Counts assignments (of any shape) to `slot` inside a statement subtree,
+/// and remembers the single step-shaped one if that's all there is.
+struct StepScan {
+  int slot;
+  int assigns = 0;
+  int steps = 0;
+  int64_t step = 0;
+
+  void expr(const lime::Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kAssign: {
+        const auto& a = as<lime::AssignExpr>(e);
+        const auto* t = as_local(*a.target);
+        if (t && t->slot == slot) {
+          ++assigns;
+          int64_t s = 0;
+          if (match_step(e, slot, &s)) {
+            ++steps;
+            step = s;
+          }
+        }
+        expr(*a.target);
+        expr(*a.value);
+        return;
+      }
+      case ExprKind::kUnary:
+        expr(*as<lime::UnaryExpr>(e).operand);
+        return;
+      case ExprKind::kBinary: {
+        const auto& b = as<lime::BinaryExpr>(e);
+        expr(*b.lhs);
+        expr(*b.rhs);
+        return;
+      }
+      case ExprKind::kTernary: {
+        const auto& t = as<lime::TernaryExpr>(e);
+        expr(*t.cond);
+        expr(*t.then_expr);
+        expr(*t.else_expr);
+        return;
+      }
+      case ExprKind::kCall: {
+        const auto& c = as<lime::CallExpr>(e);
+        if (c.receiver) expr(*c.receiver);
+        for (const auto& a : c.args) expr(*a);
+        return;
+      }
+      case ExprKind::kIndex: {
+        const auto& ix = as<lime::IndexExpr>(e);
+        expr(*ix.array);
+        expr(*ix.index);
+        return;
+      }
+      case ExprKind::kField: {
+        const auto& f = as<lime::FieldExpr>(e);
+        if (f.object) expr(*f.object);
+        return;
+      }
+      case ExprKind::kNewArray: {
+        const auto& n = as<lime::NewArrayExpr>(e);
+        if (n.length) expr(*n.length);
+        if (n.from_array) expr(*n.from_array);
+        return;
+      }
+      case ExprKind::kCast:
+        expr(*as<lime::CastExpr>(e).operand);
+        return;
+      case ExprKind::kMap:
+      case ExprKind::kReduce: {
+        const auto& args = e.kind == ExprKind::kMap
+                               ? as<lime::MapExpr>(e).args
+                               : as<lime::ReduceExpr>(e).args;
+        for (const auto& a : args) expr(*a);
+        return;
+      }
+      case ExprKind::kRelocate:
+        expr(*as<lime::RelocateExpr>(e).inner);
+        return;
+      case ExprKind::kConnect: {
+        const auto& c = as<lime::ConnectExpr>(e);
+        expr(*c.lhs);
+        expr(*c.rhs);
+        return;
+      }
+      default:
+        return;
+    }
+  }
+
+  void stmt(const lime::Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::kBlock:
+        for (const auto& c : as<lime::BlockStmt>(s).stmts) {
+          if (c) stmt(*c);
+        }
+        return;
+      case StmtKind::kExpr:
+        if (as<lime::ExprStmt>(s).expr) expr(*as<lime::ExprStmt>(s).expr);
+        return;
+      case StmtKind::kVarDecl: {
+        const auto& vd = as<lime::VarDeclStmt>(s);
+        if (vd.slot == slot) ++assigns;  // redeclaration resets the slot
+        if (vd.init) expr(*vd.init);
+        return;
+      }
+      case StmtKind::kIf: {
+        const auto& is = as<lime::IfStmt>(s);
+        expr(*is.cond);
+        stmt(*is.then_stmt);
+        if (is.else_stmt) stmt(*is.else_stmt);
+        return;
+      }
+      case StmtKind::kWhile: {
+        const auto& ws = as<lime::WhileStmt>(s);
+        expr(*ws.cond);
+        stmt(*ws.body);
+        return;
+      }
+      case StmtKind::kFor: {
+        const auto& fs = as<lime::ForStmt>(s);
+        if (fs.init) stmt(*fs.init);
+        if (fs.cond) expr(*fs.cond);
+        if (fs.update) expr(*fs.update);
+        stmt(*fs.body);
+        return;
+      }
+      case StmtKind::kReturn:
+        if (as<lime::ReturnStmt>(s).value) {
+          expr(*as<lime::ReturnStmt>(s).value);
+        }
+        return;
+      default:
+        return;
+    }
+  }
+};
+
+/// Derives an upper trip bound for one loop from the interval state at its
+/// head block. `head_state` already over-approximates every iteration, so
+/// the induction variable's head interval contains its initial value and
+/// the bound expression's interval contains every bound the loop ever
+/// compares against — the division below is therefore a sound upper bound.
+bool derive_trips(const lime::Stmt& loop, const IntervalState& head_state,
+                  int64_t* out_trips) {
+  const lime::Expr* cond = nullptr;
+  const lime::Expr* update = nullptr;
+  const lime::Stmt* body = nullptr;
+  if (loop.kind == StmtKind::kFor) {
+    const auto& fs = as<lime::ForStmt>(loop);
+    cond = fs.cond.get();
+    update = fs.update.get();
+    body = fs.body.get();
+  } else if (loop.kind == StmtKind::kWhile) {
+    const auto& ws = as<lime::WhileStmt>(loop);
+    cond = ws.cond.get();
+    body = ws.body.get();
+  }
+  if (!cond || !body) return false;
+  if (cond->kind == ExprKind::kBoolLit) {
+    if (!as<lime::BoolLitExpr>(*cond).value) {
+      *out_trips = 0;
+      return true;
+    }
+    return false;  // while(true)
+  }
+  if (cond->kind != ExprKind::kBinary) return false;
+  const auto& b = as<lime::BinaryExpr>(*cond);
+  if (!lime::is_comparison(b.op)) return false;
+  // Canonicalize to  i ⟨op⟩ bound  with i a local.
+  const lime::NameExpr* iv = as_local(*b.lhs);
+  const lime::Expr* bound_expr = b.rhs.get();
+  BinOp op = b.op;
+  if (!iv) {
+    iv = as_local(*b.rhs);
+    bound_expr = b.lhs.get();
+    op = iv ? [](BinOp o) {
+      switch (o) {
+        case BinOp::kLt: return BinOp::kGt;
+        case BinOp::kLe: return BinOp::kGe;
+        case BinOp::kGt: return BinOp::kLt;
+        case BinOp::kGe: return BinOp::kLe;
+        default: return o;
+      }
+    }(op) : op;
+  }
+  if (!iv) return false;
+  if (b.lhs->type && b.lhs->type->is_floating()) return false;
+
+  // The induction step: for-loops require the update expression to be the
+  // only writer of i; while-loops require exactly one step-shaped writer in
+  // the body.
+  int64_t step = 0;
+  StepScan scan{iv->slot};
+  scan.stmt(*body);
+  if (loop.kind == StmtKind::kFor) {
+    if (scan.assigns != 0) return false;
+    if (!update || !match_step(*update, iv->slot, &step)) return false;
+  } else {
+    if (scan.assigns != 1 || scan.steps != 1) return false;
+    step = scan.step;
+  }
+  if (step == 0) return false;
+
+  StepScan probe{iv->slot};
+  probe.expr(*bound_expr);
+  if (probe.assigns != 0) return false;  // bound expression mutates i — bail
+  IntervalState st = head_state;
+  IntervalEvaluator ev(st);
+  Interval bound = ev.eval(*bound_expr);
+  Interval ivr = st.slots.size() > static_cast<size_t>(iv->slot) &&
+                         iv->slot >= 0
+                     ? st.slots[static_cast<size_t>(iv->slot)]
+                     : Interval::top();
+  if (bound.bot || ivr.bot) return false;
+
+  int64_t span;  // worst-case distance the induction var must cover
+  if (step > 0) {
+    if (op != BinOp::kLt && op != BinOp::kLe) return false;
+    if (bound.hi == kPosInf || ivr.lo == kNegInf) return false;
+    span = sat_add(bound.hi, sat_neg(ivr.lo));
+    if (op == BinOp::kLe) span = sat_add(span, 1);
+  } else {
+    if (op != BinOp::kGt && op != BinOp::kGe) return false;
+    if (bound.lo == kNegInf || ivr.hi == kPosInf) return false;
+    span = sat_add(ivr.hi, sat_neg(bound.lo));
+    if (op == BinOp::kGe) span = sat_add(span, 1);
+  }
+  if (span <= 0) {
+    *out_trips = 0;
+    return true;
+  }
+  if (is_inf(span)) return false;
+  int64_t mag = step > 0 ? step : -step;
+  *out_trips = (span + mag - 1) / mag;
+  return true;
+}
+
+/// AST pre-order walk collecting loops with nesting depth.
+void collect_loops(const lime::Stmt& s, int depth,
+                   std::vector<std::pair<const lime::Stmt*, int>>* out) {
+  switch (s.kind) {
+    case StmtKind::kBlock:
+      for (const auto& c : as<lime::BlockStmt>(s).stmts) {
+        if (c) collect_loops(*c, depth, out);
+      }
+      return;
+    case StmtKind::kIf: {
+      const auto& is = as<lime::IfStmt>(s);
+      collect_loops(*is.then_stmt, depth, out);
+      if (is.else_stmt) collect_loops(*is.else_stmt, depth, out);
+      return;
+    }
+    case StmtKind::kWhile:
+      out->emplace_back(&s, depth);
+      collect_loops(*as<lime::WhileStmt>(s).body, depth + 1, out);
+      return;
+    case StmtKind::kFor:
+      out->emplace_back(&s, depth);
+      collect_loops(*as<lime::ForStmt>(s).body, depth + 1, out);
+      return;
+    default:
+      return;
+  }
+}
+
+}  // namespace
+
+int64_t RangeFacts::trips_or(const lime::Stmt* stmt, int64_t fallback) const {
+  for (const LoopBound& lb : loops) {
+    if (lb.stmt == stmt) return lb.bounded ? lb.max_trips : fallback;
+  }
+  return fallback;
+}
+
+RangeFacts analyze_ranges(const lime::MethodDecl& m,
+                          const std::vector<Interval>& arg_ranges) {
+  RangeFacts facts;
+  facts.method = &m;
+  if (!m.body) return facts;
+  Cfg cfg = build_cfg(m);
+  IntervalSolver solver(cfg, m, arg_ranges);
+  solver.solve();
+  facts.solver_visits = solver.visits();
+  facts.converged = solver.converged();
+  facts.return_range = solver.return_range();
+  if (solver.reachable(Cfg::kExit)) {
+    facts.exit_slots = solver.in(Cfg::kExit).slots;
+  } else {
+    facts.exit_slots.assign(static_cast<size_t>(std::max(m.num_slots, 0)),
+                            Interval::bottom());
+  }
+
+  std::vector<std::pair<const lime::Stmt*, int>> loops;
+  collect_loops(*m.body, 0, &loops);
+  for (const auto& [stmt, depth] : loops) {
+    LoopBound lb;
+    lb.stmt = stmt;
+    lb.loc = stmt->loc;
+    lb.depth = depth;
+    int head = -1;
+    for (const auto& [ls, hb] : cfg.loop_heads) {
+      if (ls == stmt) head = hb;
+    }
+    if (head >= 0 && solver.reachable(head)) {
+      int64_t trips = 0;
+      if (derive_trips(*stmt, solver.in(head), &trips)) {
+        lb.bounded = true;
+        lb.max_trips = trips;
+      }
+    } else if (head >= 0) {
+      lb.bounded = true;  // statically unreachable loop never fires
+      lb.max_trips = 0;
+    }
+    facts.loops.push_back(lb);
+  }
+  return facts;
+}
+
+}  // namespace lm::analysis

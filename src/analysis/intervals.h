@@ -1,0 +1,115 @@
+// Interval (value-range) abstract interpretation over Lime method bodies.
+//
+// The third pillar of the analysis framework (DESIGN.md §13): an interval
+// domain with widening/narrowing run as a custom worklist over the CFG
+// substrate (cfg.h). Unlike the finite lattices of definite_assignment.cpp,
+// intervals form infinite ascending chains, so the generic solve_forward
+// cannot be reused as-is — the solver here widens at back-edge targets after
+// a few precise joins, then runs bounded narrowing passes to recover the
+// precision widening threw away.
+//
+// Consumers:
+//   * loop trip-count bounds       → static cost estimator (cost_estimate.h)
+//   * per-slot / return ranges     → deadlock verifier rate facts, lmc output
+//   * the same machinery over kernel IR lives in kernel_ranges.h.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/cfg.h"
+#include "lime/ast.h"
+
+namespace lm::analysis {
+
+/// A (possibly unbounded) signed integer interval. `kNegInf`/`kPosInf` are
+/// sentinel endpoints; arithmetic saturates toward them, never wraps.
+struct Interval {
+  static constexpr int64_t kNegInf = INT64_MIN;
+  static constexpr int64_t kPosInf = INT64_MAX;
+
+  /// Bottom means "no integer value reaches here" (dead path, or a
+  /// non-integer expression). lo/hi are meaningless when bot is set.
+  bool bot = true;
+  int64_t lo = 0;
+  int64_t hi = 0;
+
+  static Interval bottom() { return {}; }
+  static Interval top() { return {false, kNegInf, kPosInf}; }
+  static Interval constant(int64_t v) { return {false, v, v}; }
+  static Interval range(int64_t lo, int64_t hi) {
+    if (lo > hi) return bottom();
+    return {false, lo, hi};
+  }
+
+  bool is_bottom() const { return bot; }
+  bool is_top() const { return !bot && lo == kNegInf && hi == kPosInf; }
+  /// Both endpoints finite — the property fusion-safety cares about.
+  bool bounded() const { return !bot && lo != kNegInf && hi != kPosInf; }
+  bool contains(int64_t v) const { return !bot && lo <= v && v <= hi; }
+
+  bool operator==(const Interval& o) const {
+    if (bot || o.bot) return bot == o.bot;
+    return lo == o.lo && hi == o.hi;
+  }
+
+  std::string to_string() const;
+};
+
+// Lattice operations.
+Interval join(const Interval& a, const Interval& b);   // least upper bound
+Interval meet(const Interval& a, const Interval& b);   // greatest lower bound
+/// Standard widening: endpoints that grew since `prev` jump to infinity.
+Interval widen(const Interval& prev, const Interval& next);
+
+// Abstract arithmetic (saturating; division/remainder by a range containing
+// zero degrades to top rather than guessing).
+Interval iv_add(const Interval& a, const Interval& b);
+Interval iv_sub(const Interval& a, const Interval& b);
+Interval iv_mul(const Interval& a, const Interval& b);
+Interval iv_div(const Interval& a, const Interval& b);
+Interval iv_rem(const Interval& a, const Interval& b);
+Interval iv_neg(const Interval& a);
+Interval iv_min(const Interval& a, const Interval& b);
+Interval iv_max(const Interval& a, const Interval& b);
+Interval iv_abs(const Interval& a);
+
+/// The representable range of a Lime static type (int → 32-bit range,
+/// bit/boolean → [0,1], long → top, floats/refs → bottom).
+Interval type_range(const lime::TypeRef& t);
+
+/// Trip-count bound for one loop statement, derived from the interval facts
+/// at its head block.
+struct LoopBound {
+  const lime::Stmt* stmt = nullptr;  // the ForStmt / WhileStmt
+  SourceLoc loc;
+  int depth = 0;          // nesting depth; outermost loop = 0
+  bool bounded = false;   // max_trips is a proven upper bound
+  int64_t max_trips = 0;  // valid only when bounded
+};
+
+/// Everything the interval pass learned about one method.
+struct RangeFacts {
+  const lime::MethodDecl* method = nullptr;
+  std::vector<LoopBound> loops;   // in AST pre-order
+  Interval return_range;          // join over all reachable returns
+  /// Final interval per local slot at method exit (size = num_slots).
+  std::vector<Interval> exit_slots;
+  /// Solver introspection, asserted by the widening-termination stress test:
+  /// total block visits until fixpoint (bounded even for 10k-iteration
+  /// nested loops thanks to widening) and whether a fixpoint was reached.
+  int solver_visits = 0;
+  bool converged = false;
+
+  /// Upper trip bound for `stmt`, or `fallback` when unbounded/unknown.
+  int64_t trips_or(const lime::Stmt* stmt, int64_t fallback) const;
+};
+
+/// Runs the interval analysis over `m` (which must have a body).
+/// `arg_ranges`, when non-empty, constrains parameter slots at entry;
+/// otherwise parameters start at their type range.
+RangeFacts analyze_ranges(const lime::MethodDecl& m,
+                          const std::vector<Interval>& arg_ranges = {});
+
+}  // namespace lm::analysis

@@ -1,0 +1,590 @@
+// Interval analysis over kernel IR (kernel_ranges.h).
+//
+// Mirrors the widening worklist of intervals.cpp on a mini-CFG built from
+// the instruction stream: leaders at jump targets and fall-throughs, one
+// abstract register file per block entry. Comparison provenance (which
+// kCmp produced a bool register) lets kJumpIfFalse refine the compared
+// registers on both edges — without it every loop counter would widen
+// straight to +inf and no loop kernel could ever be proven bounded.
+#include "analysis/kernel_ranges.h"
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+#include "analysis/intervals.h"
+
+namespace lm::analysis {
+
+namespace {
+
+using gpu::KInstr;
+using gpu::KOp;
+using gpu::KernelProgram;
+using gpu::NumType;
+using bc::ArithOp;
+using bc::CmpOp;
+
+Interval num_range(NumType t) {
+  switch (t) {
+    case NumType::kI32:
+      return Interval::range(INT32_MIN, INT32_MAX);
+    case NumType::kI64:
+      return Interval::top();
+    case NumType::kBool:
+    case NumType::kBit:
+      return Interval::range(0, 1);
+    case NumType::kF32:
+    case NumType::kF64:
+      return Interval::top();
+  }
+  return Interval::top();
+}
+
+bool is_float(NumType t) { return t == NumType::kF32 || t == NumType::kF64; }
+
+/// Result of an arithmetic op whose true semantics wrap: keep the abstract
+/// result only when it provably fits the lane, else the whole lane range.
+Interval clamp_wrap(const Interval& v, NumType t) {
+  Interval tr = num_range(t);
+  if (!v.bot && meet(v, tr) == v) return v;
+  return tr;
+}
+
+/// `x ⟨op⟩ y` assumed true: the interval x must additionally lie in,
+/// given y's interval.
+Interval cmp_bound(CmpOp op, const Interval& y) {
+  if (y.bot) return Interval::top();
+  switch (op) {
+    case CmpOp::kLt:
+      return Interval::range(Interval::kNegInf,
+                             y.hi == Interval::kPosInf ? Interval::kPosInf
+                                                       : y.hi - 1);
+    case CmpOp::kLe:
+      return Interval::range(Interval::kNegInf, y.hi);
+    case CmpOp::kGt:
+      return Interval::range(y.lo == Interval::kNegInf ? Interval::kNegInf
+                                                       : y.lo + 1,
+                             Interval::kPosInf);
+    case CmpOp::kGe:
+      return Interval::range(y.lo, Interval::kPosInf);
+    case CmpOp::kEq:
+      return y;
+    case CmpOp::kNe:
+      return Interval::top();
+  }
+  return Interval::top();
+}
+
+CmpOp negate_cmp(CmpOp op) {
+  switch (op) {
+    case CmpOp::kLt: return CmpOp::kGe;
+    case CmpOp::kLe: return CmpOp::kGt;
+    case CmpOp::kGt: return CmpOp::kLe;
+    case CmpOp::kGe: return CmpOp::kLt;
+    case CmpOp::kEq: return CmpOp::kNe;
+    case CmpOp::kNe: return CmpOp::kEq;
+  }
+  return op;
+}
+
+CmpOp swap_cmp(CmpOp op) {
+  switch (op) {
+    case CmpOp::kLt: return CmpOp::kGt;
+    case CmpOp::kLe: return CmpOp::kGe;
+    case CmpOp::kGt: return CmpOp::kLt;
+    case CmpOp::kGe: return CmpOp::kLe;
+    default: return op;
+  }
+}
+
+enum RegKind : uint8_t { kUnset = 0, kInt = 1, kFloat = 2 };
+
+/// Provenance of a bool register: the comparison that produced it, while
+/// neither operand register has been redefined since.
+struct CmpFact {
+  bool valid = false;
+  CmpOp op = CmpOp::kEq;
+  uint16_t lhs = 0;
+  uint16_t rhs = 0;
+};
+
+struct RegFile {
+  bool feasible = false;  // block not yet reached
+  std::vector<Interval> iv;
+  std::vector<uint8_t> kind;
+  std::vector<CmpFact> cmp;
+};
+
+void join_regfile(RegFile& into, const RegFile& from) {
+  if (!from.feasible) return;
+  if (!into.feasible) {
+    into = from;
+    return;
+  }
+  for (size_t i = 0; i < into.iv.size(); ++i) {
+    into.iv[i] = join(into.iv[i], from.iv[i]);
+    if (into.kind[i] != from.kind[i]) {
+      into.kind[i] = into.kind[i] == kUnset ? from.kind[i]
+                     : from.kind[i] == kUnset
+                         ? into.kind[i]
+                         : static_cast<uint8_t>(kFloat);
+    }
+    const CmpFact& a = into.cmp[i];
+    const CmpFact& b = from.cmp[i];
+    if (!(a.valid && b.valid && a.op == b.op && a.lhs == b.lhs &&
+          a.rhs == b.rhs)) {
+      into.cmp[i].valid = false;
+    }
+  }
+}
+
+bool regfile_eq(const RegFile& a, const RegFile& b) {
+  if (a.feasible != b.feasible) return false;
+  if (!a.feasible) return true;
+  for (size_t i = 0; i < a.iv.size(); ++i) {
+    if (!(a.iv[i] == b.iv[i]) || a.kind[i] != b.kind[i]) return false;
+    if (a.cmp[i].valid != b.cmp[i].valid) return false;
+    if (a.cmp[i].valid &&
+        (a.cmp[i].op != b.cmp[i].op || a.cmp[i].lhs != b.cmp[i].lhs ||
+         a.cmp[i].rhs != b.cmp[i].rhs)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+class KernelRangeAnalysis {
+ public:
+  explicit KernelRangeAnalysis(KernelProgram& k) : k_(k) {}
+
+  void run() {
+    if (k_.code.empty() || k_.num_regs <= 0) {
+      k_.ranges_annotated = true;
+      k_.reg_ranges.assign(static_cast<size_t>(std::max(k_.num_regs, 0)), {});
+      k_.bounds_check_elidable = k_.num_regs >= 0;
+      k_.fusion_safe = true;
+      return;
+    }
+    build_blocks();
+    solve();
+    summarize();
+  }
+
+ private:
+  // -- Mini-CFG ----------------------------------------------------------
+
+  void build_blocks() {
+    size_t n = k_.code.size();
+    std::vector<char> leader(n, 0);
+    leader[0] = 1;
+    for (size_t i = 0; i < n; ++i) {
+      const KInstr& in = k_.code[i];
+      if (in.op == KOp::kJump || in.op == KOp::kJumpIfFalse) {
+        if (in.imm >= 0 && static_cast<size_t>(in.imm) < n) {
+          leader[static_cast<size_t>(in.imm)] = 1;
+        }
+        if (i + 1 < n) leader[i + 1] = 1;
+      } else if (in.op == KOp::kRet && i + 1 < n) {
+        leader[i + 1] = 1;
+      }
+    }
+    block_of_.assign(n, -1);
+    for (size_t i = 0; i < n; ++i) {
+      if (leader[i]) starts_.push_back(static_cast<int>(i));
+      block_of_[i] = static_cast<int>(starts_.size()) - 1;
+    }
+    size_t nb = starts_.size();
+    succs_.assign(nb, {});
+    for (size_t b = 0; b < nb; ++b) {
+      size_t end = b + 1 < nb ? static_cast<size_t>(starts_[b + 1]) : n;
+      const KInstr& last = k_.code[end - 1];
+      switch (last.op) {
+        case KOp::kRet:
+          break;
+        case KOp::kJump:
+          add_succ(b, last.imm);
+          break;
+        case KOp::kJumpIfFalse:
+          // succ order: [0] = fall-through (condition true), [1] = taken.
+          if (end < n) add_succ(b, static_cast<int>(end));
+          add_succ(b, last.imm);
+          break;
+        default:
+          if (end < n) add_succ(b, static_cast<int>(end));
+          break;
+      }
+    }
+  }
+
+  void add_succ(size_t b, int target_pc) {
+    if (target_pc < 0 || static_cast<size_t>(target_pc) >= k_.code.size()) {
+      return;  // malformed target; ir_verify (LM3xx) reports it
+    }
+    succs_[b].push_back(block_of_[static_cast<size_t>(target_pc)]);
+  }
+
+  // -- Transfer ----------------------------------------------------------
+
+  void write_reg(RegFile& st, uint16_t dst, Interval v, uint8_t kind) const {
+    if (dst >= st.iv.size()) return;
+    st.iv[dst] = v;
+    st.kind[dst] = kind;
+    st.cmp[dst].valid = false;
+    for (CmpFact& f : st.cmp) {
+      if (f.valid && (f.lhs == dst || f.rhs == dst)) f.valid = false;
+    }
+  }
+
+  Interval reg(const RegFile& st, uint16_t r) const {
+    if (r >= st.iv.size()) return Interval::top();
+    Interval v = st.iv[r];
+    return v.bot ? Interval::top() : v;
+  }
+
+  void transfer(const KInstr& in, RegFile& st) const {
+    switch (in.op) {
+      case KOp::kLoadParam: {
+        NumType t = in.a < k_.params.size() ? k_.params[in.a].type
+                                            : NumType::kI32;
+        write_reg(st, in.dst, num_range(t),
+                  is_float(t) ? kFloat : kInt);
+        return;
+      }
+      case KOp::kLoadConst: {
+        if (in.a < k_.consts.size()) {
+          const gpu::KConst& c = k_.consts[in.a];
+          switch (c.type) {
+            case NumType::kI32:
+              write_reg(st, in.dst, Interval::constant(c.value.i32), kInt);
+              return;
+            case NumType::kI64:
+              write_reg(st, in.dst, Interval::constant(c.value.i64), kInt);
+              return;
+            case NumType::kBool:
+            case NumType::kBit:
+              write_reg(st, in.dst,
+                        Interval::constant(c.value.b ? 1 : 0), kInt);
+              return;
+            default:
+              write_reg(st, in.dst, Interval::top(), kFloat);
+              return;
+          }
+        }
+        write_reg(st, in.dst, Interval::top(), kInt);
+        return;
+      }
+      case KOp::kLoadElem: {
+        NumType t = in.a < k_.params.size() ? k_.params[in.a].type
+                                            : NumType::kI32;
+        write_reg(st, in.dst, num_range(t), is_float(t) ? kFloat : kInt);
+        return;
+      }
+      case KOp::kArrayLen:
+        write_reg(st, in.dst, Interval::range(0, INT32_MAX), kInt);
+        return;
+      case KOp::kMov:
+        write_reg(st, in.dst, reg(st, in.a),
+                  in.a < st.kind.size() ? st.kind[in.a] : kInt);
+        return;
+      case KOp::kArith: {
+        if (is_float(in.t)) {
+          write_reg(st, in.dst, Interval::top(), kFloat);
+          return;
+        }
+        Interval a = reg(st, in.a);
+        Interval b = reg(st, in.b);
+        Interval v;
+        switch (static_cast<ArithOp>(in.aux)) {
+          case ArithOp::kAdd: v = iv_add(a, b); break;
+          case ArithOp::kSub: v = iv_sub(a, b); break;
+          case ArithOp::kMul: v = iv_mul(a, b); break;
+          case ArithOp::kDiv: v = iv_div(a, b); break;
+          case ArithOp::kRem: v = iv_rem(a, b); break;
+          case ArithOp::kAnd:
+            v = !a.bot && !b.bot && a.lo >= 0 && b.lo >= 0
+                    ? Interval::range(0, std::min(a.hi, b.hi))
+                    : Interval::top();
+            break;
+          case ArithOp::kShl:
+            v = !b.bot && b.lo == b.hi && b.lo >= 0 && b.lo < 32
+                    ? iv_mul(a, Interval::constant(int64_t{1} << b.lo))
+                    : Interval::top();
+            break;
+          case ArithOp::kShr:
+            v = !b.bot && b.lo == b.hi && b.lo >= 0 && b.lo < 32 && !a.bot &&
+                        a.lo >= 0
+                    ? iv_div(a, Interval::constant(int64_t{1} << b.lo))
+                    : Interval::top();
+            break;
+          case ArithOp::kNeg:
+            v = iv_neg(a);
+            break;
+          default:
+            v = Interval::top();
+            break;
+        }
+        write_reg(st, in.dst, clamp_wrap(v, in.t), kInt);
+        return;
+      }
+      case KOp::kNeg:
+        if (is_float(in.t)) {
+          write_reg(st, in.dst, Interval::top(), kFloat);
+        } else {
+          write_reg(st, in.dst, clamp_wrap(iv_neg(reg(st, in.a)), in.t),
+                    kInt);
+        }
+        return;
+      case KOp::kCmp: {
+        write_reg(st, in.dst, Interval::range(0, 1), kInt);
+        if (in.dst < st.cmp.size() && !is_float(in.t)) {
+          st.cmp[in.dst] = {true, static_cast<CmpOp>(in.aux), in.a, in.b};
+        }
+        return;
+      }
+      case KOp::kNot: {
+        Interval a = meet(reg(st, in.a), Interval::range(0, 1));
+        Interval v = !a.bot && a.lo == a.hi ? Interval::constant(1 - a.lo)
+                                            : Interval::range(0, 1);
+        write_reg(st, in.dst, v, kInt);
+        return;
+      }
+      case KOp::kBitFlip: {
+        Interval a = meet(reg(st, in.a), Interval::range(0, 1));
+        Interval v = !a.bot && a.lo == a.hi ? Interval::constant(1 - a.lo)
+                                            : Interval::range(0, 1);
+        write_reg(st, in.dst, v, kInt);
+        return;
+      }
+      case KOp::kCast: {
+        if (is_float(in.t2)) {
+          write_reg(st, in.dst, Interval::top(), kFloat);
+          return;
+        }
+        if (is_float(in.t)) {
+          write_reg(st, in.dst, num_range(in.t2), kInt);
+          return;
+        }
+        Interval v = reg(st, in.a);
+        Interval tr = num_range(in.t2);
+        write_reg(st, in.dst, meet(v, tr) == v && !v.bot ? v : tr, kInt);
+        return;
+      }
+      case KOp::kIntrinsic: {
+        if (is_float(in.t)) {
+          write_reg(st, in.dst, Interval::top(), kFloat);
+          return;
+        }
+        Interval a = reg(st, in.a);
+        Interval b = reg(st, in.b);
+        Interval v;
+        switch (static_cast<bc::Intrinsic>(in.aux)) {
+          case bc::Intrinsic::kMin: v = iv_min(a, b); break;
+          case bc::Intrinsic::kMax: v = iv_max(a, b); break;
+          case bc::Intrinsic::kAbs: v = iv_abs(a); break;
+          default: v = Interval::top(); break;
+        }
+        write_reg(st, in.dst, clamp_wrap(v, in.t), kInt);
+        return;
+      }
+      case KOp::kJump:
+      case KOp::kJumpIfFalse:
+      case KOp::kRet:
+        return;
+    }
+  }
+
+  /// Refines `st` under "bool register `creg` is `truth`", using the
+  /// comparison provenance if still valid. Returns false when the edge is
+  /// infeasible.
+  bool refine_branch(RegFile& st, uint16_t creg, bool truth) const {
+    if (creg < st.iv.size()) {
+      Interval want = Interval::constant(truth ? 1 : 0);
+      Interval cur = st.iv[creg];
+      if (!cur.bot) {
+        Interval m = meet(cur, want);
+        if (m.bot) return false;
+        st.iv[creg] = m;
+      }
+    }
+    if (creg >= st.cmp.size() || !st.cmp[creg].valid) return true;
+    CmpFact f = st.cmp[creg];
+    CmpOp op = truth ? f.op : negate_cmp(f.op);
+    if (f.lhs < st.iv.size() && f.rhs < st.iv.size()) {
+      Interval l = st.iv[f.lhs].bot ? Interval::top() : st.iv[f.lhs];
+      Interval r = st.iv[f.rhs].bot ? Interval::top() : st.iv[f.rhs];
+      Interval nl = meet(l, cmp_bound(op, r));
+      Interval nr = meet(r, cmp_bound(swap_cmp(op), l));
+      if (nl.bot || nr.bot) return false;
+      if (!st.iv[f.lhs].bot) st.iv[f.lhs] = nl;
+      if (!st.iv[f.rhs].bot) st.iv[f.rhs] = nr;
+    }
+    return true;
+  }
+
+  /// Out-state of block b, computed from its current in-state.
+  RegFile transfer_block(size_t b) const {
+    RegFile out = in_[b];
+    size_t end = b + 1 < starts_.size() ? static_cast<size_t>(starts_[b + 1])
+                                        : k_.code.size();
+    for (size_t pc = static_cast<size_t>(starts_[b]); pc < end; ++pc) {
+      transfer(k_.code[pc], out);
+    }
+    return out;
+  }
+
+  template <typename Fn>
+  void for_each_edge(size_t b, Fn&& fn) const {
+    RegFile out = transfer_block(b);
+    size_t end = b + 1 < starts_.size() ? static_cast<size_t>(starts_[b + 1])
+                                        : k_.code.size();
+    const KInstr& last = k_.code[end - 1];
+    for (size_t i = 0; i < succs_[b].size(); ++i) {
+      RegFile edge = out;
+      bool feasible = true;
+      if (last.op == KOp::kJumpIfFalse) {
+        // succ[0] = fall-through (condition true), succ[1] = taken (false).
+        feasible = refine_branch(edge, last.a, i == 0);
+      }
+      if (feasible) fn(succs_[b][i], std::move(edge));
+    }
+  }
+
+  // -- Solver ------------------------------------------------------------
+
+  void solve() {
+    size_t nb = starts_.size();
+    in_.assign(nb, {});
+    RegFile entry;
+    entry.feasible = true;
+    entry.iv.assign(static_cast<size_t>(k_.num_regs), Interval::bottom());
+    entry.kind.assign(static_cast<size_t>(k_.num_regs), kUnset);
+    entry.cmp.assign(static_cast<size_t>(k_.num_regs), {});
+    in_[0] = std::move(entry);
+
+    std::vector<char> widen_point(nb, 0);
+    for (size_t b = 0; b < nb; ++b) {
+      for (int s : succs_[b]) {
+        if (static_cast<size_t>(s) <= b) widen_point[static_cast<size_t>(s)] = 1;
+      }
+    }
+    std::vector<int> join_count(nb, 0);
+    std::deque<size_t> work;
+    std::vector<char> queued(nb, 0);
+    work.push_back(0);
+    queued[0] = 1;
+    const int kWidenDelay = 2;
+    int guard = static_cast<int>(nb) * 64 + 4096;
+    while (!work.empty() && guard-- > 0) {
+      size_t b = work.front();
+      work.pop_front();
+      queued[b] = 0;
+      if (!in_[b].feasible) continue;
+      for_each_edge(b, [&](int s, RegFile&& edge) {
+        auto su = static_cast<size_t>(s);
+        bool changed;
+        if (!in_[su].feasible) {
+          in_[su] = std::move(edge);
+          changed = true;
+        } else {
+          RegFile joined = in_[su];
+          join_regfile(joined, edge);
+          if (regfile_eq(joined, in_[su])) {
+            changed = false;
+          } else {
+            if (widen_point[su] && ++join_count[su] > kWidenDelay) {
+              for (size_t i = 0; i < joined.iv.size(); ++i) {
+                joined.iv[i] = widen(in_[su].iv[i], joined.iv[i]);
+              }
+            }
+            in_[su] = std::move(joined);
+            changed = true;
+          }
+        }
+        if (changed && !queued[su]) {
+          work.push_back(su);
+          queued[su] = 1;
+        }
+      });
+    }
+    // One narrowing pass: recompute each in-state from its predecessors
+    // without widening.
+    for (int pass = 0; pass < 2; ++pass) {
+      for (size_t b = 1; b < nb; ++b) {
+        if (!in_[b].feasible) continue;
+        RegFile fresh;
+        for (size_t p = 0; p < nb; ++p) {
+          if (!in_[p].feasible) continue;
+          bool is_pred = false;
+          for (int s : succs_[p]) is_pred |= static_cast<size_t>(s) == b;
+          if (!is_pred) continue;
+          for_each_edge(p, [&](int s, RegFile&& edge) {
+            if (static_cast<size_t>(s) == b) join_regfile(fresh, edge);
+          });
+        }
+        if (fresh.feasible) in_[b] = std::move(fresh);
+      }
+    }
+  }
+
+  // -- Summary -----------------------------------------------------------
+
+  void summarize() {
+    size_t nr = static_cast<size_t>(k_.num_regs);
+    std::vector<Interval> global(nr, Interval::bottom());
+    std::vector<uint8_t> gkind(nr, kUnset);
+    bool indices_nonneg = true;
+    for (size_t b = 0; b < starts_.size(); ++b) {
+      if (!in_[b].feasible) continue;
+      RegFile st = in_[b];
+      size_t end = b + 1 < starts_.size() ? static_cast<size_t>(starts_[b + 1])
+                                          : k_.code.size();
+      for (size_t pc = static_cast<size_t>(starts_[b]); pc < end; ++pc) {
+        const KInstr& in = k_.code[pc];
+        if (in.op == KOp::kLoadElem) {
+          Interval idx = reg(st, in.b);
+          if (idx.bot || idx.lo < 0) indices_nonneg = false;
+        }
+        transfer(in, st);
+        if (in.op != KOp::kJump && in.op != KOp::kJumpIfFalse &&
+            in.op != KOp::kRet && in.dst < nr) {
+          global[in.dst] = join(global[in.dst], st.iv[in.dst]);
+          if (gkind[in.dst] == kUnset) {
+            gkind[in.dst] = st.kind[in.dst];
+          } else if (gkind[in.dst] != st.kind[in.dst] &&
+                     st.kind[in.dst] != kUnset) {
+            gkind[in.dst] = kFloat;
+          }
+        }
+      }
+    }
+    k_.reg_ranges.assign(nr, {});
+    bool all_int_bounded = true;
+    for (size_t r = 0; r < nr; ++r) {
+      gpu::KRegRange& rr = k_.reg_ranges[r];
+      if (gkind[r] == kInt && !global[r].bot) {
+        rr.known = true;
+        rr.lo = global[r].lo;
+        rr.hi = global[r].hi;
+        if (!rr.bounded()) all_int_bounded = false;
+      }
+    }
+    k_.bounds_check_elidable = indices_nonneg;
+    k_.fusion_safe = all_int_bounded;
+    k_.ranges_annotated = true;
+  }
+
+  KernelProgram& k_;
+  std::vector<int> starts_;           // first pc of each block
+  std::vector<int> block_of_;         // pc → block
+  std::vector<std::vector<int>> succs_;
+  std::vector<RegFile> in_;
+};
+
+}  // namespace
+
+void annotate_kernel_ranges(gpu::KernelProgram& k) {
+  KernelRangeAnalysis(k).run();
+}
+
+}  // namespace lm::analysis

@@ -1,0 +1,22 @@
+// Interval analysis over the SSA-ish register kernel IR (gpu/kernel_ir.h).
+//
+// The Lime-level interval pass (intervals.h) reasons about method bodies;
+// this sibling reasons about the compiled artifact itself — the form the
+// future native CPU tier will lower to machine code. It runs the same
+// widening worklist over a mini-CFG of the instruction stream, refines
+// ranges along conditional branches via comparison provenance, and writes
+// its conclusions back onto the KernelProgram:
+//
+//   * reg_ranges              — fixpoint interval per register
+//   * bounds_check_elidable   — all kLoadElem indices proven non-negative
+//   * fusion_safe             — all integer registers finite at fixpoint
+#pragma once
+
+#include "gpu/kernel_ir.h"
+
+namespace lm::analysis {
+
+/// Runs the range analysis and annotates `k` in place. Idempotent.
+void annotate_kernel_ranges(gpu::KernelProgram& k);
+
+}  // namespace lm::analysis

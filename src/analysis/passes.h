@@ -18,4 +18,11 @@ void check_graph_hazards(const lime::Program& program,
                          const ir::ProgramTaskGraphs& graphs,
                          const EffectMap& effects, DiagnosticEngine& diags);
 
+/// Static element count of a source receiver, or -1 when unknown. A bit
+/// literal carries its width; a local whose initializer is a bit literal or
+/// constant-length allocation resolves through the enclosing method body.
+/// Shared by the graph-hazard (LM204) and deadlock (LM213) passes.
+int64_t static_source_length(const lime::Expr& recv,
+                             const lime::MethodDecl* enclosing);
+
 }  // namespace lm::analysis

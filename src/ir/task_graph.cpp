@@ -12,6 +12,24 @@ using lime::CallExpr;
 using lime::ExprKind;
 using lime::StmtKind;
 
+int TaskNodeInfo::pops_per_fire() const {
+  switch (kind) {
+    case Kind::kSource: return 0;
+    case Kind::kFilter: return arity;
+    case Kind::kSink: return 1;
+  }
+  return 0;
+}
+
+int TaskNodeInfo::pushes_per_fire() const {
+  switch (kind) {
+    case Kind::kSource: return rate;
+    case Kind::kFilter: return 1;  // one return value per firing
+    case Kind::kSink: return 0;
+  }
+  return 0;
+}
+
 bool TaskGraphInfo::has_relocated() const {
   for (const auto& n : nodes) {
     if (n.relocated) return true;
@@ -224,9 +242,12 @@ class Extractor {
           n.out_type = c.receiver->type ? c.receiver->type->elem : nullptr;
           n.relocated = relocated;
           n.receiver_expr = c.receiver.get();
-          // A literal rate is recorded; non-literal rates default to 1.
+          // A literal rate is recorded; non-literal rates default to 1 and
+          // are flagged so the deadlock verifier knows the rate is a guess.
           if (!c.args.empty() && c.args[0]->kind == ExprKind::kIntLit) {
             n.rate = static_cast<int>(as<lime::IntLitExpr>(*c.args[0]).value);
+          } else if (!c.args.empty()) {
+            n.rate_static = false;
           }
           info.nodes.push_back(std::move(n));
           return;

@@ -39,10 +39,21 @@ struct TaskNodeInfo {
 
   /// Source only: declared rate (elements per firing).
   int rate = 1;
+  /// Source only: false when the rate argument was not an integer literal
+  /// (the extractor then defaults rate to 1). The deadlock verifier treats
+  /// such a source as statically rate-indeterminate (LM211).
+  bool rate_static = true;
 
   /// Source/sink only: the receiver expression of the `.source()`/`.sink()`
   /// call, for the static analyzer (aliasing and rate checks). May be null.
   const lime::Expr* receiver_expr = nullptr;
+
+  /// Elements one firing consumes from the inbound FIFO (0 for sources):
+  /// a filter's arity, 1 for sinks.
+  int pops_per_fire() const;
+  /// Elements one firing pushes onto the outbound FIFO (0 for sinks):
+  /// the declared rate for sources, 1 for filters (one return value).
+  int pushes_per_fire() const;
 };
 
 struct TaskGraphInfo {

@@ -64,6 +64,28 @@ class CostEntry {
     return v == kUnseeded ? 0.0 : v;
   }
 
+  /// Seeds the entry with a static-analysis prediction (cost_estimate.h).
+  /// Kept separate from the EWMA: measurements never mix with predictions,
+  /// the entry just *answers* with the prediction until a batch lands.
+  void seed_static(double us_per_elem) {
+    static_us_per_elem_.store(us_per_elem, std::memory_order_relaxed);
+  }
+  /// The static prediction, or a negative value when never seeded.
+  double static_us_per_elem() const {
+    return static_us_per_elem_.load(std::memory_order_relaxed);
+  }
+  /// Best available per-element cost: measured EWMA once any batch has
+  /// drained, else the static seed, else a negative "don't know".
+  double best_us_per_elem() const {
+    if (batches() > 0) return ewma_us_per_elem();
+    return static_us_per_elem();
+  }
+  /// Where best_us_per_elem() comes from right now.
+  const char* source() const {
+    if (batches() > 0) return "measured";
+    return static_us_per_elem() >= 0 ? "static" : "none";
+  }
+
   const LatencyHistogram& batch_latency() const { return batch_latency_; }
   uint64_t batches() const { return batches_.load(std::memory_order_relaxed); }
   uint64_t elements() const {
@@ -86,6 +108,7 @@ class CostEntry {
   std::atomic<uint64_t> bytes_from_device_{0};
   std::atomic<int64_t> in_flight_{0};
   std::atomic<double> ewma_us_per_elem_{kUnseeded};
+  std::atomic<double> static_us_per_elem_{kUnseeded};
 };
 
 class CostModelRegistry {

@@ -72,12 +72,13 @@ std::string PerfReport::to_text() const {
     out += "per-task / per-device batch drain latency:\n";
     TextTable t({"task", "device", "batches", "elements", "p50 (us)",
                  "p90 (us)", "p99 (us)", "max (us)", "us/elem (ewma)",
-                 "bytes->dev", "bytes<-dev"});
+                 "us/elem (static)", "source", "bytes->dev", "bytes<-dev"});
     for (const TaskRow& r : tasks) {
       t.row({r.task, r.device, std::to_string(r.batches),
              std::to_string(r.elements), fmt_us(r.p50_us), fmt_us(r.p90_us),
              fmt_us(r.p99_us), fmt_us(r.max_us), fmt_us(r.ewma_us_per_elem),
-             std::to_string(r.bytes_to_device),
+             r.static_us_per_elem >= 0 ? fmt_us(r.static_us_per_elem) : "-",
+             r.cost_source, std::to_string(r.bytes_to_device),
              std::to_string(r.bytes_from_device)});
     }
     t.render(out);
@@ -86,8 +87,9 @@ std::string PerfReport::to_text() const {
   out += "substitutions:\n";
   if (substitutions.empty()) out += "  (none)\n";
   for (const Substitution& s : substitutions) {
-    out += "  " + s.tasks + " -> " + s.device + (s.fused ? " (fused)" : "") +
-           "\n";
+    out += "  " + s.tasks + " -> " + s.device + (s.fused ? " (fused)" : "");
+    if (!s.source.empty()) out += " [" + s.source + "]";
+    out += "\n";
   }
 
   out += "re-substitutions:\n";
@@ -140,6 +142,8 @@ std::string PerfReport::to_json() const {
                .add("max_us", r.max_us)
                .add("mean_us", r.mean_us)
                .add("us_per_elem_ewma", r.ewma_us_per_elem)
+               .add("us_per_elem_static", r.static_us_per_elem)
+               .add("cost_source", r.cost_source)
                .add("bytes_to_device", r.bytes_to_device)
                .add("bytes_from_device", r.bytes_from_device)
                .str();
@@ -154,6 +158,7 @@ std::string PerfReport::to_json() const {
                .add("tasks", s.tasks)
                .add("device", s.device)
                .add("fused", s.fused)
+               .add("source", s.source)
                .str();
     out += '}';
   }

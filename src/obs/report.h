@@ -32,6 +32,11 @@ struct PerfReport {
     double max_us = 0;
     double mean_us = 0;
     double ewma_us_per_elem = 0;
+    /// Static-analysis prediction seeded into the entry; negative when the
+    /// compiler produced none for this (task, device).
+    double static_us_per_elem = -1;
+    /// "measured" / "static" / "none" — what best_us_per_elem() rests on.
+    std::string cost_source;
     uint64_t bytes_to_device = 0;
     uint64_t bytes_from_device = 0;
   };
@@ -40,6 +45,8 @@ struct PerfReport {
     std::string tasks;
     std::string device;
     bool fused = false;
+    /// "measured", "static", or empty (§4.2 preference order).
+    std::string source;
   };
 
   struct Resubstitution {

@@ -5,6 +5,7 @@
 
 #include "analysis/analysis.h"
 #include "analysis/ir_verify.h"
+#include "analysis/kernel_ranges.h"
 #include "bytecode/compiler.h"
 #include "fpga/synth.h"
 #include "gpu/kernel_compiler.h"
@@ -188,10 +189,14 @@ std::unique_ptr<CompiledProgram> compile(const std::string& source,
   // interprocedural effect/isolation verifier, and task-graph hazards.
   // Effect-verifier violations demote tasks to bytecode-only placement.
   {
-    analysis::AnalysisResult ar = analysis::analyze_program(*cp->ast,
-                                                            cp->graphs);
+    analysis::AnalysisOptions aopts;
+    aopts.fifo_capacity = options.fifo_capacity;
+    analysis::AnalysisResult ar =
+        analysis::analyze_program(*cp->ast, cp->graphs, aopts);
     cp->diags.merge(ar.diags);
     cp->demoted_tasks = std::move(ar.demoted);
+    cp->capacity_reports = std::move(ar.capacity_reports);
+    cp->static_costs = std::move(ar.static_costs);
     if (cp->diags.has_errors()) return cp;
   }
   const bool verify_ir = std::getenv("LM_VERIFY_IR") != nullptr;
@@ -259,6 +264,7 @@ std::unique_ptr<CompiledProgram> compile(const std::string& source,
                                   " — kernel IR verification failed");
         return;
       }
+      analysis::annotate_kernel_ranges(*r.program);
       ArtifactManifest mf = manifest_for(*m, DeviceKind::kGpu,
                                          r.program->opencl_source);
       wire_native(id);
@@ -290,6 +296,7 @@ std::unique_ptr<CompiledProgram> compile(const std::string& source,
               continue;
             }
             if (r.ok()) {
+              analysis::annotate_kernel_ranges(*r.program);
               ArtifactManifest mf;
               mf.task_id = seg_id;
               mf.device = DeviceKind::kGpu;

@@ -19,6 +19,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "analysis/cost_estimate.h"
+#include "analysis/deadlock.h"
 #include "bytecode/module.h"
 #include "gpu/device.h"
 #include "ir/task_graph.h"
@@ -36,6 +38,10 @@ struct CompileOptions {
   /// Wire pre-compiled native kernels (the "vendor toolflow output") from
   /// the global registry into the GPU device for matching task ids.
   bool use_native_kernels = true;
+  /// FIFO capacity the deadlock verifier (LM210–LM214) proves against;
+  /// <= 0 → the runtime default. Should match RuntimeConfig::fifo_capacity
+  /// when the caller overrides that.
+  int64_t fifo_capacity = 0;
 };
 
 /// One structured record per backend suitability decision, for `lmc
@@ -65,6 +71,13 @@ struct CompiledProgram {
   /// artifacts are built for them, so placement naturally falls back to
   /// bytecode (§4.2's substitution finds only the CPU artifact).
   std::unordered_set<std::string> demoted_tasks;
+  /// Per-graph FIFO deadlock verdicts and minimal safe capacities
+  /// (LM212's structured form, surfaced by `lmc --analyze=json`).
+  std::vector<analysis::GraphCapacityReport> capacity_reports;
+  /// Static per-(task, device) cost estimates; the runtime seeds its
+  /// CostModelRegistry with these so cold-start placement can rank
+  /// candidates before the first calibration batch.
+  analysis::StaticCostModel static_costs;
 
   bool ok() const { return ast != nullptr && !diags.has_errors(); }
 };

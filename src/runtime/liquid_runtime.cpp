@@ -158,6 +158,9 @@ struct LiquidRuntime::HotCounters {
   obs::MetricsRegistry::Counter* reduces_accelerated;
   obs::MetricsRegistry::Counter* reduces_interpreted;
   obs::MetricsRegistry::Counter* candidates_profiled;
+  obs::MetricsRegistry::Counter* static_cost_seeds;
+  obs::MetricsRegistry::Counter* placements_static;
+  obs::MetricsRegistry::Counter* placements_measured;
   obs::MetricsRegistry::Counter* substitutions;
   obs::MetricsRegistry::Counter* resubstitutions;
   obs::MetricsRegistry::Counter* trace_dropped;
@@ -175,6 +178,9 @@ struct LiquidRuntime::HotCounters {
         reduces_accelerated(&m.counter("runtime.reduces_accelerated")),
         reduces_interpreted(&m.counter("runtime.reduces_interpreted")),
         candidates_profiled(&m.counter("runtime.candidates_profiled")),
+        static_cost_seeds(&m.counter("analysis.static_cost_seeds")),
+        placements_static(&m.counter("analysis.placements_static")),
+        placements_measured(&m.counter("analysis.placements_measured")),
         substitutions(&m.counter("runtime.substitutions")),
         resubstitutions(&m.counter("runtime.resubstitutions")),
         trace_dropped(&m.counter("trace.dropped_events")),
@@ -194,6 +200,18 @@ std::shared_ptr<LiquidRuntime::RtGraph> LiquidRuntime::graph_of(
 
 namespace {
 Value wrap(std::shared_ptr<LiquidRuntime::RtGraph> g);
+
+/// The analyzer keys StaticCostModel rows by short device names ("cpu",
+/// "gpu", "fpga"); artifacts record batches under cost_label() strings
+/// ("cpu/bytecode", ...). This maps a runtime device to the analyzer key.
+const char* static_device_key(DeviceKind d) {
+  switch (d) {
+    case DeviceKind::kCpu: return "cpu";
+    case DeviceKind::kGpu: return "gpu";
+    case DeviceKind::kFpga: return "fpga";
+  }
+  return "?";
+}
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -207,6 +225,18 @@ LiquidRuntime::LiquidRuntime(CompiledProgram& program, RuntimeConfig config)
   hot_ = std::make_unique<HotCounters>(metrics_);
   interp_.set_task_host(this);
   interp_.set_accel_hooks(this);
+  // Seed the cost models with the compiler's static estimates so a cold
+  // registry can already rank candidates (source=static); the first real
+  // batch flips each entry to source=measured.
+  for (const analysis::StaticCostEstimate& e :
+       program_.static_costs.estimates) {
+    for (DeviceKind d : {DeviceKind::kCpu, DeviceKind::kGpu,
+                         DeviceKind::kFpga}) {
+      if (e.device != static_device_key(d)) continue;
+      cost_models_.entry(e.task_id, to_string(d)).seed_static(e.us_per_elem);
+      hot_->static_cost_seeds->add();
+    }
+  }
   if (config_.flight_ring_capacity != 0 &&
       config_.flight_ring_capacity !=
           obs::FlightRecorder::instance().ring_capacity()) {
@@ -329,6 +359,8 @@ obs::PerfReport LiquidRuntime::report() const {
     r.max_us = static_cast<double>(h.max_ns()) / 1e3;
     r.mean_us = h.mean_ns() / 1e3;
     r.ewma_us_per_elem = e.ewma_us_per_elem();
+    r.static_us_per_elem = e.static_us_per_elem();
+    r.cost_source = e.source();
     r.bytes_to_device = e.bytes_to_device();
     r.bytes_from_device = e.bytes_from_device();
     rep.tasks.push_back(std::move(r));
@@ -336,7 +368,8 @@ obs::PerfReport LiquidRuntime::report() const {
   {
     std::lock_guard<std::mutex> lock(subs_mu_);
     for (const SubstitutionRecord& s : substitutions_) {
-      rep.substitutions.push_back({s.task_ids, to_string(s.device), s.fused});
+      rep.substitutions.push_back(
+          {s.task_ids, to_string(s.device), s.fused, s.source});
     }
     for (const ResubstitutionRecord& r : resubstitutions_) {
       rep.resubstitutions.push_back(
@@ -499,6 +532,11 @@ const char* LiquidRuntime::placement_name() const {
 void LiquidRuntime::record_substitution(SubstitutionRecord rec,
                                         std::string extra_args) {
   hot_->substitutions->add();
+  if (rec.source == "static") {
+    hot_->placements_static->add();
+  } else if (rec.source == "measured") {
+    hot_->placements_measured->add();
+  }
   obs::FlightRecorder::instance().record("decision", "substitution",
                                          rec.task_ids);
   if (TraceRecorder* r = TraceRecorder::current()) {
@@ -512,8 +550,11 @@ void LiquidRuntime::record_substitution(SubstitutionRecord rec,
     }
     if (config_.placement == Placement::kAdaptive) {
       args.add("calibrated", rec.calibrated);
-      if (rec.calibrated) args.add("score_us_per_elem", rec.score_us_per_elem);
+      if (rec.score_us_per_elem >= 0) {
+        args.add("score_us_per_elem", rec.score_us_per_elem);
+      }
     }
+    if (!rec.source.empty()) args.add("source", rec.source);
     std::string body = std::move(args).str();
     if (!extra_args.empty()) {
       body += ',';
@@ -719,6 +760,10 @@ void LiquidRuntime::substitute(RtGraph& g) {
 }
 
 void LiquidRuntime::substitute_adaptive(RtGraph& g) {
+  if (!config_.enable_calibration) {
+    substitute_static_seeded(g);
+    return;
+  }
   // Calibration prefix: the first few elements of the *actual* stream, so
   // profiling sees representative data (runtime introspection, §7).
   const bc::ArrayRef& src = g.nodes.front().array.as_array();
@@ -953,6 +998,7 @@ void LiquidRuntime::substitute_adaptive(RtGraph& g) {
         Artifact* a = fused_best.artifact;
         SubstitutionRecord rec{joined, a->manifest().device, /*fused=*/true,
                                fused_best.us_per_elem, /*calibrated=*/true};
+        rec.source = "measured";
         rec.remote = a->is_remote();
         if (rec.remote) rec.endpoint = a->location();
         record_substitution(std::move(rec), std::move(extra));
@@ -999,6 +1045,7 @@ void LiquidRuntime::substitute_adaptive(RtGraph& g) {
         SubstitutionRecord rec{
             g.nodes[i + k].task_id, a->manifest().device, /*fused=*/false,
             c.best.eligible ? c.best.us_per_elem : -1.0, c.best.eligible};
+        if (c.best.eligible) rec.source = "measured";
         rec.remote = a->is_remote();
         if (rec.remote) rec.endpoint = a->location();
         record_substitution(std::move(rec), std::move(extra));
@@ -1009,6 +1056,148 @@ void LiquidRuntime::substitute_adaptive(RtGraph& g) {
   }
   rewritten.push_back(g.nodes.back());
   g.nodes = std::move(rewritten);
+}
+
+void LiquidRuntime::substitute_static_seeded(RtGraph& g) {
+  // Cold start: no calibration prefix runs. Candidates are ranked by the
+  // compiler's static cost estimates (seeded into the cost models at
+  // construction); decisions log source=static so a trace distinguishes
+  // them from measured ones. Only local artifacts compete — the estimator
+  // models this process's executors, not a remote server's.
+  const bool tracing = TraceRecorder::current() != nullptr;
+
+  auto seed_of = [&](const std::string& id, DeviceKind d) -> double {
+    const analysis::StaticCostEstimate* e =
+        program_.static_costs.find(id, static_device_key(d));
+    return e ? e->us_per_elem : -1.0;
+  };
+
+  struct Pick {
+    Artifact* artifact = nullptr;
+    double score = -1.0;  // negative → no seed; chosen by §4.2 preference
+  };
+  auto pick_for = [&](const std::string& id) {
+    Pick best;
+    Artifact* pref = nullptr;
+    for (DeviceKind d :
+         {DeviceKind::kGpu, DeviceKind::kFpga, DeviceKind::kCpu}) {
+      Artifact* a = program_.store.find(id, d);
+      if (!a) continue;
+      if (!pref) pref = a;
+      double s = seed_of(id, d);
+      if (s >= 0 && (!best.artifact || s < best.score)) best = {a, s};
+    }
+    if (!best.artifact) best.artifact = pref;
+    return best;
+  };
+
+  auto seed_entry = [&](const std::string& id, Artifact* a, double s) {
+    JsonArgs j;
+    j.add("tasks", id).add("device", to_string(a->manifest().device));
+    if (s >= 0) {
+      j.add("static_us_per_elem", s);
+    } else {
+      j.add("seeded", false);
+    }
+    return "{" + std::move(j).str() + "}";
+  };
+
+  std::vector<RtNode> out;
+  size_t i = 0;
+  while (i < g.nodes.size()) {
+    const RtNode& n = g.nodes[i];
+    if (n.kind != RtNode::Kind::kFilter || !n.relocated) {
+      out.push_back(n);
+      ++i;
+      continue;
+    }
+    size_t j = i;
+    std::vector<std::string> ids;
+    while (j < g.nodes.size() && g.nodes[j].kind == RtNode::Kind::kFilter &&
+           g.nodes[j].relocated) {
+      ids.push_back(g.nodes[j].task_id);
+      ++j;
+    }
+
+    // Per-filter plan: every member on its statically cheapest device.
+    std::vector<Pick> chain;
+    double chain_score = 0;
+    bool chain_scored = true;
+    for (const std::string& id : ids) {
+      Pick p = pick_for(id);
+      LM_CHECK_MSG(p.artifact != nullptr, "no artifact at all for " << id);
+      chain_scored = chain_scored && p.score >= 0;
+      if (p.score >= 0) chain_score += p.score;
+      chain.push_back(p);
+    }
+
+    // Fused plan: the whole segment, if its seed beats the chain's sum.
+    Pick fused;
+    if (ids.size() > 1 && config_.allow_fusion) {
+      fused = pick_for(ArtifactStore::segment_id(ids));
+    }
+
+    std::string joined;
+    for (size_t k = 0; k < ids.size(); ++k) {
+      if (k) joined += "+";
+      joined += ids[k];
+    }
+
+    const bool fuse =
+        fused.artifact &&
+        (fused.score >= 0
+             ? (!chain_scored || fused.score <= chain_score)
+             : !chain_scored);  // neither scored → prefer larger (§4.2)
+
+    if (fuse) {
+      RtNode dev;
+      dev.kind = RtNode::Kind::kDevice;
+      dev.artifact = fused.artifact;
+      dev.arity = fused.artifact->manifest().arity;
+      dev.label = fused.artifact->manifest().task_id;
+      out.push_back(std::move(dev));
+      SubstitutionRecord rec{joined, fused.artifact->manifest().device,
+                             /*fused=*/true, fused.score,
+                             /*calibrated=*/false};
+      if (fused.score >= 0) rec.source = "static";
+      std::string extra;
+      if (tracing) {
+        JsonArgs e;
+        if (fused.score >= 0) e.add("fused_static_us", fused.score);
+        if (chain_scored) e.add("chain_static_us", chain_score);
+        extra = std::move(e).str();
+      }
+      record_substitution(std::move(rec), std::move(extra));
+    } else {
+      for (size_t k = 0; k < chain.size(); ++k) {
+        const Pick& p = chain[k];
+        Artifact* a = p.artifact;
+        if (a->manifest().device == DeviceKind::kCpu) {
+          out.push_back(g.nodes[i + k]);  // keep as interpreter filter
+        } else {
+          RtNode dev;
+          dev.kind = RtNode::Kind::kDevice;
+          dev.artifact = a;
+          dev.arity = a->manifest().arity;
+          dev.label = a->manifest().task_id;
+          out.push_back(std::move(dev));
+        }
+        SubstitutionRecord rec{ids[k], a->manifest().device, /*fused=*/false,
+                               p.score, /*calibrated=*/false};
+        if (p.score >= 0) rec.source = "static";
+        std::string extra;
+        if (tracing) {
+          extra = JsonArgs()
+                      .add_raw("candidates",
+                               "[" + seed_entry(ids[k], a, p.score) + "]")
+                      .str();
+        }
+        record_substitution(std::move(rec), std::move(extra));
+      }
+    }
+    i = j;
+  }
+  g.nodes = std::move(out);
 }
 
 // ---------------------------------------------------------------------------

@@ -79,6 +79,11 @@ struct RuntimeConfig {
   bool allow_fusion = true;
   /// kAdaptive: how many stream elements to profile each candidate on.
   size_t calibration_elements = 64;
+  /// kAdaptive: false → skip the calibration prefix entirely and rank
+  /// candidates by the compiler's static cost seeds (cost_estimate.h) —
+  /// the cold-start path, decision-logged source=static. True (default)
+  /// profiles on real data as before.
+  bool enable_calibration = true;
 
   // -- online profiling and mid-run re-substitution (§7, StarPU-style) --
 
@@ -145,6 +150,9 @@ struct SubstitutionRecord {
   bool remote = false;
   /// "host:port" of the serving lmdev when `remote` is set.
   std::string endpoint;
+  /// What ranked the winner: "measured" (calibration prefix), "static"
+  /// (compiler cost seeds, cold start), or empty (§4.2 preference order).
+  std::string source;
 };
 
 /// One mid-run artifact swap (enable_resubstitution): the live cost model
@@ -279,6 +287,9 @@ class LiquidRuntime : public bc::TaskGraphHost, public bc::AccelHooks {
   void substitute(RtGraph& g);
   /// The kAdaptive policy: profiles candidates on a stream prefix.
   void substitute_adaptive(RtGraph& g);
+  /// kAdaptive with enable_calibration=false: ranks candidates by the
+  /// static cost seeds instead of measuring (cold-start placement).
+  void substitute_static_seeded(RtGraph& g);
   void execute(RtGraph& g);
   /// Builds the graph's task objects, wires FIFO wakers and submits
   /// everything to the shared executor (replaces thread-per-task).

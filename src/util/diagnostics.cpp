@@ -61,12 +61,23 @@ void DiagnosticEngine::merge(const DiagnosticEngine& other) {
 
 std::vector<Diagnostic> DiagnosticEngine::sorted() const {
   std::vector<Diagnostic> out = diags_;
+  // Total order (line, column, code, severity, message) so diagnostics
+  // from independent passes — e.g. the LM21x deadlock verifier and the
+  // LM20x hazard checker, which both anchor on the graph literal —
+  // interleave deterministically regardless of pass execution order.
   std::stable_sort(out.begin(), out.end(),
                    [](const Diagnostic& a, const Diagnostic& b) {
                      if (a.loc.line != b.loc.line) {
                        return a.loc.line < b.loc.line;
                      }
-                     return a.loc.column < b.loc.column;
+                     if (a.loc.column != b.loc.column) {
+                       return a.loc.column < b.loc.column;
+                     }
+                     if (a.code != b.code) return a.code < b.code;
+                     if (a.severity != b.severity) {
+                       return a.severity < b.severity;
+                     }
+                     return a.message < b.message;
                    });
   return out;
 }

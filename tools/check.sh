@@ -28,6 +28,14 @@
 #      full load.
 #   7. `lmc --analyze --strict` over every shipped .lime example — the
 #      static analyzer must report zero warnings/errors on them.
+#   8. minimal-capacity differential soak — the deadlock verifier's
+#      `--analyze=json` output names the minimal safe FIFO capacity per
+#      graph; re-running the example pipelines at exactly that capacity
+#      must produce byte-identical results to the default capacity
+#      (plain build, and again under TSan unless --quick).
+#   9. clang-tidy (bugprone-*, performance-*, concurrency-*; see
+#      .clang-tidy) over src/analysis + src/runtime. Skipped with a notice
+#      when clang-tidy is not installed — the gate must not require it.
 #
 # Usage: tools/check.sh [--quick]
 #   --quick skips the sanitizer builds (steps 2 and 3).
@@ -246,5 +254,50 @@ for f in examples/*.lime; do
   echo "-- $LMC $f --analyze --strict"
   "$LMC" "$f" --analyze --strict
 done
+
+# Minimal-capacity differential: run one example pipeline at the deadlock
+# verifier's proven minimal safe FIFO capacity and require byte-identical
+# output vs the default capacity ($1 = build dir, $2 = label, $3 = file,
+# $4 = entry, $5 = argflag, $6 = args).
+mincap_soak() {
+  local bdir="$1" label="$2" file="$3" entry="$4" argflag="$5" args="$6"
+  local lmc="$bdir/tools/lmc"
+  local json mincap expected got
+  json="$("$lmc" "$file" --analyze=json)"
+  mincap="$(grep -o '"min_safe_capacity": *[0-9][0-9]*' <<<"$json" \
+      | grep -o '[0-9][0-9]*$' | sort -n | tail -1)"
+  [[ -n "$mincap" ]] || { echo "FAIL($label): no min_safe_capacity in --analyze=json for $file"; echo "$json"; exit 1; }
+  [[ "$mincap" -ge 1 ]] || mincap=1
+  expected="$(result_of "$("$lmc" "$file" --run "$entry" "$argflag" "$args" --quiet)")"
+  [[ -n "$expected" ]] || { echo "FAIL($label): no reference output for $file"; exit 1; }
+  got="$(result_of "$("$lmc" "$file" --run "$entry" "$argflag" "$args" \
+      --fifo-capacity="$mincap" --quiet)")"
+  [[ "$got" == "$expected" ]] || {
+    echo "FAIL($label): $file diverged at minimal fifo capacity $mincap"
+    echo "want: $expected"; echo "got:  $got"; exit 1; }
+  echo "ok: $file byte-identical at minimal capacity $mincap ($label)"
+}
+
+step "minimal-capacity differential soak (plain)"
+ints="$(seq 1 2048 | paste -sd, -)"
+bits="$(printf '0110100101100101%.0s' $(seq 1 16))"
+mincap_soak build plain examples/intpipe.lime IntPipe.run --ints "$ints"
+mincap_soak build plain examples/bitflip.lime Bitflip.taskFlip --bits "$bits"
+if [[ "$QUICK" == 0 ]]; then
+  step "minimal-capacity differential soak (tsan)"
+  ints="$(seq 1 512 | paste -sd, -)"
+  mincap_soak build-tsan tsan examples/intpipe.lime IntPipe.run --ints "$ints"
+  mincap_soak build-tsan tsan examples/bitflip.lime Bitflip.taskFlip --bits "$bits"
+fi
+
+step "clang-tidy over src/analysis + src/runtime"
+if command -v clang-tidy >/dev/null 2>&1; then
+  [[ -f build/compile_commands.json ]] \
+      || { echo "FAIL: build/compile_commands.json missing (reconfigure with the default preset)"; exit 1; }
+  clang-tidy -p build --quiet src/analysis/*.cpp src/runtime/*.cpp
+  echo "ok: clang-tidy clean"
+else
+  echo "skip: clang-tidy not installed (profile: .clang-tidy)"
+fi
 
 step "OK"

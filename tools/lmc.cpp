@@ -16,15 +16,27 @@
 //   lmc program.lime --run C.m --ints .. --trace=out.json --metrics
 //   lmc program.lime --run C.m --ints .. --report[=json]
 //   lmc program.lime --analyze[=json]       static analysis report (LM codes)
+//   lmc program.lime --static-cost          static per-(task, device) cost table
 //   lmc program.lime --strict               fail (exit 1) on any warning
 //
 // --analyze runs the whole-program static analyzer (definite assignment,
-// effect/isolation verification, task-graph hazards — DESIGN.md §S11) and
-// prints every finding with its stable LM code in deterministic order,
-// followed by the per-device suitability notes (LM401/402 exclusions,
-// LM403 demotions). Exit status is 1 when errors are present (or, under
-// --strict, any warning). Set LM_VERIFY_IR=1 to additionally verify every
-// compiled kernel/RTL artifact (LM3xx).
+// effect/isolation verification, task-graph hazards, FIFO deadlock proofs —
+// DESIGN.md §S11, §13) and prints every finding with its stable LM code in
+// deterministic order, followed by the per-device suitability notes (LM401/
+// 402 exclusions, LM403 demotions). Exit status is 1 when errors are
+// present (or, under --strict, any warning). Set LM_VERIFY_IR=1 to
+// additionally verify every compiled kernel/RTL artifact (LM3xx).
+// --analyze=json emits one object: {"diagnostics": [...], "deadlock":
+// [per-graph capacity verdicts with per-edge minimal safe capacities],
+// "static_costs": [...]} — check.sh mines "deadlock" for the
+// minimal-capacity differential soak.
+//
+// --static-cost prints the abstract-interpretation cost table
+// (cost_estimate.h): predicted µs per element for every (task, device)
+// pair, including fused segments. --fifo-capacity=N makes both the
+// deadlock verifier and the runtime use capacity N. --no-calibration makes
+// --placement adaptive skip the measuring prefix and place purely on the
+// static seeds (the cold-start path; decisions log source=static).
 //
 // --trace records the run as Chrome-trace JSON (open in chrome://tracing
 // or https://ui.perfetto.dev): per-task execution spans, substitution
@@ -55,6 +67,7 @@
 // The --run input becomes a single value-array argument (int[[]]/float[[]]
 // /bit[[]]) — the calling convention of every workload entry point in this
 // repository.
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -80,7 +93,8 @@ int usage() {
                "           [--trace=<file.json>] [--metrics]\n"
                "           [--report[=json]] [--explain[=json]] [--resub]\n"
                "           [--flight=<file.json>|none]\n"
-               "           [--analyze[=json]] [--strict]\n"
+               "           [--analyze[=json]] [--strict] [--static-cost]\n"
+               "           [--fifo-capacity=N] [--no-calibration]\n"
                "           [--remote=host:port[,host:port..]] [--device-batch=N]\n"
                "           [--telemetry-port=N] [--workers=N] [--sched-seed=S]\n";
   return 2;
@@ -117,6 +131,9 @@ int main(int argc, char** argv) {
   bool enable_resub = false;
   std::string analyze_mode;  // "", "text" or "json"
   bool strict = false;
+  bool static_cost = false;
+  int64_t fifo_capacity = 0;  // 0 → defaults (compiler and runtime)
+  bool no_calibration = false;
   std::vector<std::string> remote_endpoints;
   size_t device_batch = 0;  // 0 → RuntimeConfig default
   int telemetry_port = -1;  // <0 → exporter off; 0 → ephemeral port
@@ -194,6 +211,12 @@ int main(int argc, char** argv) {
       }
     } else if (a == "--strict") {
       strict = true;
+    } else if (a == "--static-cost") {
+      static_cost = true;
+    } else if (a.rfind("--fifo-capacity=", 0) == 0) {
+      fifo_capacity = std::stoll(a.substr(16));
+    } else if (a == "--no-calibration") {
+      no_calibration = true;
     } else if (a.rfind("--remote=", 0) == 0) {
       for (const auto& ep : split(a.substr(9), ',')) {
         if (!ep.empty()) remote_endpoints.push_back(ep);
@@ -223,6 +246,7 @@ int main(int argc, char** argv) {
   std::ostringstream buf;
   buf << in.rdbuf();
 
+  copts.fifo_capacity = fifo_capacity;
   auto program = runtime::compile(buf.str(), copts);
 
   if (!analyze_mode.empty()) {
@@ -236,7 +260,7 @@ int main(int argc, char** argv) {
     }
     if (analyze_mode == "json") {
       std::ostringstream os;
-      os << "[";
+      os << "{\"diagnostics\": [";
       bool first = true;
       for (const auto& d : all.sorted()) {
         if (!first) os << ",";
@@ -247,7 +271,43 @@ int main(int argc, char** argv) {
            << ", \"col\": " << d.loc.column << ", \"message\": \""
            << obs::json_escape(d.message) << "\"}";
       }
-      os << (first ? "]\n" : "\n]\n");
+      os << (first ? "]" : "\n]");
+      os << ",\n\"deadlock\": [";
+      first = true;
+      for (const auto& rep : program->capacity_reports) {
+        if (!first) os << ",";
+        first = false;
+        std::string name = rep.graph && rep.graph->enclosing
+                               ? rep.graph->enclosing->qualified_name()
+                               : "<graph>";
+        os << "\n  {\"graph\": \"" << obs::json_escape(name)
+           << "\", \"line\": " << rep.loc.line
+           << ", \"proven\": " << (rep.proven ? "true" : "false")
+           << ", \"configured_capacity\": " << rep.configured_capacity
+           << ", \"min_safe_capacity\": " << rep.min_safe_capacity
+           << ", \"edges\": [";
+        for (size_t e = 0; e < rep.edges.size(); ++e) {
+          if (e) os << ", ";
+          os << "{\"label\": \"" << obs::json_escape(rep.edges[e].label)
+             << "\", \"push\": " << rep.edges[e].push
+             << ", \"pop\": " << rep.edges[e].pop
+             << ", \"min_capacity\": " << rep.edges[e].min_capacity << "}";
+        }
+        os << "]}";
+      }
+      os << (first ? "]" : "\n]");
+      os << ",\n\"static_costs\": [";
+      first = true;
+      for (const auto& est : program->static_costs.estimates) {
+        if (!first) os << ",";
+        first = false;
+        os << "\n  {\"task\": \"" << obs::json_escape(est.task_id)
+           << "\", \"device\": \"" << est.device
+           << "\", \"us_per_elem\": " << est.us_per_elem
+           << ", \"bounded\": " << (est.bounded ? "true" : "false")
+           << ", \"ops_per_fire\": " << est.ops_per_fire << "}";
+      }
+      os << (first ? "]" : "\n]") << "}\n";
       std::cout << os.str();
     } else {
       std::cout << all.to_string();
@@ -260,6 +320,23 @@ int main(int argc, char** argv) {
   if (!program->ok()) {
     std::cerr << program->diags.to_string();
     return 1;
+  }
+
+  if (static_cost) {
+    std::cout << "static cost estimates (abstract interpretation, "
+                 "cost_estimate.h):\n";
+    if (program->static_costs.estimates.empty()) {
+      std::cout << "  (no task graphs discovered)\n";
+      return 0;
+    }
+    std::printf("%-40s %-6s %12s %10s %9s\n", "task", "device", "us/elem",
+                "ops/fire", "bounded");
+    for (const auto& e : program->static_costs.estimates) {
+      std::printf("%-40s %-6s %12.4f %10.1f %9s\n", e.task_id.c_str(),
+                  e.device.c_str(), e.us_per_elem, e.ops_per_fire,
+                  e.bounded ? "yes" : "no");
+    }
+    return 0;
   }
   // Warnings still surface.
   if (!quiet && program->diags.error_count() == 0 &&
@@ -346,6 +423,8 @@ int main(int argc, char** argv) {
   runtime::RuntimeConfig rc;
   rc.placement = placement;
   rc.enable_resubstitution = enable_resub;
+  rc.enable_calibration = !no_calibration;
+  if (fifo_capacity > 0) rc.fifo_capacity = static_cast<size_t>(fifo_capacity);
   rc.flight_dump_path = flight_path;
   rc.remote_endpoints = remote_endpoints;
   if (device_batch > 0) rc.device_batch = device_batch;
