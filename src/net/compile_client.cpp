@@ -1,0 +1,73 @@
+#include "net/compile_client.h"
+
+#include "net/frame.h"
+#include "net/protocol.h"
+#include "obs/trace.h"
+
+namespace lm::net {
+
+CompileServiceClient::CompileServiceClient(std::string host, uint16_t port,
+                                           int64_t timeout_ms)
+    : host_(std::move(host)),
+      port_(port),
+      timeout_ms_(timeout_ms),
+      endpoint_(host_ + ":" + std::to_string(port_)) {}
+
+bool CompileServiceClient::ensure_connected() {
+  if (connected_) return true;
+  try {
+    sock_ = Socket::connect(host_, port_, deadline_in_ms(timeout_ms_));
+    Frame hello;
+    hello.type = FrameType::kHello;
+    hello.request_id = next_id_++;
+    hello.payload = encode_hello({"lmc-compile-client", /*fingerprint=*/0});
+    write_frame(sock_, hello, deadline_in_ms(timeout_ms_));
+    Frame reply = read_frame(sock_, deadline_in_ms(timeout_ms_));
+    if (reply.type != FrameType::kHelloOk) return false;
+    connected_ = true;
+    return true;
+  } catch (const TransportError&) {
+    sock_.close();
+    return false;
+  }
+}
+
+std::optional<std::vector<uint8_t>> CompileServiceClient::fetch(
+    uint64_t key, const std::string& backend, const std::string& task_id) {
+  if (!ensure_connected()) {
+    ++failed_;
+    return std::nullopt;
+  }
+  try {
+    Frame req;
+    req.type = FrameType::kArtifactGet;
+    req.request_id = next_id_++;
+    req.payload = encode_artifact_get({key, backend, task_id});
+    write_frame(sock_, req, deadline_in_ms(timeout_ms_));
+    Frame reply = read_frame(sock_, deadline_in_ms(timeout_ms_));
+    if (reply.type != FrameType::kArtifactOk ||
+        reply.request_id != req.request_id) {
+      // kError (unknown key) keeps the connection usable for the next ask.
+      ++failed_;
+      return std::nullopt;
+    }
+    ++fetched_;
+    if (auto* rec = obs::TraceRecorder::current()) {
+      rec->instant("net", "artifact-fetch",
+                   obs::JsonArgs()
+                       .add("backend", backend)
+                       .add("task", task_id)
+                       .add("bytes",
+                            static_cast<uint64_t>(reply.payload.size()))
+                       .str());
+    }
+    return std::move(reply.payload);
+  } catch (const TransportError&) {
+    sock_.close();
+    connected_ = false;
+    ++failed_;
+    return std::nullopt;
+  }
+}
+
+}  // namespace lm::net

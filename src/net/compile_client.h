@@ -1,0 +1,57 @@
+// Compile-service client: fetch compiled artifacts by content key.
+//
+// The client half of the kArtifactGet/kArtifactOk exchange (DESIGN.md §14).
+// An lmc that is about to compile a program asks an lmdev peer for each
+// artifact's content key first; a hit ships the serialized artifact bytes
+// and the local backend compile is skipped entirely. The service is an
+// accelerator, never a dependency: every failure mode — refused
+// connection, unknown key, timeout, malformed reply — returns std::nullopt
+// and the caller compiles locally.
+//
+// The connection handshakes with fingerprint 0 (the compile-service
+// wildcard): this client has not compiled anything, so there is no program
+// fingerprint to present, and none is needed — content keys self-validate.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/socket.h"
+
+namespace lm::net {
+
+/// One lazily-connected compile-service session. Not thread-safe — the
+/// compiler driver fetches sequentially. A transport error drops the
+/// connection; the next fetch reconnects once.
+class CompileServiceClient {
+ public:
+  CompileServiceClient(std::string host, uint16_t port,
+                       int64_t timeout_ms = 2000);
+
+  /// The serialized artifact for (key, backend), or std::nullopt on any
+  /// failure (the caller falls back to compiling locally).
+  std::optional<std::vector<uint8_t>> fetch(uint64_t key,
+                                            const std::string& backend,
+                                            const std::string& task_id);
+
+  uint64_t fetched() const { return fetched_; }
+  uint64_t failed() const { return failed_; }
+  const std::string& endpoint() const { return endpoint_; }
+
+ private:
+  bool ensure_connected();
+
+  std::string host_;
+  uint16_t port_;
+  int64_t timeout_ms_;
+  std::string endpoint_;
+  Socket sock_;
+  bool connected_ = false;
+  uint64_t next_id_ = 1;
+  uint64_t fetched_ = 0;
+  uint64_t failed_ = 0;
+};
+
+}  // namespace lm::net

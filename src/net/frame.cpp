@@ -17,6 +17,8 @@ const char* to_string(FrameType t) {
     case FrameType::kError: return "error";
     case FrameType::kPing: return "ping";
     case FrameType::kPong: return "pong";
+    case FrameType::kArtifactGet: return "artifact-get";
+    case FrameType::kArtifactOk: return "artifact-ok";
   }
   return "?";
 }

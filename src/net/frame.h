@@ -62,6 +62,10 @@ enum class FrameType : uint8_t {
   kError = 7,      // server → client: str message (request failed)
   kPing = 8,       // liveness probe, empty payload
   kPong = 9,       // liveness reply, empty payload
+  // Compile service (DESIGN.md §14): fetch a compiled artifact by content
+  // key instead of recompiling it locally.
+  kArtifactGet = 10,  // client → server: key + backend + task id
+  kArtifactOk = 11,   // server → client: the serialized artifact payload
 };
 
 const char* to_string(FrameType t);

@@ -4,6 +4,7 @@
 
 #include "util/byte_buffer.h"
 #include "util/error.h"
+#include "util/hash.h"
 
 namespace lm::net {
 
@@ -108,6 +109,23 @@ ProcessRequest decode_process(std::span<const uint8_t> payload) {
   return p;
 }
 
+std::vector<uint8_t> encode_artifact_get(const ArtifactGetRequest& a) {
+  ByteWriter w;
+  w.u64(a.key);
+  w.str(a.backend);
+  w.str(a.task_id);
+  return w.take();
+}
+
+ArtifactGetRequest decode_artifact_get(std::span<const uint8_t> payload) {
+  ByteReader r(payload);
+  ArtifactGetRequest a;
+  a.key = r.u64();
+  a.backend = r.str();
+  a.task_id = r.str();
+  return a;
+}
+
 std::vector<uint8_t> encode_telemetry(const ReplyTelemetry& t) {
   ByteWriter w;
   w.f64(t.recv_ts_us);
@@ -145,16 +163,13 @@ uint64_t program_fingerprint(const runtime::ArtifactStore& store) {
     lines.push_back(m->to_string());
   }
   std::sort(lines.begin(), lines.end());
-  uint64_t h = 1469598103934665603ull;  // FNV-1a 64 offset basis
-  auto mix = [&h](char c) {
-    h ^= static_cast<uint8_t>(c);
-    h *= 1099511628211ull;
-  };
+  // Shared FNV-1a facility (util/hash.h) — digests are pinned by util_test
+  // so this stays byte-compatible with the PR-4 wire format.
+  util::Fnv1a h;
   for (const auto& line : lines) {
-    for (char c : line) mix(c);
-    mix('\n');
+    h.mix(line).mix_byte('\n');
   }
-  return h;
+  return h.digest();
 }
 
 std::vector<ArtifactListing> store_listing(

@@ -62,6 +62,19 @@ std::vector<ArtifactListing> decode_listing(std::span<const uint8_t> payload);
 std::vector<uint8_t> encode_process(const ProcessRequest& p);
 ProcessRequest decode_process(std::span<const uint8_t> payload);
 
+/// kArtifactGet payload: the compile-service request (DESIGN.md §14). The
+/// content key is the cache::artifact_key of the canonical IR — it fully
+/// determines the artifact bytes, so no IR ships over the wire. backend and
+/// task_id ride along for validation and server-side logging.
+struct ArtifactGetRequest {
+  uint64_t key = 0;
+  std::string backend;  // cache::kBackendBytecode / kBackendGpu / kBackendFpga
+  std::string task_id;
+};
+
+std::vector<uint8_t> encode_artifact_get(const ArtifactGetRequest& a);
+ArtifactGetRequest decode_artifact_get(std::span<const uint8_t> payload);
+
 /// One server-side span, timestamped on the *server's* clock in
 /// microseconds since the DeviceServer's construction. The client shifts
 /// it onto its own timeline with the NTP-midpoint offset of the same

@@ -42,13 +42,17 @@ std::vector<Value> RemoteArtifact::process(std::span<const Value> inputs) {
   }
 
   // Stream elements all share one type (only values of the upstream
-  // element type flow through a connection).
-  auto wire = serde::pack_batch(inputs, manifest_.param_types[0]);
-  transfer_.bytes_to_device += wire.size();
+  // element type flow through a connection). The encode buffer is recycled
+  // through the wire pool — one RPC per firing makes this a hot path.
+  auto wire =
+      serde::pack_batch(inputs, manifest_.param_types[0], serde::wire_pool());
+  const size_t wire_bytes = wire.size();
+  transfer_.bytes_to_device += wire_bytes;
 
   RemoteSession::ExchangeInfo info;
   auto reply =
       session_->process(manifest_.task_id, manifest_.device, wire, &info);
+  serde::wire_pool().release(std::move(wire));
   transfer_.bytes_from_device += reply.size();
   if (info.server_execute_us > 0) {
     server_exec_.record_ns(
@@ -62,7 +66,7 @@ std::vector<Value> RemoteArtifact::process(std::span<const Value> inputs) {
                       .add("endpoint", session_->endpoint())
                       .add("trace_id", trace_id_hex)
                       .add("elements", static_cast<uint64_t>(inputs.size()))
-                      .add("bytes_out", static_cast<uint64_t>(wire.size()))
+                      .add("bytes_out", static_cast<uint64_t>(wire_bytes))
                       .add("bytes_in", static_cast<uint64_t>(reply.size()))
                       .str());
   }
@@ -104,8 +108,10 @@ std::unique_ptr<runtime::AsyncBatch> RemoteArtifact::process_async(
   LM_CHECK(inputs.size() % k == 0);
   ++transfer_.batches;
   transfer_.elements_in += inputs.size();
-  auto wire = serde::pack_batch(inputs, manifest_.param_types[0]);
-  transfer_.bytes_to_device += wire.size();
+  auto wire =
+      serde::pack_batch(inputs, manifest_.param_types[0], serde::wire_pool());
+  const size_t wire_bytes = wire.size();
+  transfer_.bytes_to_device += wire_bytes;
   // Stamp the rpc span's start *before* submitting: the poll thread may
   // write the request (starting the wire exchange whose window the aligned
   // server spans must nest inside) the instant the op is queued.
@@ -113,9 +119,9 @@ std::unique_ptr<runtime::AsyncBatch> RemoteArtifact::process_async(
   double t0_us = rec ? rec->to_us(std::chrono::steady_clock::now()) : 0;
   auto rpc = session_->process_async(manifest_.task_id, manifest_.device,
                                      wire, std::move(on_done));
-  return std::make_unique<RemoteAsyncBatch>(this, std::move(rpc),
-                                            inputs.size(), wire.size(), rec,
-                                            t0_us);
+  serde::wire_pool().release(std::move(wire));
+  return std::make_unique<RemoteAsyncBatch>(this, std::move(rpc), inputs.size(),
+                                            wire_bytes, rec, t0_us);
 }
 
 std::vector<Value> RemoteArtifact::resolve_async(RemoteAsyncBatch& b) {

@@ -1,6 +1,9 @@
 #include "net/server.h"
 
+#include "cache/artifact_cache.h"
+#include "cache/serialize.h"
 #include "obs/trace.h"
+#include "runtime/artifact.h"
 #include "serde/batch.h"
 #include "util/byte_buffer.h"
 
@@ -32,6 +35,41 @@ DeviceServer::DeviceServer(const runtime::CompiledProgram& program,
     Artifact* a = program_.store.find(l.task_id, l.device);
     if (a && !locks_.count(a)) {
       locks_.emplace(a, std::make_unique<std::mutex>());
+    }
+  }
+  // Compile-service inventory: re-serialize every artifact the compiler
+  // keyed, so clients can fetch compiled bytes by content key instead of
+  // compiling locally. Empty when the program was compiled without caching.
+  for (const auto& [label, key] : program_.artifact_keys) {
+    auto colon = label.find(':');
+    if (colon == std::string::npos) continue;
+    std::string backend = label.substr(0, colon);
+    std::string task = label.substr(colon + 1);
+    try {
+      if (backend == cache::kBackendBytecode) {
+        if (program_.bytecode) {
+          artifact_payloads_[key] = {
+              backend, cache::encode_bytecode_module(*program_.bytecode)};
+        }
+      } else if (backend == cache::kBackendGpu) {
+        auto* g = dynamic_cast<runtime::GpuKernelArtifact*>(
+            program_.store.find(task, DeviceKind::kGpu));
+        if (g) {
+          artifact_payloads_[key] = {
+              backend, cache::encode_kernel_program(g->program())};
+        }
+      } else if (backend == cache::kBackendFpga) {
+        auto* fa = dynamic_cast<runtime::FpgaModuleArtifact*>(
+            program_.store.find(task, DeviceKind::kFpga));
+        if (fa) {
+          fpga::FpgaFilter& filt = fa->filter();
+          artifact_payloads_[key] = {
+              backend, cache::encode_fpga_parts(filt.module(), filt.verilog(),
+                                                filt.ports())};
+        }
+      }
+    } catch (const std::exception&) {
+      // An artifact that cannot be re-serialized is simply not served.
     }
   }
 }
@@ -78,6 +116,11 @@ void DeviceServer::serve(Conn* conn) {
       reply.aux = encode_telemetry(tele);
       c_bytes_out_.add(wire_size(reply));
       write_frame(conn->sock, reply, no_deadline());
+      if (reply.type == FrameType::kProcessOk) {
+        // The batch payload came out of the wire pool (handle()'s kProcess
+        // case); recycle its storage now that the bytes are on the socket.
+        serde::wire_pool().release(std::move(reply.payload));
+      }
       if (opts_.fail_after != 0 && req.type == FrameType::kProcess &&
           served_.load(std::memory_order_relaxed) >= opts_.fail_after) {
         abrupt_stop();  // fault injection: die after the Nth batch
@@ -101,7 +144,10 @@ Frame DeviceServer::handle(const Frame& req, ReplyTelemetry& tele) {
       }
       case FrameType::kHello: {
         HelloRequest h = decode_hello(req.payload);
-        if (h.fingerprint != fingerprint_) {
+        // fingerprint 0 is the compile-service wildcard: the client has not
+        // compiled anything yet (it is here to *avoid* compiling), so there
+        // is no program identity to check — content keys self-validate.
+        if (h.fingerprint != 0 && h.fingerprint != fingerprint_) {
           return error_frame(
               req.request_id,
               "program fingerprint mismatch: client compiled a different "
@@ -121,6 +167,29 @@ Frame DeviceServer::handle(const Frame& req, ReplyTelemetry& tele) {
         f.type = FrameType::kListOk;
         f.request_id = req.request_id;
         f.payload = encode_listing(listing_);
+        return f;
+      }
+      case FrameType::kArtifactGet: {
+        ArtifactGetRequest a = decode_artifact_get(req.payload);
+        auto it = artifact_payloads_.find(a.key);
+        if (it == artifact_payloads_.end() || it->second.first != a.backend) {
+          return error_frame(req.request_id,
+                             "no artifact for key " + cache::key_hex(a.key) +
+                                 " (" + a.backend + ":" + a.task_id + ")");
+        }
+        Frame f;
+        f.type = FrameType::kArtifactOk;
+        f.request_id = req.request_id;
+        f.payload = it->second.second;
+        c_artifact_fetches_.add();
+        if (auto* rec = obs::TraceRecorder::current()) {
+          rec->instant("net", "artifact-get",
+                       obs::JsonArgs()
+                           .add("key", cache::key_hex(a.key))
+                           .add("backend", a.backend)
+                           .add("task", a.task_id)
+                           .str());
+        }
         return f;
       }
       case FrameType::kProcess: {
@@ -153,7 +222,8 @@ Frame DeviceServer::handle(const Frame& req, ReplyTelemetry& tele) {
         Frame f;
         f.type = FrameType::kProcessOk;
         f.request_id = req.request_id;
-        f.payload = serde::pack_batch(out, mf.return_type);
+        f.payload = serde::pack_batch(out, mf.return_type,
+                                      serde::wire_pool());
         double t_encode1 = now_us();
         exec_hist_.record_ns(
             static_cast<uint64_t>((t_exec1 - t_exec0) * 1e3));

@@ -69,6 +69,10 @@ class DeviceServer {
   const std::string& endpoint() const { return endpoint_; }
   uint64_t fingerprint() const { return fingerprint_; }
   size_t artifact_count() const { return listing_.size(); }
+  /// Artifacts addressable by content key over kArtifactGet (the compile
+  /// service): populated from the program's artifact_keys map, so it is
+  /// empty unless the program was compiled with caching active.
+  size_t compile_service_entries() const { return artifact_payloads_.size(); }
   uint64_t requests_served() const {
     return served_.load(std::memory_order_relaxed);
   }
@@ -113,6 +117,11 @@ class DeviceServer {
   Options opts_;
   uint64_t fingerprint_ = 0;
   std::vector<ArtifactListing> listing_;
+  /// Compile-service inventory: content key → (backend, serialized
+  /// artifact payload), pre-serialized at construction so kArtifactGet is
+  /// a map lookup under no lock (the map is immutable once built).
+  std::unordered_map<uint64_t, std::pair<std::string, std::vector<uint8_t>>>
+      artifact_payloads_;
   /// One lock per served artifact (see file comment).
   std::unordered_map<runtime::Artifact*, std::unique_ptr<std::mutex>> locks_;
 
@@ -138,6 +147,8 @@ class DeviceServer {
       metrics_.counter("server.bytes_received");
   obs::MetricsRegistry::Counter& c_bytes_out_ =
       metrics_.counter("server.bytes_sent");
+  obs::MetricsRegistry::Counter& c_artifact_fetches_ =
+      metrics_.counter("server.artifact_fetches");
   obs::LatencyHistogram exec_hist_;
 };
 

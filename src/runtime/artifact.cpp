@@ -53,9 +53,10 @@ CValue elements_to_device(std::span<const Value> elems,
                           TransferStats& stats) {
   // The batch encode/decode lives in serde/batch.h, shared with the remote
   // transport (src/net/), so local and remote artifacts move bit-identical
-  // bytes.
-  auto wire = serde::pack_batch(elems, elem_type);
+  // bytes. The wire buffer is recycled: this runs once per firing.
+  auto wire = serde::pack_batch(elems, elem_type, serde::wire_pool());
   auto native = boundary.cross_to_native(wire);
+  serde::wire_pool().release(std::move(wire));
   stats.bytes_to_device += native.size();
   return serde::unmarshal_native(native, lime::Type::value_array(elem_type));
 }
@@ -175,17 +176,19 @@ Value GpuKernelArtifact::run_map(std::span<const Value> args,
     if (array_mask & (1u << i)) {
       auto t = lime::Type::value_array(pt);
       auto ser = serde::serializer_for(t);
-      ByteWriter w;
+      ByteWriter w(serde::wire_pool().acquire());
       ser->serialize(args[i], w);
       auto native = boundary.cross_to_native(w.bytes());
+      serde::wire_pool().release(w.take());
       transfer_.bytes_to_device += native.size();
       device_values.push_back(serde::unmarshal_native(native, t));
       n = device_values.back().count;
     } else {
       auto ser = serde::serializer_for(pt);
-      ByteWriter w;
+      ByteWriter w(serde::wire_pool().acquire());
       ser->serialize(args[i], w);
       auto native = boundary.cross_to_native(w.bytes());
+      serde::wire_pool().release(w.take());
       transfer_.bytes_to_device += native.size();
       device_values.push_back(serde::unmarshal_native(native, pt));
     }
@@ -232,9 +235,10 @@ Value GpuKernelArtifact::run_reduce(const Value& array) {
   serde::NativeBoundary boundary;
   auto arr_t = lime::Type::value_array(manifest_.return_type);
   auto ser = serde::serializer_for(arr_t);
-  ByteWriter w;
+  ByteWriter w(serde::wire_pool().acquire());
   ser->serialize(array, w);
   auto native = boundary.cross_to_native(w.bytes());
+  serde::wire_pool().release(w.take());
   transfer_.bytes_to_device += native.size();
   CValue cur = serde::unmarshal_native(native, arr_t);
   if (cur.count == 0) throw RuntimeError("reduce of an empty array");

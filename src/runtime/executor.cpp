@@ -51,7 +51,14 @@ Executor::Executor(const Options& opts)
 
 Executor::~Executor() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(mu_);
+    // An async completion callback (poll-loop thread) touches this object
+    // right up to its note_external_end(), and its wake() may finish the
+    // graph — and so trigger this destructor — *before* that end call.
+    // Destruction must wait out the bracket or the callback's tail races
+    // with the teardown. Every in-flight op completes or errors out under
+    // its own deadline, so this wait is bounded.
+    cv_.wait(lock, [&] { return external_pending_ == 0; });
     stop_ = true;
   }
   cv_.notify_all();
@@ -121,11 +128,12 @@ void Executor::note_external_begin() {
 }
 
 void Executor::note_external_end() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    --external_pending_;
-  }
-  // drive() may be waiting to re-evaluate its deadlock verdict.
+  // drive() may be waiting to re-evaluate its deadlock verdict, and
+  // ~Executor waits for the bracket to close. The notify stays under the
+  // lock: the waiter may destroy this object the moment mu_ is released,
+  // so nothing — including the condvar — may be touched after unlock.
+  std::lock_guard<std::mutex> lock(mu_);
+  --external_pending_;
   cv_.notify_all();
 }
 

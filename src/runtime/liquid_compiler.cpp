@@ -7,9 +7,11 @@
 #include "analysis/ir_verify.h"
 #include "analysis/kernel_ranges.h"
 #include "bytecode/compiler.h"
+#include "cache/serialize.h"
 #include "fpga/synth.h"
 #include "gpu/kernel_compiler.h"
 #include "lime/frontend.h"
+#include "util/byte_buffer.h"
 #include "util/error.h"
 
 namespace lm::runtime {
@@ -178,8 +180,67 @@ std::unique_ptr<CompiledProgram> compile(const std::string& source,
   cp->ast = std::move(fr.program);
   if (cp->diags.has_errors()) return cp;
 
-  // 2. CPU backend: the whole program, unconditionally (§1, §3).
-  cp->bytecode = bc::compile_program(*cp->ast, cp->diags);
+  // Artifact cache + compile service. Lookup order on every cacheable
+  // artifact: local cache → remote fetcher → compile fresh (then store in
+  // rw mode). A payload that fails to decode is treated exactly like a
+  // miss — the cache can slow a compile down, never wrong it.
+  std::shared_ptr<cache::ArtifactCache> ac;
+  if (options.cache.mode != cache::CacheMode::kOff) {
+    ac = std::make_shared<cache::ArtifactCache>(options.cache);
+    cp->cache = ac;
+  }
+  const bool keyed = ac != nullptr || options.remote_fetch != nullptr;
+  auto try_fetch = [&](uint64_t key, const std::string& backend,
+                       const std::string& task_id)
+      -> std::optional<std::vector<uint8_t>> {
+    if (ac) {
+      if (auto p = ac->load(key, backend)) return p;
+    }
+    if (options.remote_fetch) {
+      if (auto p = options.remote_fetch(key, backend, task_id)) {
+        // Populate the local cache so the next run skips the network too.
+        if (ac && ac->writable()) ac->store(key, backend, *p);
+        return p;
+      }
+    }
+    return std::nullopt;
+  };
+
+  // 2. CPU backend: the whole program, unconditionally (§1, §3). The
+  // module is keyed by the source text itself (the frontend is the
+  // canonicalizer for everything downstream).
+  bool bytecode_cached = false;
+  {
+    uint64_t bkey = 0;
+    if (keyed) {
+      std::span<const uint8_t> src(
+          reinterpret_cast<const uint8_t*>(source.data()), source.size());
+      bkey = cache::artifact_key(src, cache::kBackendBytecode, "");
+      cp->artifact_keys["bytecode:<program>"] = bkey;
+      if (auto payload = try_fetch(bkey, cache::kBackendBytecode,
+                                   "<program>")) {
+        try {
+          cp->bytecode = cache::decode_bytecode_module(*payload);
+          bytecode_cached = true;
+          cp->backend_log.push_back("cpu: bytecode module (cached)");
+        } catch (const std::exception&) {
+          cp->bytecode.reset();
+        }
+      }
+    }
+    if (!cp->bytecode) {
+      size_t diags_before = cp->diags.diagnostics().size();
+      cp->bytecode = bc::compile_program(*cp->ast, cp->diags);
+      // Only a diagnostic-free compile is cached: a warm start serves the
+      // module without replaying compile-time notes, so a compile that
+      // produced any must not short-circuit.
+      if (ac && ac->writable() &&
+          cp->diags.diagnostics().size() == diags_before) {
+        ac->store(bkey, cache::kBackendBytecode,
+                  cache::encode_bytecode_module(*cp->bytecode));
+      }
+    }
+  }
 
   // 3. Static task-graph discovery (§3).
   cp->graphs = ir::extract_task_graphs(*cp->ast, cp->diags);
@@ -216,7 +277,10 @@ std::unique_ptr<CompiledProgram> compile(const std::string& source,
     cp->store.add(std::make_unique<BytecodeArtifact>(
         manifest_for(*m, DeviceKind::kCpu, std::move(text)), *cp->bytecode,
         idx));
-    cp->backend_log.push_back("cpu: compiled " + id);
+    // Per-task CPU artifacts wrap the module; when the module itself came
+    // from cache, no compilation happened here either.
+    cp->backend_log.push_back("cpu: compiled " + id +
+                              (bytecode_cached ? " (cached)" : ""));
   };
 
   for (const auto& g : cp->graphs.graphs) {
@@ -233,10 +297,42 @@ std::unique_ptr<CompiledProgram> compile(const std::string& source,
   // 4. GPU backend (§3: autonomous, may decline per task).
   if (options.enable_gpu) {
     std::unordered_set<std::string> gpu_done;
+    // Compile flags that change the emitted kernel participate in the key.
+    const std::string gpu_flags = verify_ir ? "verify" : "";
     auto wire_native = [&](const std::string& id) {
       if (!options.use_native_kernels) return;
       if (const auto* fn = gpu::NativeKernelRegistry::global().find(id)) {
         cp->gpu_device->registry().add(id, *fn);
+      }
+    };
+    // Key of one task's (or chain's) kernel, or nullopt when uncacheable.
+    auto gpu_key = [&](const std::vector<std::string>& roots,
+                      const std::string& task_id) -> std::optional<uint64_t> {
+      if (!keyed) return std::nullopt;
+      ByteWriter cb;
+      if (!cache::canonical_chain_bytes(*cp->bytecode, roots, cb)) {
+        return std::nullopt;
+      }
+      uint64_t key = cache::artifact_key(cb.bytes(), cache::kBackendGpu,
+                                         gpu_flags);
+      cp->artifact_keys["gpu:" + task_id] = key;
+      return key;
+    };
+    auto fetch_gpu = [&](std::optional<uint64_t> key, const std::string& id)
+        -> std::unique_ptr<gpu::KernelProgram> {
+      if (!key) return nullptr;
+      auto payload = try_fetch(*key, cache::kBackendGpu, id);
+      if (!payload) return nullptr;
+      try {
+        return cache::decode_kernel_program(*payload);
+      } catch (const std::exception&) {
+        return nullptr;
+      }
+    };
+    auto store_gpu = [&](std::optional<uint64_t> key,
+                         const gpu::KernelProgram& prog) {
+      if (key && ac && ac->writable()) {
+        ac->store(*key, cache::kBackendGpu, cache::encode_kernel_program(prog));
       }
     };
     auto add_gpu_kernel = [&](const lime::MethodDecl* m) {
@@ -250,27 +346,35 @@ std::unique_ptr<CompiledProgram> compile(const std::string& source,
                                    "demoted by the effect verifier"});
         return;
       }
-      auto r = gpu::compile_kernel(*m);
-      if (!r.ok()) {
-        cp->backend_log.push_back("gpu: excluded " + id + " — " +
-                                  r.exclusion_reason);
-        cp->suitability.push_back({"LM401", DeviceKind::kGpu, id,
-                                   r.exclusion_loc, r.exclusion_reason});
-        return;
+      std::optional<uint64_t> key = gpu_key({id}, id);
+      std::unique_ptr<gpu::KernelProgram> prog = fetch_gpu(key, id);
+      const bool from_cache = prog != nullptr;
+      if (!prog) {
+        auto r = gpu::compile_kernel(*m);
+        if (!r.ok()) {
+          cp->backend_log.push_back("gpu: excluded " + id + " — " +
+                                    r.exclusion_reason);
+          cp->suitability.push_back({"LM401", DeviceKind::kGpu, id,
+                                     r.exclusion_loc, r.exclusion_reason});
+          return;
+        }
+        if (verify_ir &&
+            analysis::verify_kernel(*r.program, cp->diags) > 0) {
+          cp->backend_log.push_back("gpu: dropped " + id +
+                                    " — kernel IR verification failed");
+          return;
+        }
+        analysis::annotate_kernel_ranges(*r.program);
+        prog = std::move(r.program);
+        store_gpu(key, *prog);
       }
-      if (verify_ir &&
-          analysis::verify_kernel(*r.program, cp->diags) > 0) {
-        cp->backend_log.push_back("gpu: dropped " + id +
-                                  " — kernel IR verification failed");
-        return;
-      }
-      analysis::annotate_kernel_ranges(*r.program);
-      ArtifactManifest mf = manifest_for(*m, DeviceKind::kGpu,
-                                         r.program->opencl_source);
+      ArtifactManifest mf =
+          manifest_for(*m, DeviceKind::kGpu, prog->opencl_source);
       wire_native(id);
       cp->store.add(std::make_unique<GpuKernelArtifact>(
-          std::move(mf), std::move(r.program), cp->gpu_device));
-      cp->backend_log.push_back("gpu: compiled " + id);
+          std::move(mf), std::move(prog), cp->gpu_device));
+      cp->backend_log.push_back(from_cache ? "gpu: compiled " + id + " (cached)"
+                                           : "gpu: compiled " + id);
     };
 
     // Per-filter kernels and fused segment kernels for relocated regions.
@@ -288,36 +392,47 @@ std::unique_ptr<CompiledProgram> compile(const std::string& source,
         if (chain.size() > 1 && !seg_demoted) {
           std::string seg_id = ArtifactStore::segment_id(ids);
           if (gpu_done.insert(seg_id).second) {
-            auto r = gpu::compile_segment_kernel(chain);
-            if (r.ok() && verify_ir &&
-                analysis::verify_kernel(*r.program, cp->diags) > 0) {
-              cp->backend_log.push_back("gpu: dropped segment " + seg_id +
-                                        " — kernel IR verification failed");
-              continue;
-            }
-            if (r.ok()) {
-              analysis::annotate_kernel_ranges(*r.program);
-              ArtifactManifest mf;
-              mf.task_id = seg_id;
-              mf.device = DeviceKind::kGpu;
-              for (const auto& p : chain.front()->params) {
-                mf.param_types.push_back(p.type);
+            std::vector<std::string> roots;
+            for (const auto* cm : chain) roots.push_back(cm->qualified_name());
+            std::optional<uint64_t> key = gpu_key(roots, seg_id);
+            std::unique_ptr<gpu::KernelProgram> prog = fetch_gpu(key, seg_id);
+            const bool from_cache = prog != nullptr;
+            if (!prog) {
+              auto r = gpu::compile_segment_kernel(chain);
+              if (r.ok() && verify_ir &&
+                  analysis::verify_kernel(*r.program, cp->diags) > 0) {
+                cp->backend_log.push_back("gpu: dropped segment " + seg_id +
+                                          " — kernel IR verification failed");
+                continue;
               }
-              mf.return_type = chain.back()->return_type;
-              mf.arity = static_cast<int>(chain.front()->params.size());
-              mf.artifact_text = r.program->opencl_source;
-              wire_native(seg_id);
-              cp->store.add(std::make_unique<GpuKernelArtifact>(
-                  std::move(mf), std::move(r.program), cp->gpu_device));
-              cp->backend_log.push_back("gpu: compiled fused segment " +
-                                        seg_id);
-            } else {
-              cp->backend_log.push_back("gpu: excluded segment " + seg_id +
-                                        " — " + r.exclusion_reason);
-              cp->suitability.push_back({"LM401", DeviceKind::kGpu, seg_id,
-                                         r.exclusion_loc,
-                                         r.exclusion_reason});
+              if (!r.ok()) {
+                cp->backend_log.push_back("gpu: excluded segment " + seg_id +
+                                          " — " + r.exclusion_reason);
+                cp->suitability.push_back({"LM401", DeviceKind::kGpu, seg_id,
+                                           r.exclusion_loc,
+                                           r.exclusion_reason});
+                continue;
+              }
+              analysis::annotate_kernel_ranges(*r.program);
+              prog = std::move(r.program);
+              store_gpu(key, *prog);
             }
+            ArtifactManifest mf;
+            mf.task_id = seg_id;
+            mf.device = DeviceKind::kGpu;
+            for (const auto& p : chain.front()->params) {
+              mf.param_types.push_back(p.type);
+            }
+            mf.return_type = chain.back()->return_type;
+            mf.arity = static_cast<int>(chain.front()->params.size());
+            mf.artifact_text = prog->opencl_source;
+            wire_native(seg_id);
+            cp->store.add(std::make_unique<GpuKernelArtifact>(
+                std::move(mf), std::move(prog), cp->gpu_device));
+            cp->backend_log.push_back(
+                from_cache ? "gpu: compiled fused segment " + seg_id +
+                                 " (cached)"
+                           : "gpu: compiled fused segment " + seg_id);
           }
         }
       }
@@ -333,6 +448,41 @@ std::unique_ptr<CompiledProgram> compile(const std::string& source,
     std::unordered_set<std::string> fpga_done;
     fpga::FpgaSynthOptions synth_opts;
     synth_opts.pipelined = options.fpga_pipelined;
+    // Synthesis options change the emitted module, so they key the entry.
+    const std::string fpga_flags =
+        std::string("pipelined=") + (synth_opts.pipelined ? "1" : "0") +
+        ",max_unroll=" + std::to_string(synth_opts.max_unroll) +
+        (verify_ir ? ",verify" : "");
+    auto fpga_key = [&](const std::vector<std::string>& roots,
+                        const std::string& task_id)
+        -> std::optional<uint64_t> {
+      if (!keyed) return std::nullopt;
+      ByteWriter cb;
+      if (!cache::canonical_chain_bytes(*cp->bytecode, roots, cb)) {
+        return std::nullopt;
+      }
+      uint64_t key = cache::artifact_key(cb.bytes(), cache::kBackendFpga,
+                                         fpga_flags);
+      cp->artifact_keys["fpga:" + task_id] = key;
+      return key;
+    };
+    auto fetch_fpga = [&](std::optional<uint64_t> key, const std::string& id)
+        -> std::optional<fpga::FpgaCompileResult> {
+      if (!key) return std::nullopt;
+      auto payload = try_fetch(*key, cache::kBackendFpga, id);
+      if (!payload) return std::nullopt;
+      try {
+        return cache::decode_fpga_result(*payload);
+      } catch (const std::exception&) {
+        return std::nullopt;
+      }
+    };
+    auto store_fpga = [&](std::optional<uint64_t> key,
+                          const fpga::FpgaCompileResult& r) {
+      if (key && ac && ac->writable()) {
+        ac->store(*key, cache::kBackendFpga, cache::encode_fpga_result(r));
+      }
+    };
     for (const auto* m : cp->graphs.relocated_filter_methods()) {
       std::string id = m->qualified_name();
       if (!fpga_done.insert(id).second) continue;
@@ -343,23 +493,32 @@ std::unique_ptr<CompiledProgram> compile(const std::string& source,
                                    "demoted by the effect verifier"});
         continue;
       }
-      auto r = fpga::synthesize_filter(*m, synth_opts);
-      if (!r.ok()) {
-        cp->backend_log.push_back("fpga: excluded " + id + " — " +
-                                  r.exclusion_reason);
-        cp->suitability.push_back({"LM402", DeviceKind::kFpga, id,
-                                   r.exclusion_loc, r.exclusion_reason});
-        continue;
+      std::optional<uint64_t> key = fpga_key({id}, id);
+      std::optional<fpga::FpgaCompileResult> res = fetch_fpga(key, id);
+      const bool from_cache = res.has_value();
+      if (!res) {
+        auto r = fpga::synthesize_filter(*m, synth_opts);
+        if (!r.ok()) {
+          cp->backend_log.push_back("fpga: excluded " + id + " — " +
+                                    r.exclusion_reason);
+          cp->suitability.push_back({"LM402", DeviceKind::kFpga, id,
+                                     r.exclusion_loc, r.exclusion_reason});
+          continue;
+        }
+        if (verify_ir && analysis::verify_module(*r.module, cp->diags) > 0) {
+          cp->backend_log.push_back("fpga: dropped " + id +
+                                    " — RTL verification failed");
+          continue;
+        }
+        store_fpga(key, r);
+        res = std::move(r);
       }
-      if (verify_ir && analysis::verify_module(*r.module, cp->diags) > 0) {
-        cp->backend_log.push_back("fpga: dropped " + id +
-                                  " — RTL verification failed");
-        continue;
-      }
-      ArtifactManifest mf = manifest_for(*m, DeviceKind::kFpga, r.verilog);
-      cp->store.add(
-          std::make_unique<FpgaModuleArtifact>(std::move(mf), std::move(r)));
-      cp->backend_log.push_back("fpga: compiled " + id);
+      ArtifactManifest mf = manifest_for(*m, DeviceKind::kFpga, res->verilog);
+      cp->store.add(std::make_unique<FpgaModuleArtifact>(std::move(mf),
+                                                         std::move(*res)));
+      cp->backend_log.push_back(from_cache
+                                    ? "fpga: compiled " + id + " (cached)"
+                                    : "fpga: compiled " + id);
     }
     for (const auto& g : cp->graphs.graphs) {
       for (const auto& [first, last] : g.relocated_segments()) {
@@ -377,18 +536,27 @@ std::unique_ptr<CompiledProgram> compile(const std::string& source,
           seg_demoted |= cp->demoted_tasks.count(id) > 0;
         }
         if (seg_demoted) continue;
-        auto r = fpga::synthesize_segment(chain, synth_opts);
-        if (!r.ok()) {
-          cp->backend_log.push_back("fpga: excluded segment " + seg_id +
-                                    " — " + r.exclusion_reason);
-          cp->suitability.push_back({"LM402", DeviceKind::kFpga, seg_id,
-                                     r.exclusion_loc, r.exclusion_reason});
-          continue;
-        }
-        if (verify_ir && analysis::verify_module(*r.module, cp->diags) > 0) {
-          cp->backend_log.push_back("fpga: dropped segment " + seg_id +
-                                    " — RTL verification failed");
-          continue;
+        std::vector<std::string> roots;
+        for (const auto* cm : chain) roots.push_back(cm->qualified_name());
+        std::optional<uint64_t> key = fpga_key(roots, seg_id);
+        std::optional<fpga::FpgaCompileResult> res = fetch_fpga(key, seg_id);
+        const bool from_cache = res.has_value();
+        if (!res) {
+          auto r = fpga::synthesize_segment(chain, synth_opts);
+          if (!r.ok()) {
+            cp->backend_log.push_back("fpga: excluded segment " + seg_id +
+                                      " — " + r.exclusion_reason);
+            cp->suitability.push_back({"LM402", DeviceKind::kFpga, seg_id,
+                                       r.exclusion_loc, r.exclusion_reason});
+            continue;
+          }
+          if (verify_ir && analysis::verify_module(*r.module, cp->diags) > 0) {
+            cp->backend_log.push_back("fpga: dropped segment " + seg_id +
+                                      " — RTL verification failed");
+            continue;
+          }
+          store_fpga(key, r);
+          res = std::move(r);
         }
         ArtifactManifest mf;
         mf.task_id = seg_id;
@@ -398,10 +566,12 @@ std::unique_ptr<CompiledProgram> compile(const std::string& source,
         }
         mf.return_type = chain.back()->return_type;
         mf.arity = static_cast<int>(chain.front()->params.size());
-        mf.artifact_text = r.verilog;
-        cp->store.add(
-            std::make_unique<FpgaModuleArtifact>(std::move(mf), std::move(r)));
-        cp->backend_log.push_back("fpga: compiled fused segment " + seg_id);
+        mf.artifact_text = res->verilog;
+        cp->store.add(std::make_unique<FpgaModuleArtifact>(std::move(mf),
+                                                           std::move(*res)));
+        cp->backend_log.push_back(
+            from_cache ? "fpga: compiled fused segment " + seg_id + " (cached)"
+                       : "fpga: compiled fused segment " + seg_id);
       }
     }
   }

@@ -14,7 +14,10 @@
 // population with manifests.
 #pragma once
 
+#include <functional>
+#include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -22,6 +25,7 @@
 #include "analysis/cost_estimate.h"
 #include "analysis/deadlock.h"
 #include "bytecode/module.h"
+#include "cache/artifact_cache.h"
 #include "gpu/device.h"
 #include "ir/task_graph.h"
 #include "lime/ast.h"
@@ -42,6 +46,17 @@ struct CompileOptions {
   /// <= 0 → the runtime default. Should match RuntimeConfig::fifo_capacity
   /// when the caller overrides that.
   int64_t fifo_capacity = 0;
+  /// Persistent artifact cache (off by default). In rw mode the compiler
+  /// serves backend artifacts from the cache and stores fresh compiles;
+  /// ro serves hits without ever writing.
+  cache::CacheConfig cache;
+  /// Remote compile-service hook, consulted after a local cache miss.
+  /// net::fetch_artifact wires this to an lmdev endpoint — the runtime
+  /// itself never depends on net. Returns the serialized payload for
+  /// (key, backend), or std::nullopt to fall back to a local compile.
+  std::function<std::optional<std::vector<uint8_t>>(
+      uint64_t key, const std::string& backend, const std::string& task_id)>
+      remote_fetch;
 };
 
 /// One structured record per backend suitability decision, for `lmc
@@ -78,6 +93,14 @@ struct CompiledProgram {
   /// CostModelRegistry with these so cold-start placement can rank
   /// candidates before the first calibration batch.
   analysis::StaticCostModel static_costs;
+  /// Content key of every cacheable artifact ("backend:task_id" → key),
+  /// populated whenever caching or a remote fetcher is active. The device
+  /// server exports these so compile-service clients address artifacts by
+  /// key without shipping IR.
+  std::map<std::string, uint64_t> artifact_keys;
+  /// The cache consulted during this compile (null when off) — tools read
+  /// hit/miss metrics and register telemetry collectors from it.
+  std::shared_ptr<cache::ArtifactCache> cache;
 
   bool ok() const { return ast != nullptr && !diags.has_errors(); }
 };

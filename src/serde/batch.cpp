@@ -8,15 +8,30 @@ namespace lm::serde {
 using bc::ArrayRef;
 using bc::Value;
 
-std::vector<uint8_t> pack_batch(std::span<const Value> elems,
-                                const lime::TypeRef& elem_type) {
+namespace {
+
+std::vector<uint8_t> pack_batch_impl(std::span<const Value> elems,
+                                     const lime::TypeRef& elem_type,
+                                     ByteWriter w) {
   ArrayRef arr = bc::make_array(bc::elem_code_for(elem_type), elems.size());
   for (size_t i = 0; i < elems.size(); ++i) bc::array_set(*arr, i, elems[i]);
   arr->is_value = true;
   auto ser = serializer_for(lime::Type::value_array(elem_type));
-  ByteWriter w;
   ser->serialize(Value::array(arr), w);
   return w.take();
+}
+
+}  // namespace
+
+std::vector<uint8_t> pack_batch(std::span<const Value> elems,
+                                const lime::TypeRef& elem_type) {
+  return pack_batch_impl(elems, elem_type, ByteWriter());
+}
+
+std::vector<uint8_t> pack_batch(std::span<const Value> elems,
+                                const lime::TypeRef& elem_type,
+                                BufferPool& pool) {
+  return pack_batch_impl(elems, elem_type, ByteWriter(pool.acquire()));
 }
 
 std::vector<Value> unpack_batch(std::span<const uint8_t> bytes,

@@ -15,12 +15,20 @@
 
 #include "bytecode/value.h"
 #include "lime/type.h"
+#include "serde/buffer_pool.h"
 
 namespace lm::serde {
 
 /// Serializes `elems` (each of `elem_type`) as one wire-format value array.
 std::vector<uint8_t> pack_batch(std::span<const bc::Value> elems,
                                 const lime::TypeRef& elem_type);
+
+/// Same encoding into a buffer recycled from `pool`. The caller owns the
+/// result; handing it back with pool.release() once the bytes have been
+/// consumed is what makes the next batch allocation-free.
+std::vector<uint8_t> pack_batch(std::span<const bc::Value> elems,
+                                const lime::TypeRef& elem_type,
+                                BufferPool& pool);
 
 /// Inverse of pack_batch. Throws RuntimeError on underflow and
 /// InternalError when `elem_type` has no wire format.

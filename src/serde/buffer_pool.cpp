@@ -1,0 +1,42 @@
+#include "serde/buffer_pool.h"
+
+#include <utility>
+
+namespace lm::serde {
+
+std::vector<uint8_t> BufferPool::acquire() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (free_.empty()) {
+    ++allocations_;
+    return {};
+  }
+  ++reuses_;
+  std::vector<uint8_t> buf = std::move(free_.back());
+  free_.pop_back();
+  buf.clear();
+  return buf;
+}
+
+void BufferPool::release(std::vector<uint8_t>&& buf) {
+  if (buf.capacity() == 0) return;  // nothing worth keeping
+  std::lock_guard<std::mutex> lock(mu_);
+  if (free_.size() >= kMaxFree) return;  // drop: bound idle memory
+  free_.push_back(std::move(buf));
+}
+
+uint64_t BufferPool::allocations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return allocations_;
+}
+
+uint64_t BufferPool::reuses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reuses_;
+}
+
+BufferPool& wire_pool() {
+  static BufferPool pool;
+  return pool;
+}
+
+}  // namespace lm::serde

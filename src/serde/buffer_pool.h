@@ -1,0 +1,55 @@
+// Recycled wire buffers for the batch encode path.
+//
+// Every batch that crosses the native boundary or a socket used to be
+// serialized into a freshly grown std::vector<uint8_t>; on streaming
+// workloads that is one malloc-and-grow cycle per firing on the hottest
+// path in the runtime. A BufferPool keeps retired buffers and hands their
+// capacity back to the next encoder, so a steady-state pipeline reaches
+// zero fresh wire-buffer allocations after warm-up (net_test asserts
+// this via the counters below).
+//
+// The pool is deliberately simple: a mutex-guarded free list with a small
+// cap. Buffers are plain std::vector<uint8_t> — acquire() moves one out,
+// release() moves it back — so call sites that forget to release merely
+// lose the reuse, never the bytes.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace lm::serde {
+
+class BufferPool {
+ public:
+  /// At most this many retired buffers are kept; extras are freed on
+  /// release (bounds worst-case idle memory to cap × largest batch).
+  static constexpr size_t kMaxFree = 16;
+
+  /// A buffer to encode into: empty, but carrying a retired buffer's
+  /// capacity when one is available. Counts as a fresh allocation only
+  /// when the free list was empty.
+  std::vector<uint8_t> acquire();
+
+  /// Returns a buffer's storage for reuse. The moved-from vector is left
+  /// empty; contents are discarded.
+  void release(std::vector<uint8_t>&& buf);
+
+  /// Number of acquire() calls that found the free list empty (and so hit
+  /// the allocator). Flat across a warm steady state.
+  uint64_t allocations() const;
+  /// Number of acquire() calls served from a retired buffer.
+  uint64_t reuses() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::vector<uint8_t>> free_;
+  uint64_t allocations_ = 0;
+  uint64_t reuses_ = 0;
+};
+
+/// The process-wide pool used by the runtime's wire paths (batch framing
+/// in runtime/artifact.cpp and src/net/). Thread-safe.
+BufferPool& wire_pool();
+
+}  // namespace lm::serde

@@ -17,6 +17,14 @@ namespace lm {
 
 class ByteWriter {
  public:
+  ByteWriter() = default;
+  /// Adopts `buf` as backing storage: contents are discarded, capacity is
+  /// kept. Pairs with serde::BufferPool so hot wire paths re-encode into
+  /// recycled buffers instead of growing a fresh vector per batch.
+  explicit ByteWriter(std::vector<uint8_t>&& buf) : buf_(std::move(buf)) {
+    buf_.clear();
+  }
+
   void u8(uint8_t v) { buf_.push_back(v); }
   void u16(uint16_t v) { raw(&v, sizeof v); }
   void u32(uint32_t v) { raw(&v, sizeof v); }

@@ -1,0 +1,11 @@
+#include "util/hash.h"
+
+namespace lm::util {
+
+uint64_t fnv1a(std::span<const uint8_t> bytes) {
+  return Fnv1a().mix(bytes).digest();
+}
+
+uint64_t fnv1a(const std::string& s) { return Fnv1a().mix(s).digest(); }
+
+}  // namespace lm::util

@@ -1,0 +1,71 @@
+// Stable content hashing (FNV-1a 64) shared by the remote handshake and
+// the artifact cache.
+//
+// The handshake fingerprint (net/protocol.h) and the persistent cache key
+// (cache/artifact_cache.h) both need the same property: a digest that is a
+// pure function of the bytes fed in, stable across processes, platforms
+// and rebuilds — it names on-disk archive entries and is compared between
+// peers that compiled from separate trees. FNV-1a 64 is that function
+// here: tiny, endian-free (it consumes bytes), and already pinned by the
+// PR-4 wire protocol. The parameters below are therefore part of the
+// on-disk and on-wire format; changing them is a format break (bump the
+// cache format version and the LMRP protocol version together).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace lm::util {
+
+/// FNV-1a 64 offset basis and prime (Fowler–Noll–Vo, the standard 64-bit
+/// parameters). Format constants — see the file comment.
+inline constexpr uint64_t kFnv1aOffsetBasis = 14695981039346656037ull;
+inline constexpr uint64_t kFnv1aPrime = 1099511628211ull;
+
+/// Incremental FNV-1a 64 hasher. Mixing the same byte sequence through any
+/// sequence of mix() calls yields the same digest (the hash has no block
+/// structure), so callers may stream fields piecewise.
+class Fnv1a {
+ public:
+  Fnv1a& mix_byte(uint8_t b) {
+    h_ ^= b;
+    h_ *= kFnv1aPrime;
+    return *this;
+  }
+
+  Fnv1a& mix(const void* data, size_t n) {
+    const auto* p = static_cast<const uint8_t*>(data);
+    for (size_t i = 0; i < n; ++i) mix_byte(p[i]);
+    return *this;
+  }
+
+  Fnv1a& mix(std::span<const uint8_t> bytes) {
+    return mix(bytes.data(), bytes.size());
+  }
+
+  Fnv1a& mix(const std::string& s) { return mix(s.data(), s.size()); }
+
+  /// Mixes the 8 little-endian bytes of v (explicit byte order so the
+  /// digest is identical on any host).
+  Fnv1a& mix_u64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) mix_byte(static_cast<uint8_t>(v >> (8 * i)));
+    return *this;
+  }
+
+  Fnv1a& mix_u32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) mix_byte(static_cast<uint8_t>(v >> (8 * i)));
+    return *this;
+  }
+
+  uint64_t digest() const { return h_; }
+
+ private:
+  uint64_t h_ = kFnv1aOffsetBasis;
+};
+
+/// One-shot digests.
+uint64_t fnv1a(std::span<const uint8_t> bytes);
+uint64_t fnv1a(const std::string& s);
+
+}  // namespace lm::util

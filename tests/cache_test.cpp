@@ -1,0 +1,479 @@
+// Unit + robustness tests for the persistent artifact cache (DESIGN.md
+// §14): content-key discipline, entry-file validation (truncation,
+// corruption, version skew, backend mismatch — all must be misses, never
+// crashes, never wrong bytes), LRU eviction, read-only/off semantics,
+// cross-instance concurrency, codec round-trips, the warm-start
+// differential, and the lmdev compile-service path end to end.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "bytecode/module.h"
+#include "cache/artifact_cache.h"
+#include "cache/serialize.h"
+#include "net/compile_client.h"
+#include "net/server.h"
+#include "runtime/liquid_runtime.h"
+#include "util/error.h"
+
+namespace lm::cache {
+namespace {
+
+namespace fs = std::filesystem;
+using bc::Value;
+
+/// Fresh cache directory per test, removed on teardown.
+class CacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           ("lm-cache-test-" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  CacheConfig config(CacheMode mode, uint64_t max_bytes = 256ull << 20) {
+    CacheConfig c;
+    c.mode = mode;
+    c.dir = dir_.string();
+    c.max_bytes = max_bytes;
+    return c;
+  }
+
+  fs::path entry_file(uint64_t key) const {
+    return dir_ / "objects" / (key_hex(key) + ".art");
+  }
+
+  fs::path dir_;
+};
+
+std::vector<uint8_t> bytes_of(const std::string& s) {
+  return std::vector<uint8_t>(s.begin(), s.end());
+}
+
+// -- content keys ----------------------------------------------------------
+
+TEST(KeyTest, DeterministicAndInputSensitive) {
+  auto ir = bytes_of("canonical-ir");
+  uint64_t k = artifact_key(ir, kBackendGpu, "O2");
+  EXPECT_EQ(k, artifact_key(ir, kBackendGpu, "O2"));
+  EXPECT_NE(k, artifact_key(ir, kBackendFpga, "O2"));
+  EXPECT_NE(k, artifact_key(ir, kBackendGpu, "O3"));
+  auto ir2 = ir;
+  ir2.back() ^= 1;
+  EXPECT_NE(k, artifact_key(ir2, kBackendGpu, "O2"));
+}
+
+TEST(KeyTest, FieldBoundariesDoNotAlias) {
+  // Moving a byte across the (canonical bytes | backend) boundary must
+  // change the key — the separators exist exactly for this.
+  EXPECT_NE(artifact_key(bytes_of("a"), "bc", ""),
+            artifact_key(bytes_of("ab"), "c", ""));
+  EXPECT_NE(artifact_key(bytes_of(""), "a", "b"),
+            artifact_key(bytes_of("a"), "", "b"));
+}
+
+TEST(KeyTest, HexStemIsSixteenDigits) {
+  std::string hex = key_hex(0xdeadbeefull);
+  EXPECT_EQ(hex.size(), 16u);
+  EXPECT_EQ(hex, "00000000deadbeef");
+}
+
+TEST(KeyTest, ParseCacheModeGrammar) {
+  EXPECT_EQ(parse_cache_mode("off"), CacheMode::kOff);
+  EXPECT_EQ(parse_cache_mode("ro"), CacheMode::kReadOnly);
+  EXPECT_EQ(parse_cache_mode("rw"), CacheMode::kReadWrite);
+  EXPECT_FALSE(parse_cache_mode("readwrite").has_value());
+  EXPECT_FALSE(parse_cache_mode("").has_value());
+}
+
+// -- store/load semantics --------------------------------------------------
+
+TEST_F(CacheTest, StoreThenLoadRoundTrips) {
+  ArtifactCache ac(config(CacheMode::kReadWrite));
+  auto payload = bytes_of("compiled artifact bytes");
+  uint64_t key = artifact_key(payload, kBackendGpu, "");
+  EXPECT_TRUE(ac.store(key, kBackendGpu, payload));
+  auto got = ac.load(key, kBackendGpu);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, payload);
+  EXPECT_EQ(ac.metrics().value("cache.hits"), 1u);
+  EXPECT_EQ(ac.metrics().value("cache.stores"), 1u);
+  EXPECT_EQ(ac.entry_count(), 1u);
+  EXPECT_GT(ac.total_bytes(), payload.size());  // header included
+}
+
+TEST_F(CacheTest, MissOnUnknownKey) {
+  ArtifactCache ac(config(CacheMode::kReadWrite));
+  EXPECT_FALSE(ac.load(0x1234, kBackendGpu).has_value());
+  EXPECT_EQ(ac.metrics().value("cache.misses"), 1u);
+  EXPECT_EQ(ac.metrics().value("cache.errors"), 0u);
+}
+
+TEST_F(CacheTest, EntriesSurviveAcrossInstances) {
+  auto payload = bytes_of("durable");
+  uint64_t key = artifact_key(payload, kBackendBytecode, "");
+  {
+    ArtifactCache writer(config(CacheMode::kReadWrite));
+    ASSERT_TRUE(writer.store(key, kBackendBytecode, payload));
+  }
+  ArtifactCache reader(config(CacheMode::kReadOnly));
+  EXPECT_EQ(reader.entry_count(), 1u);
+  auto got = reader.load(key, kBackendBytecode);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, payload);
+}
+
+TEST_F(CacheTest, ReadOnlyNeverWrites) {
+  ArtifactCache ac(config(CacheMode::kReadOnly));
+  EXPECT_TRUE(ac.enabled());
+  EXPECT_FALSE(ac.writable());
+  EXPECT_FALSE(ac.store(1, kBackendGpu, bytes_of("x")));
+  EXPECT_FALSE(fs::exists(dir_ / "objects"));
+}
+
+TEST_F(CacheTest, OffModeNeverTouchesDisk) {
+  ArtifactCache ac(config(CacheMode::kOff));
+  EXPECT_FALSE(ac.enabled());
+  EXPECT_FALSE(ac.store(1, kBackendGpu, bytes_of("x")));
+  EXPECT_FALSE(ac.load(1, kBackendGpu).has_value());
+  EXPECT_FALSE(fs::exists(dir_));
+}
+
+// -- robustness: every malformed entry is a miss, never a crash ------------
+
+TEST_F(CacheTest, TruncatedEntryIsMissAndUnlinked) {
+  auto payload = bytes_of("will be truncated to a stub");
+  uint64_t key = artifact_key(payload, kBackendFpga, "");
+  {
+    ArtifactCache writer(config(CacheMode::kReadWrite));
+    ASSERT_TRUE(writer.store(key, kBackendFpga, payload));
+  }
+  fs::resize_file(entry_file(key), 16);  // cuts into the header
+
+  ArtifactCache ac(config(CacheMode::kReadWrite));
+  EXPECT_FALSE(ac.load(key, kBackendFpga).has_value());
+  EXPECT_GE(ac.metrics().value("cache.errors"), 1u);
+  // rw mode clears the bad entry so the next store can repair it.
+  EXPECT_FALSE(fs::exists(entry_file(key)));
+}
+
+TEST_F(CacheTest, CorruptedPayloadFailsChecksum) {
+  auto payload = bytes_of("checksummed payload bytes");
+  uint64_t key = artifact_key(payload, kBackendGpu, "");
+  {
+    ArtifactCache writer(config(CacheMode::kReadWrite));
+    ASSERT_TRUE(writer.store(key, kBackendGpu, payload));
+  }
+  {
+    // Flip the last payload byte in place: header stays intact, so only
+    // the FNV checksum can catch it.
+    std::fstream f(entry_file(key),
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(-1, std::ios::end);
+    char c;
+    f.seekg(-1, std::ios::end);
+    f.get(c);
+    f.seekp(-1, std::ios::end);
+    f.put(static_cast<char>(c ^ 0x40));
+  }
+  ArtifactCache ac(config(CacheMode::kReadWrite));
+  EXPECT_FALSE(ac.load(key, kBackendGpu).has_value());
+  EXPECT_GE(ac.metrics().value("cache.errors"), 1u);
+}
+
+TEST_F(CacheTest, VersionSkewIsMiss) {
+  auto payload = bytes_of("from a future toolchain");
+  uint64_t key = artifact_key(payload, kBackendGpu, "");
+  {
+    ArtifactCache writer(config(CacheMode::kReadWrite));
+    ASSERT_TRUE(writer.store(key, kBackendGpu, payload));
+  }
+  {
+    // Entry layout: u32 magic | u32 format version | ... — bump the
+    // version field as a format change would.
+    std::fstream f(entry_file(key),
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(4);
+    f.put(static_cast<char>(kCacheFormatVersion + 1));
+  }
+  ArtifactCache ac(config(CacheMode::kReadWrite));
+  EXPECT_FALSE(ac.load(key, kBackendGpu).has_value());
+  EXPECT_GE(ac.metrics().value("cache.errors"), 1u);
+}
+
+TEST_F(CacheTest, BackendMismatchIsMiss) {
+  auto payload = bytes_of("gpu kernel");
+  uint64_t key = artifact_key(payload, kBackendGpu, "");
+  ArtifactCache ac(config(CacheMode::kReadWrite));
+  ASSERT_TRUE(ac.store(key, kBackendGpu, payload));
+  // Same key asked for as a different backend must never serve the bytes.
+  // A mismatch can only mean a key collision or tampering, so rw mode
+  // treats it as corruption and drops the entry; a store repairs it.
+  EXPECT_FALSE(ac.load(key, kBackendFpga).has_value());
+  EXPECT_GE(ac.metrics().value("cache.errors"), 1u);
+  EXPECT_FALSE(fs::exists(entry_file(key)));
+  ASSERT_TRUE(ac.store(key, kBackendGpu, payload));
+  EXPECT_TRUE(ac.load(key, kBackendGpu).has_value());
+}
+
+TEST_F(CacheTest, ReadOnlyLeavesCorruptEntriesInPlace) {
+  auto payload = bytes_of("corrupt but not mine to delete");
+  uint64_t key = artifact_key(payload, kBackendGpu, "");
+  {
+    ArtifactCache writer(config(CacheMode::kReadWrite));
+    ASSERT_TRUE(writer.store(key, kBackendGpu, payload));
+  }
+  fs::resize_file(entry_file(key), 8);
+  ArtifactCache ac(config(CacheMode::kReadOnly));
+  EXPECT_FALSE(ac.load(key, kBackendGpu).has_value());
+  EXPECT_TRUE(fs::exists(entry_file(key)));  // ro: no unlink
+}
+
+// -- LRU eviction ----------------------------------------------------------
+
+TEST_F(CacheTest, EvictsOldestEntriesAtCapacity) {
+  // Cap fits ~4 of the 8 one-KiB entries (plus headers).
+  ArtifactCache ac(config(CacheMode::kReadWrite, 4 * 1100));
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 8; ++i) {
+    std::vector<uint8_t> payload(1024, static_cast<uint8_t>(i));
+    uint64_t key = artifact_key(payload, kBackendGpu, "");
+    keys.push_back(key);
+    ASSERT_TRUE(ac.store(key, kBackendGpu, payload));
+  }
+  EXPECT_GT(ac.metrics().value("cache.evictions"), 0u);
+  EXPECT_LE(ac.total_bytes(), 4u * 1100u);
+  EXPECT_LT(ac.entry_count(), 8u);
+  // The most recent store must have survived the eviction pass.
+  EXPECT_TRUE(ac.load(keys.back(), kBackendGpu).has_value());
+}
+
+// -- concurrency -----------------------------------------------------------
+
+TEST_F(CacheTest, ConcurrentInstancesAgreeOnPayloads) {
+  // Multiple ArtifactCache instances over one directory stand in for
+  // multiple processes: every load must return either a miss or the
+  // exact payload for its key — never bytes from another key.
+  constexpr int kThreads = 8;
+  constexpr int kKeys = 16;
+  std::vector<std::vector<uint8_t>> payloads;
+  std::vector<uint64_t> keys;
+  for (int k = 0; k < kKeys; ++k) {
+    payloads.push_back(std::vector<uint8_t>(
+        256 + static_cast<size_t>(k) * 13, static_cast<uint8_t>(k * 7 + 1)));
+    keys.push_back(artifact_key(payloads.back(), kBackendGpu, ""));
+  }
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ArtifactCache ac(config(CacheMode::kReadWrite));
+      for (int round = 0; round < 40; ++round) {
+        int k = (t + round) % kKeys;
+        if (round % 2 == 0) {
+          ac.store(keys[static_cast<size_t>(k)], kBackendGpu,
+                   payloads[static_cast<size_t>(k)]);
+        }
+        auto got = ac.load(keys[static_cast<size_t>(k)], kBackendGpu);
+        if (got && *got != payloads[static_cast<size_t>(k)]) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  ArtifactCache check(config(CacheMode::kReadOnly));
+  EXPECT_EQ(check.entry_count(), static_cast<uint64_t>(kKeys));
+}
+
+// -- codec round-trips -----------------------------------------------------
+
+const char* kPipelineSource = R"(
+  class P {
+    local static int triple(int x) { return 3 * x; }
+    local static int addOne(int x) { return x + 1; }
+    static int drive(int[[]] xs) {
+      int[] out = new int[xs.length];
+      var g = xs.source(1) => ([ task triple ]) => ([ task addOne ])
+        => out.<int>sink();
+      g.finish();
+      int acc = 0;
+      for (int i = 0; i < out.length; i += 1) { acc = acc + out[i]; }
+      return acc;
+    }
+  }
+)";
+
+TEST(CodecTest, BytecodeModuleRoundTripIsByteStable) {
+  auto cp = runtime::compile(kPipelineSource);
+  ASSERT_TRUE(cp->ok()) << cp->diags.to_string();
+  auto bytes = encode_bytecode_module(*cp->bytecode);
+  auto decoded = decode_bytecode_module(bytes);
+  ASSERT_NE(decoded, nullptr);
+  // Re-encoding the decoded module must reproduce the exact bytes — the
+  // property the store's idempotent-rename durability rule leans on.
+  EXPECT_EQ(encode_bytecode_module(*decoded), bytes);
+}
+
+TEST(CodecTest, TruncatedBytecodePayloadThrows) {
+  auto cp = runtime::compile(kPipelineSource);
+  ASSERT_TRUE(cp->ok()) << cp->diags.to_string();
+  auto bytes = encode_bytecode_module(*cp->bytecode);
+  for (size_t cut : {size_t{0}, size_t{1}, bytes.size() / 2,
+                     bytes.size() - 1}) {
+    std::span<const uint8_t> head(bytes.data(), cut);
+    EXPECT_THROW(decode_bytecode_module(head), lm::RuntimeError)
+        << "cut=" << cut;
+  }
+}
+
+TEST(CodecTest, CanonicalBytesIgnoreUnrelatedEdits) {
+  // The same filter compiled inside two different programs must produce
+  // identical canonical bytes (and so identical cache keys) even though
+  // const-pool/method-table indices differ across the two modules.
+  const char* a = R"(
+    class A {
+      local static int f(int x) { return x * 3 + 7; }
+      static void drive(int[[]] in, int[] out) {
+        var g = in.source(1) => ([ task f ]) => out.<int>sink();
+        g.finish();
+      }
+    }
+  )";
+  const char* b = R"(
+    class A {
+      static final int UNRELATED = 12345;
+      local static int other(int x) { return x - UNRELATED; }
+      local static int f(int x) { return x * 3 + 7; }
+      static void drive(int[[]] in, int[] out) {
+        var g = in.source(1) => ([ task other ]) => ([ task f ])
+          => out.<int>sink();
+        g.finish();
+      }
+    }
+  )";
+  auto ca = runtime::compile(a);
+  auto cb = runtime::compile(b);
+  ASSERT_TRUE(ca->ok() && cb->ok());
+  ByteWriter wa, wb;
+  ASSERT_TRUE(canonical_method_bytes(*ca->bytecode, "A.f", wa));
+  ASSERT_TRUE(canonical_method_bytes(*cb->bytecode, "A.f", wb));
+  EXPECT_EQ(wa.bytes().size(), wb.bytes().size());
+  EXPECT_TRUE(std::equal(wa.bytes().begin(), wa.bytes().end(),
+                         wb.bytes().begin()));
+}
+
+// -- warm-start differential ----------------------------------------------
+
+int32_t run_drive(runtime::CompiledProgram& cp,
+                  const std::vector<int32_t>& xs) {
+  runtime::LiquidRuntime rt(cp);
+  Value v = rt.call("P.drive", {Value::array(bc::make_i32_array(xs, true))});
+  return v.as_i32();
+}
+
+TEST_F(CacheTest, WarmCompileServesEveryBackendWithIdenticalResults) {
+  runtime::CompileOptions opts;
+  opts.cache = config(CacheMode::kReadWrite);
+  std::vector<int32_t> xs = {1, 2, 3, 4, 5, 6, 7, 8};
+
+  auto cold = runtime::compile(kPipelineSource, opts);
+  ASSERT_TRUE(cold->ok()) << cold->diags.to_string();
+  ASSERT_NE(cold->cache, nullptr);
+  EXPECT_GT(cold->cache->metrics().value("cache.stores"), 0u);
+  EXPECT_FALSE(cold->artifact_keys.empty());
+  int32_t cold_result = run_drive(*cold, xs);
+
+  auto warm = runtime::compile(kPipelineSource, opts);
+  ASSERT_TRUE(warm->ok()) << warm->diags.to_string();
+  EXPECT_EQ(warm->cache->metrics().value("cache.misses"), 0u);
+  EXPECT_GT(warm->cache->metrics().value("cache.hits"), 0u);
+  EXPECT_EQ(warm->cache->metrics().value("cache.stores"), 0u);
+  // Every backend line reports the cached artifact, none a fresh compile.
+  for (const std::string& line : warm->backend_log) {
+    if (line.rfind("cpu: ", 0) == 0 || line.rfind("gpu: ", 0) == 0 ||
+        line.rfind("fpga: ", 0) == 0) {
+      EXPECT_NE(line.find("(cached)"), std::string::npos) << line;
+    }
+  }
+  // Identical artifact keys and identical observable behavior.
+  EXPECT_EQ(warm->artifact_keys, cold->artifact_keys);
+  EXPECT_EQ(run_drive(*warm, xs), cold_result);
+}
+
+TEST_F(CacheTest, CorruptWarmStartFallsBackToFreshCompile) {
+  runtime::CompileOptions opts;
+  opts.cache = config(CacheMode::kReadWrite);
+  auto cold = runtime::compile(kPipelineSource, opts);
+  ASSERT_TRUE(cold->ok());
+  int32_t want = run_drive(*cold, {3, 1, 4, 1, 5});
+
+  // Truncate every entry: the warm start must recompile everything and
+  // still produce the same program.
+  for (const auto& e : fs::directory_iterator(dir_ / "objects")) {
+    fs::resize_file(e.path(), 12);
+  }
+  auto warm = runtime::compile(kPipelineSource, opts);
+  ASSERT_TRUE(warm->ok()) << warm->diags.to_string();
+  EXPECT_GT(warm->cache->metrics().value("cache.errors"), 0u);
+  EXPECT_EQ(run_drive(*warm, {3, 1, 4, 1, 5}), want);
+}
+
+// -- compile service (lmdev as a remote artifact source) -------------------
+
+TEST_F(CacheTest, CompileServiceServesArtifactsByContentKey) {
+  // "lmdev": compile with a rw cache so artifact keys + payloads exist.
+  runtime::CompileOptions sopts;
+  sopts.cache = config(CacheMode::kReadWrite);
+  auto served = runtime::compile(kPipelineSource, sopts);
+  ASSERT_TRUE(served->ok());
+  ASSERT_FALSE(served->artifact_keys.empty());
+
+  net::DeviceServer server(*served);
+  server.start();
+  ASSERT_GT(server.compile_service_entries(), 0u);
+
+  // "lmc --compile-from": cache off locally, every artifact fetched from
+  // the peer instead of compiled.
+  net::CompileServiceClient client("127.0.0.1", server.port());
+  runtime::CompileOptions copts;
+  copts.remote_fetch = [&client](uint64_t key, const std::string& backend,
+                                 const std::string& task_id) {
+    return client.fetch(key, backend, task_id);
+  };
+  auto fetched = runtime::compile(kPipelineSource, copts);
+  ASSERT_TRUE(fetched->ok()) << fetched->diags.to_string();
+  EXPECT_EQ(client.fetched(), fetched->artifact_keys.size());
+  EXPECT_EQ(client.failed(), 0u);
+  EXPECT_EQ(fetched->artifact_keys, served->artifact_keys);
+
+  // Differential: remote-fetched program behaves exactly like a local one.
+  auto local = runtime::compile(kPipelineSource);
+  std::vector<int32_t> xs = {10, 20, 30, 40};
+  EXPECT_EQ(run_drive(*fetched, xs), run_drive(*local, xs));
+  server.stop();
+}
+
+TEST_F(CacheTest, CompileServiceUnavailableFallsBackToLocalCompile) {
+  net::CompileServiceClient client("127.0.0.1", 1);  // nothing listens here
+  runtime::CompileOptions copts;
+  copts.remote_fetch = [&client](uint64_t key, const std::string& backend,
+                                 const std::string& task_id) {
+    return client.fetch(key, backend, task_id);
+  };
+  auto cp = runtime::compile(kPipelineSource, copts);
+  ASSERT_TRUE(cp->ok()) << cp->diags.to_string();
+  EXPECT_EQ(client.fetched(), 0u);
+  EXPECT_GT(client.failed(), 0u);
+  EXPECT_EQ(run_drive(*cp, {1, 2, 3}), run_drive(*cp, {1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace lm::cache

@@ -519,5 +519,65 @@ TEST_F(LoopbackTest, RemoteArtifactMatchesLocalProcess) {
   EXPECT_GT(remote.transfer_stats().bytes_from_device.load(), 0u);
 }
 
+// -- pooled wire buffers --------------------------------------------------
+
+// pack_batch into a private pool: the first batch allocates, every later
+// batch reuses the retired buffer's capacity. This is the allocation-count
+// contract the wire paths rely on.
+TEST(BufferPool, SteadyStatePackIsAllocationFree) {
+  serde::BufferPool pool;
+  std::vector<Value> vals;
+  for (int32_t i = 0; i < 256; ++i) vals.push_back(Value::i32(i));
+
+  auto first = serde::pack_batch(vals, lime::Type::int_(), pool);
+  auto plain = serde::pack_batch(vals, lime::Type::int_());
+  EXPECT_EQ(first, plain);  // pooling never changes the bytes
+  EXPECT_EQ(pool.allocations(), 1u);
+  pool.release(std::move(first));
+
+  for (int round = 0; round < 100; ++round) {
+    auto wire = serde::pack_batch(vals, lime::Type::int_(), pool);
+    EXPECT_EQ(wire, plain);
+    pool.release(std::move(wire));
+  }
+  EXPECT_EQ(pool.allocations(), 1u) << "steady state must not allocate";
+  EXPECT_EQ(pool.reuses(), 100u);
+}
+
+TEST(BufferPool, FreeListIsCapped) {
+  serde::BufferPool pool;
+  for (size_t i = 0; i < serde::BufferPool::kMaxFree + 8; ++i) {
+    std::vector<uint8_t> buf(64, 0xab);
+    pool.release(std::move(buf));
+  }
+  // Only kMaxFree buffers were kept: the next kMaxFree acquires reuse,
+  // the one after that allocates.
+  for (size_t i = 0; i < serde::BufferPool::kMaxFree; ++i) pool.acquire();
+  EXPECT_EQ(pool.reuses(), serde::BufferPool::kMaxFree);
+  pool.acquire();
+  EXPECT_EQ(pool.allocations(), 1u);
+}
+
+// End to end: once the client and server have each retired one buffer per
+// side, further loopback exchanges stop hitting the allocator for wire
+// buffers entirely.
+TEST_F(LoopbackTest, SteadyStateExchangesStopAllocatingWireBuffers) {
+  RemoteSession s("127.0.0.1", server_->port(),
+                  program_fingerprint(program_->store), fast_opts());
+  auto exchange = [&] {
+    auto reply = s.process("P.triple", DeviceKind::kGpu, pack_ints({1, 2, 3}));
+    EXPECT_EQ(unpack_ints(reply), (std::vector<int32_t>{3, 6, 9}));
+  };
+  // Warm-up: populate the shared pool (client request + server reply
+  // buffers, plus anything earlier tests left in flight).
+  for (int i = 0; i < 4; ++i) exchange();
+  const uint64_t allocs_before = serde::wire_pool().allocations();
+  const uint64_t reuses_before = serde::wire_pool().reuses();
+  for (int i = 0; i < 32; ++i) exchange();
+  EXPECT_EQ(serde::wire_pool().allocations(), allocs_before)
+      << "warm exchanges must recycle wire buffers, not allocate";
+  EXPECT_GE(serde::wire_pool().reuses(), reuses_before + 32);
+}
+
 }  // namespace
 }  // namespace lm::net

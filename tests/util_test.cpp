@@ -5,6 +5,7 @@
 #include "util/byte_buffer.h"
 #include "util/diagnostics.h"
 #include "util/error.h"
+#include "util/hash.h"
 #include "util/rng.h"
 #include "util/strings.h"
 
@@ -234,6 +235,64 @@ TEST(Strings, Affixes) {
 TEST(Strings, IndentSkipsEmptyLines) {
   EXPECT_EQ(indent("a\n\nb", 2), "  a\n\n  b");
   EXPECT_EQ(indent("x", 4), "    x");
+}
+
+// ---------------------------------------------------------------------------
+// Fnv1a — the digests below are *format pins*: the handshake fingerprint
+// and every on-disk cache key derive from this function, so a change here
+// silently invalidates (or worse, mis-addresses) persisted artifacts.
+// The expected values are the published FNV-1a 64 test vectors.
+// ---------------------------------------------------------------------------
+
+TEST(Fnv1a, PinnedDigests) {
+  EXPECT_EQ(util::fnv1a(""), 0xcbf29ce484222325ull);  // offset basis
+  EXPECT_EQ(util::fnv1a("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(util::fnv1a("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(Fnv1a, IncrementalMatchesOneShot) {
+  util::Fnv1a h;
+  h.mix("foo").mix("bar");
+  EXPECT_EQ(h.digest(), util::fnv1a("foobar"));
+
+  util::Fnv1a bytewise;
+  for (char c : std::string("foobar")) {
+    bytewise.mix_byte(static_cast<uint8_t>(c));
+  }
+  EXPECT_EQ(bytewise.digest(), util::fnv1a("foobar"));
+}
+
+TEST(Fnv1a, FixedWidthMixesAreLittleEndian) {
+  // mix_u64 must consume exactly the little-endian byte sequence so the
+  // digest is host-independent.
+  util::Fnv1a a;
+  a.mix_u64(0x0807060504030201ull);
+  uint8_t bytes[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  util::Fnv1a b;
+  b.mix(bytes, sizeof bytes);
+  EXPECT_EQ(a.digest(), b.digest());
+
+  util::Fnv1a c;
+  c.mix_u32(0x04030201u);
+  util::Fnv1a d;
+  d.mix(bytes, 4);
+  EXPECT_EQ(c.digest(), d.digest());
+}
+
+TEST(Fnv1a, ManifestLineDigestPinned) {
+  // The exact mixing recipe of net::program_fingerprint (sorted lines, each
+  // followed by '\n') — pinned so the hoist into util/hash keeps the PR-4
+  // handshake digest bit-identical.
+  util::Fnv1a h;
+  h.mix(std::string("artifact A.f [cpu/bytecode] (int) -> int arity=1"));
+  h.mix_byte('\n');
+  uint64_t expect = util::kFnv1aOffsetBasis;
+  for (char ch :
+       std::string("artifact A.f [cpu/bytecode] (int) -> int arity=1\n")) {
+    expect ^= static_cast<uint8_t>(ch);
+    expect *= util::kFnv1aPrime;
+  }
+  EXPECT_EQ(h.digest(), expect);
 }
 
 // ---------------------------------------------------------------------------

@@ -33,7 +33,16 @@
 #      graph; re-running the example pipelines at exactly that capacity
 #      must produce byte-identical results to the default capacity
 #      (plain build, and again under TSan unless --quick).
-#   9. clang-tidy (bugprone-*, performance-*, concurrency-*; see
+#   9. artifact cache soak (DESIGN.md §14) — cold compile populates a
+#      fresh cache (stores, zero hits); a warm recompile must hit on every
+#      backend (cpu/gpu/fpga) with byte-identical run output and zero
+#      misses; corrupting one on-disk entry must be detected (cache.errors)
+#      and recovered from with identical output; finally an lmdev compiled
+#      with --cache=rw doubles as a compile service and a cache-off lmc
+#      --compile-from peer must fetch every artifact by content key and
+#      again produce identical output. Repeated under ASan+UBSan and TSan
+#      (unless --quick).
+#  10. clang-tidy (bugprone-*, performance-*, concurrency-*; see
 #      .clang-tidy) over src/analysis + src/runtime. Skipped with a notice
 #      when clang-tidy is not installed — the gate must not require it.
 #
@@ -189,6 +198,81 @@ soak() {
   rm -f "$log" "$log.out"
 }
 
+# Artifact cache soak ($1 = build dir, $2 = label): cold/warm differential,
+# corruption recovery, and the lmdev compile-service loopback warm start.
+cache_soak() {
+  local bdir="$1" label="$2"
+  local lmc="$bdir/tools/lmc" lmdev="$bdir/tools/lmdev"
+  local cdir ints expected cold warm out got victim log pid port
+  cdir="$(mktemp -d)"
+  ints="$(seq 1 256 | paste -sd, -)"
+  step "artifact cache soak ($label)"
+
+  # 9a. cold: a fresh cache stores every backend artifact, hits nothing.
+  expected="$(result_of "$("$lmc" examples/intpipe.lime --run IntPipe.run \
+      --ints "$ints" --quiet)")"
+  [[ -n "$expected" ]] || { echo "FAIL($label): no cache-off reference output"; exit 1; }
+  cold="$("$lmc" examples/intpipe.lime --run IntPipe.run --ints "$ints" \
+      --cache=rw --cache-dir="$cdir")"
+  got="$(result_of "$cold")"
+  [[ "$got" == "$expected" ]] || { echo "FAIL($label): cold cached output diverged"; echo "$cold"; exit 1; }
+  grep -q 'cache.hits=0 ' <<<"$cold" || { echo "FAIL($label): cold run reported hits"; echo "$cold"; exit 1; }
+  grep -q 'cache.stores=[1-9]' <<<"$cold" || { echo "FAIL($label): cold run stored nothing"; echo "$cold"; exit 1; }
+  echo "ok: cold run populated the cache"
+
+  # 9b. warm: every backend must hit (no local compiles at all) and the
+  # run output must be byte-identical.
+  warm="$("$lmc" examples/intpipe.lime --run IntPipe.run --ints "$ints" \
+      --cache=rw --cache-dir="$cdir")"
+  got="$(result_of "$warm")"
+  [[ "$got" == "$expected" ]] || { echo "FAIL($label): warm cached output diverged"; echo "$warm"; exit 1; }
+  grep -q 'cpu: bytecode module (cached)' <<<"$warm" || { echo "FAIL($label): warm start recompiled the bytecode module"; echo "$warm"; exit 1; }
+  grep -Eq 'gpu: .*\(cached\)' <<<"$warm" || { echo "FAIL($label): no gpu cache hit on warm start"; echo "$warm"; exit 1; }
+  grep -Eq 'fpga: .*\(cached\)' <<<"$warm" || { echo "FAIL($label): no fpga cache hit on warm start"; echo "$warm"; exit 1; }
+  if grep -E '^(cpu|gpu|fpga): ' <<<"$warm" | grep -qv '(cached)'; then
+    echo "FAIL($label): warm start compiled something locally"; echo "$warm"; exit 1
+  fi
+  grep -q 'cache.misses=0 ' <<<"$warm" || { echo "FAIL($label): warm start missed"; echo "$warm"; exit 1; }
+  echo "ok: warm start served every backend from cache"
+
+  # 9c. corruption recovery: truncate one on-disk entry; the next run must
+  # detect it (cache.errors), recompile, and produce identical output.
+  victim="$(ls "$cdir"/objects/*.art | head -1)"
+  [[ -n "$victim" ]] || { echo "FAIL($label): cache dir has no entries"; ls -R "$cdir"; exit 1; }
+  head -c 16 "$victim" > "$victim.tmp" && mv "$victim.tmp" "$victim"
+  out="$("$lmc" examples/intpipe.lime --run IntPipe.run --ints "$ints" \
+      --cache=rw --cache-dir="$cdir")"
+  got="$(result_of "$out")"
+  [[ "$got" == "$expected" ]] || { echo "FAIL($label): output diverged after entry corruption"; echo "$out"; exit 1; }
+  grep -q 'cache.errors=[1-9]' <<<"$out" || { echo "FAIL($label): corrupted entry not detected"; echo "$out"; exit 1; }
+  echo "ok: corrupt-entry recovery"
+
+  # 9d. compile-service loopback warm start: lmdev (compiled with caching)
+  # serves artifacts by content key; a cache-off lmc fetches all of them
+  # instead of compiling, and the run output stays identical.
+  log="$(mktemp)"
+  "$lmdev" examples/intpipe.lime --quiet --cache=rw --cache-dir="$cdir" \
+      >"$log" 2>&1 &
+  pid=$!
+  port=""
+  for _ in $(seq 1 100); do
+    port="$(sed -n 's/.*serving .* on 127\.0\.0\.1:\([0-9][0-9]*\).*/\1/p' "$log")"
+    [[ -n "$port" ]] && break
+    sleep 0.1
+  done
+  [[ -n "$port" ]] || { echo "FAIL($label): lmdev never printed its endpoint"; cat "$log"; kill "$pid" 2>/dev/null || true; exit 1; }
+  grep -q 'compile service:' "$log" || { echo "FAIL($label): lmdev exposed no compile-service entries"; cat "$log"; kill "$pid" 2>/dev/null || true; exit 1; }
+  out="$("$lmc" examples/intpipe.lime --run IntPipe.run --ints "$ints" \
+      --cache=off --compile-from="127.0.0.1:$port")"
+  kill "$pid" 2>/dev/null || true; wait "$pid" 2>/dev/null || true
+  got="$(result_of "$out")"
+  [[ "$got" == "$expected" ]] || { echo "FAIL($label): compile-service output diverged"; echo "$out"; exit 1; }
+  grep -Eq '# compile-from .*: [1-9][0-9]* fetched, 0 missed' <<<"$out" \
+      || { echo "FAIL($label): compile service did not serve every artifact"; echo "$out"; exit 1; }
+  echo "ok: compile-service loopback warm start"
+  rm -rf "$cdir" "$log"
+}
+
 step "plain build + tier-1"
 cmake --preset default >/dev/null
 cmake --build --preset default -j "$JOBS"
@@ -212,6 +296,12 @@ fi
 soak build plain 4096
 if [[ "$QUICK" == 0 ]]; then
   soak build-tsan tsan 512
+fi
+
+cache_soak build plain
+if [[ "$QUICK" == 0 ]]; then
+  cache_soak build-asan asan
+  cache_soak build-tsan tsan
 fi
 
 step "critical-path attribution: coverage + determinism (lmc --explain)"

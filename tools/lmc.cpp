@@ -72,8 +72,10 @@
 #include <iostream>
 #include <sstream>
 
+#include "cache/artifact_cache.h"
 #include "net/attach.h"
 #include "net/client.h"
+#include "net/compile_client.h"
 #include "net/telemetry_http.h"
 #include "obs/trace.h"
 #include "runtime/liquid_runtime.h"
@@ -96,7 +98,9 @@ int usage() {
                "           [--analyze[=json]] [--strict] [--static-cost]\n"
                "           [--fifo-capacity=N] [--no-calibration]\n"
                "           [--remote=host:port[,host:port..]] [--device-batch=N]\n"
-               "           [--telemetry-port=N] [--workers=N] [--sched-seed=S]\n";
+               "           [--telemetry-port=N] [--workers=N] [--sched-seed=S]\n"
+               "           [--cache[=off|ro|rw]] [--cache-dir=<dir>]\n"
+               "           [--compile-from=host:port]\n";
   return 2;
 }
 
@@ -139,6 +143,7 @@ int main(int argc, char** argv) {
   int telemetry_port = -1;  // <0 → exporter off; 0 → ephemeral port
   size_t workers = 0;       // 0 → hardware concurrency
   uint64_t sched_seed = 0;  // 0 → threaded; nonzero → deterministic replay
+  std::string compile_from;  // empty → no compile service
 
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
@@ -229,6 +234,19 @@ int main(int argc, char** argv) {
       workers = static_cast<size_t>(std::stoul(a.substr(10)));
     } else if (a.rfind("--sched-seed=", 0) == 0) {
       sched_seed = std::stoull(a.substr(13));
+    } else if (a == "--cache") {
+      copts.cache.mode = cache::CacheMode::kReadWrite;
+    } else if (a.rfind("--cache=", 0) == 0) {
+      auto m = cache::parse_cache_mode(a.substr(8));
+      if (!m) {
+        std::cerr << "lmc: --cache takes 'off', 'ro' or 'rw'\n";
+        return usage();
+      }
+      copts.cache.mode = *m;
+    } else if (a.rfind("--cache-dir=", 0) == 0) {
+      copts.cache.dir = a.substr(12);
+    } else if (a.rfind("--compile-from=", 0) == 0) {
+      compile_from = a.substr(15);
     } else if (!a.empty() && a[0] == '-') {
       std::cerr << "lmc: unknown flag " << a << "\n";
       return usage();
@@ -247,6 +265,37 @@ int main(int argc, char** argv) {
   buf << in.rdbuf();
 
   copts.fifo_capacity = fifo_capacity;
+
+  // --explain needs trace events even when the user didn't ask for a trace
+  // file. Installed *before* compilation so cache decisions (cache-hit/
+  // cache-miss/cache-store instants) land in the same trace as the run.
+  std::unique_ptr<obs::TraceRecorder> recorder;
+  if (!trace_path.empty() || !explain_mode.empty()) {
+    recorder = std::make_unique<obs::TraceRecorder>();
+    recorder->install();
+  }
+
+  // Compile service: ask an lmdev peer for each artifact by content key
+  // before compiling it locally. Strictly an accelerator — any failure
+  // falls back to the local compile.
+  std::unique_ptr<net::CompileServiceClient> compile_service;
+  if (!compile_from.empty()) {
+    std::string host;
+    uint16_t port = 0;
+    try {
+      net::parse_endpoint(compile_from, &host, &port);
+    } catch (const std::exception& e) {
+      std::cerr << "lmc: bad --compile-from endpoint: " << e.what() << "\n";
+      return usage();
+    }
+    compile_service = std::make_unique<net::CompileServiceClient>(host, port);
+    copts.remote_fetch = [&compile_service](uint64_t key,
+                                            const std::string& backend,
+                                            const std::string& task_id) {
+      return compile_service->fetch(key, backend, task_id);
+    };
+  }
+
   auto program = runtime::compile(buf.str(), copts);
 
   if (!analyze_mode.empty()) {
@@ -351,6 +400,14 @@ int main(int argc, char** argv) {
   if (!quiet) {
     for (const auto& line : program->backend_log) {
       std::cout << line << "\n";
+    }
+    if (program->cache) {
+      std::cout << "# cache: " << program->cache->summary() << "\n";
+    }
+    if (compile_service) {
+      std::cout << "# compile-from " << compile_service->endpoint() << ": "
+                << compile_service->fetched() << " fetched, "
+                << compile_service->failed() << " missed\n";
     }
   }
 
@@ -459,6 +516,15 @@ int main(int argc, char** argv) {
     hub.add_collector([&rt](std::vector<obs::GaugeSample>& out) {
       rt.collect_telemetry(out);
     });
+    if (program->cache) {
+      // cache.hits/misses/stores/evictions/errors plus live byte/entry
+      // gauges; the cache outlives the hub (owned by the program).
+      hub.add_metrics(&program->cache->metrics());
+      auto pc = program->cache;
+      hub.add_collector([pc](std::vector<obs::GaugeSample>& out) {
+        pc->collect_telemetry(out);
+      });
+    }
     for (const auto& session : att.sessions) {
       hub.add_collector([session](std::vector<obs::GaugeSample>& out) {
         session->collect_telemetry(out);
@@ -476,14 +542,6 @@ int main(int argc, char** argv) {
     // Printed and flushed even under --quiet: the harness contract for
     // parsing an ephemeral port, same as lmdev's endpoint line.
     std::cout << "# telemetry on " << telemetry->endpoint() << std::endl;
-  }
-
-  // --explain needs trace events even when the user didn't ask for a trace
-  // file: install a recorder for the run either way.
-  std::unique_ptr<obs::TraceRecorder> recorder;
-  if (!trace_path.empty() || !explain_mode.empty()) {
-    recorder = std::make_unique<obs::TraceRecorder>();
-    recorder->install();
   }
 
   try {

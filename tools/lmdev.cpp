@@ -13,6 +13,11 @@
 //                                      also serve /metrics, /healthz and
 //                                      /flight over HTTP on that port
 //                                      (0 = ephemeral; line printed flushed)
+//   lmdev program.lime --cache=rw      compile through the artifact cache;
+//                                      every keyed artifact then doubles as
+//                                      a compile-service entry that an
+//                                      lmc --compile-from=host:port peer can
+//                                      fetch by content key (DESIGN.md §14)
 //
 // The client must have compiled the *same* program: the hello exchange
 // compares FNV-1a fingerprints over the CPU-artifact manifests and refuses
@@ -25,6 +30,7 @@
 #include <sstream>
 #include <thread>
 
+#include "cache/artifact_cache.h"
 #include "net/server.h"
 #include "net/telemetry_http.h"
 #include "runtime/liquid_compiler.h"
@@ -37,7 +43,8 @@ void on_signal(int) { g_stop.store(true); }
 
 int usage() {
   std::cerr << "usage: lmdev <file.lime> [--port N] [--no-gpu] [--no-fpga]\n"
-               "             [--fail-after N] [--telemetry-port N] [--quiet]\n";
+               "             [--fail-after N] [--telemetry-port N] [--quiet]\n"
+               "             [--cache[=off|ro|rw]] [--cache-dir=<dir>]\n";
   return 2;
 }
 
@@ -75,6 +82,17 @@ int main(int argc, char** argv) {
       copts.enable_fpga = false;
     } else if (a == "--quiet") {
       quiet = true;
+    } else if (a == "--cache") {
+      copts.cache.mode = cache::CacheMode::kReadWrite;
+    } else if (a.rfind("--cache=", 0) == 0) {
+      auto m = cache::parse_cache_mode(a.substr(8));
+      if (!m) {
+        std::cerr << "lmdev: --cache takes 'off', 'ro' or 'rw'\n";
+        return usage();
+      }
+      copts.cache.mode = *m;
+    } else if (a.rfind("--cache-dir=", 0) == 0) {
+      copts.cache.dir = a.substr(12);
     } else if (!a.empty() && a[0] == '-') {
       std::cerr << "lmdev: unknown flag " << a << "\n";
       return usage();
@@ -105,6 +123,14 @@ int main(int argc, char** argv) {
     // under --quiet so a parent process can parse the ephemeral port.
     std::cout << "lmdev: serving " << server.artifact_count()
               << " artifact(s) on " << server.endpoint() << std::endl;
+    if (server.compile_service_entries() > 0) {
+      // Compiled with caching: every keyed artifact is also addressable
+      // by content key (kArtifactGet), i.e. this lmdev doubles as a
+      // compile service for lmc --compile-from.
+      std::cout << "lmdev: compile service: "
+                << server.compile_service_entries()
+                << " artifact(s) by content key" << std::endl;
+    }
 
     // Telemetry exporter: the server's own registry plus its live gauges
     // (active connections, execute percentiles); health goes degraded once
@@ -116,6 +142,13 @@ int main(int argc, char** argv) {
       hub.add_collector([&server](std::vector<obs::GaugeSample>& out) {
         server.collect_telemetry(out);
       });
+      if (program->cache) {
+        hub.add_metrics(&program->cache->metrics());
+        auto pc = program->cache;
+        hub.add_collector([pc](std::vector<obs::GaugeSample>& out) {
+          pc->collect_telemetry(out);
+        });
+      }
       hub.add_health([&server](std::vector<obs::HealthComponent>& out) {
         bool up = !server.crashed();
         out.push_back(
@@ -132,6 +165,9 @@ int main(int argc, char** argv) {
     if (!quiet) {
       std::cout << "lmdev: program fingerprint " << std::hex
                 << server.fingerprint() << std::dec << "\n";
+      if (program->cache) {
+        std::cout << "lmdev: cache: " << program->cache->summary() << "\n";
+      }
       if (sopts.fail_after > 0) {
         std::cout << "lmdev: will crash after " << sopts.fail_after
                   << " batch(es)\n";

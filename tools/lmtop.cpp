@@ -222,6 +222,29 @@ void render(const std::string& endpoint, const std::string& health,
   }
   if (any_remote) os << "\n";
 
+  // Artifact cache (DESIGN.md §14): present when the scraped process
+  // compiled with --cache. Hit rate is lifetime, not per-interval.
+  bool have_cache = false;
+  double chits = find_value(ms, "lm_cache_hits_total", {}, &have_cache);
+  if (have_cache) {
+    double cmiss = find_value(ms, "lm_cache_misses_total", {});
+    double total = chits + cmiss;
+    char row[256];
+    std::snprintf(
+        row, sizeof(row),
+        "  cache:  hits %s  misses %s (%.1f%% hit)  stores %s  "
+        "evictions %s  errors %s  %s byte(s) in %s entr%s\n\n",
+        fmt(chits).c_str(), fmt(cmiss).c_str(),
+        total > 0 ? 100.0 * chits / total : 0.0,
+        fmt(find_value(ms, "lm_cache_stores_total", {})).c_str(),
+        fmt(find_value(ms, "lm_cache_evictions_total", {})).c_str(),
+        fmt(find_value(ms, "lm_cache_errors_total", {})).c_str(),
+        fmt(find_value(ms, "lm_cache_bytes", {})).c_str(),
+        fmt(find_value(ms, "lm_cache_entries", {})).c_str(),
+        find_value(ms, "lm_cache_entries", {}) == 1.0 ? "y" : "ies");
+    os << row;
+  }
+
   // Critical-path attribution of the most recent graph run (lm_attr_*
   // gauges, exported once the runtime's attribution engine has analyzed a
   // completed executor graph).
