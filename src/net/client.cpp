@@ -437,6 +437,12 @@ void RemoteSession::collect_telemetry(
   out.emplace_back("remote.pool_idle", static_cast<double>(idle), labels);
 }
 
+void RemoteSession::collect_histograms(
+    std::vector<obs::HistogramSample>& out) const {
+  out.push_back(obs::HistogramSample::from("remote.rtt_us", rtt_hist_,
+                                           {{"endpoint", endpoint_}}));
+}
+
 void RemoteSession::start_heartbeat() {
   if (heartbeat_.joinable()) return;
   stop_heartbeat_.store(false, std::memory_order_release);

@@ -162,6 +162,9 @@ class RemoteSession {
   /// reconnect/backoff state, clock offset — all labeled with the
   /// endpoint.
   void collect_telemetry(std::vector<obs::GaugeSample>& out) const;
+  /// Native histogram for TelemetryHub::add_histograms: `remote.rtt_us`
+  /// {endpoint} — the full RTT distribution, mergeable fleet-side.
+  void collect_histograms(std::vector<obs::HistogramSample>& out) const;
 
  private:
   /// The poll loop drives async exchanges with the session's dial,

@@ -1,0 +1,160 @@
+#include "net/scraper.h"
+
+#include <chrono>
+#include <cstdlib>
+
+#include "net/client.h"
+#include "net/socket.h"
+#include "net/telemetry_http.h"
+
+namespace lm::net {
+
+std::vector<std::string> split_endpoint_list(const std::string& csv) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : csv) {
+    if (c == ',' || c == ' ' || c == '\t' || c == '\n') {
+      if (!cur.empty()) out.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out.push_back(std::move(cur));
+  return out;
+}
+
+TelemetryScraper::TelemetryScraper(std::vector<std::string> endpoints,
+                                   Options opts)
+    : endpoints_(std::move(endpoints)),
+      opts_(opts),
+      view_([&] {
+        obs::FleetView::Options vo;
+        vo.staleness_us =
+            opts.staleness_factor * static_cast<double>(opts.interval_ms) *
+            1e3;
+        return vo;
+      }()) {
+  for (const std::string& ep : endpoints_) view_.track(ep);
+}
+
+TelemetryScraper::~TelemetryScraper() { stop(); }
+
+void TelemetryScraper::start() {
+  stopping_.store(false, std::memory_order_release);
+  poll_thread_ = std::thread([this] { poll_loop(); });
+}
+
+void TelemetryScraper::stop() {
+  stopping_.store(true, std::memory_order_release);
+  if (poll_thread_.joinable()) poll_thread_.join();
+}
+
+void TelemetryScraper::poll_loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    scrape_once();
+    // Sleep in small slices so stop() is prompt even at slow intervals.
+    auto until = std::chrono::steady_clock::now() +
+                 std::chrono::milliseconds(opts_.interval_ms);
+    while (!stopping_.load(std::memory_order_acquire) &&
+           std::chrono::steady_clock::now() < until) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+}
+
+void TelemetryScraper::scrape_once() {
+  std::vector<std::thread> workers;
+  workers.reserve(endpoints_.size());
+  for (const std::string& ep : endpoints_) {
+    workers.emplace_back([this, &ep] {
+      // Each worker ingests its own reading immediately: one wedged
+      // endpoint delays only its own row, never the others'.
+      view_.ingest(scrape_endpoint(ep));
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  cycles_.fetch_add(1, std::memory_order_relaxed);
+}
+
+obs::FleetView::Reading TelemetryScraper::scrape_endpoint(
+    const std::string& endpoint) {
+  obs::FleetView::Reading r;
+  r.endpoint = endpoint;
+  r.now_us = obs::FleetView::now_us();
+
+  std::string host;
+  uint16_t port = 0;
+  try {
+    parse_endpoint(endpoint, &host, &port);
+  } catch (const std::exception& e) {
+    r.error = e.what();
+    return r;
+  }
+
+  double t0 = obs::FleetView::now_us();
+  std::string body;
+  try {
+    int status = http_get(host, port, "/metrics", &body, opts_.timeout_ms);
+    if (status != 200) {
+      r.error = "/metrics returned " + std::to_string(status);
+      r.now_us = obs::FleetView::now_us();
+      return r;
+    }
+  } catch (const TransportError& e) {
+    r.error = e.what();
+    r.now_us = obs::FleetView::now_us();
+    return r;
+  }
+  r.rtt_us = obs::FleetView::now_us() - t0;
+
+  std::string perr;
+  if (!obs::parse_exposition(body, &r.scrape, &perr)) {
+    r.error = "bad exposition: " + perr;
+    r.scrape = obs::ParsedScrape{};
+    r.now_us = obs::FleetView::now_us();
+    return r;
+  }
+
+  // /healthz: a 503 is a *successful* scrape of an unhealthy server — the
+  // health score drops but the data is live. Only transport failure makes
+  // the endpoint down.
+  try {
+    std::string hbody;
+    int status = http_get(host, port, "/healthz", &hbody, opts_.timeout_ms);
+    r.healthy = status == 200;
+  } catch (const TransportError& e) {
+    r.error = std::string("healthz: ") + e.what();
+    r.scrape = obs::ParsedScrape{};
+    r.now_us = obs::FleetView::now_us();
+    return r;
+  }
+
+  r.ok = true;
+  r.now_us = obs::FleetView::now_us();
+  return r;
+}
+
+FleetCheckResult run_fleet_check(const std::vector<std::string>& endpoints,
+                                 obs::SloWatchdog* watchdog, int cycles,
+                                 TelemetryScraper::Options opts) {
+  if (cycles < 2) cycles = 2;  // rates need two scrapes
+  TelemetryScraper scraper(endpoints, opts);
+  FleetCheckResult result;
+  for (int i = 0; i < cycles; ++i) {
+    if (i > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(opts.interval_ms));
+    }
+    scraper.scrape_once();
+    obs::FleetSnapshot snap = scraper.snapshot();
+    if (watchdog) {
+      std::vector<obs::SloViolation> v = watchdog->evaluate(snap);
+      result.violations.insert(result.violations.end(), v.begin(), v.end());
+    }
+    if (i + 1 == cycles) result.snapshot = std::move(snap);
+  }
+  return result;
+}
+
+}  // namespace lm::net

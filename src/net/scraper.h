@@ -1,0 +1,108 @@
+// Fleet telemetry scraper (ISSUE 10 tentpole).
+//
+// The client half of the telemetry plane: polls N lmdev/lmc `/metrics` +
+// `/healthz` endpoints on an interval, parses the exposition with
+// obs::parse_exposition and feeds obs::FleetView — which turns the raw
+// scrapes into the ranked cluster snapshot lmtop renders and ROADMAP
+// item 3's balancer will route on.
+//
+// Fan-out is parallel: every cycle spawns one short-lived scrape per
+// endpoint, each of which ingests its own reading the moment it lands, so
+// one wedged server costs the fleet view nothing but its own row (the
+// cycle itself still waits for the per-request timeout at worst —
+// bench_fleet's E13 measures the fan-out latency staying near-flat in
+// endpoint count). A failed connect, a non-200, or a body that fails the
+// hostile-input parser all become a clean per-endpoint error reading;
+// nothing crosses into other endpoints' state.
+//
+// Layering: obs parses and aggregates (no I/O), this file owns sockets
+// and threads, tools render.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/fleet.h"
+#include "obs/slo.h"
+
+namespace lm::net {
+
+/// Splits "host:port,host:port,…" (commas or whitespace) into endpoint
+/// specs; empty pieces are dropped.
+std::vector<std::string> split_endpoint_list(const std::string& csv);
+
+class TelemetryScraper {
+ public:
+  struct Options {
+    /// Poll period. The FleetView staleness deadline defaults to
+    /// `staleness_factor ×` this, so a kill -9'd server turns stale/down
+    /// within one deadline.
+    int interval_ms = 1000;
+    /// Per-request deadline (connect + GET), each endpoint independently.
+    int timeout_ms = 2000;
+    double staleness_factor = 2.0;
+  };
+
+  explicit TelemetryScraper(std::vector<std::string> endpoints)
+      : TelemetryScraper(std::move(endpoints), Options{}) {}
+  TelemetryScraper(std::vector<std::string> endpoints, Options opts);
+  ~TelemetryScraper();
+
+  TelemetryScraper(const TelemetryScraper&) = delete;
+  TelemetryScraper& operator=(const TelemetryScraper&) = delete;
+
+  /// Spawns the poll loop (one fan-out cycle per interval).
+  void start();
+  /// Stops and joins. Idempotent.
+  void stop();
+
+  /// One synchronous fan-out cycle: scrapes every endpoint in parallel,
+  /// ingests into the view, returns when all are done. This is what the
+  /// poll loop runs; `--check` modes call it directly for deterministic
+  /// cycle counts.
+  void scrape_once();
+
+  /// Scrapes one endpoint synchronously (no ingest) — the building block
+  /// scrape_once fans out; exposed for tests and the bench.
+  obs::FleetView::Reading scrape_endpoint(const std::string& endpoint);
+
+  obs::FleetView& view() { return view_; }
+  const std::vector<std::string>& endpoints() const { return endpoints_; }
+  const Options& options() const { return opts_; }
+  obs::FleetSnapshot snapshot() const {
+    return view_.snapshot(obs::FleetView::now_us());
+  }
+  uint64_t cycles() const { return cycles_.load(std::memory_order_relaxed); }
+
+ private:
+  void poll_loop();
+
+  std::vector<std::string> endpoints_;
+  Options opts_;
+  obs::FleetView view_;
+  std::thread poll_thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> cycles_{0};
+};
+
+/// One-shot check-mode driver shared by `lmtop --fleet --check` and
+/// `lmc --fleet-snapshot`: runs `cycles` fan-out rounds `interval` apart
+/// (at least two, so counter rates exist), evaluates the watchdog (when
+/// given) against the snapshot after every round, and returns the final
+/// snapshot plus every violation seen. Exit policy belongs to the caller:
+/// nonzero when violations is non-empty (or, for strict callers, when any
+/// endpoint is not up).
+struct FleetCheckResult {
+  obs::FleetSnapshot snapshot;
+  std::vector<obs::SloViolation> violations;
+};
+
+FleetCheckResult run_fleet_check(const std::vector<std::string>& endpoints,
+                                 obs::SloWatchdog* watchdog, int cycles,
+                                 TelemetryScraper::Options opts);
+
+}  // namespace lm::net

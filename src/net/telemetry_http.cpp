@@ -1,24 +1,31 @@
 #include "net/telemetry_http.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 
 #include "obs/flight_recorder.h"
+#include "serde/buffer_pool.h"
 
 namespace lm::net {
 
 namespace {
 
 constexpr size_t kMaxRequestBytes = 8192;
+constexpr size_t kMaxScratchStrings = 8;
 
-std::string http_response(int status, const char* reason,
-                          const char* content_type, const std::string& body) {
-  std::string out = "HTTP/1.0 " + std::to_string(status) + " " + reason +
-                    "\r\nContent-Type: " + content_type +
-                    "\r\nContent-Length: " + std::to_string(body.size()) +
-                    "\r\nConnection: close\r\n\r\n";
-  out += body;
-  return out;
+/// Frames status line + headers + body into `out` (appended; the caller
+/// hands in a cleared pooled buffer). snprintf into a stack buffer keeps
+/// the header free of std::to_string temporaries.
+void frame_http(int status, const char* reason, const char* content_type,
+                const std::string& body, std::vector<uint8_t>& out) {
+  char head[192];
+  int n = std::snprintf(head, sizeof(head),
+                        "HTTP/1.0 %d %s\r\nContent-Type: %s\r\n"
+                        "Content-Length: %zu\r\nConnection: close\r\n\r\n",
+                        status, reason, content_type, body.size());
+  out.insert(out.end(), head, head + (n < 0 ? 0 : n));
+  out.insert(out.end(), body.begin(), body.end());
 }
 
 }  // namespace
@@ -76,11 +83,23 @@ void TelemetryServer::serve(Conn* conn) {
     size_t eol = head.find_first_of("\r\n");
     std::string request_line =
         eol == std::string::npos ? head : head.substr(0, eol);
-    std::string response = respond(request_line);
+    // Scrape hot path: body scratch and response bytes both come from
+    // pools, so a 10 Hz scraper settles into zero allocations per request
+    // once warm.
+    std::string body = acquire_scratch();
+    Route route = respond(request_line, body);
+    std::vector<uint8_t> response = serde::wire_pool().acquire();
+    frame_http(route.status, route.reason, route.content_type, body,
+               response);
+    release_scratch(std::move(body));
     requests_.fetch_add(1, std::memory_order_relaxed);
-    conn->sock.send_all(
-        {reinterpret_cast<const uint8_t*>(response.data()), response.size()},
-        dl);
+    try {
+      conn->sock.send_all({response.data(), response.size()}, dl);
+    } catch (const TransportError&) {
+      serde::wire_pool().release(std::move(response));
+      throw;
+    }
+    serde::wire_pool().release(std::move(response));
   } catch (const TransportError&) {
     // Scraper went away or wedged past the deadline: drop the connection.
   }
@@ -92,7 +111,9 @@ void TelemetryServer::serve(Conn* conn) {
   conn->done.store(true, std::memory_order_release);
 }
 
-std::string TelemetryServer::respond(const std::string& request_line) {
+TelemetryServer::Route TelemetryServer::respond(
+    const std::string& request_line, std::string& body) {
+  body.clear();
   size_t sp1 = request_line.find(' ');
   size_t sp2 =
       sp1 == std::string::npos ? std::string::npos
@@ -103,33 +124,47 @@ std::string TelemetryServer::respond(const std::string& request_line) {
                          ? ""
                          : request_line.substr(sp1 + 1, sp2 - sp1 - 1);
   if (method != "GET") {
-    return http_response(405, "Method Not Allowed", "text/plain",
-                         "only GET is served\n");
+    body = "only GET is served\n";
+    return {405, "Method Not Allowed", "text/plain"};
   }
   if (size_t q = path.find('?'); q != std::string::npos) {
     path.resize(q);
   }
   if (path == "/metrics") {
-    return http_response(200, "OK",
-                         "text/plain; version=0.0.4; charset=utf-8",
-                         hub_.prometheus_text());
+    hub_.render_prometheus(body);
+    return {200, "OK", "text/plain; version=0.0.4; charset=utf-8"};
   }
   if (path == "/healthz") {
     bool healthy = true;
-    std::string body = hub_.health_json(&healthy);
+    body = hub_.health_json(&healthy);
     body += '\n';
-    return healthy ? http_response(200, "OK", "application/json", body)
-                   : http_response(503, "Service Unavailable",
-                                   "application/json", body);
+    return healthy
+               ? Route{200, "OK", "application/json"}
+               : Route{503, "Service Unavailable", "application/json"};
   }
   if (path == "/flight") {
-    return http_response(
-        200, "OK", "application/json",
-        obs::FlightRecorder::instance().chrome_trace_json("telemetry-pull"));
+    body =
+        obs::FlightRecorder::instance().chrome_trace_json("telemetry-pull");
+    return {200, "OK", "application/json"};
   }
-  return http_response(404, "Not Found", "text/plain",
-                       "no such endpoint (try /metrics, /healthz, "
-                       "/flight)\n");
+  body = "no such endpoint (try /metrics, /healthz, /flight)\n";
+  return {404, "Not Found", "text/plain"};
+}
+
+std::string TelemetryServer::acquire_scratch() {
+  std::lock_guard<std::mutex> lock(scratch_mu_);
+  if (scratch_.empty()) return {};
+  std::string s = std::move(scratch_.back());
+  scratch_.pop_back();
+  return s;
+}
+
+void TelemetryServer::release_scratch(std::string&& s) {
+  if (s.capacity() == 0) return;
+  std::lock_guard<std::mutex> lock(scratch_mu_);
+  if (scratch_.size() >= kMaxScratchStrings) return;
+  s.clear();
+  scratch_.push_back(std::move(s));
 }
 
 void TelemetryServer::stop() {

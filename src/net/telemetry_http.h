@@ -70,7 +70,17 @@ class TelemetryServer {
 
   void accept_loop();
   void serve(Conn* conn);
-  std::string respond(const std::string& request_line);
+  /// Routes one request: fills `body` (cleared first) and returns the
+  /// status line ingredients. `body` is a recycled scratch string so the
+  /// steady-state scrape path reuses capacity instead of allocating.
+  struct Route {
+    int status;
+    const char* reason;
+    const char* content_type;
+  };
+  Route respond(const std::string& request_line, std::string& body);
+  std::string acquire_scratch();
+  void release_scratch(std::string&& s);
 
   const obs::TelemetryHub& hub_;
   Options opts_;
@@ -82,6 +92,11 @@ class TelemetryServer {
   std::vector<std::unique_ptr<Conn>> conns_;
   std::atomic<bool> stopping_{false};
   std::atomic<uint64_t> requests_{0};
+  /// Retired body-scratch strings; capped. Response framing itself goes
+  /// through serde::wire_pool(), so a warm scraper holds both counters
+  /// flat (telemetry_test pins this).
+  std::mutex scratch_mu_;
+  std::vector<std::string> scratch_;
 };
 
 /// Minimal HTTP/1.0 GET for lmtop, the tests and the benches — the repo

@@ -1,0 +1,557 @@
+#include "obs/fleet.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+#include "obs/trace.h"
+
+namespace lm::obs {
+
+namespace {
+
+bool name_start_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+         c == ':';
+}
+bool name_char(char c) { return name_start_char(c) || (c >= '0' && c <= '9'); }
+bool label_start_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+bool label_char(char c) { return label_start_char(c) || (c >= '0' && c <= '9'); }
+
+/// Strips a histogram/summary child suffix so the sample can be matched
+/// against its family's TYPE declaration.
+std::string family_of(const std::string& name,
+                      const std::map<std::string, std::string>& types) {
+  if (types.count(name)) return name;
+  for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+    size_t n = std::char_traits<char>::length(suffix);
+    if (name.size() > n &&
+        name.compare(name.size() - n, std::string::npos, suffix) == 0) {
+      std::string stripped = name.substr(0, name.size() - n);
+      if (types.count(stripped)) return stripped;
+    }
+  }
+  return name;
+}
+
+}  // namespace
+
+std::string ParsedSample::series_key() const {
+  std::string key = name;
+  key += '{';
+  for (const auto& [k, v] : labels) {
+    key += k;
+    key += '=';
+    key += v;
+    key += ',';
+  }
+  key += '}';
+  return key;
+}
+
+// ---------------------------------------------------------------------------
+// parse_exposition
+// ---------------------------------------------------------------------------
+
+bool parse_exposition(std::string_view body, ParsedScrape* out,
+                      std::string* error) {
+  ParsedScrape scrape;
+  auto fail = [&](size_t lineno, const std::string& why) {
+    if (error) *error = "line " + std::to_string(lineno) + ": " + why;
+    if (out) *out = ParsedScrape{};  // never hand back a partial parse
+    return false;
+  };
+
+  if (!body.empty() && body.back() != '\n') {
+    return fail(0, "truncated exposition (no trailing newline)");
+  }
+
+  // Tracks seen series for duplicate detection without re-deriving keys.
+  std::map<std::string, bool> seen;
+
+  size_t lineno = 0;
+  size_t pos = 0;
+  while (pos < body.size()) {
+    size_t nl = body.find('\n', pos);
+    std::string_view line = body.substr(pos, nl - pos);
+    pos = nl + 1;
+    ++lineno;
+    if (line.size() > kMaxExpositionLineBytes) {
+      return fail(lineno, "oversized line (" + std::to_string(line.size()) +
+                              " bytes)");
+    }
+    if (line.empty()) continue;
+
+    size_t i = 0;
+    if (line[0] == '#') {
+      // "# TYPE family type" / "# HELP family text" / free-form comment.
+      i = 1;
+      while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+      size_t kw0 = i;
+      while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+      std::string_view kw = line.substr(kw0, i - kw0);
+      if (kw != "TYPE" && kw != "HELP") continue;
+      while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+      size_t f0 = i;
+      if (i >= line.size() || !name_start_char(line[i])) {
+        return fail(lineno, "bad metric name in # " + std::string(kw));
+      }
+      while (i < line.size() && name_char(line[i])) ++i;
+      std::string family(line.substr(f0, i - f0));
+      if (kw == "TYPE") {
+        while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+        size_t t0 = i;
+        while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+        std::string type(line.substr(t0, i - t0));
+        if (type != "counter" && type != "gauge" && type != "histogram" &&
+            type != "summary" && type != "untyped") {
+          return fail(lineno, "unknown TYPE '" + type + "'");
+        }
+        if (scrape.types.count(family)) {
+          return fail(lineno, "duplicate TYPE for family " + family);
+        }
+        scrape.types[family] = type;
+      }
+      continue;
+    }
+
+    // Sample line: name [{labels}] value [timestamp]
+    ParsedSample s;
+    size_t n0 = i;
+    if (!name_start_char(line[i])) return fail(lineno, "bad metric name");
+    ++i;
+    while (i < line.size() && name_char(line[i])) ++i;
+    s.name.assign(line.substr(n0, i - n0));
+
+    if (i < line.size() && line[i] == '{') {
+      ++i;
+      bool first = true;
+      for (;;) {
+        while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+        if (i < line.size() && line[i] == '}') {
+          ++i;
+          break;
+        }
+        if (!first) {
+          return fail(lineno, "expected ',' or '}' in label set");
+        }
+        for (;;) {
+          size_t l0 = i;
+          if (i >= line.size() || !label_start_char(line[i])) {
+            return fail(lineno, "bad label name");
+          }
+          ++i;
+          while (i < line.size() && label_char(line[i])) ++i;
+          std::string lname(line.substr(l0, i - l0));
+          if (i >= line.size() || line[i] != '=') {
+            return fail(lineno, "expected '=' after label");
+          }
+          ++i;
+          if (i >= line.size() || line[i] != '"') {
+            return fail(lineno, "label value not quoted");
+          }
+          ++i;
+          std::string lval;
+          bool closed = false;
+          while (i < line.size()) {
+            char c = line[i++];
+            if (c == '\\') {
+              if (i >= line.size()) return fail(lineno, "dangling escape");
+              char e = line[i++];
+              lval += e == 'n' ? '\n' : e;
+            } else if (c == '"') {
+              closed = true;
+              break;
+            } else {
+              lval += c;
+            }
+          }
+          if (!closed) return fail(lineno, "unterminated label value");
+          s.labels.emplace_back(std::move(lname), std::move(lval));
+          if (i < line.size() && line[i] == ',') {
+            ++i;
+            continue;
+          }
+          break;
+        }
+        first = false;
+      }
+    }
+
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    size_t v0 = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+    std::string tok(line.substr(v0, i - v0));
+    if (tok.empty()) return fail(lineno, "missing sample value");
+    // "+Inf" is legal only inside a le= label; as a *sample value* it means
+    // a corrupted or garbage exposition — a fleet aggregate poisoned by one
+    // Inf can never recover, so reject the scrape outright.
+    char* end = nullptr;
+    double v = std::strtod(tok.c_str(), &end);
+    if (!end || *end != '\0') {
+      return fail(lineno, "bad sample value '" + tok + "'");
+    }
+    if (!std::isfinite(v)) {
+      return fail(lineno, "non-finite sample value '" + tok + "'");
+    }
+    s.value = v;
+
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    if (i < line.size()) {
+      size_t t0 = i;
+      while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+      std::string ts(line.substr(t0, i - t0));
+      char* tend = nullptr;
+      std::strtoll(ts.c_str(), &tend, 10);
+      if (!tend || *tend != '\0' || ts.empty()) {
+        return fail(lineno, "bad timestamp '" + ts + "'");
+      }
+      while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+      if (i < line.size()) {
+        return fail(lineno, "trailing garbage after timestamp");
+      }
+    }
+
+    if (!scrape.types.count(family_of(s.name, scrape.types))) {
+      return fail(lineno, "sample '" + s.name + "' has no preceding # TYPE");
+    }
+    std::string key = s.series_key();
+    if (seen.count(key)) {
+      return fail(lineno, "duplicate series " + key);
+    }
+    seen[key] = true;
+    if (scrape.samples.size() >= kMaxExpositionSamples) {
+      return fail(lineno, "too many samples (cap " +
+                              std::to_string(kMaxExpositionSamples) + ")");
+    }
+    scrape.samples.push_back(std::move(s));
+  }
+
+  if (out) *out = std::move(scrape);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// histogram_quantile
+// ---------------------------------------------------------------------------
+
+double histogram_quantile(
+    const ParsedScrape& scrape, const std::string& family, double q,
+    const std::vector<std::pair<std::string, std::string>>& labels) {
+  struct Bucket {
+    double le;
+    double count;  // cumulative
+  };
+  std::vector<Bucket> buckets;
+  const std::string bucket_name = family + "_bucket";
+  for (const ParsedSample& s : scrape.samples) {
+    if (s.name != bucket_name) continue;
+    double le = 0;
+    bool have_le = false, match = true;
+    for (const auto& [wk, wv] : labels) {
+      bool found = false;
+      for (const auto& [k, v] : s.labels) {
+        if (k == wk && v == wv) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        match = false;
+        break;
+      }
+    }
+    if (!match) continue;
+    for (const auto& [k, v] : s.labels) {
+      if (k == "le") {
+        have_le = true;
+        le = v == "+Inf" ? std::numeric_limits<double>::infinity()
+                         : std::strtod(v.c_str(), nullptr);
+      }
+    }
+    if (have_le) buckets.push_back({le, s.value});
+  }
+  if (buckets.empty()) return 0;
+  std::sort(buckets.begin(), buckets.end(),
+            [](const Bucket& a, const Bucket& b) { return a.le < b.le; });
+  double total = buckets.back().count;
+  if (total <= 0) return 0;
+  double rank = q / 100.0 * total;
+  double prev_le = 0, prev_count = 0;
+  for (const Bucket& b : buckets) {
+    if (b.count >= rank) {
+      if (std::isinf(b.le)) return prev_le;  // tail bucket: highest edge
+      if (b.count == prev_count) return b.le;
+      double frac = (rank - prev_count) / (b.count - prev_count);
+      if (frac < 0) frac = 0;
+      if (frac > 1) frac = 1;
+      return prev_le + (b.le - prev_le) * frac;
+    }
+    prev_le = std::isinf(b.le) ? prev_le : b.le;
+    prev_count = b.count;
+  }
+  return prev_le;
+}
+
+// ---------------------------------------------------------------------------
+// FleetView
+// ---------------------------------------------------------------------------
+
+const char* to_string(EndpointStatus::State s) {
+  switch (s) {
+    case EndpointStatus::State::kUnknown: return "unknown";
+    case EndpointStatus::State::kUp: return "up";
+    case EndpointStatus::State::kStale: return "stale";
+    case EndpointStatus::State::kDown: return "down";
+  }
+  return "?";
+}
+
+FleetView::FleetView(Options opts) : opts_(opts) {
+  if (opts_.outcome_window == 0) opts_.outcome_window = 1;
+}
+
+double FleetView::now_us() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void FleetView::track(const std::string& endpoint) {
+  std::lock_guard<std::mutex> lock(mu_);
+  endpoints_[endpoint].status.endpoint = endpoint;
+}
+
+void FleetView::ingest(Reading r) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PerEndpoint& pe = endpoints_[r.endpoint];
+  pe.status.endpoint = r.endpoint;
+  pe.last_attempt_us = r.now_us;
+  pe.outcomes.push_back(r.ok);
+  if (pe.outcomes.size() > opts_.outcome_window) {
+    pe.outcomes.erase(pe.outcomes.begin());
+  }
+  if (!r.ok) {
+    ++pe.status.scrapes_failed;
+    pe.status.last_error = r.error;
+    // A failed scrape invalidates the rate baseline: the next delta would
+    // span the outage and under-report. Keeping gauges (last-known values)
+    // is fine — state/health already say they are stale.
+    pe.prev_counters_us = -1;
+    return;
+  }
+  ++pe.status.scrapes_ok;
+  pe.status.last_error.clear();
+  pe.status.healthy = r.healthy;
+  pe.last_ok_us = r.now_us;
+  pe.status.rtt_ewma_us =
+      pe.status.rtt_ewma_us <= 0
+          ? r.rtt_us
+          : opts_.rtt_alpha * r.rtt_us +
+                (1 - opts_.rtt_alpha) * pe.status.rtt_ewma_us;
+  apply_scrape(pe, r);
+}
+
+void FleetView::apply_scrape(PerEndpoint& pe, const Reading& r) {
+  EndpointStatus& st = pe.status;
+  st.gauges.clear();
+  st.rates.clear();
+
+  std::map<std::string, double> counters;  // series key -> raw value
+  double dt_s = pe.prev_counters_us >= 0
+                    ? (r.now_us - pe.prev_counters_us) / 1e6
+                    : 0;
+  for (const ParsedSample& s : r.scrape.samples) {
+    auto tt = r.scrape.types.find(family_of(s.name, r.scrape.types));
+    const std::string& type = tt != r.scrape.types.end() ? tt->second : "";
+    if (type == "counter") {
+      std::string key = s.series_key();
+      counters[key] = s.value;
+      double rate = 0;
+      if (dt_s > 0) {
+        auto prev = pe.prev_counters.find(key);
+        if (prev != pe.prev_counters.end()) {
+          double delta = s.value - prev->second;
+          if (delta < 0) {
+            // Counter reset: the server restarted between scrapes. The
+            // honest rate over the window is unknowable; clamping to zero
+            // keeps the aggregate non-negative instead of spiking the
+            // fleet view with a huge negative (or, negated, bogus) rate.
+            ++st.counter_resets;
+          } else {
+            rate = delta / dt_s;
+          }
+        }
+      }
+      st.rates[s.name] += rate;
+    } else if (type == "gauge") {
+      st.gauges[s.name] += s.value;
+    }
+  }
+  pe.prev_counters = std::move(counters);
+  pe.prev_counters_us = r.now_us;
+
+  auto gauge_or = [&](const char* name, double fallback) {
+    auto it = st.gauges.find(name);
+    return it != st.gauges.end() ? it->second : fallback;
+  };
+  st.queue_depth = st.gauges.count("lm_executor_queue_depth")
+                       ? st.gauges["lm_executor_queue_depth"]
+                       : gauge_or("lm_server_active_connections", 0);
+  st.in_flight = gauge_or("lm_task_in_flight", 0);
+  auto hb = st.rates.find("lm_net_heartbeat_misses_total");
+  st.hb_miss_rate = hb != st.rates.end() ? hb->second : 0;
+  st.exec_p99_us = histogram_quantile(r.scrape, "lm_server_exec_us", 99);
+}
+
+FleetSnapshot FleetView::snapshot(double now_us) const {
+  FleetSnapshot snap;
+  snap.now_us = now_us;
+  snap.staleness_deadline_us = opts_.staleness_us;
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.endpoints.reserve(endpoints_.size());
+  for (const auto& [ep, pe] : endpoints_) {
+    EndpointStatus st = pe.status;
+    st.staleness_us =
+        pe.last_ok_us >= 0 ? now_us - pe.last_ok_us : now_us + 1;
+    bool last_failed = !pe.outcomes.empty() && !pe.outcomes.back();
+    if (pe.last_attempt_us < 0) {
+      st.state = EndpointStatus::State::kUnknown;
+    } else if (last_failed) {
+      st.state = EndpointStatus::State::kDown;
+    } else if (st.staleness_us > opts_.staleness_us) {
+      st.state = EndpointStatus::State::kStale;
+    } else {
+      st.state = EndpointStatus::State::kUp;
+    }
+
+    if (st.state != EndpointStatus::State::kUp) {
+      st.health_score = 0;
+    } else {
+      size_t fails = 0;
+      for (bool ok : pe.outcomes) fails += ok ? 0 : 1;
+      double fail_ratio = pe.outcomes.empty()
+                              ? 0
+                              : static_cast<double>(fails) /
+                                    static_cast<double>(pe.outcomes.size());
+      double score = 1.0;
+      score -= 0.4 * std::min(1.0, st.hb_miss_rate);  // misses per second
+      score -= 0.3 * fail_ratio;
+      score -= st.healthy ? 0.0 : 0.3;
+      st.health_score = std::max(0.0, std::min(1.0, score));
+    }
+
+    switch (st.state) {
+      case EndpointStatus::State::kUp: ++snap.up; break;
+      case EndpointStatus::State::kStale: ++snap.stale; break;
+      case EndpointStatus::State::kDown: ++snap.down; break;
+      case EndpointStatus::State::kUnknown: break;
+    }
+    snap.endpoints.push_back(std::move(st));
+  }
+  auto state_rank = [](EndpointStatus::State s) {
+    switch (s) {
+      case EndpointStatus::State::kUp: return 0;
+      case EndpointStatus::State::kStale: return 1;
+      case EndpointStatus::State::kDown: return 2;
+      case EndpointStatus::State::kUnknown: return 3;
+    }
+    return 4;
+  };
+  std::sort(snap.endpoints.begin(), snap.endpoints.end(),
+            [&](const EndpointStatus& a, const EndpointStatus& b) {
+              int ra = state_rank(a.state), rb = state_rank(b.state);
+              if (ra != rb) return ra < rb;
+              if (a.health_score != b.health_score) {
+                return a.health_score > b.health_score;
+              }
+              if (a.queue_depth != b.queue_depth) {
+                return a.queue_depth < b.queue_depth;
+              }
+              if (a.rtt_ewma_us != b.rtt_ewma_us) {
+                return a.rtt_ewma_us < b.rtt_ewma_us;
+              }
+              return a.endpoint < b.endpoint;
+            });
+  return snap;
+}
+
+// ---------------------------------------------------------------------------
+// FleetSnapshot::to_json
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void append_num(std::string& out, double v) {
+  char buf[40];
+  if (!std::isfinite(v)) v = 0;
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out += buf;
+}
+
+void append_map(std::string& out, const char* key,
+                const std::map<std::string, double>& m) {
+  out += "\"";
+  out += key;
+  out += "\":{";
+  bool first = true;
+  for (const auto& [k, v] : m) {
+    if (!first) out += ',';
+    first = false;
+    out += "\"" + json_escape(k) + "\":";
+    append_num(out, v);
+  }
+  out += '}';
+}
+
+}  // namespace
+
+std::string FleetSnapshot::to_json() const {
+  std::string out = "{\"fleet\":{";
+  out += "\"staleness_deadline_us\":";
+  append_num(out, staleness_deadline_us);
+  out += ",\"up\":" + std::to_string(up);
+  out += ",\"stale\":" + std::to_string(stale);
+  out += ",\"down\":" + std::to_string(down);
+  out += ",\"endpoints\":[";
+  for (size_t i = 0; i < endpoints.size(); ++i) {
+    const EndpointStatus& e = endpoints[i];
+    if (i) out += ',';
+    out += "\n  {\"endpoint\":\"" + json_escape(e.endpoint) + "\"";
+    out += ",\"state\":\"";
+    out += to_string(e.state);
+    out += "\",\"health\":";
+    append_num(out, e.health_score);
+    out += ",\"rtt_ewma_us\":";
+    append_num(out, e.rtt_ewma_us);
+    out += ",\"staleness_us\":";
+    append_num(out, e.staleness_us);
+    out += ",\"queue_depth\":";
+    append_num(out, e.queue_depth);
+    out += ",\"in_flight\":";
+    append_num(out, e.in_flight);
+    out += ",\"hb_miss_rate\":";
+    append_num(out, e.hb_miss_rate);
+    out += ",\"exec_p99_us\":";
+    append_num(out, e.exec_p99_us);
+    out += ",\"healthy\":";
+    out += e.healthy ? "true" : "false";
+    out += ",\"scrapes_ok\":" + std::to_string(e.scrapes_ok);
+    out += ",\"scrapes_failed\":" + std::to_string(e.scrapes_failed);
+    out += ",\"counter_resets\":" + std::to_string(e.counter_resets);
+    out += ",\"error\":\"" + json_escape(e.last_error) + "\",";
+    append_map(out, "rates", e.rates);
+    out += ',';
+    append_map(out, "gauges", e.gauges);
+    out += '}';
+  }
+  out += endpoints.empty() ? "]}}" : "\n]}}";
+  return out;
+}
+
+}  // namespace lm::obs

@@ -76,6 +76,14 @@ class LatencyHistogram {
     record_ns(static_cast<uint64_t>(s * 1e9));
   }
 
+  /// One bucket's current count. Index must be < bucket_count(). The
+  /// telemetry exporter walks this to re-bucket into Prometheus `le`
+  /// edges; like percentile_ns, a concurrent read is a point-in-time
+  /// approximation.
+  uint64_t bucket_value(size_t index) const {
+    return buckets_[index].load(std::memory_order_relaxed);
+  }
+
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   uint64_t sum_ns() const { return sum_ns_.load(std::memory_order_relaxed); }
   uint64_t max_ns() const { return max_ns_.load(std::memory_order_relaxed); }

@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "obs/histogram.h"
 #include "obs/trace.h"
 
 namespace lm::obs {
@@ -68,6 +69,48 @@ void append_labels(
 
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// HistogramSample
+// ---------------------------------------------------------------------------
+
+const std::vector<double>& HistogramSample::default_edges_us() {
+  static const std::vector<double> edges = {
+      50,     100,    250,    500,     1000,   2500,  5000,
+      10000,  25000,  50000,  100000,  250000, 500000, 1000000};
+  return edges;
+}
+
+HistogramSample HistogramSample::from(
+    std::string name, const LatencyHistogram& h,
+    std::vector<std::pair<std::string, std::string>> labels) {
+  HistogramSample s;
+  s.name = std::move(name);
+  s.labels = std::move(labels);
+  s.le_us = default_edges_us();
+  s.cumulative.assign(s.le_us.size(), 0);
+  // One pass over the fine buckets; every count lands in the first edge
+  // at or above the bucket's midpoint (or only in the implicit +Inf).
+  // Deriving _count from the same pass keeps `_count == +Inf bucket`
+  // true even while another thread is recording.
+  std::vector<uint64_t> per_edge(s.le_us.size(), 0);
+  for (size_t i = 0; i < h.bucket_count(); ++i) {
+    uint64_t c = h.bucket_value(i);
+    if (c == 0) continue;
+    double us = LatencyHistogram::bucket_mid(i) / 1e3;
+    size_t e = 0;
+    while (e < s.le_us.size() && s.le_us[e] < us) ++e;
+    if (e < per_edge.size()) per_edge[e] += c;
+    s.count += c;
+  }
+  uint64_t running = 0;
+  for (size_t e = 0; e < per_edge.size(); ++e) {
+    running += per_edge[e];
+    s.cumulative[e] = running;
+  }
+  s.sum_us = static_cast<double>(h.sum_ns()) / 1e3;
+  return s;
+}
+
 std::string prometheus_name(const std::string& dotted) {
   std::string out;
   out.reserve(dotted.size() + 4);
@@ -106,18 +149,31 @@ void TelemetryHub::add_collector(GaugeCollector c) {
   collectors_.push_back(std::move(c));
 }
 
+void TelemetryHub::add_histograms(HistogramCollector c) {
+  std::lock_guard<std::mutex> lock(mu_);
+  histograms_.push_back(std::move(c));
+}
+
 void TelemetryHub::add_health(HealthCollector c) {
   std::lock_guard<std::mutex> lock(mu_);
   health_.push_back(std::move(c));
 }
 
 std::string TelemetryHub::prometheus_text() const {
+  std::string out;
+  render_prometheus(out);
+  return out;
+}
+
+void TelemetryHub::render_prometheus(std::string& out) const {
   std::vector<const MetricsRegistry*> regs;
   std::vector<GaugeCollector> cols;
+  std::vector<HistogramCollector> hists;
   {
     std::lock_guard<std::mutex> lock(mu_);
     regs = registries_;
     cols = collectors_;
+    hists = histograms_;
   }
 
   // Registry instruments. Multiple registries (runtime + per-session) may
@@ -135,9 +191,9 @@ std::string TelemetryHub::prometheus_text() const {
 
   std::vector<GaugeSample> samples;
   for (const auto& c : cols) c(samples);
+  std::vector<HistogramSample> hsamples;
+  for (const auto& c : hists) c(hsamples);
 
-  std::string out;
-  out.reserve(1024 + samples.size() * 64);
   for (const auto& [n, v] : counters) {
     std::string name = prometheus_name(n) + "_total";
     out += "# TYPE " + name + " counter\n";
@@ -166,7 +222,64 @@ std::string TelemetryHub::prometheus_text() const {
     append_value(out, samples[i].value);
     out += '\n';
   }
-  return out;
+
+  // Native histograms: `family_bucket{...,le="edge"}` cumulative counts,
+  // the implicit le="+Inf" bucket, then `_sum`/`_count`. Same family from
+  // several collectors (e.g. one remote session per endpoint) stays
+  // contiguous under one TYPE line.
+  std::stable_sort(hsamples.begin(), hsamples.end(),
+                   [](const HistogramSample& a, const HistogramSample& b) {
+                     return a.name < b.name;
+                   });
+  for (size_t i = 0; i < hsamples.size(); ++i) {
+    const HistogramSample& h = hsamples[i];
+    std::string name = prometheus_name(h.name);
+    if (i == 0 || h.name != hsamples[i - 1].name) {
+      out += "# TYPE " + name + " histogram\n";
+    }
+    auto bucket_labels = [&](double le, bool inf) {
+      out += '{';
+      for (const auto& [k, v] : h.labels) {
+        out += sanitize_label_name(k);
+        out += "=\"";
+        out += prometheus_label_escape(v);
+        out += "\",";
+      }
+      out += "le=\"";
+      if (inf) {
+        out += "+Inf";
+      } else {
+        append_value(out, le);
+      }
+      out += "\"}";
+    };
+    for (size_t e = 0; e < h.le_us.size(); ++e) {
+      out += name;
+      out += "_bucket";
+      bucket_labels(h.le_us[e], false);
+      out += ' ';
+      out += std::to_string(e < h.cumulative.size() ? h.cumulative[e] : 0);
+      out += '\n';
+    }
+    out += name;
+    out += "_bucket";
+    bucket_labels(0, true);
+    out += ' ';
+    out += std::to_string(h.count);
+    out += '\n';
+    out += name;
+    out += "_sum";
+    append_labels(out, h.labels);
+    out += ' ';
+    append_value(out, h.sum_us);
+    out += '\n';
+    out += name;
+    out += "_count";
+    append_labels(out, h.labels);
+    out += ' ';
+    out += std::to_string(h.count);
+    out += '\n';
+  }
 }
 
 std::string TelemetryHub::health_json(bool* healthy) const {

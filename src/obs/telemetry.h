@@ -31,6 +31,8 @@
 
 namespace lm::obs {
 
+class LatencyHistogram;
+
 /// One live sample for the exposition. `name` is dotted lower-case
 /// ("fifo.depth"); the renderer mangles it to a legal Prometheus name
 /// ("lm_fifo_depth"). Labels distinguish instances of the same series.
@@ -43,6 +45,32 @@ struct GaugeSample {
   GaugeSample(std::string n, double v,
               std::vector<std::pair<std::string, std::string>> l = {})
       : name(std::move(n)), value(v), labels(std::move(l)) {}
+};
+
+/// One native Prometheus histogram for the exposition: cumulative bucket
+/// counts over ascending `le` edges (µs), plus the `_sum`/`_count` pair.
+/// Built from a LatencyHistogram with from(), which re-buckets the
+/// fine-grained HdrHistogram layout (976 buckets) into a small fixed `le`
+/// ladder — fleet-side percentile math (histogram_quantile) is well-
+/// defined on this, where the old opaque p50/p99 gauges were not
+/// mergeable across servers at all.
+struct HistogramSample {
+  std::string name;  // dotted family, e.g. "server.exec_us"
+  std::vector<std::pair<std::string, std::string>> labels;
+  std::vector<double> le_us;         // ascending edges; +Inf is implicit
+  std::vector<uint64_t> cumulative;  // count of samples <= le_us[i]
+  uint64_t count = 0;                // == the implicit +Inf bucket
+  double sum_us = 0;
+
+  /// The default `le` ladder, µs: 50 µs … 1 s in 1-2.5-5 steps.
+  static const std::vector<double>& default_edges_us();
+
+  /// Snapshots `h` into exposition form. The bucket walk and the count
+  /// are taken from the same pass so `_count` always equals the +Inf
+  /// bucket, as the format requires, even while `h` is being recorded to.
+  static HistogramSample from(
+      std::string name, const LatencyHistogram& h,
+      std::vector<std::pair<std::string, std::string>> labels = {});
 };
 
 /// One component's contribution to /healthz. Any !ok component turns the
@@ -75,6 +103,8 @@ bool validate_prometheus_text(const std::string& body, std::string* error);
 class TelemetryHub {
  public:
   using GaugeCollector = std::function<void(std::vector<GaugeSample>&)>;
+  using HistogramCollector =
+      std::function<void(std::vector<HistogramSample>&)>;
   using HealthCollector = std::function<void(std::vector<HealthComponent>&)>;
 
   /// Registers a registry to scrape. The pointer must outlive the hub (or
@@ -83,11 +113,20 @@ class TelemetryHub {
   void add_metrics(const MetricsRegistry* m);
   /// Registers a live-gauge collector, called on every render.
   void add_collector(GaugeCollector c);
+  /// Registers a native-histogram collector, called on every render;
+  /// families export as `_bucket{le=…}`/`_sum`/`_count` series.
+  void add_histograms(HistogramCollector c);
   /// Registers a health probe, called on every /healthz evaluation.
   void add_health(HealthCollector c);
 
   /// Renders the full Prometheus text exposition (0.0.4 text format).
   std::string prometheus_text() const;
+
+  /// Appends the same exposition to `out` (which is NOT cleared). The
+  /// scrape hot path hands in a recycled string so a 10 Hz scraper does
+  /// not grow the heap per request — telemetry_test pins this with the
+  /// serde::wire_pool() allocation counters.
+  void render_prometheus(std::string& out) const;
 
   /// Renders {"status":"ok"|"degraded","components":[...]}; sets *healthy
   /// to false when any component reports !ok.
@@ -97,6 +136,7 @@ class TelemetryHub {
   mutable std::mutex mu_;
   std::vector<const MetricsRegistry*> registries_;
   std::vector<GaugeCollector> collectors_;
+  std::vector<HistogramCollector> histograms_;
   std::vector<HealthCollector> health_;
 };
 

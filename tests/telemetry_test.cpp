@@ -15,9 +15,11 @@
 #include "net/protocol.h"
 #include "net/server.h"
 #include "net/telemetry_http.h"
+#include "obs/fleet.h"
 #include "obs/histogram.h"
 #include "obs/metrics.h"
 #include "obs/telemetry.h"
+#include "serde/buffer_pool.h"
 #include "runtime/liquid_runtime.h"
 #include "workloads/workloads.h"
 
@@ -373,6 +375,128 @@ TEST(RuntimeTelemetry, CollectorExportsTaskAndCounterSeries) {
   EXPECT_TRUE(obs::validate_prometheus_text(text, &err)) << err;
   EXPECT_NE(text.find("lm_trace_dropped_events_total"), std::string::npos);
   EXPECT_NE(text.find("lm_task_batches"), std::string::npos);
+}
+
+// -- native histogram export (ISSUE 10 satellite) --------------------------
+
+TEST(TelemetryHub, NativeHistogramExposition) {
+  obs::LatencyHistogram h;
+  for (int i = 0; i < 100; ++i) h.record_ns(80 * 1000);      // ~80 µs
+  for (int i = 0; i < 10; ++i) h.record_ns(30 * 1000 * 1000);  // ~30 ms
+  h.record_ns(5000000000ull);  // 5 s — beyond every finite edge
+
+  TelemetryHub hub;
+  hub.add_histograms([&h](std::vector<obs::HistogramSample>& out) {
+    out.push_back(obs::HistogramSample::from("server.exec_us", h));
+  });
+  std::string body = hub.prometheus_text();
+  std::string err;
+  ASSERT_TRUE(obs::validate_prometheus_text(body, &err)) << err;
+  EXPECT_NE(body.find("# TYPE lm_server_exec_us histogram"),
+            std::string::npos);
+
+  // Round-trip through the fleet parser and check the format invariants:
+  // cumulative buckets are monotone, `_count` equals the +Inf bucket, and
+  // the quantile math lands where the recorded latencies are.
+  obs::ParsedScrape scrape;
+  ASSERT_TRUE(obs::parse_exposition(body, &scrape, &err)) << err;
+  double inf_bucket = -1, count = -1, sum = -1, prev = 0;
+  size_t finite_buckets = 0;
+  for (const auto& s : scrape.samples) {
+    if (s.name == "lm_server_exec_us_bucket") {
+      ASSERT_EQ(s.labels.size(), 1u);
+      if (s.labels[0].second == "+Inf") {
+        inf_bucket = s.value;
+      } else {
+        EXPECT_GE(s.value, prev) << "le=" << s.labels[0].second;
+        prev = s.value;
+        ++finite_buckets;
+      }
+    } else if (s.name == "lm_server_exec_us_count") {
+      count = s.value;
+    } else if (s.name == "lm_server_exec_us_sum") {
+      sum = s.value;
+    }
+  }
+  EXPECT_EQ(finite_buckets,
+            obs::HistogramSample::default_edges_us().size());
+  EXPECT_EQ(inf_bucket, 111.0);
+  EXPECT_EQ(count, inf_bucket);  // the format invariant scrapers rely on
+  EXPECT_GT(sum, 100 * 80.0);
+  // p50 sits with the 80 µs mass, p99 with the 30 ms mass.
+  EXPECT_LE(obs::histogram_quantile(scrape, "lm_server_exec_us", 50), 250.0);
+  EXPECT_GT(obs::histogram_quantile(scrape, "lm_server_exec_us", 99),
+            10000.0);
+}
+
+TEST(TelemetryHub, CompatFlagGatesLegacyPercentileGauges) {
+  const workloads::Workload& w = pipeline_by_name("intpipe");
+  auto prog = runtime::compile(w.lime_source);
+  ASSERT_TRUE(prog->ok());
+  net::DeviceServer server(*prog);
+  std::vector<GaugeSample> gauges;
+  server.collect_telemetry(gauges, /*compat=*/false);
+  for (const GaugeSample& s : gauges) {
+    EXPECT_NE(s.name, "server.exec_p50_us");
+    EXPECT_NE(s.name, "server.exec_p99_us");
+  }
+  gauges.clear();
+  server.collect_telemetry(gauges, /*compat=*/true);
+  bool p50 = false, p99 = false;
+  for (const GaugeSample& s : gauges) {
+    p50 |= s.name == "server.exec_p50_us";
+    p99 |= s.name == "server.exec_p99_us";
+  }
+  EXPECT_TRUE(p50 && p99);
+  // The native histogram is exported either way.
+  std::vector<obs::HistogramSample> hists;
+  server.collect_histograms(hists);
+  ASSERT_EQ(hists.size(), 1u);
+  EXPECT_EQ(hists[0].name, "server.exec_us");
+}
+
+// -- scrape-path allocation freedom (ISSUE 10 satellite) -------------------
+
+// The /metrics hot path frames responses through serde::wire_pool() and
+// recycles its body scratch: after a short warm-up, a 10 Hz scraper must
+// not grow the heap per request. Same contract net_test pins for the
+// wire-message path.
+TEST(TelemetryServer, SteadyStateScrapeIsAllocationFree) {
+  obs::MetricsRegistry reg;
+  reg.counter("server.requests").add(3);
+  obs::LatencyHistogram h;
+  for (int i = 0; i < 32; ++i) h.record_ns(1000000);
+  TelemetryHub hub;
+  hub.add_metrics(&reg);
+  hub.add_collector([](std::vector<GaugeSample>& out) {
+    out.emplace_back("executor.queue_depth", 4.0);
+  });
+  hub.add_histograms([&h](std::vector<obs::HistogramSample>& out) {
+    out.push_back(obs::HistogramSample::from("server.exec_us", h));
+  });
+  hub.add_health([](std::vector<HealthComponent>& out) {
+    out.push_back({"test", true, ""});
+  });
+
+  net::TelemetryServer srv(hub);
+  srv.start();
+  std::string body;
+  // Warm-up: grows the pooled response buffer and the body scratch to
+  // their steady-state capacity.
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_EQ(net::http_get("127.0.0.1", srv.port(), "/metrics", &body),
+              200);
+  }
+  const uint64_t allocs_before = serde::wire_pool().allocations();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(net::http_get("127.0.0.1", srv.port(), "/metrics", &body),
+              200);
+    ASSERT_FALSE(body.empty());
+  }
+  EXPECT_EQ(serde::wire_pool().allocations(), allocs_before)
+      << "scrape path allocated fresh wire buffers in steady state";
+  EXPECT_GE(serde::wire_pool().reuses(), 100u);
+  srv.stop();
 }
 
 }  // namespace

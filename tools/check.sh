@@ -42,7 +42,14 @@
 #      --compile-from peer must fetch every artifact by content key and
 #      again produce identical output. Repeated under ASan+UBSan and TSan
 #      (unless --quick).
-#  10. clang-tidy (bugprone-*, performance-*, concurrency-*; see
+#  10. fleet telemetry soak (DESIGN.md §15) — three lmdev exporters
+#      scraped as one fleet at 10 Hz (lmtop --fleet --check) while a
+#      loopback workload runs against one of them: all three must rank up
+#      and the SLO rules must hold; then one server is kill -9ed and the
+#      next check must rank it down within one staleness deadline and turn
+#      the scrape_staleness SLO violation into a nonzero exit. Repeated
+#      under TSan (unless --quick) to race-check the scraper fan-out.
+#  11. clang-tidy (bugprone-*, performance-*, concurrency-*; see
 #      .clang-tidy) over src/analysis + src/runtime. Skipped with a notice
 #      when clang-tidy is not installed — the gate must not require it.
 #
@@ -273,6 +280,79 @@ cache_soak() {
   rm -rf "$cdir" "$log"
 }
 
+# Fleet telemetry soak ($1 = build dir, $2 = label): three lmdev exporters
+# scraped as one fleet while a loopback workload drives one of them, then a
+# kill -9 of one member. The 100 ms scrape interval makes the staleness
+# deadline 200 ms; the check's three cycles span that, so "ranked down
+# within one deadline" is what the '"down":1' assertion verifies.
+fleet_soak() {
+  local bdir="$1" label="$2"
+  local lmc="$bdir/tools/lmc" lmdev="$bdir/tools/lmdev" lmtop="$bdir/tools/lmtop"
+  step "fleet telemetry soak ($label)"
+  local logs=() pids=() tports=() dports=()
+  local i log tp dp
+  for i in 0 1 2; do
+    log="$(mktemp)"
+    "$lmdev" examples/intpipe.lime --quiet --telemetry-port 0 >"$log" 2>&1 &
+    pids[i]=$!; logs[i]="$log"
+  done
+  for i in 0 1 2; do
+    tp=""; dp=""
+    for _ in $(seq 1 100); do
+      dp="$(sed -n 's/.*serving .* on 127\.0\.0\.1:\([0-9][0-9]*\).*/\1/p' "${logs[i]}")"
+      tp="$(sed -n 's/.*telemetry on 127\.0\.0\.1:\([0-9][0-9]*\).*/\1/p' "${logs[i]}")"
+      [[ -n "$dp" && -n "$tp" ]] && break
+      sleep 0.1
+    done
+    [[ -n "$dp" && -n "$tp" ]] || { echo "FAIL($label): fleet lmdev $i never printed its endpoints"; cat "${logs[i]}"; exit 1; }
+    dports[i]="$dp"; tports[i]="$tp"
+  done
+  local fleet="127.0.0.1:${tports[0]},127.0.0.1:${tports[1]},127.0.0.1:${tports[2]}"
+  local slo; slo="$(mktemp)"
+  cat >"$slo" <<'EOF'
+rate(net.heartbeat_misses) < 1/s
+scrape_staleness < 2x
+EOF
+
+  # 10a. healthy fleet at 10 Hz under load: lmc drives server 0's device
+  # port while the check scrapes all three telemetry endpoints.
+  local ints out
+  ints="$(seq 1 4096 | paste -sd, -)"
+  "$lmc" examples/intpipe.lime --run IntPipe.run --ints "$ints" \
+      --remote="127.0.0.1:${dports[0]}" --device-batch=64 --quiet \
+      >/dev/null 2>&1 &
+  local wpid=$!
+  out="$("$lmtop" --fleet="$fleet" --interval=100 --check --slo="$slo")" \
+      || { echo "FAIL($label): healthy fleet check exited nonzero"; echo "$out"; exit 1; }
+  grep -q '"up":3' <<<"$out" || { echo "FAIL($label): fleet check did not rank all 3 up"; echo "$out"; exit 1; }
+  wait "$wpid" 2>/dev/null || true
+  echo "ok: 3-server fleet up under load (10 Hz)"
+
+  # 10b. lmc's machine-readable snapshot agrees (no .lime input needed).
+  out="$("$lmc" --fleet="$fleet" --fleet-snapshot=json --fleet-interval=100)" \
+      || { echo "FAIL($label): lmc --fleet-snapshot exited nonzero"; echo "$out"; exit 1; }
+  grep -q '"up":3' <<<"$out" || { echo "FAIL($label): lmc snapshot disagrees with lmtop"; echo "$out"; exit 1; }
+  echo "ok: lmc --fleet-snapshot=json"
+
+  # 10c. kill -9 one member: ranked down within one staleness deadline,
+  # and the scrape_staleness rule turns it into a nonzero exit.
+  kill -9 "${pids[1]}" 2>/dev/null || true
+  wait "${pids[1]}" 2>/dev/null || true
+  local rc=0
+  out="$("$lmtop" --fleet="$fleet" --interval=100 --check --slo="$slo" 2>"$slo.err")" || rc=$?
+  [[ "$rc" -ne 0 ]] || { echo "FAIL($label): SLO watchdog missed the killed server"; echo "$out"; cat "$slo.err"; exit 1; }
+  grep -q '"down":1' <<<"$out" || { echo "FAIL($label): killed server not ranked down"; echo "$out"; exit 1; }
+  grep -q '"up":2' <<<"$out" || { echo "FAIL($label): survivors not ranked up"; echo "$out"; exit 1; }
+  grep -q 'SLO violation' "$slo.err" || { echo "FAIL($label): no SLO violation reported"; cat "$slo.err"; exit 1; }
+  echo "ok: kill -9 ranked down within one deadline, SLO exit nonzero"
+
+  for i in 0 2; do
+    kill "${pids[i]}" 2>/dev/null || true
+    wait "${pids[i]}" 2>/dev/null || true
+  done
+  rm -f "${logs[@]}" "$slo" "$slo.err"
+}
+
 step "plain build + tier-1"
 cmake --preset default >/dev/null
 cmake --build --preset default -j "$JOBS"
@@ -302,6 +382,11 @@ cache_soak build plain
 if [[ "$QUICK" == 0 ]]; then
   cache_soak build-asan asan
   cache_soak build-tsan tsan
+fi
+
+fleet_soak build plain
+if [[ "$QUICK" == 0 ]]; then
+  fleet_soak build-tsan tsan
 fi
 
 step "critical-path attribution: coverage + determinism (lmc --explain)"

@@ -76,7 +76,9 @@
 #include "net/attach.h"
 #include "net/client.h"
 #include "net/compile_client.h"
+#include "net/scraper.h"
 #include "net/telemetry_http.h"
+#include "obs/slo.h"
 #include "obs/trace.h"
 #include "runtime/liquid_runtime.h"
 #include "runtime/repository.h"
@@ -100,7 +102,9 @@ int usage() {
                "           [--remote=host:port[,host:port..]] [--device-batch=N]\n"
                "           [--telemetry-port=N] [--workers=N] [--sched-seed=S]\n"
                "           [--cache[=off|ro|rw]] [--cache-dir=<dir>]\n"
-               "           [--compile-from=host:port]\n";
+               "           [--compile-from=host:port]\n"
+               "       lmc --fleet=host:port,.. --fleet-snapshot[=json]\n"
+               "           [--slo=<rules-file>] [--fleet-interval=ms]\n";
   return 2;
 }
 
@@ -144,6 +148,10 @@ int main(int argc, char** argv) {
   size_t workers = 0;       // 0 → hardware concurrency
   uint64_t sched_seed = 0;  // 0 → threaded; nonzero → deterministic replay
   std::string compile_from;  // empty → no compile service
+  std::vector<std::string> fleet_endpoints;
+  bool fleet_snapshot = false;
+  int fleet_interval_ms = 200;
+  std::string slo_path;
 
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
@@ -247,6 +255,14 @@ int main(int argc, char** argv) {
       copts.cache.dir = a.substr(12);
     } else if (a.rfind("--compile-from=", 0) == 0) {
       compile_from = a.substr(15);
+    } else if (a.rfind("--fleet=", 0) == 0) {
+      fleet_endpoints = net::split_endpoint_list(a.substr(8));
+    } else if (a == "--fleet-snapshot" || a == "--fleet-snapshot=json") {
+      fleet_snapshot = true;
+    } else if (a.rfind("--fleet-interval=", 0) == 0) {
+      fleet_interval_ms = std::max(10, std::atoi(a.c_str() + 17));
+    } else if (a.rfind("--slo=", 0) == 0) {
+      slo_path = a.substr(6);
     } else if (!a.empty() && a[0] == '-') {
       std::cerr << "lmc: unknown flag " << a << "\n";
       return usage();
@@ -254,6 +270,49 @@ int main(int argc, char** argv) {
       path = a;
     }
   }
+
+  // Fleet snapshot mode is standalone: no .lime source, no compile — just
+  // the scrape-merge-judge cycle against live endpoints, JSON on stdout.
+  // CI and the future balancer both consume this.
+  if (fleet_snapshot) {
+    if (fleet_endpoints.empty()) {
+      std::cerr << "lmc: --fleet-snapshot needs --fleet=host:port,..\n";
+      return 2;
+    }
+    std::vector<obs::SloRule> rules;
+    if (!slo_path.empty()) {
+      std::ifstream sin(slo_path);
+      if (!sin) {
+        std::cerr << "lmc: cannot read SLO rules: " << slo_path << "\n";
+        return 2;
+      }
+      std::stringstream ss;
+      ss << sin.rdbuf();
+      std::string err;
+      if (!obs::parse_slo_rules(ss.str(), &rules, &err)) {
+        std::cerr << "lmc: bad SLO rules (" << slo_path << "): " << err
+                  << "\n";
+        return 2;
+      }
+    }
+    obs::SloWatchdog watchdog(rules);
+    net::TelemetryScraper::Options sopts;
+    sopts.interval_ms = fleet_interval_ms;
+    sopts.timeout_ms = std::max(250, fleet_interval_ms);
+    net::FleetCheckResult result =
+        net::run_fleet_check(fleet_endpoints, &watchdog, 3, sopts);
+    std::cout << result.snapshot.to_json() << "\n";
+    for (const obs::SloViolation& v : result.violations) {
+      std::cerr << "lmc: SLO violation: " << v.endpoint << ": " << v.rule
+                << " (value " << v.value << ")\n";
+    }
+    if (result.snapshot.up == 0) {
+      std::cerr << "lmc: no endpoint up\n";
+      return 1;
+    }
+    return result.violations.empty() ? 0 : 1;
+  }
+
   if (path.empty()) return usage();
 
   std::ifstream in(path);
@@ -528,6 +587,9 @@ int main(int argc, char** argv) {
     for (const auto& session : att.sessions) {
       hub.add_collector([session](std::vector<obs::GaugeSample>& out) {
         session->collect_telemetry(out);
+      });
+      hub.add_histograms([session](std::vector<obs::HistogramSample>& out) {
+        session->collect_histograms(out);
       });
       hub.add_health([session](std::vector<obs::HealthComponent>& out) {
         bool up = session->alive();

@@ -23,9 +23,24 @@
 // --check-series pins specific series (e.g. lm_attr_analyzed_graphs,
 // lm_executor_queue_wait_us on a runtime exporter) so silently dropping
 // a telemetry family also fails the gate.
+//
+// Fleet mode (ISSUE 10) watches N processes at once:
+//
+//   lmtop --fleet=h:p,h:p,…        ranked panel: state/health/queue/RTT
+//                                  per endpoint, merged by obs::FleetView
+//   … --drill=h:p                  drill-down: that endpoint's full
+//                                  per-family rate/gauge tables
+//   … --slo=rules.slo              evaluate SLO rules every round; violations
+//                                  print, hit the flight recorder, and
+//                                  (with --check) fail the exit code
+//   … --check [--json]             machine mode: a few scrape cycles,
+//                                  the cluster snapshot as JSON on
+//                                  stdout, exit 1 on SLO violation or a
+//                                  fleet with nothing up
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <sstream>
@@ -35,7 +50,10 @@
 #include <vector>
 
 #include "net/client.h"
+#include "net/scraper.h"
 #include "net/telemetry_http.h"
+#include "obs/fleet.h"
+#include "obs/slo.h"
 #include "obs/telemetry.h"
 #include "util/strings.h"
 
@@ -45,7 +63,10 @@ using namespace lm;
 
 int usage() {
   std::cerr << "usage: lmtop <host:port> [--interval=ms] [--once] [--raw]\n"
-               "             [--check] [--check-series=name,name..]\n";
+               "             [--check] [--check-series=name,name..]\n"
+               "       lmtop --fleet=host:port,.. [--interval=ms] [--once]\n"
+               "             [--slo=file] [--drill=host:port] [--check]\n"
+               "             [--json]\n";
   return 2;
 }
 
@@ -291,13 +312,150 @@ void render(const std::string& endpoint, const std::string& health,
   std::cout.flush();
 }
 
+// ---------------------------------------------------------------------------
+// Fleet mode
+// ---------------------------------------------------------------------------
+
+/// Ranked cluster panel: FleetView already sorted endpoints best-first
+/// (up > stale > down; then health desc, queue asc, RTT asc).
+void render_fleet(const obs::FleetSnapshot& snap,
+                  const std::vector<obs::SloViolation>& violations,
+                  const std::string& drill) {
+  std::ostringstream os;
+  char head[160];
+  std::snprintf(head, sizeof(head),
+                "lmtop — fleet of %zu   up %zu  stale %zu  down %zu   "
+                "staleness deadline %.0f ms\n\n",
+                snap.endpoints.size(), snap.up, snap.stale, snap.down,
+                snap.staleness_deadline_us / 1e3);
+  os << head;
+  os << "  endpoint              state    health   rtt_us   queue  "
+        "inflight  hb_miss/s  exec_p99_us  ok/fail\n";
+  for (const obs::EndpointStatus& e : snap.endpoints) {
+    char row[256];
+    std::snprintf(row, sizeof(row),
+                  "  %-20s  %-7s  %6.2f  %7s  %6s  %8s  %9.2f  %11s  "
+                  "%llu/%llu%s%s\n",
+                  e.endpoint.c_str(), obs::to_string(e.state),
+                  e.health_score, fmt(e.rtt_ewma_us).c_str(),
+                  fmt(e.queue_depth).c_str(), fmt(e.in_flight).c_str(),
+                  e.hb_miss_rate, fmt(e.exec_p99_us).c_str(),
+                  static_cast<unsigned long long>(e.scrapes_ok),
+                  static_cast<unsigned long long>(e.scrapes_failed),
+                  e.last_error.empty() ? "" : "  ",
+                  e.last_error.c_str());
+    os << row;
+  }
+  if (!drill.empty()) {
+    for (const obs::EndpointStatus& e : snap.endpoints) {
+      if (e.endpoint != drill && drill != "all") continue;
+      os << "\n  " << e.endpoint << " — drill-down\n";
+      for (const auto& [name, v] : e.rates) {
+        char row[160];
+        std::snprintf(row, sizeof(row), "    rate   %-40s %12.3f /s\n",
+                      name.c_str(), v);
+        os << row;
+      }
+      for (const auto& [name, v] : e.gauges) {
+        char row[160];
+        std::snprintf(row, sizeof(row), "    gauge  %-40s %12s\n",
+                      name.c_str(), fmt(v).c_str());
+        os << row;
+      }
+      char foot[96];
+      std::snprintf(foot, sizeof(foot),
+                    "    counter resets observed: %llu\n",
+                    static_cast<unsigned long long>(e.counter_resets));
+      os << foot;
+    }
+  }
+  if (!violations.empty()) {
+    os << "\n  SLO violations this round:\n";
+    for (const obs::SloViolation& v : violations) {
+      char row[256];
+      std::snprintf(row, sizeof(row), "    %-20s %s  (value %.6g vs %.6g)\n",
+                    v.endpoint.c_str(), v.rule.c_str(), v.value,
+                    v.threshold);
+      os << row;
+    }
+  }
+  os << "\n";
+  std::cout << os.str();
+  std::cout.flush();
+}
+
+int run_fleet(const std::vector<std::string>& endpoints, int interval_ms,
+              bool once, bool check, bool json, const std::string& slo_path,
+              const std::string& drill) {
+  std::vector<obs::SloRule> rules;
+  if (!slo_path.empty()) {
+    std::ifstream in(slo_path);
+    if (!in) {
+      std::cerr << "lmtop: cannot read SLO rules: " << slo_path << "\n";
+      return 2;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    std::string err;
+    if (!obs::parse_slo_rules(ss.str(), &rules, &err)) {
+      std::cerr << "lmtop: bad SLO rules (" << slo_path << "): " << err
+                << "\n";
+      return 2;
+    }
+  }
+  obs::SloWatchdog watchdog(rules);
+
+  net::TelemetryScraper::Options opts;
+  opts.interval_ms = interval_ms;
+  opts.timeout_ms = std::max(250, interval_ms);
+
+  if (check) {
+    // Machine mode: deterministic cycle count (3 rounds ≥ two rate
+    // windows), snapshot JSON on stdout, violations → exit 1. check.sh
+    // runs this against the live soak fleet.
+    net::FleetCheckResult result =
+        net::run_fleet_check(endpoints, &watchdog, 3, opts);
+    std::cout << result.snapshot.to_json() << "\n";
+    for (const obs::SloViolation& v : result.violations) {
+      std::cerr << "lmtop: SLO violation: " << v.endpoint << ": " << v.rule
+                << " (value " << v.value << ")\n";
+    }
+    if (result.snapshot.up == 0) {
+      std::cerr << "lmtop: no endpoint up\n";
+      return 1;
+    }
+    return result.violations.empty() ? 0 : 1;
+  }
+
+  net::TelemetryScraper scraper(endpoints, opts);
+  const bool tty = ::isatty(STDOUT_FILENO) != 0;
+  for (;;) {
+    scraper.scrape_once();
+    obs::FleetSnapshot snap = scraper.snapshot();
+    std::vector<obs::SloViolation> violations = watchdog.evaluate(snap);
+    if (json) {
+      std::cout << snap.to_json() << "\n";
+    } else {
+      if (tty && !once) std::cout << "\033[H\033[2J";
+      render_fleet(snap, violations, drill);
+      if (!tty && !once) std::cout << "---\n";
+    }
+    if (once) {
+      return 0;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string endpoint;
   int interval_ms = 1000;
-  bool once = false, raw = false, check = false;
+  bool once = false, raw = false, check = false, json = false;
   std::vector<std::string> required_series;
+  std::vector<std::string> fleet;
+  std::string slo_path, drill;
 
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
@@ -309,6 +467,14 @@ int main(int argc, char** argv) {
       raw = true;
     } else if (a == "--check") {
       check = true;
+    } else if (a == "--json") {
+      json = true;
+    } else if (a.rfind("--fleet=", 0) == 0) {
+      fleet = net::split_endpoint_list(a.substr(8));
+    } else if (a.rfind("--slo=", 0) == 0) {
+      slo_path = a.substr(6);
+    } else if (a.rfind("--drill=", 0) == 0) {
+      drill = a.substr(8);
     } else if (a.rfind("--check-series=", 0) == 0) {
       check = true;  // implies --check
       for (const auto& name : split(a.substr(15), ',')) {
@@ -320,6 +486,10 @@ int main(int argc, char** argv) {
     } else {
       endpoint = a;
     }
+  }
+  if (!fleet.empty()) {
+    return run_fleet(fleet, interval_ms, once, check, json, slo_path,
+                     drill);
   }
   if (endpoint.empty()) return usage();
 
